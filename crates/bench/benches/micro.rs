@@ -1,0 +1,131 @@
+//! Criterion micro-benchmarks of the substrates.
+//!
+//! These quantify the building blocks the system-level harness composes:
+//! SHA-256 hashing, Merkle roots, base58/CID handling, chunking, block
+//! sealing, tensor matmul, a full training step, MultiKRUM scoring and
+//! policy selection.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use unifyfl_chain::chain::Blockchain;
+use unifyfl_chain::clique::CliqueConfig;
+use unifyfl_chain::hash::sha256;
+use unifyfl_chain::merkle::merkle_root;
+use unifyfl_chain::types::{Address, Transaction};
+use unifyfl_core::policy::{AggregationPolicy, ScoredCandidate};
+use unifyfl_core::scoring::multikrum_scores;
+use unifyfl_sim::SimTime;
+use unifyfl_storage::cid::{base58_encode, Cid};
+use unifyfl_storage::chunker::chunk;
+use unifyfl_tensor::zoo::ModelSpec;
+use unifyfl_tensor::Tensor;
+
+fn bench_hashing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha256");
+    for size in [64usize, 4096, 262_144] {
+        let data = vec![0xabu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("{size}B"), |b| b.iter(|| sha256(black_box(&data))));
+    }
+    g.finish();
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let txs: Vec<Vec<u8>> = (0..256).map(|i| format!("tx-{i}").into_bytes()).collect();
+    c.bench_function("merkle_root/256_txs", |b| {
+        b.iter(|| merkle_root(txs.iter().map(Vec::as_slice)))
+    });
+}
+
+fn bench_cid(c: &mut Criterion) {
+    let data = vec![7u8; 1024];
+    c.bench_function("cid/for_data_1KiB", |b| b.iter(|| Cid::for_data(black_box(&data))));
+    let mh = Cid::for_data(&data).multihash();
+    c.bench_function("base58/encode_34B", |b| b.iter(|| base58_encode(black_box(&mh))));
+}
+
+fn bench_chunking(c: &mut Criterion) {
+    let data = vec![3u8; 4 * 1024 * 1024];
+    let mut g = c.benchmark_group("chunker");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("4MiB_default_chunks", |b| {
+        b.iter(|| chunk(black_box(&data), 256 * 1024))
+    });
+    g.finish();
+}
+
+fn bench_block_sealing(c: &mut Criterion) {
+    c.bench_function("chain/seal_block_50_txs", |b| {
+        b.iter_with_setup(
+            || {
+                let signers = vec![Address::from_label("s0"), Address::from_label("s1")];
+                let mut chain = Blockchain::new(CliqueConfig::default(), signers);
+                let user = Address::from_label("user");
+                for n in 0..50 {
+                    chain.submit(Transaction::call(
+                        user,
+                        Address::from_label("nowhere"),
+                        n,
+                        vec![0u8; 64],
+                    ));
+                }
+                chain
+            },
+            |mut chain| {
+                chain.seal_next(SimTime::from_secs(5)).unwrap();
+                chain
+            },
+        )
+    });
+}
+
+fn bench_tensor(c: &mut Criterion) {
+    let a = Tensor::from_vec(vec![64, 128], (0..64 * 128).map(|i| (i % 7) as f32).collect());
+    let b_ = Tensor::from_vec(vec![128, 64], (0..64 * 128).map(|i| (i % 5) as f32).collect());
+    c.bench_function("tensor/matmul_64x128x64", |b| b.iter(|| a.matmul(black_box(&b_))));
+
+    let spec = ModelSpec::mlp(64, vec![128], 10);
+    let mut model = spec.build(1);
+    let x = Tensor::from_vec(vec![32, 64], vec![0.1; 32 * 64]);
+    let labels: Vec<usize> = (0..32).map(|i| i % 10).collect();
+    c.bench_function("model/train_batch_32x64_mlp", |b| {
+        b.iter(|| model.train_batch(black_box(&x), black_box(&labels)))
+    });
+}
+
+fn bench_scoring(c: &mut Criterion) {
+    let models: Vec<Vec<f32>> = (0..8)
+        .map(|i| (0..10_000).map(|j| ((i * j) % 13) as f32 * 0.01).collect())
+        .collect();
+    c.bench_function("scoring/multikrum_8x10k", |b| {
+        b.iter(|| multikrum_scores(black_box(&models), 2))
+    });
+}
+
+fn bench_policy(c: &mut Criterion) {
+    let candidates: Vec<ScoredCandidate> = (0..64)
+        .map(|index| ScoredCandidate {
+            index,
+            score: (index as f64 * 37.0) % 1.0,
+        })
+        .collect();
+    let mut rng = StdRng::seed_from_u64(1);
+    c.bench_function("policy/top8_of_64", |b| {
+        b.iter(|| AggregationPolicy::TopK(8).select(black_box(&candidates), None, &mut rng))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_hashing,
+    bench_merkle,
+    bench_cid,
+    bench_chunking,
+    bench_block_sealing,
+    bench_tensor,
+    bench_scoring,
+    bench_policy
+);
+criterion_main!(benches);

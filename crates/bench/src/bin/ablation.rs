@@ -1,0 +1,8 @@
+//! Runs the ablation sweeps over the design choices DESIGN.md calls out
+//! (block-latency share, sync window margin, scorer majority size).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seed = unifyfl_bench::seed_from_args(&args);
+    print!("{}", unifyfl_bench::ablation::render(seed));
+}

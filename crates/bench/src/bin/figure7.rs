@@ -1,0 +1,9 @@
+//! Regenerates Figure 7 (Byzantine: naive vs smart policy) as two
+//! accuracy-over-time series.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = unifyfl_bench::Scale::from_args(&args);
+    let seed = unifyfl_bench::seed_from_args(&args);
+    print!("{}", unifyfl_bench::figure7::render(scale, seed));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Table 1 (no-collab vs collab). `--full` for paper scale,
+//! `--seed N` to vary the seed.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = unifyfl_bench::Scale::from_args(&args);
+    let seed = unifyfl_bench::seed_from_args(&args);
+    print!("{}", unifyfl_bench::table1::render(scale, seed));
+}

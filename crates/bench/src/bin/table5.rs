@@ -1,0 +1,17 @@
+//! Regenerates Table 5 (nine Tiny-ImageNet GPU-cluster runs).
+//! `--run N` for a single run, `--full` for paper scale, `--seed N`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = unifyfl_bench::Scale::from_args(&args);
+    let seed = unifyfl_bench::seed_from_args(&args);
+    let run: Option<u32> = args
+        .iter()
+        .position(|a| a == "--run")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok());
+    match run {
+        Some(r) => print!("{}", unifyfl_bench::table5::render(r, scale, seed)),
+        None => print!("{}", unifyfl_bench::table5::render_all(scale, seed)),
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 7 and the §4.2.7 daemon-overhead numbers.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = unifyfl_bench::Scale::from_args(&args);
+    let seed = unifyfl_bench::seed_from_args(&args);
+    print!("{}", unifyfl_bench::table7::render(scale, seed));
+}

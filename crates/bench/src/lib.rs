@@ -1,0 +1,116 @@
+//! Benchmark harness for the UnifyFL reproduction.
+//!
+//! One module per evaluation artifact; each regenerates the paper's rows
+//! or series and returns them as printable text (the `src/bin/*` binaries
+//! are thin wrappers). The default scale shrinks rounds and sample counts
+//! ~10× so the whole suite runs in minutes; pass `--full` for the paper's
+//! scale. Measured virtual times are reported alongside a *full-scale
+//! extrapolation* (`time × round-factor × sample-factor`) so they can be
+//! compared with the paper's absolute seconds.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`table1`] | Table 1 — no-collab vs collab |
+//! | [`table5`] | Table 5 — nine Tiny-ImageNet GPU-cluster runs |
+//! | [`table6`] | Table 6 — three CIFAR edge-cluster runs |
+//! | [`table7`] | Table 7 + §4.2.7 — resource overheads |
+//! | [`figure7`] | Figure 7 — Byzantine naive vs smart policy |
+//! | [`scalability`] | §4.2.6 — 60 clients across 3 aggregators |
+
+pub mod ablation;
+pub mod figure7;
+pub mod scalability;
+pub mod table1;
+pub mod table5;
+pub mod table6;
+pub mod table7;
+
+use unifyfl_data::WorkloadConfig;
+
+/// Harness scale selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// ~10× reduced rounds/samples (minutes for the whole suite).
+    Quick,
+    /// The paper's configuration (Table 4).
+    Full,
+}
+
+impl Scale {
+    /// Parses `--full` from CLI args.
+    pub fn from_args(args: &[String]) -> Scale {
+        if args.iter().any(|a| a == "--full") {
+            Scale::Full
+        } else {
+            Scale::Quick
+        }
+    }
+
+    /// The reduction factor applied to a workload.
+    pub fn factor(self) -> usize {
+        match self {
+            Scale::Quick => 10,
+            Scale::Full => 1,
+        }
+    }
+
+    /// Applies the scale to a paper workload.
+    pub fn apply(self, workload: WorkloadConfig) -> WorkloadConfig {
+        workload.scaled(self.factor())
+    }
+
+    /// Multiplier converting a measured virtual time at this scale into a
+    /// full-scale estimate for `paper` (rounds × samples shrink linearly).
+    pub fn extrapolation(self, paper: &WorkloadConfig, actual: &WorkloadConfig) -> f64 {
+        let rounds = paper.rounds as f64 / actual.rounds as f64;
+        let samples = paper.dataset.n_samples as f64 / actual.dataset.n_samples as f64;
+        rounds * samples
+    }
+}
+
+/// Parses `--seed N` from CLI args (default 42).
+pub fn seed_from_args(args: &[String]) -> u64 {
+    args.iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// Formats the standard extrapolation footer for a report.
+pub fn extrapolation_note(scale: Scale, paper: &WorkloadConfig, actual: &WorkloadConfig) -> String {
+    match scale {
+        Scale::Full => "(full paper scale; times are directly comparable)\n".to_owned(),
+        Scale::Quick => format!(
+            "(quick scale: multiply times by ~{:.0}x to compare with the paper's seconds)\n",
+            scale.extrapolation(paper, actual)
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parses_args() {
+        let args = vec!["--full".to_owned()];
+        assert_eq!(Scale::from_args(&args), Scale::Full);
+        assert_eq!(Scale::from_args(&[]), Scale::Quick);
+    }
+
+    #[test]
+    fn seed_parses_args() {
+        let args: Vec<String> = ["--seed", "7"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(seed_from_args(&args), 7);
+        assert_eq!(seed_from_args(&[]), 42);
+    }
+
+    #[test]
+    fn extrapolation_combines_rounds_and_samples() {
+        let paper = WorkloadConfig::cifar10();
+        let actual = Scale::Quick.apply(paper.clone());
+        let x = Scale::Quick.extrapolation(&paper, &actual);
+        assert!((x - 100.0).abs() < 1.0, "10x rounds × 10x samples = {x}");
+    }
+}

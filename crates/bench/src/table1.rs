@@ -1,0 +1,83 @@
+//! Table 1 — accuracy and loss for the No-Collab and Collab settings.
+//!
+//! The paper's motivating experiment: three edge clusters train on a
+//! NIID-partitioned CIFAR-10 workload, first independently, then through
+//! the centralized multilevel (HBFL-style) collaboration. The headline
+//! result: non-collaborative accuracy is capped well below the
+//! collaborative global model's.
+
+use unifyfl_core::baseline::{run_hbfl, run_no_collab, BaselineRun};
+use unifyfl_core::cluster::ClusterConfig;
+use unifyfl_core::report::render_baseline_table;
+use unifyfl_data::{Partition, WorkloadConfig};
+use unifyfl_sim::DeviceProfile;
+
+use crate::Scale;
+
+/// The edge-cluster configuration used throughout Tables 1 and 6: three
+/// organizations whose client fleets are Raspberry Pi 400s, Jetson Nanos
+/// and Docker containers respectively.
+pub fn edge_clusters() -> Vec<ClusterConfig> {
+    vec![
+        ClusterConfig::edge("Aggregator 1", DeviceProfile::raspberry_pi_400()),
+        ClusterConfig::edge("Aggregator 2", DeviceProfile::jetson_nano()),
+        ClusterConfig::edge("Aggregator 3", DeviceProfile::docker_container()),
+    ]
+}
+
+/// Both baseline runs: `(no_collab, hbfl)`.
+pub fn run(scale: Scale, seed: u64) -> (BaselineRun, BaselineRun, WorkloadConfig) {
+    let workload = scale.apply(WorkloadConfig::cifar10());
+    let partition = Partition::Dirichlet { alpha: 0.5 };
+    let no_collab = run_no_collab(seed, &workload, partition, edge_clusters());
+    let hbfl = run_hbfl(seed, &workload, partition, edge_clusters(), 1.15);
+    (no_collab, hbfl, workload)
+}
+
+/// Renders the table in the paper's layout.
+pub fn render(scale: Scale, seed: u64) -> String {
+    let (no_collab, hbfl, actual) = run(scale, seed);
+    let mut out = String::new();
+    out.push_str("Table 1: Accuracy and Loss for No Collab and Collab settings\n");
+    out.push_str(&format!("workload: {} | NIID α=0.5 | seed {seed}\n\n", actual.name));
+    out.push_str(&render_baseline_table("No Collab", &no_collab));
+    out.push('\n');
+    out.push_str(&render_baseline_table("Collab (centralized multilevel)", &hbfl));
+    out.push('\n');
+    out.push_str(&crate::extrapolation_note(
+        scale,
+        &WorkloadConfig::cifar10(),
+        &actual,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collab_global_beats_every_no_collab_local() {
+        let (no_collab, hbfl, _) = run(Scale::Quick, 42);
+        let best_solo = no_collab
+            .outcome
+            .final_local
+            .iter()
+            .map(|(a, _)| *a)
+            .fold(0.0, f64::max);
+        let (global, _) = hbfl.outcome.global;
+        assert!(
+            global > best_solo,
+            "Table 1 shape: collab global {global:.3} must beat best solo {best_solo:.3}"
+        );
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let text = render(Scale::Quick, 42);
+        assert!(text.contains("No Collab"));
+        assert!(text.contains("Global Model"));
+        assert!(text.contains("Aggregator 1"));
+        assert!(text.contains("Aggregator 3"));
+    }
+}

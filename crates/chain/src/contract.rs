@@ -1,0 +1,189 @@
+//! Native contract execution framework.
+//!
+//! The paper's orchestrator is a Solidity contract on a private Geth chain.
+//! We reproduce the *contract model* — deterministic state transitions
+//! driven by ordered transactions, revert semantics, event logs, gas
+//! accounting, and block-derived entropy — while executing the logic as
+//! native Rust. A [`Contract`] is registered at an [`Address`] on the
+//! [`Blockchain`](crate::chain::Blockchain) and receives every transaction
+//! addressed to it, in block order.
+
+use std::any::Any;
+use std::fmt;
+
+use unifyfl_sim::SimTime;
+
+use crate::codec::DecodeError;
+use crate::hash::H256;
+use crate::types::{Address, Log};
+
+/// Execution environment visible to a contract call, mirroring the EVM's
+/// `msg` / `block` globals.
+#[derive(Debug, Clone, Copy)]
+pub struct CallContext {
+    /// Transaction sender (`msg.sender`).
+    pub sender: Address,
+    /// Number of the block containing the transaction (`block.number`).
+    pub block_number: u64,
+    /// Virtual timestamp of the block (`block.timestamp`).
+    pub timestamp: SimTime,
+    /// Deterministic entropy derived from the parent block hash and the
+    /// transaction index — the stand-in for `blockhash`-based randomness
+    /// that the orchestrator uses to sample scorer subsets.
+    pub entropy: u64,
+}
+
+/// Successful call result.
+#[derive(Debug, Clone, Default)]
+pub struct CallOutcome {
+    /// Event logs emitted by the call.
+    pub logs: Vec<Log>,
+    /// Execution gas consumed (on top of intrinsic gas).
+    pub gas_used: u64,
+}
+
+impl CallOutcome {
+    /// An outcome with logs and a declared gas cost.
+    pub fn new(logs: Vec<Log>, gas_used: u64) -> Self {
+        CallOutcome { logs, gas_used }
+    }
+}
+
+/// Error aborting a contract call; the enclosing transaction reverts
+/// (state changes discarded by convention: contracts must not mutate state
+/// before validation) and the receipt records the reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContractError {
+    /// Explicit require/revert with a reason string.
+    Revert(String),
+    /// The call payload failed to decode.
+    InvalidInput(DecodeError),
+    /// No contract is deployed at the target address.
+    NoContract(Address),
+}
+
+impl ContractError {
+    /// Shorthand for a revert with a formatted reason.
+    pub fn revert(reason: impl Into<String>) -> Self {
+        ContractError::Revert(reason.into())
+    }
+}
+
+impl fmt::Display for ContractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContractError::Revert(r) => write!(f, "reverted: {r}"),
+            ContractError::InvalidInput(e) => write!(f, "invalid call input: {e}"),
+            ContractError::NoContract(a) => write!(f, "no contract deployed at {a}"),
+        }
+    }
+}
+
+impl std::error::Error for ContractError {}
+
+impl From<DecodeError> for ContractError {
+    fn from(e: DecodeError) -> Self {
+        ContractError::InvalidInput(e)
+    }
+}
+
+/// A deterministic smart contract executed natively.
+///
+/// Implementations must be pure state machines over `(state, ctx, input)`:
+/// no wall-clock time, no global RNG — all entropy comes from
+/// [`CallContext::entropy`]. This keeps block replay deterministic, which is
+/// what the blockchain's auditability guarantee rests on.
+pub trait Contract: Send {
+    /// Executes a call. On `Err`, the transaction reverts: implementations
+    /// must validate *before* mutating their state.
+    ///
+    /// # Errors
+    ///
+    /// [`ContractError::Revert`] for require-style failures,
+    /// [`ContractError::InvalidInput`] for undecodable payloads.
+    fn execute(&mut self, ctx: &CallContext, input: &[u8]) -> Result<CallOutcome, ContractError>;
+
+    /// A digest of the current contract state, folded into the block
+    /// `state_root` so state divergence is detectable.
+    fn state_digest(&self) -> H256;
+
+    /// Upcast for read-only (view) access via downcasting.
+    fn as_any(&self) -> &dyn Any;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::sha256;
+
+    /// A toy counter contract used to exercise the framework.
+    struct Counter {
+        value: u64,
+    }
+
+    impl Contract for Counter {
+        fn execute(
+            &mut self,
+            _ctx: &CallContext,
+            input: &[u8],
+        ) -> Result<CallOutcome, ContractError> {
+            match input.first() {
+                Some(1) => {
+                    self.value += 1;
+                    Ok(CallOutcome::default())
+                }
+                Some(2) => Err(ContractError::revert("forced failure")),
+                _ => Err(DecodeError::UnknownTag(*input.first().unwrap_or(&0)).into()),
+            }
+        }
+
+        fn state_digest(&self) -> H256 {
+            sha256(&self.value.to_be_bytes())
+        }
+
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    fn ctx() -> CallContext {
+        CallContext {
+            sender: Address::from_label("tester"),
+            block_number: 1,
+            timestamp: SimTime::ZERO,
+            entropy: 42,
+        }
+    }
+
+    #[test]
+    fn execute_mutates_state_and_digest() {
+        let mut c = Counter { value: 0 };
+        let before = c.state_digest();
+        c.execute(&ctx(), &[1]).unwrap();
+        assert_eq!(c.value, 1);
+        assert_ne!(c.state_digest(), before);
+    }
+
+    #[test]
+    fn revert_propagates_reason() {
+        let mut c = Counter { value: 0 };
+        let err = c.execute(&ctx(), &[2]).unwrap_err();
+        assert_eq!(err, ContractError::Revert("forced failure".into()));
+        assert_eq!(err.to_string(), "reverted: forced failure");
+    }
+
+    #[test]
+    fn decode_error_converts() {
+        let mut c = Counter { value: 0 };
+        let err = c.execute(&ctx(), &[9]).unwrap_err();
+        assert!(matches!(err, ContractError::InvalidInput(_)));
+    }
+
+    #[test]
+    fn downcast_view_access() {
+        let c = Counter { value: 7 };
+        let boxed: Box<dyn Contract> = Box::new(c);
+        let view = boxed.as_any().downcast_ref::<Counter>().unwrap();
+        assert_eq!(view.value, 7);
+    }
+}

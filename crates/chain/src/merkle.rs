@@ -1,0 +1,190 @@
+//! Binary Merkle tree over transaction encodings.
+//!
+//! Used to compute the `tx_root` committed in every block header, so the
+//! transaction set is tamper-evident: changing any transaction, reordering
+//! them, or adding/removing one changes the root. Odd levels duplicate the
+//! last node (Bitcoin-style) rather than promoting it, which keeps proofs
+//! uniform.
+
+use crate::hash::{sha256, sha256_pair, H256};
+
+/// Domain-separation prefixes preventing leaf/interior second-preimage
+/// confusion (CVE-2012-2459 class of attacks).
+const LEAF_PREFIX: &[u8] = b"\x00";
+const NODE_PREFIX: &[u8] = b"\x01";
+
+/// Computes the Merkle root of a list of encoded items.
+///
+/// The root of an empty list is defined as `sha256("")`-of-leaf-prefix so it
+/// is a stable, non-zero sentinel.
+///
+/// ```
+/// use unifyfl_chain::merkle::merkle_root;
+/// let a = merkle_root([b"tx1".as_slice(), b"tx2".as_slice()]);
+/// let b = merkle_root([b"tx2".as_slice(), b"tx1".as_slice()]);
+/// assert_ne!(a, b); // order matters
+/// ```
+pub fn merkle_root<'a, I>(items: I) -> H256
+where
+    I: IntoIterator<Item = &'a [u8]>,
+{
+    let mut level: Vec<H256> = items.into_iter().map(hash_leaf).collect();
+    if level.is_empty() {
+        return hash_leaf(b"");
+    }
+    while level.len() > 1 {
+        level = reduce_level(&level);
+    }
+    level[0]
+}
+
+/// A Merkle inclusion proof for one leaf.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MerkleProof {
+    /// Index of the proven leaf in the original list.
+    pub index: usize,
+    /// Sibling hashes from leaf level up to (but excluding) the root.
+    pub siblings: Vec<H256>,
+}
+
+/// Builds an inclusion proof for `index` over `items`.
+///
+/// Returns `None` if `index` is out of bounds or the list is empty.
+pub fn merkle_proof<'a, I>(items: I, index: usize) -> Option<MerkleProof>
+where
+    I: IntoIterator<Item = &'a [u8]>,
+{
+    let mut level: Vec<H256> = items.into_iter().map(hash_leaf).collect();
+    if index >= level.len() {
+        return None;
+    }
+    let mut siblings = Vec::new();
+    let mut pos = index;
+    while level.len() > 1 {
+        let sib = if pos % 2 == 0 {
+            *level.get(pos + 1).unwrap_or(&level[pos])
+        } else {
+            level[pos - 1]
+        };
+        siblings.push(sib);
+        level = reduce_level(&level);
+        pos /= 2;
+    }
+    Some(MerkleProof { index, siblings })
+}
+
+/// Verifies that `item` is included under `root` according to `proof`.
+pub fn verify_proof(root: H256, item: &[u8], proof: &MerkleProof) -> bool {
+    let mut acc = hash_leaf(item);
+    let mut pos = proof.index;
+    for sib in &proof.siblings {
+        acc = if pos % 2 == 0 {
+            hash_node(acc, *sib)
+        } else {
+            hash_node(*sib, acc)
+        };
+        pos /= 2;
+    }
+    acc == root
+}
+
+fn hash_leaf(data: &[u8]) -> H256 {
+    sha256_pair(LEAF_PREFIX, data)
+}
+
+fn hash_node(left: H256, right: H256) -> H256 {
+    let mut buf = Vec::with_capacity(1 + 64);
+    buf.extend_from_slice(NODE_PREFIX);
+    buf.extend_from_slice(left.as_bytes());
+    buf.extend_from_slice(right.as_bytes());
+    sha256(&buf)
+}
+
+fn reduce_level(level: &[H256]) -> Vec<H256> {
+    level
+        .chunks(2)
+        .map(|pair| {
+            let left = pair[0];
+            let right = *pair.get(1).unwrap_or(&pair[0]);
+            hash_node(left, right)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("tx-{i}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn empty_root_is_stable_sentinel() {
+        let r1 = merkle_root(std::iter::empty::<&[u8]>());
+        let r2 = merkle_root(std::iter::empty::<&[u8]>());
+        assert_eq!(r1, r2);
+        assert_ne!(r1, H256::ZERO);
+    }
+
+    #[test]
+    fn single_item_root_is_leaf_hash() {
+        let root = merkle_root([b"only".as_slice()]);
+        assert_eq!(root, hash_leaf(b"only"));
+    }
+
+    #[test]
+    fn any_mutation_changes_root() {
+        let base = items(5);
+        let root = merkle_root(base.iter().map(Vec::as_slice));
+
+        // Mutate one item.
+        let mut changed = base.clone();
+        changed[2] = b"tampered".to_vec();
+        assert_ne!(root, merkle_root(changed.iter().map(Vec::as_slice)));
+
+        // Reorder.
+        let mut swapped = base.clone();
+        swapped.swap(0, 4);
+        assert_ne!(root, merkle_root(swapped.iter().map(Vec::as_slice)));
+
+        // Append.
+        let mut longer = base.clone();
+        longer.push(b"extra".to_vec());
+        assert_ne!(root, merkle_root(longer.iter().map(Vec::as_slice)));
+    }
+
+    #[test]
+    fn proofs_verify_for_all_indices_and_sizes() {
+        for n in 1..=17 {
+            let data = items(n);
+            let root = merkle_root(data.iter().map(Vec::as_slice));
+            for i in 0..n {
+                let proof = merkle_proof(data.iter().map(Vec::as_slice), i).unwrap();
+                assert!(verify_proof(root, &data[i], &proof), "n={n} i={i}");
+                // Wrong item fails.
+                assert!(!verify_proof(root, b"bogus", &proof), "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn proof_out_of_bounds_is_none() {
+        let data = items(3);
+        assert!(merkle_proof(data.iter().map(Vec::as_slice), 3).is_none());
+    }
+
+    #[test]
+    fn leaf_interior_domain_separation() {
+        // A tree of two leaves must not equal the leaf-hash of the
+        // concatenated interior encoding.
+        let root = merkle_root([b"a".as_slice(), b"b".as_slice()]);
+        let forged = hash_leaf(&{
+            let mut v = Vec::new();
+            v.extend_from_slice(hash_leaf(b"a").as_bytes());
+            v.extend_from_slice(hash_leaf(b"b").as_bytes());
+            v
+        });
+        assert_ne!(root, forged);
+    }
+}

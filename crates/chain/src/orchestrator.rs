@@ -1,0 +1,882 @@
+//! The UnifyFL orchestration smart contract (Algorithm 1 of the paper).
+//!
+//! State machine deployed on the private chain that:
+//!
+//! 1. registers participating aggregators,
+//! 2. opens training rounds (`startTraining`, emitting a `StartTraining`
+//!    event every aggregator subscribes to),
+//! 3. accepts model CIDs from valid trainers (`submitModelValidTrainer`),
+//! 4. samples a **majority subset** (⌊n/2⌋ + 1) of peer aggregators as
+//!    scorers — at `startScoring` in [`OrchestrationMode::Sync`], or
+//!    immediately on submission in [`OrchestrationMode::Async`],
+//! 5. accepts scores from valid scorers (`submitScoreValidScorer`),
+//!    rejecting late scores once a sync scoring window closes (§3.2), and
+//! 6. serves `getLatestModelsWithScores` as a view over finalized entries.
+//!
+//! Scores are stored as fixed-point millionths ([`Score`]) because a real
+//! Solidity contract cannot hold floats; the conversion is lossless for the
+//! `[0, 1]` accuracy range and the distance-based MultiKRUM scores used in
+//! the evaluation.
+
+use std::any::Any;
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::codec::{DecodeError, Decoder, Encoder};
+use crate::contract::{CallContext, CallOutcome, Contract, ContractError};
+use crate::hash::{sha256, H256};
+use crate::types::{Address, Log};
+
+/// Synchronization mode of the orchestrator (§3.2 / §3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OrchestrationMode {
+    /// Phase-locked rounds: all aggregators train, submit and score inside
+    /// contract-enforced windows.
+    Sync,
+    /// Free-running: submissions are scored as they arrive; no windows.
+    Async,
+}
+
+impl fmt::Display for OrchestrationMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrchestrationMode::Sync => write!(f, "sync"),
+            OrchestrationMode::Async => write!(f, "async"),
+        }
+    }
+}
+
+/// Phase of the sync-mode round cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    /// No round open yet (before the first `startTraining`).
+    Idle,
+    /// Training/submission window: models may be submitted.
+    Training,
+    /// Scoring window: assigned scorers may submit scores.
+    Scoring,
+}
+
+/// A model score in fixed-point millionths (1.0 → 1_000_000).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Score(pub u64);
+
+impl Score {
+    /// Converts from a float, clamping to `[0, u64::MAX/1e6]`.
+    pub fn from_f64(v: f64) -> Self {
+        if !v.is_finite() || v <= 0.0 {
+            return Score(0);
+        }
+        Score((v * 1_000_000.0).round() as u64)
+    }
+
+    /// Converts back to a float.
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+}
+
+/// One submitted model and its scoring lifecycle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelEntry {
+    /// IPFS content identifier of the serialized weights.
+    pub cid: String,
+    /// Aggregator that submitted the model.
+    pub submitter: Address,
+    /// Orchestrator round in which it was submitted (async: submission
+    /// counter of the submitter).
+    pub round: u64,
+    /// Block number of the submission transaction.
+    pub block: u64,
+    /// Scorers assigned by the contract.
+    pub scorers: Vec<Address>,
+    /// Scores received so far, `(scorer, score)`.
+    pub scores: Vec<(Address, Score)>,
+    /// True once the scoring window for this entry closed (sync) — late
+    /// scores revert.
+    pub scoring_closed: bool,
+}
+
+impl ModelEntry {
+    /// True if every assigned scorer has reported.
+    pub fn fully_scored(&self) -> bool {
+        self.scores.len() >= self.scorers.len()
+    }
+
+    /// Scores as floats, in submission order.
+    pub fn score_values(&self) -> Vec<f64> {
+        self.scores.iter().map(|(_, s)| s.to_f64()).collect()
+    }
+}
+
+/// ABI: call payload constructors and decoders.
+pub mod calls {
+    use super::*;
+
+    pub(super) const TAG_REGISTER: u8 = 0x01;
+    pub(super) const TAG_START_TRAINING: u8 = 0x02;
+    pub(super) const TAG_SUBMIT_MODEL: u8 = 0x03;
+    pub(super) const TAG_START_SCORING: u8 = 0x04;
+    pub(super) const TAG_SUBMIT_SCORE: u8 = 0x05;
+    pub(super) const TAG_END_SCORING: u8 = 0x06;
+
+    /// `registerAggregator()` payload.
+    pub fn register() -> Vec<u8> {
+        vec![TAG_REGISTER]
+    }
+
+    /// `startTraining()` payload.
+    pub fn start_training() -> Vec<u8> {
+        vec![TAG_START_TRAINING]
+    }
+
+    /// `submitModelValidTrainer(cid)` payload.
+    pub fn submit_model(cid: &str) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.put_u8(TAG_SUBMIT_MODEL).put_str(cid);
+        e.into_bytes()
+    }
+
+    /// `startScoring()` payload.
+    pub fn start_scoring() -> Vec<u8> {
+        vec![TAG_START_SCORING]
+    }
+
+    /// `submitScoreValidScorer(cid, score)` payload.
+    pub fn submit_score(cid: &str, score: Score) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.put_u8(TAG_SUBMIT_SCORE).put_str(cid).put_u64(score.0);
+        e.into_bytes()
+    }
+
+    /// `endScoring()` payload (closes the sync scoring window).
+    pub fn end_scoring() -> Vec<u8> {
+        vec![TAG_END_SCORING]
+    }
+}
+
+/// Event names emitted by the contract (topic 0 is the SHA-256 of these).
+pub mod events {
+    /// Emitted when an aggregator registers.
+    pub const AGGREGATOR_REGISTERED: &str = "AggregatorRegistered";
+    /// Emitted at the start of each sync training phase.
+    pub const START_TRAINING: &str = "StartTraining";
+    /// Emitted when a model CID is recorded.
+    pub const MODEL_SUBMITTED: &str = "ModelSubmitted";
+    /// Emitted when scorers are assigned to a model.
+    pub const SCORERS_ASSIGNED: &str = "ScorersAssigned";
+    /// Emitted at the start of each sync scoring phase.
+    pub const START_SCORING: &str = "StartScoring";
+    /// Emitted when a score is recorded.
+    pub const SCORE_SUBMITTED: &str = "ScoreSubmitted";
+    /// Emitted when a sync scoring window closes.
+    pub const SCORING_CLOSED: &str = "ScoringClosed";
+}
+
+/// Payload of a [`events::SCORERS_ASSIGNED`] log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScorersAssigned {
+    /// Model being scored.
+    pub cid: String,
+    /// Assigned scorer addresses.
+    pub scorers: Vec<Address>,
+}
+
+impl ScorersAssigned {
+    /// Decodes the event payload.
+    ///
+    /// # Errors
+    /// Returns [`DecodeError`] on malformed bytes.
+    pub fn decode(data: &[u8]) -> Result<Self, DecodeError> {
+        let mut d = Decoder::new(data);
+        let cid = d.take_str()?.to_owned();
+        let n = d.take_u32()? as usize;
+        let mut scorers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let raw = d.take_fixed(20)?;
+            let mut a = [0u8; 20];
+            a.copy_from_slice(raw);
+            scorers.push(Address(a));
+        }
+        d.finish()?;
+        Ok(ScorersAssigned { cid, scorers })
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.put_str(&self.cid).put_u32(self.scorers.len() as u32);
+        for s in &self.scorers {
+            e.put_fixed(&s.0);
+        }
+        e.into_bytes()
+    }
+}
+
+/// The deployed orchestrator contract.
+#[derive(Debug)]
+pub struct UnifyFlContract {
+    address: Address,
+    mode: OrchestrationMode,
+    aggregators: Vec<Address>,
+    round: u64,
+    phase: Phase,
+    entries: Vec<ModelEntry>,
+}
+
+impl UnifyFlContract {
+    /// Creates an orchestrator to be deployed at `address`.
+    pub fn new(address: Address, mode: OrchestrationMode) -> Self {
+        UnifyFlContract {
+            address,
+            mode,
+            aggregators: Vec::new(),
+            round: 0,
+            phase: Phase::Idle,
+            entries: Vec::new(),
+        }
+    }
+
+    /// The orchestration mode this deployment runs in.
+    pub fn mode(&self) -> OrchestrationMode {
+        self.mode
+    }
+
+    /// Registered aggregators in registration order.
+    pub fn aggregators(&self) -> &[Address] {
+        &self.aggregators
+    }
+
+    /// Current sync round number (0 before the first `startTraining`).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Current sync phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// All model entries ever recorded, oldest first.
+    pub fn entries(&self) -> &[ModelEntry] {
+        &self.entries
+    }
+
+    /// Entry for a CID, if present.
+    pub fn entry(&self, cid: &str) -> Option<&ModelEntry> {
+        self.entries.iter().find(|e| e.cid == cid)
+    }
+
+    /// `getLatestModelsWithScores`: the most recent *scored* entry per
+    /// aggregator (excluding `viewer`'s own model if provided), i.e. the set
+    /// an aggregator pulls before its next round (§3.1.1).
+    ///
+    /// In sync mode an entry qualifies once its scoring window closed; in
+    /// async mode once at least one score arrived (the paper's async
+    /// aggregators use whatever scores exist when they pull).
+    pub fn latest_models_with_scores(&self, viewer: Option<Address>) -> Vec<&ModelEntry> {
+        let mut latest: Vec<&ModelEntry> = Vec::new();
+        for agg in &self.aggregators {
+            if viewer == Some(*agg) {
+                continue;
+            }
+            let candidate = self
+                .entries
+                .iter()
+                .rev()
+                .filter(|e| e.submitter == *agg)
+                .find(|e| match self.mode {
+                    OrchestrationMode::Sync => e.scoring_closed,
+                    OrchestrationMode::Async => !e.scores.is_empty(),
+                });
+            if let Some(e) = candidate {
+                latest.push(e);
+            }
+        }
+        latest
+    }
+
+    /// Samples ⌊n/2⌋+1 scorers from registered aggregators other than
+    /// `submitter`, using block-derived entropy (deterministic per block).
+    fn sample_scorers(&self, submitter: Address, entropy: u64) -> Vec<Address> {
+        let mut pool: Vec<Address> = self
+            .aggregators
+            .iter()
+            .copied()
+            .filter(|a| *a != submitter)
+            .collect();
+        let majority = self.aggregators.len() / 2 + 1;
+        let take = majority.min(pool.len());
+        let mut rng = StdRng::seed_from_u64(entropy);
+        pool.shuffle(&mut rng);
+        pool.truncate(take);
+        pool
+    }
+
+    fn require_registered(&self, who: Address) -> Result<(), ContractError> {
+        if self.aggregators.contains(&who) {
+            Ok(())
+        } else {
+            Err(ContractError::revert(format!("{who} is not a registered aggregator")))
+        }
+    }
+
+    fn exec_register(&mut self, ctx: &CallContext) -> Result<CallOutcome, ContractError> {
+        if self.aggregators.contains(&ctx.sender) {
+            return Err(ContractError::revert("already registered"));
+        }
+        self.aggregators.push(ctx.sender);
+        Ok(CallOutcome::new(
+            vec![Log::event(
+                self.address,
+                events::AGGREGATOR_REGISTERED,
+                vec![],
+                ctx.sender.0.to_vec(),
+            )],
+            20_000,
+        ))
+    }
+
+    fn exec_start_training(&mut self, ctx: &CallContext) -> Result<CallOutcome, ContractError> {
+        self.require_registered(ctx.sender)?;
+        if self.mode == OrchestrationMode::Async {
+            return Err(ContractError::revert("async mode has no training phase"));
+        }
+        if self.phase == Phase::Scoring {
+            return Err(ContractError::revert("scoring phase still open; call endScoring first"));
+        }
+        self.round += 1;
+        self.phase = Phase::Training;
+        let mut e = Encoder::new();
+        e.put_u64(self.round);
+        Ok(CallOutcome::new(
+            vec![Log::event(self.address, events::START_TRAINING, vec![], e.into_bytes())],
+            5_000,
+        ))
+    }
+
+    fn exec_submit_model(
+        &mut self,
+        ctx: &CallContext,
+        cid: &str,
+    ) -> Result<CallOutcome, ContractError> {
+        self.require_registered(ctx.sender)?;
+        if cid.is_empty() || cid.len() > 128 {
+            return Err(ContractError::revert("malformed CID"));
+        }
+        if self.entries.iter().any(|e| e.cid == cid) {
+            return Err(ContractError::revert("model CID already submitted"));
+        }
+        let round = match self.mode {
+            OrchestrationMode::Sync => {
+                if self.phase != Phase::Training {
+                    // A straggler missed the window; it must resubmit next
+                    // round (§3.2 "Stragglers").
+                    return Err(ContractError::revert("submission window closed"));
+                }
+                if self
+                    .entries
+                    .iter()
+                    .any(|e| e.round == self.round && e.submitter == ctx.sender)
+                {
+                    return Err(ContractError::revert("already submitted this round"));
+                }
+                self.round
+            }
+            OrchestrationMode::Async => {
+                // Async rounds are per-submitter submission counters.
+                self.entries
+                    .iter()
+                    .filter(|e| e.submitter == ctx.sender)
+                    .count() as u64
+                    + 1
+            }
+        };
+
+        let mut logs = Vec::new();
+        let mut data = Encoder::new();
+        data.put_str(cid).put_fixed(&ctx.sender.0).put_u64(round);
+        logs.push(Log::event(
+            self.address,
+            events::MODEL_SUBMITTED,
+            vec![],
+            data.into_bytes(),
+        ));
+
+        let mut entry = ModelEntry {
+            cid: cid.to_owned(),
+            submitter: ctx.sender,
+            round,
+            block: ctx.block_number,
+            scorers: Vec::new(),
+            scores: Vec::new(),
+            scoring_closed: false,
+        };
+
+        let mut gas = 40_000;
+        if self.mode == OrchestrationMode::Async {
+            // Async: assign scorers immediately (§3.3, Figure 6 step 4).
+            entry.scorers = self.sample_scorers(ctx.sender, ctx.entropy);
+            gas += 5_000 * entry.scorers.len() as u64;
+            logs.push(Log::event(
+                self.address,
+                events::SCORERS_ASSIGNED,
+                vec![],
+                ScorersAssigned {
+                    cid: cid.to_owned(),
+                    scorers: entry.scorers.clone(),
+                }
+                .encode(),
+            ));
+        }
+        self.entries.push(entry);
+        Ok(CallOutcome::new(logs, gas))
+    }
+
+    fn exec_start_scoring(&mut self, ctx: &CallContext) -> Result<CallOutcome, ContractError> {
+        self.require_registered(ctx.sender)?;
+        if self.mode == OrchestrationMode::Async {
+            return Err(ContractError::revert("async mode has no scoring phase"));
+        }
+        if self.phase != Phase::Training {
+            return Err(ContractError::revert("no training phase to close"));
+        }
+        self.phase = Phase::Scoring;
+
+        let mut logs = Vec::new();
+        let mut e = Encoder::new();
+        e.put_u64(self.round);
+        logs.push(Log::event(self.address, events::START_SCORING, vec![], e.into_bytes()));
+
+        let round = self.round;
+        // Assign scorers to every model submitted this round. Collect
+        // (index, submitter) first to appease the borrow checker.
+        let targets: Vec<(usize, Address, String)> = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.round == round && e.scorers.is_empty())
+            .map(|(i, e)| (i, e.submitter, e.cid.clone()))
+            .collect();
+        let mut gas = 5_000;
+        for (i, submitter, cid) in targets {
+            let scorers =
+                self.sample_scorers(submitter, ctx.entropy.wrapping_add(i as u64 * 0x9e37));
+            gas += 5_000 * scorers.len() as u64;
+            logs.push(Log::event(
+                self.address,
+                events::SCORERS_ASSIGNED,
+                vec![],
+                ScorersAssigned {
+                    cid,
+                    scorers: scorers.clone(),
+                }
+                .encode(),
+            ));
+            self.entries[i].scorers = scorers;
+        }
+        Ok(CallOutcome::new(logs, gas))
+    }
+
+    fn exec_submit_score(
+        &mut self,
+        ctx: &CallContext,
+        cid: &str,
+        score: Score,
+    ) -> Result<CallOutcome, ContractError> {
+        self.require_registered(ctx.sender)?;
+        if self.mode == OrchestrationMode::Sync && self.phase != Phase::Scoring {
+            // §3.2: "if there is a delay in scoring … the blockchain will no
+            // longer accept scores".
+            return Err(ContractError::revert("scoring window closed"));
+        }
+        let entry = self
+            .entries
+            .iter_mut()
+            .find(|e| e.cid == cid)
+            .ok_or_else(|| ContractError::revert("unknown model CID"))?;
+        if entry.scoring_closed {
+            return Err(ContractError::revert("scoring window closed"));
+        }
+        if !entry.scorers.contains(&ctx.sender) {
+            return Err(ContractError::revert("sender is not an assigned scorer"));
+        }
+        if entry.scores.iter().any(|(s, _)| *s == ctx.sender) {
+            return Err(ContractError::revert("scorer already submitted"));
+        }
+        entry.scores.push((ctx.sender, score));
+
+        let mut data = Encoder::new();
+        data.put_str(cid).put_fixed(&ctx.sender.0).put_u64(score.0);
+        Ok(CallOutcome::new(
+            vec![Log::event(
+                self.address,
+                events::SCORE_SUBMITTED,
+                vec![],
+                data.into_bytes(),
+            )],
+            25_000,
+        ))
+    }
+
+    fn exec_end_scoring(&mut self, ctx: &CallContext) -> Result<CallOutcome, ContractError> {
+        self.require_registered(ctx.sender)?;
+        if self.mode == OrchestrationMode::Async {
+            return Err(ContractError::revert("async mode has no scoring phase"));
+        }
+        if self.phase != Phase::Scoring {
+            return Err(ContractError::revert("no scoring phase open"));
+        }
+        self.phase = Phase::Idle;
+        let round = self.round;
+        for e in self.entries.iter_mut().filter(|e| e.round == round) {
+            e.scoring_closed = true;
+        }
+        let mut e = Encoder::new();
+        e.put_u64(round);
+        Ok(CallOutcome::new(
+            vec![Log::event(self.address, events::SCORING_CLOSED, vec![], e.into_bytes())],
+            5_000,
+        ))
+    }
+}
+
+impl Contract for UnifyFlContract {
+    fn execute(&mut self, ctx: &CallContext, input: &[u8]) -> Result<CallOutcome, ContractError> {
+        let mut d = Decoder::new(input);
+        let tag = d.take_u8()?;
+        match tag {
+            calls::TAG_REGISTER => {
+                d.finish()?;
+                self.exec_register(ctx)
+            }
+            calls::TAG_START_TRAINING => {
+                d.finish()?;
+                self.exec_start_training(ctx)
+            }
+            calls::TAG_SUBMIT_MODEL => {
+                let cid = d.take_str()?.to_owned();
+                d.finish()?;
+                self.exec_submit_model(ctx, &cid)
+            }
+            calls::TAG_START_SCORING => {
+                d.finish()?;
+                self.exec_start_scoring(ctx)
+            }
+            calls::TAG_SUBMIT_SCORE => {
+                let cid = d.take_str()?.to_owned();
+                let score = Score(d.take_u64()?);
+                d.finish()?;
+                self.exec_submit_score(ctx, &cid, score)
+            }
+            calls::TAG_END_SCORING => {
+                d.finish()?;
+                self.exec_end_scoring(ctx)
+            }
+            other => Err(DecodeError::UnknownTag(other).into()),
+        }
+    }
+
+    fn state_digest(&self) -> H256 {
+        let mut e = Encoder::new();
+        e.put_u64(self.round)
+            .put_u8(match self.phase {
+                Phase::Idle => 0,
+                Phase::Training => 1,
+                Phase::Scoring => 2,
+            })
+            .put_u32(self.aggregators.len() as u32);
+        for a in &self.aggregators {
+            e.put_fixed(&a.0);
+        }
+        e.put_u32(self.entries.len() as u32);
+        for entry in &self.entries {
+            e.put_str(&entry.cid)
+                .put_fixed(&entry.submitter.0)
+                .put_u64(entry.round)
+                .put_u8(entry.scoring_closed as u8)
+                .put_u32(entry.scores.len() as u32);
+            for (s, v) in &entry.scores {
+                e.put_fixed(&s.0).put_u64(v.0);
+            }
+        }
+        sha256(&e.into_bytes())
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unifyfl_sim::SimTime;
+
+    fn ctx(sender: Address, entropy: u64) -> CallContext {
+        CallContext {
+            sender,
+            block_number: 1,
+            timestamp: SimTime::ZERO,
+            entropy,
+        }
+    }
+
+    fn aggs(n: usize) -> Vec<Address> {
+        (0..n).map(|i| Address::from_label(&format!("agg-{i}"))).collect()
+    }
+
+    fn registered(mode: OrchestrationMode, n: usize) -> (UnifyFlContract, Vec<Address>) {
+        let mut c = UnifyFlContract::new(Address::from_label("orchestrator"), mode);
+        let a = aggs(n);
+        for (i, agg) in a.iter().enumerate() {
+            c.execute(&ctx(*agg, i as u64), &calls::register()).unwrap();
+        }
+        (c, a)
+    }
+
+    #[test]
+    fn register_rejects_duplicates() {
+        let (mut c, a) = registered(OrchestrationMode::Sync, 2);
+        let err = c.execute(&ctx(a[0], 0), &calls::register()).unwrap_err();
+        assert!(err.to_string().contains("already registered"));
+        assert_eq!(c.aggregators().len(), 2);
+    }
+
+    #[test]
+    fn unregistered_sender_cannot_submit() {
+        let (mut c, _) = registered(OrchestrationMode::Async, 3);
+        let outsider = Address::from_label("outsider");
+        let err = c
+            .execute(&ctx(outsider, 0), &calls::submit_model("QmX"))
+            .unwrap_err();
+        assert!(err.to_string().contains("not a registered aggregator"));
+    }
+
+    #[test]
+    fn sync_full_round_lifecycle() {
+        let (mut c, a) = registered(OrchestrationMode::Sync, 4);
+
+        // Submitting before startTraining reverts.
+        let err = c.execute(&ctx(a[0], 0), &calls::submit_model("QmA")).unwrap_err();
+        assert!(err.to_string().contains("submission window closed"));
+
+        c.execute(&ctx(a[0], 0), &calls::start_training()).unwrap();
+        assert_eq!(c.round(), 1);
+        assert_eq!(c.phase(), Phase::Training);
+
+        for (i, agg) in a.iter().enumerate() {
+            c.execute(&ctx(*agg, i as u64), &calls::submit_model(&format!("Qm{i}")))
+                .unwrap();
+        }
+
+        // Scoring before startScoring reverts.
+        let err = c
+            .execute(&ctx(a[1], 0), &calls::submit_score("Qm0", Score::from_f64(0.5)))
+            .unwrap_err();
+        assert!(err.to_string().contains("scoring window closed"));
+
+        let out = c.execute(&ctx(a[0], 99), &calls::start_scoring()).unwrap();
+        let assignments: Vec<ScorersAssigned> = out
+            .logs
+            .iter()
+            .filter(|l| l.is_event(events::SCORERS_ASSIGNED))
+            .map(|l| ScorersAssigned::decode(&l.data).unwrap())
+            .collect();
+        assert_eq!(assignments.len(), 4);
+        for asg in &assignments {
+            // Majority of 4 = 3 scorers, never including the submitter.
+            assert_eq!(asg.scorers.len(), 3);
+            let submitter = c.entry(&asg.cid).unwrap().submitter;
+            assert!(!asg.scorers.contains(&submitter));
+        }
+
+        // Each assigned scorer scores each model.
+        for asg in &assignments {
+            for scorer in &asg.scorers {
+                c.execute(
+                    &ctx(*scorer, 0),
+                    &calls::submit_score(&asg.cid, Score::from_f64(0.42)),
+                )
+                .unwrap();
+            }
+        }
+        assert!(c.entries().iter().all(ModelEntry::fully_scored));
+
+        c.execute(&ctx(a[0], 0), &calls::end_scoring()).unwrap();
+        assert_eq!(c.phase(), Phase::Idle);
+
+        // Late score after window closes reverts (§3.2).
+        let late_scorer = assignments[0].scorers[0];
+        let err = c
+            .execute(
+                &ctx(late_scorer, 0),
+                &calls::submit_score(&assignments[0].cid, Score::from_f64(0.9)),
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("scoring window closed"));
+
+        // Every other aggregator's latest model is now visible.
+        let latest = c.latest_models_with_scores(Some(a[0]));
+        assert_eq!(latest.len(), 3);
+        assert!(latest.iter().all(|e| e.scoring_closed));
+    }
+
+    #[test]
+    fn sync_straggler_must_wait_for_next_round() {
+        let (mut c, a) = registered(OrchestrationMode::Sync, 3);
+        c.execute(&ctx(a[0], 0), &calls::start_training()).unwrap();
+        c.execute(&ctx(a[0], 0), &calls::submit_model("QmFast")).unwrap();
+        c.execute(&ctx(a[0], 1), &calls::start_scoring()).unwrap();
+
+        // Straggler a[1] tries to submit during scoring: rejected.
+        let err = c.execute(&ctx(a[1], 0), &calls::submit_model("QmLate")).unwrap_err();
+        assert!(err.to_string().contains("submission window closed"));
+
+        c.execute(&ctx(a[0], 0), &calls::end_scoring()).unwrap();
+        c.execute(&ctx(a[0], 0), &calls::start_training()).unwrap();
+        // Next round it succeeds.
+        c.execute(&ctx(a[1], 0), &calls::submit_model("QmLate")).unwrap();
+        assert_eq!(c.entry("QmLate").unwrap().round, 2);
+    }
+
+    #[test]
+    fn async_assigns_scorers_immediately() {
+        let (mut c, a) = registered(OrchestrationMode::Async, 4);
+        let out = c.execute(&ctx(a[2], 7), &calls::submit_model("QmAsync")).unwrap();
+        let asg = out
+            .logs
+            .iter()
+            .find(|l| l.is_event(events::SCORERS_ASSIGNED))
+            .map(|l| ScorersAssigned::decode(&l.data).unwrap())
+            .expect("immediate assignment");
+        assert_eq!(asg.scorers.len(), 3);
+        assert!(!asg.scorers.contains(&a[2]));
+
+        // Scores are accepted right away — no phase gate in async mode.
+        c.execute(
+            &ctx(asg.scorers[0], 0),
+            &calls::submit_score("QmAsync", Score::from_f64(0.3)),
+        )
+        .unwrap();
+        assert_eq!(c.entry("QmAsync").unwrap().scores.len(), 1);
+    }
+
+    #[test]
+    fn async_rejects_phase_calls() {
+        let (mut c, a) = registered(OrchestrationMode::Async, 3);
+        assert!(c.execute(&ctx(a[0], 0), &calls::start_training()).is_err());
+        assert!(c.execute(&ctx(a[0], 0), &calls::start_scoring()).is_err());
+        assert!(c.execute(&ctx(a[0], 0), &calls::end_scoring()).is_err());
+    }
+
+    #[test]
+    fn only_assigned_scorers_may_score() {
+        let (mut c, a) = registered(OrchestrationMode::Async, 5);
+        let out = c.execute(&ctx(a[0], 3), &calls::submit_model("QmZ")).unwrap();
+        let asg = out
+            .logs
+            .iter()
+            .find(|l| l.is_event(events::SCORERS_ASSIGNED))
+            .map(|l| ScorersAssigned::decode(&l.data).unwrap())
+            .unwrap();
+        let unassigned = a
+            .iter()
+            .find(|x| **x != a[0] && !asg.scorers.contains(x))
+            .expect("5 aggs, 3 scorers: someone is unassigned");
+        let err = c
+            .execute(&ctx(*unassigned, 0), &calls::submit_score("QmZ", Score(1)))
+            .unwrap_err();
+        assert!(err.to_string().contains("not an assigned scorer"));
+    }
+
+    #[test]
+    fn duplicate_scores_rejected() {
+        let (mut c, a) = registered(OrchestrationMode::Async, 3);
+        let out = c.execute(&ctx(a[0], 3), &calls::submit_model("QmZ")).unwrap();
+        let asg = out
+            .logs
+            .iter()
+            .find(|l| l.is_event(events::SCORERS_ASSIGNED))
+            .map(|l| ScorersAssigned::decode(&l.data).unwrap())
+            .unwrap();
+        let scorer = asg.scorers[0];
+        c.execute(&ctx(scorer, 0), &calls::submit_score("QmZ", Score(5))).unwrap();
+        let err = c
+            .execute(&ctx(scorer, 0), &calls::submit_score("QmZ", Score(6)))
+            .unwrap_err();
+        assert!(err.to_string().contains("already submitted"));
+    }
+
+    #[test]
+    fn duplicate_cid_rejected() {
+        let (mut c, a) = registered(OrchestrationMode::Async, 3);
+        c.execute(&ctx(a[0], 0), &calls::submit_model("QmDup")).unwrap();
+        let err = c.execute(&ctx(a[1], 1), &calls::submit_model("QmDup")).unwrap_err();
+        assert!(err.to_string().contains("already submitted"));
+    }
+
+    #[test]
+    fn malformed_cid_rejected() {
+        let (mut c, a) = registered(OrchestrationMode::Async, 3);
+        assert!(c.execute(&ctx(a[0], 0), &calls::submit_model("")).is_err());
+        let long = "Q".repeat(200);
+        assert!(c.execute(&ctx(a[0], 0), &calls::submit_model(&long)).is_err());
+    }
+
+    #[test]
+    fn scorer_sampling_is_entropy_deterministic() {
+        let (c, a) = registered(OrchestrationMode::Sync, 5);
+        let s1 = c.sample_scorers(a[0], 123);
+        let s2 = c.sample_scorers(a[0], 123);
+        let s3 = c.sample_scorers(a[0], 456);
+        assert_eq!(s1, s2);
+        // Majority of 5 = 3.
+        assert_eq!(s1.len(), 3);
+        // Different entropy usually samples differently; at minimum it must
+        // stay a valid subset.
+        assert!(s3.iter().all(|s| a.contains(s) && *s != a[0]));
+    }
+
+    #[test]
+    fn score_fixed_point_round_trips() {
+        for v in [0.0, 0.25, 0.5, 0.333333, 1.0] {
+            let s = Score::from_f64(v);
+            assert!((s.to_f64() - v).abs() < 1e-6);
+        }
+        assert_eq!(Score::from_f64(-1.0), Score(0));
+        assert_eq!(Score::from_f64(f64::NAN), Score(0));
+    }
+
+    #[test]
+    fn state_digest_tracks_mutations() {
+        let (mut c, a) = registered(OrchestrationMode::Async, 3);
+        let d1 = c.state_digest();
+        c.execute(&ctx(a[0], 0), &calls::submit_model("QmD")).unwrap();
+        let d2 = c.state_digest();
+        assert_ne!(d1, d2);
+    }
+
+    #[test]
+    fn unknown_tag_is_invalid_input() {
+        let (mut c, a) = registered(OrchestrationMode::Sync, 2);
+        let err = c.execute(&ctx(a[0], 0), &[0xEE]).unwrap_err();
+        assert!(matches!(err, ContractError::InvalidInput(_)));
+    }
+
+    #[test]
+    fn majority_size_matches_paper_formula() {
+        // Paper: majority of (N/2 + 1) scorers.
+        for n in 2..=9usize {
+            let (c, a) = registered(OrchestrationMode::Sync, n);
+            let scorers = c.sample_scorers(a[0], 1);
+            let expected = (n / 2 + 1).min(n - 1);
+            assert_eq!(scorers.len(), expected, "n={n}");
+        }
+    }
+}

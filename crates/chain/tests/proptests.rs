@@ -1,0 +1,98 @@
+//! Property-based tests of the chain substrate's invariants.
+
+use proptest::prelude::*;
+use unifyfl_chain::codec::{Decoder, Encoder};
+use unifyfl_chain::hash::{sha256, H256, Sha256};
+use unifyfl_chain::merkle::{merkle_proof, merkle_root, verify_proof};
+use unifyfl_chain::orchestrator::Score;
+use unifyfl_chain::types::{Address, Transaction};
+
+proptest! {
+    /// Incremental hashing equals one-shot hashing for any split.
+    #[test]
+    fn sha256_incremental_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..512), split in 0usize..512) {
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    /// Hex round-trip is the identity on digests.
+    #[test]
+    fn h256_hex_round_trips(bytes in proptest::array::uniform32(any::<u8>())) {
+        let d = H256(bytes);
+        prop_assert_eq!(H256::from_hex(&d.to_hex()).unwrap(), d);
+    }
+
+    /// Codec round-trips arbitrary field sequences.
+    #[test]
+    fn codec_round_trips(
+        a in any::<u8>(),
+        b in any::<u32>(),
+        c in any::<u64>(),
+        d in any::<i64>(),
+        s in "[a-zA-Z0-9 ]{0,64}",
+        bytes in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let mut e = Encoder::new();
+        e.put_u8(a).put_u32(b).put_u64(c).put_i64(d).put_str(&s).put_bytes(&bytes);
+        let buf = e.into_bytes();
+        let mut dec = Decoder::new(&buf);
+        prop_assert_eq!(dec.take_u8().unwrap(), a);
+        prop_assert_eq!(dec.take_u32().unwrap(), b);
+        prop_assert_eq!(dec.take_u64().unwrap(), c);
+        prop_assert_eq!(dec.take_i64().unwrap(), d);
+        prop_assert_eq!(dec.take_str().unwrap(), s.as_str());
+        prop_assert_eq!(dec.take_bytes().unwrap(), bytes.as_slice());
+        dec.finish().unwrap();
+    }
+
+    /// Truncating an encoding never panics, only errors.
+    #[test]
+    fn decoder_never_panics_on_truncation(
+        s in "[a-z]{0,32}",
+        cut in 0usize..64,
+    ) {
+        let mut e = Encoder::new();
+        e.put_str(&s).put_u64(42);
+        let buf = e.into_bytes();
+        let cut = cut.min(buf.len());
+        let mut dec = Decoder::new(&buf[..cut]);
+        // Either succeeds (cut landed past the field) or errors cleanly.
+        let _ = dec.take_str();
+        let _ = dec.take_u64();
+    }
+
+    /// Every leaf of any Merkle tree verifies against the root; mutated
+    /// leaves do not.
+    #[test]
+    fn merkle_proofs_verify(items in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..32), 1..24), index in 0usize..24) {
+        let index = index % items.len();
+        let root = merkle_root(items.iter().map(Vec::as_slice));
+        let proof = merkle_proof(items.iter().map(Vec::as_slice), index).unwrap();
+        prop_assert!(verify_proof(root, &items[index], &proof));
+        let mut tampered = items[index].clone();
+        tampered.push(0xFF);
+        prop_assert!(!verify_proof(root, &tampered, &proof));
+    }
+
+    /// Transaction hashing is injective over the encoded fields (distinct
+    /// nonces never collide).
+    #[test]
+    fn tx_hash_distinguishes_nonces(n1 in any::<u64>(), n2 in any::<u64>()) {
+        prop_assume!(n1 != n2);
+        let from = Address::from_label("prop");
+        let to = Address::from_label("contract");
+        let t1 = Transaction::call(from, to, n1, vec![]);
+        let t2 = Transaction::call(from, to, n2, vec![]);
+        prop_assert_ne!(t1.hash(), t2.hash());
+    }
+
+    /// Fixed-point score conversion is monotone and bounded-error on [0,1].
+    #[test]
+    fn score_conversion_is_faithful(v in 0.0f64..1.0) {
+        let s = Score::from_f64(v);
+        prop_assert!((s.to_f64() - v).abs() < 1e-6);
+    }
+}

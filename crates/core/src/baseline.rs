@@ -1,0 +1,328 @@
+//! Baselines: HBFL (centralized multilevel FL) and non-collaborative
+//! training.
+//!
+//! The paper uses HBFL (Sarhan et al.) as the "oracle" centralized
+//! multilevel baseline — clients → cluster aggregators → a single central
+//! reducer — and motivates UnifyFL with a no-collaboration comparison
+//! (Table 1). Both baselines reuse the exact same data pipeline, cluster
+//! construction and cost model as UnifyFL, so their numbers are directly
+//! comparable.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use unifyfl_data::{Dataset, Partition, WorkloadConfig};
+use unifyfl_fl::strategy::weighted_mean;
+use unifyfl_sim::{SimDuration, SimTime};
+use unifyfl_storage::network::LinkProfile;
+use unifyfl_storage::IpfsNetwork;
+
+use crate::cluster::{ClusterConfig, ClusterNode, ClusterRoundRecord};
+
+/// Result of a baseline run.
+#[derive(Debug, Clone)]
+pub struct BaselineOutcome {
+    /// Virtual completion time of each cluster.
+    pub per_cluster_time: Vec<SimTime>,
+    /// Final accuracy/loss of the *central global* model on the global
+    /// test set (HBFL; for NoCollab this equals the best local model).
+    pub global: (f64, f64),
+    /// Final local accuracy/loss per cluster on the global test set.
+    pub final_local: Vec<(f64, f64)>,
+    /// Virtual end of the run.
+    pub end_time: SimTime,
+}
+
+/// A finished baseline run with per-round records retained.
+pub struct BaselineRun {
+    /// The cluster nodes after the run (records inside).
+    pub clusters: Vec<ClusterNode>,
+    /// The held-out global test set.
+    pub global_test: Dataset,
+    /// Timing and final metrics.
+    pub outcome: BaselineOutcome,
+}
+
+fn build_clusters(
+    seed: u64,
+    workload: &WorkloadConfig,
+    partition: Partition,
+    configs: Vec<ClusterConfig>,
+) -> (Vec<ClusterNode>, Dataset) {
+    assert!(configs.len() >= 1, "need at least one cluster");
+    let spec = workload.model.clone();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xFEDE);
+    let full = workload.dataset.generate(seed);
+    let (pool, global_test) = full.split(0.15, &mut rng);
+    let shards = partition.split(&pool, configs.len(), &mut rng);
+    let ipfs = IpfsNetwork::new();
+    let init = spec.build(seed).flat_params();
+    let clusters = configs
+        .into_iter()
+        .zip(shards)
+        .enumerate()
+        .map(|(i, (config, shard))| {
+            let link = LinkProfile {
+                bandwidth_bps: config.client_device.net_bandwidth_bps(),
+                latency: config.client_device.net_latency(),
+            };
+            let node = ipfs.add_node(link);
+            ClusterNode::new(
+                config,
+                spec.clone(),
+                &shard,
+                init.clone(),
+                node,
+                seed.wrapping_add(1000 + i as u64),
+            )
+        })
+        .collect();
+    (clusters, global_test)
+}
+
+/// Runs the HBFL centralized multilevel baseline.
+///
+/// Each round: every cluster trains locally (phase-locked, like the
+/// blockchain-synchronized HBFL deployment), the central reducer fetches
+/// all cluster models, aggregates them example-weighted, and pushes the
+/// global model back down to every cluster.
+///
+/// # Panics
+///
+/// Panics if `configs` is empty.
+pub fn run_hbfl(
+    seed: u64,
+    workload: &WorkloadConfig,
+    partition: Partition,
+    configs: Vec<ClusterConfig>,
+    window_margin: f64,
+) -> BaselineRun {
+    let (mut clusters, global_test) = build_clusters(seed, workload, partition, configs);
+    let n = clusters.len();
+
+    // Phase window sized like the sync engine's: slowest nominal cluster.
+    let window = {
+        let worst = clusters
+            .iter()
+            .map(|c| {
+                c.fetch_duration()
+                    + c.train_duration(workload.local_epochs)
+                    + c.publish_duration()
+            })
+            .max()
+            .expect("at least one cluster");
+        SimDuration::from_secs_f64(worst.as_secs_f64() * window_margin)
+    };
+    // Central reducer: fetch every cluster model, aggregate, publish back.
+    let reducer_overhead = clusters[0].fetch_duration() * n as u64 + SimDuration::from_secs(1);
+    // Blockchain coordination (HBFL is chain-based too): ~2 seals/round.
+    let block_overhead = SimDuration::from_secs(10);
+
+    let mut t = SimTime::ZERO;
+    let mut central = clusters[0].weights().to_vec();
+    for round in 1..=workload.rounds as u64 {
+        // Local training on every cluster.
+        for c in clusters.iter_mut() {
+            c.run_local_round(
+                workload.local_epochs,
+                workload.batch_size,
+                workload.learning_rate,
+            );
+        }
+        // Central aggregation, example-weighted.
+        let updates: Vec<(Vec<f32>, usize)> = clusters
+            .iter()
+            .map(|c| (c.weights().to_vec(), c.train_samples()))
+            .collect();
+        central = weighted_mean(&central, &updates);
+
+        t = t + window + reducer_overhead + block_overhead;
+
+        // Record metrics before pushing the global model down.
+        let g = clusters[0].evaluate(&central, &global_test);
+        for c in clusters.iter_mut() {
+            let l = c.evaluate(&c.weights().to_vec(), &global_test);
+            c.record(ClusterRoundRecord {
+                round,
+                peers_merged: n - 1,
+                local_accuracy: l.accuracy,
+                local_loss: l.loss,
+                global_accuracy: g.accuracy,
+                global_loss: g.loss,
+                completed_at_secs: t.as_secs_f64(),
+            });
+            c.adopt_weights(central.clone());
+        }
+    }
+
+    let g = clusters[0].evaluate(&central, &global_test);
+    let final_local = clusters
+        .iter()
+        .map(|c| {
+            c.records
+                .last()
+                .map(|r| (r.local_accuracy, r.local_loss))
+                .unwrap_or((0.0, 0.0))
+        })
+        .collect();
+    let outcome = BaselineOutcome {
+        per_cluster_time: vec![t; n],
+        global: (g.accuracy, g.loss),
+        final_local,
+        end_time: t,
+    };
+    BaselineRun {
+        clusters,
+        global_test,
+        outcome,
+    }
+}
+
+/// Runs the no-collaboration baseline (Table 1 "No Collab"): every cluster
+/// trains independently and never shares anything.
+///
+/// # Panics
+///
+/// Panics if `configs` is empty.
+pub fn run_no_collab(
+    seed: u64,
+    workload: &WorkloadConfig,
+    partition: Partition,
+    configs: Vec<ClusterConfig>,
+) -> BaselineRun {
+    let (mut clusters, global_test) = build_clusters(seed, workload, partition, configs);
+    let n = clusters.len();
+    let mut times = vec![SimTime::ZERO; n];
+
+    for round in 1..=workload.rounds as u64 {
+        for (i, c) in clusters.iter_mut().enumerate() {
+            c.run_local_round(
+                workload.local_epochs,
+                workload.batch_size,
+                workload.learning_rate,
+            );
+            times[i] += c.train_duration(workload.local_epochs);
+            let l = c.evaluate(&c.weights().to_vec(), &global_test);
+            c.record(ClusterRoundRecord {
+                round,
+                peers_merged: 0,
+                local_accuracy: l.accuracy,
+                local_loss: l.loss,
+                global_accuracy: l.accuracy,
+                global_loss: l.loss,
+                completed_at_secs: times[i].as_secs_f64(),
+            });
+        }
+    }
+
+    let final_local: Vec<(f64, f64)> = clusters
+        .iter()
+        .map(|c| {
+            c.records
+                .last()
+                .map(|r| (r.local_accuracy, r.local_loss))
+                .unwrap_or((0.0, 0.0))
+        })
+        .collect();
+    let best = final_local
+        .iter()
+        .copied()
+        .max_by(|a, b| a.0.total_cmp(&b.0))
+        .unwrap_or((0.0, 0.0));
+    let end_time = times.iter().copied().max().unwrap_or(SimTime::ZERO);
+    let outcome = BaselineOutcome {
+        per_cluster_time: times,
+        global: best,
+        final_local,
+        end_time,
+    };
+    BaselineRun {
+        clusters,
+        global_test,
+        outcome,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unifyfl_data::SyntheticConfig;
+    use unifyfl_sim::DeviceProfile;
+    use unifyfl_tensor::zoo::ModelSpec;
+
+    fn workload(rounds: usize) -> WorkloadConfig {
+        let mut dataset = SyntheticConfig::cifar10_like(600);
+        dataset.input = unifyfl_tensor::zoo::InputKind::Flat(16);
+        dataset.n_classes = 4;
+        dataset.noise_scale = 0.8;
+        dataset.label_noise = 0.05;
+        WorkloadConfig {
+            name: "baseline-test".into(),
+            model: ModelSpec::mlp(16, vec![16], 4),
+            dataset,
+            rounds,
+            local_epochs: 1,
+            batch_size: 16,
+            learning_rate: 0.05,
+        }
+    }
+
+    fn configs(n: usize) -> Vec<ClusterConfig> {
+        (0..n)
+            .map(|i| ClusterConfig::edge(format!("agg-{i}"), DeviceProfile::edge_cpu()))
+            .collect()
+    }
+
+    #[test]
+    fn hbfl_global_beats_no_collab_locals_under_niid() {
+        let w = workload(6);
+        let part = Partition::Dirichlet { alpha: 0.3 };
+        let hbfl = run_hbfl(11, &w, part, configs(3), 1.15);
+        let solo = run_no_collab(11, &w, part, configs(3));
+        let (hbfl_global, _) = hbfl.outcome.global;
+        let best_solo = solo
+            .outcome
+            .final_local
+            .iter()
+            .map(|(a, _)| *a)
+            .fold(0.0, f64::max);
+        assert!(
+            hbfl_global > best_solo,
+            "collaboration must help under NIID: HBFL {hbfl_global} vs best solo {best_solo}"
+        );
+    }
+
+    #[test]
+    fn hbfl_records_every_round() {
+        let w = workload(3);
+        let run = run_hbfl(1, &w, Partition::Iid, configs(3), 1.15);
+        for c in &run.clusters {
+            assert_eq!(c.records.len(), 3);
+            // All clusters see the same global metrics each round.
+        }
+        let g0: Vec<f64> = run.clusters[0].records.iter().map(|r| r.global_accuracy).collect();
+        let g1: Vec<f64> = run.clusters[1].records.iter().map(|r| r.global_accuracy).collect();
+        assert_eq!(g0, g1);
+        assert!(run.outcome.end_time > SimTime::ZERO);
+    }
+
+    #[test]
+    fn no_collab_clusters_progress_independently() {
+        let w = workload(3);
+        let mut cfgs = configs(3);
+        cfgs[1].straggle_factor = 2.0;
+        let run = run_no_collab(2, &w, Partition::Iid, cfgs);
+        // The straggler's virtual time is larger.
+        assert!(run.outcome.per_cluster_time[1] > run.outcome.per_cluster_time[0]);
+        for c in &run.clusters {
+            assert!(c.records.iter().all(|r| r.peers_merged == 0));
+        }
+    }
+
+    #[test]
+    fn hbfl_time_uses_sync_style_windows() {
+        let w = workload(2);
+        let quick = run_hbfl(3, &w, Partition::Iid, configs(2), 1.0);
+        let padded = run_hbfl(3, &w, Partition::Iid, configs(2), 2.0);
+        assert!(padded.outcome.end_time > quick.outcome.end_time);
+    }
+}

@@ -1,0 +1,565 @@
+//! A participating FL cluster: one organization's aggregator, its client
+//! fleet, its IPFS node and its blockchain account.
+//!
+//! The cluster implements the six-step workflow of Figure 4: run a local
+//! Flower-style round, store the aggregated weights on IPFS, register the
+//! CID on-chain, score peer models when assigned, pull scored peer models,
+//! filter them through its aggregation policy and merge them into the
+//! global model used for the next round.
+//!
+//! All virtual-time costs (training, scoring, transfers) are computed from
+//! the cluster's [`DeviceProfile`]s and the model's *cost* parameter count,
+//! so the paper's 138 M-parameter VGG16 is charged at full size even though
+//! the trained proxy is smaller (see DESIGN.md).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use unifyfl_chain::orchestrator::calls;
+use unifyfl_chain::types::{Address, Transaction};
+use unifyfl_chain::Score;
+use unifyfl_data::Dataset;
+use unifyfl_fl::strategy::weighted_mean;
+use unifyfl_fl::{FlClient, FlServer, InMemoryClient, StrategyKind};
+use unifyfl_sim::{DeviceProfile, SimDuration};
+use unifyfl_storage::{Cid, IpfsNode};
+use unifyfl_tensor::weights_to_bytes;
+use unifyfl_tensor::zoo::ModelSpec;
+
+use crate::byzantine::{AttackKind, DpConfig};
+use crate::policy::{AggregationPolicy, ScorePolicy};
+
+/// Static configuration of one cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Organization name (e.g. `"agg-1"`).
+    pub name: String,
+    /// Intra-cluster aggregation strategy (FedAvg / FedYogi).
+    pub strategy: StrategyKind,
+    /// Cross-silo aggregation policy.
+    pub policy: AggregationPolicy,
+    /// Score-reduction policy.
+    pub score_policy: ScorePolicy,
+    /// Number of FL clients in the cluster.
+    pub n_clients: usize,
+    /// Device profile of the client trainers (shared per cluster).
+    pub client_device: DeviceProfile,
+    /// Multiplier on this cluster's compute time (> 1 models a straggler).
+    pub straggle_factor: f64,
+    /// If set, the cluster is malicious and corrupts published weights.
+    pub attack: Option<AttackKind>,
+    /// If set, published weights are privatized with the Gaussian
+    /// mechanism (clip + noise) before release (§5 Q3 extension).
+    pub dp: Option<DpConfig>,
+    /// Rounds during which the cluster ignores peers (Figure 7 warm-up,
+    /// "each aggregator picks its own model for training").
+    pub warmup_self_rounds: u64,
+}
+
+impl ClusterConfig {
+    /// An honest GPU-cluster organization with the pick-All policy.
+    pub fn gpu(name: impl Into<String>) -> Self {
+        ClusterConfig {
+            name: name.into(),
+            strategy: StrategyKind::FedAvg,
+            policy: AggregationPolicy::All,
+            score_policy: ScorePolicy::Mean,
+            n_clients: 3,
+            client_device: DeviceProfile::gpu_node(),
+            straggle_factor: 1.0,
+            attack: None,
+            dp: None,
+            warmup_self_rounds: 0,
+        }
+    }
+
+    /// An honest edge organization on the given device profile.
+    pub fn edge(name: impl Into<String>, device: DeviceProfile) -> Self {
+        ClusterConfig {
+            client_device: device,
+            ..ClusterConfig::gpu(name)
+        }
+    }
+
+    /// Sets the aggregation policy (builder style).
+    pub fn with_policy(mut self, policy: AggregationPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the strategy (builder style).
+    pub fn with_strategy(mut self, strategy: StrategyKind) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the score-reduction policy (builder style).
+    pub fn with_score_policy(mut self, score_policy: ScorePolicy) -> Self {
+        self.score_policy = score_policy;
+        self
+    }
+
+    /// Marks the cluster malicious (builder style).
+    pub fn with_attack(mut self, attack: AttackKind) -> Self {
+        self.attack = Some(attack);
+        self
+    }
+
+    /// Enables differentially-private weight release (builder style).
+    pub fn with_dp(mut self, dp: DpConfig) -> Self {
+        self.dp = Some(dp);
+        self
+    }
+}
+
+/// Per-round record of what a cluster did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterRoundRecord {
+    /// Global round index (1-based).
+    pub round: u64,
+    /// Number of peer models merged this round.
+    pub peers_merged: usize,
+    /// Accuracy of the *local* model (after local training, before
+    /// publishing) on the global test set.
+    pub local_accuracy: f64,
+    /// Loss of the local model on the global test set.
+    pub local_loss: f64,
+    /// Accuracy of the *global* (merged) model on the global test set.
+    pub global_accuracy: f64,
+    /// Loss of the global model on the global test set.
+    pub global_loss: f64,
+    /// Virtual time at which this round completed for the cluster.
+    pub completed_at_secs: f64,
+}
+
+/// A live cluster node.
+pub struct ClusterNode {
+    config: ClusterConfig,
+    address: Address,
+    spec: ModelSpec,
+    server: FlServer,
+    /// Scorer holdout: the cluster's local test shard (§3.1.2 "score them
+    /// with their test set").
+    local_test: Dataset,
+    ipfs: IpfsNode,
+    nonce: u64,
+    rng: StdRng,
+    /// Samples held by the cluster's clients (sum).
+    train_samples: usize,
+    /// CID of the most recently published model, if any.
+    last_published: Option<Cid>,
+    /// History of per-round records.
+    pub records: Vec<ClusterRoundRecord>,
+}
+
+impl ClusterNode {
+    /// Assembles a cluster from its shard: splits a scorer holdout, deals
+    /// the rest to `n_clients` clients (IID within the organization), and
+    /// initializes the FL server with spec-seeded weights shared by the
+    /// whole federation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard is too small to give each client one sample.
+    pub fn new(
+        config: ClusterConfig,
+        spec: ModelSpec,
+        shard: &Dataset,
+        init_weights: Vec<f32>,
+        ipfs: IpfsNode,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (train, local_test) = shard.split(0.15, &mut rng);
+        let client_shards =
+            unifyfl_data::Partition::Iid.split(&train, config.n_clients, &mut rng);
+        let train_samples = train.len();
+        let clients: Vec<Box<dyn FlClient>> = client_shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| {
+                Box::new(InMemoryClient::new(spec.clone(), s, seed.wrapping_add(i as u64 + 1)))
+                    as Box<dyn FlClient>
+            })
+            .collect();
+        let server = FlServer::new(config.strategy.build(), clients, init_weights);
+        let address = Address::from_label(&config.name);
+        ClusterNode {
+            config,
+            address,
+            spec,
+            server,
+            local_test,
+            ipfs,
+            nonce: 0,
+            rng,
+            train_samples,
+            last_published: None,
+            records: Vec::new(),
+        }
+    }
+
+    /// The cluster's configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The cluster's on-chain address.
+    pub fn address(&self) -> Address {
+        self.address
+    }
+
+    /// The model spec the federation trains.
+    pub fn spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    /// Current global (post-merge) weights.
+    pub fn weights(&self) -> &[f32] {
+        self.server.weights()
+    }
+
+    /// The scorer holdout shard.
+    pub fn local_test(&self) -> &Dataset {
+        &self.local_test
+    }
+
+    /// CID of the most recently published model.
+    pub fn last_published(&self) -> Option<Cid> {
+        self.last_published
+    }
+
+    /// Training samples across the cluster's clients.
+    pub fn train_samples(&self) -> usize {
+        self.train_samples
+    }
+
+    /// The cluster's IPFS node handle.
+    pub fn ipfs(&self) -> &IpfsNode {
+        &self.ipfs
+    }
+
+    /// The aggregation policy currently in force at `round` (the Figure 7
+    /// warm-up forces `SelfOnly` for the first `warmup_self_rounds`).
+    pub fn effective_policy(&self, round: u64) -> AggregationPolicy {
+        if round <= self.config.warmup_self_rounds {
+            AggregationPolicy::SelfOnly
+        } else {
+            self.config.policy
+        }
+    }
+
+    /// Deterministic per-cluster RNG (policy sampling).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    // ---- virtual-time cost model -------------------------------------
+
+    /// Time for one local FL round (all clients share the cluster's
+    /// device, so the costs add).
+    pub fn train_duration(&self, epochs: usize) -> SimDuration {
+        let flops = self.spec.flops_per_train_sample()
+            * self.train_samples as f64
+            * epochs as f64
+            * self.config.straggle_factor;
+        self.config.client_device.compute_time(flops)
+    }
+
+    /// Time to fetch one peer model of the federation's (virtual) size.
+    pub fn fetch_duration(&self) -> SimDuration {
+        self.config
+            .client_device
+            .transfer_time(self.spec.wire_bytes())
+            + SimDuration::from_millis(20) // DHT provider lookup
+    }
+
+    /// Time to store the local model on IPFS (hashing + local writes; no
+    /// upload — peers pay the transfer on fetch).
+    pub fn publish_duration(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.spec.wire_bytes() as f64 / 1.0e9)
+    }
+
+    /// Time to score one model: inference over the local test shard.
+    pub fn score_duration(&self) -> SimDuration {
+        let flops = self.spec.flops_per_eval_sample()
+            * self.local_test.len() as f64
+            * self.config.straggle_factor;
+        self.config.client_device.compute_time(flops)
+    }
+
+    // ---- protocol steps ----------------------------------------------
+
+    /// Step 1: run one local FL round (clients train, strategy aggregates).
+    pub fn run_local_round(&mut self, epochs: usize, batch_size: usize, lr: f32) {
+        self.server.run_round(epochs, batch_size, lr);
+    }
+
+    /// Steps 1–2: serialize the local model (corrupting it first if this
+    /// cluster is malicious) and store it on IPFS. Returns the CID to
+    /// register on-chain via [`ClusterNode::submit_model_tx`].
+    ///
+    /// Splitting storage from submission matters: a straggler stores its
+    /// model but only builds the transaction when a submission window is
+    /// actually open, so its account nonce never gaps.
+    pub fn store_model(&mut self, round: u64) -> Cid {
+        let release_seed = round ^ self.address.0[0] as u64;
+        // Honest organizations may privatize the released weights (DP);
+        // a malicious one corrupts whatever it would have released.
+        let mut weights = match &self.config.dp {
+            Some(dp) => dp.privatize(self.server.weights(), release_seed),
+            None => self.server.weights().to_vec(),
+        };
+        if let Some(attack) = &self.config.attack {
+            weights = attack.corrupt(&weights, release_seed);
+        }
+        let bytes = weights_to_bytes(&weights);
+        let receipt = self.ipfs.add(&bytes);
+        self.last_published = Some(receipt.cid);
+        receipt.cid
+    }
+
+    /// Step 3: the `submitModel` transaction registering `cid` on-chain.
+    pub fn submit_model_tx(&mut self, orchestrator: Address, cid: &Cid) -> Transaction {
+        self.next_tx(orchestrator, calls::submit_model(&cid.to_string()))
+    }
+
+    /// Scores a peer model on the local test shard (accuracy scoring).
+    pub fn score_weights(&self, weights: &[f32]) -> f64 {
+        crate::scoring::accuracy_score(&self.spec, weights, &self.local_test)
+    }
+
+    /// Builds the `submitScore` transaction for a scored model.
+    pub fn score_tx(&mut self, orchestrator: Address, cid: &Cid, score: f64) -> Transaction {
+        self.next_tx(
+            orchestrator,
+            calls::submit_score(&cid.to_string(), Score::from_f64(score)),
+        )
+    }
+
+    /// Builds the `register` transaction.
+    pub fn register_tx(&mut self, orchestrator: Address) -> Transaction {
+        self.next_tx(orchestrator, calls::register())
+    }
+
+    /// Builds an arbitrary orchestrator call (phase driving).
+    pub fn next_tx(&mut self, orchestrator: Address, input: Vec<u8>) -> Transaction {
+        let tx = Transaction::call(self.address, orchestrator, self.nonce, input);
+        self.nonce += 1;
+        tx
+    }
+
+    /// Step 5: merge selected peer weights with the current global model
+    /// (equal-weight parameter mean, the paper's aggregation of aggregated
+    /// models) and adopt the result.
+    ///
+    /// Returns the number of peers merged.
+    pub fn merge_peers(&mut self, peers: &[Vec<f32>]) -> usize {
+        if peers.is_empty() {
+            return 0;
+        }
+        let mut updates: Vec<(Vec<f32>, usize)> =
+            peers.iter().map(|w| (w.clone(), 1usize)).collect();
+        updates.push((self.server.weights().to_vec(), 1));
+        let merged = weighted_mean(self.server.weights(), &updates);
+        self.server.set_weights(merged);
+        peers.len()
+    }
+
+    /// Evaluates arbitrary weights on a dataset with the cluster's spec.
+    pub fn evaluate(&self, weights: &[f32], data: &Dataset) -> unifyfl_fl::EvalResult {
+        unifyfl_fl::evaluate_weights(&self.spec, weights, data)
+    }
+
+    /// Replaces the cluster's global weights outright (used by the
+    /// centralized HBFL baseline, where the reducer's model is pushed down
+    /// verbatim).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length does not match the model.
+    pub fn adopt_weights(&mut self, weights: Vec<f32>) {
+        self.server.set_weights(weights);
+    }
+
+    /// Appends a round record.
+    pub fn record(&mut self, record: ClusterRoundRecord) {
+        self.records.push(record);
+    }
+}
+
+impl std::fmt::Debug for ClusterNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterNode")
+            .field("name", &self.config.name)
+            .field("policy", &self.config.policy)
+            .field("strategy", &self.config.strategy)
+            .field("clients", &self.config.n_clients)
+            .field("rounds", &self.records.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unifyfl_data::SyntheticConfig;
+    use unifyfl_storage::{IpfsNetwork, LinkProfile};
+    use unifyfl_tensor::zoo::InputKind;
+
+    fn setup(attack: Option<AttackKind>) -> (ClusterNode, Dataset) {
+        let mut cfg = SyntheticConfig::cifar10_like(400);
+        cfg.input = InputKind::Flat(16);
+        cfg.n_classes = 4;
+        cfg.noise_scale = 0.4;
+        cfg.label_noise = 0.0;
+        let data = cfg.generate(3);
+        let spec = ModelSpec::mlp(16, vec![32], 4);
+        let net = IpfsNetwork::new();
+        let node = net.add_node(LinkProfile::lan());
+        let mut config = ClusterConfig::gpu("test-cluster");
+        config.attack = attack;
+        let init = spec.build(99).flat_params();
+        let cluster = ClusterNode::new(config, spec, &data, init, node, 7);
+        (cluster, data)
+    }
+
+    #[test]
+    fn construction_splits_holdout_and_clients() {
+        let (cluster, data) = setup(None);
+        assert!(cluster.local_test().len() > 0);
+        assert_eq!(
+            cluster.train_samples() + cluster.local_test().len(),
+            data.len()
+        );
+    }
+
+    #[test]
+    fn local_round_changes_weights() {
+        let (mut cluster, _) = setup(None);
+        let before = cluster.weights().to_vec();
+        cluster.run_local_round(1, 16, 0.05);
+        assert_ne!(cluster.weights(), before.as_slice());
+    }
+
+    #[test]
+    fn publish_stores_on_ipfs_and_increments_nonce() {
+        let (mut cluster, _) = setup(None);
+        let orch = Address::from_label("orch");
+        let cid = cluster.store_model(1);
+        assert_eq!(cluster.last_published(), Some(cid));
+        assert!(cluster.ipfs().has_local(cid));
+        let tx = cluster.submit_model_tx(orch, &cid);
+        assert_eq!(tx.nonce, 0);
+        cluster.run_local_round(1, 16, 0.05);
+        let cid2 = cluster.store_model(2);
+        let tx2 = cluster.submit_model_tx(orch, &cid2);
+        assert_eq!(tx2.nonce, 1);
+    }
+
+    #[test]
+    fn storing_without_submitting_does_not_consume_nonce() {
+        // A straggler stores its model but never gets to submit; its next
+        // transaction must still use the unconsumed nonce.
+        let (mut cluster, _) = setup(None);
+        let orch = Address::from_label("orch");
+        let _cid = cluster.store_model(1);
+        let tx = cluster.next_tx(orch, vec![0x01]);
+        assert_eq!(tx.nonce, 0);
+    }
+
+    #[test]
+    fn malicious_cluster_publishes_corrupted_weights() {
+        let (mut honest, _) = setup(None);
+        let (mut evil, _) = setup(Some(AttackKind::SignFlip));
+        // Same data/seed: identical local weights, different published CIDs.
+        honest.run_local_round(1, 16, 0.05);
+        evil.run_local_round(1, 16, 0.05);
+        assert_eq!(honest.weights(), evil.weights());
+        let cid_h = honest.store_model(1);
+        let cid_e = evil.store_model(1);
+        assert_ne!(cid_h, cid_e, "attack must change the published bytes");
+    }
+
+    #[test]
+    fn merge_peers_averages_models() {
+        let (mut cluster, _) = setup(None);
+        let n = cluster.weights().len();
+        cluster.server.set_weights(vec![0.0; n]);
+        let merged = cluster.merge_peers(&[vec![3.0; n]]);
+        assert_eq!(merged, 1);
+        assert!(cluster.weights().iter().all(|w| (*w - 1.5).abs() < 1e-6));
+        // Empty merge is a no-op.
+        assert_eq!(cluster.merge_peers(&[]), 0);
+    }
+
+    #[test]
+    fn score_is_higher_for_trained_model() {
+        let (mut cluster, _) = setup(None);
+        let init_score = cluster.score_weights(&cluster.weights().to_vec());
+        for _ in 0..5 {
+            cluster.run_local_round(2, 16, 0.05);
+        }
+        let trained_score = cluster.score_weights(&cluster.weights().to_vec());
+        assert!(
+            trained_score > init_score + 0.15,
+            "{init_score} -> {trained_score}"
+        );
+    }
+
+    #[test]
+    fn durations_scale_with_straggle_factor() {
+        // Use a spec with a large *virtual* parameter count so durations
+        // are comfortably above millisecond resolution.
+        let mut cfg = SyntheticConfig::cifar10_like(400);
+        cfg.input = InputKind::Flat(16);
+        cfg.n_classes = 4;
+        let data = cfg.generate(3);
+        let mut spec = ModelSpec::mlp(16, vec![32], 4);
+        spec.virtual_params = Some(100_000_000);
+        let net = IpfsNetwork::new();
+        let init = spec.build(99).flat_params();
+        let fast = ClusterNode::new(
+            ClusterConfig::gpu("fast"),
+            spec.clone(),
+            &data,
+            init.clone(),
+            net.add_node(LinkProfile::lan()),
+            7,
+        );
+        let mut slow_cfg = ClusterConfig::gpu("slow");
+        slow_cfg.straggle_factor = 3.0;
+        let slow = ClusterNode::new(slow_cfg, spec, &data, init, net.add_node(LinkProfile::lan()), 7);
+        assert_eq!(
+            slow.train_duration(2).as_millis(),
+            fast.train_duration(2).as_millis() * 3
+        );
+        assert!(slow.score_duration() > fast.score_duration());
+    }
+
+    #[test]
+    fn warmup_forces_self_policy() {
+        let (cluster, data) = setup(None);
+        let mut cfg = cluster.config().clone();
+        cfg.warmup_self_rounds = 3;
+        cfg.policy = AggregationPolicy::TopK(3);
+        let spec = cluster.spec().clone();
+        let net = IpfsNetwork::new();
+        let init = spec.build(99).flat_params();
+        let c = ClusterNode::new(cfg, spec, &data, init, net.add_node(LinkProfile::lan()), 7);
+        assert_eq!(c.effective_policy(1), AggregationPolicy::SelfOnly);
+        assert_eq!(c.effective_policy(3), AggregationPolicy::SelfOnly);
+        assert_eq!(c.effective_policy(4), AggregationPolicy::TopK(3));
+    }
+
+    #[test]
+    fn virtual_costs_use_cost_params() {
+        // The proxy VGG16 charges 138M params even though it trains a small
+        // MLP, so durations must dwarf the small model's.
+        let (cluster, _data) = setup(None);
+        let small_train = cluster.train_duration(2);
+        let vgg_spec = ModelSpec::proxy_vgg16(4);
+        // The 552 MB virtual wire size dominates the tiny model's training.
+        let vgg_fetch = DeviceProfile::gpu_node().transfer_time(vgg_spec.wire_bytes());
+        assert!(vgg_fetch > small_train, "552MB transfer dominates tiny training");
+    }
+}

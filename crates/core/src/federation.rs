@@ -1,0 +1,489 @@
+//! Federation assembly: wiring clusters, the blockchain and the storage
+//! fabric together, plus the chain-driving helpers shared by the Sync and
+//! Async engines.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use unifyfl_chain::chain::Blockchain;
+use unifyfl_chain::clique::CliqueConfig;
+use unifyfl_chain::orchestrator::{calls, ModelEntry, OrchestrationMode, UnifyFlContract};
+use unifyfl_chain::types::{Address, Transaction};
+use unifyfl_data::{Dataset, Partition, WorkloadConfig};
+use unifyfl_sim::{ResourceMonitor, SimDuration, SimTime};
+use unifyfl_storage::network::LinkProfile;
+use unifyfl_storage::{Cid, IpfsNetwork};
+use unifyfl_tensor::weights_from_bytes;
+use unifyfl_tensor::zoo::ModelSpec;
+
+use crate::cluster::{ClusterConfig, ClusterNode};
+use crate::policy::ScoredCandidate;
+
+/// A peer model candidate, resolved from the contract view.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Content identifier of the weights on IPFS.
+    pub cid: Cid,
+    /// Submitting aggregator.
+    pub submitter: Address,
+    /// Raw per-scorer scores (already converted to floats).
+    pub scores: Vec<f64>,
+}
+
+/// The assembled federation: clusters + chain + storage + bookkeeping.
+pub struct Federation {
+    /// Cluster nodes, index-aligned with the experiment's cluster configs.
+    pub clusters: Vec<ClusterNode>,
+    /// The private Clique chain running the orchestrator contract.
+    pub chain: Blockchain,
+    /// Address of the deployed orchestrator contract.
+    pub orchestrator: Address,
+    /// The shared storage fabric.
+    pub ipfs: IpfsNetwork,
+    /// The model everyone trains.
+    pub spec: ModelSpec,
+    /// Held-out global test set (never seen by any client or scorer).
+    pub global_test: Dataset,
+    /// Resource accounting for Table 7.
+    pub resources: ResourceMonitor,
+    /// Virtual instant at which setup (registration) completed.
+    pub setup_done: SimTime,
+}
+
+impl Federation {
+    /// Builds a federation: generates the dataset, partitions it across
+    /// clusters, boots the chain with the clusters as Clique signers,
+    /// deploys and registers with the orchestrator contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two clusters are configured (cross-silo FL
+    /// needs peers) or the dataset is too small to partition.
+    pub fn new(
+        seed: u64,
+        workload: &WorkloadConfig,
+        partition: Partition,
+        mode: OrchestrationMode,
+        cluster_configs: Vec<ClusterConfig>,
+    ) -> Federation {
+        assert!(
+            cluster_configs.len() >= 2,
+            "cross-silo FL needs at least two clusters"
+        );
+        let spec = workload.model.clone();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xFEDE);
+
+        // Data pipeline: global test split, then per-cluster shards.
+        let full = workload.dataset.generate(seed);
+        let (pool, global_test) = full.split(0.15, &mut rng);
+        let shards = partition.split(&pool, cluster_configs.len(), &mut rng);
+
+        // Shared fabric.
+        let ipfs = IpfsNetwork::new();
+
+        // Chain: every cluster is a Clique signer (the permissioned
+        // consortium of the paper).
+        let addresses: Vec<Address> = cluster_configs
+            .iter()
+            .map(|c| Address::from_label(&c.name))
+            .collect();
+        let mut chain = Blockchain::new(CliqueConfig::default(), addresses.clone());
+        let orchestrator = Address::from_label("unifyfl-orchestrator");
+        chain.deploy(orchestrator, Box::new(UnifyFlContract::new(orchestrator, mode)));
+
+        // Common initial weights: FL requires a shared initialization.
+        let init_weights = spec.build(seed).flat_params();
+
+        let mut clusters = Vec::with_capacity(cluster_configs.len());
+        for (i, (config, shard)) in cluster_configs.into_iter().zip(shards).enumerate() {
+            let link = LinkProfile {
+                bandwidth_bps: config.client_device.net_bandwidth_bps(),
+                latency: config.client_device.net_latency(),
+            };
+            let node = ipfs.add_node(link);
+            clusters.push(ClusterNode::new(
+                config,
+                spec.clone(),
+                &shard,
+                init_weights.clone(),
+                node,
+                seed.wrapping_add(1000 + i as u64),
+            ));
+        }
+
+        let mut fed = Federation {
+            clusters,
+            chain,
+            orchestrator,
+            ipfs,
+            spec,
+            global_test,
+            resources: ResourceMonitor::new(),
+            setup_done: SimTime::ZERO,
+        };
+
+        // Register every aggregator; seal the registration block.
+        let orch = fed.orchestrator;
+        for c in fed.clusters.iter_mut() {
+            let tx = c.register_tx(orch);
+            fed.chain.submit(tx);
+        }
+        let t = fed.chain.next_seal_time();
+        fed.chain.seal_next(t).expect("registration block seals");
+        fed.setup_done = t;
+        fed
+    }
+
+    /// Seals every block due up to virtual time `t` (the Clique sealer
+    /// keeps producing blocks each period).
+    pub fn advance_chain_to(&mut self, t: SimTime) {
+        while self.chain.next_seal_time() <= t {
+            let ts = self.chain.next_seal_time();
+            self.chain.seal_next(ts).expect("periodic seal");
+            self.record_block_seal();
+        }
+    }
+
+    /// Advances to `t`, then — if transactions are still pending — seals
+    /// one more block at the next period boundary so they execute.
+    /// Returns the timestamp of the chain head afterwards.
+    pub fn flush_chain_at(&mut self, t: SimTime) -> SimTime {
+        self.advance_chain_to(t);
+        if self.chain.pool_len() > 0 {
+            let ts = self.chain.next_seal_time();
+            self.chain.seal_next(ts).expect("flush seal");
+            self.record_block_seal();
+        }
+        self.chain.head().header.timestamp
+    }
+
+    /// Submits a transaction timed at `t` (sealing everything due first, so
+    /// chain state is consistent with virtual time).
+    pub fn submit_tx_at(&mut self, t: SimTime, tx: Transaction) {
+        self.advance_chain_to(t);
+        self.chain.submit(tx);
+    }
+
+    /// Read-only view of the orchestrator contract.
+    pub fn contract(&self) -> &UnifyFlContract {
+        self.chain
+            .view::<UnifyFlContract>(self.orchestrator)
+            .expect("orchestrator deployed")
+    }
+
+    /// The peer-model candidates currently visible to `viewer` (the
+    /// contract's `getLatestModelsWithScores`).
+    pub fn candidates_for(&self, viewer: usize) -> Vec<Candidate> {
+        let addr = self.clusters[viewer].address();
+        self.contract()
+            .latest_models_with_scores(Some(addr))
+            .into_iter()
+            .filter_map(|entry| {
+                let cid: Cid = entry.cid.parse().ok()?;
+                Some(Candidate {
+                    cid,
+                    submitter: entry.submitter,
+                    scores: entry.score_values(),
+                })
+            })
+            .collect()
+    }
+
+    /// Reduces candidates to `(ScoredCandidate, index)` pairs under the
+    /// viewer's score policy; candidates with no scores yet are dropped
+    /// (they cannot be ranked).
+    pub fn scored_candidates(&self, viewer: usize, candidates: &[Candidate]) -> Vec<ScoredCandidate> {
+        let policy = self.clusters[viewer].config().score_policy;
+        candidates
+            .iter()
+            .enumerate()
+            .filter_map(|(index, c)| {
+                policy
+                    .reduce(&c.scores)
+                    .map(|score| ScoredCandidate { index, score })
+            })
+            .collect()
+    }
+
+    /// The viewer's own latest reduced score (for the Above-Self policy).
+    pub fn self_score_of(&self, viewer: usize) -> Option<f64> {
+        let cluster = &self.clusters[viewer];
+        let cid = cluster.last_published()?.to_string();
+        let entry: &ModelEntry = self.contract().entry(&cid)?;
+        cluster
+            .config()
+            .score_policy
+            .reduce(&entry.score_values())
+    }
+
+    /// Fetches and decodes a peer model's weights through the cluster's
+    /// IPFS node. Returns `None` if the content is unavailable or corrupt
+    /// (it is then simply skipped, as a real aggregator would).
+    pub fn fetch_weights(&self, cluster: usize, cid: Cid) -> Option<Vec<f32>> {
+        let receipt = self.clusters[cluster].ipfs().get(cid).ok()?;
+        weights_from_bytes(&receipt.data).ok()
+    }
+
+    /// Phase-driving transaction from cluster 0 (any registered aggregator
+    /// may cycle the phases).
+    pub fn phase_tx(&mut self, call: Vec<u8>) -> Transaction {
+        let orch = self.orchestrator;
+        self.clusters[0].next_tx(orch, call)
+    }
+
+    /// Convenience: `startTraining` payload.
+    pub fn start_training_call() -> Vec<u8> {
+        calls::start_training()
+    }
+
+    // ---- resource-model hooks (Table 7) ------------------------------
+
+    /// Memory model: megabytes resident for each process class, derived
+    /// from the model's wire size (weights + gradients + optimizer state
+    /// for clients; several model copies plus framework for aggregators).
+    pub fn mem_mb(&self, process: Process) -> f64 {
+        let wire_mb = self.spec.wire_bytes() as f64 / 1.0e6;
+        match process {
+            Process::Client => wire_mb * 3.3,
+            Process::Aggregator => wire_mb * 20.0 + 300.0,
+            Process::Scorer => wire_mb * 1.9,
+        }
+    }
+
+    /// Records a client training burst; the aggregator and scorer roles of
+    /// the cluster idle alongside (their duty cycle is what produces the
+    /// low means with large deviations the paper reports).
+    pub fn record_training_burst(&mut self, dur: SimDuration) {
+        if dur.is_zero() {
+            return;
+        }
+        let secs = dur.as_secs_f64();
+        let client_mem = self.mem_mb(Process::Client);
+        let agg_mem = self.mem_mb(Process::Aggregator);
+        let scorer_mem = self.mem_mb(Process::Scorer);
+        self.resources.record("client", 82.0, client_mem, secs);
+        self.resources.record("agg", 1.8, agg_mem, secs);
+        self.resources.record("scorer", 0.6, scorer_mem, secs);
+        self.resources.record("ipfs", 0.5, 19.0, secs);
+    }
+
+    /// Records idle time for a cluster's processes (sync-mode waiting).
+    pub fn record_idle(&mut self, dur: SimDuration) {
+        if dur.is_zero() {
+            return;
+        }
+        let secs = dur.as_secs_f64();
+        let client_mem = self.mem_mb(Process::Client);
+        let agg_mem = self.mem_mb(Process::Aggregator);
+        let scorer_mem = self.mem_mb(Process::Scorer);
+        self.resources.record("client", 2.0, client_mem, secs);
+        self.resources.record("agg", 1.2, agg_mem, secs);
+        self.resources.record("scorer", 0.6, scorer_mem, secs);
+        self.resources.record("ipfs", 0.5, 19.0, secs);
+    }
+
+    /// Records an aggregator burst (pull/merge/publish work); clients and
+    /// the scorer role idle meanwhile.
+    pub fn record_agg_burst(&mut self, dur: SimDuration) {
+        if dur.is_zero() {
+            return;
+        }
+        let secs = dur.as_secs_f64();
+        self.resources
+            .record("agg", 12.0, self.mem_mb(Process::Aggregator), secs);
+        self.resources
+            .record("client", 2.0, self.mem_mb(Process::Client), secs);
+        self.resources
+            .record("scorer", 0.6, self.mem_mb(Process::Scorer), secs);
+    }
+
+    /// Records a scoring burst; clients and the aggregator idle meanwhile.
+    pub fn record_scoring_burst(&mut self, dur: SimDuration) {
+        if dur.is_zero() {
+            return;
+        }
+        let secs = dur.as_secs_f64();
+        self.resources
+            .record("scorer", 68.0, self.mem_mb(Process::Scorer), secs);
+        self.resources
+            .record("client", 2.0, self.mem_mb(Process::Client), secs);
+        self.resources
+            .record("agg", 1.2, self.mem_mb(Process::Aggregator), secs);
+    }
+
+    /// Records an IPFS transfer burst.
+    pub fn record_ipfs_burst(&mut self, dur: SimDuration) {
+        if dur.is_zero() {
+            return;
+        }
+        self.resources.record("ipfs", 10.0, 19.0, dur.as_secs_f64());
+    }
+
+    fn record_block_seal(&mut self) {
+        // Sealing a Clique block costs ~0.5 s of ~2% CPU; with a 5 s period
+        // that averages to the paper's 0.2% Geth overhead.
+        self.resources.record("geth", 2.0, 6.0, 0.5);
+        self.resources.record("geth", 0.0, 6.0, 4.5);
+        self.resources.record("ipfs", 0.5, 19.0, 5.0);
+    }
+}
+
+/// Process classes tracked by the resource model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Process {
+    /// An FL client trainer.
+    Client,
+    /// The cluster aggregator.
+    Aggregator,
+    /// The scoring duty of a cluster.
+    Scorer,
+}
+
+impl std::fmt::Debug for Federation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Federation")
+            .field("clusters", &self.clusters.len())
+            .field("chain_height", &self.chain.height())
+            .field("spec", &self.spec.name)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{AggregationPolicy, ScorePolicy};
+    use unifyfl_data::SyntheticConfig;
+    use unifyfl_sim::DeviceProfile;
+
+    fn tiny_workload() -> WorkloadConfig {
+        let mut dataset = SyntheticConfig::cifar10_like(300);
+        dataset.input = unifyfl_tensor::zoo::InputKind::Flat(16);
+        dataset.n_classes = 4;
+        dataset.noise_scale = 0.5;
+        dataset.label_noise = 0.0;
+        WorkloadConfig {
+            name: "tiny-test".into(),
+            model: ModelSpec::mlp(16, vec![16], 4),
+            dataset,
+            rounds: 2,
+            local_epochs: 1,
+            batch_size: 16,
+            learning_rate: 0.05,
+        }
+    }
+
+    fn configs(n: usize) -> Vec<ClusterConfig> {
+        (0..n)
+            .map(|i| {
+                ClusterConfig::edge(format!("agg-{i}"), DeviceProfile::edge_cpu())
+                    .with_policy(AggregationPolicy::All)
+                    .with_score_policy(ScorePolicy::Mean)
+            })
+            .collect()
+    }
+
+    fn fed(mode: OrchestrationMode) -> Federation {
+        Federation::new(42, &tiny_workload(), Partition::Iid, mode, configs(3))
+    }
+
+    #[test]
+    fn setup_registers_all_clusters() {
+        let f = fed(OrchestrationMode::Async);
+        assert_eq!(f.contract().aggregators().len(), 3);
+        assert_eq!(f.clusters.len(), 3);
+        assert!(f.chain.height() >= 1);
+        assert!(f.setup_done > SimTime::ZERO);
+    }
+
+    #[test]
+    fn global_test_is_held_out() {
+        let f = fed(OrchestrationMode::Async);
+        let total_cluster: usize = f
+            .clusters
+            .iter()
+            .map(|c| c.train_samples() + c.local_test().len())
+            .sum();
+        assert_eq!(total_cluster + f.global_test.len(), 300);
+        assert!(f.global_test.len() > 20);
+    }
+
+    #[test]
+    fn advance_chain_seals_periodically() {
+        let mut f = fed(OrchestrationMode::Async);
+        let h0 = f.chain.height();
+        f.advance_chain_to(SimTime::from_secs(60));
+        // 5 s period ⇒ roughly one block per period.
+        assert!(f.chain.height() >= h0 + 10);
+        f.chain.verify().unwrap();
+    }
+
+    #[test]
+    fn publish_then_candidates_visible_after_scoring() {
+        let mut f = fed(OrchestrationMode::Async);
+        let orch = f.orchestrator;
+        let t0 = f.setup_done;
+
+        // Cluster 1 publishes a model.
+        let cid = f.clusters[1].store_model(1);
+        let tx = f.clusters[1].submit_model_tx(orch, &cid);
+        f.submit_tx_at(t0, tx);
+        let t1 = f.flush_chain_at(t0);
+
+        // Async mode assigned scorers immediately; nothing visible until a
+        // score arrives.
+        assert!(f.candidates_for(0).is_empty());
+
+        let entry = f.contract().entry(&cid.to_string()).expect("entry recorded");
+        let scorer_addr = entry.scorers[0];
+        let scorer_idx = f
+            .clusters
+            .iter()
+            .position(|c| c.address() == scorer_addr)
+            .expect("scorer is a cluster");
+
+        // The scorer fetches and scores it.
+        let weights = f.fetch_weights(scorer_idx, cid).expect("fetchable");
+        let score = f.clusters[scorer_idx].score_weights(&weights);
+        let tx = f.clusters[scorer_idx].score_tx(orch, &cid, score);
+        f.submit_tx_at(t1, tx);
+        f.flush_chain_at(t1);
+
+        let cands = f.candidates_for(0);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].cid, cid);
+        assert_eq!(cands[0].scores.len(), 1);
+        // Viewer 1 (the submitter) must not see its own model.
+        assert!(f.candidates_for(1).is_empty());
+
+        // Reduced candidates under the viewer's policy.
+        let scored = f.scored_candidates(0, &cands);
+        assert_eq!(scored.len(), 1);
+        assert!((scored[0].score - score).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fetch_of_unknown_cid_is_none() {
+        let f = fed(OrchestrationMode::Async);
+        let ghost = Cid::for_data(b"never published");
+        assert!(f.fetch_weights(0, ghost).is_none());
+    }
+
+    #[test]
+    fn memory_model_tracks_wire_size() {
+        let f = fed(OrchestrationMode::Sync);
+        assert!(f.mem_mb(Process::Aggregator) > f.mem_mb(Process::Client));
+        assert!(f.mem_mb(Process::Client) > f.mem_mb(Process::Scorer));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two clusters")]
+    fn single_cluster_rejected() {
+        let _ = Federation::new(
+            1,
+            &tiny_workload(),
+            Partition::Iid,
+            OrchestrationMode::Sync,
+            configs(1),
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! UnifyFL core: decentralized cross-silo federated learning.
+//!
+//! This crate composes the substrates (`unifyfl-chain`, `unifyfl-storage`,
+//! `unifyfl-fl`, `unifyfl-sim`, `unifyfl-data`, `unifyfl-tensor`) into the
+//! system the paper describes:
+//!
+//! - [`policy`] — aggregation policies (All / Self / Random-k / Top-k /
+//!   Above-Average / Above-Median / Above-Self) and score-reduction
+//!   policies (Mean / Median / Min / Max);
+//! - [`scoring`] — accuracy scoring and MultiKRUM;
+//! - [`cluster`] — a participating organization: FL server + clients,
+//!   IPFS node, chain account, cost model;
+//! - [`federation`] — the assembled system and chain-driving helpers;
+//! - [`orchestration`] — the Sync and Async engines (Figures 5 & 6);
+//! - [`byzantine`] — attacker models for the Figure 7 experiment;
+//! - [`baseline`] — HBFL (centralized multilevel FL) and no-collaboration
+//!   baselines;
+//! - [`experiment`] — configuration, execution and reporting;
+//! - [`report`] — paper-style table rendering.
+//!
+//! # Example
+//!
+//! ```
+//! use unifyfl_core::experiment::{ExperimentBuilder, Mode};
+//! use unifyfl_core::policy::AggregationPolicy;
+//!
+//! let report = ExperimentBuilder::quickstart()
+//!     .seed(7)
+//!     .rounds(2)
+//!     .mode(Mode::Sync)
+//!     .policy_all(AggregationPolicy::TopK(2))
+//!     .run()
+//!     .expect("valid configuration");
+//! assert_eq!(report.aggregators.len(), 3);
+//! ```
+
+pub mod baseline;
+pub mod byzantine;
+pub mod cluster;
+pub mod experiment;
+pub mod federation;
+pub mod orchestration;
+pub mod policy;
+pub mod report;
+pub mod scoring;
+
+pub use byzantine::{AttackKind, DpConfig};
+pub use cluster::{ClusterConfig, ClusterNode};
+pub use experiment::{
+    run_experiment, AggregatorReport, ExperimentBuilder, ExperimentConfig, ExperimentError,
+    ExperimentReport,
+};
+pub use federation::Federation;
+pub use orchestration::Mode;
+pub use policy::{AggregationPolicy, ScorePolicy};
+pub use scoring::ScorerKind;

@@ -1,0 +1,684 @@
+//! The Sync and Async orchestration engines (§3.2 / §3.3, Figures 5 & 6).
+//!
+//! Both engines drive the same federation through the paper's six-step
+//! workflow, differing exactly where the paper says they differ:
+//!
+//! - **Sync** ([`run_sync`]): the orchestrator cycles
+//!   `startTraining → (training window) → startScoring → (scoring window)
+//!   → endScoring`. Every cluster waits for each window to close; fast
+//!   clusters accumulate idle time, clusters that overrun the training
+//!   window become *stragglers* whose model is only accepted next round,
+//!   and scores arriving after the scoring window are rejected by the
+//!   contract.
+//! - **Async** ([`run_async`]): every cluster free-runs on its own clock;
+//!   the contract assigns scorers the moment a CID lands, and scoring
+//!   duties are interleaved with the cluster's own training.
+//!
+//! Virtual time comes from the cluster cost models; chain state advances
+//! via periodic Clique seals as time passes, so contract-enforced window
+//! semantics (late submissions/scores reverting) are exercised for real.
+
+use std::collections::{HashSet, VecDeque};
+
+use serde::{Deserialize, Serialize};
+use unifyfl_chain::orchestrator::{calls, OrchestrationMode};
+use unifyfl_data::WorkloadConfig;
+use unifyfl_sim::{SimDuration, SimTime};
+use unifyfl_storage::Cid;
+
+use crate::cluster::ClusterRoundRecord;
+use crate::federation::Federation;
+use crate::scoring::{multikrum_scores, ScorerKind};
+
+/// Orchestration mode selector (maps onto the contract's mode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Mode {
+    /// Phase-locked rounds.
+    Sync,
+    /// Free-running rounds.
+    Async,
+}
+
+impl Mode {
+    /// The contract-side mode this engine requires.
+    pub fn to_chain(self) -> OrchestrationMode {
+        match self {
+            Mode::Sync => OrchestrationMode::Sync,
+            Mode::Async => OrchestrationMode::Async,
+        }
+    }
+}
+
+impl std::fmt::Display for Mode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Mode::Sync => write!(f, "Sync"),
+            Mode::Async => write!(f, "Async"),
+        }
+    }
+}
+
+/// What an engine run produced, per cluster and overall.
+#[derive(Debug, Clone)]
+pub struct EngineOutcome {
+    /// Virtual completion time of each cluster's final round.
+    pub per_cluster_time: Vec<SimTime>,
+    /// Rounds in which each cluster straggled (missed the submission
+    /// window; Sync only).
+    pub straggler_rounds: Vec<u64>,
+    /// Scores each cluster lost to a closed scoring window (Sync only).
+    pub rejected_scores: Vec<u64>,
+    /// Final *global* (post-merge) accuracy/loss per cluster on the global
+    /// test set.
+    pub final_global: Vec<(f64, f64)>,
+    /// Final *local* (post-training) accuracy/loss per cluster.
+    pub final_local: Vec<(f64, f64)>,
+    /// Virtual end of the whole run.
+    pub end_time: SimTime,
+}
+
+/// One cluster's pull → merge → evaluate step. Returns
+/// `(pull_duration, peers_merged, global_acc, global_loss)`.
+fn pull_and_merge(
+    fed: &mut Federation,
+    idx: usize,
+    round: u64,
+) -> (SimDuration, usize, f64, f64) {
+    let policy = fed.clusters[idx].effective_policy(round);
+    let candidates = fed.candidates_for(idx);
+    let scored = fed.scored_candidates(idx, &candidates);
+    let self_score = fed.self_score_of(idx);
+    let selected = {
+        let cluster = &mut fed.clusters[idx];
+        policy.select(&scored, self_score, cluster.rng())
+    };
+
+    let mut peers = Vec::with_capacity(selected.len());
+    for &i in &selected {
+        // Skip content that is unavailable or fails weight validation —
+        // the CID guarantees we can never ingest silently-corrupted bytes.
+        if let Some(w) = fed.fetch_weights(idx, candidates[i].cid) {
+            if w.len() == fed.clusters[idx].weights().len() {
+                peers.push(w);
+            }
+        }
+    }
+    let pull = fed.clusters[idx].fetch_duration() * peers.len() as u64;
+    fed.record_ipfs_burst(pull);
+    let merged = fed.clusters[idx].merge_peers(&peers);
+
+    let eval = fed.clusters[idx].evaluate(&fed.clusters[idx].weights().to_vec(), &fed.global_test);
+    (pull, merged, eval.accuracy, eval.loss)
+}
+
+/// One cluster's local training step. Returns
+/// `(train_duration, local_acc, local_loss)`.
+fn train_local(
+    fed: &mut Federation,
+    idx: usize,
+    workload: &WorkloadConfig,
+) -> (SimDuration, f64, f64) {
+    let dur = fed.clusters[idx].train_duration(workload.local_epochs);
+    fed.clusters[idx].run_local_round(
+        workload.local_epochs,
+        workload.batch_size,
+        workload.learning_rate,
+    );
+    fed.record_training_burst(dur);
+    let eval = fed.clusters[idx].evaluate(&fed.clusters[idx].weights().to_vec(), &fed.global_test);
+    (dur, eval.accuracy, eval.loss)
+}
+
+/// Final pass after the last round: merge the last submissions and
+/// evaluate the resulting global model.
+fn final_merge(fed: &mut Federation, rounds: u64) -> Vec<(f64, f64)> {
+    (0..fed.clusters.len())
+        .map(|idx| {
+            let (_, _, acc, loss) = pull_and_merge(fed, idx, rounds + 1);
+            (acc, loss)
+        })
+        .collect()
+}
+
+fn last_local(fed: &Federation, idx: usize) -> (f64, f64) {
+    fed.clusters[idx]
+        .records
+        .last()
+        .map(|r| (r.local_accuracy, r.local_loss))
+        .unwrap_or((0.0, 0.0))
+}
+
+/// Runs the Sync engine.
+///
+/// `window_margin` is the operator's safety factor when sizing the phase
+/// windows over the *nominal* (straggle-free) cluster times; a cluster
+/// whose `straggle_factor` pushes it past the window misses the round.
+///
+/// # Panics
+///
+/// Panics if the federation was built with the wrong contract mode.
+pub fn run_sync(
+    fed: &mut Federation,
+    workload: &WorkloadConfig,
+    scorer: ScorerKind,
+    window_margin: f64,
+) -> EngineOutcome {
+    assert_eq!(
+        fed.contract().mode(),
+        OrchestrationMode::Sync,
+        "sync engine needs a sync-mode contract"
+    );
+    let n = fed.clusters.len();
+    let orch = fed.orchestrator;
+
+    // Size the windows from nominal expected durations.
+    let training_window = {
+        let worst = fed
+            .clusters
+            .iter()
+            .map(|c| {
+                let nominal_train = SimDuration::from_secs_f64(
+                    c.train_duration(workload.local_epochs).as_secs_f64()
+                        / c.config().straggle_factor,
+                );
+                let pull = c.fetch_duration() * (n as u64 - 1);
+                pull + nominal_train + c.publish_duration()
+            })
+            .max()
+            .expect("at least one cluster");
+        SimDuration::from_secs_f64(worst.as_secs_f64() * window_margin)
+    };
+    let scoring_window = {
+        let worst = fed
+            .clusters
+            .iter()
+            .map(|c| {
+                let nominal_score = SimDuration::from_secs_f64(
+                    c.score_duration().as_secs_f64() / c.config().straggle_factor,
+                );
+                (c.fetch_duration() + nominal_score) * (n as u64 - 1)
+            })
+            .max()
+            .expect("at least one cluster");
+        SimDuration::from_secs_f64(worst.as_secs_f64() * window_margin)
+    };
+
+    let mut straggler_rounds = vec![0u64; n];
+    let mut rejected_scores = vec![0u64; n];
+    // Leftover busy time for clusters that missed the previous window.
+    let mut carryover: Vec<Option<SimDuration>> = vec![None; n];
+
+    let mut t = fed.setup_done;
+    for round in 1..=workload.rounds as u64 {
+        // -- open the training phase --------------------------------------
+        let tx = fed.phase_tx(calls::start_training());
+        fed.submit_tx_at(t, tx);
+        let phase_start = fed.flush_chain_at(t);
+        let window_end = phase_start + training_window;
+
+        // -- every cluster runs its round ----------------------------------
+        for idx in 0..n {
+            if let Some(leftover) = carryover[idx].take() {
+                // Straggler from last round: finish the held work and
+                // submit the stale model; no pull/train this round.
+                let finish = phase_start + leftover;
+                let cid = fed.clusters[idx].store_model(round);
+                if finish <= window_end {
+                    let tx = fed.clusters[idx].submit_model_tx(orch, &cid);
+                    fed.submit_tx_at(finish, tx);
+                    fed.record_idle(window_end - finish);
+                } else {
+                    straggler_rounds[idx] += 1;
+                    carryover[idx] = Some(finish - window_end);
+                }
+                let (acc, loss) = last_local(fed, idx);
+                let record = ClusterRoundRecord {
+                    round,
+                    peers_merged: 0,
+                    local_accuracy: acc,
+                    local_loss: loss,
+                    global_accuracy: acc,
+                    global_loss: loss,
+                    completed_at_secs: (window_end + scoring_window).as_secs_f64(),
+                };
+                fed.clusters[idx].record(record);
+                continue;
+            }
+
+            let (pull, merged, g_acc, g_loss) = pull_and_merge(fed, idx, round);
+            let (train, l_acc, l_loss) = train_local(fed, idx, workload);
+            let publish = fed.clusters[idx].publish_duration();
+            fed.record_agg_burst(pull + publish);
+            let busy = pull + train + publish;
+            let finish = phase_start + busy;
+
+            let cid = fed.clusters[idx].store_model(round);
+            if finish <= window_end {
+                let tx = fed.clusters[idx].submit_model_tx(orch, &cid);
+                fed.submit_tx_at(finish, tx);
+                fed.record_idle(window_end - finish);
+            } else {
+                // Missed the window (§3.2 stragglers): the contract would
+                // revert the submission; hold the model for next round.
+                straggler_rounds[idx] += 1;
+                carryover[idx] = Some(finish - window_end);
+            }
+
+            fed.clusters[idx].record(ClusterRoundRecord {
+                round,
+                peers_merged: merged,
+                local_accuracy: l_acc,
+                local_loss: l_loss,
+                global_accuracy: g_acc,
+                global_loss: g_loss,
+                completed_at_secs: (window_end + scoring_window).as_secs_f64(),
+            });
+        }
+
+        // -- close training, open scoring ----------------------------------
+        let tx = fed.phase_tx(calls::start_scoring());
+        fed.submit_tx_at(window_end, tx);
+        let scoring_start = fed.flush_chain_at(window_end);
+        let scoring_end = scoring_start + scoring_window;
+
+        // Collect this round's assignments from the contract.
+        let assignments: Vec<(Cid, Vec<unifyfl_chain::types::Address>)> = fed
+            .contract()
+            .entries()
+            .iter()
+            .filter(|e| e.round == round)
+            .filter_map(|e| e.cid.parse().ok().map(|cid| (cid, e.scorers.clone())))
+            .collect();
+
+        // MultiKRUM needs the full round's submissions at once.
+        let krum: Option<(Vec<Cid>, Vec<f64>)> = if scorer == ScorerKind::MultiKrum {
+            let cids: Vec<Cid> = assignments.iter().map(|(c, _)| *c).collect();
+            let models: Vec<Vec<f32>> = cids
+                .iter()
+                .filter_map(|c| fed.fetch_weights(0, *c))
+                .collect();
+            if models.len() == cids.len() && !models.is_empty() {
+                let f = n / 4;
+                Some((cids, multikrum_scores(&models, f)))
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+
+        for idx in 0..n {
+            if carryover[idx].is_some() {
+                continue; // still busy with held-over training work
+            }
+            let my_addr = fed.clusters[idx].address();
+            let my_tasks: Vec<Cid> = assignments
+                .iter()
+                .filter(|(_, scorers)| scorers.contains(&my_addr))
+                .map(|(cid, _)| *cid)
+                .collect();
+            let mut clock = scoring_start;
+            for cid in my_tasks {
+                let fetch = fed.clusters[idx].fetch_duration();
+                let score_dur = fed.clusters[idx].score_duration();
+                let score = match &krum {
+                    Some((cids, scores)) => {
+                        let pos = cids.iter().position(|c| *c == cid);
+                        pos.map(|p| scores[p]).unwrap_or(0.0)
+                    }
+                    None => match fed.fetch_weights(idx, cid) {
+                        Some(w) => fed.clusters[idx].score_weights(&w),
+                        None => continue,
+                    },
+                };
+                clock += fetch + score_dur;
+                fed.record_scoring_burst(fetch + score_dur);
+                fed.record_ipfs_burst(fetch);
+                if clock <= scoring_end {
+                    let tx = fed.clusters[idx].score_tx(orch, &cid, score);
+                    fed.submit_tx_at(clock, tx);
+                } else {
+                    // §3.2: "the blockchain will no longer accept scores".
+                    rejected_scores[idx] += 1;
+                }
+            }
+            fed.record_idle(scoring_end.saturating_since(clock.max(scoring_start)));
+        }
+
+        // -- close the scoring phase ---------------------------------------
+        let tx = fed.phase_tx(calls::end_scoring());
+        fed.submit_tx_at(scoring_end, tx);
+        t = fed.flush_chain_at(scoring_end);
+    }
+
+    let end_time = t;
+    let final_global = final_merge(fed, workload.rounds as u64);
+    let final_local = (0..n).map(|i| last_local(fed, i)).collect();
+    EngineOutcome {
+        per_cluster_time: vec![end_time; n],
+        straggler_rounds,
+        rejected_scores,
+        final_global,
+        final_local,
+        end_time,
+    }
+}
+
+/// Runs the Async engine.
+///
+/// # Panics
+///
+/// Panics if the federation's contract is not in Async mode, or the scorer
+/// requires full-round visibility (MultiKRUM — Table 3 forbids it here).
+pub fn run_async(
+    fed: &mut Federation,
+    workload: &WorkloadConfig,
+    scorer: ScorerKind,
+) -> EngineOutcome {
+    assert_eq!(
+        fed.contract().mode(),
+        OrchestrationMode::Async,
+        "async engine needs an async-mode contract"
+    );
+    assert!(
+        !scorer.requires_full_round(),
+        "async mode does not support weight-similarity scoring (Table 3)"
+    );
+    let n = fed.clusters.len();
+    let orch = fed.orchestrator;
+
+    struct State {
+        clock: SimTime,
+        rounds_done: u64,
+        tasks: VecDeque<Cid>,
+        finished_at: Option<SimTime>,
+    }
+    let mut states: Vec<State> = (0..n)
+        .map(|_| State {
+            clock: fed.setup_done,
+            rounds_done: 0,
+            tasks: VecDeque::new(),
+            finished_at: None,
+        })
+        .collect();
+    let mut distributed: HashSet<String> = HashSet::new();
+    let rounds = workload.rounds as u64;
+
+    // Deal out scorer assignments that the contract has recorded.
+    let distribute = |fed: &Federation,
+                      states: &mut Vec<State>,
+                      distributed: &mut HashSet<String>| {
+        for entry in fed.contract().entries() {
+            if entry.scorers.is_empty() || distributed.contains(&entry.cid) {
+                continue;
+            }
+            if let Ok(cid) = entry.cid.parse::<Cid>() {
+                for scorer_addr in &entry.scorers {
+                    if let Some(i) = fed
+                        .clusters
+                        .iter()
+                        .position(|c| c.address() == *scorer_addr)
+                    {
+                        states[i].tasks.push_back(cid);
+                    }
+                }
+            }
+            distributed.insert(entry.cid.clone());
+        }
+    };
+
+    loop {
+        // Pick the earliest cluster that still has work.
+        let next = (0..n)
+            .filter(|&i| states[i].rounds_done < rounds || !states[i].tasks.is_empty())
+            .min_by_key(|&i| (states[i].clock, i));
+        let Some(idx) = next else { break };
+        let t = states[idx].clock;
+
+        fed.advance_chain_to(t);
+        distribute(fed, &mut states, &mut distributed);
+
+        if let Some(cid) = states[idx].tasks.pop_front() {
+            // Scoring duty first: an idle aggregator scores as soon as the
+            // assignment reaches it (Figure 6 step 4).
+            let fetch = fed.clusters[idx].fetch_duration();
+            let score_dur = fed.clusters[idx].score_duration();
+            if let Some(w) = fed.fetch_weights(idx, cid) {
+                let score = fed.clusters[idx].score_weights(&w);
+                let done = t + fetch + score_dur;
+                fed.record_scoring_burst(fetch + score_dur);
+                fed.record_ipfs_burst(fetch);
+                let tx = fed.clusters[idx].score_tx(orch, &cid, score);
+                fed.submit_tx_at(done, tx);
+                states[idx].clock = done;
+            }
+            continue;
+        }
+
+        // Otherwise: run the next training round.
+        let round = states[idx].rounds_done + 1;
+        let (pull, merged, g_acc, g_loss) = pull_and_merge(fed, idx, round);
+        let (train, l_acc, l_loss) = train_local(fed, idx, workload);
+        let publish = fed.clusters[idx].publish_duration();
+        fed.record_agg_burst(pull + publish);
+        let finish = t + pull + train + publish;
+
+        let cid = fed.clusters[idx].store_model(round);
+        let tx = fed.clusters[idx].submit_model_tx(orch, &cid);
+        fed.submit_tx_at(finish, tx);
+        // Seal promptly so scorers learn their assignment.
+        fed.flush_chain_at(finish);
+        distribute(fed, &mut states, &mut distributed);
+
+        states[idx].rounds_done = round;
+        states[idx].clock = finish;
+        fed.clusters[idx].record(ClusterRoundRecord {
+            round,
+            peers_merged: merged,
+            local_accuracy: l_acc,
+            local_loss: l_loss,
+            global_accuracy: g_acc,
+            global_loss: g_loss,
+            completed_at_secs: finish.as_secs_f64(),
+        });
+        if round == rounds {
+            states[idx].finished_at = Some(finish);
+        }
+    }
+
+    let end_time = states
+        .iter()
+        .map(|s| s.clock)
+        .max()
+        .unwrap_or(fed.setup_done);
+    fed.flush_chain_at(end_time);
+
+    let final_global = final_merge(fed, rounds);
+    let final_local = (0..n).map(|i| last_local(fed, i)).collect();
+    EngineOutcome {
+        per_cluster_time: states
+            .iter()
+            .map(|s| s.finished_at.unwrap_or(end_time))
+            .collect(),
+        straggler_rounds: vec![0; n],
+        rejected_scores: vec![0; n],
+        final_global,
+        final_local,
+        end_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use crate::policy::AggregationPolicy;
+    use unifyfl_data::{Partition, SyntheticConfig};
+    use unifyfl_sim::DeviceProfile;
+    use unifyfl_tensor::zoo::ModelSpec;
+
+    fn tiny_workload(rounds: usize) -> WorkloadConfig {
+        let mut dataset = SyntheticConfig::cifar10_like(360);
+        dataset.input = unifyfl_tensor::zoo::InputKind::Flat(16);
+        dataset.n_classes = 4;
+        dataset.noise_scale = 0.5;
+        dataset.label_noise = 0.0;
+        WorkloadConfig {
+            name: "tiny-test".into(),
+            model: ModelSpec::mlp(16, vec![16], 4),
+            dataset,
+            rounds,
+            local_epochs: 1,
+            batch_size: 16,
+            learning_rate: 0.05,
+        }
+    }
+
+    fn configs(n: usize) -> Vec<ClusterConfig> {
+        (0..n)
+            .map(|i| {
+                ClusterConfig::edge(format!("agg-{i}"), DeviceProfile::edge_cpu())
+                    .with_policy(AggregationPolicy::All)
+            })
+            .collect()
+    }
+
+    fn build(mode: Mode, n: usize, rounds: usize) -> (Federation, WorkloadConfig) {
+        let w = tiny_workload(rounds);
+        let fed = Federation::new(7, &w, Partition::Iid, mode.to_chain(), configs(n));
+        (fed, w)
+    }
+
+    #[test]
+    fn sync_runs_all_rounds_and_learns() {
+        let (mut fed, w) = build(Mode::Sync, 3, 3);
+        let out = run_sync(&mut fed, &w, ScorerKind::Accuracy, 1.15);
+        assert_eq!(fed.clusters[0].records.len(), 3);
+        // All clusters share the same completion time in sync mode.
+        assert!(out.per_cluster_time.windows(2).all(|w| w[0] == w[1]));
+        // The chain really carried the protocol.
+        let entries = fed.contract().entries();
+        assert_eq!(entries.len(), 9, "3 clusters × 3 rounds submitted");
+        assert!(entries.iter().all(|e| !e.scorers.is_empty()));
+        assert!(entries.iter().all(|e| e.scoring_closed));
+        // Scores were recorded (majority of 3 = 2 scorers per model).
+        assert!(entries.iter().all(|e| e.scores.len() == 2));
+        fed.chain.verify().unwrap();
+        // Learning happened: final global beats round-1 global.
+        let first = fed.clusters[0].records[0].global_accuracy;
+        let (final_acc, _) = out.final_global[0];
+        assert!(final_acc > first, "{first} -> {final_acc}");
+    }
+
+    #[test]
+    fn async_runs_all_rounds_and_scores() {
+        let (mut fed, w) = build(Mode::Async, 3, 3);
+        let out = run_async(&mut fed, &w, ScorerKind::Accuracy);
+        for c in &fed.clusters {
+            assert_eq!(c.records.len(), 3);
+        }
+        let entries = fed.contract().entries();
+        assert_eq!(entries.len(), 9);
+        // Every model eventually received at least one score.
+        assert!(entries.iter().all(|e| !e.scores.is_empty()));
+        assert!(out.end_time > fed.setup_done);
+        fed.chain.verify().unwrap();
+    }
+
+    #[test]
+    fn async_is_faster_than_sync_with_heterogeneous_clusters() {
+        let hetero = || {
+            vec![
+                ClusterConfig::edge("agg-pi", DeviceProfile::raspberry_pi_400()),
+                ClusterConfig::edge("agg-jetson", DeviceProfile::jetson_nano()),
+                ClusterConfig::edge("agg-docker", DeviceProfile::docker_container()),
+            ]
+        };
+        let w = tiny_workload(3);
+        let mut fed_s = Federation::new(7, &w, Partition::Iid, OrchestrationMode::Sync, hetero());
+        let sync = run_sync(&mut fed_s, &w, ScorerKind::Accuracy, 1.15);
+        let mut fed_a = Federation::new(7, &w, Partition::Iid, OrchestrationMode::Async, hetero());
+        let async_ = run_async(&mut fed_a, &w, ScorerKind::Accuracy);
+        // The fastest async cluster finishes well before the sync barrier.
+        let fastest_async = async_.per_cluster_time.iter().min().unwrap();
+        assert!(
+            *fastest_async < sync.end_time,
+            "async {fastest_async:?} vs sync {:?}",
+            sync.end_time
+        );
+        // Async per-cluster times differ (free-running), sync's do not.
+        assert!(async_.per_cluster_time.iter().collect::<std::collections::HashSet<_>>().len() > 1);
+    }
+
+    #[test]
+    fn sync_straggler_misses_round_and_recovers() {
+        let mut cfgs = configs(3);
+        // The tiny test model's fetch cost dominates its training cost, so
+        // the factor must be large to push past the 1.15-margin window.
+        cfgs[2].straggle_factor = 50.0;
+        let w = tiny_workload(4);
+        let mut fed = Federation::new(7, &w, Partition::Iid, OrchestrationMode::Sync, cfgs);
+        let out = run_sync(&mut fed, &w, ScorerKind::Accuracy, 1.15);
+        assert!(out.straggler_rounds[2] > 0, "slow cluster must straggle");
+        assert_eq!(out.straggler_rounds[0], 0);
+        assert_eq!(out.straggler_rounds[1], 0);
+        // The straggler still submitted *some* models (next-round rule).
+        let from_straggler = fed
+            .contract()
+            .entries()
+            .iter()
+            .filter(|e| e.submitter == fed.clusters[2].address())
+            .count();
+        assert!(from_straggler >= 1);
+    }
+
+    #[test]
+    fn sync_multikrum_scores_all_models() {
+        let (mut fed, w) = build(Mode::Sync, 4, 2);
+        run_sync(&mut fed, &w, ScorerKind::MultiKrum, 1.15);
+        let entries = fed.contract().entries();
+        assert!(!entries.is_empty());
+        // Scores exist and sit in (0, 1].
+        for e in entries {
+            for (_, s) in &e.scores {
+                let v = s.to_f64();
+                assert!((0.0..=1.0).contains(&v), "score {v}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support weight-similarity")]
+    fn async_rejects_multikrum() {
+        let (mut fed, w) = build(Mode::Async, 3, 1);
+        let _ = run_async(&mut fed, &w, ScorerKind::MultiKrum);
+    }
+
+    #[test]
+    fn self_only_policy_never_merges() {
+        let mut cfgs = configs(3);
+        for c in &mut cfgs {
+            c.policy = AggregationPolicy::SelfOnly;
+        }
+        let w = tiny_workload(3);
+        let mut fed = Federation::new(7, &w, Partition::Iid, OrchestrationMode::Sync, cfgs);
+        run_sync(&mut fed, &w, ScorerKind::Accuracy, 1.15);
+        for c in &fed.clusters {
+            assert!(c.records.iter().all(|r| r.peers_merged == 0));
+        }
+    }
+
+    #[test]
+    fn collaborative_policies_do_merge() {
+        let (mut fed, w) = build(Mode::Sync, 3, 3);
+        run_sync(&mut fed, &w, ScorerKind::Accuracy, 1.15);
+        // From round 2 on, candidates exist and the All policy merges them.
+        let merged_after_round1: usize = fed
+            .clusters
+            .iter()
+            .flat_map(|c| c.records.iter().filter(|r| r.round > 1))
+            .map(|r| r.peers_merged)
+            .sum();
+        assert!(merged_after_round1 > 0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Plain-text rendering of experiment results in the paper's table
+//! formats, used by the benchmark harness binaries.
+
+use crate::baseline::BaselineRun;
+use crate::experiment::ExperimentReport;
+
+/// Renders an experiment in the row format of Tables 5/6:
+/// `Aggregator | Time | Policy | Acc(G/L) | Loss(G/L)`.
+pub fn render_run_table(report: &ExperimentReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "== {} [{} | {} | {}] ==\n",
+        report.label, report.mode, report.scorer, report.partition
+    ));
+    out.push_str(&format!(
+        "{:<10} {:>8} {:<12} {:<9} {:>8} {:>8} {:>8} {:>8}\n",
+        "Aggregator", "Time(s)", "Policy", "Strategy", "AccG(%)", "AccL(%)", "LossG", "LossL"
+    ));
+    for a in &report.aggregators {
+        out.push_str(&format!(
+            "{:<10} {:>8.0} {:<12} {:<9} {:>8.2} {:>8.2} {:>8.2} {:>8.2}\n",
+            a.name,
+            a.time_secs,
+            a.policy,
+            a.strategy,
+            a.global_accuracy_pct,
+            a.local_accuracy_pct,
+            a.global_loss,
+            a.local_loss
+        ));
+    }
+    out
+}
+
+/// Renders a baseline run in the Table 1 format.
+pub fn render_baseline_table(label: &str, run: &BaselineRun) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {label} ==\n"));
+    out.push_str(&format!(
+        "{:<14} {:>12} {:>8}\n",
+        "Cluster", "Accuracy(%)", "Loss"
+    ));
+    for (i, c) in run.clusters.iter().enumerate() {
+        let (acc, loss) = run.outcome.final_local[i];
+        out.push_str(&format!(
+            "{:<14} {:>12.2} {:>8.2}\n",
+            c.config().name,
+            acc * 100.0,
+            loss
+        ));
+    }
+    let (g_acc, g_loss) = run.outcome.global;
+    out.push_str(&format!(
+        "{:<14} {:>12.2} {:>8.2}\n",
+        "Global Model",
+        g_acc * 100.0,
+        g_loss
+    ));
+    out
+}
+
+/// Renders resource summaries in the Table 7 format.
+pub fn render_resources_table(report: &ExperimentReport) -> String {
+    let mut out = String::new();
+    out.push_str("Process     Type       Mean      Std/Dev\n");
+    for label in ["scorer", "agg", "client", "geth", "ipfs"] {
+        if let Some(s) = report.resources.get(label) {
+            out.push_str(&format!(
+                "{:<11} cpu %   {:>9.3} {:>9.3}\n",
+                label, s.cpu_mean, s.cpu_std
+            ));
+            out.push_str(&format!(
+                "{:<11} mem(MB) {:>9.3} {:>9.3}\n",
+                "", s.mem_mean, s.mem_std
+            ));
+        }
+    }
+    out
+}
+
+/// Renders an accuracy-over-time series (Figure 7 style) as aligned
+/// columns: `time  acc(agg1)  acc(agg2) …`.
+pub fn render_curves(report: &ExperimentReport) -> String {
+    let mut out = String::new();
+    out.push_str("time(s)");
+    for a in &report.aggregators {
+        out.push_str(&format!(" {:>12}", a.name));
+    }
+    out.push('\n');
+    let max_rounds = report
+        .aggregators
+        .iter()
+        .map(|a| a.curve.len())
+        .max()
+        .unwrap_or(0);
+    for r in 0..max_rounds {
+        let t = report
+            .aggregators
+            .iter()
+            .filter_map(|a| a.curve.get(r))
+            .map(|p| p.time_secs)
+            .fold(0.0f64, f64::max);
+        out.push_str(&format!("{t:>7.0}"));
+        for a in &report.aggregators {
+            match a.curve.get(r) {
+                Some(p) => out.push_str(&format!(" {:>12.2}", p.global_accuracy_pct)),
+                None => out.push_str(&format!(" {:>12}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::ExperimentBuilder;
+
+    fn report() -> ExperimentReport {
+        ExperimentBuilder::quickstart().rounds(2).run().unwrap()
+    }
+
+    #[test]
+    fn run_table_contains_all_aggregators() {
+        let r = report();
+        let table = render_run_table(&r);
+        for a in &r.aggregators {
+            assert!(table.contains(&a.name), "missing {}", a.name);
+        }
+        assert!(table.contains("AccG(%)"));
+    }
+
+    #[test]
+    fn resources_table_lists_processes() {
+        let r = report();
+        let table = render_resources_table(&r);
+        assert!(table.contains("client"));
+        assert!(table.contains("geth"));
+        assert!(table.contains("cpu %"));
+    }
+
+    #[test]
+    fn curves_have_one_row_per_round() {
+        let r = report();
+        let curves = render_curves(&r);
+        // Header + 2 rounds.
+        assert_eq!(curves.lines().count(), 3);
+    }
+}

@@ -1,0 +1,208 @@
+//! Model scoring algorithms (§2.6 of the paper).
+//!
+//! Two scorers are implemented, matching the paper's evaluation:
+//!
+//! - **Accuracy scoring** ([`accuracy_score`]): the scorer evaluates the
+//!   model on its own held-out test shard. Works in both Sync and Async
+//!   modes, but is computationally heavy (a full inference pass).
+//! - **MultiKRUM** ([`multikrum_scores`], Blanchard et al. / as used in
+//!   Biscotti): a similarity score over *all* models submitted in a round —
+//!   each model is scored by the (negated) sum of squared distances to its
+//!   closest neighbours. Cheap, but only defined when the full round's
+//!   submissions are available, which is why the paper restricts it to the
+//!   Sync mode (Table 3). The same restriction is enforced here.
+
+use serde::{Deserialize, Serialize};
+use unifyfl_data::Dataset;
+use unifyfl_tensor::tensor::sq_dist_slice;
+use unifyfl_tensor::zoo::ModelSpec;
+
+/// Which scoring algorithm a federation runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScorerKind {
+    /// Holdout-accuracy scoring (Sync + Async).
+    Accuracy,
+    /// MultiKRUM similarity scoring (Sync only).
+    MultiKrum,
+}
+
+impl std::fmt::Display for ScorerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScorerKind::Accuracy => write!(f, "Accuracy"),
+            ScorerKind::MultiKrum => write!(f, "MultiKRUM"),
+        }
+    }
+}
+
+impl ScorerKind {
+    /// True if the scorer requires all of a round's submissions at once
+    /// (and therefore cannot run in Async mode — Table 3).
+    pub fn requires_full_round(&self) -> bool {
+        matches!(self, ScorerKind::MultiKrum)
+    }
+}
+
+/// Accuracy of `weights` on the scorer's local test shard, in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `weights` does not match `spec`'s parameter count.
+pub fn accuracy_score(spec: &ModelSpec, weights: &[f32], test: &Dataset) -> f64 {
+    unifyfl_fl::evaluate_weights(spec, weights, test).accuracy
+}
+
+/// MultiKRUM scores for a set of weight vectors.
+///
+/// For each model `i`, sums the squared distances to its `n - f - 2`
+/// nearest neighbours (`f` = assumed Byzantine count); the score is mapped
+/// through `1 / (1 + dist / scale)` so that **higher means better** (the
+/// paper's policies always prefer higher scores). `scale` is the median
+/// neighbour-sum, making the score self-normalizing.
+///
+/// Models far from the majority cluster — e.g. sign-flipped or noisy
+/// poisoned updates — receive scores near 0.
+///
+/// # Panics
+///
+/// Panics if weight vectors have inconsistent lengths.
+pub fn multikrum_scores(models: &[Vec<f32>], f: usize) -> Vec<f64> {
+    let n = models.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![1.0];
+    }
+    for m in models {
+        assert_eq!(m.len(), models[0].len(), "weight vector length mismatch");
+    }
+
+    // Pairwise squared distances.
+    let mut dist = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = sq_dist_slice(&models[i], &models[j]);
+            dist[i][j] = d;
+            dist[j][i] = d;
+        }
+    }
+
+    // Sum over the n - f - 2 closest neighbours (at least one).
+    let keep = n.saturating_sub(f + 2).max(1).min(n - 1);
+    let sums: Vec<f64> = (0..n)
+        .map(|i| {
+            let mut row: Vec<f64> = (0..n).filter(|&j| j != i).map(|j| dist[i][j]).collect();
+            row.sort_by(f64::total_cmp);
+            row.into_iter().take(keep).sum()
+        })
+        .collect();
+
+    // Normalize: median neighbour-sum maps to score 0.5.
+    let mut sorted = sums.clone();
+    sorted.sort_by(f64::total_cmp);
+    let median = sorted[n / 2].max(1e-12);
+    sums.into_iter().map(|s| 1.0 / (1.0 + s / median)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unifyfl_data::SyntheticConfig;
+    use unifyfl_tensor::zoo::InputKind;
+
+    #[test]
+    fn accuracy_score_is_in_unit_interval_and_orders_models() {
+        let mut cfg = SyntheticConfig::cifar10_like(400);
+        cfg.input = InputKind::Flat(16);
+        cfg.n_classes = 4;
+        cfg.noise_scale = 0.3;
+        cfg.label_noise = 0.0;
+        let data = cfg.generate(1);
+        let spec = ModelSpec::mlp(16, vec![32], 4);
+
+        // Train one model briefly; compare against the untrained init.
+        let mut client = unifyfl_fl::InMemoryClient::new(spec.clone(), data.clone(), 1);
+        let init = spec.build(1).flat_params();
+        let trained = {
+            let mut w = init.clone();
+            for round in 0..4 {
+                w = unifyfl_fl::FlClient::fit(
+                    &mut client,
+                    &w,
+                    &unifyfl_fl::FitConfig {
+                        epochs: 2,
+                        batch_size: 16,
+                        learning_rate: 0.05,
+                        round,
+                    },
+                )
+                .weights;
+            }
+            w
+        };
+        let s_init = accuracy_score(&spec, &init, &data);
+        let s_trained = accuracy_score(&spec, &trained, &data);
+        assert!((0.0..=1.0).contains(&s_init));
+        assert!((0.0..=1.0).contains(&s_trained));
+        assert!(s_trained > s_init + 0.2, "{s_init} vs {s_trained}");
+    }
+
+    #[test]
+    fn multikrum_penalizes_outlier() {
+        // Four similar models and one far-away poisoned model.
+        let honest: Vec<Vec<f32>> = (0..4)
+            .map(|i| (0..32).map(|j| ((i + j) % 5) as f32 * 0.01).collect())
+            .collect();
+        let mut models = honest;
+        models.push(vec![50.0; 32]); // sign-flip-scale outlier
+        let scores = multikrum_scores(&models, 1);
+        let outlier = scores[4];
+        for (i, &s) in scores[..4].iter().enumerate() {
+            assert!(s > outlier * 5.0, "honest model {i} score {s} vs outlier {outlier}");
+        }
+    }
+
+    #[test]
+    fn multikrum_identical_models_score_equally() {
+        let models = vec![vec![1.0f32; 8]; 4];
+        let scores = multikrum_scores(&models, 0);
+        assert!(scores.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-12));
+        // Zero distance ⇒ maximal score.
+        assert!(scores.iter().all(|&s| s > 0.99));
+    }
+
+    #[test]
+    fn multikrum_edge_cases() {
+        assert!(multikrum_scores(&[], 0).is_empty());
+        assert_eq!(multikrum_scores(&[vec![1.0, 2.0]], 0), vec![1.0]);
+        // Two models: each has exactly one neighbour.
+        let scores = multikrum_scores(&[vec![0.0; 4], vec![1.0; 4]], 0);
+        assert_eq!(scores.len(), 2);
+        assert!(scores.iter().all(|s| (0.0..=1.0).contains(s)));
+    }
+
+    #[test]
+    fn multikrum_scores_bounded() {
+        let models: Vec<Vec<f32>> = (0..6)
+            .map(|i| (0..16).map(|j| (i * j) as f32 * 0.1).collect())
+            .collect();
+        for f in 0..3 {
+            let scores = multikrum_scores(&models, f);
+            assert!(scores.iter().all(|s| (0.0..=1.0).contains(s)), "f={f}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn multikrum_rejects_ragged_input() {
+        let _ = multikrum_scores(&[vec![1.0], vec![1.0, 2.0]], 0);
+    }
+
+    #[test]
+    fn scorer_kind_properties() {
+        assert!(!ScorerKind::Accuracy.requires_full_round());
+        assert!(ScorerKind::MultiKrum.requires_full_round());
+        assert_eq!(ScorerKind::MultiKrum.to_string(), "MultiKRUM");
+    }
+}

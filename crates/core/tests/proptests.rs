@@ -1,0 +1,98 @@
+//! Property-based tests of policy and scoring invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use unifyfl_core::policy::{AggregationPolicy, ScorePolicy, ScoredCandidate};
+use unifyfl_core::scoring::multikrum_scores;
+
+fn candidates(scores: &[f64]) -> Vec<ScoredCandidate> {
+    scores
+        .iter()
+        .enumerate()
+        .map(|(index, &score)| ScoredCandidate { index, score })
+        .collect()
+}
+
+proptest! {
+    /// Every policy returns a sorted, duplicate-free subset of the
+    /// candidate indices.
+    #[test]
+    fn selections_are_valid_subsets(
+        scores in proptest::collection::vec(0.0f64..1.0, 0..12),
+        k in 0usize..8,
+        self_score in proptest::option::of(0.0f64..1.0),
+        seed in any::<u64>(),
+    ) {
+        let cands = candidates(&scores);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for policy in [
+            AggregationPolicy::All,
+            AggregationPolicy::SelfOnly,
+            AggregationPolicy::RandomK(k),
+            AggregationPolicy::TopK(k),
+            AggregationPolicy::AboveAverage,
+            AggregationPolicy::AboveMedian,
+            AggregationPolicy::AboveSelf,
+        ] {
+            let sel = policy.select(&cands, self_score, &mut rng);
+            prop_assert!(sel.windows(2).all(|w| w[0] < w[1]), "{policy}: not sorted/deduped");
+            prop_assert!(sel.iter().all(|i| *i < scores.len()), "{policy}: out of range");
+        }
+    }
+
+    /// Top-k respects k and picks maximal scores.
+    #[test]
+    fn top_k_is_maximal(
+        scores in proptest::collection::vec(0.0f64..1.0, 1..12),
+        k in 1usize..6,
+    ) {
+        let cands = candidates(&scores);
+        let mut rng = StdRng::seed_from_u64(1);
+        let sel = AggregationPolicy::TopK(k).select(&cands, None, &mut rng);
+        prop_assert_eq!(sel.len(), k.min(scores.len()));
+        let worst_selected = sel
+            .iter()
+            .map(|&i| scores[i])
+            .fold(f64::INFINITY, f64::min);
+        for (i, &s) in scores.iter().enumerate() {
+            if !sel.contains(&i) {
+                prop_assert!(s <= worst_selected + 1e-12);
+            }
+        }
+    }
+
+    /// Score reductions lie within the score range.
+    #[test]
+    fn reductions_are_bounded(scores in proptest::collection::vec(0.0f64..1.0, 1..16)) {
+        let lo = scores.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for policy in [ScorePolicy::Mean, ScorePolicy::Median, ScorePolicy::Min, ScorePolicy::Max] {
+            let r = policy.reduce(&scores).unwrap();
+            prop_assert!(r >= lo - 1e-12 && r <= hi + 1e-12, "{policy}: {r} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// MultiKRUM scores are bounded and permutation-consistent: permuting
+    /// the model list permutes the scores.
+    #[test]
+    fn multikrum_is_permutation_equivariant(
+        seeds in proptest::collection::vec(any::<u32>(), 3..6),
+        f in 0usize..2,
+    ) {
+        let models: Vec<Vec<f32>> = seeds
+            .iter()
+            .map(|s| (0..16).map(|j| ((s.wrapping_mul(j + 1)) % 97) as f32 * 0.01).collect())
+            .collect();
+        let base = multikrum_scores(&models, f);
+        prop_assert!(base.iter().all(|s| (0.0..=1.0).contains(s)));
+        // Rotate the list by one and compare.
+        let mut rotated = models.clone();
+        rotated.rotate_left(1);
+        let rot_scores = multikrum_scores(&rotated, f);
+        for i in 0..models.len() {
+            let j = (i + models.len() - 1) % models.len();
+            prop_assert!((base[i] - rot_scores[j]).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Synthetic datasets and partitioners for the UnifyFL reproduction.
+//!
+//! Substitutes for the paper's CIFAR-10 / Tiny ImageNet workloads (see
+//! DESIGN.md §1 for the substitution argument):
+//!
+//! - [`dataset`] — in-memory labelled datasets, subsetting, splits,
+//!   mini-batching;
+//! - [`synthetic`] — Gaussian-prototype data generation with label noise;
+//! - [`partition`] — IID and Dirichlet(α) non-IID partitioning
+//!   (Yurochkin et al.), plus Gamma/Dirichlet samplers built from scratch;
+//! - [`workloads`] — Table 4's workload configurations.
+//!
+//! # Example
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//! use unifyfl_data::partition::Partition;
+//! use unifyfl_data::synthetic::SyntheticConfig;
+//!
+//! let data = SyntheticConfig::cifar10_like(500).generate(7);
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let shards = Partition::Dirichlet { alpha: 0.5 }.split(&data, 3, &mut rng);
+//! assert_eq!(shards.iter().map(|s| s.len()).sum::<usize>(), 500);
+//! ```
+
+pub mod dataset;
+pub mod partition;
+pub mod synthetic;
+pub mod workloads;
+
+pub use dataset::Dataset;
+pub use partition::Partition;
+pub use synthetic::SyntheticConfig;
+pub use workloads::WorkloadConfig;

@@ -1,0 +1,148 @@
+//! The paper's evaluation workloads (Table 4).
+//!
+//! | | CIFAR-10 | Tiny ImageNet |
+//! |---|---|---|
+//! | Model | CNN (62 K) | VGG16 (138 M) |
+//! | Learning rate | 0.01 | 0.01 |
+//! | Rounds | 100 | 50 |
+//! | Local epochs | 2 | 2 |
+//! | Batch size | 5 | 64 |
+//! | Labels | 10 | 200 |
+//! | Testbed | Edge cluster | GPU cluster |
+//!
+//! A [`WorkloadConfig`] bundles the model spec, the synthetic dataset
+//! config and these hyper-parameters. [`WorkloadConfig::scaled`] shrinks
+//! rounds/samples for fast harness runs while preserving all ratios; the
+//! `--full` harness flag restores paper scale.
+
+use serde::{Deserialize, Serialize};
+use unifyfl_tensor::zoo::ModelSpec;
+
+use crate::synthetic::SyntheticConfig;
+
+/// A complete training workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Workload name (appears in reports).
+    pub name: String,
+    /// Model to train.
+    pub model: ModelSpec,
+    /// Synthetic dataset standing in for the paper's dataset.
+    pub dataset: SyntheticConfig,
+    /// Global FL rounds.
+    pub rounds: usize,
+    /// Local epochs per round (Table 4: 2).
+    pub local_epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Client learning rate (Table 4: 0.01).
+    pub learning_rate: f32,
+}
+
+impl WorkloadConfig {
+    /// The CIFAR-10 edge-cluster workload at paper scale.
+    pub fn cifar10() -> Self {
+        WorkloadConfig {
+            name: "cifar10-like/cnn".into(),
+            model: ModelSpec::small_cnn(10),
+            dataset: SyntheticConfig::cifar10_like(9_000),
+            rounds: 100,
+            local_epochs: 2,
+            batch_size: 5,
+            learning_rate: 0.01,
+        }
+    }
+
+    /// The Tiny-ImageNet GPU-cluster workload at paper scale.
+    ///
+    /// The learning rate is 0.3 rather than Table 4's 0.01: the trained
+    /// model here is the MLP *proxy* for VGG16 (see `ModelSpec::proxy_vgg16`
+    /// and DESIGN.md), and without batch normalization or depth it needs a
+    /// much larger step to match VGG16's per-epoch progress on the
+    /// 200-class task.
+    pub fn tiny_imagenet() -> Self {
+        WorkloadConfig {
+            name: "tiny-imagenet-like/proxy-vgg16".into(),
+            model: ModelSpec::proxy_vgg16(200),
+            dataset: SyntheticConfig::tiny_imagenet_like(12_000),
+            rounds: 50,
+            local_epochs: 2,
+            batch_size: 64,
+            learning_rate: 0.3,
+        }
+    }
+
+    /// Shrinks the workload by `factor` (rounds and samples divided by it,
+    /// minimums enforced) for fast default harness runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero.
+    pub fn scaled(mut self, factor: usize) -> Self {
+        assert!(factor > 0, "scale factor must be positive");
+        if factor == 1 {
+            return self;
+        }
+        self.rounds = (self.rounds / factor).max(3);
+        // Keep at least ~30 samples per class: a 200-class task scaled
+        // below that floor degenerates to noise and loses the paper's
+        // relative orderings.
+        self.dataset.n_samples =
+            (self.dataset.n_samples / factor).max(self.dataset.n_classes * 30);
+        self.name = format!("{} (1/{factor} scale)", self.name);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unifyfl_tensor::zoo::InputKind;
+
+    #[test]
+    fn cifar10_matches_table4() {
+        let w = WorkloadConfig::cifar10();
+        assert_eq!(w.rounds, 100);
+        assert_eq!(w.local_epochs, 2);
+        assert_eq!(w.batch_size, 5);
+        assert!((w.learning_rate - 0.01).abs() < 1e-9);
+        assert_eq!(w.dataset.n_classes, 10);
+        assert!(matches!(w.model.input(), InputKind::Image { .. }));
+        // "62K params"
+        let p = w.model.actual_params();
+        assert!((59_000..=65_000).contains(&p));
+    }
+
+    #[test]
+    fn tiny_imagenet_matches_table4() {
+        let w = WorkloadConfig::tiny_imagenet();
+        assert_eq!(w.rounds, 50);
+        assert_eq!(w.local_epochs, 2);
+        assert_eq!(w.batch_size, 64);
+        assert_eq!(w.dataset.n_classes, 200);
+        // "138M params" charged by the cost model.
+        assert_eq!(w.model.cost_params(), 138_000_000);
+    }
+
+    #[test]
+    fn scaling_preserves_hyperparameters() {
+        let w = WorkloadConfig::cifar10().scaled(10);
+        assert_eq!(w.rounds, 10);
+        assert_eq!(w.local_epochs, 2);
+        assert_eq!(w.batch_size, 5);
+        assert_eq!(w.dataset.n_samples, 900);
+    }
+
+    #[test]
+    fn scaling_enforces_minimums() {
+        let w = WorkloadConfig::cifar10().scaled(1000);
+        assert!(w.rounds >= 3);
+        assert!(w.dataset.n_samples >= w.dataset.n_classes * 4);
+    }
+
+    #[test]
+    fn scale_one_is_identity() {
+        let w = WorkloadConfig::cifar10();
+        assert_eq!(w.clone().scaled(1), w);
+    }
+}

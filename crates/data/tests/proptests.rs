@@ -1,0 +1,79 @@
+//! Property-based tests of the data substrate's invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use unifyfl_data::partition::{dirichlet, gamma_sample, label_skew, Partition};
+use unifyfl_data::SyntheticConfig;
+
+proptest! {
+    /// Any partition of any dataset is a disjoint cover: sizes sum to the
+    /// original and every part is non-empty.
+    #[test]
+    fn partitions_cover_dataset(
+        n_samples in 60usize..400,
+        n_parts in 2usize..6,
+        alpha in 0.05f64..5.0,
+        seed in any::<u64>(),
+        iid in any::<bool>(),
+    ) {
+        let mut cfg = SyntheticConfig::cifar10_like(n_samples);
+        cfg.label_noise = 0.0;
+        let data = cfg.generate(seed);
+        let part = if iid { Partition::Iid } else { Partition::Dirichlet { alpha } };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let shards = part.split(&data, n_parts, &mut rng);
+        prop_assert_eq!(shards.len(), n_parts);
+        prop_assert_eq!(shards.iter().map(|s| s.len()).sum::<usize>(), n_samples);
+        prop_assert!(shards.iter().all(|s| !s.is_empty()));
+        // Skew is a valid total-variation mean.
+        let skew = label_skew(&shards);
+        prop_assert!((0.0..=1.0).contains(&skew), "skew {skew}");
+    }
+
+    /// Partitioning is deterministic in the RNG seed.
+    #[test]
+    fn partitioning_is_deterministic(seed in any::<u64>(), alpha in 0.1f64..2.0) {
+        let data = SyntheticConfig::cifar10_like(200).generate(7);
+        let split = |s| {
+            let mut rng = StdRng::seed_from_u64(s);
+            Partition::Dirichlet { alpha }.split(&data, 3, &mut rng)
+        };
+        let a = split(seed);
+        let b = split(seed);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.labels(), y.labels());
+        }
+    }
+
+    /// Gamma samples are positive and finite for any valid alpha.
+    #[test]
+    fn gamma_samples_are_positive(alpha in 0.01f64..50.0, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = gamma_sample(alpha, &mut rng);
+        prop_assert!(x.is_finite());
+        prop_assert!(x >= 0.0);
+    }
+
+    /// Dirichlet draws form a probability vector.
+    #[test]
+    fn dirichlet_is_simplex(alpha in 0.05f64..10.0, k in 2usize..12, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = dirichlet(&vec![alpha; k], &mut rng);
+        prop_assert_eq!(p.len(), k);
+        prop_assert!(p.iter().all(|x| (0.0..=1.0).contains(x)));
+        let sum: f64 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    /// Dataset subsetting preserves per-sample content.
+    #[test]
+    fn subset_preserves_samples(seed in any::<u64>(), idx in proptest::collection::vec(0usize..100, 1..20)) {
+        let data = SyntheticConfig::cifar10_like(100).generate(seed);
+        let sub = data.subset(&idx);
+        for (pos, &orig) in idx.iter().enumerate() {
+            prop_assert_eq!(sub.sample(pos), data.sample(orig));
+            prop_assert_eq!(sub.labels()[pos], data.labels()[orig]);
+        }
+    }
+}

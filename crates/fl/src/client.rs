@@ -1,0 +1,272 @@
+//! FL clients, mirroring Flower's `NumPyClient` contract.
+//!
+//! A client receives global weights, trains locally for a configured number
+//! of epochs, and returns its updated weights together with its example
+//! count (the FedAvg weight). Clients never expose their raw data — only
+//! weights and metrics cross the boundary, which is the privacy property
+//! the whole system is built around.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use unifyfl_data::Dataset;
+use unifyfl_tensor::optim::Sgd;
+use unifyfl_tensor::zoo::ModelSpec;
+use unifyfl_tensor::Sequential;
+
+/// Per-round training instructions sent by the server.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FitConfig {
+    /// Local epochs to run (Table 4: 2).
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// SGD learning rate.
+    pub learning_rate: f32,
+    /// Global round number (for logging/seeding).
+    pub round: u64,
+}
+
+/// Result of a local fit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FitResult {
+    /// Updated local weights.
+    pub weights: Vec<f32>,
+    /// Number of local training examples (FedAvg weight).
+    pub num_examples: usize,
+    /// Mean training loss over the final epoch.
+    pub train_loss: f64,
+}
+
+/// Result of a local evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalResult {
+    /// Mean loss on the client's data.
+    pub loss: f64,
+    /// Accuracy on the client's data.
+    pub accuracy: f64,
+    /// Number of examples evaluated.
+    pub num_examples: usize,
+}
+
+/// A federated-learning client.
+pub trait FlClient: Send {
+    /// Trains locally starting from `weights` and returns the update.
+    fn fit(&mut self, weights: &[f32], config: &FitConfig) -> FitResult;
+
+    /// Evaluates `weights` on the client's local data.
+    fn evaluate(&mut self, weights: &[f32]) -> EvalResult;
+
+    /// Number of local training examples.
+    fn num_examples(&self) -> usize;
+}
+
+/// A client holding its shard in memory and training a real model.
+pub struct InMemoryClient {
+    spec: ModelSpec,
+    model: Sequential,
+    data: Dataset,
+    rng: StdRng,
+}
+
+impl InMemoryClient {
+    /// Creates a client over a data shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard is empty.
+    pub fn new(spec: ModelSpec, data: Dataset, seed: u64) -> Self {
+        assert!(!data.is_empty(), "client shard must not be empty");
+        let model = spec.build(seed);
+        InMemoryClient {
+            spec,
+            model,
+            data,
+            rng: StdRng::seed_from_u64(seed ^ 0xC11E57),
+        }
+    }
+
+    /// The model specification this client trains.
+    pub fn spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    /// The client's local shard (test-only introspection).
+    pub fn data(&self) -> &Dataset {
+        &self.data
+    }
+}
+
+impl FlClient for InMemoryClient {
+    fn fit(&mut self, weights: &[f32], config: &FitConfig) -> FitResult {
+        self.model.set_flat_params(weights);
+        // Plain SGD, per §4.1.3 of the paper. Momentum would let local
+        // models drift far enough apart that parameter averaging across
+        // NIID clusters collapses.
+        let mut opt = Sgd::new(config.learning_rate, 0.0);
+        let mut last_epoch_loss = 0.0f64;
+        for _ in 0..config.epochs.max(1) {
+            let mut epoch_loss = 0.0f64;
+            let mut batches = 0usize;
+            for (x, y) in self.data.batches(config.batch_size, &mut self.rng) {
+                let out = self.model.train_batch(&x, &y);
+                let grads = self.model.flat_grads();
+                let mut params = self.model.flat_params();
+                opt.step(&mut params, &grads);
+                self.model.set_flat_params(&params);
+                epoch_loss += out.loss as f64;
+                batches += 1;
+            }
+            last_epoch_loss = epoch_loss / batches.max(1) as f64;
+        }
+        FitResult {
+            weights: self.model.flat_params(),
+            num_examples: self.data.len(),
+            train_loss: last_epoch_loss,
+        }
+    }
+
+    fn evaluate(&mut self, weights: &[f32]) -> EvalResult {
+        self.model.set_flat_params(weights);
+        evaluate_model(&mut self.model, &self.data)
+    }
+
+    fn num_examples(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// Evaluates a model over a dataset in chunks (memory-bounded).
+pub fn evaluate_model(model: &mut Sequential, data: &Dataset) -> EvalResult {
+    const EVAL_CHUNK: usize = 256;
+    if data.is_empty() {
+        return EvalResult {
+            loss: 0.0,
+            accuracy: 0.0,
+            num_examples: 0,
+        };
+    }
+    let mut loss_sum = 0.0f64;
+    let mut correct = 0usize;
+    let indices: Vec<usize> = (0..data.len()).collect();
+    for chunk in indices.chunks(EVAL_CHUNK) {
+        let sub = data.subset(chunk);
+        let (loss, acc) = model.evaluate_batch(&sub.as_tensor(), sub.labels());
+        loss_sum += loss as f64 * chunk.len() as f64;
+        correct += (acc as f64 * chunk.len() as f64).round() as usize;
+    }
+    EvalResult {
+        loss: loss_sum / data.len() as f64,
+        accuracy: correct as f64 / data.len() as f64,
+        num_examples: data.len(),
+    }
+}
+
+/// Convenience: build a model from `spec`, load `weights`, evaluate on
+/// `data`. Used by the accuracy scorers.
+///
+/// # Panics
+///
+/// Panics if `weights` does not match the spec's parameter count.
+pub fn evaluate_weights(spec: &ModelSpec, weights: &[f32], data: &Dataset) -> EvalResult {
+    let mut model = spec.build(0);
+    model.set_flat_params(weights);
+    evaluate_model(&mut model, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unifyfl_data::SyntheticConfig;
+
+    fn easy_shard(seed: u64) -> (ModelSpec, Dataset) {
+        let mut cfg = SyntheticConfig::cifar10_like(300);
+        cfg.input = unifyfl_tensor::zoo::InputKind::Flat(16);
+        cfg.n_classes = 4;
+        cfg.noise_scale = 0.3;
+        cfg.label_noise = 0.0;
+        let spec = ModelSpec::mlp(16, vec![32], 4);
+        (spec, cfg.generate(seed))
+    }
+
+    fn config() -> FitConfig {
+        FitConfig {
+            epochs: 2,
+            batch_size: 16,
+            learning_rate: 0.05,
+            round: 1,
+        }
+    }
+
+    #[test]
+    fn fit_improves_over_initial_weights() {
+        let (spec, data) = easy_shard(1);
+        let mut client = InMemoryClient::new(spec.clone(), data, 1);
+        let init = spec.build(1).flat_params();
+        let before = client.evaluate(&init);
+        let mut w = init;
+        for round in 0..5 {
+            let mut c = config();
+            c.round = round;
+            w = client.fit(&w, &c).weights;
+        }
+        let after = client.evaluate(&w);
+        assert!(
+            after.accuracy > before.accuracy + 0.2,
+            "accuracy {} -> {}",
+            before.accuracy,
+            after.accuracy
+        );
+        assert!(after.loss < before.loss);
+    }
+
+    #[test]
+    fn fit_reports_example_count() {
+        let (spec, data) = easy_shard(2);
+        let n = data.len();
+        let mut client = InMemoryClient::new(spec.clone(), data, 2);
+        let w = spec.build(2).flat_params();
+        let result = client.fit(&w, &config());
+        assert_eq!(result.num_examples, n);
+        assert_eq!(client.num_examples(), n);
+        assert!(result.train_loss.is_finite());
+    }
+
+    #[test]
+    fn fit_changes_weights() {
+        let (spec, data) = easy_shard(3);
+        let mut client = InMemoryClient::new(spec.clone(), data, 3);
+        let w = spec.build(3).flat_params();
+        let result = client.fit(&w, &config());
+        assert_ne!(result.weights, w);
+        assert_eq!(result.weights.len(), w.len());
+    }
+
+    #[test]
+    fn evaluate_weights_matches_client_evaluate() {
+        let (spec, data) = easy_shard(4);
+        let w = spec.build(4).flat_params();
+        let via_helper = evaluate_weights(&spec, &w, &data);
+        let mut client = InMemoryClient::new(spec, data, 4);
+        let via_client = client.evaluate(&w);
+        assert!((via_helper.accuracy - via_client.accuracy).abs() < 1e-9);
+        assert!((via_helper.loss - via_client.loss).abs() < 1e-6);
+    }
+
+    #[test]
+    fn evaluate_empty_dataset_is_zero() {
+        let spec = ModelSpec::mlp(4, vec![], 2);
+        let mut model = spec.build(0);
+        let empty = Dataset::new(unifyfl_tensor::zoo::InputKind::Flat(4), 2, vec![], vec![]);
+        let r = evaluate_model(&mut model, &empty);
+        assert_eq!(r.num_examples, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_shard_rejected() {
+        let spec = ModelSpec::mlp(4, vec![], 2);
+        let empty = Dataset::new(unifyfl_tensor::zoo::InputKind::Flat(4), 2, vec![], vec![]);
+        let _ = InMemoryClient::new(spec, empty, 0);
+    }
+}

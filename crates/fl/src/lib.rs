@@ -1,0 +1,25 @@
+//! Flower-like federated learning framework for the UnifyFL reproduction.
+//!
+//! The paper builds on the Flower framework: each organization runs an FL
+//! server (the *aggregator*) over its own clients. This crate reproduces
+//! that layer:
+//!
+//! - [`client`] — the [`client::FlClient`] trait and the
+//!   [`client::InMemoryClient`] that trains a real model on its shard;
+//! - [`strategy`] — [`strategy::FedAvg`] and [`strategy::FedYogi`]
+//!   aggregation strategies behind a common trait;
+//! - [`server`] — the [`server::FlServer`] round loop
+//!   (configure → fit → aggregate), with clients fitted on parallel
+//!   threads.
+//!
+//! UnifyFL's cross-silo layer (`unifyfl-core`) composes these servers with
+//! the blockchain orchestrator and IPFS storage; the clients here are
+//! untouched by that composition, matching §3.4.5 of the paper.
+
+pub mod client;
+pub mod server;
+pub mod strategy;
+
+pub use client::{evaluate_weights, EvalResult, FitConfig, FitResult, FlClient, InMemoryClient};
+pub use server::{FlServer, RoundReport};
+pub use strategy::{FedAvg, FedYogi, Strategy, StrategyKind};

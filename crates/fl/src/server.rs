@@ -1,0 +1,269 @@
+//! The intra-cluster FL server: one aggregator driving its local clients,
+//! mirroring Flower's round loop (`configure_fit → fit → aggregate_fit`).
+//!
+//! In UnifyFL each organization keeps running exactly this single-cluster
+//! loop; the cross-silo layer (crate `unifyfl-core`) wraps it with the
+//! blockchain/IPFS workflow without touching the clients — the paper's
+//! "clients remain unaffected" property (§3.4.5).
+
+use crate::client::{EvalResult, FitConfig, FlClient};
+use crate::strategy::Strategy;
+
+/// Report of one completed intra-cluster round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundReport {
+    /// Round number.
+    pub round: u64,
+    /// Mean client training loss (final local epoch), example-weighted.
+    pub train_loss: f64,
+    /// Total examples across participating clients.
+    pub total_examples: usize,
+    /// Per-client example counts (FedAvg weights used).
+    pub client_examples: Vec<usize>,
+}
+
+/// A single-cluster FL server.
+pub struct FlServer {
+    strategy: Box<dyn Strategy>,
+    clients: Vec<Box<dyn FlClient>>,
+    weights: Vec<f32>,
+    round: u64,
+}
+
+impl FlServer {
+    /// Creates a server with initial `weights` (from the cluster's model
+    /// spec) and its client fleet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients` is empty.
+    pub fn new(
+        strategy: Box<dyn Strategy>,
+        clients: Vec<Box<dyn FlClient>>,
+        weights: Vec<f32>,
+    ) -> Self {
+        assert!(!clients.is_empty(), "server needs at least one client");
+        FlServer {
+            strategy,
+            clients,
+            weights,
+            round: 0,
+        }
+    }
+
+    /// Current global (cluster-local) weights.
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// Overwrites the server weights (used after cross-silo aggregation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the current weights.
+    pub fn set_weights(&mut self, weights: Vec<f32>) {
+        assert_eq!(
+            weights.len(),
+            self.weights.len(),
+            "weight vector length mismatch"
+        );
+        self.weights = weights;
+    }
+
+    /// The strategy's display name.
+    pub fn strategy_name(&self) -> &str {
+        self.strategy.name()
+    }
+
+    /// Number of clients in this cluster.
+    pub fn client_count(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Completed round count.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Runs one FL round: every client fits from the current weights in
+    /// parallel, the strategy aggregates, and the server adopts the result.
+    pub fn run_round(&mut self, epochs: usize, batch_size: usize, learning_rate: f32) -> RoundReport {
+        self.round += 1;
+        let config = FitConfig {
+            epochs,
+            batch_size,
+            learning_rate,
+            round: self.round,
+        };
+        let weights = &self.weights;
+        // Clients are independent: fit them on scoped threads (this is
+        // wall-clock parallelism; *virtual* time is charged separately by
+        // the simulation layer).
+        let results: Vec<crate::client::FitResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .clients
+                .iter_mut()
+                .map(|client| scope.spawn(|| client.fit(weights, &config)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client fit panicked"))
+                .collect()
+        });
+
+        let client_examples: Vec<usize> = results.iter().map(|r| r.num_examples).collect();
+        let total_examples: usize = client_examples.iter().sum();
+        let train_loss = results
+            .iter()
+            .map(|r| r.train_loss * r.num_examples as f64)
+            .sum::<f64>()
+            / total_examples.max(1) as f64;
+
+        let updates: Vec<(Vec<f32>, usize)> = results
+            .into_iter()
+            .map(|r| (r.weights, r.num_examples))
+            .collect();
+        self.weights = self.strategy.aggregate(&self.weights, &updates);
+
+        RoundReport {
+            round: self.round,
+            train_loss,
+            total_examples,
+            client_examples,
+        }
+    }
+
+    /// Evaluates given weights across all clients, example-weighted.
+    pub fn evaluate(&mut self, weights: &[f32]) -> EvalResult {
+        let mut loss = 0.0f64;
+        let mut acc = 0.0f64;
+        let mut n = 0usize;
+        for client in &mut self.clients {
+            let r = client.evaluate(weights);
+            loss += r.loss * r.num_examples as f64;
+            acc += r.accuracy * r.num_examples as f64;
+            n += r.num_examples;
+        }
+        EvalResult {
+            loss: loss / n.max(1) as f64,
+            accuracy: acc / n.max(1) as f64,
+            num_examples: n,
+        }
+    }
+}
+
+impl std::fmt::Debug for FlServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlServer")
+            .field("strategy", &self.strategy.name())
+            .field("clients", &self.clients.len())
+            .field("round", &self.round)
+            .field("params", &self.weights.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::InMemoryClient;
+    use crate::strategy::{FedAvg, FedYogi};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use unifyfl_data::{Partition, SyntheticConfig};
+    use unifyfl_tensor::zoo::ModelSpec;
+
+    fn cluster(strategy: Box<dyn Strategy>, seed: u64) -> (FlServer, unifyfl_data::Dataset) {
+        let mut cfg = SyntheticConfig::cifar10_like(600);
+        cfg.input = unifyfl_tensor::zoo::InputKind::Flat(16);
+        cfg.n_classes = 4;
+        cfg.noise_scale = 0.5;
+        cfg.label_noise = 0.0;
+        let data = cfg.generate(seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (train, test) = data.split(0.2, &mut rng);
+        let shards = Partition::Iid.split(&train, 3, &mut rng);
+        let spec = ModelSpec::mlp(16, vec![32], 4);
+        let clients: Vec<Box<dyn FlClient>> = shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                Box::new(InMemoryClient::new(spec.clone(), shard, seed + i as u64))
+                    as Box<dyn FlClient>
+            })
+            .collect();
+        let weights = spec.build(seed).flat_params();
+        (FlServer::new(strategy, clients, weights), test)
+    }
+
+    #[test]
+    fn rounds_improve_accuracy() {
+        let (mut server, test) = cluster(Box::new(FedAvg::new()), 1);
+        let spec = ModelSpec::mlp(16, vec![32], 4);
+        let before = crate::client::evaluate_weights(&spec, server.weights(), &test);
+        for _ in 0..6 {
+            server.run_round(2, 16, 0.05);
+        }
+        let after = crate::client::evaluate_weights(&spec, server.weights(), &test);
+        assert!(
+            after.accuracy > before.accuracy + 0.3,
+            "{} -> {}",
+            before.accuracy,
+            after.accuracy
+        );
+    }
+
+    #[test]
+    fn fedyogi_also_learns() {
+        let (mut server, test) = cluster(Box::new(FedYogi::with_lr(0.1)), 2);
+        let spec = ModelSpec::mlp(16, vec![32], 4);
+        for _ in 0..8 {
+            server.run_round(2, 16, 0.05);
+        }
+        let after = crate::client::evaluate_weights(&spec, server.weights(), &test);
+        assert!(after.accuracy > 0.5, "accuracy {}", after.accuracy);
+    }
+
+    #[test]
+    fn report_carries_round_metadata() {
+        let (mut server, _) = cluster(Box::new(FedAvg::new()), 3);
+        let r1 = server.run_round(1, 16, 0.05);
+        let r2 = server.run_round(1, 16, 0.05);
+        assert_eq!(r1.round, 1);
+        assert_eq!(r2.round, 2);
+        assert_eq!(r1.client_examples.len(), 3);
+        assert_eq!(r1.total_examples, 480);
+        assert!(r1.train_loss.is_finite());
+        assert_eq!(server.round(), 2);
+    }
+
+    #[test]
+    fn set_weights_overrides_model() {
+        let (mut server, _) = cluster(Box::new(FedAvg::new()), 4);
+        let zeros = vec![0.0f32; server.weights().len()];
+        server.set_weights(zeros.clone());
+        assert_eq!(server.weights(), zeros.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn set_weights_rejects_wrong_len() {
+        let (mut server, _) = cluster(Box::new(FedAvg::new()), 5);
+        server.set_weights(vec![0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn empty_cluster_rejected() {
+        let _ = FlServer::new(Box::new(FedAvg::new()), vec![], vec![0.0]);
+    }
+
+    #[test]
+    fn evaluate_is_example_weighted() {
+        let (mut server, _) = cluster(Box::new(FedAvg::new()), 6);
+        let w = server.weights().to_vec();
+        let r = server.evaluate(&w);
+        assert_eq!(r.num_examples, 480);
+        assert!(r.loss.is_finite());
+    }
+}

@@ -1,0 +1,224 @@
+//! Aggregation strategies, mirroring Flower's `Strategy` abstraction.
+//!
+//! The paper's flexibility claim (§4.2.2) rests on clusters freely choosing
+//! their aggregation algorithm; Runs 3–5 of Table 5 mix [`FedAvg`] and
+//! [`FedYogi`] within one federation. Both are implemented here against a
+//! common [`Strategy`] trait so cluster nodes can be configured per-run.
+
+use unifyfl_tensor::optim::Yogi;
+
+/// A weighted model update: `(weights, num_examples)`.
+pub type WeightedUpdate = (Vec<f32>, usize);
+
+/// Server-side aggregation strategy.
+pub trait Strategy: Send {
+    /// Strategy name for reports (e.g. `"FedAvg"`).
+    fn name(&self) -> &str;
+
+    /// Combines client updates into new global weights, starting from the
+    /// server's `current` weights.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if updates have inconsistent lengths.
+    fn aggregate(&mut self, current: &[f32], updates: &[WeightedUpdate]) -> Vec<f32>;
+}
+
+/// Example-weighted parameter mean (McMahan et al.).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FedAvg;
+
+impl FedAvg {
+    /// Creates a FedAvg strategy.
+    pub fn new() -> Self {
+        FedAvg
+    }
+}
+
+/// Weighted mean of updates; `current` is returned unchanged when no
+/// updates arrive.
+pub fn weighted_mean(current: &[f32], updates: &[WeightedUpdate]) -> Vec<f32> {
+    if updates.is_empty() {
+        return current.to_vec();
+    }
+    let dim = updates[0].0.len();
+    let total: f64 = updates.iter().map(|(_, n)| *n as f64).sum();
+    assert!(total > 0.0, "updates must carry positive example counts");
+    let mut out = vec![0.0f64; dim];
+    for (w, n) in updates {
+        assert_eq!(w.len(), dim, "update length mismatch");
+        let coef = *n as f64 / total;
+        for (o, &x) in out.iter_mut().zip(w) {
+            *o += coef * x as f64;
+        }
+    }
+    out.into_iter().map(|x| x as f32).collect()
+}
+
+impl Strategy for FedAvg {
+    fn name(&self) -> &str {
+        "FedAvg"
+    }
+
+    fn aggregate(&mut self, current: &[f32], updates: &[WeightedUpdate]) -> Vec<f32> {
+        weighted_mean(current, updates)
+    }
+}
+
+/// FedYogi (Reddi et al.): the weighted mean becomes a pseudo-gradient for
+/// a server-side Yogi optimizer, giving adaptive per-coordinate server
+/// steps that tolerate heterogeneous client drift.
+pub struct FedYogi {
+    yogi: Yogi,
+}
+
+impl FedYogi {
+    /// Creates FedYogi with a conservative default server learning rate
+    /// (0.03; the paper does not report theirs). Larger server steps let
+    /// the Yogi model drift off the clients' consensus manifold, which
+    /// destabilizes subsequent high-lr local training.
+    pub fn new() -> Self {
+        FedYogi {
+            yogi: Yogi::new(0.03),
+        }
+    }
+
+    /// Creates FedYogi with an explicit server learning rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server_lr` is not positive.
+    pub fn with_lr(server_lr: f32) -> Self {
+        FedYogi {
+            yogi: Yogi::new(server_lr),
+        }
+    }
+}
+
+impl Default for FedYogi {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Strategy for FedYogi {
+    fn name(&self) -> &str {
+        "FedYogi"
+    }
+
+    fn aggregate(&mut self, current: &[f32], updates: &[WeightedUpdate]) -> Vec<f32> {
+        if updates.is_empty() {
+            return current.to_vec();
+        }
+        let mean = weighted_mean(current, updates);
+        // Pseudo-gradient points from the aggregate back to the server
+        // model; stepping against it moves the server toward the aggregate
+        // with adaptive coordinates.
+        let pseudo_grad: Vec<f32> = current.iter().zip(&mean).map(|(c, m)| c - m).collect();
+        let mut params = current.to_vec();
+        self.yogi.step(&mut params, &pseudo_grad);
+        params
+    }
+}
+
+impl std::fmt::Debug for FedYogi {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FedYogi").finish()
+    }
+}
+
+/// Strategy selector used in experiment configs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum StrategyKind {
+    /// Example-weighted mean.
+    FedAvg,
+    /// Adaptive server optimizer.
+    FedYogi,
+}
+
+impl StrategyKind {
+    /// Instantiates the strategy.
+    pub fn build(self) -> Box<dyn Strategy> {
+        match self {
+            StrategyKind::FedAvg => Box::new(FedAvg::new()),
+            StrategyKind::FedYogi => Box::new(FedYogi::new()),
+        }
+    }
+}
+
+impl std::fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StrategyKind::FedAvg => write!(f, "FedAvg"),
+            StrategyKind::FedYogi => write!(f, "FedYogi"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fedavg_weights_by_example_count() {
+        let mut s = FedAvg::new();
+        let updates = vec![(vec![0.0f32, 0.0], 1), (vec![4.0f32, 8.0], 3)];
+        let out = s.aggregate(&[9.0, 9.0], &updates);
+        assert_eq!(out, vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn fedavg_equal_weights_is_plain_mean() {
+        let mut s = FedAvg::new();
+        let updates = vec![(vec![1.0f32], 5), (vec![3.0f32], 5)];
+        assert_eq!(s.aggregate(&[0.0], &updates), vec![2.0]);
+    }
+
+    #[test]
+    fn empty_updates_keep_current() {
+        let mut avg = FedAvg::new();
+        let mut yogi = FedYogi::new();
+        assert_eq!(avg.aggregate(&[1.0, 2.0], &[]), vec![1.0, 2.0]);
+        assert_eq!(yogi.aggregate(&[1.0, 2.0], &[]), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn fedyogi_moves_toward_aggregate() {
+        let mut s = FedYogi::new();
+        let current = vec![0.0f32; 4];
+        let updates = vec![(vec![1.0f32; 4], 10)];
+        let mut params = current;
+        for _ in 0..200 {
+            params = s.aggregate(&params, &updates);
+        }
+        // Repeated steps should approach the client consensus at 1.0.
+        assert!(
+            params.iter().all(|p| (*p - 1.0).abs() < 0.3),
+            "{params:?}"
+        );
+    }
+
+    #[test]
+    fn fedyogi_single_step_is_bounded() {
+        let mut s = FedYogi::new();
+        let current = vec![0.0f32; 4];
+        let updates = vec![(vec![100.0f32; 4], 10)];
+        let out = s.aggregate(&current, &updates);
+        // Adaptive normalization bounds the step magnitude near the lr.
+        assert!(out.iter().all(|p| p.abs() < 1.0), "{out:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "update length mismatch")]
+    fn mismatched_update_lengths_panic() {
+        let mut s = FedAvg::new();
+        let _ = s.aggregate(&[0.0], &[(vec![1.0], 1), (vec![1.0, 2.0], 1)]);
+    }
+
+    #[test]
+    fn kind_builds_named_strategies() {
+        assert_eq!(StrategyKind::FedAvg.build().name(), "FedAvg");
+        assert_eq!(StrategyKind::FedYogi.build().name(), "FedYogi");
+        assert_eq!(StrategyKind::FedAvg.to_string(), "FedAvg");
+    }
+}

@@ -1,0 +1,258 @@
+//! Deterministic event queue and virtual clock.
+//!
+//! The queue is generic over the event payload so that higher layers (the
+//! blockchain, the storage fabric, the UnifyFL experiment engine) define
+//! their own event enums. Events scheduled for the same instant pop in FIFO
+//! order, which makes whole-experiment runs bit-reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+use crate::clock::{SimDuration, SimTime};
+
+/// Opaque handle identifying a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    id: EventId,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic priority queue of timed events.
+///
+/// ```
+/// use unifyfl_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// let a = q.schedule(SimTime::from_secs(1), "a");
+/// let _b = q.schedule(SimTime::from_secs(1), "b");
+/// q.cancel(a);
+/// assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: HashSet<EventId>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at `time` and returns a cancellation
+    /// handle. Events at equal times fire in scheduling order.
+    pub fn schedule(&mut self, time: SimTime, payload: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let id = EventId(seq);
+        self.heap.push(Entry {
+            time,
+            seq,
+            id,
+            payload,
+        });
+        id
+    }
+
+    /// Schedules `payload` to fire `delay` after `now`.
+    pub fn schedule_after(&mut self, now: SimTime, delay: SimDuration, payload: E) -> EventId {
+        self.schedule(now + delay, payload)
+    }
+
+    /// Cancels a previously scheduled event. Cancelling an event that already
+    /// fired (or was never scheduled) is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id);
+    }
+
+    /// Removes and returns the earliest pending event, skipping cancelled
+    /// ones. Returns `None` when the queue is exhausted.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            return Some((entry.time, entry.payload));
+        }
+        None
+    }
+
+    /// The firing time of the next live event without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drain cancelled entries off the top so the peek is accurate.
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.id) {
+                let entry = self.heap.pop().expect("peeked entry exists");
+                self.cancelled.remove(&entry.id);
+                continue;
+            }
+            return Some(entry.time);
+        }
+        None
+    }
+
+    /// Number of live (non-cancelled) events still pending.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True if no live events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.len())
+            .finish()
+    }
+}
+
+/// A monotonically advancing virtual clock.
+///
+/// The clock only moves forward: [`VirtualClock::advance_to`] with an earlier
+/// instant is a no-op, so event handlers cannot accidentally rewind time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VirtualClock {
+    now: SimTime,
+}
+
+impl VirtualClock {
+    /// A clock at t = 0.
+    pub fn new() -> Self {
+        VirtualClock { now: SimTime::ZERO }
+    }
+
+    /// The current virtual instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Moves the clock forward to `time` (no-op if `time` is in the past).
+    pub fn advance_to(&mut self, time: SimTime) {
+        self.now = self.now.max(time);
+    }
+
+    /// Moves the clock forward by `delta`.
+    pub fn advance_by(&mut self, delta: SimDuration) {
+        self.now = self.now + delta;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3), 3u32);
+        q.schedule(SimTime::from_secs(1), 1u32);
+        q.schedule(SimTime::from_secs(2), 2u32);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            q.schedule(SimTime::from_secs(7), i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_skips_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(2), "b");
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), "a");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("a"));
+        q.cancel(a);
+        q.schedule(SimTime::from_secs(2), "b");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(5), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
+    }
+
+    #[test]
+    fn schedule_after_offsets_from_now() {
+        let mut q = EventQueue::new();
+        q.schedule_after(SimTime::from_secs(10), SimDuration::from_secs(5), "x");
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(15)));
+    }
+
+    #[test]
+    fn clock_is_monotonic() {
+        let mut c = VirtualClock::new();
+        c.advance_to(SimTime::from_secs(10));
+        c.advance_to(SimTime::from_secs(5));
+        assert_eq!(c.now(), SimTime::from_secs(10));
+        c.advance_by(SimDuration::from_secs(1));
+        assert_eq!(c.now(), SimTime::from_secs(11));
+    }
+
+    #[test]
+    fn len_accounts_for_cancellations() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..10).map(|i| q.schedule(SimTime::from_secs(i), i)).collect();
+        for id in ids.iter().take(4) {
+            q.cancel(*id);
+        }
+        assert_eq!(q.len(), 6);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,174 @@
+//! Per-node block storage with pinning and garbage collection.
+//!
+//! Each IPFS node owns a [`BlockStore`]: a CID-addressed map of raw blocks.
+//! Pinning protects a DAG (root + leaves) from [`BlockStore::gc`], matching
+//! the `ipfs pin` semantics the paper's aggregators rely on to keep their
+//! published model weights available.
+
+use std::collections::{HashMap, HashSet};
+
+use bytes::Bytes;
+
+use crate::chunker::decode_root;
+use crate::cid::Cid;
+
+/// A CID-addressed block store.
+#[derive(Debug, Default)]
+pub struct BlockStore {
+    blocks: HashMap<Cid, Bytes>,
+    pinned: HashSet<Cid>,
+}
+
+impl BlockStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores a block under its CID; returns the CID.
+    pub fn put(&mut self, data: Bytes) -> Cid {
+        let cid = Cid::for_data(&data);
+        self.blocks.insert(cid, data);
+        cid
+    }
+
+    /// Retrieves a block.
+    pub fn get(&self, cid: Cid) -> Option<Bytes> {
+        self.blocks.get(&cid).cloned()
+    }
+
+    /// True if the block is present locally.
+    pub fn has(&self, cid: Cid) -> bool {
+        self.blocks.contains_key(&cid)
+    }
+
+    /// Number of blocks stored.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True if the store holds no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Total bytes stored.
+    pub fn total_bytes(&self) -> u64 {
+        self.blocks.values().map(|b| b.len() as u64).sum()
+    }
+
+    /// Pins `cid`; if it is a DAG root also pins its children (recursive
+    /// pin, like `ipfs pin add -r`). Unknown CIDs are pinned speculatively.
+    pub fn pin(&mut self, cid: Cid) {
+        self.pinned.insert(cid);
+        if let Some(block) = self.blocks.get(&cid) {
+            if let Some(root) = decode_root(block) {
+                for child in root.children {
+                    self.pinned.insert(child);
+                }
+            }
+        }
+    }
+
+    /// Removes a pin (children of a root pinned via [`BlockStore::pin`] are
+    /// unpinned as well).
+    pub fn unpin(&mut self, cid: Cid) {
+        self.pinned.remove(&cid);
+        if let Some(block) = self.blocks.get(&cid) {
+            if let Some(root) = decode_root(block) {
+                for child in root.children {
+                    self.pinned.remove(&child);
+                }
+            }
+        }
+    }
+
+    /// True if `cid` is pinned.
+    pub fn is_pinned(&self, cid: Cid) -> bool {
+        self.pinned.contains(&cid)
+    }
+
+    /// Garbage-collects all unpinned blocks; returns how many were removed.
+    pub fn gc(&mut self) -> usize {
+        let before = self.blocks.len();
+        let pinned = &self.pinned;
+        self.blocks.retain(|cid, _| pinned.contains(cid));
+        before - self.blocks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunker::chunk;
+
+    #[test]
+    fn put_get_round_trip() {
+        let mut bs = BlockStore::new();
+        let cid = bs.put(Bytes::from_static(b"block data"));
+        assert_eq!(bs.get(cid).unwrap(), Bytes::from_static(b"block data"));
+        assert!(bs.has(cid));
+        assert_eq!(bs.len(), 1);
+        assert_eq!(bs.total_bytes(), 10);
+    }
+
+    #[test]
+    fn gc_removes_only_unpinned() {
+        let mut bs = BlockStore::new();
+        let keep = bs.put(Bytes::from_static(b"keep"));
+        let _drop = bs.put(Bytes::from_static(b"drop"));
+        bs.pin(keep);
+        let removed = bs.gc();
+        assert_eq!(removed, 1);
+        assert!(bs.has(keep));
+        assert_eq!(bs.len(), 1);
+    }
+
+    #[test]
+    fn recursive_pin_protects_dag() {
+        let data = vec![3u8; 1000];
+        let file = chunk(&data, 256);
+        // Identical chunks dedup to one block: count distinct CIDs.
+        let distinct_leaves: std::collections::HashSet<_> =
+            file.leaves.iter().map(|(c, _)| *c).collect();
+        let mut bs = BlockStore::new();
+        for (_, leaf) in &file.leaves {
+            bs.put(leaf.clone());
+        }
+        bs.put(file.root_block.clone());
+        bs.pin(file.root);
+        assert_eq!(bs.gc(), 0, "whole DAG survives GC");
+        assert_eq!(bs.len(), 1 + distinct_leaves.len());
+
+        bs.unpin(file.root);
+        assert_eq!(bs.gc(), 1 + distinct_leaves.len());
+        assert!(bs.is_empty());
+    }
+
+    #[test]
+    fn unpin_unknown_is_noop() {
+        let mut bs = BlockStore::new();
+        let cid = Cid::for_data(b"ghost");
+        bs.unpin(cid);
+        assert!(!bs.is_pinned(cid));
+    }
+
+    #[test]
+    fn speculative_pin_applies_when_block_arrives() {
+        let mut bs = BlockStore::new();
+        let cid = Cid::for_data(b"later");
+        bs.pin(cid);
+        bs.put(Bytes::from_static(b"later"));
+        assert_eq!(bs.gc(), 0);
+        assert!(bs.has(cid));
+    }
+
+    #[test]
+    fn duplicate_put_dedupes() {
+        let mut bs = BlockStore::new();
+        let a = bs.put(Bytes::from_static(b"same"));
+        let b = bs.put(Bytes::from_static(b"same"));
+        assert_eq!(a, b);
+        assert_eq!(bs.len(), 1);
+    }
+}

@@ -1,0 +1,233 @@
+//! File chunking and the DAG root node.
+//!
+//! IPFS splits files into fixed-size blocks (256 KiB by default) and links
+//! them under a root node; the file's CID is the root node's CID. We
+//! reproduce that layout with a one-level DAG (sufficient for model-weight
+//! files of a few hundred MB): the root block encodes the total length and
+//! the ordered child CIDs.
+
+use bytes::Bytes;
+
+use crate::cid::Cid;
+
+/// Default IPFS chunk size: 256 KiB.
+pub const DEFAULT_CHUNK_SIZE: usize = 256 * 1024;
+
+/// Marker prefix distinguishing root (DAG) blocks from raw leaf blocks.
+const ROOT_MAGIC: &[u8; 8] = b"UFLDAGv0";
+
+/// A chunked file: the root block plus its leaf blocks.
+#[derive(Debug, Clone)]
+pub struct ChunkedFile {
+    /// CID of the root block (== the file's CID).
+    pub root: Cid,
+    /// The encoded root block.
+    pub root_block: Bytes,
+    /// `(cid, data)` for every leaf chunk, in file order.
+    pub leaves: Vec<(Cid, Bytes)>,
+    /// Original file length in bytes.
+    pub total_len: u64,
+}
+
+/// Splits `data` into chunks of `chunk_size` and builds the root block.
+///
+/// # Panics
+///
+/// Panics if `chunk_size` is zero.
+pub fn chunk(data: &[u8], chunk_size: usize) -> ChunkedFile {
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    let leaves: Vec<(Cid, Bytes)> = data
+        .chunks(chunk_size)
+        .map(|c| (Cid::for_data(c), Bytes::copy_from_slice(c)))
+        .collect();
+
+    let mut root_block = Vec::with_capacity(8 + 8 + 4 + leaves.len() * 32);
+    root_block.extend_from_slice(ROOT_MAGIC);
+    root_block.extend_from_slice(&(data.len() as u64).to_be_bytes());
+    root_block.extend_from_slice(&(leaves.len() as u32).to_be_bytes());
+    for (cid, _) in &leaves {
+        root_block.extend_from_slice(cid.digest().as_bytes());
+    }
+    let root_block = Bytes::from(root_block);
+    ChunkedFile {
+        root: Cid::for_data(&root_block),
+        root_block,
+        leaves,
+        total_len: data.len() as u64,
+    }
+}
+
+/// Splits with the default 256 KiB chunk size.
+pub fn chunk_default(data: &[u8]) -> ChunkedFile {
+    chunk(data, DEFAULT_CHUNK_SIZE)
+}
+
+/// Parsed form of a root block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RootNode {
+    /// Original file length.
+    pub total_len: u64,
+    /// Child chunk CIDs in order.
+    pub children: Vec<Cid>,
+}
+
+/// Decodes a root block; `None` if `block` is not a root node (i.e. it is a
+/// raw leaf, or corrupt).
+pub fn decode_root(block: &[u8]) -> Option<RootNode> {
+    if block.len() < 20 || &block[..8] != ROOT_MAGIC {
+        return None;
+    }
+    let total_len = u64::from_be_bytes(block[8..16].try_into().ok()?);
+    let n = u32::from_be_bytes(block[16..20].try_into().ok()?) as usize;
+    let rest = &block[20..];
+    if rest.len() != n * 32 {
+        return None;
+    }
+    let mut children = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut digest = [0u8; 32];
+        digest.copy_from_slice(&rest[i * 32..(i + 1) * 32]);
+        children.push(Cid::from_digest(unifyfl_chain::hash::H256(digest)));
+    }
+    Some(RootNode {
+        total_len,
+        children,
+    })
+}
+
+/// Reassembles a file from its root node and a chunk lookup, verifying each
+/// chunk against its CID.
+///
+/// # Errors
+///
+/// Returns [`ReassembleError`] if a chunk is missing, fails verification, or
+/// the total length does not match.
+pub fn reassemble(
+    root: &RootNode,
+    mut fetch: impl FnMut(Cid) -> Option<Bytes>,
+) -> Result<Vec<u8>, ReassembleError> {
+    let mut out = Vec::with_capacity(root.total_len as usize);
+    for cid in &root.children {
+        let data = fetch(*cid).ok_or(ReassembleError::MissingChunk(*cid))?;
+        if !cid.verifies(&data) {
+            return Err(ReassembleError::CorruptChunk(*cid));
+        }
+        out.extend_from_slice(&data);
+    }
+    if out.len() as u64 != root.total_len {
+        return Err(ReassembleError::LengthMismatch {
+            expected: root.total_len,
+            actual: out.len() as u64,
+        });
+    }
+    Ok(out)
+}
+
+/// Error reassembling a chunked file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReassembleError {
+    /// A referenced chunk could not be fetched.
+    MissingChunk(Cid),
+    /// A chunk's bytes do not hash to its CID.
+    CorruptChunk(Cid),
+    /// The concatenated chunks do not match the declared file length.
+    LengthMismatch {
+        /// Length declared in the root node.
+        expected: u64,
+        /// Length actually reassembled.
+        actual: u64,
+    },
+}
+
+impl std::fmt::Display for ReassembleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReassembleError::MissingChunk(c) => write!(f, "missing chunk {c}"),
+            ReassembleError::CorruptChunk(c) => write!(f, "corrupt chunk {c}"),
+            ReassembleError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReassembleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn round_trip(data: &[u8], chunk_size: usize) {
+        let file = chunk(data, chunk_size);
+        let store: HashMap<Cid, Bytes> = file.leaves.iter().cloned().collect();
+        let root = decode_root(&file.root_block).expect("valid root");
+        assert_eq!(root.total_len, data.len() as u64);
+        let out = reassemble(&root, |c| store.get(&c).cloned()).expect("reassembles");
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn round_trips_various_sizes() {
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        for chunk_size in [1, 7, 256, 1024, 10_000, 20_000] {
+            round_trip(&data, chunk_size);
+        }
+        round_trip(b"", 256);
+        round_trip(b"x", 256);
+    }
+
+    #[test]
+    fn chunk_count_matches_ceil_division() {
+        let data = vec![0u8; 1000];
+        assert_eq!(chunk(&data, 256).leaves.len(), 4);
+        assert_eq!(chunk(&data, 1000).leaves.len(), 1);
+        assert_eq!(chunk(&data, 1001).leaves.len(), 1);
+        assert_eq!(chunk(b"", 256).leaves.len(), 0);
+    }
+
+    #[test]
+    fn root_cid_changes_with_content() {
+        let a = chunk(b"aaaa", 2).root;
+        let b = chunk(b"aaab", 2).root;
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn identical_chunks_share_cids() {
+        let data = vec![7u8; 512];
+        let file = chunk(&data, 256);
+        assert_eq!(file.leaves[0].0, file.leaves[1].0, "dedup-able chunks");
+    }
+
+    #[test]
+    fn decode_root_rejects_leaf_blocks() {
+        assert!(decode_root(b"just some raw leaf data").is_none());
+        assert!(decode_root(b"").is_none());
+    }
+
+    #[test]
+    fn corrupt_chunk_detected() {
+        let data = vec![1u8; 600];
+        let file = chunk(&data, 256);
+        let root = decode_root(&file.root_block).unwrap();
+        let bad = Bytes::from(vec![9u8; 256]);
+        let err = reassemble(&root, |_| Some(bad.clone())).unwrap_err();
+        assert!(matches!(err, ReassembleError::CorruptChunk(_)));
+    }
+
+    #[test]
+    fn missing_chunk_detected() {
+        let data = vec![1u8; 600];
+        let file = chunk(&data, 256);
+        let root = decode_root(&file.root_block).unwrap();
+        let err = reassemble(&root, |_| None).unwrap_err();
+        assert!(matches!(err, ReassembleError::MissingChunk(_)));
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_size must be positive")]
+    fn zero_chunk_size_panics() {
+        let _ = chunk(b"data", 0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Provider records: who has which content.
+//!
+//! Stands in for the Kademlia DHT: a global index mapping CIDs to the set
+//! of nodes advertising them. Real IPFS resolves providers with O(log n)
+//! routing hops; the fetch cost model in [`crate::network`] charges a
+//! lookup latency for that instead of simulating the routing table.
+
+use std::collections::{BTreeSet, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+use crate::cid::Cid;
+
+/// Identifier of an IPFS node within a network fabric.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node-{}", self.0)
+    }
+}
+
+/// The provider index.
+#[derive(Debug, Default)]
+pub struct ProviderIndex {
+    providers: HashMap<Cid, BTreeSet<NodeId>>,
+}
+
+impl ProviderIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `node` can serve `cid`.
+    pub fn provide(&mut self, cid: Cid, node: NodeId) {
+        self.providers.entry(cid).or_default().insert(node);
+    }
+
+    /// Removes a provider record (e.g. after the node GCs the block).
+    pub fn unprovide(&mut self, cid: Cid, node: NodeId) {
+        if let Some(set) = self.providers.get_mut(&cid) {
+            set.remove(&node);
+            if set.is_empty() {
+                self.providers.remove(&cid);
+            }
+        }
+    }
+
+    /// Nodes currently advertising `cid`, in deterministic (sorted) order.
+    pub fn providers(&self, cid: Cid) -> Vec<NodeId> {
+        self.providers
+            .get(&cid)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// CIDs a given node currently advertises (used to withdraw records
+    /// after garbage collection).
+    pub fn records_for_node(&self, node: NodeId) -> Vec<Cid> {
+        let mut cids: Vec<Cid> = self
+            .providers
+            .iter()
+            .filter(|(_, set)| set.contains(&node))
+            .map(|(cid, _)| *cid)
+            .collect();
+        cids.sort();
+        cids
+    }
+
+    /// Number of distinct CIDs with at least one provider.
+    pub fn len(&self) -> usize {
+        self.providers.len()
+    }
+
+    /// True if no provider records exist.
+    pub fn is_empty(&self) -> bool {
+        self.providers.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cid(s: &str) -> Cid {
+        Cid::for_data(s.as_bytes())
+    }
+
+    #[test]
+    fn provide_and_lookup() {
+        let mut idx = ProviderIndex::new();
+        idx.provide(cid("a"), NodeId(2));
+        idx.provide(cid("a"), NodeId(1));
+        idx.provide(cid("b"), NodeId(3));
+        assert_eq!(idx.providers(cid("a")), vec![NodeId(1), NodeId(2)]);
+        assert_eq!(idx.providers(cid("b")), vec![NodeId(3)]);
+        assert!(idx.providers(cid("missing")).is_empty());
+        assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn provide_is_idempotent() {
+        let mut idx = ProviderIndex::new();
+        idx.provide(cid("a"), NodeId(1));
+        idx.provide(cid("a"), NodeId(1));
+        assert_eq!(idx.providers(cid("a")).len(), 1);
+    }
+
+    #[test]
+    fn unprovide_removes_record_and_empty_entries() {
+        let mut idx = ProviderIndex::new();
+        idx.provide(cid("a"), NodeId(1));
+        idx.unprovide(cid("a"), NodeId(1));
+        assert!(idx.providers(cid("a")).is_empty());
+        assert!(idx.is_empty());
+        // Unproviding again is a no-op.
+        idx.unprovide(cid("a"), NodeId(1));
+    }
+}

@@ -1,0 +1,43 @@
+//! IPFS-like content-addressed distributed storage for the UnifyFL
+//! reproduction.
+//!
+//! The paper stores serialized model weights on a private IPFS swarm hosted
+//! by the aggregator nodes; the blockchain orchestrator only carries CIDs.
+//! This crate rebuilds that substrate:
+//!
+//! - [`cid`] — CIDv0 content identifiers (sha2-256 multihash, base58btc,
+//!   `Qm…` strings identical in structure to real IPFS CIDs);
+//! - [`chunker`] — 256 KiB chunking and the DAG root node;
+//! - [`blockstore`] — per-node block storage with recursive pinning and GC;
+//! - [`dht`] — the provider index standing in for Kademlia;
+//! - [`network`] — the shared fabric: bitswap-style verified fetch with a
+//!   latency/bandwidth cost model feeding the discrete-event simulator.
+//!
+//! # Example
+//!
+//! ```
+//! use unifyfl_storage::{IpfsNetwork, LinkProfile};
+//!
+//! let net = IpfsNetwork::new();
+//! let org_a = net.add_node(LinkProfile::lan());
+//! let org_b = net.add_node(LinkProfile::lan());
+//!
+//! let weights = vec![0.5f32; 1024].iter().flat_map(|w| w.to_le_bytes()).collect::<Vec<_>>();
+//! let receipt = org_a.add(&weights);
+//! assert!(receipt.cid.to_string().starts_with("Qm"));
+//!
+//! let fetched = org_b.get(receipt.cid).expect("provider found");
+//! assert_eq!(fetched.data, weights);
+//! ```
+
+pub mod blockstore;
+pub mod chunker;
+pub mod cid;
+pub mod dht;
+pub mod network;
+
+pub use blockstore::BlockStore;
+pub use chunker::{chunk, chunk_default, ChunkedFile, DEFAULT_CHUNK_SIZE};
+pub use cid::Cid;
+pub use dht::{NodeId, ProviderIndex};
+pub use network::{AddReceipt, GetReceipt, IpfsError, IpfsNetwork, IpfsNode, LinkProfile};

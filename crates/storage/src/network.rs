@@ -1,0 +1,488 @@
+//! The distributed storage fabric: nodes, bitswap-style fetch and the
+//! transfer cost model.
+//!
+//! An [`IpfsNetwork`] is the shared fabric (blockstores + provider index);
+//! an [`IpfsNode`] is a handle held by one cluster. `add` chunks and stores
+//! content locally and advertises it; `get` resolves providers through the
+//! index, transfers the root and leaf blocks from the best-connected
+//! provider, verifies every block against its CID, caches it locally and
+//! re-advertises (exactly the availability amplification IPFS gives the
+//! paper's aggregators).
+//!
+//! Every operation returns the virtual time it would have taken, which the
+//! experiment engine charges to the calling cluster.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use unifyfl_sim::SimDuration;
+
+use crate::blockstore::BlockStore;
+use crate::chunker::{chunk, decode_root, reassemble, DEFAULT_CHUNK_SIZE};
+use crate::cid::Cid;
+use crate::dht::{NodeId, ProviderIndex};
+
+/// Network link characteristics of one node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkProfile {
+    /// Sustained bandwidth in bytes/s.
+    pub bandwidth_bps: f64,
+    /// One-way latency.
+    pub latency: SimDuration,
+}
+
+impl LinkProfile {
+    /// A 1 Gbit/s LAN link with 1 ms latency (the GPU cluster's fabric).
+    pub fn lan() -> Self {
+        LinkProfile {
+            bandwidth_bps: 125.0e6,
+            latency: SimDuration::from_millis(1),
+        }
+    }
+
+    /// A 100 Mbit/s edge link with 5 ms latency.
+    pub fn edge() -> Self {
+        LinkProfile {
+            bandwidth_bps: 12.5e6,
+            latency: SimDuration::from_millis(5),
+        }
+    }
+}
+
+/// Cost charged for a DHT provider lookup.
+const DHT_LOOKUP_COST: SimDuration = SimDuration::from_millis(20);
+
+struct NodeState {
+    store: BlockStore,
+    link: LinkProfile,
+    /// Cumulative bytes fetched from remote providers.
+    bytes_fetched: u64,
+    /// Cumulative bytes served to other nodes.
+    bytes_served: u64,
+}
+
+struct NetworkState {
+    nodes: Vec<NodeState>,
+    dht: ProviderIndex,
+}
+
+/// Shared distributed-storage fabric.
+#[derive(Clone)]
+pub struct IpfsNetwork {
+    inner: Arc<Mutex<NetworkState>>,
+}
+
+impl Default for IpfsNetwork {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IpfsNetwork {
+    /// Creates an empty fabric.
+    pub fn new() -> Self {
+        IpfsNetwork {
+            inner: Arc::new(Mutex::new(NetworkState {
+                nodes: Vec::new(),
+                dht: ProviderIndex::new(),
+            })),
+        }
+    }
+
+    /// Joins a new node with the given link profile, returning its handle.
+    pub fn add_node(&self, link: LinkProfile) -> IpfsNode {
+        let mut st = self.inner.lock();
+        let id = NodeId(st.nodes.len() as u32);
+        st.nodes.push(NodeState {
+            store: BlockStore::new(),
+            link,
+            bytes_fetched: 0,
+            bytes_served: 0,
+        });
+        IpfsNode {
+            network: self.clone(),
+            id,
+        }
+    }
+
+    /// Number of nodes in the fabric.
+    pub fn node_count(&self) -> usize {
+        self.inner.lock().nodes.len()
+    }
+
+    /// Total bytes stored across all nodes (with duplication).
+    pub fn total_bytes(&self) -> u64 {
+        self.inner
+            .lock()
+            .nodes
+            .iter()
+            .map(|n| n.store.total_bytes())
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for IpfsNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IpfsNetwork")
+            .field("nodes", &self.node_count())
+            .finish()
+    }
+}
+
+/// Error raised by fetch operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IpfsError {
+    /// No provider advertises the CID.
+    NotFound(Cid),
+    /// Content failed CID verification or reassembly.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for IpfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IpfsError::NotFound(c) => write!(f, "content {c} not found on any provider"),
+            IpfsError::Corrupt(m) => write!(f, "content corrupt: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IpfsError {}
+
+/// Receipt of an `add` operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AddReceipt {
+    /// The file's root CID.
+    pub cid: Cid,
+    /// Number of blocks written (root + leaves).
+    pub blocks: usize,
+    /// Virtual time the add took (hashing + local writes).
+    pub elapsed: SimDuration,
+}
+
+/// Receipt of a `get` operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GetReceipt {
+    /// The reassembled content.
+    pub data: Vec<u8>,
+    /// Virtual time the fetch took (lookup + transfer), zero-ish when the
+    /// content was already local.
+    pub elapsed: SimDuration,
+    /// True if the content was served from the local blockstore.
+    pub local_hit: bool,
+}
+
+/// Handle to one node of the fabric.
+#[derive(Clone)]
+pub struct IpfsNode {
+    network: IpfsNetwork,
+    id: NodeId,
+}
+
+impl IpfsNode {
+    /// This node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Adds content: chunks it, stores the blocks locally, pins the DAG and
+    /// advertises it in the provider index.
+    pub fn add(&self, data: &[u8]) -> AddReceipt {
+        self.add_with_chunk_size(data, DEFAULT_CHUNK_SIZE)
+    }
+
+    /// [`IpfsNode::add`] with an explicit chunk size (for tests/benches).
+    pub fn add_with_chunk_size(&self, data: &[u8], chunk_size: usize) -> AddReceipt {
+        let file = chunk(data, chunk_size);
+        let mut st = self.network.inner.lock();
+        let id = self.id;
+        let node = &mut st.nodes[id.0 as usize];
+        for (_, leaf) in &file.leaves {
+            node.store.put(leaf.clone());
+        }
+        node.store.put(file.root_block.clone());
+        node.store.pin(file.root);
+        st.dht.provide(file.root, id);
+        // Local add cost: hashing at ~1 GB/s plus a per-block write cost.
+        let elapsed = SimDuration::from_secs_f64(data.len() as f64 / 1.0e9)
+            + SimDuration::from_millis(file.leaves.len() as u64 / 64);
+        AddReceipt {
+            cid: file.root,
+            blocks: 1 + file.leaves.len(),
+            elapsed,
+        }
+    }
+
+    /// Fetches content by CID: from the local store if present, otherwise
+    /// from the best-connected provider (bitswap-style), verifying every
+    /// block, then caching and re-advertising locally.
+    ///
+    /// # Errors
+    ///
+    /// [`IpfsError::NotFound`] if no provider has the content,
+    /// [`IpfsError::Corrupt`] if verification fails.
+    pub fn get(&self, cid: Cid) -> Result<GetReceipt, IpfsError> {
+        let mut st = self.network.inner.lock();
+        let id = self.id;
+
+        // Fast path: local blockstore.
+        if let Some(data) = Self::read_local(&st.nodes[id.0 as usize].store, cid)? {
+            return Ok(GetReceipt {
+                data,
+                elapsed: SimDuration::from_millis(1),
+                local_hit: true,
+            });
+        }
+
+        // Resolve a provider. Prefer the one with the fastest link; ties
+        // break on NodeId for determinism.
+        let provider = st
+            .dht
+            .providers(cid)
+            .into_iter()
+            .filter(|p| *p != id)
+            .min_by(|a, b| {
+                let la = st.nodes[a.0 as usize].link;
+                let lb = st.nodes[b.0 as usize].link;
+                la.latency
+                    .cmp(&lb.latency)
+                    .then(lb.bandwidth_bps.total_cmp(&la.bandwidth_bps))
+                    .then(a.cmp(b))
+            })
+            .ok_or(IpfsError::NotFound(cid))?;
+
+        // Pull the root block, then the leaves.
+        let root_block = st.nodes[provider.0 as usize]
+            .store
+            .get(cid)
+            .ok_or(IpfsError::NotFound(cid))?;
+        if !cid.verifies(&root_block) {
+            return Err(IpfsError::Corrupt(format!("root block of {cid}")));
+        }
+
+        let mut transferred = root_block.len() as u64;
+        let mut blocks: Vec<Bytes> = vec![root_block.clone()];
+        let data = match decode_root(&root_block) {
+            Some(root) => {
+                let provider_store = &st.nodes[provider.0 as usize].store;
+                let mut chunk_map: HashMap<Cid, Bytes> = HashMap::new();
+                for child in &root.children {
+                    let block = provider_store.get(*child).ok_or(IpfsError::NotFound(*child))?;
+                    transferred += block.len() as u64;
+                    chunk_map.insert(*child, block.clone());
+                    blocks.push(block);
+                }
+                reassemble(&root, |c| chunk_map.get(&c).cloned())
+                    .map_err(|e| IpfsError::Corrupt(e.to_string()))?
+            }
+            None => root_block.to_vec(),
+        };
+
+        // Transfer cost: DHT lookup + both endpoints' latency + the
+        // bottleneck bandwidth of the two links.
+        let src = st.nodes[provider.0 as usize].link;
+        let dst = st.nodes[id.0 as usize].link;
+        let bw = src.bandwidth_bps.min(dst.bandwidth_bps);
+        let elapsed = DHT_LOOKUP_COST
+            + src.latency
+            + dst.latency
+            + SimDuration::from_secs_f64(transferred as f64 / bw);
+
+        st.nodes[provider.0 as usize].bytes_served += transferred;
+        // Cache locally and advertise.
+        {
+            let node = &mut st.nodes[id.0 as usize];
+            node.bytes_fetched += transferred;
+            for b in blocks {
+                node.store.put(b);
+            }
+        }
+        st.dht.provide(cid, id);
+
+        Ok(GetReceipt {
+            data,
+            elapsed,
+            local_hit: false,
+        })
+    }
+
+    fn read_local(store: &BlockStore, cid: Cid) -> Result<Option<Vec<u8>>, IpfsError> {
+        let Some(root_block) = store.get(cid) else {
+            return Ok(None);
+        };
+        match decode_root(&root_block) {
+            Some(root) => {
+                // A root without all leaves locally counts as a miss.
+                let data = reassemble(&root, |c| store.get(c));
+                match data {
+                    Ok(d) => Ok(Some(d)),
+                    Err(_) => Ok(None),
+                }
+            }
+            None => Ok(Some(root_block.to_vec())),
+        }
+    }
+
+    /// Pins a DAG so garbage collection keeps it.
+    pub fn pin(&self, cid: Cid) {
+        let mut st = self.network.inner.lock();
+        st.nodes[self.id.0 as usize].store.pin(cid);
+    }
+
+    /// Unpins a DAG.
+    pub fn unpin(&self, cid: Cid) {
+        let mut st = self.network.inner.lock();
+        st.nodes[self.id.0 as usize].store.unpin(cid);
+    }
+
+    /// Garbage-collects unpinned blocks, removing this node's provider
+    /// records for content it no longer holds. Returns blocks removed.
+    pub fn gc(&self) -> usize {
+        let mut st = self.network.inner.lock();
+        let id = self.id;
+        let removed = st.nodes[id.0 as usize].store.gc();
+        // Withdraw provider records for vanished roots.
+        let stale: Vec<Cid> = {
+            let st_ref = &*st;
+            st_ref
+                .dht
+                .records_for_node(id)
+                .into_iter()
+                .filter(|c| !st_ref.nodes[id.0 as usize].store.has(*c))
+                .collect()
+        };
+        for cid in stale {
+            st.dht.unprovide(cid, id);
+        }
+        removed
+    }
+
+    /// True if this node holds the full DAG for `cid` locally.
+    pub fn has_local(&self, cid: Cid) -> bool {
+        let st = self.network.inner.lock();
+        Self::read_local(&st.nodes[self.id.0 as usize].store, cid)
+            .ok()
+            .flatten()
+            .is_some()
+    }
+
+    /// Cumulative bytes fetched from remote providers.
+    pub fn bytes_fetched(&self) -> u64 {
+        self.network.inner.lock().nodes[self.id.0 as usize].bytes_fetched
+    }
+
+    /// Cumulative bytes served to remote peers.
+    pub fn bytes_served(&self) -> u64 {
+        self.network.inner.lock().nodes[self.id.0 as usize].bytes_served
+    }
+}
+
+impl std::fmt::Debug for IpfsNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IpfsNode").field("id", &self.id).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric(n: usize) -> (IpfsNetwork, Vec<IpfsNode>) {
+        let net = IpfsNetwork::new();
+        let nodes = (0..n).map(|_| net.add_node(LinkProfile::lan())).collect();
+        (net, nodes)
+    }
+
+    #[test]
+    fn add_then_remote_get_round_trips() {
+        let (_, nodes) = fabric(3);
+        let data: Vec<u8> = (0..700_000u32).map(|i| (i % 253) as u8).collect();
+        let receipt = nodes[0].add(&data);
+        assert!(receipt.blocks > 1, "multi-chunk file");
+
+        let got = nodes[1].get(receipt.cid).unwrap();
+        assert_eq!(got.data, data);
+        assert!(!got.local_hit);
+        assert!(got.elapsed > SimDuration::ZERO);
+        assert!(nodes[1].bytes_fetched() >= data.len() as u64);
+        assert!(nodes[0].bytes_served() >= data.len() as u64);
+    }
+
+    #[test]
+    fn local_get_is_cheap() {
+        let (_, nodes) = fabric(2);
+        let receipt = nodes[0].add(b"small");
+        let got = nodes[0].get(receipt.cid).unwrap();
+        assert!(got.local_hit);
+        assert_eq!(got.data, b"small");
+    }
+
+    #[test]
+    fn fetch_caches_and_reprovides() {
+        let (_, nodes) = fabric(3);
+        let receipt = nodes[0].add(b"cache me");
+        nodes[1].get(receipt.cid).unwrap();
+        assert!(nodes[1].has_local(receipt.cid));
+        // Node 2 can now fetch even if only node 1's copy exists; both
+        // advertise, and verification still passes.
+        let got = nodes[2].get(receipt.cid).unwrap();
+        assert_eq!(got.data, b"cache me");
+    }
+
+    #[test]
+    fn missing_content_errors() {
+        let (_, nodes) = fabric(2);
+        let ghost = Cid::for_data(b"never added");
+        assert_eq!(nodes[1].get(ghost), Err(IpfsError::NotFound(ghost)));
+    }
+
+    #[test]
+    fn gc_withdraws_unpinned_content() {
+        let (_, nodes) = fabric(2);
+        let receipt = nodes[0].add(b"temporary");
+        nodes[0].unpin(receipt.cid);
+        let removed = nodes[0].gc();
+        assert!(removed >= 1);
+        assert!(!nodes[0].has_local(receipt.cid));
+        // Provider record withdrawn: nobody can fetch it now.
+        assert!(matches!(nodes[1].get(receipt.cid), Err(IpfsError::NotFound(_))));
+    }
+
+    #[test]
+    fn pinned_content_survives_gc() {
+        let (_, nodes) = fabric(1);
+        let receipt = nodes[0].add(b"pinned model weights");
+        assert_eq!(nodes[0].gc(), 0);
+        assert!(nodes[0].has_local(receipt.cid));
+    }
+
+    #[test]
+    fn transfer_time_scales_with_size() {
+        let net = IpfsNetwork::new();
+        let a = net.add_node(LinkProfile::edge());
+        let b = net.add_node(LinkProfile::edge());
+        let small = a.add(&vec![1u8; 10_000]);
+        let large = a.add(&vec![2u8; 10_000_000]);
+        let t_small = b.get(small.cid).unwrap().elapsed;
+        let t_large = b.get(large.cid).unwrap().elapsed;
+        assert!(t_large > t_small * 10, "{t_large} vs {t_small}");
+    }
+
+    #[test]
+    fn empty_content_round_trips() {
+        let (_, nodes) = fabric(2);
+        let receipt = nodes[0].add(b"");
+        let got = nodes[1].get(receipt.cid).unwrap();
+        assert!(got.data.is_empty());
+    }
+
+    #[test]
+    fn fabric_reports_totals() {
+        let (net, nodes) = fabric(2);
+        nodes[0].add(&vec![0u8; 1000]);
+        assert_eq!(net.node_count(), 2);
+        assert!(net.total_bytes() >= 1000);
+    }
+}

@@ -1,0 +1,64 @@
+//! Property-based tests of the storage substrate's invariants.
+
+use proptest::prelude::*;
+use unifyfl_storage::cid::{base58_decode, base58_encode, Cid};
+use unifyfl_storage::chunker::{chunk, decode_root, reassemble};
+use unifyfl_storage::{IpfsNetwork, LinkProfile};
+
+proptest! {
+    /// Base58 encode/decode is the identity on arbitrary byte strings.
+    #[test]
+    fn base58_round_trips(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let enc = base58_encode(&data);
+        prop_assert_eq!(base58_decode(&enc).unwrap(), data);
+    }
+
+    /// CID string form round-trips and always carries the Qm prefix.
+    #[test]
+    fn cid_string_round_trips(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let cid = Cid::for_data(&data);
+        let s = cid.to_string();
+        prop_assert!(s.starts_with("Qm"));
+        prop_assert_eq!(s.parse::<Cid>().unwrap(), cid);
+    }
+
+    /// Chunk + reassemble is the identity for any content and chunk size.
+    #[test]
+    fn chunking_round_trips(
+        data in proptest::collection::vec(any::<u8>(), 0..4096),
+        chunk_size in 1usize..1024,
+    ) {
+        let file = chunk(&data, chunk_size);
+        let root = decode_root(&file.root_block).expect("root decodes");
+        prop_assert_eq!(root.total_len, data.len() as u64);
+        let store: std::collections::HashMap<_, _> = file.leaves.iter().cloned().collect();
+        let out = reassemble(&root, |c| store.get(&c).cloned()).unwrap();
+        prop_assert_eq!(out, data);
+    }
+
+    /// Content added on any node is fetchable from any other node, intact.
+    #[test]
+    fn network_fetch_is_faithful(
+        data in proptest::collection::vec(any::<u8>(), 1..2048),
+        adder in 0usize..3,
+        getter in 0usize..3,
+    ) {
+        prop_assume!(adder != getter);
+        let net = IpfsNetwork::new();
+        let nodes: Vec<_> = (0..3).map(|_| net.add_node(LinkProfile::lan())).collect();
+        let receipt = nodes[adder].add_with_chunk_size(&data, 256);
+        let got = nodes[getter].get(receipt.cid).unwrap();
+        prop_assert_eq!(got.data, data);
+    }
+
+    /// Distinct content yields distinct CIDs (collision resistance at the
+    /// API level).
+    #[test]
+    fn distinct_content_distinct_cids(
+        a in proptest::collection::vec(any::<u8>(), 0..64),
+        b in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        prop_assume!(a != b);
+        prop_assert_ne!(Cid::for_data(&a), Cid::for_data(&b));
+    }
+}

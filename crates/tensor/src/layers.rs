@@ -1,0 +1,557 @@
+//! Neural-network layers with explicit forward/backward passes.
+//!
+//! Each [`Layer`] caches whatever it needs during `forward(train=true)` and
+//! accumulates parameter gradients during `backward`. The [`Dense`] and
+//! [`Conv2d`] layers cover the paper's two model classes (the 62 K-param
+//! CNN for CIFAR-10 and the MLP proxy for VGG16).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::tensor::Tensor;
+
+/// A differentiable layer.
+pub trait Layer: Send {
+    /// Forward pass. When `train` is true the layer caches activations
+    /// needed by [`Layer::backward`].
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Backward pass: consumes the gradient w.r.t. this layer's output,
+    /// accumulates parameter gradients, and returns the gradient w.r.t. the
+    /// input.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called before a training-mode forward.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Flattened views of the parameters, in a stable order.
+    fn params(&self) -> Vec<&[f32]>;
+
+    /// Mutable flattened views of the parameters, same order as
+    /// [`Layer::params`].
+    fn params_mut(&mut self) -> Vec<&mut [f32]>;
+
+    /// Flattened views of the accumulated gradients, same order.
+    fn grads(&self) -> Vec<&[f32]>;
+
+    /// Resets accumulated gradients to zero.
+    fn zero_grads(&mut self);
+
+    /// Total trainable parameter count.
+    fn param_count(&self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
+    }
+}
+
+/// Samples from a uniform(-limit, limit) He/Glorot-style initialization.
+fn init_uniform(rng: &mut StdRng, n: usize, limit: f32) -> Vec<f32> {
+    (0..n).map(|_| rng.gen_range(-limit..limit)).collect()
+}
+
+/// Fully connected layer: `y = x·W + b` with `x: [batch, in]`,
+/// `W: [in, out]`.
+pub struct Dense {
+    w: Tensor,
+    b: Vec<f32>,
+    grad_w: Tensor,
+    grad_b: Vec<f32>,
+    cached_input: Option<Tensor>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Dense {
+    /// Creates a dense layer with Glorot-uniform initialization.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
+        let limit = (6.0 / (in_dim + out_dim) as f32).sqrt();
+        Dense {
+            w: Tensor::from_vec(vec![in_dim, out_dim], init_uniform(rng, in_dim * out_dim, limit)),
+            b: vec![0.0; out_dim],
+            grad_w: Tensor::zeros(vec![in_dim, out_dim]),
+            grad_b: vec![0.0; out_dim],
+            cached_input: None,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output feature dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.shape().len(), 2, "dense expects [batch, features]");
+        assert_eq!(input.shape()[1], self.in_dim, "input dim mismatch");
+        let mut out = input.matmul(&self.w);
+        let batch = out.shape()[0];
+        let data = out.data_mut();
+        for i in 0..batch {
+            for (j, bias) in self.b.iter().enumerate() {
+                data[i * self.out_dim + j] += bias;
+            }
+        }
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward requires a training-mode forward");
+        // grad_w += xᵀ · g ; grad_b += Σ_batch g ; grad_in = g · Wᵀ
+        let gw = input.transpose().matmul(grad_out);
+        self.grad_w.add_assign(&gw);
+        let batch = grad_out.shape()[0];
+        for i in 0..batch {
+            for j in 0..self.out_dim {
+                self.grad_b[j] += grad_out.data()[i * self.out_dim + j];
+            }
+        }
+        grad_out.matmul(&self.w.transpose())
+    }
+
+    fn params(&self) -> Vec<&[f32]> {
+        vec![self.w.data(), &self.b]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut [f32]> {
+        vec![self.w.data_mut(), &mut self.b]
+    }
+
+    fn grads(&self) -> Vec<&[f32]> {
+        vec![self.grad_w.data(), &self.grad_b]
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_w.data_mut().fill(0.0);
+        self.grad_b.fill(0.0);
+    }
+}
+
+/// Rectified linear unit.
+#[derive(Default)]
+pub struct Relu {
+    mask: Vec<bool>,
+}
+
+impl Relu {
+    /// Creates a ReLU activation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut out = input.clone();
+        if train {
+            self.mask = input.data().iter().map(|&x| x > 0.0).collect();
+        }
+        for x in out.data_mut() {
+            if *x < 0.0 {
+                *x = 0.0;
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert_eq!(
+            grad_out.len(),
+            self.mask.len(),
+            "backward requires a training-mode forward"
+        );
+        let mut g = grad_out.clone();
+        for (x, &keep) in g.data_mut().iter_mut().zip(&self.mask) {
+            if !keep {
+                *x = 0.0;
+            }
+        }
+        g
+    }
+
+    fn params(&self) -> Vec<&[f32]> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut [f32]> {
+        Vec::new()
+    }
+
+    fn grads(&self) -> Vec<&[f32]> {
+        Vec::new()
+    }
+
+    fn zero_grads(&mut self) {}
+}
+
+/// Flattens `[batch, c, h, w]` (or any rank ≥ 2) to `[batch, rest]`.
+#[derive(Default)]
+pub struct Flatten {
+    cached_shape: Vec<usize>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let shape = input.shape().to_vec();
+        assert!(shape.len() >= 2, "flatten expects rank >= 2");
+        let batch = shape[0];
+        let rest: usize = shape[1..].iter().product();
+        if train {
+            self.cached_shape = shape;
+        }
+        input.clone().reshape(vec![batch, rest])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        grad_out.clone().reshape(self.cached_shape.clone())
+    }
+
+    fn params(&self) -> Vec<&[f32]> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut [f32]> {
+        Vec::new()
+    }
+
+    fn grads(&self) -> Vec<&[f32]> {
+        Vec::new()
+    }
+
+    fn zero_grads(&mut self) {}
+}
+
+/// 2-D convolution, stride 1, zero "same" padding optional.
+///
+/// Input `[batch, in_c, h, w]`, kernel `[out_c, in_c, kh, kw]`, output
+/// `[batch, out_c, h', w']` with `h' = h - kh + 1 + 2·pad`. Direct loops —
+/// the reproduction's images are tiny (8×8), so an im2col path would add
+/// complexity without observable benefit.
+pub struct Conv2d {
+    w: Tensor,
+    b: Vec<f32>,
+    grad_w: Tensor,
+    grad_b: Vec<f32>,
+    cached_input: Option<Tensor>,
+    in_c: usize,
+    out_c: usize,
+    k: usize,
+    pad: usize,
+}
+
+impl Conv2d {
+    /// Creates a `k×k` convolution with He-uniform initialization.
+    ///
+    /// `pad = k/2` gives "same" output size for odd `k`.
+    pub fn new(in_c: usize, out_c: usize, k: usize, pad: usize, rng: &mut StdRng) -> Self {
+        let fan_in = (in_c * k * k) as f32;
+        let limit = (6.0 / fan_in).sqrt();
+        let n = out_c * in_c * k * k;
+        Conv2d {
+            w: Tensor::from_vec(vec![out_c, in_c, k, k], init_uniform(rng, n, limit)),
+            b: vec![0.0; out_c],
+            grad_w: Tensor::zeros(vec![out_c, in_c, k, k]),
+            grad_b: vec![0.0; out_c],
+            cached_input: None,
+            in_c,
+            out_c,
+            k,
+            pad,
+        }
+    }
+
+    fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (h + 2 * self.pad + 1 - self.k, w + 2 * self.pad + 1 - self.k)
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let s = input.shape();
+        assert_eq!(s.len(), 4, "conv expects [batch, c, h, w]");
+        assert_eq!(s[1], self.in_c, "channel mismatch");
+        let (batch, h, w) = (s[0], s[2], s[3]);
+        let (oh, ow) = self.out_hw(h, w);
+        let mut out = Tensor::zeros(vec![batch, self.out_c, oh, ow]);
+
+        let x = input.data();
+        let k = self.k;
+        let pad = self.pad as isize;
+        let wdat = self.w.data();
+        let odat = out.data_mut();
+        for b in 0..batch {
+            for oc in 0..self.out_c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = self.b[oc];
+                        for ic in 0..self.in_c {
+                            for ky in 0..k {
+                                let iy = oy as isize + ky as isize - pad;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                for kx in 0..k {
+                                    let ix = ox as isize + kx as isize - pad;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    let xi = ((b * self.in_c + ic) * h + iy as usize) * w
+                                        + ix as usize;
+                                    let wi = ((oc * self.in_c + ic) * k + ky) * k + kx;
+                                    acc += x[xi] * wdat[wi];
+                                }
+                            }
+                        }
+                        odat[((b * self.out_c + oc) * oh + oy) * ow + ox] = acc;
+                    }
+                }
+            }
+        }
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward requires a training-mode forward");
+        let s = input.shape();
+        let (batch, h, w) = (s[0], s[2], s[3]);
+        let (oh, ow) = self.out_hw(h, w);
+        assert_eq!(grad_out.shape(), &[batch, self.out_c, oh, ow]);
+
+        let mut grad_in = Tensor::zeros(s.to_vec());
+        let x = input.data();
+        let g = grad_out.data();
+        let k = self.k;
+        let pad = self.pad as isize;
+        let wdat = self.w.data();
+        let gw = self.grad_w.data_mut();
+        let gi = grad_in.data_mut();
+
+        for b in 0..batch {
+            for oc in 0..self.out_c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let go = g[((b * self.out_c + oc) * oh + oy) * ow + ox];
+                        if go == 0.0 {
+                            continue;
+                        }
+                        self.grad_b[oc] += go;
+                        for ic in 0..self.in_c {
+                            for ky in 0..k {
+                                let iy = oy as isize + ky as isize - pad;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                for kx in 0..k {
+                                    let ix = ox as isize + kx as isize - pad;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    let xi = ((b * self.in_c + ic) * h + iy as usize) * w
+                                        + ix as usize;
+                                    let wi = ((oc * self.in_c + ic) * k + ky) * k + kx;
+                                    gw[wi] += x[xi] * go;
+                                    gi[xi] += wdat[wi] * go;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn params(&self) -> Vec<&[f32]> {
+        vec![self.w.data(), &self.b]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut [f32]> {
+        vec![self.w.data_mut(), &mut self.b]
+    }
+
+    fn grads(&self) -> Vec<&[f32]> {
+        vec![self.grad_w.data(), &self.grad_b]
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_w.data_mut().fill(0.0);
+        self.grad_b.fill(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    /// Finite-difference check of a layer's backward pass w.r.t. both its
+    /// input and parameters.
+    fn grad_check<L: Layer>(layer: &mut L, input: Tensor) {
+        let eps = 1e-3f32;
+        // Loss = sum of outputs (so dL/dout = 1 everywhere).
+        let out = layer.forward(&input, true);
+        let ones = Tensor::from_vec(out.shape().to_vec(), vec![1.0; out.len()]);
+        layer.zero_grads();
+        let grad_in = layer.backward(&ones);
+
+        // Check input gradient at a few positions.
+        for idx in [0, input.len() / 2, input.len() - 1] {
+            let mut plus = input.clone();
+            plus.data_mut()[idx] += eps;
+            let mut minus = input.clone();
+            minus.data_mut()[idx] -= eps;
+            let f_plus: f32 = layer.forward(&plus, false).data().iter().sum();
+            let f_minus: f32 = layer.forward(&minus, false).data().iter().sum();
+            let numeric = (f_plus - f_minus) / (2.0 * eps);
+            let analytic = grad_in.data()[idx];
+            assert!(
+                (numeric - analytic).abs() < 2e-2,
+                "input grad mismatch at {idx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+
+        // Check first parameter tensor gradient at a few positions.
+        if layer.param_count() > 0 {
+            let grads0: Vec<f32> = layer.grads()[0].to_vec();
+            let plen = grads0.len();
+            for idx in [0, plen / 2, plen - 1] {
+                let orig = layer.params()[0][idx];
+                layer.params_mut()[0][idx] = orig + eps;
+                let f_plus: f32 = layer.forward(&input, false).data().iter().sum();
+                layer.params_mut()[0][idx] = orig - eps;
+                let f_minus: f32 = layer.forward(&input, false).data().iter().sum();
+                layer.params_mut()[0][idx] = orig;
+                let numeric = (f_plus - f_minus) / (2.0 * eps);
+                assert!(
+                    (numeric - grads0[idx]).abs() < 2e-2,
+                    "param grad mismatch at {idx}: numeric {numeric} vs analytic {}",
+                    grads0[idx]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dense_gradients_match_finite_differences() {
+        let mut rng = rng();
+        let mut layer = Dense::new(4, 3, &mut rng);
+        let input = Tensor::from_vec(vec![2, 4], (0..8).map(|i| i as f32 * 0.1 - 0.3).collect());
+        grad_check(&mut layer, input);
+    }
+
+    #[test]
+    fn relu_gradients_match_finite_differences() {
+        let mut layer = Relu::new();
+        // Keep values away from the kink at 0.
+        let input = Tensor::from_vec(vec![2, 3], vec![0.5, -0.7, 1.2, -0.1, 0.9, -2.0]);
+        grad_check(&mut layer, input);
+    }
+
+    #[test]
+    fn conv_gradients_match_finite_differences() {
+        let mut rng = rng();
+        let mut layer = Conv2d::new(2, 3, 3, 1, &mut rng);
+        let n = 2 * 2 * 5 * 5;
+        let input = Tensor::from_vec(
+            vec![2, 2, 5, 5],
+            (0..n).map(|i| ((i * 7 % 13) as f32 - 6.0) * 0.1).collect(),
+        );
+        grad_check(&mut layer, input);
+    }
+
+    #[test]
+    fn dense_forward_applies_bias() {
+        let mut rng = rng();
+        let mut layer = Dense::new(2, 2, &mut rng);
+        layer.params_mut()[0].copy_from_slice(&[1.0, 0.0, 0.0, 1.0]); // identity W
+        layer.params_mut()[1].copy_from_slice(&[10.0, 20.0]);
+        let out = layer.forward(&Tensor::from_vec(vec![1, 2], vec![1.0, 2.0]), false);
+        assert_eq!(out.data(), &[11.0, 22.0]);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut layer = Relu::new();
+        let out = layer.forward(&Tensor::from_vec(vec![1, 3], vec![-1.0, 0.0, 2.0]), false);
+        assert_eq!(out.data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn conv_same_padding_preserves_hw() {
+        let mut rng = rng();
+        let mut layer = Conv2d::new(3, 8, 3, 1, &mut rng);
+        let out = layer.forward(&Tensor::zeros(vec![2, 3, 8, 8]), false);
+        assert_eq!(out.shape(), &[2, 8, 8, 8]);
+    }
+
+    #[test]
+    fn conv_valid_padding_shrinks_hw() {
+        let mut rng = rng();
+        let mut layer = Conv2d::new(1, 1, 3, 0, &mut rng);
+        let out = layer.forward(&Tensor::zeros(vec![1, 1, 8, 8]), false);
+        assert_eq!(out.shape(), &[1, 1, 6, 6]);
+    }
+
+    #[test]
+    fn flatten_round_trips_shape() {
+        let mut layer = Flatten::new();
+        let input = Tensor::zeros(vec![2, 3, 4, 5]);
+        let out = layer.forward(&input, true);
+        assert_eq!(out.shape(), &[2, 60]);
+        let back = layer.backward(&out);
+        assert_eq!(back.shape(), &[2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn param_counts() {
+        let mut rng = rng();
+        let dense = Dense::new(10, 5, &mut rng);
+        assert_eq!(dense.param_count(), 10 * 5 + 5);
+        let conv = Conv2d::new(3, 8, 3, 1, &mut rng);
+        assert_eq!(conv.param_count(), 8 * 3 * 3 * 3 + 8);
+        assert_eq!(Relu::new().param_count(), 0);
+    }
+
+    #[test]
+    fn zero_grads_resets_accumulation() {
+        let mut rng = rng();
+        let mut layer = Dense::new(2, 2, &mut rng);
+        let input = Tensor::from_vec(vec![1, 2], vec![1.0, 1.0]);
+        let out = layer.forward(&input, true);
+        let ones = Tensor::from_vec(vec![1, 2], vec![1.0; out.len()]);
+        layer.backward(&ones);
+        assert!(layer.grads()[0].iter().any(|g| *g != 0.0));
+        layer.zero_grads();
+        assert!(layer.grads()[0].iter().all(|g| *g == 0.0));
+    }
+}

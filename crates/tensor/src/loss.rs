@@ -1,0 +1,138 @@
+//! Softmax cross-entropy loss (fused forward + gradient).
+
+use crate::tensor::Tensor;
+
+/// Result of a loss evaluation over a batch.
+#[derive(Debug, Clone)]
+pub struct LossOutput {
+    /// Mean cross-entropy over the batch.
+    pub loss: f32,
+    /// Gradient of the mean loss w.r.t. the logits, `[batch, classes]`.
+    pub grad: Tensor,
+    /// Per-row predicted class (argmax of the logits).
+    pub predictions: Vec<usize>,
+}
+
+/// Computes mean softmax cross-entropy and its gradient.
+///
+/// Numerically stabilized by subtracting each row's max logit.
+///
+/// # Panics
+///
+/// Panics if `logits` is not `[batch, classes]`, `labels.len() != batch`,
+/// or any label is out of range.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> LossOutput {
+    assert_eq!(logits.shape().len(), 2, "logits must be [batch, classes]");
+    let (batch, classes) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(labels.len(), batch, "labels/batch mismatch");
+
+    let mut grad = Tensor::zeros(vec![batch, classes]);
+    let mut predictions = Vec::with_capacity(batch);
+    let mut total_loss = 0.0f64;
+    let x = logits.data();
+    let g = grad.data_mut();
+
+    for i in 0..batch {
+        let row = &x[i * classes..(i + 1) * classes];
+        let label = labels[i];
+        assert!(label < classes, "label {label} out of range for {classes} classes");
+
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|v| (v - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+
+        let mut best = 0;
+        for (j, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = j;
+            }
+            let p = exps[j] / sum;
+            // d(mean CE)/d logit = (softmax - onehot) / batch
+            g[i * classes + j] = (p - if j == label { 1.0 } else { 0.0 }) / batch as f32;
+        }
+        predictions.push(best);
+
+        let p_label = (exps[label] / sum).max(1e-12);
+        total_loss -= (p_label as f64).ln();
+    }
+
+    LossOutput {
+        loss: (total_loss / batch as f64) as f32,
+        grad,
+        predictions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_classes() {
+        let logits = Tensor::zeros(vec![4, 10]);
+        let out = softmax_cross_entropy(&logits, &[0, 1, 2, 3]);
+        assert!((out.loss - (10.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn confident_correct_logits_give_near_zero_loss() {
+        let mut logits = Tensor::zeros(vec![1, 3]);
+        logits.set(&[0, 1], 20.0);
+        let out = softmax_cross_entropy(&logits, &[1]);
+        assert!(out.loss < 1e-4);
+        assert_eq!(out.predictions, vec![1]);
+    }
+
+    #[test]
+    fn confident_wrong_logits_give_large_loss() {
+        let mut logits = Tensor::zeros(vec![1, 3]);
+        logits.set(&[0, 2], 20.0);
+        let out = softmax_cross_entropy(&logits, &[0]);
+        assert!(out.loss > 10.0);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits = Tensor::from_vec(vec![2, 3], vec![0.2, -0.5, 0.9, 1.5, 0.0, -1.0]);
+        let labels = [2usize, 0];
+        let out = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3f32;
+        for idx in 0..logits.len() {
+            let mut plus = logits.clone();
+            plus.data_mut()[idx] += eps;
+            let mut minus = logits.clone();
+            minus.data_mut()[idx] -= eps;
+            let lp = softmax_cross_entropy(&plus, &labels).loss;
+            let lm = softmax_cross_entropy(&minus, &labels).loss;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = out.grad.data()[idx];
+            assert!(
+                (numeric - analytic).abs() < 1e-3,
+                "grad mismatch at {idx}: {numeric} vs {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(vec![1, 4], vec![3.0, 1.0, -2.0, 0.5]);
+        let out = softmax_cross_entropy(&logits, &[1]);
+        let sum: f32 = out.grad.data().iter().sum();
+        assert!(sum.abs() < 1e-6, "softmax-CE grad sums to zero per row");
+    }
+
+    #[test]
+    fn extreme_logits_are_stable() {
+        let logits = Tensor::from_vec(vec![1, 2], vec![1000.0, -1000.0]);
+        let out = softmax_cross_entropy(&logits, &[0]);
+        assert!(out.loss.is_finite());
+        assert!(out.grad.data().iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "label")]
+    fn out_of_range_label_panics() {
+        let logits = Tensor::zeros(vec![1, 3]);
+        let _ = softmax_cross_entropy(&logits, &[3]);
+    }
+}

@@ -1,0 +1,249 @@
+//! Sequential models and the flat-parameter view used for FL weight
+//! exchange.
+//!
+//! Federated learning moves *weights*, not layers: [`Sequential::flat_params`]
+//! and [`Sequential::set_flat_params`] expose every trainable parameter as
+//! one `Vec<f32>` in a stable order, which is exactly what gets serialized,
+//! stored on IPFS and aggregated by the strategies.
+
+use crate::layers::Layer;
+use crate::loss::{softmax_cross_entropy, LossOutput};
+use crate::tensor::Tensor;
+
+/// A feed-forward stack of layers.
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer (builder style).
+    pub fn push(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True if the model has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Total trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Forward pass through all layers.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train);
+        }
+        x
+    }
+
+    /// Backward pass through all layers (after a training-mode forward).
+    pub fn backward(&mut self, grad_out: &Tensor) {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+    }
+
+    /// Zeroes all accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grads();
+        }
+    }
+
+    /// All parameters flattened into one vector (stable order).
+    pub fn flat_params(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for layer in &self.layers {
+            for p in layer.params() {
+                out.extend_from_slice(p);
+            }
+        }
+        out
+    }
+
+    /// All gradients flattened into one vector (same order as
+    /// [`Sequential::flat_params`]).
+    pub fn flat_grads(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for layer in &self.layers {
+            for g in layer.grads() {
+                out.extend_from_slice(g);
+            }
+        }
+        out
+    }
+
+    /// Overwrites all parameters from a flat vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat.len()` does not equal [`Sequential::param_count`].
+    pub fn set_flat_params(&mut self, flat: &[f32]) {
+        assert_eq!(
+            flat.len(),
+            self.param_count(),
+            "flat parameter vector length mismatch"
+        );
+        let mut offset = 0;
+        for layer in &mut self.layers {
+            for p in layer.params_mut() {
+                p.copy_from_slice(&flat[offset..offset + p.len()]);
+                offset += p.len();
+            }
+        }
+    }
+
+    /// One SGD mini-batch step: forward, loss, backward. Gradients are left
+    /// in the layers for an optimizer to consume; returns the loss output.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape/label mismatches (see
+    /// [`softmax_cross_entropy`]).
+    pub fn train_batch(&mut self, x: &Tensor, labels: &[usize]) -> LossOutput {
+        self.zero_grads();
+        let logits = self.forward(x, true);
+        let out = softmax_cross_entropy(&logits, labels);
+        self.backward(&out.grad);
+        out
+    }
+
+    /// Evaluates mean loss and accuracy on a batch without training.
+    pub fn evaluate_batch(&mut self, x: &Tensor, labels: &[usize]) -> (f32, f32) {
+        let logits = self.forward(x, false);
+        let out = softmax_cross_entropy(&logits, labels);
+        let correct = out
+            .predictions
+            .iter()
+            .zip(labels)
+            .filter(|(p, l)| p == l)
+            .count();
+        (out.loss, correct as f32 / labels.len().max(1) as f32)
+    }
+}
+
+impl Default for Sequential {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sequential")
+            .field("layers", &self.layers.len())
+            .field("params", &self.param_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Relu};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_mlp(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Sequential::new()
+            .push(Dense::new(4, 16, &mut rng))
+            .push(Relu::new())
+            .push(Dense::new(16, 3, &mut rng))
+    }
+
+    /// A linearly separable 3-class toy problem.
+    fn toy_batch() -> (Tensor, Vec<usize>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..30 {
+            let class = i % 3;
+            let mut row = vec![0.1f32; 4];
+            row[class] = 1.0 + (i as f32 * 0.01);
+            xs.extend(row);
+            ys.push(class);
+        }
+        (Tensor::from_vec(vec![30, 4], xs), ys)
+    }
+
+    #[test]
+    fn flat_params_round_trip() {
+        let mut m = tiny_mlp(1);
+        let p = m.flat_params();
+        assert_eq!(p.len(), m.param_count());
+        let mut modified = p.clone();
+        for v in modified.iter_mut() {
+            *v += 1.0;
+        }
+        m.set_flat_params(&modified);
+        assert_eq!(m.flat_params(), modified);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn set_flat_params_rejects_wrong_len() {
+        let mut m = tiny_mlp(1);
+        m.set_flat_params(&[0.0; 3]);
+    }
+
+    #[test]
+    fn sgd_training_reduces_loss() {
+        let mut m = tiny_mlp(2);
+        let (x, y) = toy_batch();
+        let lr = 0.5f32;
+        let first = m.train_batch(&x, &y).loss;
+        for _ in 0..50 {
+            let out = m.train_batch(&x, &y);
+            // Manual SGD over the flat views.
+            let grads = m.flat_grads();
+            let mut params = m.flat_params();
+            for (p, g) in params.iter_mut().zip(&grads) {
+                *p -= lr * g;
+            }
+            m.set_flat_params(&params);
+            let _ = out;
+        }
+        let (final_loss, acc) = m.evaluate_batch(&x, &y);
+        assert!(final_loss < first * 0.5, "loss {first} -> {final_loss}");
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn evaluate_does_not_mutate_params() {
+        let mut m = tiny_mlp(3);
+        let (x, y) = toy_batch();
+        let before = m.flat_params();
+        let _ = m.evaluate_batch(&x, &y);
+        assert_eq!(m.flat_params(), before);
+    }
+
+    #[test]
+    fn identical_seeds_build_identical_models() {
+        let a = tiny_mlp(9).flat_params();
+        let b = tiny_mlp(9).flat_params();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn param_count_sums_layers() {
+        let m = tiny_mlp(1);
+        assert_eq!(m.param_count(), 4 * 16 + 16 + 16 * 3 + 3);
+        assert_eq!(m.len(), 3);
+    }
+}

@@ -1,0 +1,205 @@
+//! Optimizers over flat parameter vectors.
+//!
+//! [`Sgd`] is the clients' local optimizer (paper §4.1.3: SGD, lr = 0.01).
+//! [`Yogi`] is the server-side adaptive optimizer behind the FedYogi
+//! strategy (Reddi et al., "Adaptive Federated Optimization"): it treats the
+//! difference between the aggregated model and the current server model as
+//! a pseudo-gradient and adapts per-coordinate step sizes with a
+//! sign-corrected second-moment update.
+
+use serde::{Deserialize, Serialize};
+
+/// Plain SGD with optional momentum.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<f32>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive or `momentum` is outside `[0, 1)`.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// The learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Applies one step: `params -= lr * v` with
+    /// `v = momentum * v + grads`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != grads.len()`.
+    pub fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len(), "params/grads length mismatch");
+        if self.velocity.len() != params.len() {
+            self.velocity = vec![0.0; params.len()];
+        }
+        for ((p, g), v) in params.iter_mut().zip(grads).zip(self.velocity.iter_mut()) {
+            *v = self.momentum * *v + g;
+            *p -= self.lr * *v;
+        }
+    }
+}
+
+/// Yogi server optimizer (FedYogi).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Yogi {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    m: Vec<f32>,
+    v: Vec<f32>,
+}
+
+impl Yogi {
+    /// Creates a Yogi optimizer with the FedYogi paper defaults
+    /// (β₁ = 0.9, β₂ = 0.99, τ = 1e-3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive.
+    pub fn new(lr: f32) -> Self {
+        Self::with_params(lr, 0.9, 0.99, 1e-3)
+    }
+
+    /// Creates a Yogi optimizer with explicit hyper-parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` or `eps` is not positive, or betas are outside `[0,1)`.
+    pub fn with_params(lr: f32, beta1: f32, beta2: f32, eps: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!(eps > 0.0, "eps must be positive");
+        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2));
+        Yogi {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Applies one Yogi step along `pseudo_grad` (typically
+    /// `current - aggregated` so the server moves *toward* the aggregate):
+    ///
+    /// ```text
+    /// m ← β₁ m + (1-β₁) g
+    /// v ← v - (1-β₂) sign(v - g²) g²
+    /// θ ← θ - lr · m / (√v + ε)
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != pseudo_grad.len()`.
+    pub fn step(&mut self, params: &mut [f32], pseudo_grad: &[f32]) {
+        assert_eq!(params.len(), pseudo_grad.len(), "params/grad length mismatch");
+        if self.m.len() != params.len() {
+            self.m = vec![0.0; params.len()];
+            self.v = vec![self.eps * self.eps; params.len()];
+        }
+        for i in 0..params.len() {
+            let g = pseudo_grad[i];
+            let g2 = g * g;
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] -= (1.0 - self.beta2) * (self.v[i] - g2).signum() * g2;
+            params[i] -= self.lr * self.m[i] / (self.v[i].max(0.0).sqrt() + self.eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimize f(x) = ||x||² with gradient 2x.
+    fn quadratic_grad(x: &[f32]) -> Vec<f32> {
+        x.iter().map(|v| 2.0 * v).collect()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1, 0.0);
+        let mut x = vec![5.0f32, -3.0, 2.0];
+        for _ in 0..100 {
+            let g = quadratic_grad(&x);
+            opt.step(&mut x, &g);
+        }
+        assert!(x.iter().all(|v| v.abs() < 1e-3), "{x:?}");
+    }
+
+    #[test]
+    fn sgd_momentum_accelerates() {
+        let run = |momentum: f32| {
+            let mut opt = Sgd::new(0.01, momentum);
+            let mut x = vec![10.0f32];
+            for _ in 0..50 {
+                let g = quadratic_grad(&x);
+                opt.step(&mut x, &g);
+            }
+            x[0].abs()
+        };
+        assert!(run(0.9) < run(0.0), "momentum should converge faster here");
+    }
+
+    #[test]
+    fn yogi_converges_on_quadratic() {
+        let mut opt = Yogi::new(0.5);
+        let mut x = vec![5.0f32, -3.0];
+        for _ in 0..300 {
+            let g = quadratic_grad(&x);
+            opt.step(&mut x, &g);
+        }
+        assert!(x.iter().all(|v| v.abs() < 0.1), "{x:?}");
+    }
+
+    #[test]
+    fn yogi_step_is_bounded_by_lr_scale() {
+        // Adaptive normalization keeps per-step movement on the order of lr.
+        let mut opt = Yogi::new(0.1);
+        let mut x = vec![100.0f32];
+        let g = vec![1000.0f32];
+        let before = x[0];
+        opt.step(&mut x, &g);
+        assert!((before - x[0]).abs() < 10.0, "step was {}", before - x[0]);
+    }
+
+    #[test]
+    fn zero_gradient_is_fixed_point_for_sgd() {
+        let mut opt = Sgd::new(0.1, 0.0);
+        let mut x = vec![1.0f32, 2.0];
+        opt.step(&mut x, &[0.0, 0.0]);
+        assert_eq!(x, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn sgd_length_mismatch_panics() {
+        let mut opt = Sgd::new(0.1, 0.0);
+        let mut x = vec![1.0f32];
+        opt.step(&mut x, &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn invalid_lr_panics() {
+        let _ = Sgd::new(0.0, 0.0);
+    }
+}

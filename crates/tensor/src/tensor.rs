@@ -1,0 +1,326 @@
+//! Dense `f32` tensors with the operations the NN layers need.
+//!
+//! This is deliberately a small, allocation-explicit tensor — no autograd,
+//! no broadcasting zoo. Layers implement their own backward passes, which
+//! keeps the substrate auditable and the FL weight-exchange path (flat
+//! `Vec<f32>` views) trivial.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major tensor of `f32`.
+///
+/// ```
+/// use unifyfl_tensor::Tensor;
+/// let t = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+/// assert_eq!(t.get(&[1, 2]), 6.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// A tensor of zeros with the given shape.
+    pub fn zeros(shape: Vec<usize>) -> Self {
+        let n = shape.iter().product();
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
+    }
+
+    /// Wraps existing data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the shape's element count.
+    pub fn from_vec(shape: Vec<usize>, data: Vec<f32>) -> Self {
+        let n: usize = shape.iter().product();
+        assert_eq!(n, data.len(), "shape {shape:?} needs {n} elements, got {}", data.len());
+        Tensor { shape, data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the backing data (row-major).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing data (row-major).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the backing buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element access by multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` has the wrong rank or is out of bounds.
+    pub fn get(&self, idx: &[usize]) -> f32 {
+        self.data[self.offset(idx)]
+    }
+
+    /// Mutable element access by multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` has the wrong rank or is out of bounds.
+    pub fn set(&mut self, idx: &[usize], v: f32) {
+        let off = self.offset(idx);
+        self.data[off] = v;
+    }
+
+    fn offset(&self, idx: &[usize]) -> usize {
+        assert_eq!(idx.len(), self.shape.len(), "rank mismatch");
+        let mut off = 0;
+        for (i, (&x, &dim)) in idx.iter().zip(&self.shape).enumerate() {
+            assert!(x < dim, "index {x} out of bounds for dim {i} of size {dim}");
+            off = off * dim + x;
+        }
+        off
+    }
+
+    /// Reinterprets the tensor with a new shape of equal element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(mut self, shape: Vec<usize>) -> Self {
+        let n: usize = shape.iter().product();
+        assert_eq!(n, self.data.len(), "reshape to {shape:?} changes element count");
+        self.shape = shape;
+        self
+    }
+
+    /// Matrix multiplication: `self` is `[m, k]`, `rhs` is `[k, n]`, result
+    /// `[m, n]`. Inner loop is ordered for cache-friendly access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tensor is not rank-2 or the inner dims differ.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "lhs must be rank-2");
+        assert_eq!(rhs.shape.len(), 2, "rhs must be rank-2");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (rhs.shape[0], rhs.shape[1]);
+        assert_eq!(k, k2, "inner dimensions must agree: {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let lhs_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (p, &l) in lhs_row.iter().enumerate() {
+                if l == 0.0 {
+                    continue;
+                }
+                let rhs_row = &rhs.data[p * n..(p + 1) * n];
+                for (o, &r) in out_row.iter_mut().zip(rhs_row) {
+                    *o += l * r;
+                }
+            }
+        }
+        Tensor {
+            shape: vec![m, n],
+            data: out,
+        }
+    }
+
+    /// Transposed matrix: `[m, n]` → `[n, m]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank-2.
+    pub fn transpose(&self) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "transpose needs rank-2");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor {
+            shape: vec![n, m],
+            data: out,
+        }
+    }
+
+    /// Elementwise in-place addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, rhs: &Tensor) {
+        assert_eq!(self.shape, rhs.shape, "shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place multiplication by a scalar.
+    pub fn scale(&mut self, s: f32) {
+        for a in self.data.iter_mut() {
+            *a *= s;
+        }
+    }
+
+    /// Index of the maximum element in each row of a `[batch, classes]`
+    /// tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank-2.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        assert_eq!(self.shape.len(), 2, "argmax_rows needs rank-2");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        (0..m)
+            .map(|i| {
+                let row = &self.data[i * n..(i + 1) * n];
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(j, _)| j)
+                    .expect("non-empty row")
+            })
+            .collect()
+    }
+
+    /// Euclidean (L2) norm of the flattened tensor.
+    pub fn l2_norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Squared Euclidean distance between two flattened tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn sq_dist(&self, rhs: &Tensor) -> f32 {
+        assert_eq!(self.data.len(), rhs.data.len(), "length mismatch");
+        self.data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum()
+    }
+}
+
+/// Squared Euclidean distance between two flat weight vectors (used by
+/// MultiKRUM scoring).
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn sq_dist_slice(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = (*x - *y) as f64;
+            d * d
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small_known_values() {
+        let a = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(vec![3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Tensor::from_vec(vec![2, 2], vec![1., 2., 3., 4.]);
+        let i = Tensor::from_vec(vec![2, 2], vec![1., 0., 0., 1.]);
+        assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions must agree")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Tensor::zeros(vec![2, 3]);
+        let b = Tensor::zeros(vec![2, 2]);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let t = a.transpose();
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.get(&[2, 1]), 6.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut t = Tensor::zeros(vec![2, 2, 2]);
+        t.set(&[1, 0, 1], 9.0);
+        assert_eq!(t.get(&[1, 0, 1]), 9.0);
+        assert_eq!(t.get(&[0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let t = Tensor::zeros(vec![2, 2]);
+        let _ = t.get(&[2, 0]);
+    }
+
+    #[test]
+    fn argmax_rows_picks_max() {
+        let t = Tensor::from_vec(vec![2, 3], vec![0.1, 0.9, 0.0, 0.5, 0.2, 0.7]);
+        assert_eq!(t.argmax_rows(), vec![1, 2]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let r = t.reshape(vec![3, 2]);
+        assert_eq!(r.get(&[2, 1]), 6.0);
+    }
+
+    #[test]
+    fn norms_and_distances() {
+        let a = Tensor::from_vec(vec![3], vec![3., 0., 4.]);
+        let b = Tensor::from_vec(vec![3], vec![0., 0., 0.]);
+        assert!((a.l2_norm() - 5.0).abs() < 1e-6);
+        assert!((a.sq_dist(&b) - 25.0).abs() < 1e-6);
+        assert!((sq_dist_slice(a.data(), b.data()) - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_and_add_assign() {
+        let mut a = Tensor::from_vec(vec![2], vec![1., 2.]);
+        let b = Tensor::from_vec(vec![2], vec![3., 4.]);
+        a.add_assign(&b);
+        a.scale(2.0);
+        assert_eq!(a.data(), &[8., 12.]);
+    }
+}

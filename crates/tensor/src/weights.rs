@@ -1,0 +1,126 @@
+//! Flat weight vectors and their wire serialization.
+//!
+//! Model weights travel through the system as `Vec<f32>`: serialized to
+//! little-endian bytes for IPFS storage, deserialized on fetch, averaged by
+//! the aggregation strategies. A small header carries the element count so
+//! truncation is detected at the storage boundary.
+
+use std::fmt;
+
+/// Magic prefix identifying a serialized weight blob.
+const MAGIC: &[u8; 4] = b"UFLW";
+
+/// Serializes a weight vector (magic + u64 count + f32 LE payload).
+pub fn weights_to_bytes(weights: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12 + weights.len() * 4);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(weights.len() as u64).to_le_bytes());
+    for w in weights {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    out
+}
+
+/// Deserializes a weight vector.
+///
+/// # Errors
+///
+/// Returns [`WeightsDecodeError`] if the magic, length or payload size is
+/// wrong, or any value is non-finite (a corrupt model must never enter
+/// aggregation).
+pub fn weights_from_bytes(bytes: &[u8]) -> Result<Vec<f32>, WeightsDecodeError> {
+    if bytes.len() < 12 || &bytes[..4] != MAGIC {
+        return Err(WeightsDecodeError::BadHeader);
+    }
+    let count = u64::from_le_bytes(bytes[4..12].try_into().expect("8 bytes")) as usize;
+    let payload = &bytes[12..];
+    if payload.len() != count * 4 {
+        return Err(WeightsDecodeError::LengthMismatch {
+            declared: count,
+            actual: payload.len() / 4,
+        });
+    }
+    let mut out = Vec::with_capacity(count);
+    for chunk in payload.chunks_exact(4) {
+        let v = f32::from_le_bytes(chunk.try_into().expect("4 bytes"));
+        if !v.is_finite() {
+            return Err(WeightsDecodeError::NonFinite);
+        }
+        out.push(v);
+    }
+    Ok(out)
+}
+
+/// Error decoding a serialized weight blob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightsDecodeError {
+    /// Missing or wrong magic/header.
+    BadHeader,
+    /// Declared element count does not match the payload.
+    LengthMismatch {
+        /// Count in the header.
+        declared: usize,
+        /// Count implied by the payload size.
+        actual: usize,
+    },
+    /// Payload contains NaN or infinity.
+    NonFinite,
+}
+
+impl fmt::Display for WeightsDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WeightsDecodeError::BadHeader => write!(f, "bad weight blob header"),
+            WeightsDecodeError::LengthMismatch { declared, actual } => {
+                write!(f, "weight count mismatch: header {declared}, payload {actual}")
+            }
+            WeightsDecodeError::NonFinite => write!(f, "weight blob contains non-finite values"),
+        }
+    }
+}
+
+impl std::error::Error for WeightsDecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let w = vec![0.0f32, -1.5, 3.25, f32::MIN_POSITIVE, 1e30];
+        let bytes = weights_to_bytes(&w);
+        assert_eq!(weights_from_bytes(&bytes).unwrap(), w);
+    }
+
+    #[test]
+    fn empty_round_trip() {
+        let bytes = weights_to_bytes(&[]);
+        assert!(weights_from_bytes(&bytes).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = weights_to_bytes(&[1.0]);
+        bytes[0] = b'X';
+        assert_eq!(weights_from_bytes(&bytes), Err(WeightsDecodeError::BadHeader));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let bytes = weights_to_bytes(&[1.0, 2.0]);
+        let err = weights_from_bytes(&bytes[..bytes.len() - 4]).unwrap_err();
+        assert!(matches!(err, WeightsDecodeError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_nan() {
+        let bytes = weights_to_bytes(&[1.0, f32::NAN]);
+        assert_eq!(weights_from_bytes(&bytes), Err(WeightsDecodeError::NonFinite));
+    }
+
+    #[test]
+    fn wire_size_is_predictable() {
+        let bytes = weights_to_bytes(&vec![0.0; 1000]);
+        assert_eq!(bytes.len(), 12 + 4000);
+    }
+}

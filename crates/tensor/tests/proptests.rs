@@ -1,0 +1,94 @@
+//! Property-based tests of the tensor/NN substrate's invariants.
+
+use proptest::prelude::*;
+use unifyfl_tensor::loss::softmax_cross_entropy;
+use unifyfl_tensor::zoo::ModelSpec;
+use unifyfl_tensor::{weights_from_bytes, weights_to_bytes, Tensor};
+
+fn finite_f32() -> impl Strategy<Value = f32> {
+    (-1.0e3f32..1.0e3).prop_map(|v| v)
+}
+
+proptest! {
+    /// Weight serialization is the identity on finite vectors.
+    #[test]
+    fn weights_round_trip(w in proptest::collection::vec(finite_f32(), 0..256)) {
+        let bytes = weights_to_bytes(&w);
+        prop_assert_eq!(weights_from_bytes(&bytes).unwrap(), w);
+    }
+
+    /// Truncated weight blobs error rather than panic or mis-decode.
+    #[test]
+    fn weights_truncation_detected(w in proptest::collection::vec(finite_f32(), 1..64), cut in 0usize..64) {
+        let bytes = weights_to_bytes(&w);
+        let cut = cut.min(bytes.len().saturating_sub(1));
+        prop_assert!(weights_from_bytes(&bytes[..cut]).is_err());
+    }
+
+    /// Matmul distributes over scaling: (αA)B = α(AB).
+    #[test]
+    fn matmul_is_homogeneous(
+        a in proptest::collection::vec(-10.0f32..10.0, 6),
+        b in proptest::collection::vec(-10.0f32..10.0, 6),
+        alpha in -4.0f32..4.0,
+    ) {
+        let ta = Tensor::from_vec(vec![2, 3], a);
+        let tb = Tensor::from_vec(vec![3, 2], b);
+        let mut scaled_a = ta.clone();
+        scaled_a.scale(alpha);
+        let lhs = scaled_a.matmul(&tb);
+        let mut rhs = ta.matmul(&tb);
+        rhs.scale(alpha);
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-2, "{x} vs {y}");
+        }
+    }
+
+    /// Transpose is an involution.
+    #[test]
+    fn transpose_involution(data in proptest::collection::vec(finite_f32(), 12)) {
+        let t = Tensor::from_vec(vec![3, 4], data);
+        prop_assert_eq!(t.transpose().transpose(), t);
+    }
+
+    /// Softmax-CE loss is non-negative, finite, and its gradient rows sum
+    /// to ~0 for any logits.
+    #[test]
+    fn loss_invariants(
+        logits in proptest::collection::vec(-50.0f32..50.0, 8),
+        label in 0usize..4,
+    ) {
+        let t = Tensor::from_vec(vec![2, 4], logits);
+        let out = softmax_cross_entropy(&t, &[label, (label + 1) % 4]);
+        prop_assert!(out.loss >= 0.0);
+        prop_assert!(out.loss.is_finite());
+        for row in 0..2 {
+            let s: f32 = out.grad.data()[row * 4..(row + 1) * 4].iter().sum();
+            prop_assert!(s.abs() < 1e-4, "row grad sum {s}");
+        }
+    }
+
+    /// Flat-parameter set/get is the identity for any model weights.
+    #[test]
+    fn flat_params_round_trip(seed in any::<u64>(), delta in -1.0f32..1.0) {
+        let spec = ModelSpec::mlp(6, vec![8], 3);
+        let mut m = spec.build(seed);
+        let mut p = m.flat_params();
+        for v in p.iter_mut() {
+            *v += delta;
+        }
+        m.set_flat_params(&p);
+        prop_assert_eq!(m.flat_params(), p);
+    }
+
+    /// Model inference is deterministic: same weights, same input, same
+    /// logits.
+    #[test]
+    fn inference_is_deterministic(seed in any::<u64>(), input in proptest::collection::vec(-2.0f32..2.0, 6)) {
+        let spec = ModelSpec::mlp(6, vec![8], 3);
+        let mut m1 = spec.build(seed);
+        let mut m2 = spec.build(seed);
+        let x = Tensor::from_vec(vec![1, 6], input);
+        prop_assert_eq!(m1.forward(&x, false), m2.forward(&x, false));
+    }
+}

@@ -1,0 +1,31 @@
+//! # UnifyFL — decentralized cross-silo federated learning
+//!
+//! Facade crate re-exporting the full public API of the UnifyFL
+//! reproduction (Middleware '25). See the workspace README for the
+//! architecture overview and `DESIGN.md` for the substrate inventory.
+//!
+//! The typical entry point is [`core::experiment`], which wires together the
+//! blockchain orchestrator, the content-addressed store, the Flower-like FL
+//! clusters and the discrete-event simulator:
+//!
+//! ```
+//! use unifyfl::core::experiment::{ExperimentBuilder, Mode};
+//! use unifyfl::core::policy::AggregationPolicy;
+//!
+//! let report = ExperimentBuilder::quickstart()
+//!     .seed(7)
+//!     .rounds(3)
+//!     .mode(Mode::Async)
+//!     .policy_all(AggregationPolicy::All)
+//!     .run()
+//!     .expect("experiment runs");
+//! assert_eq!(report.aggregators.len(), 3);
+//! ```
+
+pub use unifyfl_chain as chain;
+pub use unifyfl_core as core;
+pub use unifyfl_data as data;
+pub use unifyfl_fl as fl;
+pub use unifyfl_sim as sim;
+pub use unifyfl_storage as storage;
+pub use unifyfl_tensor as tensor;

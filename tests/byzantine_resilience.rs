@@ -1,0 +1,146 @@
+//! Byzantine-resilience integration tests (§5 Q2 / Figure 7): poisoned
+//! models get low scores, smart policies exclude them, and the defense
+//! holds across attack types.
+
+use unifyfl::core::byzantine::AttackKind;
+use unifyfl::core::cluster::ClusterConfig;
+use unifyfl::core::experiment::{run_experiment, ExperimentConfig, ExperimentReport, Mode};
+use unifyfl::core::federation::Federation;
+use unifyfl::core::orchestration::run_sync;
+use unifyfl::core::policy::{AggregationPolicy, ScorePolicy};
+use unifyfl::core::scoring::ScorerKind;
+use unifyfl::data::{Partition, SyntheticConfig, WorkloadConfig};
+use unifyfl::sim::DeviceProfile;
+use unifyfl::tensor::ModelSpec;
+
+fn workload() -> WorkloadConfig {
+    let mut dataset = SyntheticConfig::cifar10_like(450);
+    dataset.input = unifyfl::tensor::zoo::InputKind::Flat(16);
+    dataset.n_classes = 4;
+    dataset.noise_scale = 0.8;
+    WorkloadConfig {
+        name: "byzantine".into(),
+        model: ModelSpec::mlp(16, vec![16], 4),
+        dataset,
+        rounds: 5,
+        local_epochs: 1,
+        batch_size: 16,
+        learning_rate: 0.05,
+    }
+}
+
+fn config(policy: AggregationPolicy, attack: AttackKind) -> ExperimentConfig {
+    let mk = |name: &str, attack: Option<AttackKind>| {
+        let mut c = ClusterConfig::edge(name, DeviceProfile::edge_cpu())
+            .with_policy(policy)
+            .with_score_policy(ScorePolicy::Mean);
+        c.attack = attack;
+        c
+    };
+    ExperimentConfig {
+        seed: 42,
+        label: "byzantine".into(),
+        workload: workload(),
+        partition: Partition::Iid,
+        mode: Mode::Sync,
+        scorer: ScorerKind::Accuracy,
+        clusters: vec![
+            mk("honest-1", None),
+            mk("honest-2", None),
+            mk("attacker", Some(attack)),
+        ],
+        window_margin: 1.15,
+    }
+}
+
+fn honest_mean(r: &ExperimentReport) -> f64 {
+    r.aggregators
+        .iter()
+        .filter(|a| a.name.starts_with("honest"))
+        .map(|a| a.global_accuracy_pct)
+        .sum::<f64>()
+        / 2.0
+}
+
+#[test]
+fn smart_policy_beats_naive_for_every_attack_kind() {
+    for attack in [
+        AttackKind::SignFlip,
+        AttackKind::GaussianNoise { sigma: 2.0 },
+        AttackKind::ScaleUp { factor: 25.0 },
+    ] {
+        let naive = run_experiment(&config(AggregationPolicy::TopK(3), attack)).unwrap();
+        let smart = run_experiment(&config(AggregationPolicy::AboveAverage, attack)).unwrap();
+        assert!(
+            honest_mean(&smart) > honest_mean(&naive),
+            "{attack}: smart {:.1}% must beat naive {:.1}%",
+            honest_mean(&smart),
+            honest_mean(&naive)
+        );
+    }
+}
+
+#[test]
+fn poisoned_models_receive_lower_scores() {
+    // Gaussian noise at σ=2 reliably destroys a small MLP's accuracy, so
+    // the scorer gap is unambiguous. (A sign-flip of a *barely-trained*
+    // network can retain accidental accuracy through the ReLU symmetry,
+    // and a pure scale-up barely moves the argmax — those attacks target
+    // the merge, not the score.)
+    let cfg = config(
+        AggregationPolicy::AboveAverage,
+        AttackKind::GaussianNoise { sigma: 2.0 },
+    );
+    let mut fed = Federation::new(
+        cfg.seed,
+        &cfg.workload,
+        cfg.partition,
+        cfg.mode.to_chain(),
+        cfg.clusters.clone(),
+    );
+    run_sync(&mut fed, &cfg.workload, cfg.scorer, cfg.window_margin);
+
+    let attacker = fed
+        .clusters
+        .iter()
+        .find(|c| c.config().attack.is_some())
+        .expect("attacker present")
+        .address();
+    let contract = fed.contract();
+    let mean = |scores: &[f64]| scores.iter().sum::<f64>() / scores.len().max(1) as f64;
+
+    // Skip round 1 (models are near-random for everyone); afterwards the
+    // poisoned submissions must score clearly below honest ones.
+    let mut honest_scores = Vec::new();
+    let mut poisoned_scores = Vec::new();
+    for entry in contract.entries().iter().filter(|e| e.round > 1) {
+        let m = mean(&entry.score_values());
+        if entry.submitter == attacker {
+            poisoned_scores.push(m);
+        } else {
+            honest_scores.push(m);
+        }
+    }
+    let honest = mean(&honest_scores);
+    let poisoned = mean(&poisoned_scores);
+    assert!(
+        honest > poisoned + 0.1,
+        "honest mean score {honest:.3} must clearly exceed poisoned {poisoned:.3}"
+    );
+}
+
+#[test]
+fn median_score_policy_resists_one_dishonest_scorer() {
+    // With Mean reduction, a single absurd score shifts the reduced value;
+    // with Median it barely moves. This is the scoring-policy defense of
+    // §3.4.4 exercised at the policy level.
+    let honest = [0.71, 0.74, 0.69];
+    let with_liar = [0.71, 0.74, 0.69, 0.0];
+    let mean_shift = (ScorePolicy::Mean.reduce(&honest).unwrap()
+        - ScorePolicy::Mean.reduce(&with_liar).unwrap())
+    .abs();
+    let median_shift = (ScorePolicy::Median.reduce(&honest).unwrap()
+        - ScorePolicy::Median.reduce(&with_liar).unwrap())
+    .abs();
+    assert!(median_shift < mean_shift / 3.0);
+}
