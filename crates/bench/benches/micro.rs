@@ -17,8 +17,8 @@ use unifyfl_chain::types::{Address, Transaction};
 use unifyfl_core::policy::{AggregationPolicy, ScoredCandidate};
 use unifyfl_core::scoring::multikrum_scores;
 use unifyfl_sim::SimTime;
-use unifyfl_storage::cid::{base58_encode, Cid};
 use unifyfl_storage::chunker::chunk;
+use unifyfl_storage::cid::{base58_encode, Cid};
 use unifyfl_tensor::zoo::ModelSpec;
 use unifyfl_tensor::Tensor;
 
@@ -41,9 +41,13 @@ fn bench_merkle(c: &mut Criterion) {
 
 fn bench_cid(c: &mut Criterion) {
     let data = vec![7u8; 1024];
-    c.bench_function("cid/for_data_1KiB", |b| b.iter(|| Cid::for_data(black_box(&data))));
+    c.bench_function("cid/for_data_1KiB", |b| {
+        b.iter(|| Cid::for_data(black_box(&data)))
+    });
     let mh = Cid::for_data(&data).multihash();
-    c.bench_function("base58/encode_34B", |b| b.iter(|| base58_encode(black_box(&mh))));
+    c.bench_function("base58/encode_34B", |b| {
+        b.iter(|| base58_encode(black_box(&mh)))
+    });
 }
 
 fn bench_chunking(c: &mut Criterion) {
@@ -82,9 +86,17 @@ fn bench_block_sealing(c: &mut Criterion) {
 }
 
 fn bench_tensor(c: &mut Criterion) {
-    let a = Tensor::from_vec(vec![64, 128], (0..64 * 128).map(|i| (i % 7) as f32).collect());
-    let b_ = Tensor::from_vec(vec![128, 64], (0..64 * 128).map(|i| (i % 5) as f32).collect());
-    c.bench_function("tensor/matmul_64x128x64", |b| b.iter(|| a.matmul(black_box(&b_))));
+    let a = Tensor::from_vec(
+        vec![64, 128],
+        (0..64 * 128).map(|i| (i % 7) as f32).collect(),
+    );
+    let b_ = Tensor::from_vec(
+        vec![128, 64],
+        (0..64 * 128).map(|i| (i % 5) as f32).collect(),
+    );
+    c.bench_function("tensor/matmul_64x128x64", |b| {
+        b.iter(|| a.matmul(black_box(&b_)))
+    });
 
     let spec = ModelSpec::mlp(64, vec![128], 10);
     let mut model = spec.build(1);

@@ -114,8 +114,8 @@ pub fn majority_sweep(seed: u64) -> Vec<(usize, usize, f64)> {
             let mut scorer_counts = Vec::new();
             for e in fed.contract().entries().iter().filter(|e| e.round > 1) {
                 scorer_counts.push(e.scorers.len());
-                let mean = e.score_values().iter().sum::<f64>()
-                    / e.score_values().len().max(1) as f64;
+                let mean =
+                    e.score_values().iter().sum::<f64>() / e.score_values().len().max(1) as f64;
                 if e.submitter == attacker {
                     poisoned.push(mean);
                 } else {
@@ -123,7 +123,8 @@ pub fn majority_sweep(seed: u64) -> Vec<(usize, usize, f64)> {
                 }
             }
             let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
-            let scorers_per_model = scorer_counts.iter().sum::<usize>() / scorer_counts.len().max(1);
+            let scorers_per_model =
+                scorer_counts.iter().sum::<usize>() / scorer_counts.len().max(1);
             (n, scorers_per_model, avg(&honest) - avg(&poisoned))
         })
         .collect()

@@ -86,7 +86,10 @@ mod tests {
         let small = run(3, Scale::Quick, 42);
         let large = run(20, Scale::Quick, 42);
         let mean = |r: &ExperimentReport| {
-            r.aggregators.iter().map(|a| a.global_accuracy_pct).sum::<f64>()
+            r.aggregators
+                .iter()
+                .map(|a| a.global_accuracy_pct)
+                .sum::<f64>()
                 / r.aggregators.len() as f64
         };
         let (s, l) = (mean(&small), mean(&large));
@@ -104,7 +107,10 @@ mod tests {
         let large = run(20, Scale::Quick, 42);
         let g_small = small.resources.get("geth").unwrap().mem_mean;
         let g_large = large.resources.get("geth").unwrap().mem_mean;
-        assert!((g_small - g_large).abs() < 0.5, "Geth memory must stay flat");
+        assert!(
+            (g_small - g_large).abs() < 0.5,
+            "Geth memory must stay flat"
+        );
     }
 
     #[test]

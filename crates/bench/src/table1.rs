@@ -39,10 +39,16 @@ pub fn render(scale: Scale, seed: u64) -> String {
     let (no_collab, hbfl, actual) = run(scale, seed);
     let mut out = String::new();
     out.push_str("Table 1: Accuracy and Loss for No Collab and Collab settings\n");
-    out.push_str(&format!("workload: {} | NIID α=0.5 | seed {seed}\n\n", actual.name));
+    out.push_str(&format!(
+        "workload: {} | NIID α=0.5 | seed {seed}\n\n",
+        actual.name
+    ));
     out.push_str(&render_baseline_table("No Collab", &no_collab));
     out.push('\n');
-    out.push_str(&render_baseline_table("Collab (centralized multilevel)", &hbfl));
+    out.push_str(&render_baseline_table(
+        "Collab (centralized multilevel)",
+        &hbfl,
+    ));
     out.push('\n');
     out.push_str(&crate::extrapolation_note(
         scale,

@@ -26,7 +26,11 @@ use crate::Scale;
 /// Run identifiers in the table.
 pub const RUNS: std::ops::RangeInclusive<u32> = 1..=9;
 
-fn gpu_clusters(policies: &[AggregationPolicy], score: &[ScorePolicy], strategies: &[StrategyKind]) -> Vec<ClusterConfig> {
+fn gpu_clusters(
+    policies: &[AggregationPolicy],
+    score: &[ScorePolicy],
+    strategies: &[StrategyKind],
+) -> Vec<ClusterConfig> {
     (0..4)
         .map(|i| {
             ClusterConfig::gpu(format!("Agg {}", i + 1))
@@ -163,7 +167,10 @@ pub fn render(run_no: u32, scale: Scale, seed: u64) -> String {
             1.15,
         );
         out.push_str("== Table 5 Run 1 [HBFL baseline | FedAvg | Accuracy | NIID α=0.5] ==\n");
-        out.push_str(&render_baseline_table("HBFL (centralized multilevel)", &baseline));
+        out.push_str(&render_baseline_table(
+            "HBFL (centralized multilevel)",
+            &baseline,
+        ));
         out.push_str(&format!(
             "Time: {:.0} virtual s\n",
             baseline.outcome.end_time.as_secs_f64()
@@ -178,7 +185,9 @@ pub fn render(run_no: u32, scale: Scale, seed: u64) -> String {
 
 /// Renders every run of the table.
 pub fn render_all(scale: Scale, seed: u64) -> String {
-    RUNS.map(|r| render(r, scale, seed)).collect::<Vec<_>>().join("\n")
+    RUNS.map(|r| render(r, scale, seed))
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 #[cfg(test)]

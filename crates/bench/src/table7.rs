@@ -23,11 +23,13 @@ pub fn render(scale: Scale, seed: u64) -> String {
     let report = run(scale, seed);
     let mut out = String::new();
     out.push_str("Table 7: Systems metrics of Aggregators and Clients in UnifyFL\n");
-    out.push_str(&format!("(collected during {} | seed {seed})\n\n", report.label));
+    out.push_str(&format!(
+        "(collected during {} | seed {seed})\n\n",
+        report.label
+    ));
     out.push_str(&render_resources_table(&report));
     out.push('\n');
-    if let (Some(geth), Some(ipfs)) = (report.resources.get("geth"), report.resources.get("ipfs"))
-    {
+    if let (Some(geth), Some(ipfs)) = (report.resources.get("geth"), report.resources.get("ipfs")) {
         out.push_str(&format!(
             "§4.2.7 daemon overhead: Geth {:.2}% CPU / {:.0} MB, IPFS {:.2}% CPU / {:.0} MB\n",
             geth.cpu_mean, geth.mem_mean, ipfs.cpu_mean, ipfs.mem_mean

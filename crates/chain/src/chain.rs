@@ -118,10 +118,7 @@ impl Blockchain {
 
     /// Read-only (view) access to a deployed contract's concrete state.
     pub fn view<T: 'static>(&self, address: Address) -> Option<&T> {
-        self.contracts
-            .get(&address)?
-            .as_any()
-            .downcast_ref::<T>()
+        self.contracts.get(&address)?.as_any().downcast_ref::<T>()
     }
 
     /// Submits a transaction to the pool (it executes at the next seal).
@@ -181,7 +178,13 @@ impl Blockchain {
         let number = self.height() + 1;
         let in_turn = self.clique.in_turn_signer(number);
         let mut candidates = vec![in_turn];
-        candidates.extend(self.clique.signers().iter().copied().filter(|s| *s != in_turn));
+        candidates.extend(
+            self.clique
+                .signers()
+                .iter()
+                .copied()
+                .filter(|s| *s != in_turn),
+        );
         let signer = candidates
             .into_iter()
             .find(|s| {
@@ -332,7 +335,8 @@ impl Blockchain {
             {
                 return Err(n);
             }
-            let encoded: Vec<Vec<u8>> = child.transactions.iter().map(Transaction::encode).collect();
+            let encoded: Vec<Vec<u8>> =
+                child.transactions.iter().map(Transaction::encode).collect();
             if child.header.tx_root != merkle_root(encoded.iter().map(Vec::as_slice)) {
                 return Err(n);
             }
@@ -451,7 +455,11 @@ mod tests {
         let receipts = chain.receipts(1).unwrap();
         assert_eq!(receipts.len(), 2);
         assert!(!receipts[0].success);
-        assert!(receipts[0].error.as_deref().unwrap().contains("requested failure"));
+        assert!(receipts[0]
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("requested failure"));
         assert!(receipts[0].logs.is_empty());
         assert!(receipts[1].success);
         assert_eq!(chain.account_nonce(user), 2);
@@ -460,11 +468,20 @@ mod tests {
     #[test]
     fn tx_to_missing_contract_reverts() {
         let (mut chain, _, user) = setup();
-        chain.submit(Transaction::call(user, Address::from_label("nowhere"), 0, vec![]));
+        chain.submit(Transaction::call(
+            user,
+            Address::from_label("nowhere"),
+            0,
+            vec![],
+        ));
         chain.seal_next(SimTime::from_secs(5)).unwrap();
         let receipts = chain.receipts(1).unwrap();
         assert!(!receipts[0].success);
-        assert!(receipts[0].error.as_deref().unwrap().contains("no contract"));
+        assert!(receipts[0]
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("no contract"));
     }
 
     #[test]

@@ -80,7 +80,10 @@ impl fmt::Display for SealError {
             SealError::UnauthorizedSigner(a) => write!(f, "unauthorized signer {a}"),
             SealError::SignedRecently(a) => write!(f, "signer {a} sealed too recently"),
             SealError::WrongDifficulty { declared, expected } => {
-                write!(f, "wrong difficulty: declared {declared}, expected {expected}")
+                write!(
+                    f,
+                    "wrong difficulty: declared {declared}, expected {expected}"
+                )
             }
         }
     }
@@ -193,7 +196,7 @@ impl Clique {
         self.verify_seal(number, who, declared)?;
 
         // Epoch checkpoint: reset tallies.
-        if self.config.epoch_length > 0 && number % self.config.epoch_length == 0 {
+        if self.config.epoch_length > 0 && number.is_multiple_of(self.config.epoch_length) {
             self.votes.clear();
         }
 
@@ -251,7 +254,9 @@ mod tests {
     use super::*;
 
     fn addrs(n: usize) -> Vec<Address> {
-        (0..n).map(|i| Address::from_label(&format!("signer-{i}"))).collect()
+        (0..n)
+            .map(|i| Address::from_label(&format!("signer-{i}")))
+            .collect()
     }
 
     fn engine(n: usize) -> Clique {
@@ -328,7 +333,10 @@ mod tests {
         let s = e.signers().to_vec();
         assert!(matches!(
             e.verify_seal(0, s[1], DIFF_IN_TURN),
-            Err(SealError::WrongDifficulty { declared: 2, expected: 1 })
+            Err(SealError::WrongDifficulty {
+                declared: 2,
+                expected: 1
+            })
         ));
     }
 
@@ -368,7 +376,10 @@ mod tests {
             0,
             s[0],
             DIFF_IN_TURN,
-            &[(outsider, SignerVote::Add(newbie)), (outsider, SignerVote::Add(newbie))],
+            &[
+                (outsider, SignerVote::Add(newbie)),
+                (outsider, SignerVote::Add(newbie)),
+            ],
         )
         .unwrap();
         assert!(!e.is_signer(newbie));
@@ -391,7 +402,10 @@ mod tests {
         // votes are applied, so the earlier vote is discarded.
         e.apply_seal(2, s[2], DIFF_IN_TURN, &[(s[2], SignerVote::Add(newbie))])
             .unwrap();
-        assert!(!e.is_signer(newbie), "pre-checkpoint vote must not carry over");
+        assert!(
+            !e.is_signer(newbie),
+            "pre-checkpoint vote must not carry over"
+        );
     }
 
     #[test]

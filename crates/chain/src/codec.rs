@@ -207,7 +207,10 @@ impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DecodeError::Truncated { wanted, remaining } => {
-                write!(f, "truncated input: wanted {wanted} bytes, {remaining} remaining")
+                write!(
+                    f,
+                    "truncated input: wanted {wanted} bytes, {remaining} remaining"
+                )
             }
             DecodeError::InvalidUtf8 => write!(f, "invalid UTF-8 in string field"),
             DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes after structure"),
@@ -249,7 +252,13 @@ mod tests {
     fn truncated_input_reports_sizes() {
         let mut d = Decoder::new(&[0, 0]);
         let err = d.take_u32().unwrap_err();
-        assert_eq!(err, DecodeError::Truncated { wanted: 4, remaining: 2 });
+        assert_eq!(
+            err,
+            DecodeError::Truncated {
+                wanted: 4,
+                remaining: 2
+            }
+        );
     }
 
     #[test]

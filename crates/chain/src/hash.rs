@@ -354,10 +354,7 @@ mod tests {
 
     #[test]
     fn pair_hash_equals_concat_hash() {
-        assert_eq!(
-            sha256_pair(b"foo", b"bar"),
-            sha256(b"foobar"),
-        );
+        assert_eq!(sha256_pair(b"foo", b"bar"), sha256(b"foobar"),);
     }
 
     #[test]

@@ -61,7 +61,7 @@ where
     let mut siblings = Vec::new();
     let mut pos = index;
     while level.len() > 1 {
-        let sib = if pos % 2 == 0 {
+        let sib = if pos.is_multiple_of(2) {
             *level.get(pos + 1).unwrap_or(&level[pos])
         } else {
             level[pos - 1]
@@ -78,7 +78,7 @@ pub fn verify_proof(root: H256, item: &[u8], proof: &MerkleProof) -> bool {
     let mut acc = hash_leaf(item);
     let mut pos = proof.index;
     for sib in &proof.siblings {
-        acc = if pos % 2 == 0 {
+        acc = if pos.is_multiple_of(2) {
             hash_node(acc, *sib)
         } else {
             hash_node(*sib, acc)

@@ -322,7 +322,9 @@ impl UnifyFlContract {
         if self.aggregators.contains(&who) {
             Ok(())
         } else {
-            Err(ContractError::revert(format!("{who} is not a registered aggregator")))
+            Err(ContractError::revert(format!(
+                "{who} is not a registered aggregator"
+            )))
         }
     }
 
@@ -348,14 +350,21 @@ impl UnifyFlContract {
             return Err(ContractError::revert("async mode has no training phase"));
         }
         if self.phase == Phase::Scoring {
-            return Err(ContractError::revert("scoring phase still open; call endScoring first"));
+            return Err(ContractError::revert(
+                "scoring phase still open; call endScoring first",
+            ));
         }
         self.round += 1;
         self.phase = Phase::Training;
         let mut e = Encoder::new();
         e.put_u64(self.round);
         Ok(CallOutcome::new(
-            vec![Log::event(self.address, events::START_TRAINING, vec![], e.into_bytes())],
+            vec![Log::event(
+                self.address,
+                events::START_TRAINING,
+                vec![],
+                e.into_bytes(),
+            )],
             5_000,
         ))
     }
@@ -451,7 +460,12 @@ impl UnifyFlContract {
         let mut logs = Vec::new();
         let mut e = Encoder::new();
         e.put_u64(self.round);
-        logs.push(Log::event(self.address, events::START_SCORING, vec![], e.into_bytes()));
+        logs.push(Log::event(
+            self.address,
+            events::START_SCORING,
+            vec![],
+            e.into_bytes(),
+        ));
 
         let round = self.round;
         // Assign scorers to every model submitted this round. Collect
@@ -540,7 +554,12 @@ impl UnifyFlContract {
         let mut e = Encoder::new();
         e.put_u64(round);
         Ok(CallOutcome::new(
-            vec![Log::event(self.address, events::SCORING_CLOSED, vec![], e.into_bytes())],
+            vec![Log::event(
+                self.address,
+                events::SCORING_CLOSED,
+                vec![],
+                e.into_bytes(),
+            )],
             5_000,
         ))
     }
@@ -628,7 +647,9 @@ mod tests {
     }
 
     fn aggs(n: usize) -> Vec<Address> {
-        (0..n).map(|i| Address::from_label(&format!("agg-{i}"))).collect()
+        (0..n)
+            .map(|i| Address::from_label(&format!("agg-{i}")))
+            .collect()
     }
 
     fn registered(mode: OrchestrationMode, n: usize) -> (UnifyFlContract, Vec<Address>) {
@@ -663,7 +684,9 @@ mod tests {
         let (mut c, a) = registered(OrchestrationMode::Sync, 4);
 
         // Submitting before startTraining reverts.
-        let err = c.execute(&ctx(a[0], 0), &calls::submit_model("QmA")).unwrap_err();
+        let err = c
+            .execute(&ctx(a[0], 0), &calls::submit_model("QmA"))
+            .unwrap_err();
         assert!(err.to_string().contains("submission window closed"));
 
         c.execute(&ctx(a[0], 0), &calls::start_training()).unwrap();
@@ -671,13 +694,19 @@ mod tests {
         assert_eq!(c.phase(), Phase::Training);
 
         for (i, agg) in a.iter().enumerate() {
-            c.execute(&ctx(*agg, i as u64), &calls::submit_model(&format!("Qm{i}")))
-                .unwrap();
+            c.execute(
+                &ctx(*agg, i as u64),
+                &calls::submit_model(&format!("Qm{i}")),
+            )
+            .unwrap();
         }
 
         // Scoring before startScoring reverts.
         let err = c
-            .execute(&ctx(a[1], 0), &calls::submit_score("Qm0", Score::from_f64(0.5)))
+            .execute(
+                &ctx(a[1], 0),
+                &calls::submit_score("Qm0", Score::from_f64(0.5)),
+            )
             .unwrap_err();
         assert!(err.to_string().contains("scoring window closed"));
 
@@ -731,24 +760,30 @@ mod tests {
     fn sync_straggler_must_wait_for_next_round() {
         let (mut c, a) = registered(OrchestrationMode::Sync, 3);
         c.execute(&ctx(a[0], 0), &calls::start_training()).unwrap();
-        c.execute(&ctx(a[0], 0), &calls::submit_model("QmFast")).unwrap();
+        c.execute(&ctx(a[0], 0), &calls::submit_model("QmFast"))
+            .unwrap();
         c.execute(&ctx(a[0], 1), &calls::start_scoring()).unwrap();
 
         // Straggler a[1] tries to submit during scoring: rejected.
-        let err = c.execute(&ctx(a[1], 0), &calls::submit_model("QmLate")).unwrap_err();
+        let err = c
+            .execute(&ctx(a[1], 0), &calls::submit_model("QmLate"))
+            .unwrap_err();
         assert!(err.to_string().contains("submission window closed"));
 
         c.execute(&ctx(a[0], 0), &calls::end_scoring()).unwrap();
         c.execute(&ctx(a[0], 0), &calls::start_training()).unwrap();
         // Next round it succeeds.
-        c.execute(&ctx(a[1], 0), &calls::submit_model("QmLate")).unwrap();
+        c.execute(&ctx(a[1], 0), &calls::submit_model("QmLate"))
+            .unwrap();
         assert_eq!(c.entry("QmLate").unwrap().round, 2);
     }
 
     #[test]
     fn async_assigns_scorers_immediately() {
         let (mut c, a) = registered(OrchestrationMode::Async, 4);
-        let out = c.execute(&ctx(a[2], 7), &calls::submit_model("QmAsync")).unwrap();
+        let out = c
+            .execute(&ctx(a[2], 7), &calls::submit_model("QmAsync"))
+            .unwrap();
         let asg = out
             .logs
             .iter()
@@ -778,7 +813,9 @@ mod tests {
     #[test]
     fn only_assigned_scorers_may_score() {
         let (mut c, a) = registered(OrchestrationMode::Async, 5);
-        let out = c.execute(&ctx(a[0], 3), &calls::submit_model("QmZ")).unwrap();
+        let out = c
+            .execute(&ctx(a[0], 3), &calls::submit_model("QmZ"))
+            .unwrap();
         let asg = out
             .logs
             .iter()
@@ -798,7 +835,9 @@ mod tests {
     #[test]
     fn duplicate_scores_rejected() {
         let (mut c, a) = registered(OrchestrationMode::Async, 3);
-        let out = c.execute(&ctx(a[0], 3), &calls::submit_model("QmZ")).unwrap();
+        let out = c
+            .execute(&ctx(a[0], 3), &calls::submit_model("QmZ"))
+            .unwrap();
         let asg = out
             .logs
             .iter()
@@ -806,7 +845,8 @@ mod tests {
             .map(|l| ScorersAssigned::decode(&l.data).unwrap())
             .unwrap();
         let scorer = asg.scorers[0];
-        c.execute(&ctx(scorer, 0), &calls::submit_score("QmZ", Score(5))).unwrap();
+        c.execute(&ctx(scorer, 0), &calls::submit_score("QmZ", Score(5)))
+            .unwrap();
         let err = c
             .execute(&ctx(scorer, 0), &calls::submit_score("QmZ", Score(6)))
             .unwrap_err();
@@ -816,8 +856,11 @@ mod tests {
     #[test]
     fn duplicate_cid_rejected() {
         let (mut c, a) = registered(OrchestrationMode::Async, 3);
-        c.execute(&ctx(a[0], 0), &calls::submit_model("QmDup")).unwrap();
-        let err = c.execute(&ctx(a[1], 1), &calls::submit_model("QmDup")).unwrap_err();
+        c.execute(&ctx(a[0], 0), &calls::submit_model("QmDup"))
+            .unwrap();
+        let err = c
+            .execute(&ctx(a[1], 1), &calls::submit_model("QmDup"))
+            .unwrap_err();
         assert!(err.to_string().contains("already submitted"));
     }
 
@@ -826,7 +869,9 @@ mod tests {
         let (mut c, a) = registered(OrchestrationMode::Async, 3);
         assert!(c.execute(&ctx(a[0], 0), &calls::submit_model("")).is_err());
         let long = "Q".repeat(200);
-        assert!(c.execute(&ctx(a[0], 0), &calls::submit_model(&long)).is_err());
+        assert!(c
+            .execute(&ctx(a[0], 0), &calls::submit_model(&long))
+            .is_err());
     }
 
     #[test]
@@ -857,7 +902,8 @@ mod tests {
     fn state_digest_tracks_mutations() {
         let (mut c, a) = registered(OrchestrationMode::Async, 3);
         let d1 = c.state_digest();
-        c.execute(&ctx(a[0], 0), &calls::submit_model("QmD")).unwrap();
+        c.execute(&ctx(a[0], 0), &calls::submit_model("QmD"))
+            .unwrap();
         let d2 = c.state_digest();
         assert_ne!(d1, d2);
     }

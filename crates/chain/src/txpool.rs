@@ -46,7 +46,10 @@ impl TxPool {
             self.next_arrival += 1;
             a
         });
-        self.by_sender.entry(tx.from).or_default().insert(tx.nonce, tx);
+        self.by_sender
+            .entry(tx.from)
+            .or_default()
+            .insert(tx.nonce, tx);
     }
 
     /// Total transactions held (pending + queued).
@@ -146,7 +149,10 @@ mod tests {
         pool.add(tx("a", 0));
         pool.add(tx("a", 1));
         let got = pool.take_executable(&|_| 0);
-        assert_eq!(got.iter().map(|t| t.nonce).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(
+            got.iter().map(|t| t.nonce).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
         assert!(pool.is_empty());
     }
 

@@ -20,9 +20,7 @@ use crate::hash::{sha256, H256};
 /// assert_eq!(a, Address::from_label("aggregator-1"));
 /// assert_ne!(a, Address::from_label("aggregator-2"));
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct Address(pub [u8; 20]);
 
 impl Address {
@@ -252,7 +250,12 @@ mod tests {
 
     #[test]
     fn tx_hash_changes_with_any_field() {
-        let base = Transaction::call(Address::from_label("s"), Address::from_label("c"), 0, vec![1]);
+        let base = Transaction::call(
+            Address::from_label("s"),
+            Address::from_label("c"),
+            0,
+            vec![1],
+        );
         let mut other = base.clone();
         other.nonce = 1;
         assert_ne!(base.hash(), other.hash());

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use unifyfl_chain::codec::{Decoder, Encoder};
-use unifyfl_chain::hash::{sha256, H256, Sha256};
+use unifyfl_chain::hash::{sha256, Sha256, H256};
 use unifyfl_chain::merkle::{merkle_proof, merkle_root, verify_proof};
 use unifyfl_chain::orchestrator::Score;
 use unifyfl_chain::types::{Address, Transaction};

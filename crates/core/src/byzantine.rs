@@ -47,9 +47,10 @@ impl AttackKind {
                     .map(|w| w + (standard_normal(&mut rng) * sigma) as f32)
                     .collect()
             }
-            AttackKind::ScaleUp { factor } => {
-                weights.iter().map(|w| (*w as f64 * factor) as f32).collect()
-            }
+            AttackKind::ScaleUp { factor } => weights
+                .iter()
+                .map(|w| (*w as f64 * factor) as f32)
+                .collect(),
         }
     }
 }
@@ -88,7 +89,10 @@ impl DpConfig {
     /// negative.
     pub fn new(clip_norm: f64, noise_multiplier: f64) -> Self {
         assert!(clip_norm > 0.0, "clip_norm must be positive");
-        assert!(noise_multiplier >= 0.0, "noise_multiplier must be non-negative");
+        assert!(
+            noise_multiplier >= 0.0,
+            "noise_multiplier must be non-negative"
+        );
         DpConfig {
             clip_norm,
             noise_multiplier,
@@ -98,14 +102,17 @@ impl DpConfig {
     /// Applies clip-and-noise to a weight vector, deterministically under
     /// `seed`.
     pub fn privatize(&self, weights: &[f32], seed: u64) -> Vec<f32> {
-        let norm: f64 = weights.iter().map(|w| (*w as f64).powi(2)).sum::<f64>().sqrt();
+        let norm: f64 = weights
+            .iter()
+            .map(|w| (*w as f64).powi(2))
+            .sum::<f64>()
+            .sqrt();
         let scale = if norm > self.clip_norm {
             self.clip_norm / norm
         } else {
             1.0
         };
-        let sigma = self.noise_multiplier * self.clip_norm
-            / (weights.len().max(1) as f64).sqrt();
+        let sigma = self.noise_multiplier * self.clip_norm / (weights.len().max(1) as f64).sqrt();
         let mut rng = StdRng::seed_from_u64(seed ^ 0xD1FF);
         weights
             .iter()
@@ -132,7 +139,11 @@ mod tests {
         let c = AttackKind::GaussianNoise { sigma: 1.0 }.corrupt(&w, 8);
         assert_eq!(a, b, "same seed, same corruption");
         assert_ne!(a, c, "different seed, different corruption");
-        let moved = a.iter().zip(&w).filter(|(x, y)| (*x - *y).abs() > 1e-6).count();
+        let moved = a
+            .iter()
+            .zip(&w)
+            .filter(|(x, y)| (*x - *y).abs() > 1e-6)
+            .count();
         assert!(moved > 90);
     }
 

@@ -170,15 +170,17 @@ impl ClusterNode {
     ) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let (train, local_test) = shard.split(0.15, &mut rng);
-        let client_shards =
-            unifyfl_data::Partition::Iid.split(&train, config.n_clients, &mut rng);
+        let client_shards = unifyfl_data::Partition::Iid.split(&train, config.n_clients, &mut rng);
         let train_samples = train.len();
         let clients: Vec<Box<dyn FlClient>> = client_shards
             .into_iter()
             .enumerate()
             .map(|(i, s)| {
-                Box::new(InMemoryClient::new(spec.clone(), s, seed.wrapping_add(i as u64 + 1)))
-                    as Box<dyn FlClient>
+                Box::new(InMemoryClient::new(
+                    spec.clone(),
+                    s,
+                    seed.wrapping_add(i as u64 + 1),
+                )) as Box<dyn FlClient>
             })
             .collect();
         let server = FlServer::new(config.strategy.build(), clients, init_weights);
@@ -426,7 +428,7 @@ mod tests {
     #[test]
     fn construction_splits_holdout_and_clients() {
         let (cluster, data) = setup(None);
-        assert!(cluster.local_test().len() > 0);
+        assert!(!cluster.local_test().is_empty());
         assert_eq!(
             cluster.train_samples() + cluster.local_test().len(),
             data.len()
@@ -495,11 +497,11 @@ mod tests {
     #[test]
     fn score_is_higher_for_trained_model() {
         let (mut cluster, _) = setup(None);
-        let init_score = cluster.score_weights(&cluster.weights().to_vec());
+        let init_score = cluster.score_weights(cluster.weights());
         for _ in 0..5 {
             cluster.run_local_round(2, 16, 0.05);
         }
-        let trained_score = cluster.score_weights(&cluster.weights().to_vec());
+        let trained_score = cluster.score_weights(cluster.weights());
         assert!(
             trained_score > init_score + 0.15,
             "{init_score} -> {trained_score}"
@@ -528,7 +530,14 @@ mod tests {
         );
         let mut slow_cfg = ClusterConfig::gpu("slow");
         slow_cfg.straggle_factor = 3.0;
-        let slow = ClusterNode::new(slow_cfg, spec, &data, init, net.add_node(LinkProfile::lan()), 7);
+        let slow = ClusterNode::new(
+            slow_cfg,
+            spec,
+            &data,
+            init,
+            net.add_node(LinkProfile::lan()),
+            7,
+        );
         assert_eq!(
             slow.train_duration(2).as_millis(),
             fast.train_duration(2).as_millis() * 3
@@ -560,6 +569,9 @@ mod tests {
         let vgg_spec = ModelSpec::proxy_vgg16(4);
         // The 552 MB virtual wire size dominates the tiny model's training.
         let vgg_fetch = DeviceProfile::gpu_node().transfer_time(vgg_spec.wire_bytes());
-        assert!(vgg_fetch > small_train, "552MB transfer dominates tiny training");
+        assert!(
+            vgg_fetch > small_train,
+            "552MB transfer dominates tiny training"
+        );
     }
 }

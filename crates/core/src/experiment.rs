@@ -159,7 +159,8 @@ impl ExperimentConfig {
         if self.mode == Mode::Async && self.scorer.requires_full_round() {
             return Err(ExperimentError::MultiKrumRequiresSync);
         }
-        if !(self.window_margin >= 1.0) {
+        // NaN must be rejected too, hence the explicit is_nan branch.
+        if self.window_margin.is_nan() || self.window_margin < 1.0 {
             return Err(ExperimentError::InvalidWindowMargin);
         }
         Ok(())
@@ -181,7 +182,12 @@ pub fn run_experiment(config: &ExperimentConfig) -> Result<ExperimentReport, Exp
         config.clusters.clone(),
     );
     let outcome = match config.mode {
-        Mode::Sync => run_sync(&mut fed, &config.workload, config.scorer, config.window_margin),
+        Mode::Sync => run_sync(
+            &mut fed,
+            &config.workload,
+            config.scorer,
+            config.window_margin,
+        ),
         Mode::Async => run_async(&mut fed, &config.workload, config.scorer),
     };
     Ok(build_report(config, fed, outcome))
@@ -417,14 +423,20 @@ mod tests {
     fn validation_rejects_single_cluster() {
         let mut builder = ExperimentBuilder::quickstart();
         builder.config.clusters.truncate(1);
-        assert_eq!(builder.run().unwrap_err(), ExperimentError::TooFewClusters(1));
+        assert_eq!(
+            builder.run().unwrap_err(),
+            ExperimentError::TooFewClusters(1)
+        );
     }
 
     #[test]
     fn validation_rejects_bad_margin() {
         let mut builder = ExperimentBuilder::quickstart();
         builder.config.window_margin = 0.5;
-        assert_eq!(builder.run().unwrap_err(), ExperimentError::InvalidWindowMargin);
+        assert_eq!(
+            builder.run().unwrap_err(),
+            ExperimentError::InvalidWindowMargin
+        );
     }
 
     #[test]
@@ -467,7 +479,11 @@ mod tests {
         let report = ExperimentBuilder::quickstart().rounds(2).run().unwrap();
         // serde round-trip via the derived impls (the harness persists
         // reports for EXPERIMENTS.md).
-        let strategies: Vec<&str> = report.aggregators.iter().map(|a| a.strategy.as_str()).collect();
+        let strategies: Vec<&str> = report
+            .aggregators
+            .iter()
+            .map(|a| a.strategy.as_str())
+            .collect();
         assert!(strategies.iter().all(|s| *s == "FedAvg"));
     }
 }

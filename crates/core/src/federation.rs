@@ -88,7 +88,10 @@ impl Federation {
             .collect();
         let mut chain = Blockchain::new(CliqueConfig::default(), addresses.clone());
         let orchestrator = Address::from_label("unifyfl-orchestrator");
-        chain.deploy(orchestrator, Box::new(UnifyFlContract::new(orchestrator, mode)));
+        chain.deploy(
+            orchestrator,
+            Box::new(UnifyFlContract::new(orchestrator, mode)),
+        );
 
         // Common initial weights: FL requires a shared initialization.
         let init_weights = spec.build(seed).flat_params();
@@ -191,7 +194,11 @@ impl Federation {
     /// Reduces candidates to `(ScoredCandidate, index)` pairs under the
     /// viewer's score policy; candidates with no scores yet are dropped
     /// (they cannot be ranked).
-    pub fn scored_candidates(&self, viewer: usize, candidates: &[Candidate]) -> Vec<ScoredCandidate> {
+    pub fn scored_candidates(
+        &self,
+        viewer: usize,
+        candidates: &[Candidate],
+    ) -> Vec<ScoredCandidate> {
         let policy = self.clusters[viewer].config().score_policy;
         candidates
             .iter()
@@ -209,10 +216,7 @@ impl Federation {
         let cluster = &self.clusters[viewer];
         let cid = cluster.last_published()?.to_string();
         let entry: &ModelEntry = self.contract().entry(&cid)?;
-        cluster
-            .config()
-            .score_policy
-            .reduce(&entry.score_values())
+        cluster.config().score_policy.reduce(&entry.score_values())
     }
 
     /// Fetches and decodes a peer model's weights through the cluster's
@@ -433,7 +437,10 @@ mod tests {
         // score arrives.
         assert!(f.candidates_for(0).is_empty());
 
-        let entry = f.contract().entry(&cid.to_string()).expect("entry recorded");
+        let entry = f
+            .contract()
+            .entry(&cid.to_string())
+            .expect("entry recorded");
         let scorer_addr = entry.scorers[0];
         let scorer_idx = f
             .clusters

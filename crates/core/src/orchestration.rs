@@ -79,11 +79,7 @@ pub struct EngineOutcome {
 
 /// One cluster's pull → merge → evaluate step. Returns
 /// `(pull_duration, peers_merged, global_acc, global_loss)`.
-fn pull_and_merge(
-    fed: &mut Federation,
-    idx: usize,
-    round: u64,
-) -> (SimDuration, usize, f64, f64) {
+fn pull_and_merge(fed: &mut Federation, idx: usize, round: u64) -> (SimDuration, usize, f64, f64) {
     let policy = fed.clusters[idx].effective_policy(round);
     let candidates = fed.candidates_for(idx);
     let scored = fed.scored_candidates(idx, &candidates);
@@ -107,7 +103,7 @@ fn pull_and_merge(
     fed.record_ipfs_burst(pull);
     let merged = fed.clusters[idx].merge_peers(&peers);
 
-    let eval = fed.clusters[idx].evaluate(&fed.clusters[idx].weights().to_vec(), &fed.global_test);
+    let eval = fed.clusters[idx].evaluate(fed.clusters[idx].weights(), &fed.global_test);
     (pull, merged, eval.accuracy, eval.loss)
 }
 
@@ -125,7 +121,7 @@ fn train_local(
         workload.learning_rate,
     );
     fed.record_training_burst(dur);
-    let eval = fed.clusters[idx].evaluate(&fed.clusters[idx].weights().to_vec(), &fed.global_test);
+    let eval = fed.clusters[idx].evaluate(fed.clusters[idx].weights(), &fed.global_test);
     (dur, eval.accuracy, eval.loss)
 }
 
@@ -405,27 +401,26 @@ pub fn run_async(
     let rounds = workload.rounds as u64;
 
     // Deal out scorer assignments that the contract has recorded.
-    let distribute = |fed: &Federation,
-                      states: &mut Vec<State>,
-                      distributed: &mut HashSet<String>| {
-        for entry in fed.contract().entries() {
-            if entry.scorers.is_empty() || distributed.contains(&entry.cid) {
-                continue;
-            }
-            if let Ok(cid) = entry.cid.parse::<Cid>() {
-                for scorer_addr in &entry.scorers {
-                    if let Some(i) = fed
-                        .clusters
-                        .iter()
-                        .position(|c| c.address() == *scorer_addr)
-                    {
-                        states[i].tasks.push_back(cid);
+    let distribute =
+        |fed: &Federation, states: &mut Vec<State>, distributed: &mut HashSet<String>| {
+            for entry in fed.contract().entries() {
+                if entry.scorers.is_empty() || distributed.contains(&entry.cid) {
+                    continue;
+                }
+                if let Ok(cid) = entry.cid.parse::<Cid>() {
+                    for scorer_addr in &entry.scorers {
+                        if let Some(i) = fed
+                            .clusters
+                            .iter()
+                            .position(|c| c.address() == *scorer_addr)
+                        {
+                            states[i].tasks.push_back(cid);
+                        }
                     }
                 }
+                distributed.insert(entry.cid.clone());
             }
-            distributed.insert(entry.cid.clone());
-        }
-    };
+        };
 
     loop {
         // Pick the earliest cluster that still has work.
@@ -607,7 +602,14 @@ mod tests {
             sync.end_time
         );
         // Async per-cluster times differ (free-running), sync's do not.
-        assert!(async_.per_cluster_time.iter().collect::<std::collections::HashSet<_>>().len() > 1);
+        assert!(
+            async_
+                .per_cluster_time
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+                > 1
+        );
     }
 
     #[test]

@@ -210,7 +210,12 @@ mod tests {
 
     #[test]
     fn empty_scores_reduce_to_none() {
-        for p in [ScorePolicy::Mean, ScorePolicy::Median, ScorePolicy::Min, ScorePolicy::Max] {
+        for p in [
+            ScorePolicy::Mean,
+            ScorePolicy::Median,
+            ScorePolicy::Min,
+            ScorePolicy::Max,
+        ] {
             assert_eq!(p.reduce(&[]), None);
         }
     }
@@ -232,15 +237,23 @@ mod tests {
     #[test]
     fn all_selects_everything_self_selects_nothing() {
         let c = candidates(&[0.1, 0.9, 0.5]);
-        assert_eq!(AggregationPolicy::All.select(&c, None, &mut rng()), vec![0, 1, 2]);
-        assert!(AggregationPolicy::SelfOnly.select(&c, None, &mut rng()).is_empty());
+        assert_eq!(
+            AggregationPolicy::All.select(&c, None, &mut rng()),
+            vec![0, 1, 2]
+        );
+        assert!(AggregationPolicy::SelfOnly
+            .select(&c, None, &mut rng())
+            .is_empty());
         assert!(AggregationPolicy::SelfOnly.is_self_only());
     }
 
     #[test]
     fn top_k_picks_best_scores() {
         let c = candidates(&[0.1, 0.9, 0.5, 0.7]);
-        assert_eq!(AggregationPolicy::TopK(2).select(&c, None, &mut rng()), vec![1, 3]);
+        assert_eq!(
+            AggregationPolicy::TopK(2).select(&c, None, &mut rng()),
+            vec![1, 3]
+        );
         // k larger than the pool selects everything.
         assert_eq!(
             AggregationPolicy::TopK(10).select(&c, None, &mut rng()),
@@ -251,7 +264,10 @@ mod tests {
     #[test]
     fn top_k_ties_break_deterministically() {
         let c = candidates(&[0.5, 0.5, 0.5]);
-        assert_eq!(AggregationPolicy::TopK(2).select(&c, None, &mut rng()), vec![0, 1]);
+        assert_eq!(
+            AggregationPolicy::TopK(2).select(&c, None, &mut rng()),
+            vec![0, 1]
+        );
     }
 
     #[test]
@@ -288,7 +304,10 @@ mod tests {
     #[test]
     fn above_median_selects_strict_upper_half() {
         let c = candidates(&[0.1, 0.5, 0.9]);
-        assert_eq!(AggregationPolicy::AboveMedian.select(&c, None, &mut rng()), vec![2]);
+        assert_eq!(
+            AggregationPolicy::AboveMedian.select(&c, None, &mut rng()),
+            vec![2]
+        );
     }
 
     #[test]
@@ -298,7 +317,9 @@ mod tests {
             AggregationPolicy::AboveSelf.select(&c, Some(0.5), &mut rng()),
             vec![1, 2]
         );
-        assert!(AggregationPolicy::AboveSelf.select(&c, None, &mut rng()).is_empty());
+        assert!(AggregationPolicy::AboveSelf
+            .select(&c, None, &mut rng())
+            .is_empty());
     }
 
     #[test]

@@ -159,7 +159,10 @@ mod tests {
         let scores = multikrum_scores(&models, 1);
         let outlier = scores[4];
         for (i, &s) in scores[..4].iter().enumerate() {
-            assert!(s > outlier * 5.0, "honest model {i} score {s} vs outlier {outlier}");
+            assert!(
+                s > outlier * 5.0,
+                "honest model {i} score {s} vs outlier {outlier}"
+            );
         }
     }
 

@@ -90,9 +90,9 @@ proptest! {
         let mut rotated = models.clone();
         rotated.rotate_left(1);
         let rot_scores = multikrum_scores(&rotated, f);
-        for i in 0..models.len() {
+        for (i, b) in base.iter().enumerate() {
             let j = (i + models.len() - 1) % models.len();
-            prop_assert!((base[i] - rot_scores[j]).abs() < 1e-9);
+            prop_assert!((b - rot_scores[j]).abs() < 1e-9);
         }
     }
 }

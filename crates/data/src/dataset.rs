@@ -30,8 +30,16 @@ impl Dataset {
     pub fn new(input: InputKind, n_classes: usize, features: Vec<f32>, labels: Vec<usize>) -> Self {
         let per = input.features();
         assert!(per > 0, "input must have at least one feature");
-        assert_eq!(features.len() % per, 0, "feature buffer not a multiple of {per}");
-        assert_eq!(features.len() / per, labels.len(), "feature/label count mismatch");
+        assert_eq!(
+            features.len() % per,
+            0,
+            "feature buffer not a multiple of {per}"
+        );
+        assert_eq!(
+            features.len() / per,
+            labels.len(),
+            "feature/label count mismatch"
+        );
         assert!(
             labels.iter().all(|l| *l < n_classes),
             "label out of range for {n_classes} classes"

@@ -245,24 +245,22 @@ mod tests {
     #[test]
     fn dirichlet_small_alpha_is_more_skewed_than_large() {
         let d = dataset(3000);
-        let parts_01 = Partition::Dirichlet { alpha: 0.1 }.split(
-            &d,
-            4,
-            &mut StdRng::seed_from_u64(3),
+        let parts_01 =
+            Partition::Dirichlet { alpha: 0.1 }.split(&d, 4, &mut StdRng::seed_from_u64(3));
+        let parts_05 =
+            Partition::Dirichlet { alpha: 0.5 }.split(&d, 4, &mut StdRng::seed_from_u64(3));
+        let parts_100 =
+            Partition::Dirichlet { alpha: 100.0 }.split(&d, 4, &mut StdRng::seed_from_u64(3));
+        let (s01, s05, s100) = (
+            label_skew(&parts_01),
+            label_skew(&parts_05),
+            label_skew(&parts_100),
         );
-        let parts_05 = Partition::Dirichlet { alpha: 0.5 }.split(
-            &d,
-            4,
-            &mut StdRng::seed_from_u64(3),
-        );
-        let parts_100 = Partition::Dirichlet { alpha: 100.0 }.split(
-            &d,
-            4,
-            &mut StdRng::seed_from_u64(3),
-        );
-        let (s01, s05, s100) = (label_skew(&parts_01), label_skew(&parts_05), label_skew(&parts_100));
         assert!(s01 > s05, "α=0.1 skew {s01} should exceed α=0.5 skew {s05}");
-        assert!(s05 > s100, "α=0.5 skew {s05} should exceed α=100 skew {s100}");
+        assert!(
+            s05 > s100,
+            "α=0.5 skew {s05} should exceed α=100 skew {s100}"
+        );
         assert!(s100 < 0.15, "huge α approaches IID, got {s100}");
     }
 
@@ -294,7 +292,7 @@ mod tests {
     fn dirichlet_sums_to_one() {
         let mut rng = StdRng::seed_from_u64(6);
         for &alpha in &[0.1, 0.5, 5.0] {
-            let p = dirichlet(&vec![alpha; 8], &mut rng);
+            let p = dirichlet(&[alpha; 8], &mut rng);
             let sum: f64 = p.iter().sum();
             assert!((sum - 1.0).abs() < 1e-12);
             assert!(p.iter().all(|&x| x >= 0.0));
@@ -311,6 +309,9 @@ mod tests {
     #[test]
     fn partition_display() {
         assert_eq!(Partition::Iid.to_string(), "IID");
-        assert_eq!(Partition::Dirichlet { alpha: 0.5 }.to_string(), "NIID α=0.5");
+        assert_eq!(
+            Partition::Dirichlet { alpha: 0.5 }.to_string(),
+            "NIID α=0.5"
+        );
     }
 }

@@ -152,7 +152,10 @@ mod tests {
             .filter(|(a, b)| a != b)
             .count();
         // ~50% noise, of which 1/10 randomly re-draws the same label.
-        assert!(differing > 300 && differing < 600, "differing = {differing}");
+        assert!(
+            differing > 300 && differing < 600,
+            "differing = {differing}"
+        );
     }
 
     #[test]

@@ -87,8 +87,7 @@ impl WorkloadConfig {
         // Keep at least ~30 samples per class: a 200-class task scaled
         // below that floor degenerates to noise and loses the paper's
         // relative orderings.
-        self.dataset.n_samples =
-            (self.dataset.n_samples / factor).max(self.dataset.n_classes * 30);
+        self.dataset.n_samples = (self.dataset.n_samples / factor).max(self.dataset.n_classes * 30);
         self.name = format!("{} (1/{factor} scale)", self.name);
         self
     }

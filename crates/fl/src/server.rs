@@ -87,7 +87,12 @@ impl FlServer {
 
     /// Runs one FL round: every client fits from the current weights in
     /// parallel, the strategy aggregates, and the server adopts the result.
-    pub fn run_round(&mut self, epochs: usize, batch_size: usize, learning_rate: f32) -> RoundReport {
+    pub fn run_round(
+        &mut self,
+        epochs: usize,
+        batch_size: usize,
+        learning_rate: f32,
+    ) -> RoundReport {
         self.round += 1;
         let config = FitConfig {
             epochs,

@@ -192,10 +192,7 @@ mod tests {
             params = s.aggregate(&params, &updates);
         }
         // Repeated steps should approach the client consensus at 1.0.
-        assert!(
-            params.iter().all(|p| (*p - 1.0).abs() < 0.3),
-            "{params:?}"
-        );
+        assert!(params.iter().all(|p| (*p - 1.0).abs() < 0.3), "{params:?}");
     }
 
     #[test]

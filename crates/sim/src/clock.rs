@@ -202,7 +202,10 @@ mod tests {
         let early = SimTime::from_secs(1);
         let late = SimTime::from_secs(5);
         assert_eq!(early - late, SimDuration::ZERO);
-        assert_eq!(SimDuration::from_secs(1) - SimDuration::from_secs(2), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_secs(1) - SimDuration::from_secs(2),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
@@ -217,7 +220,10 @@ mod tests {
     fn ordering_follows_millis() {
         assert!(SimTime::from_millis(1) < SimTime::from_millis(2));
         assert!(SimDuration::from_secs(1) < SimDuration::from_secs(2));
-        assert_eq!(SimTime::from_secs(3).max(SimTime::from_secs(7)), SimTime::from_secs(7));
+        assert_eq!(
+            SimTime::from_secs(3).max(SimTime::from_secs(7)),
+            SimTime::from_secs(7)
+        );
     }
 
     #[test]

@@ -180,7 +180,10 @@ impl DeviceProfile {
     ///
     /// Panics if `factor` is not strictly positive and finite.
     pub fn slowed_by(&self, factor: f64) -> Self {
-        assert!(factor.is_finite() && factor > 0.0, "factor must be positive");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "factor must be positive"
+        );
         DeviceProfile {
             name: format!("{}-x{:.2}", self.name, factor),
             flops_per_sec: self.flops_per_sec / factor,

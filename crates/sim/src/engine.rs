@@ -171,7 +171,7 @@ impl VirtualClock {
 
     /// Moves the clock forward by `delta`.
     pub fn advance_by(&mut self, delta: SimDuration) {
-        self.now = self.now + delta;
+        self.now += delta;
     }
 }
 
@@ -248,7 +248,9 @@ mod tests {
     #[test]
     fn len_accounts_for_cancellations() {
         let mut q = EventQueue::new();
-        let ids: Vec<_> = (0..10).map(|i| q.schedule(SimTime::from_secs(i), i)).collect();
+        let ids: Vec<_> = (0..10)
+            .map(|i| q.schedule(SimTime::from_secs(i), i))
+            .collect();
         for id in ids.iter().take(4) {
             q.cancel(*id);
         }

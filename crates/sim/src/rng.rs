@@ -81,8 +81,16 @@ mod tests {
     #[test]
     fn same_label_same_stream() {
         let t = SeedTree::new(7);
-        let a: Vec<u64> = t.rng("x").sample_iter(rand::distributions::Standard).take(8).collect();
-        let b: Vec<u64> = t.rng("x").sample_iter(rand::distributions::Standard).take(8).collect();
+        let a: Vec<u64> = t
+            .rng("x")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let b: Vec<u64> = t
+            .rng("x")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
         assert_eq!(a, b);
     }
 

@@ -16,8 +16,7 @@ const MH_SHA2_256: u8 = 0x12;
 /// Digest length for sha2-256.
 const MH_LEN: u8 = 32;
 
-const BASE58_ALPHABET: &[u8; 58] =
-    b"123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz";
+const BASE58_ALPHABET: &[u8; 58] = b"123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz";
 
 /// A CIDv0 content identifier.
 ///

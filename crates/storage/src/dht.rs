@@ -12,9 +12,7 @@ use serde::{Deserialize, Serialize};
 use crate::cid::Cid;
 
 /// Identifier of an IPFS node within a network fabric.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NodeId(pub u32);
 
 impl std::fmt::Display for NodeId {

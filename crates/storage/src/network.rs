@@ -269,7 +269,9 @@ impl IpfsNode {
                 let provider_store = &st.nodes[provider.0 as usize].store;
                 let mut chunk_map: HashMap<Cid, Bytes> = HashMap::new();
                 for child in &root.children {
-                    let block = provider_store.get(*child).ok_or(IpfsError::NotFound(*child))?;
+                    let block = provider_store
+                        .get(*child)
+                        .ok_or(IpfsError::NotFound(*child))?;
                     transferred += block.len() as u64;
                     chunk_map.insert(*child, block.clone());
                     blocks.push(block);
@@ -447,7 +449,10 @@ mod tests {
         assert!(removed >= 1);
         assert!(!nodes[0].has_local(receipt.cid));
         // Provider record withdrawn: nobody can fetch it now.
-        assert!(matches!(nodes[1].get(receipt.cid), Err(IpfsError::NotFound(_))));
+        assert!(matches!(
+            nodes[1].get(receipt.cid),
+            Err(IpfsError::NotFound(_))
+        ));
     }
 
     #[test]

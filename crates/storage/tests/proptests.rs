@@ -1,8 +1,8 @@
 //! Property-based tests of the storage substrate's invariants.
 
 use proptest::prelude::*;
-use unifyfl_storage::cid::{base58_decode, base58_encode, Cid};
 use unifyfl_storage::chunker::{chunk, decode_root, reassemble};
+use unifyfl_storage::cid::{base58_decode, base58_encode, Cid};
 use unifyfl_storage::{IpfsNetwork, LinkProfile};
 
 proptest! {

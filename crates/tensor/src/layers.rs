@@ -66,7 +66,10 @@ impl Dense {
     pub fn new(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
         let limit = (6.0 / (in_dim + out_dim) as f32).sqrt();
         Dense {
-            w: Tensor::from_vec(vec![in_dim, out_dim], init_uniform(rng, in_dim * out_dim, limit)),
+            w: Tensor::from_vec(
+                vec![in_dim, out_dim],
+                init_uniform(rng, in_dim * out_dim, limit),
+            ),
             b: vec![0.0; out_dim],
             grad_w: Tensor::zeros(vec![in_dim, out_dim]),
             grad_b: vec![0.0; out_dim],
@@ -315,8 +318,8 @@ impl Layer for Conv2d {
                                     if ix < 0 || ix >= w as isize {
                                         continue;
                                     }
-                                    let xi = ((b * self.in_c + ic) * h + iy as usize) * w
-                                        + ix as usize;
+                                    let xi =
+                                        ((b * self.in_c + ic) * h + iy as usize) * w + ix as usize;
                                     let wi = ((oc * self.in_c + ic) * k + ky) * k + kx;
                                     acc += x[xi] * wdat[wi];
                                 }
@@ -372,8 +375,8 @@ impl Layer for Conv2d {
                                     if ix < 0 || ix >= w as isize {
                                         continue;
                                     }
-                                    let xi = ((b * self.in_c + ic) * h + iy as usize) * w
-                                        + ix as usize;
+                                    let xi =
+                                        ((b * self.in_c + ic) * h + iy as usize) * w + ix as usize;
                                     let wi = ((oc * self.in_c + ic) * k + ky) * k + kx;
                                     gw[wi] += x[xi] * go;
                                     gi[xi] += wdat[wi] * go;

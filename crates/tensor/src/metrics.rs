@@ -12,7 +12,11 @@ pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
     if labels.is_empty() {
         return 0.0;
     }
-    let correct = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+    let correct = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
     correct as f64 / labels.len() as f64
 }
 

@@ -110,7 +110,11 @@ impl Yogi {
     ///
     /// Panics if `params.len() != pseudo_grad.len()`.
     pub fn step(&mut self, params: &mut [f32], pseudo_grad: &[f32]) {
-        assert_eq!(params.len(), pseudo_grad.len(), "params/grad length mismatch");
+        assert_eq!(
+            params.len(),
+            pseudo_grad.len(),
+            "params/grad length mismatch"
+        );
         if self.m.len() != params.len() {
             self.m = vec![0.0; params.len()];
             self.v = vec![self.eps * self.eps; params.len()];

@@ -37,7 +37,12 @@ impl Tensor {
     /// Panics if `data.len()` does not match the shape's element count.
     pub fn from_vec(shape: Vec<usize>, data: Vec<f32>) -> Self {
         let n: usize = shape.iter().product();
-        assert_eq!(n, data.len(), "shape {shape:?} needs {n} elements, got {}", data.len());
+        assert_eq!(
+            n,
+            data.len(),
+            "shape {shape:?} needs {n} elements, got {}",
+            data.len()
+        );
         Tensor { shape, data }
     }
 
@@ -107,7 +112,11 @@ impl Tensor {
     /// Panics if the element counts differ.
     pub fn reshape(mut self, shape: Vec<usize>) -> Self {
         let n: usize = shape.iter().product();
-        assert_eq!(n, self.data.len(), "reshape to {shape:?} changes element count");
+        assert_eq!(
+            n,
+            self.data.len(),
+            "reshape to {shape:?} changes element count"
+        );
         self.shape = shape;
         self
     }

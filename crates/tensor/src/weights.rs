@@ -72,7 +72,10 @@ impl fmt::Display for WeightsDecodeError {
         match self {
             WeightsDecodeError::BadHeader => write!(f, "bad weight blob header"),
             WeightsDecodeError::LengthMismatch { declared, actual } => {
-                write!(f, "weight count mismatch: header {declared}, payload {actual}")
+                write!(
+                    f,
+                    "weight count mismatch: header {declared}, payload {actual}"
+                )
             }
             WeightsDecodeError::NonFinite => write!(f, "weight blob contains non-finite values"),
         }
@@ -102,7 +105,10 @@ mod tests {
     fn rejects_bad_magic() {
         let mut bytes = weights_to_bytes(&[1.0]);
         bytes[0] = b'X';
-        assert_eq!(weights_from_bytes(&bytes), Err(WeightsDecodeError::BadHeader));
+        assert_eq!(
+            weights_from_bytes(&bytes),
+            Err(WeightsDecodeError::BadHeader)
+        );
     }
 
     #[test]
@@ -115,7 +121,10 @@ mod tests {
     #[test]
     fn rejects_nan() {
         let bytes = weights_to_bytes(&[1.0, f32::NAN]);
-        assert_eq!(weights_from_bytes(&bytes), Err(WeightsDecodeError::NonFinite));
+        assert_eq!(
+            weights_from_bytes(&bytes),
+            Err(WeightsDecodeError::NonFinite)
+        );
     }
 
     #[test]

@@ -78,7 +78,12 @@ fn main() {
         config.mode.to_chain(),
         config.clusters.clone(),
     );
-    let outcome = run_sync(&mut fed, &config.workload, config.scorer, config.window_margin);
+    let outcome = run_sync(
+        &mut fed,
+        &config.workload,
+        config.scorer,
+        config.window_margin,
+    );
 
     println!("=== {} ===", config.label);
     for (i, cluster) in fed.clusters.iter().enumerate() {
@@ -106,7 +111,11 @@ fn main() {
         events::SCORE_SUBMITTED,
         events::SCORING_CLOSED,
     ] {
-        println!("{:<22} {:>4} events", name, fed.chain.logs_since(0, Some(name)).len());
+        println!(
+            "{:<22} {:>4} events",
+            name,
+            fed.chain.logs_since(0, Some(name)).len()
+        );
     }
     println!(
         "chain height {} — integrity check: {}",

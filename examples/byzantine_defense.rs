@@ -48,7 +48,10 @@ fn scenario(policy: AggregationPolicy, label: &str) -> ExperimentConfig {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let naive = run_experiment(&scenario(AggregationPolicy::TopK(3), "naive Top-3"))?;
-    let smart = run_experiment(&scenario(AggregationPolicy::AboveAverage, "smart Above-Average"))?;
+    let smart = run_experiment(&scenario(
+        AggregationPolicy::AboveAverage,
+        "smart Above-Average",
+    ))?;
 
     println!("--- naive policy: the poisoned model is merged ---");
     print!("{}", render_curves(&naive));
@@ -68,6 +71,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         honest_mean(&naive),
         honest_mean(&smart)
     );
-    println!("defense value: {:+.1} accuracy points", honest_mean(&smart) - honest_mean(&naive));
+    println!(
+        "defense value: {:+.1} accuracy points",
+        honest_mean(&smart) - honest_mean(&naive)
+    );
     Ok(())
 }

@@ -20,11 +20,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let org_a = Address::from_label("org-a");
     let org_b = Address::from_label("org-b");
     let mut chain = Blockchain::new(CliqueConfig::default(), vec![org_a, org_b]);
-    println!("genesis sealed; signers: {:?}", chain.clique().signers().len());
+    println!(
+        "genesis sealed; signers: {:?}",
+        chain.clique().signers().len()
+    );
 
     // --- 2. Deploy the orchestrator and register both orgs -------------
     let orch = Address::from_label("unifyfl-orchestrator");
-    chain.deploy(orch, Box::new(UnifyFlContract::new(orch, OrchestrationMode::Async)));
+    chain.deploy(
+        orch,
+        Box::new(UnifyFlContract::new(orch, OrchestrationMode::Async)),
+    );
     chain.submit(Transaction::call(org_a, orch, 0, calls::register()));
     chain.submit(Transaction::call(org_b, orch, 0, calls::register()));
     chain.seal_next(SimTime::from_secs(5))?;
@@ -47,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     chain.seal_next(SimTime::from_secs(10))?;
     let view: &UnifyFlContract = chain.view(orch).expect("deployed");
     let entry = view.entry(&receipt.cid.to_string()).expect("recorded");
-    println!("scorers assigned by the contract: {:?}", entry.scorers.len());
+    println!(
+        "scorers assigned by the contract: {:?}",
+        entry.scorers.len()
+    );
 
     // --- 5. Peer fetches the weights (verified, content-addressed) -----
     let fetched = node_b.get(receipt.cid)?;
@@ -87,14 +96,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- 8. Clique governance: vote a third organization in -------------
     let org_c = Address::from_label("org-c");
     let mut engine = chain.clique().clone();
-    engine.apply_seal(100, org_a, engine.difficulty_for(100, org_a), &[(org_a, SignerVote::Add(org_c))])?;
-    engine.apply_seal(101, org_b, engine.difficulty_for(101, org_b), &[(org_b, SignerVote::Add(org_c))])?;
+    engine.apply_seal(
+        100,
+        org_a,
+        engine.difficulty_for(100, org_a),
+        &[(org_a, SignerVote::Add(org_c))],
+    )?;
+    engine.apply_seal(
+        101,
+        org_b,
+        engine.difficulty_for(101, org_b),
+        &[(org_b, SignerVote::Add(org_c))],
+    )?;
     println!(
         "after a majority vote the signer set grows to {} members",
         engine.signers().len()
     );
 
-    chain.verify().map_err(|h| format!("chain invalid at block {h}"))?;
-    println!("full chain verification: ok ({} blocks)", chain.height() + 1);
+    chain
+        .verify()
+        .map_err(|h| format!("chain invalid at block {h}"))?;
+    println!(
+        "full chain verification: ok ({} blocks)",
+        chain.height() + 1
+    );
     Ok(())
 }

@@ -1,0 +1,66 @@
+//! Smoke test for the `examples/quickstart.rs` flow: the builder quickstart
+//! must run end to end under a fixed seed and produce a fully populated
+//! [`ExperimentReport`]. This is the facade-level guarantee the README's
+//! five-line example relies on.
+
+use unifyfl::core::experiment::{ExperimentBuilder, Mode};
+use unifyfl::core::policy::AggregationPolicy;
+use unifyfl::core::report::render_run_table;
+
+#[test]
+fn quickstart_runs_end_to_end_and_reports() {
+    let report = ExperimentBuilder::quickstart()
+        .seed(42)
+        .rounds(5)
+        .mode(Mode::Async)
+        .policy_all(AggregationPolicy::All)
+        .label("quickstart-smoke")
+        .run()
+        .expect("quickstart experiment runs");
+
+    // Non-empty report: every substrate contributed.
+    assert_eq!(report.label, "quickstart-smoke");
+    assert_eq!(report.mode, "Async");
+    assert!(!report.aggregators.is_empty(), "aggregator rows present");
+    assert!(report.chain.blocks > 0, "blocks were sealed");
+    assert!(report.chain.txs > 0, "transactions were submitted");
+    assert!(report.storage_bytes > 0, "models resident in storage");
+    assert!(report.wall_secs > 0.0, "virtual time advanced");
+    assert!(!report.resources.is_empty(), "resource summaries collected");
+    for agg in &report.aggregators {
+        assert!(
+            !agg.curve.is_empty(),
+            "{} recorded at least one round",
+            agg.name
+        );
+        assert!(agg.global_accuracy_pct >= 0.0 && agg.global_accuracy_pct <= 100.0);
+    }
+
+    // The rendered table mentions every aggregator.
+    let table = render_run_table(&report);
+    for agg in &report.aggregators {
+        assert!(table.contains(&agg.name), "table lists {}", agg.name);
+    }
+}
+
+#[test]
+fn quickstart_is_deterministic_under_a_seed() {
+    let run = |seed: u64| {
+        ExperimentBuilder::quickstart()
+            .seed(seed)
+            .rounds(3)
+            .mode(Mode::Sync)
+            .policy_all(AggregationPolicy::All)
+            .run()
+            .expect("runs")
+    };
+    let a = run(7);
+    let b = run(7);
+    let accs = |r: &unifyfl::core::experiment::ExperimentReport| {
+        r.aggregators
+            .iter()
+            .map(|x| x.global_accuracy_pct)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(accs(&a), accs(&b), "same seed, same outcome");
+}

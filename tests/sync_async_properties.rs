@@ -72,7 +72,10 @@ fn sync_phases_start_together_async_independent() {
     let times: Vec<f64> = async_.aggregators.iter().map(|a| a.time_secs).collect();
     let distinct: std::collections::HashSet<u64> =
         times.iter().map(|t| (t * 1000.0) as u64).collect();
-    assert!(distinct.len() > 1, "async clusters must finish at different times: {times:?}");
+    assert!(
+        distinct.len() > 1,
+        "async clusters must finish at different times: {times:?}"
+    );
 }
 
 #[test]

@@ -35,7 +35,13 @@ fn run_federation() -> Federation {
                 .with_policy(AggregationPolicy::All)
         })
         .collect();
-    let mut fed = Federation::new(11, &workload, Partition::Iid, Mode::Sync.to_chain(), clusters);
+    let mut fed = Federation::new(
+        11,
+        &workload,
+        Partition::Iid,
+        Mode::Sync.to_chain(),
+        clusters,
+    );
     run_sync(&mut fed, &workload, ScorerKind::Accuracy, 1.15);
     fed
 }

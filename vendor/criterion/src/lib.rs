@@ -1,0 +1,179 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the harness-less bench entry points the workspace uses
+//! (`criterion_group!`, `criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with throughput annotations, `Bencher::iter`/
+//! `iter_with_setup`, `black_box`). Measurement is a simple
+//! median-of-samples wall clock — adequate for relative comparisons in CI
+//! logs, with none of upstream's statistics, plotting or report output.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP_ITERS: u64 = 3;
+const SAMPLES: usize = 15;
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(20);
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Upstream parses CLI filters here; the shim accepts and ignores them.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.into(), None, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Upstream emits summary reports on drop; nothing to do here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Named group of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_bench(&full, self.throughput, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Work-volume annotation used to derive rates in the printed summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Passed to the closure under measurement; `iter*` performs the timing.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    pub fn iter_with_setup<S, O, SF, F>(&mut self, mut setup: SF, mut routine: F)
+    where
+        SF: FnMut() -> S,
+        F: FnMut(S) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, throughput: Option<Throughput>, f: &mut F) {
+    // Warm up and size the per-sample iteration count so each sample runs
+    // long enough for the clock to resolve.
+    let mut b = Bencher {
+        iters: WARMUP_ITERS,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b
+        .elapsed
+        .checked_div(WARMUP_ITERS as u32)
+        .unwrap_or_default();
+    let iters = if per_iter.is_zero() {
+        1000
+    } else {
+        (TARGET_SAMPLE_TIME.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 100_000) as u64
+    };
+
+    let mut samples: Vec<Duration> = (0..SAMPLES)
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed / iters as u32
+        })
+        .collect();
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => format!(
+            " ({:.1} MiB/s)",
+            n as f64 / median.as_secs_f64().max(f64::MIN_POSITIVE) / (1024.0 * 1024.0)
+        ),
+        Throughput::Elements(n) => format!(
+            " ({:.0} elem/s)",
+            n as f64 / median.as_secs_f64().max(f64::MIN_POSITIVE)
+        ),
+    });
+    println!(
+        "bench {id:<40} median {median:>12?}{}",
+        rate.unwrap_or_default()
+    );
+}
+
+/// Declares a function that runs each listed benchmark with one `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

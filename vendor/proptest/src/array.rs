@@ -1,0 +1,33 @@
+//! Fixed-size array strategies (`proptest::array::uniform32` and friends).
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+
+/// Strategy for `[S::Value; N]`, each element drawn independently.
+#[derive(Debug, Clone)]
+pub struct UniformArrayStrategy<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArrayStrategy<S, N> {
+    type Value = [S::Value; N];
+    fn new_value(&self, rng: &mut StdRng) -> [S::Value; N] {
+        std::array::from_fn(|_| self.element.new_value(rng))
+    }
+}
+
+macro_rules! uniform_fn {
+    ($($name:ident => $n:literal),* $(,)?) => {$(
+        pub fn $name<S: Strategy>(element: S) -> UniformArrayStrategy<S, $n> {
+            UniformArrayStrategy { element }
+        }
+    )*};
+}
+
+uniform_fn!(
+    uniform4 => 4,
+    uniform8 => 8,
+    uniform16 => 16,
+    uniform20 => 20,
+    uniform32 => 32,
+);

@@ -1,0 +1,142 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset the UnifyFL property suites use: the [`proptest!`]
+//! macro, `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`, [`Strategy`]
+//! over integer/float ranges and simple `[class]{m,n}` string patterns,
+//! `any::<T>()`, `collection::vec`, `array::uniform32`, `option::of`, `Just`
+//! and `prop_map`.
+//!
+//! Differences from upstream, deliberate for an offline build:
+//! - each test runs a fixed number of deterministic cases (seeded from the
+//!   test's module path + case index) instead of 256 shrink-capable cases;
+//! - there is **no shrinking** — a failing case panics with its case index,
+//!   and re-running reproduces it exactly;
+//! - string strategies support character-class patterns only, which is all
+//!   the suites use.
+
+pub mod array;
+pub mod collection;
+pub mod option;
+pub mod prelude;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub use strategy::{Just, Strategy};
+
+/// Number of generated cases per property (deterministic).
+pub const CASES: u32 = 256;
+
+/// Strategy producing any value of a primitive type.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Types with a canonical "anything" strategy.
+pub trait Arbitrary: Sized {
+    type Strategy: Strategy<Value = Self>;
+    fn arbitrary() -> Self::Strategy;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            type Strategy = strategy::AnyPrimitive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                strategy::AnyPrimitive::new()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool, f32, f64);
+
+/// The full property-test macro: expands each `fn name(x in strat, ...)` item
+/// into a `#[test]` (the attribute is written in the suites themselves) that
+/// runs [`CASES`] deterministic cases.
+///
+/// Each case body executes inside a closure returning `bool` so that
+/// [`prop_assume!`] can reject the *whole case* with a `return false` from
+/// any nesting depth (a bare `continue` would silently bind to whatever loop
+/// the body happens to contain). Rejected cases are counted: a precondition
+/// narrow enough to throw away more than half the cases fails the test
+/// instead of silently shrinking coverage, mirroring upstream's
+/// too-many-global-rejects error.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __accepted: u32 = 0;
+                for __case in 0..$crate::CASES {
+                    let mut __rng = $crate::test_runner::case_rng(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(let $arg = $crate::Strategy::new_value(&($strat), &mut __rng);)+
+                    let mut __case_fn = move || -> bool { $body true };
+                    if __case_fn() {
+                        __accepted += 1;
+                    }
+                }
+                assert!(
+                    __accepted * 2 >= $crate::CASES,
+                    "prop_assume! rejected {} of {} cases — precondition too narrow",
+                    $crate::CASES - __accepted,
+                    $crate::CASES,
+                );
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a property body (panics, no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Rejects the current case when its precondition does not hold. Expands to
+/// `return false` from the per-case closure the [`proptest!`] macro wraps
+/// around the body, so it rejects the whole case from any nesting depth
+/// (including inside loops in the body). Only meaningful inside a
+/// [`proptest!`] property body.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return false;
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return false;
+        }
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Weighted-choice strategy macro: `prop_oneof![s1, s2, ...]` picks one of
+/// the listed strategies per case. All branches must share a value type;
+/// boxing keeps the macro simple.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![$($crate::strategy::boxed($strat)),+])
+    };
+}

@@ -1,0 +1,26 @@
+//! `Option` strategies (`proptest::option::of`).
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// `Some` with the upstream default probability (0.5 here), else `None`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn new_value(&self, rng: &mut StdRng) -> Option<S::Value> {
+        if rng.gen::<bool>() {
+            Some(self.inner.new_value(rng))
+        } else {
+            None
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Prelude mirroring `proptest::prelude::*` for the subset implemented.
+
+pub use crate::strategy::{Just, Strategy};
+pub use crate::test_runner::ProptestConfig;
+pub use crate::{any, Arbitrary};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+/// Upstream exposes combinators under `prop::...` as well.
+pub mod prop {
+    pub use crate::array;
+    pub use crate::collection;
+    pub use crate::option;
+    pub use crate::string;
+}

@@ -1,0 +1,259 @@
+//! The [`Strategy`] trait and the combinators the suites use.
+
+use rand::distributions::uniform::SampleUniform;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore};
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Generates values for property tests. Unlike upstream there is no value
+/// tree / shrinking — `new_value` draws a fresh value per case.
+pub trait Strategy {
+    type Value;
+
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Regenerates until `pred` holds (bounded; panics if the predicate
+    /// rejects 1000 draws in a row — mirrors upstream's rejection limit).
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            pred,
+        }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: std::rc::Rc::new(move |rng: &mut StdRng| self.new_value(rng)),
+        }
+    }
+}
+
+/// Strategy yielding a constant.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` combinator.
+#[derive(Debug, Clone, Copy)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn new_value(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// `prop_filter` combinator.
+#[derive(Debug, Clone, Copy)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.new_value(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter rejected 1000 consecutive draws: {}",
+            self.whence
+        );
+    }
+}
+
+/// Type-erased strategy (cloneable; strategies are immutable generators).
+#[derive(Clone)]
+pub struct BoxedStrategy<T> {
+    inner: std::rc::Rc<dyn Fn(&mut StdRng) -> T>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        (self.inner)(rng)
+    }
+}
+
+/// Helper used by `prop_oneof!`.
+pub fn boxed<S: Strategy + 'static>(strat: S) -> BoxedStrategy<S::Value> {
+    strat.boxed()
+}
+
+/// Uniform choice among type-erased strategies (`prop_oneof!`).
+pub struct OneOf<T> {
+    choices: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> OneOf<T> {
+    pub fn new(choices: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!choices.is_empty(), "prop_oneof! needs at least one branch");
+        OneOf { choices }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        let i = rng.gen_range(0..self.choices.len());
+        self.choices[i].new_value(rng)
+    }
+}
+
+/// `any::<T>()` for primitives: full-range integers/bool, finite floats.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyPrimitive<T> {
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> AnyPrimitive<T> {
+    pub fn new() -> Self {
+        AnyPrimitive {
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> Default for AnyPrimitive<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+macro_rules! impl_any_via_cast {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_any_via_cast!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for AnyPrimitive<u128> {
+    type Value = u128;
+    fn new_value(&self, rng: &mut StdRng) -> u128 {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Strategy for AnyPrimitive<i128> {
+    type Value = i128;
+    fn new_value(&self, rng: &mut StdRng) -> i128 {
+        AnyPrimitive::<u128>::new().new_value(rng) as i128
+    }
+}
+
+impl Strategy for AnyPrimitive<bool> {
+    type Value = bool;
+    fn new_value(&self, rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Strategy for AnyPrimitive<f64> {
+    type Value = f64;
+    /// Finite floats spanning a wide magnitude range (no NaN/inf — the
+    /// suites' invariants assume finite inputs, as upstream's default does
+    /// for most numeric properties).
+    fn new_value(&self, rng: &mut StdRng) -> f64 {
+        let mag = rng.gen_range(-300.0..300.0);
+        let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+        sign * 10f64.powf(mag)
+    }
+}
+
+impl Strategy for AnyPrimitive<f32> {
+    type Value = f32;
+    fn new_value(&self, rng: &mut StdRng) -> f32 {
+        let mag = rng.gen_range(-30.0f32..30.0);
+        let sign = if rng.gen::<bool>() { 1.0f32 } else { -1.0 };
+        sign * 10f32.powf(mag)
+    }
+}
+
+/// Half-open ranges are strategies: `0usize..512`, `-4.0f32..4.0`, ...
+impl<T> Strategy for Range<T>
+where
+    T: SampleUniform + Copy,
+{
+    type Value = T;
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Inclusive ranges are strategies too.
+impl<T> Strategy for RangeInclusive<T>
+where
+    T: SampleUniform + Copy,
+{
+    type Value = T;
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Tuples of strategies yield tuples of values.
+macro_rules! impl_tuple_strategy {
+    ($($S:ident/$idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A / 0);
+impl_tuple_strategy!(A / 0, B / 1);
+impl_tuple_strategy!(A / 0, B / 1, C / 2);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);

@@ -1,0 +1,185 @@
+//! String strategies from simple regex-like patterns.
+//!
+//! Upstream proptest interprets `&str` strategies as full regexes. The UnifyFL
+//! suites only use sequences of character classes with bounded repetition
+//! (e.g. `"[a-zA-Z0-9 ]{0,64}"`), so this shim implements exactly that
+//! grammar: literal chars and `[...]` classes (with `a-z` ranges), each
+//! optionally followed by `{n}`, `{m,n}`, `?`, `*` or `+` (the unbounded
+//! quantifiers cap at 8 repetitions).
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn new_value(&self, rng: &mut StdRng) -> String {
+        generate(self, rng)
+    }
+}
+
+/// Owned pattern wrapper, mirroring `proptest::string::string_regex`.
+pub fn string_regex(pattern: &str) -> PatternStrategy {
+    PatternStrategy {
+        pattern: pattern.to_string(),
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct PatternStrategy {
+    pattern: String,
+}
+
+impl Strategy for PatternStrategy {
+    type Value = String;
+    fn new_value(&self, rng: &mut StdRng) -> String {
+        generate(&self.pattern, rng)
+    }
+}
+
+struct Atom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn generate(pattern: &str, rng: &mut StdRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for atom in &atoms {
+        let count = if atom.min == atom.max {
+            atom.min
+        } else {
+            rng.gen_range(atom.min..=atom.max)
+        };
+        for _ in 0..count {
+            let i = rng.gen_range(0..atom.choices.len());
+            out.push(atom.choices[i]);
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unclosed '[' in pattern {pattern:?}"));
+            let class = expand_class(&chars[i + 1..close], pattern);
+            i = close + 1;
+            class
+        } else {
+            let c = if chars[i] == '\\' && i + 1 < chars.len() {
+                i += 1;
+                chars[i]
+            } else {
+                chars[i]
+            };
+            i += 1;
+            vec![c]
+        };
+        let (min, max) = parse_quantifier(&chars, &mut i, pattern);
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+fn expand_class(body: &[char], pattern: &str) -> Vec<char> {
+    assert!(
+        !body.is_empty(),
+        "empty character class in pattern {pattern:?}"
+    );
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i], body[i + 2]);
+            assert!(lo <= hi, "inverted range {lo}-{hi} in pattern {pattern:?}");
+            for c in lo..=hi {
+                out.push(c);
+            }
+            i += 3;
+        } else {
+            out.push(body[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+fn parse_quantifier(chars: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+    match chars.get(*i) {
+        Some('{') => {
+            let close = chars[*i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| *i + p)
+                .unwrap_or_else(|| panic!("unclosed '{{' in pattern {pattern:?}"));
+            let body: String = chars[*i + 1..close].iter().collect();
+            *i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad quantifier lower bound"),
+                    hi.trim().parse().expect("bad quantifier upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad quantifier count");
+                    (n, n)
+                }
+            }
+        }
+        Some('?') => {
+            *i += 1;
+            (0, 1)
+        }
+        Some('*') => {
+            *i += 1;
+            (0, 8)
+        }
+        Some('+') => {
+            *i += 1;
+            (1, 8)
+        }
+        _ => (1, 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_with_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = generate("[a-z]{0,32}", &mut rng);
+            assert!(s.len() <= 32);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn mixed_class_with_space() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let s = generate("[a-zA-Z0-9 ]{0,64}", &mut rng);
+            assert!(s.len() <= 64);
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == ' '));
+        }
+    }
+
+    #[test]
+    fn literals_and_quantifiers() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = generate("ab{3}c?", &mut rng);
+        assert!(s.starts_with("abbb"));
+        assert!(s.len() == 4 || s.len() == 5);
+    }
+}

@@ -1,0 +1,198 @@
+//! Distributions: [`Standard`], uniform ranges and sampling iterators.
+
+use crate::RngCore;
+use std::marker::PhantomData;
+
+/// Maps raw generator words to values of `T`.
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+
+    fn sample_iter<R>(self, rng: R) -> DistIter<Self, R, T>
+    where
+        R: RngCore,
+        Self: Sized,
+    {
+        DistIter::new(self, rng)
+    }
+}
+
+/// The "natural" distribution per type: full-range integers, unit-interval
+/// floats, fair booleans.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Standard;
+
+macro_rules! impl_standard_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<u128> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Distribution<i128> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i128 {
+        Distribution::<u128>::sample(self, rng) as i128
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Infinite iterator over samples of a distribution.
+#[derive(Debug, Clone)]
+pub struct DistIter<D, R, T> {
+    distr: D,
+    rng: R,
+    _phantom: PhantomData<fn() -> T>,
+}
+
+impl<D, R, T> DistIter<D, R, T> {
+    pub(crate) fn new(distr: D, rng: R) -> Self {
+        DistIter {
+            distr,
+            rng,
+            _phantom: PhantomData,
+        }
+    }
+}
+
+impl<D, R, T> Iterator for DistIter<D, R, T>
+where
+    D: Distribution<T>,
+    R: RngCore,
+{
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        Some(self.distr.sample(&mut self.rng))
+    }
+}
+
+pub mod uniform {
+    //! Uniform sampling over ranges, mirroring `rand::distributions::uniform`.
+
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types that can be sampled uniformly from a range.
+    pub trait SampleUniform: Sized + PartialOrd {
+        /// Uniform draw from `[low, high)` (or `[low, high]` if `inclusive`).
+        fn sample_uniform<R: RngCore + ?Sized>(
+            rng: &mut R,
+            low: Self,
+            high: Self,
+            inclusive: bool,
+        ) -> Self;
+    }
+
+    macro_rules! impl_uniform_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl SampleUniform for $t {
+                fn sample_uniform<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    low: Self,
+                    high: Self,
+                    inclusive: bool,
+                ) -> Self {
+                    let lo = low as i128;
+                    let hi = high as i128;
+                    let span = if inclusive { hi - lo + 1 } else { hi - lo };
+                    assert!(span > 0, "cannot sample from empty range");
+                    // Modulo bias is < 2^-64 * span — irrelevant for tests.
+                    let offset = (rng.next_u64() as u128 % span as u128) as i128;
+                    (lo + offset) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl SampleUniform for f64 {
+        fn sample_uniform<R: RngCore + ?Sized>(
+            rng: &mut R,
+            low: Self,
+            high: Self,
+            _inclusive: bool,
+        ) -> Self {
+            assert!(
+                low < high || (_inclusive && low <= high),
+                "empty float range"
+            );
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            let v = low + unit * (high - low);
+            // Guard against rounding up to the excluded endpoint.
+            if v >= high && !_inclusive {
+                low
+            } else {
+                v
+            }
+        }
+    }
+
+    impl SampleUniform for f32 {
+        fn sample_uniform<R: RngCore + ?Sized>(
+            rng: &mut R,
+            low: Self,
+            high: Self,
+            _inclusive: bool,
+        ) -> Self {
+            assert!(
+                low < high || (_inclusive && low <= high),
+                "empty float range"
+            );
+            let unit = (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32);
+            let v = low + unit * (high - low);
+            if v >= high && !_inclusive {
+                low
+            } else {
+                v
+            }
+        }
+    }
+
+    /// Range-shaped arguments accepted by `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_uniform(rng, self.start, self.end, false)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (start, end) = self.into_inner();
+            T::sample_uniform(rng, start, end, true)
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Concrete generators. [`StdRng`] is xoshiro256++ — small, fast and
+//! statistically solid for test/simulation use. Not the upstream ChaCha12
+//! stream; determinism within this workspace is the only contract.
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard deterministic generator (xoshiro256++).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut s = [0u64; 4];
+        for (i, word) in s.iter_mut().enumerate() {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+            *word = u64::from_le_bytes(bytes);
+        }
+        // xoshiro requires a nonzero state; remix a zero seed through splitmix.
+        if s == [0, 0, 0, 0] {
+            let mut state = 0x9e3779b97f4a7c15u64;
+            for word in &mut s {
+                *word = crate::splitmix64(&mut state);
+            }
+        }
+        StdRng { s }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Alias kept for callers that name the small generator explicitly.
+pub type SmallRng = StdRng;

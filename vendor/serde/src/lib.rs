@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public types as API
+//! metadata but never serializes through serde (the binary codecs live in
+//! `unifyfl-chain::codec` and `unifyfl-tensor::weights`). This shim re-exports
+//! no-op derive macros plus empty marker traits so `use serde::{Serialize,
+//! Deserialize}` resolves in both the macro and trait namespaces.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the offline shim).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the offline shim).
+pub trait Deserialize<'de> {}

@@ -1,0 +1,19 @@
+//! No-op derive macros for the offline `serde` stand-in.
+//!
+//! UnifyFL only uses `#[derive(Serialize, Deserialize)]` as metadata — no code
+//! in the workspace actually serializes through serde (weights use a bespoke
+//! binary codec in `unifyfl-tensor`). The derives therefore expand to nothing;
+//! the `attributes(serde)` declaration keeps any future `#[serde(...)]` field
+//! attributes from being rejected by the compiler.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
