@@ -53,6 +53,7 @@ fn base_config(seed: u64, mode: Mode) -> ExperimentConfig {
         scorer: ScorerKind::Accuracy,
         clusters,
         window_margin: 1.15,
+        chaos: None,
     }
 }
 

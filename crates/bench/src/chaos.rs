@@ -1,0 +1,243 @@
+//! Chaos benchmark: rounds-to-converge with and without churn.
+//!
+//! Runs the same federation twice — fault-free, then under a churn mix
+//! (sampled crashes, flaky DHT, lossy gossip, missed seals) — and reports
+//! how many rounds each run needs to reach 90% of the fault-free final
+//! accuracy. The JSON rendering is emitted as `BENCH_chaos.json` by the
+//! `chaos` binary so CI can track the resilience trajectory over time.
+
+use unifyfl_core::cluster::ClusterConfig;
+use unifyfl_core::experiment::{run_experiment, ExperimentConfig, ExperimentReport, Mode};
+use unifyfl_core::policy::AggregationPolicy;
+use unifyfl_core::report::{render_chaos_summary, render_run_table};
+use unifyfl_core::scoring::ScorerKind;
+use unifyfl_core::ChaosConfig;
+use unifyfl_data::{Partition, SyntheticConfig, WorkloadConfig};
+use unifyfl_sim::DeviceProfile;
+use unifyfl_tensor::zoo::{InputKind, ModelSpec};
+
+use crate::Scale;
+
+/// Rounds of the benchmark federation.
+pub const ROUNDS: usize = 6;
+
+/// The churn mix applied to the faulty run.
+pub fn churn() -> ChaosConfig {
+    ChaosConfig {
+        crash_prob: 0.08,
+        crash_down_rounds: 1,
+        fetch_failure_prob: 0.2,
+        chunk_loss_prob: 0.15,
+        chunk_retries: 3,
+        missed_seal_prob: 0.1,
+        dropped_tx_prob: 0.15,
+        ..ChaosConfig::default()
+    }
+}
+
+/// The benchmark configuration (3 edge clusters, small synthetic task).
+pub fn config(seed: u64, chaos: Option<ChaosConfig>) -> ExperimentConfig {
+    let mut dataset = SyntheticConfig::cifar10_like(450);
+    dataset.input = InputKind::Flat(16);
+    dataset.n_classes = 4;
+    dataset.noise_scale = 0.6;
+    dataset.label_noise = 0.05;
+    let workload = WorkloadConfig {
+        name: "chaos-bench".into(),
+        model: ModelSpec::mlp(16, vec![24], 4),
+        dataset,
+        rounds: ROUNDS,
+        local_epochs: 1,
+        batch_size: 16,
+        learning_rate: 0.05,
+    };
+    let clusters = (0..3)
+        .map(|i| {
+            ClusterConfig::edge(format!("agg-{}", i + 1), DeviceProfile::edge_cpu())
+                .with_policy(AggregationPolicy::All)
+        })
+        .collect();
+    ExperimentConfig {
+        seed,
+        label: if chaos.is_some() { "churn" } else { "baseline" }.into(),
+        workload,
+        partition: Partition::Iid,
+        mode: Mode::Sync,
+        scorer: ScorerKind::Accuracy,
+        clusters,
+        window_margin: 1.15,
+        chaos,
+    }
+}
+
+/// Mean global accuracy (percent) across aggregators at 1-based `round`,
+/// over whichever aggregators recorded that round (chaos curves may have
+/// gaps, so points are matched by round number, not position).
+fn mean_acc_at(report: &ExperimentReport, round: usize) -> Option<f64> {
+    let points: Vec<f64> = report
+        .aggregators
+        .iter()
+        .filter_map(|a| a.curve.iter().find(|p| p.round == round as u64))
+        .map(|p| p.global_accuracy_pct)
+        .collect();
+    if points.is_empty() {
+        None
+    } else {
+        Some(points.iter().sum::<f64>() / points.len() as f64)
+    }
+}
+
+/// Final mean global accuracy (percent) across aggregators.
+pub fn final_mean_acc(report: &ExperimentReport) -> f64 {
+    let n = report.aggregators.len() as f64;
+    report
+        .aggregators
+        .iter()
+        .map(|a| a.global_accuracy_pct)
+        .sum::<f64>()
+        / n
+}
+
+/// First 1-based round whose mean accuracy reaches `threshold_pct`, if any.
+pub fn rounds_to_converge(report: &ExperimentReport, threshold_pct: f64) -> Option<u64> {
+    (1..=ROUNDS)
+        .find(|r| mean_acc_at(report, *r).is_some_and(|acc| acc >= threshold_pct))
+        .map(|r| r as u64)
+}
+
+/// The paired result of one benchmark run.
+pub struct ChaosBench {
+    /// Fault-free run.
+    pub baseline: ExperimentReport,
+    /// Same seed under the churn mix.
+    pub churned: ExperimentReport,
+    /// 90% of the baseline's final mean accuracy.
+    pub threshold_pct: f64,
+}
+
+/// Runs both arms of the benchmark. `Scale` is accepted for harness
+/// uniformity; the federation is already quick-sized.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (cannot happen here).
+pub fn run(_scale: Scale, seed: u64) -> ChaosBench {
+    let baseline = run_experiment(&config(seed, None)).expect("baseline config is valid");
+    let churned = run_experiment(&config(seed, Some(churn()))).expect("churn config is valid");
+    let threshold_pct = 0.9 * final_mean_acc(&baseline);
+    ChaosBench {
+        baseline,
+        churned,
+        threshold_pct,
+    }
+}
+
+fn opt_u64(v: Option<u64>) -> String {
+    v.map_or("null".to_owned(), |x| x.to_string())
+}
+
+/// Renders the machine-readable `BENCH_chaos.json` body.
+pub fn render_json(bench: &ChaosBench, seed: u64) -> String {
+    let base_rtc = rounds_to_converge(&bench.baseline, bench.threshold_pct);
+    let churn_rtc = rounds_to_converge(&bench.churned, bench.threshold_pct);
+    let overhead = match (base_rtc, churn_rtc) {
+        (Some(b), Some(c)) => (c as i64 - b as i64).to_string(),
+        _ => "null".to_owned(),
+    };
+    let c = &bench.churned.chaos;
+    format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"chaos\",\n",
+            "  \"seed\": {seed},\n",
+            "  \"mode\": \"{mode}\",\n",
+            "  \"rounds\": {rounds},\n",
+            "  \"threshold_acc_pct\": {threshold:.3},\n",
+            "  \"baseline\": {{\n",
+            "    \"rounds_to_converge\": {base_rtc},\n",
+            "    \"final_acc_pct\": {base_acc:.3},\n",
+            "    \"wall_secs\": {base_wall:.3}\n",
+            "  }},\n",
+            "  \"churn\": {{\n",
+            "    \"rounds_to_converge\": {churn_rtc},\n",
+            "    \"final_acc_pct\": {churn_acc:.3},\n",
+            "    \"wall_secs\": {churn_wall:.3},\n",
+            "    \"crashes\": {crashes},\n",
+            "    \"fetch_failures\": {fetch_failures},\n",
+            "    \"chunk_losses\": {chunk_losses},\n",
+            "    \"missed_seals\": {missed_seals},\n",
+            "    \"dropped_txs\": {dropped_txs}\n",
+            "  }},\n",
+            "  \"overhead_rounds\": {overhead}\n",
+            "}}\n",
+        ),
+        seed = seed,
+        mode = bench.baseline.mode,
+        rounds = ROUNDS,
+        threshold = bench.threshold_pct,
+        base_rtc = opt_u64(base_rtc),
+        base_acc = final_mean_acc(&bench.baseline),
+        base_wall = bench.baseline.wall_secs,
+        churn_rtc = opt_u64(churn_rtc),
+        churn_acc = final_mean_acc(&bench.churned),
+        churn_wall = bench.churned.wall_secs,
+        crashes = c.crashes_fired,
+        fetch_failures = c.fetch_failures,
+        chunk_losses = c.chunk_losses,
+        missed_seals = c.missed_seals,
+        dropped_txs = c.dropped_txs,
+        overhead = overhead,
+    )
+}
+
+/// Renders the human-readable comparison.
+pub fn render(bench: &ChaosBench) -> String {
+    let mut out = String::new();
+    out.push_str("Chaos bench: rounds-to-converge with and without churn\n\n");
+    out.push_str(&render_run_table(&bench.baseline));
+    out.push('\n');
+    out.push_str(&render_run_table(&bench.churned));
+    out.push('\n');
+    out.push_str(&render_chaos_summary(&bench.churned));
+    out.push_str(&format!(
+        "\nthreshold {:.1}% | baseline converges in {} round(s) | churn in {} round(s)\n",
+        bench.threshold_pct,
+        opt_u64(rounds_to_converge(&bench.baseline, bench.threshold_pct)),
+        opt_u64(rounds_to_converge(&bench.churned, bench.threshold_pct)),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_counts_churn() {
+        let bench = run(Scale::Quick, 42);
+        // The baseline trivially converges to its own 90% threshold.
+        assert!(rounds_to_converge(&bench.baseline, bench.threshold_pct).is_some());
+        let c = &bench.churned.chaos;
+        assert!(c.enabled);
+        assert!(
+            c.fetch_failures + c.chunk_losses + c.missed_seals + c.dropped_txs > 0,
+            "churn must inject something"
+        );
+    }
+
+    #[test]
+    fn json_rendering_is_well_formed() {
+        let bench = run(Scale::Quick, 42);
+        let json = render_json(&bench, 42);
+        assert!(json.starts_with("{\n"));
+        assert!(json.trim_end().ends_with('}'));
+        assert!(json.contains("\"bench\": \"chaos\""));
+        assert!(json.contains("\"baseline\""));
+        assert!(json.contains("\"churn\""));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
+    }
+}

@@ -62,6 +62,7 @@ pub fn config(variant: PolicyVariant, scale: Scale, seed: u64) -> ExperimentConf
             mk("Malicious", Some(AttackKind::SignFlip)),
         ],
         window_margin: 1.15,
+        chaos: None,
     }
 }
 

@@ -16,8 +16,10 @@
 //! | [`table7`] | Table 7 + §4.2.7 — resource overheads |
 //! | [`figure7`] | Figure 7 — Byzantine naive vs smart policy |
 //! | [`scalability`] | §4.2.6 — 60 clients across 3 aggregators |
+//! | [`chaos`] | resilience trajectory — rounds-to-converge under churn |
 
 pub mod ablation;
+pub mod chaos;
 pub mod figure7;
 pub mod scalability;
 pub mod table1;

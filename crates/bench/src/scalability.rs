@@ -38,6 +38,7 @@ pub fn config(clients_per_agg: usize, scale: Scale, seed: u64) -> ExperimentConf
         scorer: ScorerKind::Accuracy,
         clusters,
         window_margin: 1.15,
+        chaos: None,
     }
 }
 

@@ -136,6 +136,7 @@ pub fn config(run_no: u32, scale: Scale, seed: u64) -> ExperimentConfig {
         scorer,
         clusters,
         window_margin: 1.15,
+        chaos: None,
     }
 }
 

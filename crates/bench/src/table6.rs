@@ -51,6 +51,7 @@ pub fn config(run_name: &str, scale: Scale, seed: u64) -> ExperimentConfig {
         scorer: ScorerKind::Accuracy,
         clusters,
         window_margin: 1.15,
+        chaos: None,
     }
 }
 

@@ -10,6 +10,9 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 use unifyfl_sim::SimTime;
 
 use crate::clique::{Clique, CliqueConfig, SealError};
@@ -53,6 +56,50 @@ impl From<SealError> for ChainError {
     }
 }
 
+/// Seeded fault injector for the consensus/gossip layer: missed seal slots
+/// (the due signer fails to produce, shifting the schedule one period) and
+/// dropped transactions (lost in gossip before reaching the pool; the
+/// sender must retransmit). Installed via [`Blockchain::install_faults`];
+/// quiescent otherwise.
+#[derive(Debug)]
+pub struct ChainFaults {
+    rng: StdRng,
+    /// Probability a due seal slot is missed (private: the constructor's
+    /// strictly-below-1 clamp must hold for the injector's lifetime).
+    missed_seal_prob: f64,
+    /// Probability an unreliable submission is dropped in gossip.
+    dropped_tx_prob: f64,
+    stats: ChainFaultStats,
+}
+
+/// Cumulative accounting of injected chain faults.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChainFaultStats {
+    /// Seal slots skipped by injection.
+    pub missed_seals: u64,
+    /// Transactions dropped before reaching the pool.
+    pub dropped_txs: u64,
+}
+
+impl ChainFaults {
+    /// Creates an injector drawing from `seed`. `missed_seal_prob` is
+    /// clamped strictly below 1: a certain miss on every slot would halt
+    /// block production outright (and hang drivers that seal until a slot
+    /// succeeds), which is a dead chain, not a fault model.
+    pub fn new(seed: u64, missed_seal_prob: f64, dropped_tx_prob: f64) -> Self {
+        ChainFaults {
+            rng: StdRng::seed_from_u64(seed),
+            missed_seal_prob: missed_seal_prob.min(0.999),
+            dropped_tx_prob,
+            stats: ChainFaultStats::default(),
+        }
+    }
+
+    fn roll(&mut self, prob: f64) -> bool {
+        prob > 0.0 && self.rng.gen::<f64>() < prob
+    }
+}
+
 /// A private Clique-PoA blockchain with native contract execution.
 ///
 /// ```
@@ -76,6 +123,11 @@ pub struct Blockchain {
     pool: TxPool,
     /// Flattened `(block_number, log)` index for subscriptions.
     log_index: Vec<(u64, Log)>,
+    /// Optional fault injector (missed seals, dropped transactions).
+    faults: Option<ChainFaults>,
+    /// Seal slots missed since the last successful seal; each pushes
+    /// [`Blockchain::next_seal_time`] one period later.
+    missed_slots: u64,
 }
 
 impl Blockchain {
@@ -104,6 +156,37 @@ impl Blockchain {
             contract_order: Vec::new(),
             pool: TxPool::new(),
             log_index: Vec::new(),
+            faults: None,
+            missed_slots: 0,
+        }
+    }
+
+    /// Installs (or replaces) the chain's fault injector.
+    pub fn install_faults(&mut self, faults: ChainFaults) {
+        self.faults = Some(faults);
+    }
+
+    /// Snapshot of the injected-fault accounting (`None` when no injector
+    /// is installed).
+    pub fn fault_stats(&self) -> Option<ChainFaultStats> {
+        self.faults.as_ref().map(|f| f.stats)
+    }
+
+    /// Consults the fault injector for the currently due seal slot. When the
+    /// slot is injected to be missed, the production schedule shifts one
+    /// period later and `true` is returned: the driver must *not* seal this
+    /// slot. Without an injector this is always `false`.
+    pub fn slot_misses_seal(&mut self) -> bool {
+        let Some(f) = self.faults.as_mut() else {
+            return false;
+        };
+        let p = f.missed_seal_prob;
+        if f.roll(p) {
+            f.stats.missed_seals += 1;
+            self.missed_slots += 1;
+            true
+        } else {
+            false
         }
     }
 
@@ -124,6 +207,22 @@ impl Blockchain {
     /// Submits a transaction to the pool (it executes at the next seal).
     pub fn submit(&mut self, tx: Transaction) {
         self.pool.add(tx);
+    }
+
+    /// Submits a transaction over the (faultable) gossip layer. Returns
+    /// `false` if the injector dropped it — the tx never reached the pool
+    /// and the sender must retransmit it (same nonce). Identical to
+    /// [`Blockchain::submit`] when no injector is installed.
+    pub fn submit_unreliable(&mut self, tx: Transaction) -> bool {
+        if let Some(f) = self.faults.as_mut() {
+            let p = f.dropped_tx_prob;
+            if f.roll(p) {
+                f.stats.dropped_txs += 1;
+                return false;
+            }
+        }
+        self.pool.add(tx);
+        true
     }
 
     /// Next expected nonce for `account` (count of its executed txs).
@@ -161,9 +260,10 @@ impl Blockchain {
         self.pool.len()
     }
 
-    /// Earliest virtual instant at which the next block may be sealed.
+    /// Earliest virtual instant at which the next block may be sealed
+    /// (each injected missed slot pushes it one period later).
     pub fn next_seal_time(&self) -> SimTime {
-        self.head().header.timestamp + self.clique.config().period
+        self.head().header.timestamp + self.clique.config().period * (1 + self.missed_slots)
     }
 
     /// Seals the next block at `now` using the in-turn signer if eligible,
@@ -280,6 +380,7 @@ impl Blockchain {
         }
         self.receipts.push(receipts);
         self.blocks.push(block.clone());
+        self.missed_slots = 0;
         Ok(block)
     }
 
@@ -518,6 +619,48 @@ mod tests {
         chain.submit(Transaction::call(user, contract, 0, b"x".to_vec()));
         let b2 = chain.seal_next(SimTime::from_secs(10)).unwrap();
         assert_ne!(b1.header.state_root, b2.header.state_root);
+    }
+
+    #[test]
+    fn missed_slots_shift_the_seal_schedule() {
+        let (mut chain, _, _) = setup();
+        chain.install_faults(ChainFaults::new(1, 1.0, 0.0));
+        let t0 = chain.next_seal_time();
+        // Certain miss: every consultation pushes the slot one period out.
+        assert!(chain.slot_misses_seal());
+        let t1 = chain.next_seal_time();
+        assert!(t1 > t0);
+        assert!(chain.slot_misses_seal());
+        assert!(chain.next_seal_time() > t1);
+        assert_eq!(chain.fault_stats().unwrap().missed_seals, 2);
+        // Sealing at the shifted slot succeeds and resets the schedule.
+        let ts = chain.next_seal_time();
+        chain.seal_next(ts).unwrap();
+        assert_eq!(chain.next_seal_time(), ts + chain.clique().config().period);
+        chain.verify().unwrap();
+    }
+
+    #[test]
+    fn dropped_txs_never_reach_the_pool() {
+        let (mut chain, contract, user) = setup();
+        chain.install_faults(ChainFaults::new(2, 0.0, 1.0));
+        let tx = Transaction::call(user, contract, 0, vec![1]);
+        assert!(!chain.submit_unreliable(tx.clone()));
+        assert_eq!(chain.pool_len(), 0);
+        assert_eq!(chain.fault_stats().unwrap().dropped_txs, 1);
+        // The retransmission path (reliable submit, same nonce) still works.
+        chain.submit(tx);
+        chain.seal_next(SimTime::from_secs(5)).unwrap();
+        assert_eq!(chain.account_nonce(user), 1);
+    }
+
+    #[test]
+    fn unreliable_submit_without_injector_is_reliable() {
+        let (mut chain, contract, user) = setup();
+        assert!(chain.submit_unreliable(Transaction::call(user, contract, 0, vec![])));
+        assert_eq!(chain.pool_len(), 1);
+        assert!(!chain.slot_misses_seal());
+        assert!(chain.fault_stats().is_none());
     }
 
     #[test]

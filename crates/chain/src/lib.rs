@@ -48,7 +48,7 @@ pub mod orchestrator;
 pub mod txpool;
 pub mod types;
 
-pub use chain::{Blockchain, ChainError};
+pub use chain::{Blockchain, ChainError, ChainFaultStats, ChainFaults};
 pub use clique::{Clique, CliqueConfig};
 pub use contract::{CallContext, CallOutcome, Contract, ContractError};
 pub use hash::{sha256, H256};

@@ -10,7 +10,8 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use unifyfl_data::{Partition, WorkloadConfig};
-use unifyfl_sim::ResourceSummary;
+use unifyfl_sim::fault::{ChaosConfig, FaultKind, FaultPlan, FaultRecord};
+use unifyfl_sim::{ResourceSummary, SeedTree};
 
 use crate::cluster::ClusterConfig;
 use crate::federation::Federation;
@@ -39,6 +40,10 @@ pub struct ExperimentConfig {
     pub clusters: Vec<ClusterConfig>,
     /// Operator safety factor when sizing sync phase windows.
     pub window_margin: f64,
+    /// Fault-injection knobs; `None` (the default everywhere) runs the
+    /// happy path. When set, the schedule expands deterministically from
+    /// [`ExperimentConfig::seed`].
+    pub chaos: Option<ChaosConfig>,
 }
 
 /// Validation failure for an experiment configuration.
@@ -50,6 +55,8 @@ pub enum ExperimentError {
     TooFewClusters(usize),
     /// The window margin must be at least 1.
     InvalidWindowMargin,
+    /// A chaos knob is out of range (the name of the offending knob).
+    InvalidChaos(&'static str),
 }
 
 impl std::fmt::Display for ExperimentError {
@@ -64,6 +71,9 @@ impl std::fmt::Display for ExperimentError {
             ExperimentError::InvalidWindowMargin => {
                 write!(f, "window margin must be >= 1.0")
             }
+            ExperimentError::InvalidChaos(knob) => {
+                write!(f, "chaos knob {knob} is out of range")
+            }
         }
     }
 }
@@ -73,6 +83,10 @@ impl std::error::Error for ExperimentError {}
 /// A point on an accuracy-over-time curve.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CurvePoint {
+    /// 1-based federation round the point belongs to. Under chaos a curve
+    /// may have gaps (crashed rounds record nothing), so consumers must
+    /// match on this rather than on curve position.
+    pub round: u64,
     /// Virtual time (seconds).
     pub time_secs: f64,
     /// Global-model accuracy (percent).
@@ -123,6 +137,45 @@ pub struct ChainStats {
     pub gas_used: u64,
 }
 
+/// Chaos section of an experiment report: which faults were planned, which
+/// fired, and what the injectors in every layer counted. All-zero (with
+/// `enabled == false`) for happy-path runs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ChaosReport {
+    /// True if a fault plan was installed for the run.
+    pub enabled: bool,
+    /// Events in the expanded fault schedule.
+    pub planned_events: u64,
+    /// Cluster-rounds lost to crashes (sync) or redone after crashes
+    /// (async).
+    pub crashes_fired: u64,
+    /// Clusters that permanently left the federation.
+    pub leaves_fired: u64,
+    /// Training rounds slowed by latency spikes.
+    pub spikes_fired: u64,
+    /// Clock-skew fault records (one per skewed cluster at application,
+    /// plus one per skew-caused window rejection).
+    pub skews_fired: u64,
+    /// Whole CID fetches that failed at the DHT (storage layer).
+    pub fetch_failures: u64,
+    /// Caller-level whole-fetch retries.
+    pub fetch_retries: u64,
+    /// Individual chunk transfers lost (storage layer).
+    pub chunk_losses: u64,
+    /// Chunk retransmissions performed.
+    pub chunk_retries: u64,
+    /// Fetches abandoned after the chunk retry budget ran out.
+    pub exhausted_fetches: u64,
+    /// Seal slots skipped by injection (chain layer).
+    pub missed_seals: u64,
+    /// Transactions dropped in gossip (chain layer).
+    pub dropped_txs: u64,
+    /// Transactions retransmitted after a gossip drop.
+    pub retried_txs: u64,
+    /// Per-fault outcome records, in firing order.
+    pub records: Vec<FaultRecord>,
+}
+
 /// The complete result of one experiment.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ExperimentReport {
@@ -144,6 +197,8 @@ pub struct ExperimentReport {
     pub storage_bytes: u64,
     /// Virtual end-to-end duration (seconds).
     pub wall_secs: f64,
+    /// Fault-injection outcomes (all-zero for happy-path runs).
+    pub chaos: ChaosReport,
 }
 
 impl ExperimentConfig {
@@ -163,6 +218,32 @@ impl ExperimentConfig {
         if self.window_margin.is_nan() || self.window_margin < 1.0 {
             return Err(ExperimentError::InvalidWindowMargin);
         }
+        if let Some(chaos) = &self.chaos {
+            chaos.validate().map_err(ExperimentError::InvalidChaos)?;
+            for e in &chaos.events {
+                if e.cluster >= self.clusters.len() {
+                    return Err(ExperimentError::InvalidChaos("events (cluster index)"));
+                }
+                // An event outside the round schedule — or with an inert
+                // payload — would silently never fire; reject it so a
+                // typo'd fault cannot masquerade as a survived one.
+                if e.round == 0 || e.round > self.workload.rounds as u64 {
+                    return Err(ExperimentError::InvalidChaos("events (round out of range)"));
+                }
+                match e.kind {
+                    FaultKind::Crash { down_rounds: 0 } => {
+                        return Err(ExperimentError::InvalidChaos("events (zero down_rounds)"));
+                    }
+                    FaultKind::LatencySpike { factor } if factor.is_nan() || factor <= 1.0 => {
+                        return Err(ExperimentError::InvalidChaos("events (spike factor <= 1)"));
+                    }
+                    FaultKind::ClockSkew { skew } if skew.is_zero() => {
+                        return Err(ExperimentError::InvalidChaos("events (zero skew)"));
+                    }
+                    _ => {}
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -181,6 +262,17 @@ pub fn run_experiment(config: &ExperimentConfig) -> Result<ExperimentReport, Exp
         config.mode.to_chain(),
         config.clusters.clone(),
     );
+    if let Some(chaos) = config.chaos.as_ref().filter(|c| !c.is_quiescent()) {
+        // One derived seed makes the whole schedule (and the storage/chain
+        // injector streams) a pure function of the experiment seed.
+        let plan = FaultPlan::expand(
+            chaos,
+            SeedTree::new(config.seed).seed("chaos"),
+            config.clusters.len(),
+            config.workload.rounds as u64,
+        );
+        fed.install_chaos(plan);
+    }
     let outcome = match config.mode {
         Mode::Sync => run_sync(
             &mut fed,
@@ -205,6 +297,7 @@ fn build_report(
             .records
             .iter()
             .map(|r| CurvePoint {
+                round: r.round,
                 time_secs: r.completed_at_secs,
                 global_accuracy_pct: r.global_accuracy * 100.0,
                 local_accuracy_pct: r.local_accuracy * 100.0,
@@ -251,6 +344,34 @@ fn build_report(
         chain,
         storage_bytes: fed.ipfs.total_bytes(),
         wall_secs: outcome.end_time.as_secs_f64(),
+        chaos: build_chaos_report(&fed),
+    }
+}
+
+fn build_chaos_report(fed: &Federation) -> ChaosReport {
+    let Some(plan) = fed.fault_plan() else {
+        return ChaosReport::default();
+    };
+    let records = fed.chaos_records().to_vec();
+    let count = |kind: &str| records.iter().filter(|r| r.kind == kind).count() as u64;
+    let storage = fed.ipfs.fault_stats().unwrap_or_default();
+    let chain = fed.chain.fault_stats().unwrap_or_default();
+    ChaosReport {
+        enabled: true,
+        planned_events: plan.events().len() as u64,
+        crashes_fired: count("crash"),
+        leaves_fired: count("leave"),
+        spikes_fired: count("latency_spike"),
+        skews_fired: count("clock_skew"),
+        fetch_failures: storage.fetch_failures,
+        fetch_retries: storage.fetch_retries,
+        chunk_losses: storage.chunk_losses,
+        chunk_retries: storage.chunk_retries,
+        exhausted_fetches: storage.exhausted_fetches,
+        missed_seals: chain.missed_seals,
+        dropped_txs: chain.dropped_txs,
+        retried_txs: fed.retried_txs(),
+        records,
     }
 }
 
@@ -296,6 +417,7 @@ impl ExperimentBuilder {
                 scorer: ScorerKind::Accuracy,
                 clusters,
                 window_margin: 1.15,
+                chaos: None,
             },
         }
     }
@@ -358,6 +480,13 @@ impl ExperimentBuilder {
         for c in &mut self.config.clusters {
             c.policy = policy;
         }
+        self
+    }
+
+    /// Arms fault injection for the run (pass [`ChaosConfig::default`]-based
+    /// knobs or a scripted schedule).
+    pub fn chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.config.chaos = Some(chaos);
         self
     }
 
@@ -436,6 +565,40 @@ mod tests {
         assert_eq!(
             builder.run().unwrap_err(),
             ExperimentError::InvalidWindowMargin
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_chaos() {
+        use unifyfl_sim::fault::{FaultEvent, FaultKind};
+        let mut builder = ExperimentBuilder::quickstart().rounds(3);
+        builder.config.chaos = Some(ChaosConfig {
+            crash_prob: 2.0,
+            ..ChaosConfig::default()
+        });
+        assert_eq!(
+            builder.clone().run().unwrap_err(),
+            ExperimentError::InvalidChaos("crash_prob")
+        );
+        // A scripted event aimed past the schedule would silently never
+        // fire; it must be rejected instead.
+        builder.config.chaos = Some(ChaosConfig::scripted(vec![FaultEvent {
+            cluster: 0,
+            round: 9,
+            kind: FaultKind::Leave,
+        }]));
+        assert_eq!(
+            builder.clone().run().unwrap_err(),
+            ExperimentError::InvalidChaos("events (round out of range)")
+        );
+        builder.config.chaos = Some(ChaosConfig::scripted(vec![FaultEvent {
+            cluster: 7,
+            round: 1,
+            kind: FaultKind::Leave,
+        }]));
+        assert_eq!(
+            builder.run().unwrap_err(),
+            ExperimentError::InvalidChaos("events (cluster index)")
         );
     }
 

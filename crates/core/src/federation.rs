@@ -4,14 +4,15 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use unifyfl_chain::chain::Blockchain;
+use unifyfl_chain::chain::{Blockchain, ChainFaults};
 use unifyfl_chain::clique::CliqueConfig;
 use unifyfl_chain::orchestrator::{calls, ModelEntry, OrchestrationMode, UnifyFlContract};
 use unifyfl_chain::types::{Address, Transaction};
 use unifyfl_data::{Dataset, Partition, WorkloadConfig};
+use unifyfl_sim::fault::{FaultPlan, FaultRecord};
 use unifyfl_sim::{ResourceMonitor, SimDuration, SimTime};
 use unifyfl_storage::network::LinkProfile;
-use unifyfl_storage::{Cid, IpfsNetwork};
+use unifyfl_storage::{Cid, IpfsNetwork, StorageFaults};
 use unifyfl_tensor::weights_from_bytes;
 use unifyfl_tensor::zoo::ModelSpec;
 
@@ -47,6 +48,14 @@ pub struct Federation {
     pub resources: ResourceMonitor,
     /// Virtual instant at which setup (registration) completed.
     pub setup_done: SimTime,
+    /// Installed fault schedule (chaos experiments only).
+    fault_plan: Option<FaultPlan>,
+    /// Per-fault outcomes observed by the engines.
+    chaos_records: Vec<FaultRecord>,
+    /// Cluster transactions dropped in gossip, awaiting retransmission.
+    lost_txs: Vec<Transaction>,
+    /// Count of retransmitted transactions.
+    retried_txs: u64,
 }
 
 impl Federation {
@@ -122,6 +131,10 @@ impl Federation {
             global_test,
             resources: ResourceMonitor::new(),
             setup_done: SimTime::ZERO,
+            fault_plan: None,
+            chaos_records: Vec::new(),
+            lost_txs: Vec::new(),
+            retried_txs: 0,
         };
 
         // Register every aggregator; seal the registration block.
@@ -136,10 +149,62 @@ impl Federation {
         fed
     }
 
+    /// Installs a fault schedule: stores the plan for the engines and arms
+    /// the storage and chain injectors with their derived seeds and knobs.
+    pub fn install_chaos(&mut self, plan: FaultPlan) {
+        let (fetch_failure, chunk_loss, chunk_retries) = plan.storage_knobs();
+        if fetch_failure > 0.0 || chunk_loss > 0.0 {
+            self.ipfs.install_faults(StorageFaults::new(
+                plan.storage_seed(),
+                fetch_failure,
+                chunk_loss,
+                chunk_retries,
+            ));
+        }
+        let (missed_seal, dropped_tx) = plan.chain_knobs();
+        if missed_seal > 0.0 || dropped_tx > 0.0 {
+            self.chain
+                .install_faults(ChainFaults::new(plan.chain_seed(), missed_seal, dropped_tx));
+        }
+        self.fault_plan = Some(plan);
+    }
+
+    /// The installed fault schedule, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// Records a fired fault's outcome for the experiment report.
+    pub fn log_fault(&mut self, cluster: usize, round: u64, kind: &str, outcome: &str) {
+        let name = self.clusters[cluster].config().name.clone();
+        self.chaos_records.push(FaultRecord {
+            cluster: name,
+            round,
+            kind: kind.to_owned(),
+            outcome: outcome.to_owned(),
+        });
+    }
+
+    /// Per-fault outcomes observed so far.
+    pub fn chaos_records(&self) -> &[FaultRecord] {
+        &self.chaos_records
+    }
+
+    /// Transactions retransmitted after gossip drops.
+    pub fn retried_txs(&self) -> u64 {
+        self.retried_txs
+    }
+
     /// Seals every block due up to virtual time `t` (the Clique sealer
-    /// keeps producing blocks each period).
+    /// keeps producing blocks each period). Dropped cluster transactions
+    /// are retransmitted first, and injected missed slots shift block
+    /// production later instead of sealing.
     pub fn advance_chain_to(&mut self, t: SimTime) {
+        self.retransmit_lost_txs();
         while self.chain.next_seal_time() <= t {
+            if self.chain.slot_misses_seal() {
+                continue;
+            }
             let ts = self.chain.next_seal_time();
             self.chain.seal_next(ts).expect("periodic seal");
             self.record_block_seal();
@@ -147,11 +212,13 @@ impl Federation {
     }
 
     /// Advances to `t`, then — if transactions are still pending — seals
-    /// one more block at the next period boundary so they execute.
-    /// Returns the timestamp of the chain head afterwards.
+    /// one more block at the next period boundary so they execute (skipping
+    /// past any injected missed slots). Returns the timestamp of the chain
+    /// head afterwards.
     pub fn flush_chain_at(&mut self, t: SimTime) -> SimTime {
         self.advance_chain_to(t);
         if self.chain.pool_len() > 0 {
+            while self.chain.slot_misses_seal() {}
             let ts = self.chain.next_seal_time();
             self.chain.seal_next(ts).expect("flush seal");
             self.record_block_seal();
@@ -164,6 +231,27 @@ impl Federation {
     pub fn submit_tx_at(&mut self, t: SimTime, tx: Transaction) {
         self.advance_chain_to(t);
         self.chain.submit(tx);
+    }
+
+    /// Submits a *cluster* transaction (model/score submission) timed at
+    /// `t` over the faultable gossip layer. A dropped transaction is queued
+    /// and retransmitted the next time the chain advances, exactly as a
+    /// real client would re-gossip an unconfirmed transaction.
+    pub fn submit_cluster_tx_at(&mut self, t: SimTime, tx: Transaction) {
+        self.advance_chain_to(t);
+        if !self.chain.submit_unreliable(tx.clone()) {
+            self.lost_txs.push(tx);
+        }
+    }
+
+    fn retransmit_lost_txs(&mut self) {
+        if self.lost_txs.is_empty() {
+            return;
+        }
+        for tx in std::mem::take(&mut self.lost_txs) {
+            self.chain.submit(tx);
+            self.retried_txs += 1;
+        }
     }
 
     /// Read-only view of the orchestrator contract.
@@ -221,9 +309,19 @@ impl Federation {
 
     /// Fetches and decodes a peer model's weights through the cluster's
     /// IPFS node. Returns `None` if the content is unavailable or corrupt
-    /// (it is then simply skipped, as a real aggregator would).
+    /// (it is then simply skipped, as a real aggregator would). Under an
+    /// installed fault plan a failed fetch is retried once — fresh provider
+    /// resolution, fresh fault rolls — before giving up.
     pub fn fetch_weights(&self, cluster: usize, cid: Cid) -> Option<Vec<f32>> {
-        let receipt = self.clusters[cluster].ipfs().get(cid).ok()?;
+        let node = self.clusters[cluster].ipfs();
+        let receipt = match node.get(cid) {
+            Ok(r) => r,
+            Err(_) if self.fault_plan.is_some() => {
+                self.ipfs.record_fetch_retry();
+                node.get(cid).ok()?
+            }
+            Err(_) => return None,
+        };
         weights_from_bytes(&receipt.data).ok()
     }
 

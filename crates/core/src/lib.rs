@@ -15,7 +15,9 @@
 //! - [`byzantine`] — attacker models for the Figure 7 experiment;
 //! - [`baseline`] — HBFL (centralized multilevel FL) and no-collaboration
 //!   baselines;
-//! - [`experiment`] — configuration, execution and reporting;
+//! - [`experiment`] — configuration, execution and reporting, including
+//!   the [`ChaosConfig`] fault-injection knobs and the report's
+//!   [`ChaosReport`] section;
 //! - [`report`] — paper-style table rendering.
 //!
 //! # Example
@@ -47,10 +49,11 @@ pub mod scoring;
 pub use byzantine::{AttackKind, DpConfig};
 pub use cluster::{ClusterConfig, ClusterNode};
 pub use experiment::{
-    run_experiment, AggregatorReport, ExperimentBuilder, ExperimentConfig, ExperimentError,
-    ExperimentReport,
+    run_experiment, AggregatorReport, ChaosReport, ExperimentBuilder, ExperimentConfig,
+    ExperimentError, ExperimentReport,
 };
 pub use federation::Federation;
 pub use orchestration::Mode;
 pub use policy::{AggregationPolicy, ScorePolicy};
 pub use scoring::ScorerKind;
+pub use unifyfl_sim::fault::{ChaosConfig, FaultEvent, FaultKind, FaultPlan, FaultRecord};

@@ -17,6 +17,13 @@
 //! Virtual time comes from the cluster cost models; chain state advances
 //! via periodic Clique seals as time passes, so contract-enforced window
 //! semantics (late submissions/scores reverting) are exercised for real.
+//!
+//! Both engines consume the federation's installed
+//! [`FaultPlan`](unifyfl_sim::fault::FaultPlan), if any: crashed clusters
+//! sit rounds out (sync) or redo lost attempts (async), leavers depart for
+//! good, latency spikes stretch training, and clock skew pushes
+//! submissions into closed windows — turning the happy-path schedules into
+//! churn scenarios without touching the engine call sites.
 
 use std::collections::{HashSet, VecDeque};
 
@@ -126,10 +133,19 @@ fn train_local(
 }
 
 /// Final pass after the last round: merge the last submissions and
-/// evaluate the resulting global model.
-fn final_merge(fed: &mut Federation, rounds: u64) -> Vec<(f64, f64)> {
+/// evaluate the resulting global model. Clusters that left the federation
+/// (`active[idx] == false`) report their last recorded state instead of
+/// merging post-departure.
+fn final_merge(fed: &mut Federation, rounds: u64, active: &[bool]) -> Vec<(f64, f64)> {
     (0..fed.clusters.len())
         .map(|idx| {
+            if !active[idx] {
+                return fed.clusters[idx]
+                    .records
+                    .last()
+                    .map(|r| (r.global_accuracy, r.global_loss))
+                    .unwrap_or((0.0, 0.0));
+            }
             let (_, _, acc, loss) = pull_and_merge(fed, idx, rounds + 1);
             (acc, loss)
         })
@@ -203,6 +219,19 @@ pub fn run_sync(
     let mut rejected_scores = vec![0u64; n];
     // Leftover busy time for clusters that missed the previous window.
     let mut carryover: Vec<Option<SimDuration>> = vec![None; n];
+    // Chaos state: the installed fault plan and which clusters still
+    // participate (permanent leavers flip to false once).
+    let plan = fed.fault_plan().cloned();
+    let mut active = vec![true; n];
+    if let Some(p) = &plan {
+        // Skew applies from the first round; record it so the report
+        // proves the fault took effect even when nothing is rejected.
+        for idx in 0..n {
+            if !p.clock_skew(idx).is_zero() {
+                fed.log_fault(idx, 1, "clock_skew", "clock runs behind the federation");
+            }
+        }
+    }
 
     let mut t = fed.setup_done;
     for round in 1..=workload.rounds as u64 {
@@ -214,14 +243,42 @@ pub fn run_sync(
 
         // -- every cluster runs its round ----------------------------------
         for idx in 0..n {
+            // Chaos: departed clusters are gone for good; crashed clusters
+            // sit the round out and lose any in-flight (carryover) work.
+            if let Some(p) = &plan {
+                if p.has_left(idx, round) {
+                    if active[idx] {
+                        active[idx] = false;
+                        carryover[idx] = None;
+                        fed.log_fault(idx, round, "leave", "left the federation");
+                    }
+                    continue;
+                }
+                if p.is_down(idx, round) {
+                    let outcome = if carryover[idx].take().is_some() {
+                        "round lost; held-over work discarded"
+                    } else {
+                        "round lost"
+                    };
+                    fed.log_fault(idx, round, "crash", outcome);
+                    continue;
+                }
+            }
+            let skew = plan
+                .as_ref()
+                .map_or(SimDuration::ZERO, |p| p.clock_skew(idx));
+
             if let Some(leftover) = carryover[idx].take() {
                 // Straggler from last round: finish the held work and
-                // submit the stale model; no pull/train this round.
+                // submit the stale model; no pull/train this round. The
+                // leftover already embeds any clock skew from the round
+                // that incurred it (skew is a fixed offset, not a
+                // per-round compounding delay), so none is added here.
                 let finish = phase_start + leftover;
                 let cid = fed.clusters[idx].store_model(round);
                 if finish <= window_end {
                     let tx = fed.clusters[idx].submit_model_tx(orch, &cid);
-                    fed.submit_tx_at(finish, tx);
+                    fed.submit_cluster_tx_at(finish, tx);
                     fed.record_idle(window_end - finish);
                 } else {
                     straggler_rounds[idx] += 1;
@@ -242,16 +299,24 @@ pub fn run_sync(
             }
 
             let (pull, merged, g_acc, g_loss) = pull_and_merge(fed, idx, round);
-            let (train, l_acc, l_loss) = train_local(fed, idx, workload);
+            let (mut train, l_acc, l_loss) = train_local(fed, idx, workload);
+            if let Some(p) = &plan {
+                let factor = p.latency_factor(idx, round);
+                if factor > 1.0 {
+                    train = SimDuration::from_secs_f64(train.as_secs_f64() * factor);
+                    fed.log_fault(idx, round, "latency_spike", "training slowed");
+                }
+            }
             let publish = fed.clusters[idx].publish_duration();
             fed.record_agg_burst(pull + publish);
             let busy = pull + train + publish;
-            let finish = phase_start + busy;
+            // A skewed cluster's submission reaches the chain late.
+            let finish = phase_start + busy + skew;
 
             let cid = fed.clusters[idx].store_model(round);
             if finish <= window_end {
                 let tx = fed.clusters[idx].submit_model_tx(orch, &cid);
-                fed.submit_tx_at(finish, tx);
+                fed.submit_cluster_tx_at(finish, tx);
                 fed.record_idle(window_end - finish);
             } else {
                 // Missed the window (§3.2 stragglers): the contract would
@@ -307,13 +372,23 @@ pub fn run_sync(
             if carryover[idx].is_some() {
                 continue; // still busy with held-over training work
             }
+            // Chaos: departed or crashed clusters never score this round
+            // (`is_down` covers both).
+            if let Some(p) = &plan {
+                if p.is_down(idx, round) {
+                    continue;
+                }
+            }
+            let skew = plan
+                .as_ref()
+                .map_or(SimDuration::ZERO, |p| p.clock_skew(idx));
             let my_addr = fed.clusters[idx].address();
             let my_tasks: Vec<Cid> = assignments
                 .iter()
                 .filter(|(_, scorers)| scorers.contains(&my_addr))
                 .map(|(cid, _)| *cid)
                 .collect();
-            let mut clock = scoring_start;
+            let mut clock = scoring_start + skew;
             for cid in my_tasks {
                 let fetch = fed.clusters[idx].fetch_duration();
                 let score_dur = fed.clusters[idx].score_duration();
@@ -332,10 +407,13 @@ pub fn run_sync(
                 fed.record_ipfs_burst(fetch);
                 if clock <= scoring_end {
                     let tx = fed.clusters[idx].score_tx(orch, &cid, score);
-                    fed.submit_tx_at(clock, tx);
+                    fed.submit_cluster_tx_at(clock, tx);
                 } else {
                     // §3.2: "the blockchain will no longer accept scores".
                     rejected_scores[idx] += 1;
+                    if !skew.is_zero() {
+                        fed.log_fault(idx, round, "clock_skew", "score lost to closed window");
+                    }
                 }
             }
             fed.record_idle(scoring_end.saturating_since(clock.max(scoring_start)));
@@ -348,7 +426,7 @@ pub fn run_sync(
     }
 
     let end_time = t;
-    let final_global = final_merge(fed, workload.rounds as u64);
+    let final_global = final_merge(fed, workload.rounds as u64, &active);
     let final_local = (0..n).map(|i| last_local(fed, i)).collect();
     EngineOutcome {
         per_cluster_time: vec![end_time; n],
@@ -382,23 +460,43 @@ pub fn run_async(
     );
     let n = fed.clusters.len();
     let orch = fed.orchestrator;
+    let plan = fed.fault_plan().cloned();
 
     struct State {
         clock: SimTime,
         rounds_done: u64,
         tasks: VecDeque<Cid>,
         finished_at: Option<SimTime>,
+        alive: bool,
     }
     let mut states: Vec<State> = (0..n)
-        .map(|_| State {
-            clock: fed.setup_done,
+        .map(|idx| State {
+            // A skewed cluster's whole timeline runs behind the
+            // federation's.
+            clock: fed.setup_done
+                + plan
+                    .as_ref()
+                    .map_or(SimDuration::ZERO, |p| p.clock_skew(idx)),
             rounds_done: 0,
             tasks: VecDeque::new(),
             finished_at: None,
+            alive: true,
         })
         .collect();
     let mut distributed: HashSet<String> = HashSet::new();
+    // Crash events already charged to a cluster (each fires once: the
+    // in-flight attempt is lost, then the round is redone after restart).
+    let mut crashes_spent: HashSet<(usize, u64)> = HashSet::new();
     let rounds = workload.rounds as u64;
+    if let Some(p) = &plan {
+        // Skew shifts the whole free-running timeline; record it so the
+        // report proves the fault took effect.
+        for idx in 0..n {
+            if !p.clock_skew(idx).is_zero() {
+                fed.log_fault(idx, 1, "clock_skew", "clock runs behind the federation");
+            }
+        }
+    }
 
     // Deal out scorer assignments that the contract has recorded.
     let distribute =
@@ -425,13 +523,43 @@ pub fn run_async(
     loop {
         // Pick the earliest cluster that still has work.
         let next = (0..n)
-            .filter(|&i| states[i].rounds_done < rounds || !states[i].tasks.is_empty())
+            .filter(|&i| {
+                states[i].alive && (states[i].rounds_done < rounds || !states[i].tasks.is_empty())
+            })
             .min_by_key(|&i| (states[i].clock, i));
         let Some(idx) = next else { break };
         let t = states[idx].clock;
 
         fed.advance_chain_to(t);
         distribute(fed, &mut states, &mut distributed);
+
+        // Chaos: the free-running timeline hits this cluster's next fault.
+        if let Some(p) = &plan {
+            let round = states[idx].rounds_done + 1;
+            if p.has_left(idx, round.min(rounds)) {
+                states[idx].alive = false;
+                states[idx].tasks.clear();
+                states[idx].finished_at = Some(t);
+                fed.log_fault(idx, round, "leave", "left the federation");
+                continue;
+            }
+            if round <= rounds && p.crash_starts(idx, round) && crashes_spent.insert((idx, round)) {
+                // The in-flight round is lost and the cluster sits out this
+                // crash's own window, then redoes the round — async churn
+                // costs time, not rounds (Table 3's "low straggler
+                // impact"). Later crash windows are charged when they fire.
+                let lost = fed.clusters[idx].train_duration(workload.local_epochs);
+                let down = p.crash_down_rounds_at(idx, round);
+                states[idx].clock = t + lost + lost * down;
+                fed.log_fault(
+                    idx,
+                    round,
+                    "crash",
+                    "attempt lost; round redone after restart",
+                );
+                continue;
+            }
+        }
 
         if let Some(cid) = states[idx].tasks.pop_front() {
             // Scoring duty first: an idle aggregator scores as soon as the
@@ -444,7 +572,7 @@ pub fn run_async(
                 fed.record_scoring_burst(fetch + score_dur);
                 fed.record_ipfs_burst(fetch);
                 let tx = fed.clusters[idx].score_tx(orch, &cid, score);
-                fed.submit_tx_at(done, tx);
+                fed.submit_cluster_tx_at(done, tx);
                 states[idx].clock = done;
             }
             continue;
@@ -453,14 +581,21 @@ pub fn run_async(
         // Otherwise: run the next training round.
         let round = states[idx].rounds_done + 1;
         let (pull, merged, g_acc, g_loss) = pull_and_merge(fed, idx, round);
-        let (train, l_acc, l_loss) = train_local(fed, idx, workload);
+        let (mut train, l_acc, l_loss) = train_local(fed, idx, workload);
+        if let Some(p) = &plan {
+            let factor = p.latency_factor(idx, round);
+            if factor > 1.0 {
+                train = SimDuration::from_secs_f64(train.as_secs_f64() * factor);
+                fed.log_fault(idx, round, "latency_spike", "training slowed");
+            }
+        }
         let publish = fed.clusters[idx].publish_duration();
         fed.record_agg_burst(pull + publish);
         let finish = t + pull + train + publish;
 
         let cid = fed.clusters[idx].store_model(round);
         let tx = fed.clusters[idx].submit_model_tx(orch, &cid);
-        fed.submit_tx_at(finish, tx);
+        fed.submit_cluster_tx_at(finish, tx);
         // Seal promptly so scorers learn their assignment.
         fed.flush_chain_at(finish);
         distribute(fed, &mut states, &mut distributed);
@@ -488,7 +623,8 @@ pub fn run_async(
         .unwrap_or(fed.setup_done);
     fed.flush_chain_at(end_time);
 
-    let final_global = final_merge(fed, rounds);
+    let active: Vec<bool> = states.iter().map(|s| s.alive).collect();
+    let final_global = final_merge(fed, rounds, &active);
     let final_local = (0..n).map(|i| last_local(fed, i)).collect();
     EngineOutcome {
         per_cluster_time: states
@@ -632,6 +768,141 @@ mod tests {
             .filter(|e| e.submitter == fed.clusters[2].address())
             .count();
         assert!(from_straggler >= 1);
+    }
+
+    #[test]
+    fn sync_straggler_model_is_accepted_only_next_round() {
+        let mut cfgs = configs(3);
+        cfgs[2].straggle_factor = 50.0;
+        let w = tiny_workload(4);
+        let mut fed = Federation::new(7, &w, Partition::Iid, OrchestrationMode::Sync, cfgs);
+        let out = run_sync(&mut fed, &w, ScorerKind::Accuracy, 1.15);
+        assert!(out.straggler_rounds[2] > 0);
+
+        let straggler = fed.clusters[2].address();
+        let mut rounds_submitted: Vec<u64> = fed
+            .contract()
+            .entries()
+            .iter()
+            .filter(|e| e.submitter == straggler)
+            .map(|e| e.round)
+            .collect();
+        rounds_submitted.sort_unstable();
+        // Round 1 has no peers to pull, so even the straggler fits; from
+        // round 2 on its 50× training overruns the window. The round-2
+        // model is accepted only as a *round-3* submission (next-round
+        // rule), and the round-4 overrun never lands at all.
+        assert_eq!(rounds_submitted, vec![1, 3], "next-round acceptance");
+        assert_eq!(
+            rounds_submitted.len() as u64,
+            w.rounds as u64 - out.straggler_rounds[2],
+            "every miss costs exactly one landed submission"
+        );
+        // The landed round-3 entry is the *held* model: the carryover
+        // branch submits without pulling or training that round.
+        let r3 = fed.clusters[2]
+            .records
+            .iter()
+            .find(|r| r.round == 3)
+            .expect("round 3 recorded");
+        assert_eq!(r3.peers_merged, 0, "stale model, no pull this round");
+        // The engine never submits into a closed window, so every
+        // submitModel transaction from the straggler succeeded on-chain.
+        let mut any_tx = false;
+        for b in 0..=fed.chain.height() {
+            for r in fed.chain.receipts(b).unwrap_or(&[]) {
+                if fed
+                    .chain
+                    .block(b)
+                    .and_then(|blk| blk.transactions.get(r.tx_index as usize))
+                    .is_some_and(|tx| tx.from == straggler)
+                {
+                    any_tx = true;
+                    assert!(r.success, "straggler tx reverted: {:?}", r.error);
+                }
+            }
+        }
+        assert!(any_tx);
+    }
+
+    #[test]
+    fn clock_skew_is_recorded_and_delays_submissions() {
+        use unifyfl_sim::fault::{ChaosConfig, FaultEvent, FaultKind, FaultPlan};
+        let (mut fed, w) = build(Mode::Sync, 3, 2);
+        let cfg = ChaosConfig::scripted(vec![FaultEvent {
+            cluster: 1,
+            round: 1,
+            kind: FaultKind::ClockSkew {
+                skew: SimDuration::from_secs(30),
+            },
+        }]);
+        fed.install_chaos(FaultPlan::expand(&cfg, 99, 3, 2));
+        let out = run_sync(&mut fed, &w, ScorerKind::Accuracy, 1.15);
+        // The skew's application is observable in the fault log even if
+        // nothing else goes wrong...
+        assert!(fed
+            .chaos_records()
+            .iter()
+            .any(|r| r.kind == "clock_skew" && r.outcome.contains("behind")));
+        // ...and a 30 s offset dwarfs the tiny workload's window slack, so
+        // the skewed cluster's submissions miss the training window.
+        assert!(out.straggler_rounds[1] > 0, "skewed cluster must straggle");
+        assert_eq!(out.straggler_rounds[0], 0);
+        assert_eq!(out.straggler_rounds[2], 0);
+    }
+
+    #[test]
+    fn late_score_is_rejected_by_the_contract() {
+        let (mut fed, _) = build(Mode::Sync, 3, 1);
+        let orch = fed.orchestrator;
+        let t0 = fed.setup_done;
+
+        // Drive one full phase cycle by hand: open training, submit one
+        // model, open scoring, close scoring — then score late.
+        let tx = fed.phase_tx(unifyfl_chain::orchestrator::calls::start_training());
+        fed.submit_tx_at(t0, tx);
+        let t1 = fed.flush_chain_at(t0);
+
+        let cid = fed.clusters[1].store_model(1);
+        let tx = fed.clusters[1].submit_model_tx(orch, &cid);
+        fed.submit_tx_at(t1, tx);
+        let t2 = fed.flush_chain_at(t1);
+
+        let tx = fed.phase_tx(unifyfl_chain::orchestrator::calls::start_scoring());
+        fed.submit_tx_at(t2, tx);
+        let t3 = fed.flush_chain_at(t2);
+
+        let tx = fed.phase_tx(unifyfl_chain::orchestrator::calls::end_scoring());
+        fed.submit_tx_at(t3, tx);
+        let t4 = fed.flush_chain_at(t3);
+
+        // An *assigned* scorer arrives after the window closed (§3.2:
+        // "the blockchain will no longer accept scores").
+        let entry = fed.contract().entry(&cid.to_string()).expect("recorded");
+        assert!(!entry.scorers.is_empty());
+        let scorer_addr = entry.scorers[0];
+        let scorer_idx = fed
+            .clusters
+            .iter()
+            .position(|c| c.address() == scorer_addr)
+            .expect("scorer is a cluster");
+        let tx = fed.clusters[scorer_idx].score_tx(orch, &cid, 0.75);
+        fed.submit_tx_at(t4, tx);
+        fed.flush_chain_at(t4);
+
+        // The transaction reverted and no score was recorded.
+        let entry = fed.contract().entry(&cid.to_string()).unwrap();
+        assert!(entry.scores.is_empty(), "late score must not be recorded");
+        let head = fed.chain.height();
+        let rejected = (0..=head)
+            .flat_map(|b| fed.chain.receipts(b).unwrap_or(&[]).iter())
+            .any(|r| {
+                !r.success
+                    && r.error
+                        .as_deref()
+                        .is_some_and(|e| e.contains("scoring window closed"))
+            });
+        assert!(rejected, "the revert must appear in a receipt");
     }
 
     #[test]

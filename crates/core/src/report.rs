@@ -59,6 +59,35 @@ pub fn render_baseline_table(label: &str, run: &BaselineRun) -> String {
     out
 }
 
+/// Renders the chaos section of a report: injector counters plus the
+/// per-fault outcome records, in firing order.
+pub fn render_chaos_summary(report: &ExperimentReport) -> String {
+    let c = &report.chaos;
+    if !c.enabled {
+        return "chaos: disabled (happy path)\n".to_owned();
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "chaos: {} planned event(s) | crashes {} | leaves {} | spikes {} | skews {}\n",
+        c.planned_events, c.crashes_fired, c.leaves_fired, c.spikes_fired, c.skews_fired
+    ));
+    out.push_str(&format!(
+        "storage: {} fetch failure(s) ({} retried) | {} chunk loss(es) ({} retransmitted, {} exhausted)\n",
+        c.fetch_failures, c.fetch_retries, c.chunk_losses, c.chunk_retries, c.exhausted_fetches
+    ));
+    out.push_str(&format!(
+        "chain:   {} missed seal(s) | {} dropped tx(s) ({} retransmitted)\n",
+        c.missed_seals, c.dropped_txs, c.retried_txs
+    ));
+    for r in &c.records {
+        out.push_str(&format!(
+            "  round {:>2}  {:<12} {:<14} {}\n",
+            r.round, r.cluster, r.kind, r.outcome
+        ));
+    }
+    out
+}
+
 /// Renders resource summaries in the Table 7 format.
 pub fn render_resources_table(report: &ExperimentReport) -> String {
     let mut out = String::new();
@@ -87,22 +116,29 @@ pub fn render_curves(report: &ExperimentReport) -> String {
         out.push_str(&format!(" {:>12}", a.name));
     }
     out.push('\n');
-    let max_rounds = report
+    // Rows are keyed by round number, not curve position: under chaos a
+    // cluster's curve can have gaps (crashed rounds record nothing).
+    let mut rounds: Vec<u64> = report
         .aggregators
         .iter()
-        .map(|a| a.curve.len())
-        .max()
-        .unwrap_or(0);
-    for r in 0..max_rounds {
-        let t = report
+        .flat_map(|a| a.curve.iter().map(|p| p.round))
+        .collect();
+    rounds.sort_unstable();
+    rounds.dedup();
+    for r in rounds {
+        let points: Vec<Option<&crate::experiment::CurvePoint>> = report
             .aggregators
             .iter()
-            .filter_map(|a| a.curve.get(r))
+            .map(|a| a.curve.iter().find(|p| p.round == r))
+            .collect();
+        let t = points
+            .iter()
+            .flatten()
             .map(|p| p.time_secs)
             .fold(0.0f64, f64::max);
         out.push_str(&format!("{t:>7.0}"));
-        for a in &report.aggregators {
-            match a.curve.get(r) {
+        for p in points {
+            match p {
                 Some(p) => out.push_str(&format!(" {:>12.2}", p.global_accuracy_pct)),
                 None => out.push_str(&format!(" {:>12}", "-")),
             }
@@ -138,6 +174,27 @@ mod tests {
         assert!(table.contains("client"));
         assert!(table.contains("geth"));
         assert!(table.contains("cpu %"));
+    }
+
+    #[test]
+    fn chaos_summary_renders_records() {
+        use unifyfl_sim::fault::{ChaosConfig, FaultEvent, FaultKind};
+        let quiet = render_chaos_summary(&report());
+        assert!(quiet.contains("disabled"));
+
+        let chaotic = ExperimentBuilder::quickstart()
+            .rounds(3)
+            .chaos(ChaosConfig::scripted(vec![FaultEvent {
+                cluster: 0,
+                round: 2,
+                kind: FaultKind::Crash { down_rounds: 1 },
+            }]))
+            .run()
+            .unwrap();
+        let table = render_chaos_summary(&chaotic);
+        assert!(table.contains("1 planned event(s)"));
+        assert!(table.contains("crash"));
+        assert!(table.contains("round  2"));
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!   Table 7 of the paper.
 //! - [`rng`] — a [`SeedTree`] that fans a single experiment seed out into
 //!   independent, labelled deterministic RNG streams.
+//! - [`fault`] — the seeded fault-injection vocabulary ([`ChaosConfig`] →
+//!   [`FaultPlan`]): cluster crash/restart/leave, latency spikes, clock
+//!   skew, plus the knobs the storage and chain injectors consume.
 //!
 //! # Example
 //!
@@ -33,11 +36,13 @@
 pub mod clock;
 pub mod device;
 pub mod engine;
+pub mod fault;
 pub mod resources;
 pub mod rng;
 
 pub use clock::{SimDuration, SimTime};
 pub use device::DeviceProfile;
 pub use engine::{EventId, EventQueue, VirtualClock};
+pub use fault::{ChaosConfig, FaultEvent, FaultKind, FaultPlan, FaultRecord};
 pub use resources::{ResourceMonitor, ResourceSummary};
 pub use rng::SeedTree;

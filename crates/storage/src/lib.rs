@@ -11,7 +11,9 @@
 //! - [`blockstore`] — per-node block storage with recursive pinning and GC;
 //! - [`dht`] — the provider index standing in for Kademlia;
 //! - [`network`] — the shared fabric: bitswap-style verified fetch with a
-//!   latency/bandwidth cost model feeding the discrete-event simulator.
+//!   latency/bandwidth cost model feeding the discrete-event simulator,
+//!   plus seeded fault injection (DHT fetch failure, chunk loss with
+//!   bounded retries) for chaos experiments.
 //!
 //! # Example
 //!
@@ -40,4 +42,7 @@ pub use blockstore::BlockStore;
 pub use chunker::{chunk, chunk_default, ChunkedFile, DEFAULT_CHUNK_SIZE};
 pub use cid::Cid;
 pub use dht::{NodeId, ProviderIndex};
-pub use network::{AddReceipt, GetReceipt, IpfsError, IpfsNetwork, IpfsNode, LinkProfile};
+pub use network::{
+    AddReceipt, GetReceipt, IpfsError, IpfsNetwork, IpfsNode, LinkProfile, StorageFaultStats,
+    StorageFaults,
+};

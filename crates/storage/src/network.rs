@@ -17,6 +17,9 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 use unifyfl_sim::SimDuration;
 
 use crate::blockstore::BlockStore;
@@ -63,9 +66,74 @@ struct NodeState {
     bytes_served: u64,
 }
 
+/// Seeded fault injector for the storage fabric: whole-fetch DHT failures
+/// and per-chunk transfer loss with a bounded retry budget. Quiescent
+/// unless installed via [`IpfsNetwork::install_faults`]; every decision is
+/// drawn from one deterministic stream, so identical call sequences yield
+/// identical fault sequences.
+#[derive(Debug)]
+pub struct StorageFaults {
+    rng: StdRng,
+    /// Probability a remote fetch fails at provider resolution.
+    fetch_failure_prob: f64,
+    /// Probability one chunk transfer is lost (then retried).
+    chunk_loss_prob: f64,
+    /// Retry budget per chunk before the fetch errors out.
+    chunk_retries: u32,
+    stats: StorageFaultStats,
+}
+
+/// Cumulative accounting of injected storage faults.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StorageFaultStats {
+    /// Whole fetches that failed at the DHT lookup.
+    pub fetch_failures: u64,
+    /// Whole-fetch retries requested by callers.
+    pub fetch_retries: u64,
+    /// Individual chunk transfers lost.
+    pub chunk_losses: u64,
+    /// Chunk retransmissions performed.
+    pub chunk_retries: u64,
+    /// Fetches abandoned after exhausting the chunk retry budget.
+    pub exhausted_fetches: u64,
+}
+
+impl StorageFaults {
+    /// Creates an injector drawing from `seed`.
+    pub fn new(
+        seed: u64,
+        fetch_failure_prob: f64,
+        chunk_loss_prob: f64,
+        chunk_retries: u32,
+    ) -> Self {
+        StorageFaults {
+            rng: StdRng::seed_from_u64(seed),
+            fetch_failure_prob,
+            chunk_loss_prob,
+            chunk_retries,
+            stats: StorageFaultStats::default(),
+        }
+    }
+
+    fn roll(&mut self, prob: f64) -> bool {
+        prob > 0.0 && self.rng.gen::<f64>() < prob
+    }
+
+    fn roll_fetch_failure(&mut self) -> bool {
+        let p = self.fetch_failure_prob;
+        self.roll(p)
+    }
+
+    fn roll_chunk_loss(&mut self) -> bool {
+        let p = self.chunk_loss_prob;
+        self.roll(p)
+    }
+}
+
 struct NetworkState {
     nodes: Vec<NodeState>,
     dht: ProviderIndex,
+    faults: Option<StorageFaults>,
 }
 
 /// Shared distributed-storage fabric.
@@ -87,7 +155,33 @@ impl IpfsNetwork {
             inner: Arc::new(Mutex::new(NetworkState {
                 nodes: Vec::new(),
                 dht: ProviderIndex::new(),
+                faults: None,
             })),
+        }
+    }
+
+    /// Installs (or replaces) the fabric's fault injector.
+    pub fn install_faults(&self, faults: StorageFaults) {
+        self.inner.lock().faults = Some(faults);
+    }
+
+    /// Removes the fault injector, returning the fabric to fault-free
+    /// operation.
+    pub fn clear_faults(&self) {
+        self.inner.lock().faults = None;
+    }
+
+    /// Snapshot of the injected-fault accounting (`None` when no injector
+    /// is installed).
+    pub fn fault_stats(&self) -> Option<StorageFaultStats> {
+        self.inner.lock().faults.as_ref().map(|f| f.stats)
+    }
+
+    /// Records a caller-level whole-fetch retry in the fault accounting (a
+    /// no-op without an injector).
+    pub fn record_fetch_retry(&self) {
+        if let Some(f) = self.inner.lock().faults.as_mut() {
+            f.stats.fetch_retries += 1;
         }
     }
 
@@ -138,6 +232,10 @@ pub enum IpfsError {
     NotFound(Cid),
     /// Content failed CID verification or reassembly.
     Corrupt(String),
+    /// A chunk transfer kept failing after exhausting its retry budget
+    /// (injected network faults). The fetch returns nothing rather than
+    /// truncated data.
+    ChunkLoss(Cid),
 }
 
 impl std::fmt::Display for IpfsError {
@@ -145,6 +243,9 @@ impl std::fmt::Display for IpfsError {
         match self {
             IpfsError::NotFound(c) => write!(f, "content {c} not found on any provider"),
             IpfsError::Corrupt(m) => write!(f, "content corrupt: {m}"),
+            IpfsError::ChunkLoss(c) => {
+                write!(f, "chunk {c} lost in transfer; retry budget exhausted")
+            }
         }
     }
 }
@@ -236,6 +337,15 @@ impl IpfsNode {
             });
         }
 
+        // Injected DHT fault: the provider lookup fails outright; the
+        // caller sees ordinary missing content and may retry (a fresh roll).
+        if let Some(f) = st.faults.as_mut() {
+            if f.roll_fetch_failure() {
+                f.stats.fetch_failures += 1;
+                return Err(IpfsError::NotFound(cid));
+            }
+        }
+
         // Resolve a provider. Prefer the one with the fastest link; ties
         // break on NodeId for determinism.
         let provider = st
@@ -266,13 +376,29 @@ impl IpfsNode {
         let mut blocks: Vec<Bytes> = vec![root_block.clone()];
         let data = match decode_root(&root_block) {
             Some(root) => {
-                let provider_store = &st.nodes[provider.0 as usize].store;
                 let mut chunk_map: HashMap<Cid, Bytes> = HashMap::new();
                 for child in &root.children {
-                    let block = provider_store
+                    let block = st.nodes[provider.0 as usize]
+                        .store
                         .get(*child)
                         .ok_or(IpfsError::NotFound(*child))?;
                     transferred += block.len() as u64;
+                    // Injected chunk loss: each lost transfer is retried
+                    // (and re-charged) up to the retry budget; exhausting it
+                    // fails the whole fetch — never truncated data.
+                    if let Some(f) = st.faults.as_mut() {
+                        let mut budget = f.chunk_retries;
+                        while f.roll_chunk_loss() {
+                            f.stats.chunk_losses += 1;
+                            if budget == 0 {
+                                f.stats.exhausted_fetches += 1;
+                                return Err(IpfsError::ChunkLoss(*child));
+                            }
+                            budget -= 1;
+                            f.stats.chunk_retries += 1;
+                            transferred += block.len() as u64;
+                        }
+                    }
                     chunk_map.insert(*child, block.clone());
                     blocks.push(block);
                 }
@@ -489,5 +615,74 @@ mod tests {
         nodes[0].add(&vec![0u8; 1000]);
         assert_eq!(net.node_count(), 2);
         assert!(net.total_bytes() >= 1000);
+    }
+
+    #[test]
+    fn injected_fetch_failures_are_counted_and_retryable() {
+        let (net, nodes) = fabric(2);
+        let receipt = nodes[0].add(&vec![3u8; 4096]);
+        net.install_faults(StorageFaults::new(7, 0.5, 0.0, 2));
+        let mut failures = 0;
+        let mut successes = 0;
+        for _ in 0..64 {
+            match nodes[1].get(receipt.cid) {
+                Ok(got) => {
+                    assert_eq!(got.data.len(), 4096);
+                    successes += 1;
+                    // Drop the cached copy so the next get stays remote.
+                    nodes[1].unpin(receipt.cid);
+                    nodes[1].gc();
+                }
+                Err(IpfsError::NotFound(_)) => failures += 1,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(failures > 0 && successes > 0, "{failures} / {successes}");
+        let stats = net.fault_stats().unwrap();
+        assert_eq!(stats.fetch_failures, failures);
+        net.record_fetch_retry();
+        assert_eq!(net.fault_stats().unwrap().fetch_retries, 1);
+    }
+
+    #[test]
+    fn chunk_loss_is_retried_and_never_truncates() {
+        let (net, nodes) = fabric(2);
+        // 8 chunks of 256 B.
+        let data: Vec<u8> = (0..2048u32).map(|i| (i % 241) as u8).collect();
+        let receipt = nodes[0].add_with_chunk_size(&data, 256);
+        net.install_faults(StorageFaults::new(11, 0.0, 0.4, 8));
+        let got = nodes[1].get(receipt.cid).expect("retries recover");
+        assert_eq!(got.data, data, "reconstruction is exact");
+        let stats = net.fault_stats().unwrap();
+        assert!(stats.chunk_losses > 0, "faults must have fired");
+        assert_eq!(stats.chunk_retries, stats.chunk_losses);
+        assert_eq!(stats.exhausted_fetches, 0);
+    }
+
+    #[test]
+    fn exhausted_chunk_retries_fail_the_whole_fetch() {
+        let (net, nodes) = fabric(2);
+        let data = vec![9u8; 2048];
+        let receipt = nodes[0].add_with_chunk_size(&data, 256);
+        // Certain loss, zero retries: the fetch must error, not truncate.
+        net.install_faults(StorageFaults::new(3, 0.0, 1.0, 0));
+        let err = nodes[1].get(receipt.cid).unwrap_err();
+        assert!(matches!(err, IpfsError::ChunkLoss(_)), "{err}");
+        assert!(net.fault_stats().unwrap().exhausted_fetches >= 1);
+        // Clearing the injector restores fault-free operation.
+        net.clear_faults();
+        assert_eq!(nodes[1].get(receipt.cid).unwrap().data, data);
+        assert!(net.fault_stats().is_none());
+    }
+
+    #[test]
+    fn local_hits_bypass_fault_injection() {
+        let (net, nodes) = fabric(2);
+        let receipt = nodes[0].add(b"resident");
+        net.install_faults(StorageFaults::new(5, 1.0, 1.0, 0));
+        // The adder holds the content locally: always served.
+        let got = nodes[0].get(receipt.cid).unwrap();
+        assert!(got.local_hit);
+        assert_eq!(got.data, b"resident");
     }
 }

@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 use unifyfl_storage::chunker::{chunk, decode_root, reassemble};
 use unifyfl_storage::cid::{base58_decode, base58_encode, Cid};
-use unifyfl_storage::{IpfsNetwork, LinkProfile};
+use unifyfl_storage::{IpfsNetwork, LinkProfile, StorageFaults};
 
 proptest! {
     /// Base58 encode/decode is the identity on arbitrary byte strings.
@@ -49,6 +49,43 @@ proptest! {
         let receipt = nodes[adder].add_with_chunk_size(&data, 256);
         let got = nodes[getter].get(receipt.cid).unwrap();
         prop_assert_eq!(got.data, data);
+    }
+
+    /// Under injected chunk loss a fetch is all-or-nothing: it either
+    /// reconstructs the original bytes exactly or returns an error — never
+    /// truncated or corrupted data — and the loss/retry accounting stays
+    /// consistent with what was observed.
+    #[test]
+    fn chunk_loss_never_truncates(
+        data in proptest::collection::vec(any::<u8>(), 1..4096),
+        fault_seed in any::<u64>(),
+        loss_pct in 0u32..=100,
+        retries in 0u32..4,
+    ) {
+        let net = IpfsNetwork::new();
+        let adder = net.add_node(LinkProfile::lan());
+        let getter = net.add_node(LinkProfile::lan());
+        let receipt = adder.add_with_chunk_size(&data, 256);
+        net.install_faults(StorageFaults::new(
+            fault_seed,
+            0.0,
+            f64::from(loss_pct) / 100.0,
+            retries,
+        ));
+        match getter.get(receipt.cid) {
+            Ok(got) => prop_assert_eq!(got.data, data, "reconstruction must be exact"),
+            Err(e) => prop_assert!(
+                matches!(e, unifyfl_storage::IpfsError::ChunkLoss(_)),
+                "only retry exhaustion may fail here: {}", e
+            ),
+        }
+        let stats = net.fault_stats().expect("injector installed");
+        // Retries never exceed losses, and the budget bounds each chunk.
+        prop_assert!(stats.chunk_retries <= stats.chunk_losses);
+        prop_assert!(stats.chunk_losses <= stats.chunk_retries + stats.exhausted_fetches);
+        if loss_pct == 0 {
+            prop_assert_eq!(stats.chunk_losses, 0);
+        }
     }
 
     /// Distinct content yields distinct CIDs (collision resistance at the

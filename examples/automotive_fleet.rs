@@ -67,6 +67,7 @@ fn main() {
         scorer: ScorerKind::Accuracy,
         clusters: companies,
         window_margin: 1.15,
+        chaos: None,
     };
     config.validate().expect("valid scenario");
 

@@ -43,6 +43,7 @@ fn scenario(policy: AggregationPolicy, label: &str) -> ExperimentConfig {
             mk("Attacker", Some(AttackKind::SignFlip)),
         ],
         window_margin: 1.15,
+        chaos: None,
     }
 }
 

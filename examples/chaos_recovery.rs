@@ -1,0 +1,111 @@
+//! Chaos recovery: the federation under silo churn, flaky storage and a
+//! lossy chain — and the proof that it converges (or degrades gracefully)
+//! anyway.
+//!
+//! ```sh
+//! cargo run --release --example chaos_recovery
+//! ```
+//!
+//! Four scenarios run the same seeded workload: the happy path, a cluster
+//! crash with restart, a permanent leave, and full infrastructure churn
+//! (DHT fetch failures, chunk loss, missed seals, dropped transactions).
+//! Every fault is scheduled deterministically from the experiment seed —
+//! re-running this example reproduces each failure exactly.
+
+use unifyfl::core::experiment::{ExperimentBuilder, ExperimentReport, Mode};
+use unifyfl::core::report::render_chaos_summary;
+use unifyfl::core::{ChaosConfig, FaultEvent, FaultKind};
+
+const ROUNDS: usize = 5;
+
+fn run(label: &str, chaos: Option<ChaosConfig>) -> ExperimentReport {
+    let mut b = ExperimentBuilder::quickstart()
+        .seed(42)
+        .rounds(ROUNDS)
+        .mode(Mode::Sync)
+        .label(label);
+    if let Some(c) = chaos {
+        b = b.chaos(c);
+    }
+    b.run().expect("valid configuration")
+}
+
+fn summarize(report: &ExperimentReport) {
+    println!("== {} ==", report.label);
+    for a in &report.aggregators {
+        println!(
+            "{:<8} rounds {:>2}   global {:>5.1}%   stragglers {}  rejected scores {}",
+            a.name, a.rounds, a.global_accuracy_pct, a.straggler_rounds, a.rejected_scores
+        );
+    }
+    print!("{}", render_chaos_summary(report));
+    println!("virtual wall clock: {:.0} s\n", report.wall_secs);
+}
+
+fn mean_acc(report: &ExperimentReport) -> f64 {
+    let n = report.aggregators.len() as f64;
+    report
+        .aggregators
+        .iter()
+        .map(|a| a.global_accuracy_pct)
+        .sum::<f64>()
+        / n
+}
+
+fn main() {
+    let baseline = run("happy path", None);
+
+    let crash = run(
+        "crash + restart",
+        Some(ChaosConfig::scripted(vec![FaultEvent {
+            cluster: 2,
+            round: 2,
+            kind: FaultKind::Crash { down_rounds: 1 },
+        }])),
+    );
+
+    let leave = run(
+        "permanent leave",
+        Some(ChaosConfig::scripted(vec![FaultEvent {
+            cluster: 1,
+            round: 3,
+            kind: FaultKind::Leave,
+        }])),
+    );
+
+    let churn = run(
+        "infrastructure churn",
+        Some(ChaosConfig {
+            fetch_failure_prob: 0.25,
+            chunk_loss_prob: 0.2,
+            chunk_retries: 3,
+            missed_seal_prob: 0.15,
+            dropped_tx_prob: 0.2,
+            ..ChaosConfig::default()
+        }),
+    );
+
+    for report in [&baseline, &crash, &leave, &churn] {
+        summarize(report);
+    }
+
+    println!("== recovery summary (mean global accuracy) ==");
+    let base = mean_acc(&baseline);
+    for report in [&crash, &leave, &churn] {
+        let acc = mean_acc(report);
+        println!(
+            "{:<22} {:>5.1}%  ({:+.1} vs happy path)",
+            report.label,
+            acc,
+            acc - base
+        );
+        // Graceful degradation, demonstrated: each scenario stays within
+        // 20 accuracy points of the fault-free run on this workload.
+        assert!(
+            base - acc < 20.0,
+            "{} degraded beyond the asserted bound",
+            report.label
+        );
+    }
+    println!("\nall scenarios converged within bounds; faults above are reproducible from seed 42");
+}

@@ -38,6 +38,7 @@ fn config(mode: Mode) -> ExperimentConfig {
         scorer: ScorerKind::Accuracy,
         clusters,
         window_margin: 1.15,
+        chaos: None,
     }
 }
 

@@ -56,6 +56,7 @@ fn config(policy: AggregationPolicy, attack: AttackKind) -> ExperimentConfig {
             mk("attacker", Some(attack)),
         ],
         window_margin: 1.15,
+        chaos: None,
     }
 }
 

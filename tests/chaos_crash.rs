@@ -1,0 +1,108 @@
+//! Chaos tier — scenario family 1: a cluster crashes mid-run and restarts.
+//!
+//! Sync semantics: the crashed cluster loses the covered rounds outright
+//! (the window closes without it) and any held-over work is discarded.
+//! Async semantics: churn costs *time*, not rounds — the in-flight attempt
+//! is lost and redone after restart (Table 3's "low straggler impact").
+//! Every test asserts both that the injected fault actually fired (via the
+//! report's fault records) and a convergence/degradation bound.
+
+use unifyfl::core::experiment::{ExperimentBuilder, ExperimentReport, Mode};
+use unifyfl::core::{ChaosConfig, FaultEvent, FaultKind};
+
+const CRASHED: usize = 2;
+
+fn crash_at_round_2() -> ChaosConfig {
+    ChaosConfig::scripted(vec![FaultEvent {
+        cluster: CRASHED,
+        round: 2,
+        kind: FaultKind::Crash { down_rounds: 1 },
+    }])
+}
+
+fn run(mode: Mode, chaos: Option<ChaosConfig>) -> ExperimentReport {
+    let mut b = ExperimentBuilder::quickstart()
+        .seed(7)
+        .rounds(4)
+        .mode(mode)
+        .label("chaos-crash");
+    if let Some(c) = chaos {
+        b = b.chaos(c);
+    }
+    b.run().expect("chaos config is valid")
+}
+
+fn assert_crash_fired(report: &ExperimentReport) {
+    assert!(report.chaos.enabled);
+    assert_eq!(report.chaos.planned_events, 1);
+    assert_eq!(report.chaos.crashes_fired, 1, "the scripted crash fired");
+    let rec = &report.chaos.records[0];
+    assert_eq!(rec.kind, "crash");
+    assert_eq!(rec.round, 2);
+    assert_eq!(rec.cluster, report.aggregators[CRASHED].name);
+}
+
+#[test]
+fn sync_crash_loses_the_round_but_federation_converges() {
+    let baseline = run(Mode::Sync, None);
+    let report = run(Mode::Sync, Some(crash_at_round_2()));
+    assert_crash_fired(&report);
+
+    // The crashed cluster sat out exactly one round; survivors ran all 4.
+    assert_eq!(report.aggregators[CRASHED].rounds, 3);
+    for i in 0..2 {
+        assert_eq!(report.aggregators[i].rounds, 4);
+    }
+
+    // Degradation bound: every cluster still ends above where it started,
+    // and survivors stay within 15 accuracy points of the fault-free run.
+    for agg in &report.aggregators {
+        let first = agg.curve.first().expect("rounds recorded");
+        assert!(
+            agg.global_accuracy_pct > first.global_accuracy_pct,
+            "{}: {first:?} -> {}",
+            agg.name,
+            agg.global_accuracy_pct
+        );
+    }
+    for i in 0..2 {
+        let delta =
+            baseline.aggregators[i].global_accuracy_pct - report.aggregators[i].global_accuracy_pct;
+        assert!(delta < 15.0, "survivor {i} degraded by {delta:.1} points");
+    }
+}
+
+#[test]
+fn async_crash_costs_time_not_rounds() {
+    let baseline = run(Mode::Async, None);
+    let report = run(Mode::Async, Some(crash_at_round_2()));
+    assert_crash_fired(&report);
+
+    // Free-running churn: the crashed cluster redoes its round and still
+    // completes all 4 — but pays for the lost attempt and the downtime.
+    for agg in &report.aggregators {
+        assert_eq!(agg.rounds, 4, "{} completes every round", agg.name);
+    }
+    assert!(
+        report.aggregators[CRASHED].time_secs > baseline.aggregators[CRASHED].time_secs,
+        "crash must cost virtual time: {} vs {}",
+        report.aggregators[CRASHED].time_secs,
+        baseline.aggregators[CRASHED].time_secs
+    );
+    // Convergence bound: the federation still learns.
+    for agg in &report.aggregators {
+        let first = agg.curve.first().unwrap();
+        assert!(agg.global_accuracy_pct > first.global_accuracy_pct);
+    }
+}
+
+#[test]
+fn crash_schedule_is_seed_deterministic() {
+    let a = run(Mode::Sync, Some(crash_at_round_2()));
+    let b = run(Mode::Sync, Some(crash_at_round_2()));
+    assert_eq!(
+        format!("{a:?}"),
+        format!("{b:?}"),
+        "same seed, same chaos, byte-identical report"
+    );
+}

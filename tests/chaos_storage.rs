@@ -1,0 +1,94 @@
+//! Chaos tier — scenario family 3: storage-fabric faults. DHT fetch
+//! failures (the whole lookup fails; the engine retries once) and chunk
+//! loss (individual transfers lost and retransmitted under a bounded retry
+//! budget). The content-addressing invariant under fault: a fetch either
+//! reconstructs the exact original bytes or errors — never truncated data —
+//! so accuracy can degrade (skipped merges) but never corrupt.
+
+use unifyfl::core::experiment::{ExperimentBuilder, ExperimentReport, Mode};
+use unifyfl::core::ChaosConfig;
+
+fn flaky_storage() -> ChaosConfig {
+    ChaosConfig {
+        fetch_failure_prob: 0.3,
+        chunk_loss_prob: 0.25,
+        chunk_retries: 4,
+        ..ChaosConfig::default()
+    }
+}
+
+fn run(mode: Mode, seed: u64) -> ExperimentReport {
+    ExperimentBuilder::quickstart()
+        .seed(seed)
+        .rounds(4)
+        .mode(mode)
+        .label("chaos-storage")
+        .chaos(flaky_storage())
+        .run()
+        .expect("chaos config is valid")
+}
+
+fn assert_storage_faults_fired(report: &ExperimentReport) {
+    assert!(report.chaos.enabled);
+    assert!(
+        report.chaos.fetch_failures > 0,
+        "DHT failures must have fired"
+    );
+    assert!(
+        report.chaos.fetch_retries > 0,
+        "the engine must have retried failed fetches"
+    );
+    assert!(report.chaos.chunk_losses > 0, "chunk loss must have fired");
+    assert!(
+        report.chaos.chunk_retries > 0,
+        "lost chunks must have been retransmitted"
+    );
+}
+
+#[test]
+fn sync_run_degrades_gracefully_under_storage_faults() {
+    let report = run(Mode::Sync, 7);
+    assert_storage_faults_fired(&report);
+
+    // Storage faults skip merges; they never cost rounds.
+    for agg in &report.aggregators {
+        assert_eq!(agg.rounds, 4, "{} completes every round", agg.name);
+        // Never-corrupted invariant, observably: accuracies stay sane.
+        assert!(agg.global_accuracy_pct >= 0.0 && agg.global_accuracy_pct <= 100.0);
+        // Degradation bound: local training alone clears the 25%
+        // random-guess floor of the 4-class task.
+        assert!(
+            agg.global_accuracy_pct > 30.0,
+            "{}: {:.1}%",
+            agg.name,
+            agg.global_accuracy_pct
+        );
+    }
+}
+
+#[test]
+fn async_run_degrades_gracefully_under_storage_faults() {
+    let report = run(Mode::Async, 13);
+    assert_storage_faults_fired(&report);
+    for agg in &report.aggregators {
+        assert_eq!(agg.rounds, 4);
+        assert!(agg.global_accuracy_pct > 30.0);
+    }
+    // In async mode a failed scorer fetch silently skips the task, so some
+    // models may carry fewer scores — but the protocol itself never stalls.
+    assert!(report.chain.txs > 0);
+}
+
+#[test]
+fn storage_fault_accounting_is_seed_deterministic() {
+    let a = run(Mode::Sync, 7);
+    let b = run(Mode::Sync, 7);
+    assert_eq!(a.chaos, b.chaos, "identical fault accounting per seed");
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    // A different seed draws a different fault stream.
+    let c = run(Mode::Sync, 8);
+    assert_ne!(
+        (a.chaos.fetch_failures, a.chaos.chunk_losses),
+        (c.chaos.fetch_failures, c.chaos.chunk_losses),
+    );
+}

@@ -47,6 +47,7 @@ fn config(dp: Option<DpConfig>) -> ExperimentConfig {
         scorer: ScorerKind::Accuracy,
         clusters,
         window_margin: 1.15,
+        chaos: None,
     }
 }
 

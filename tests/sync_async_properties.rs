@@ -11,10 +11,12 @@
 //! | Idle time | high | low |
 //! | Weight-similarity scoring | supported | not supported |
 
+use proptest::prelude::*;
 use unifyfl::core::cluster::ClusterConfig;
 use unifyfl::core::experiment::{run_experiment, ExperimentConfig, ExperimentError, Mode};
 use unifyfl::core::policy::AggregationPolicy;
 use unifyfl::core::scoring::ScorerKind;
+use unifyfl::core::{ChaosConfig, FaultPlan};
 use unifyfl::data::{Partition, SyntheticConfig, WorkloadConfig};
 use unifyfl::sim::DeviceProfile;
 use unifyfl::tensor::ModelSpec;
@@ -56,6 +58,7 @@ fn config(mode: Mode) -> ExperimentConfig {
         scorer: ScorerKind::Accuracy,
         clusters: heterogeneous_clusters(),
         window_margin: 1.15,
+        chaos: None,
     }
 }
 
@@ -142,6 +145,73 @@ fn weight_similarity_scoring_only_in_sync() {
         run_experiment(&bad).unwrap_err(),
         ExperimentError::MultiKrumRequiresSync
     );
+}
+
+proptest! {
+    /// FaultPlan expansion is a pure function of its inputs: the same
+    /// `(config, seed)` pair yields a byte-identical fault sequence, while
+    /// the layer sub-seeds stay stable and distinct.
+    #[test]
+    fn fault_plans_expand_identically_per_seed(
+        seed in any::<u64>(),
+        crash in 0.0f64..0.6,
+        leave in 0.0f64..0.3,
+        spike in 0.0f64..0.6,
+        clusters in 2usize..6,
+        rounds in 1u64..12,
+    ) {
+        let cfg = ChaosConfig {
+            crash_prob: crash,
+            crash_down_rounds: 2,
+            leave_prob: leave,
+            spike_prob: spike,
+            ..ChaosConfig::default()
+        };
+        let a = FaultPlan::expand(&cfg, seed, clusters, rounds);
+        let b = FaultPlan::expand(&cfg, seed, clusters, rounds);
+        prop_assert_eq!(
+            format!("{:?}", a.events()),
+            format!("{:?}", b.events()),
+            "same seed must yield a byte-identical fault sequence"
+        );
+        prop_assert_eq!(a.storage_seed(), b.storage_seed());
+        prop_assert_eq!(a.chain_seed(), b.chain_seed());
+        prop_assert_ne!(a.storage_seed(), a.chain_seed());
+        // Every sampled event targets a real cluster-round.
+        for e in a.events() {
+            prop_assert!(e.cluster < clusters);
+            prop_assert!(e.round >= 1 && e.round <= rounds);
+        }
+    }
+}
+
+#[test]
+fn chaos_experiments_are_reproducible_bit_for_bit() {
+    // A fault-heavy run, executed twice with the same seed, must produce
+    // identical `ExperimentReport`s — fault records, injector counters,
+    // accuracies, timings, everything the serialized form carries.
+    let run = |mode| {
+        let mut cfg = config(mode);
+        cfg.workload.rounds = 3;
+        cfg.chaos = Some(ChaosConfig {
+            crash_prob: 0.15,
+            fetch_failure_prob: 0.2,
+            chunk_loss_prob: 0.2,
+            missed_seal_prob: 0.1,
+            dropped_tx_prob: 0.2,
+            ..ChaosConfig::default()
+        });
+        run_experiment(&cfg).unwrap()
+    };
+    for mode in [Mode::Sync, Mode::Async] {
+        let a = run(mode);
+        let b = run(mode);
+        assert_eq!(
+            format!("{a:?}"),
+            format!("{b:?}"),
+            "{mode}: same seed, same chaos, same report"
+        );
+    }
 }
 
 #[test]
