@@ -1,4 +1,4 @@
-//! Runs the ablation sweeps over the design choices DESIGN.md calls out
+//! Runs the ablation sweeps over the design choices ARCHITECTURE.md calls out
 //! (block-latency share, sync window margin, scorer majority size).
 
 fn main() {

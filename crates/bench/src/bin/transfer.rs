@@ -1,0 +1,38 @@
+//! Transfer benchmark: bytes-on-wire with the bandwidth-aware transfer
+//! layer on vs. off, at 9 and 60 clients. Prints the comparison and writes
+//! `BENCH_transfer.json` to the working directory (override with
+//! `--out PATH`; `--seed N` to vary the seed, `--full` for paper scale).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = unifyfl_bench::Scale::from_args(&args);
+    let seed = unifyfl_bench::seed_from_args(&args);
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_transfer.json", String::as_str);
+
+    let bench = unifyfl_bench::transfer::run(scale, seed);
+    print!("{}", unifyfl_bench::transfer::render(&bench));
+    let json = unifyfl_bench::transfer::render_json(&bench, seed);
+    std::fs::write(out_path, &json).expect("write BENCH_transfer.json");
+    println!("wrote {out_path}:\n{json}");
+
+    // Enforce the acceptance bars so the CI step fails loudly on
+    // regression instead of publishing a quietly-degraded artifact.
+    for pair in &bench.pairs {
+        assert!(
+            pair.reports_identical(),
+            "{}-client arms diverged outside the transfer section",
+            pair.clients,
+        );
+    }
+    let largest = bench.pairs.last().expect("at least one pair");
+    assert!(
+        largest.reduction() >= 2.0,
+        "{}-client wire reduction {:.2}x fell below the 2x bar",
+        largest.clients,
+        largest.reduction(),
+    );
+}

@@ -12,6 +12,7 @@ use unifyfl_core::policy::AggregationPolicy;
 use unifyfl_core::report::{render_chaos_summary, render_run_table};
 use unifyfl_core::scoring::ScorerKind;
 use unifyfl_core::ChaosConfig;
+use unifyfl_core::TransferConfig;
 use unifyfl_data::{Partition, SyntheticConfig, WorkloadConfig};
 use unifyfl_sim::DeviceProfile;
 use unifyfl_tensor::zoo::{InputKind, ModelSpec};
@@ -67,6 +68,7 @@ pub fn config(seed: u64, chaos: Option<ChaosConfig>) -> ExperimentConfig {
         clusters,
         window_margin: 1.15,
         chaos,
+        transfer: TransferConfig::default(),
     }
 }
 

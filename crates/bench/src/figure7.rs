@@ -14,6 +14,7 @@ use unifyfl_core::experiment::{run_experiment, ExperimentConfig, ExperimentRepor
 use unifyfl_core::policy::{AggregationPolicy, ScorePolicy};
 use unifyfl_core::report::render_curves;
 use unifyfl_core::scoring::ScorerKind;
+use unifyfl_core::TransferConfig;
 use unifyfl_data::{Partition, WorkloadConfig};
 use unifyfl_sim::DeviceProfile;
 
@@ -63,6 +64,7 @@ pub fn config(variant: PolicyVariant, scale: Scale, seed: u64) -> ExperimentConf
         ],
         window_margin: 1.15,
         chaos: None,
+        transfer: TransferConfig::default(),
     }
 }
 

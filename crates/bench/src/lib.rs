@@ -17,6 +17,7 @@
 //! | [`figure7`] | Figure 7 — Byzantine naive vs smart policy |
 //! | [`scalability`] | §4.2.6 — 60 clients across 3 aggregators |
 //! | [`chaos`] | resilience trajectory — rounds-to-converge under churn |
+//! | [`transfer`] | bandwidth trajectory — bytes-on-wire, dedup/delta/cache on vs. off |
 
 pub mod ablation;
 pub mod chaos;
@@ -26,6 +27,7 @@ pub mod table1;
 pub mod table5;
 pub mod table6;
 pub mod table7;
+pub mod transfer;
 
 use unifyfl_data::WorkloadConfig;
 

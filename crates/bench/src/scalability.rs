@@ -10,6 +10,7 @@ use unifyfl_core::experiment::{run_experiment, ExperimentConfig, ExperimentRepor
 use unifyfl_core::policy::{AggregationPolicy, ScorePolicy};
 use unifyfl_core::report::render_run_table;
 use unifyfl_core::scoring::ScorerKind;
+use unifyfl_core::TransferConfig;
 use unifyfl_data::{Partition, WorkloadConfig};
 use unifyfl_sim::DeviceProfile;
 
@@ -39,6 +40,7 @@ pub fn config(clients_per_agg: usize, scale: Scale, seed: u64) -> ExperimentConf
         clusters,
         window_margin: 1.15,
         chaos: None,
+        transfer: TransferConfig::default(),
     }
 }
 

@@ -18,6 +18,7 @@ use unifyfl_core::experiment::{run_experiment, ExperimentConfig, ExperimentRepor
 use unifyfl_core::policy::{AggregationPolicy, ScorePolicy};
 use unifyfl_core::report::{render_baseline_table, render_run_table};
 use unifyfl_core::scoring::ScorerKind;
+use unifyfl_core::TransferConfig;
 use unifyfl_data::{Partition, WorkloadConfig};
 use unifyfl_fl::StrategyKind;
 
@@ -137,6 +138,7 @@ pub fn config(run_no: u32, scale: Scale, seed: u64) -> ExperimentConfig {
         clusters,
         window_margin: 1.15,
         chaos: None,
+        transfer: TransferConfig::default(),
     }
 }
 

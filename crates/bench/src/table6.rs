@@ -14,6 +14,7 @@ use unifyfl_core::experiment::{run_experiment, ExperimentConfig, ExperimentRepor
 use unifyfl_core::policy::{AggregationPolicy, ScorePolicy};
 use unifyfl_core::report::render_run_table;
 use unifyfl_core::scoring::ScorerKind;
+use unifyfl_core::TransferConfig;
 use unifyfl_data::{Partition, WorkloadConfig};
 
 use crate::table1::edge_clusters;
@@ -52,6 +53,7 @@ pub fn config(run_name: &str, scale: Scale, seed: u64) -> ExperimentConfig {
         clusters,
         window_margin: 1.15,
         chaos: None,
+        transfer: TransferConfig::default(),
     }
 }
 

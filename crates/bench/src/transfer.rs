@@ -1,0 +1,247 @@
+//! Transfer benchmark: bytes-on-wire with the bandwidth-aware transfer
+//! layer on vs. off.
+//!
+//! Runs the §4.2.6 scalability configuration (3 aggregators at 9 and 60
+//! total clients) twice per fleet size — once with every fetch-side
+//! optimization disabled (the naive re-fetch-everything baseline) and once
+//! with chunk dedup, delta fetch and the fetch cache enabled — and
+//! reports wire bytes, the reduction factor, and the virtual wall time
+//! (like every bench here, times are simulated — output at a fixed seed is
+//! byte-identical across runs and machines).
+//!
+//! Because the publish path is knob-independent, the two arms are required
+//! to produce **bit-identical reports** outside the transfer section:
+//! same accuracies, same virtual times, same chain, same resident storage.
+//! The optimization changes how many bytes move, never the result. The
+//! `transfer` binary emits `BENCH_transfer.json` (schema in
+//! `docs/BENCH.md`) so CI tracks the bandwidth trajectory over time.
+
+use unifyfl_core::experiment::{run_experiment, ExperimentReport, TransferReport};
+use unifyfl_core::report::{render_run_table, render_transfer_summary};
+use unifyfl_core::TransferConfig;
+
+use crate::{scalability, Scale};
+
+/// One (fleet size × config) measurement.
+pub struct Arm {
+    /// The experiment report.
+    pub report: ExperimentReport,
+}
+
+/// The paired baseline/optimized measurement at one fleet size.
+pub struct Pair {
+    /// Total clients across the 3 aggregators.
+    pub clients: usize,
+    /// Every optimization off.
+    pub off: Arm,
+    /// Dedup + delta + cache on.
+    pub on: Arm,
+}
+
+impl Pair {
+    /// Wire-byte reduction: baseline physical bytes over optimized
+    /// physical bytes.
+    pub fn reduction(&self) -> f64 {
+        let off = self.off.report.transfer.physical_bytes;
+        let on = self.on.report.transfer.physical_bytes;
+        if on == 0 {
+            f64::INFINITY
+        } else {
+            off as f64 / on as f64
+        }
+    }
+
+    /// True if the two arms' reports are bit-identical outside the
+    /// transfer section (the optimization's correctness contract).
+    pub fn reports_identical(&self) -> bool {
+        let strip = |r: &ExperimentReport| {
+            let mut r = r.clone();
+            r.transfer = TransferReport::default();
+            format!("{r:?}")
+        };
+        strip(&self.off.report) == strip(&self.on.report)
+    }
+
+    /// Mean final global accuracy (percent) of the optimized arm.
+    pub fn mean_accuracy_pct(&self) -> f64 {
+        let aggs = &self.on.report.aggregators;
+        aggs.iter().map(|a| a.global_accuracy_pct).sum::<f64>() / aggs.len() as f64
+    }
+}
+
+/// The complete benchmark result.
+pub struct TransferBench {
+    /// One pair per fleet size (9 and 60 clients).
+    pub pairs: Vec<Pair>,
+}
+
+fn run_arm(clients_per_agg: usize, scale: Scale, seed: u64, transfer: TransferConfig) -> Arm {
+    let mut config = scalability::config(clients_per_agg, scale, seed);
+    config.transfer = transfer;
+    let report = run_experiment(&config).expect("scalability config is valid");
+    Arm { report }
+}
+
+/// Runs one baseline/optimized pair at `clients_per_agg` clients per
+/// aggregator.
+pub fn run_pair(clients_per_agg: usize, scale: Scale, seed: u64) -> Pair {
+    Pair {
+        clients: clients_per_agg * 3,
+        off: run_arm(clients_per_agg, scale, seed, TransferConfig::disabled()),
+        on: run_arm(clients_per_agg, scale, seed, TransferConfig::default()),
+    }
+}
+
+/// Runs both fleet sizes (9 and 60 clients).
+pub fn run(scale: Scale, seed: u64) -> TransferBench {
+    TransferBench {
+        pairs: vec![run_pair(3, scale, seed), run_pair(20, scale, seed)],
+    }
+}
+
+/// A number as JSON: fixed precision, with non-finite values (an all-zero
+/// optimized arm makes the reduction infinite) emitted as `null` — JSON
+/// has no `inf` token.
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Renders the machine-readable `BENCH_transfer.json` body.
+pub fn render_json(bench: &TransferBench, seed: u64) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"transfer\",\n");
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str("  \"pairs\": [\n");
+    for (i, pair) in bench.pairs.iter().enumerate() {
+        let arm_json = |arm: &Arm| {
+            let t = &arm.report.transfer;
+            format!(
+                concat!(
+                    "{{\"physical_bytes\": {}, \"logical_bytes\": {}, ",
+                    "\"dedup_chunks_skipped\": {}, \"cache_hits\": {}, \"cache_misses\": {}, ",
+                    "\"delta_fetches\": {}, \"delta_fallbacks\": {}, ",
+                    "\"wall_secs\": {:.3}}}"
+                ),
+                t.physical_bytes,
+                t.logical_bytes,
+                t.dedup_chunks_skipped,
+                t.cache_hits,
+                t.cache_misses,
+                t.delta_fetches,
+                t.delta_fallbacks,
+                arm.report.wall_secs,
+            )
+        };
+        out.push_str(&format!(
+            concat!(
+                "    {{\n",
+                "      \"clients\": {},\n",
+                "      \"off\": {},\n",
+                "      \"on\": {},\n",
+                "      \"bytes_on_wire_reduction\": {},\n",
+                "      \"reports_identical\": {},\n",
+                "      \"mean_final_accuracy_pct\": {:.3}\n",
+                "    }}{}\n",
+            ),
+            pair.clients,
+            arm_json(&pair.off),
+            arm_json(&pair.on),
+            json_number(pair.reduction()),
+            pair.reports_identical(),
+            pair.mean_accuracy_pct(),
+            if i + 1 < bench.pairs.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders the human-readable comparison.
+pub fn render(bench: &TransferBench) -> String {
+    let mut out = String::new();
+    out.push_str("Transfer bench: bytes-on-wire, dedup/delta/cache on vs. off\n\n");
+    for pair in &bench.pairs {
+        out.push_str(&format!("-- {} clients --\n", pair.clients));
+        out.push_str(&render_run_table(&pair.on.report));
+        out.push_str("\n[off] ");
+        out.push_str(&render_transfer_summary(&pair.off.report));
+        out.push_str("[on]  ");
+        out.push_str(&render_transfer_summary(&pair.on.report));
+        out.push_str(&format!(
+            "bytes-on-wire reduction: {:.2}x | reports identical outside transfer: {}\n\n",
+            pair.reduction(),
+            pair.reports_identical(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixty_client_reduction_is_at_least_2x_with_identical_results() {
+        // The acceptance bar: ≥2x fewer bytes on the wire at the 60-client
+        // scalability configuration, with bit-identical results.
+        let pair = run_pair(20, Scale::Quick, 42);
+        assert!(
+            pair.reports_identical(),
+            "the transfer layer must never change results"
+        );
+        assert!(
+            pair.reduction() >= 2.0,
+            "expected ≥2x wire reduction, got {:.2}x ({} -> {} bytes)",
+            pair.reduction(),
+            pair.off.report.transfer.physical_bytes,
+            pair.on.report.transfer.physical_bytes,
+        );
+        // The mechanisms actually engaged.
+        let on = &pair.on.report.transfer;
+        assert!(on.delta_fetches > 0, "delta fetches must occur");
+        assert!(on.delta_publishes > 0, "delta publishes must occur");
+        assert!(on.logical_bytes > on.physical_bytes);
+        // And the baseline arm really was naive.
+        let off = &pair.off.report.transfer;
+        assert_eq!(off.delta_fetches, 0);
+        assert_eq!(off.cache_hits, 0);
+        assert_eq!(off.dedup_chunks_skipped, 0);
+    }
+
+    #[test]
+    fn nine_client_pair_also_reduces_and_matches() {
+        let pair = run_pair(3, Scale::Quick, 42);
+        assert!(pair.reports_identical());
+        assert!(
+            pair.reduction() > 1.5,
+            "small fleet still reduces: {:.2}x",
+            pair.reduction()
+        );
+    }
+
+    #[test]
+    fn json_rendering_is_well_formed() {
+        let bench = TransferBench {
+            pairs: vec![run_pair(3, Scale::Quick, 7)],
+        };
+        let json = render_json(&bench, 7);
+        assert!(json.starts_with("{\n"));
+        assert!(json.contains("\"bench\": \"transfer\""));
+        assert!(json.contains("\"bytes_on_wire_reduction\""));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
+        assert_eq!(
+            json.matches('[').count(),
+            json.matches(']').count(),
+            "balanced brackets"
+        );
+    }
+}

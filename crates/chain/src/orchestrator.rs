@@ -82,6 +82,21 @@ impl Score {
     }
 }
 
+/// A bandwidth hint registered alongside a model submission: the model is
+/// also available as a delta blob against an earlier base model, so a peer
+/// holding `base_cid` can fetch `delta_cid` instead of the full weights.
+///
+/// The hint is advisory: content addressing makes the full CID the source
+/// of truth, and a fetcher verifies any delta reconstruction against it
+/// before trusting a single byte.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeltaRef {
+    /// CID of the base model the delta was encoded against.
+    pub base_cid: String,
+    /// CID of the delta blob.
+    pub delta_cid: String,
+}
+
 /// One submitted model and its scoring lifecycle.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ModelEntry {
@@ -94,6 +109,9 @@ pub struct ModelEntry {
     pub round: u64,
     /// Block number of the submission transaction.
     pub block: u64,
+    /// Delta availability hint, when the submitter published one
+    /// (`submitModelDelta`); `None` for plain submissions.
+    pub delta: Option<DeltaRef>,
     /// Scorers assigned by the contract.
     pub scorers: Vec<Address>,
     /// Scores received so far, `(scorer, score)`.
@@ -125,6 +143,7 @@ pub mod calls {
     pub(super) const TAG_START_SCORING: u8 = 0x04;
     pub(super) const TAG_SUBMIT_SCORE: u8 = 0x05;
     pub(super) const TAG_END_SCORING: u8 = 0x06;
+    pub(super) const TAG_SUBMIT_MODEL_DELTA: u8 = 0x07;
 
     /// `registerAggregator()` payload.
     pub fn register() -> Vec<u8> {
@@ -140,6 +159,17 @@ pub mod calls {
     pub fn submit_model(cid: &str) -> Vec<u8> {
         let mut e = Encoder::new();
         e.put_u8(TAG_SUBMIT_MODEL).put_str(cid);
+        e.into_bytes()
+    }
+
+    /// `submitModelDelta(cid, base_cid, delta_cid)` payload: a model
+    /// submission that also registers a delta-availability hint.
+    pub fn submit_model_delta(cid: &str, base_cid: &str, delta_cid: &str) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.put_u8(TAG_SUBMIT_MODEL_DELTA)
+            .put_str(cid)
+            .put_str(base_cid)
+            .put_str(delta_cid);
         e.into_bytes()
     }
 
@@ -373,10 +403,23 @@ impl UnifyFlContract {
         &mut self,
         ctx: &CallContext,
         cid: &str,
+        delta: Option<DeltaRef>,
     ) -> Result<CallOutcome, ContractError> {
         self.require_registered(ctx.sender)?;
         if cid.is_empty() || cid.len() > 128 {
             return Err(ContractError::revert("malformed CID"));
+        }
+        if let Some(d) = &delta {
+            for part in [&d.base_cid, &d.delta_cid] {
+                if part.is_empty() || part.len() > 128 {
+                    return Err(ContractError::revert("malformed delta reference CID"));
+                }
+            }
+            if d.base_cid == cid || d.delta_cid == cid {
+                return Err(ContractError::revert(
+                    "delta reference must not alias the model CID",
+                ));
+            }
         }
         if self.entries.iter().any(|e| e.cid == cid) {
             return Err(ContractError::revert("model CID already submitted"));
@@ -417,17 +460,23 @@ impl UnifyFlContract {
             data.into_bytes(),
         ));
 
+        let has_delta = delta.is_some();
         let mut entry = ModelEntry {
             cid: cid.to_owned(),
             submitter: ctx.sender,
             round,
             block: ctx.block_number,
+            delta,
             scorers: Vec::new(),
             scores: Vec::new(),
             scoring_closed: false,
         };
 
         let mut gas = 40_000;
+        if has_delta {
+            // Two extra stored strings.
+            gas += 10_000;
+        }
         if self.mode == OrchestrationMode::Async {
             // Async: assign scorers immediately (§3.3, Figure 6 step 4).
             entry.scorers = self.sample_scorers(ctx.sender, ctx.entropy);
@@ -581,7 +630,21 @@ impl Contract for UnifyFlContract {
             calls::TAG_SUBMIT_MODEL => {
                 let cid = d.take_str()?.to_owned();
                 d.finish()?;
-                self.exec_submit_model(ctx, &cid)
+                self.exec_submit_model(ctx, &cid, None)
+            }
+            calls::TAG_SUBMIT_MODEL_DELTA => {
+                let cid = d.take_str()?.to_owned();
+                let base_cid = d.take_str()?.to_owned();
+                let delta_cid = d.take_str()?.to_owned();
+                d.finish()?;
+                self.exec_submit_model(
+                    ctx,
+                    &cid,
+                    Some(DeltaRef {
+                        base_cid,
+                        delta_cid,
+                    }),
+                )
             }
             calls::TAG_START_SCORING => {
                 d.finish()?;
@@ -618,8 +681,16 @@ impl Contract for UnifyFlContract {
             e.put_str(&entry.cid)
                 .put_fixed(&entry.submitter.0)
                 .put_u64(entry.round)
-                .put_u8(entry.scoring_closed as u8)
-                .put_u32(entry.scores.len() as u32);
+                .put_u8(entry.scoring_closed as u8);
+            match &entry.delta {
+                Some(d) => {
+                    e.put_u8(1).put_str(&d.base_cid).put_str(&d.delta_cid);
+                }
+                None => {
+                    e.put_u8(0);
+                }
+            }
+            e.put_u32(entry.scores.len() as u32);
             for (s, v) in &entry.scores {
                 e.put_fixed(&s.0).put_u64(v.0);
             }
@@ -896,6 +967,74 @@ mod tests {
         }
         assert_eq!(Score::from_f64(-1.0), Score(0));
         assert_eq!(Score::from_f64(f64::NAN), Score(0));
+    }
+
+    #[test]
+    fn submit_model_delta_records_the_reference() {
+        let (mut c, a) = registered(OrchestrationMode::Async, 3);
+        c.execute(&ctx(a[0], 0), &calls::submit_model("QmBase"))
+            .unwrap();
+        let out = c
+            .execute(
+                &ctx(a[0], 1),
+                &calls::submit_model_delta("QmNew", "QmBase", "QmDelta"),
+            )
+            .unwrap();
+        // A delta submission is a full model submission: scorers assigned
+        // (async), events emitted.
+        assert!(out
+            .logs
+            .iter()
+            .any(|l| l.is_event(events::SCORERS_ASSIGNED)));
+        let entry = c.entry("QmNew").unwrap();
+        let delta = entry.delta.as_ref().expect("delta reference recorded");
+        assert_eq!(delta.base_cid, "QmBase");
+        assert_eq!(delta.delta_cid, "QmDelta");
+        // A plain submission has no reference.
+        assert!(c.entry("QmBase").unwrap().delta.is_none());
+    }
+
+    #[test]
+    fn submit_model_delta_rejects_malformed_references() {
+        let (mut c, a) = registered(OrchestrationMode::Async, 3);
+        let err = c
+            .execute(&ctx(a[0], 0), &calls::submit_model_delta("QmX", "", "QmD"))
+            .unwrap_err();
+        assert!(err.to_string().contains("malformed delta reference"));
+        let err = c
+            .execute(
+                &ctx(a[0], 0),
+                &calls::submit_model_delta("QmX", "QmX", "QmD"),
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("must not alias"));
+        let long = "Q".repeat(200);
+        let err = c
+            .execute(
+                &ctx(a[0], 0),
+                &calls::submit_model_delta("QmX", "QmB", &long),
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("malformed delta reference"));
+        assert!(c.entries().is_empty(), "nothing recorded on revert");
+    }
+
+    #[test]
+    fn state_digest_covers_delta_references() {
+        let (mut c1, a) = registered(OrchestrationMode::Async, 3);
+        let (mut c2, _) = registered(OrchestrationMode::Async, 3);
+        c1.execute(&ctx(a[0], 0), &calls::submit_model("QmSame"))
+            .unwrap();
+        c2.execute(
+            &ctx(a[0], 0),
+            &calls::submit_model_delta("QmSame", "QmB", "QmD"),
+        )
+        .unwrap();
+        assert_ne!(
+            c1.state_digest(),
+            c2.state_digest(),
+            "replicas disagreeing on delta refs must diverge"
+        );
     }
 
     #[test]

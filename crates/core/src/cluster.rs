@@ -10,7 +10,7 @@
 //! All virtual-time costs (training, scoring, transfers) are computed from
 //! the cluster's [`DeviceProfile`]s and the model's *cost* parameter count,
 //! so the paper's 138 M-parameter VGG16 is charged at full size even though
-//! the trained proxy is smaller (see DESIGN.md).
+//! the trained proxy is smaller (see ARCHITECTURE.md).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -22,6 +22,8 @@ use unifyfl_fl::strategy::weighted_mean;
 use unifyfl_fl::{FlClient, FlServer, InMemoryClient, StrategyKind};
 use unifyfl_sim::{DeviceProfile, SimDuration};
 use unifyfl_storage::{Cid, IpfsNode};
+use unifyfl_tensor::delta::delta_to_bytes;
+use unifyfl_tensor::weights::quantize_release;
 use unifyfl_tensor::weights_to_bytes;
 use unifyfl_tensor::zoo::ModelSpec;
 
@@ -53,6 +55,14 @@ pub struct ClusterConfig {
     /// Rounds during which the cluster ignores peers (Figure 7 warm-up,
     /// "each aggregator picks its own model for training").
     pub warmup_self_rounds: u64,
+    /// Mantissa bits kept in *released* weights (1 ..= 23; 23 releases
+    /// full `f32` precision). Releases are precision-bounded before
+    /// serialization — the bandwidth-aware publish path: the dropped bits
+    /// make round-over-round deltas small on the wire, and the default of
+    /// 7 matches bfloat16, the precision models are routinely trained and
+    /// exchanged at. Applies after any DP or attack transform; local
+    /// training always runs at full precision.
+    pub release_mantissa_bits: u32,
 }
 
 impl ClusterConfig {
@@ -69,6 +79,7 @@ impl ClusterConfig {
             attack: None,
             dp: None,
             warmup_self_rounds: 0,
+            release_mantissa_bits: 7,
         }
     }
 
@@ -109,6 +120,13 @@ impl ClusterConfig {
         self.dp = Some(dp);
         self
     }
+
+    /// Sets the release precision in kept mantissa bits (builder style);
+    /// 23 releases full `f32` precision.
+    pub fn with_release_precision(mut self, mantissa_bits: u32) -> Self {
+        self.release_mantissa_bits = mantissa_bits;
+        self
+    }
 }
 
 /// Per-round record of what a cluster did.
@@ -147,6 +165,19 @@ pub struct ClusterNode {
     train_samples: usize,
     /// CID of the most recently published model, if any.
     last_published: Option<Cid>,
+    /// The most recent *release* (CID + released weight values): the delta
+    /// base for the next publish. Seeded with the federation's shared
+    /// initial model so even round-1 publishes have a base every peer
+    /// holds.
+    last_release: Option<(Cid, Vec<f32>)>,
+    /// Delta reference produced by the latest [`ClusterNode::store_model`],
+    /// consumed by the next [`ClusterNode::submit_model_tx`].
+    pending_delta: Option<(Cid, Cid)>,
+    /// Model submissions that carried a delta reference.
+    delta_publishes: u64,
+    /// Submissions without one (no usable base, or an unchanged
+    /// re-release).
+    full_publishes: u64,
     /// History of per-round records.
     pub records: Vec<ClusterRoundRecord>,
 }
@@ -183,6 +214,13 @@ impl ClusterNode {
                 )) as Box<dyn FlClient>
             })
             .collect();
+        // Publish the shared initial model as this node's first release:
+        // every cluster adds the identical blob (identical CID), so the
+        // round-1 publish can already travel as a delta and every peer
+        // already holds its base.
+        let init_release = quantize_release(&init_weights, config.release_mantissa_bits);
+        let init_receipt = ipfs.add(&weights_to_bytes(&init_release));
+
         let server = FlServer::new(config.strategy.build(), clients, init_weights);
         let address = Address::from_label(&config.name);
         ClusterNode {
@@ -196,6 +234,10 @@ impl ClusterNode {
             rng,
             train_samples,
             last_published: None,
+            last_release: Some((init_receipt.cid, init_release)),
+            pending_delta: None,
+            delta_publishes: 0,
+            full_publishes: 0,
             records: Vec::new(),
         }
     }
@@ -297,8 +339,12 @@ impl ClusterNode {
     }
 
     /// Steps 1–2: serialize the local model (corrupting it first if this
-    /// cluster is malicious) and store it on IPFS. Returns the CID to
-    /// register on-chain via [`ClusterNode::submit_model_tx`].
+    /// cluster is malicious, then bounding it to the release precision)
+    /// and store it on IPFS — the full blob *and* a delta blob against the
+    /// previous release, so peers holding the base can fetch a fraction of
+    /// the bytes. Returns the CID to register on-chain via
+    /// [`ClusterNode::submit_model_tx`], which also carries the
+    /// `(base_cid, delta_cid)` reference.
     ///
     /// Splitting storage from submission matters: a straggler stores its
     /// model but only builds the transaction when a submission window is
@@ -306,7 +352,8 @@ impl ClusterNode {
     pub fn store_model(&mut self, round: u64) -> Cid {
         let release_seed = round ^ self.address.0[0] as u64;
         // Honest organizations may privatize the released weights (DP);
-        // a malicious one corrupts whatever it would have released.
+        // a malicious one corrupts whatever it would have released. Either
+        // way the release is precision-bounded last.
         let mut weights = match &self.config.dp {
             Some(dp) => dp.privatize(self.server.weights(), release_seed),
             None => self.server.weights().to_vec(),
@@ -314,15 +361,59 @@ impl ClusterNode {
         if let Some(attack) = &self.config.attack {
             weights = attack.corrupt(&weights, release_seed);
         }
+        let weights = quantize_release(&weights, self.config.release_mantissa_bits);
         let bytes = weights_to_bytes(&weights);
         let receipt = self.ipfs.add(&bytes);
+
+        match &self.last_release {
+            // Re-releasing identical weights (a straggler re-storing its
+            // held model): the blob, CID and any pending delta reference
+            // are already in place.
+            Some((base_cid, _)) if *base_cid == receipt.cid => {}
+            Some((base_cid, base_weights)) => {
+                let delta_receipt = self.ipfs.add(&delta_to_bytes(base_weights, &weights));
+                self.pending_delta = Some((*base_cid, delta_receipt.cid));
+                self.last_release = Some((receipt.cid, weights));
+            }
+            // Unreachable in the assembled federation (the shared initial
+            // model seeds `last_release` in the constructor), kept for
+            // robustness against future construction paths.
+            None => {
+                self.pending_delta = None;
+                self.last_release = Some((receipt.cid, weights));
+            }
+        }
         self.last_published = Some(receipt.cid);
         receipt.cid
     }
 
-    /// Step 3: the `submitModel` transaction registering `cid` on-chain.
+    /// Step 3: the transaction registering `cid` on-chain — `submitModel`,
+    /// or `submitModelDelta` carrying the `(base_cid, delta_cid)`
+    /// reference when [`ClusterNode::store_model`] produced one. Must
+    /// follow the `store_model` call that returned `cid` (the pending
+    /// reference is consumed).
     pub fn submit_model_tx(&mut self, orchestrator: Address, cid: &Cid) -> Transaction {
-        self.next_tx(orchestrator, calls::submit_model(&cid.to_string()))
+        // Counting here, not in `store_model`, keeps the counters aligned
+        // with on-chain submissions: a straggler re-stores its held model
+        // every window it misses but submits it exactly once.
+        let call = match self.pending_delta.take() {
+            Some((base, delta)) => {
+                self.delta_publishes += 1;
+                calls::submit_model_delta(&cid.to_string(), &base.to_string(), &delta.to_string())
+            }
+            None => {
+                self.full_publishes += 1;
+                calls::submit_model(&cid.to_string())
+            }
+        };
+        self.next_tx(orchestrator, call)
+    }
+
+    /// Model submissions that carried an on-chain delta reference vs.
+    /// full-only submissions (together they count every
+    /// [`ClusterNode::submit_model_tx`] built).
+    pub fn publish_counts(&self) -> (u64, u64) {
+        (self.delta_publishes, self.full_publishes)
     }
 
     /// Scores a peer model on the local test shard (accuracy scoring).

@@ -12,8 +12,9 @@ use serde::{Deserialize, Serialize};
 use unifyfl_data::{Partition, WorkloadConfig};
 use unifyfl_sim::fault::{ChaosConfig, FaultKind, FaultPlan, FaultRecord};
 use unifyfl_sim::{ResourceSummary, SeedTree};
+use unifyfl_storage::network::TransferConfig;
 
-use crate::cluster::ClusterConfig;
+use crate::cluster::{ClusterConfig, ClusterNode};
 use crate::federation::Federation;
 use crate::orchestration::{run_async, run_sync, EngineOutcome};
 
@@ -44,6 +45,14 @@ pub struct ExperimentConfig {
     /// happy path. When set, the schedule expands deterministically from
     /// [`ExperimentConfig::seed`].
     pub chaos: Option<ChaosConfig>,
+    /// Fetch-side transfer knobs (chunk dedup, delta fetch, fetch cache).
+    /// The publish path is knob-independent, so two *fault-free*
+    /// configurations differing only here produce bit-identical results —
+    /// only the report's transfer section (bytes moved, hit/miss counters)
+    /// differs. With [`ExperimentConfig::chaos`] armed the knobs change
+    /// how the injected fault stream is consumed, so chaos outcomes may
+    /// legitimately differ between transfer configurations.
+    pub transfer: TransferConfig,
 }
 
 /// Validation failure for an experiment configuration.
@@ -57,6 +66,8 @@ pub enum ExperimentError {
     InvalidWindowMargin,
     /// A chaos knob is out of range (the name of the offending knob).
     InvalidChaos(&'static str),
+    /// A cluster's release precision is outside 1 ..= 23 mantissa bits.
+    InvalidReleasePrecision(u32),
 }
 
 impl std::fmt::Display for ExperimentError {
@@ -73,6 +84,12 @@ impl std::fmt::Display for ExperimentError {
             }
             ExperimentError::InvalidChaos(knob) => {
                 write!(f, "chaos knob {knob} is out of range")
+            }
+            ExperimentError::InvalidReleasePrecision(bits) => {
+                write!(
+                    f,
+                    "release precision must keep 1..=23 mantissa bits, got {bits}"
+                )
             }
         }
     }
@@ -158,8 +175,14 @@ pub struct ChaosReport {
     pub skews_fired: u64,
     /// Whole CID fetches that failed at the DHT (storage layer).
     pub fetch_failures: u64,
-    /// Caller-level whole-fetch retries.
+    /// Caller-level whole-fetch retries. Every retry resolves to exactly
+    /// one of the two outcome counters below, so
+    /// `fetch_retries == fetch_recoveries + fetch_permanent_failures`.
     pub fetch_retries: u64,
+    /// Retried fetches that then succeeded (transient failure, recovered).
+    pub fetch_recoveries: u64,
+    /// Retried fetches that failed again and were abandoned for good.
+    pub fetch_permanent_failures: u64,
     /// Individual chunk transfers lost (storage layer).
     pub chunk_losses: u64,
     /// Chunk retransmissions performed.
@@ -174,6 +197,64 @@ pub struct ChaosReport {
     pub retried_txs: u64,
     /// Per-fault outcome records, in firing order.
     pub records: Vec<FaultRecord>,
+}
+
+/// Transfer section of an experiment report: what the bandwidth-aware
+/// storage layer was configured to do and what it saved. For *fault-free*
+/// runs this is the only report section allowed to differ between two
+/// configurations that differ only in [`ExperimentConfig::transfer`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransferReport {
+    /// Chunk dedup enabled.
+    pub dedup: bool,
+    /// Delta fetch enabled.
+    pub delta: bool,
+    /// Fetch-cache byte budget (0 = disabled).
+    pub cache_bytes: u64,
+    /// Bytes a naive fetcher would have moved.
+    pub logical_bytes: u64,
+    /// Bytes actually moved on the wire.
+    pub physical_bytes: u64,
+    /// Blocks skipped because the fetcher already held them.
+    pub dedup_chunks_skipped: u64,
+    /// Bytes those skipped blocks would have cost.
+    pub dedup_bytes_saved: u64,
+    /// Fetches served from the assembled-content cache.
+    pub cache_hits: u64,
+    /// Cache lookups that missed.
+    pub cache_misses: u64,
+    /// Cache entries evicted to respect the byte budget.
+    pub cache_evictions: u64,
+    /// Bytes resident across node caches at the end of the run.
+    pub cache_resident_bytes: u64,
+    /// Fetches served by base + delta reconstruction.
+    pub delta_fetches: u64,
+    /// Delta fetches that fell back to a full transfer.
+    pub delta_fallbacks: u64,
+    /// Wire bytes saved by delta reconstruction.
+    pub delta_bytes_saved: u64,
+    /// Model submissions that carried an on-chain `(base, delta)`
+    /// reference.
+    pub delta_publishes: u64,
+    /// Submissions without one (no usable base, or an unchanged
+    /// re-release).
+    pub full_publishes: u64,
+}
+
+impl TransferReport {
+    /// Wire-byte reduction factor: logical over physical bytes (1.0 when
+    /// nothing moved).
+    pub fn reduction_factor(&self) -> f64 {
+        if self.physical_bytes == 0 {
+            if self.logical_bytes == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.logical_bytes as f64 / self.physical_bytes as f64
+        }
+    }
 }
 
 /// The complete result of one experiment.
@@ -199,6 +280,9 @@ pub struct ExperimentReport {
     pub wall_secs: f64,
     /// Fault-injection outcomes (all-zero for happy-path runs).
     pub chaos: ChaosReport,
+    /// Transfer-layer accounting (bytes on the wire, dedup/delta/cache
+    /// savings).
+    pub transfer: TransferReport,
 }
 
 impl ExperimentConfig {
@@ -217,6 +301,15 @@ impl ExperimentConfig {
         // NaN must be rejected too, hence the explicit is_nan branch.
         if self.window_margin.is_nan() || self.window_margin < 1.0 {
             return Err(ExperimentError::InvalidWindowMargin);
+        }
+        if let Some(c) = self
+            .clusters
+            .iter()
+            .find(|c| !(1..=23).contains(&c.release_mantissa_bits))
+        {
+            return Err(ExperimentError::InvalidReleasePrecision(
+                c.release_mantissa_bits,
+            ));
         }
         if let Some(chaos) = &self.chaos {
             chaos.validate().map_err(ExperimentError::InvalidChaos)?;
@@ -262,6 +355,7 @@ pub fn run_experiment(config: &ExperimentConfig) -> Result<ExperimentReport, Exp
         config.mode.to_chain(),
         config.clusters.clone(),
     );
+    fed.configure_transfer(config.transfer);
     if let Some(chaos) = config.chaos.as_ref().filter(|c| !c.is_quiescent()) {
         // One derived seed makes the whole schedule (and the storage/chain
         // injector streams) a pure function of the experiment seed.
@@ -345,6 +439,35 @@ fn build_report(
         storage_bytes: fed.ipfs.total_bytes(),
         wall_secs: outcome.end_time.as_secs_f64(),
         chaos: build_chaos_report(&fed),
+        transfer: build_transfer_report(&fed),
+    }
+}
+
+fn build_transfer_report(fed: &Federation) -> TransferReport {
+    let config = fed.ipfs.transfer_config();
+    let stats = fed.ipfs.transfer_stats();
+    let (delta_publishes, full_publishes) = fed
+        .clusters
+        .iter()
+        .map(ClusterNode::publish_counts)
+        .fold((0, 0), |(d, f), (dd, ff)| (d + dd, f + ff));
+    TransferReport {
+        dedup: config.dedup,
+        delta: config.delta,
+        cache_bytes: config.cache_bytes,
+        logical_bytes: stats.logical_bytes,
+        physical_bytes: stats.physical_bytes,
+        dedup_chunks_skipped: stats.dedup_chunks_skipped,
+        dedup_bytes_saved: stats.dedup_bytes_saved,
+        cache_hits: stats.cache_hits,
+        cache_misses: stats.cache_misses,
+        cache_evictions: stats.cache_evictions,
+        cache_resident_bytes: stats.cache_resident_bytes,
+        delta_fetches: stats.delta_fetches,
+        delta_fallbacks: stats.delta_fallbacks,
+        delta_bytes_saved: stats.delta_bytes_saved,
+        delta_publishes,
+        full_publishes,
     }
 }
 
@@ -365,6 +488,8 @@ fn build_chaos_report(fed: &Federation) -> ChaosReport {
         skews_fired: count("clock_skew"),
         fetch_failures: storage.fetch_failures,
         fetch_retries: storage.fetch_retries,
+        fetch_recoveries: storage.fetch_recoveries,
+        fetch_permanent_failures: storage.fetch_permanent_failures,
         chunk_losses: storage.chunk_losses,
         chunk_retries: storage.chunk_retries,
         exhausted_fetches: storage.exhausted_fetches,
@@ -418,6 +543,7 @@ impl ExperimentBuilder {
                 clusters,
                 window_margin: 1.15,
                 chaos: None,
+                transfer: TransferConfig::default(),
             },
         }
     }
@@ -487,6 +613,12 @@ impl ExperimentBuilder {
     /// knobs or a scripted schedule).
     pub fn chaos(mut self, chaos: ChaosConfig) -> Self {
         self.config.chaos = Some(chaos);
+        self
+    }
+
+    /// Sets the fetch-side transfer knobs (dedup / delta fetch / cache).
+    pub fn transfer(mut self, transfer: TransferConfig) -> Self {
+        self.config.transfer = transfer;
         self
     }
 

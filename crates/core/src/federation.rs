@@ -6,15 +6,18 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use unifyfl_chain::chain::{Blockchain, ChainFaults};
 use unifyfl_chain::clique::CliqueConfig;
-use unifyfl_chain::orchestrator::{calls, ModelEntry, OrchestrationMode, UnifyFlContract};
+use unifyfl_chain::orchestrator::{
+    calls, DeltaRef, ModelEntry, OrchestrationMode, UnifyFlContract,
+};
 use unifyfl_chain::types::{Address, Transaction};
 use unifyfl_data::{Dataset, Partition, WorkloadConfig};
 use unifyfl_sim::fault::{FaultPlan, FaultRecord};
 use unifyfl_sim::{ResourceMonitor, SimDuration, SimTime};
-use unifyfl_storage::network::LinkProfile;
+use unifyfl_storage::network::{LinkProfile, TransferConfig};
 use unifyfl_storage::{Cid, IpfsNetwork, StorageFaults};
-use unifyfl_tensor::weights_from_bytes;
+use unifyfl_tensor::delta::delta_from_bytes;
 use unifyfl_tensor::zoo::ModelSpec;
+use unifyfl_tensor::{weights_from_bytes, weights_to_bytes};
 
 use crate::cluster::{ClusterConfig, ClusterNode};
 use crate::policy::ScoredCandidate;
@@ -26,8 +29,28 @@ pub struct Candidate {
     pub cid: Cid,
     /// Submitting aggregator.
     pub submitter: Address,
+    /// On-chain `(base_cid, delta_cid)` reference, when the submitter
+    /// published a delta blob alongside the full weights.
+    pub delta: Option<(Cid, Cid)>,
     /// Raw per-scorer scores (already converted to floats).
     pub scores: Vec<f64>,
+}
+
+/// Parses an on-chain delta reference into `(base_cid, delta_cid)`; `None`
+/// if either string is not a well-formed CID (the reference is then simply
+/// ignored and fetches go through the full path).
+fn parse_delta_ref(d: &DeltaRef) -> Option<(Cid, Cid)> {
+    Some((d.base_cid.parse().ok()?, d.delta_cid.parse().ok()?))
+}
+
+/// Rebuilds the exact full weight blob from a base blob plus a delta blob
+/// (the reconstruction hook [`IpfsNode`](unifyfl_storage::IpfsNode) hands
+/// to the storage layer; the storage layer then verifies the result
+/// against the requested CID).
+fn reconstruct_weights_blob(base_blob: &[u8], delta_blob: &[u8]) -> Option<Vec<u8>> {
+    let base = weights_from_bytes(base_blob).ok()?;
+    let weights = delta_from_bytes(&base, delta_blob).ok()?;
+    Some(weights_to_bytes(&weights))
 }
 
 /// The assembled federation: clusters + chain + storage + bookkeeping.
@@ -48,6 +71,8 @@ pub struct Federation {
     pub resources: ResourceMonitor,
     /// Virtual instant at which setup (registration) completed.
     pub setup_done: SimTime,
+    /// Experiment seed the transfer-cache stream derives from.
+    transfer_seed: u64,
     /// Installed fault schedule (chaos experiments only).
     fault_plan: Option<FaultPlan>,
     /// Per-fault outcomes observed by the engines.
@@ -86,8 +111,14 @@ impl Federation {
         let (pool, global_test) = full.split(0.15, &mut rng);
         let shards = partition.split(&pool, cluster_configs.len(), &mut rng);
 
-        // Shared fabric.
+        // Shared fabric, with the default (fully enabled) transfer layer;
+        // `Federation::configure_transfer` can override before traffic
+        // flows. The cache stream derives from the experiment seed.
         let ipfs = IpfsNetwork::new();
+        ipfs.configure_transfer(
+            TransferConfig::default(),
+            unifyfl_sim::SeedTree::new(seed).seed("fetch-cache"),
+        );
 
         // Chain: every cluster is a Clique signer (the permissioned
         // consortium of the paper).
@@ -131,6 +162,7 @@ impl Federation {
             global_test,
             resources: ResourceMonitor::new(),
             setup_done: SimTime::ZERO,
+            transfer_seed: seed,
             fault_plan: None,
             chaos_records: Vec::new(),
             lost_txs: Vec::new(),
@@ -147,6 +179,18 @@ impl Federation {
         fed.chain.seal_next(t).expect("registration block seals");
         fed.setup_done = t;
         fed
+    }
+
+    /// Replaces the storage fabric's fetch-side transfer configuration
+    /// (dedup / delta-fetch / cache knobs). Call before running an engine:
+    /// node caches and transfer accounting are reset. The publish path is
+    /// unaffected — full blobs, delta blobs and on-chain references are
+    /// always produced — so this changes bytes moved, never results.
+    pub fn configure_transfer(&self, config: TransferConfig) {
+        self.ipfs.configure_transfer(
+            config,
+            unifyfl_sim::SeedTree::new(self.transfer_seed).seed("fetch-cache"),
+        );
     }
 
     /// Installs a fault schedule: stores the plan for the engines and arms
@@ -270,9 +314,11 @@ impl Federation {
             .into_iter()
             .filter_map(|entry| {
                 let cid: Cid = entry.cid.parse().ok()?;
+                let delta = entry.delta.as_ref().and_then(parse_delta_ref);
                 Some(Candidate {
                     cid,
                     submitter: entry.submitter,
+                    delta,
                     scores: entry.score_values(),
                 })
             })
@@ -311,14 +357,43 @@ impl Federation {
     /// IPFS node. Returns `None` if the content is unavailable or corrupt
     /// (it is then simply skipped, as a real aggregator would). Under an
     /// installed fault plan a failed fetch is retried once — fresh provider
-    /// resolution, fresh fault rolls — before giving up.
+    /// resolution, fresh fault rolls — before giving up; every retry's
+    /// outcome is recorded as recovered or permanently failed.
+    ///
+    /// With [`TransferConfig::delta`] enabled and an on-chain
+    /// `(base_cid, delta_cid)` reference for `cid`, the fetch moves only
+    /// the delta blob when the base is already local — the storage layer
+    /// verifies the reconstruction against `cid` and falls back to a full
+    /// fetch on any mismatch, so the decoded weights are identical either
+    /// way.
     pub fn fetch_weights(&self, cluster: usize, cid: Cid) -> Option<Vec<f32>> {
         let node = self.clusters[cluster].ipfs();
-        let receipt = match node.get(cid) {
+        let delta_ref = if self.ipfs.transfer_config().delta {
+            self.contract()
+                .entry(&cid.to_string())
+                .and_then(|e| e.delta.as_ref())
+                .and_then(parse_delta_ref)
+        } else {
+            None
+        };
+        let attempt = || match delta_ref {
+            Some((base, delta)) => node.get_with_delta(cid, base, delta, reconstruct_weights_blob),
+            None => node.get(cid),
+        };
+        let receipt = match attempt() {
             Ok(r) => r,
             Err(_) if self.fault_plan.is_some() => {
                 self.ipfs.record_fetch_retry();
-                node.get(cid).ok()?
+                match attempt() {
+                    Ok(r) => {
+                        self.ipfs.record_fetch_retry_outcome(true);
+                        r
+                    }
+                    Err(_) => {
+                        self.ipfs.record_fetch_retry_outcome(false);
+                        return None;
+                    }
+                }
             }
             Err(_) => return None,
         };
@@ -525,7 +600,10 @@ mod tests {
         let orch = f.orchestrator;
         let t0 = f.setup_done;
 
-        // Cluster 1 publishes a model.
+        // Cluster 1 trains and publishes a model. (Training matters: an
+        // untrained publish re-releases the shared initial model — same
+        // CID, so no delta reference accompanies it.)
+        f.clusters[1].run_local_round(1, 16, 0.05);
         let cid = f.clusters[1].store_model(1);
         let tx = f.clusters[1].submit_model_tx(orch, &cid);
         f.submit_tx_at(t0, tx);
@@ -556,6 +634,11 @@ mod tests {
         let cands = f.candidates_for(0);
         assert_eq!(cands.len(), 1);
         assert_eq!(cands[0].cid, cid);
+        // The round-1 publish carries a delta reference against the shared
+        // initial model, and candidates surface it to consumers.
+        let (base, delta) = cands[0].delta.expect("delta reference surfaced");
+        assert_ne!(base, cid);
+        assert_ne!(delta, cid);
         assert_eq!(cands[0].scores.len(), 1);
         // Viewer 1 (the submitter) must not see its own model.
         assert!(f.candidates_for(1).is_empty());

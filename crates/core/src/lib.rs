@@ -17,7 +17,8 @@
 //!   baselines;
 //! - [`experiment`] — configuration, execution and reporting, including
 //!   the [`ChaosConfig`] fault-injection knobs and the report's
-//!   [`ChaosReport`] section;
+//!   [`ChaosReport`] section, plus the [`TransferConfig`] fetch-side
+//!   bandwidth knobs and the report's [`TransferReport`] section;
 //! - [`report`] — paper-style table rendering.
 //!
 //! # Example
@@ -36,6 +37,8 @@
 //! assert_eq!(report.aggregators.len(), 3);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod baseline;
 pub mod byzantine;
 pub mod cluster;
@@ -50,10 +53,11 @@ pub use byzantine::{AttackKind, DpConfig};
 pub use cluster::{ClusterConfig, ClusterNode};
 pub use experiment::{
     run_experiment, AggregatorReport, ChaosReport, ExperimentBuilder, ExperimentConfig,
-    ExperimentError, ExperimentReport,
+    ExperimentError, ExperimentReport, TransferReport,
 };
 pub use federation::Federation;
 pub use orchestration::Mode;
 pub use policy::{AggregationPolicy, ScorePolicy};
 pub use scoring::ScorerKind;
 pub use unifyfl_sim::fault::{ChaosConfig, FaultEvent, FaultKind, FaultPlan, FaultRecord};
+pub use unifyfl_storage::TransferConfig;

@@ -4,21 +4,44 @@
 use crate::baseline::BaselineRun;
 use crate::experiment::ExperimentReport;
 
+/// Width of a left-aligned text column: the longest cell, but never
+/// narrower than its header (so every row of a table — 2 clusters or 20 —
+/// pads identically).
+fn column_width<'a>(header: &str, cells: impl Iterator<Item = &'a str>) -> usize {
+    cells.map(str::len).chain([header.len()]).max().unwrap_or(0)
+}
+
 /// Renders an experiment in the row format of Tables 5/6:
 /// `Aggregator | Time | Policy | Acc(G/L) | Loss(G/L)`.
+///
+/// Text columns size themselves to the longest cell, so tables stay
+/// aligned for any cluster count or label length (a 60-client scalability
+/// run renders as cleanly as the 3-cluster quickstart).
 pub fn render_run_table(report: &ExperimentReport) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "== {} [{} | {} | {}] ==\n",
         report.label, report.mode, report.scorer, report.partition
     ));
+    let name_w = column_width(
+        "Aggregator",
+        report.aggregators.iter().map(|a| a.name.as_str()),
+    );
+    let policy_w = column_width(
+        "Policy",
+        report.aggregators.iter().map(|a| a.policy.as_str()),
+    );
+    let strategy_w = column_width(
+        "Strategy",
+        report.aggregators.iter().map(|a| a.strategy.as_str()),
+    );
     out.push_str(&format!(
-        "{:<10} {:>8} {:<12} {:<9} {:>8} {:>8} {:>8} {:>8}\n",
+        "{:<name_w$} {:>8} {:<policy_w$} {:<strategy_w$} {:>8} {:>8} {:>8} {:>8}\n",
         "Aggregator", "Time(s)", "Policy", "Strategy", "AccG(%)", "AccL(%)", "LossG", "LossL"
     ));
     for a in &report.aggregators {
         out.push_str(&format!(
-            "{:<10} {:>8.0} {:<12} {:<9} {:>8.2} {:>8.2} {:>8.2} {:>8.2}\n",
+            "{:<name_w$} {:>8.0} {:<policy_w$} {:<strategy_w$} {:>8.2} {:>8.2} {:>8.2} {:>8.2}\n",
             a.name,
             a.time_secs,
             a.policy,
@@ -72,19 +95,68 @@ pub fn render_chaos_summary(report: &ExperimentReport) -> String {
         c.planned_events, c.crashes_fired, c.leaves_fired, c.spikes_fired, c.skews_fired
     ));
     out.push_str(&format!(
-        "storage: {} fetch failure(s) ({} retried) | {} chunk loss(es) ({} retransmitted, {} exhausted)\n",
-        c.fetch_failures, c.fetch_retries, c.chunk_losses, c.chunk_retries, c.exhausted_fetches
+        "storage: {} fetch failure(s) ({} retried: {} recovered, {} permanent) | {} chunk loss(es) ({} retransmitted, {} exhausted)\n",
+        c.fetch_failures,
+        c.fetch_retries,
+        c.fetch_recoveries,
+        c.fetch_permanent_failures,
+        c.chunk_losses,
+        c.chunk_retries,
+        c.exhausted_fetches
     ));
     out.push_str(&format!(
         "chain:   {} missed seal(s) | {} dropped tx(s) ({} retransmitted)\n",
         c.missed_seals, c.dropped_txs, c.retried_txs
     ));
+    let cluster_w = column_width("", c.records.iter().map(|r| r.cluster.as_str())).max(12);
     for r in &c.records {
         out.push_str(&format!(
-            "  round {:>2}  {:<12} {:<14} {}\n",
+            "  round {:>2}  {:<cluster_w$} {:<14} {}\n",
             r.round, r.cluster, r.kind, r.outcome
         ));
     }
+    out
+}
+
+/// Renders the transfer section of a report: knobs, logical vs physical
+/// bytes, and the per-mechanism savings.
+pub fn render_transfer_summary(report: &ExperimentReport) -> String {
+    let t = &report.transfer;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "transfer: dedup {} | delta {} | cache {}\n",
+        if t.dedup { "on" } else { "off" },
+        if t.delta { "on" } else { "off" },
+        if t.cache_bytes >= 1024 * 1024 {
+            format!("{} MiB", t.cache_bytes / (1024 * 1024))
+        } else if t.cache_bytes > 0 {
+            format!("{} B", t.cache_bytes)
+        } else {
+            "off".to_owned()
+        },
+    ));
+    out.push_str(&format!(
+        "bytes:    {} logical -> {} physical on the wire ({:.2}x reduction)\n",
+        t.logical_bytes,
+        t.physical_bytes,
+        t.reduction_factor(),
+    ));
+    out.push_str(&format!(
+        "dedup:    {} block(s) skipped, {} byte(s) saved\n",
+        t.dedup_chunks_skipped, t.dedup_bytes_saved
+    ));
+    out.push_str(&format!(
+        "cache:    {} hit(s) / {} miss(es), {} eviction(s), {} byte(s) resident\n",
+        t.cache_hits, t.cache_misses, t.cache_evictions, t.cache_resident_bytes
+    ));
+    out.push_str(&format!(
+        "delta:    {} publish(es) with a (base, delta) reference ({} full), {} delta fetch(es) ({} fallback(s)), {} byte(s) saved\n",
+        t.delta_publishes,
+        t.full_publishes,
+        t.delta_fetches,
+        t.delta_fallbacks,
+        t.delta_bytes_saved
+    ));
     out
 }
 
@@ -111,9 +183,10 @@ pub fn render_resources_table(report: &ExperimentReport) -> String {
 /// columns: `time  acc(agg1)  acc(agg2) …`.
 pub fn render_curves(report: &ExperimentReport) -> String {
     let mut out = String::new();
+    let col_w = column_width("", report.aggregators.iter().map(|a| a.name.as_str())).max(12);
     out.push_str("time(s)");
     for a in &report.aggregators {
-        out.push_str(&format!(" {:>12}", a.name));
+        out.push_str(&format!(" {:>col_w$}", a.name));
     }
     out.push('\n');
     // Rows are keyed by round number, not curve position: under chaos a
@@ -139,8 +212,8 @@ pub fn render_curves(report: &ExperimentReport) -> String {
         out.push_str(&format!("{t:>7.0}"));
         for p in points {
             match p {
-                Some(p) => out.push_str(&format!(" {:>12.2}", p.global_accuracy_pct)),
-                None => out.push_str(&format!(" {:>12}", "-")),
+                Some(p) => out.push_str(&format!(" {:>col_w$.2}", p.global_accuracy_pct)),
+                None => out.push_str(&format!(" {:>col_w$}", "-")),
             }
         }
         out.push('\n');
@@ -195,6 +268,84 @@ mod tests {
         assert!(table.contains("1 planned event(s)"));
         assert!(table.contains("crash"));
         assert!(table.contains("round  2"));
+    }
+
+    #[test]
+    fn run_table_snapshot_aligns_ten_plus_clusters() {
+        use crate::experiment::{ChainStats, ChaosReport, TransferReport};
+        use std::collections::BTreeMap;
+
+        // Hand-built report: 12 aggregators whose labels straddle the old
+        // fixed 10-char column (including one longer than it), exercising
+        // exactly the ≥10-cluster misalignment.
+        let aggregators = (1..=12)
+            .map(|i| crate::experiment::AggregatorReport {
+                name: if i == 12 {
+                    "Aggregator Twelve".to_owned()
+                } else {
+                    format!("Agg {i}")
+                },
+                policy: "All".to_owned(),
+                strategy: "FedAvg".to_owned(),
+                time_secs: 100.0 * i as f64,
+                global_accuracy_pct: 50.0 + i as f64,
+                local_accuracy_pct: 40.0 + i as f64,
+                global_loss: 1.0,
+                local_loss: 1.5,
+                rounds: 2,
+                straggler_rounds: 0,
+                rejected_scores: 0,
+                curve: Vec::new(),
+            })
+            .collect();
+        let report = ExperimentReport {
+            label: "snapshot".to_owned(),
+            mode: "Sync".to_owned(),
+            scorer: "Accuracy".to_owned(),
+            partition: "IID".to_owned(),
+            aggregators,
+            resources: BTreeMap::new(),
+            chain: ChainStats::default(),
+            storage_bytes: 0,
+            wall_secs: 0.0,
+            chaos: ChaosReport::default(),
+            transfer: TransferReport::default(),
+        };
+
+        let table = render_run_table(&report);
+        let expected = "\
+== snapshot [Sync | Accuracy | IID] ==
+Aggregator         Time(s) Policy Strategy  AccG(%)  AccL(%)    LossG    LossL
+Agg 1                  100 All    FedAvg      51.00    41.00     1.00     1.50
+Agg 2                  200 All    FedAvg      52.00    42.00     1.00     1.50
+Agg 3                  300 All    FedAvg      53.00    43.00     1.00     1.50
+Agg 4                  400 All    FedAvg      54.00    44.00     1.00     1.50
+Agg 5                  500 All    FedAvg      55.00    45.00     1.00     1.50
+Agg 6                  600 All    FedAvg      56.00    46.00     1.00     1.50
+Agg 7                  700 All    FedAvg      57.00    47.00     1.00     1.50
+Agg 8                  800 All    FedAvg      58.00    48.00     1.00     1.50
+Agg 9                  900 All    FedAvg      59.00    49.00     1.00     1.50
+Agg 10                1000 All    FedAvg      60.00    50.00     1.00     1.50
+Agg 11                1100 All    FedAvg      61.00    51.00     1.00     1.50
+Aggregator Twelve     1200 All    FedAvg      62.00    52.00     1.00     1.50
+";
+        assert_eq!(table, expected);
+        // Every row is exactly as wide as the header row.
+        let lines: Vec<&str> = table.lines().skip(1).collect();
+        let header_len = lines[0].len();
+        for l in &lines {
+            assert_eq!(l.len(), header_len, "misaligned row: {l:?}");
+        }
+    }
+
+    #[test]
+    fn transfer_summary_renders_knobs_and_savings() {
+        let r = report();
+        let summary = render_transfer_summary(&r);
+        assert!(summary.contains("dedup on"), "{summary}");
+        assert!(summary.contains("delta on"));
+        assert!(summary.contains("reduction"));
+        assert!(summary.contains("publish(es) with a (base, delta) reference"));
     }
 
     #[test]

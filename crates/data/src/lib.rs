@@ -1,7 +1,7 @@
 //! Synthetic datasets and partitioners for the UnifyFL reproduction.
 //!
 //! Substitutes for the paper's CIFAR-10 / Tiny ImageNet workloads (see
-//! DESIGN.md §1 for the substitution argument):
+//! ARCHITECTURE.md for the substitution argument):
 //!
 //! - [`dataset`] — in-memory labelled datasets, subsetting, splits,
 //!   mini-batching;

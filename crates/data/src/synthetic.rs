@@ -1,6 +1,6 @@
 //! Synthetic Gaussian-prototype classification data.
 //!
-//! Substitutes for CIFAR-10 / Tiny ImageNet (see DESIGN.md): each class `k`
+//! Substitutes for CIFAR-10 / Tiny ImageNet (see ARCHITECTURE.md): each class `k`
 //! gets a prototype vector `μ_k ~ N(0, σ_p² I)`; samples are
 //! `x = μ_k + N(0, σ_n² I)`. The `σ_n/σ_p` ratio controls class overlap
 //! (task difficulty) and a label-noise fraction caps the attainable

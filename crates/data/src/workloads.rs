@@ -57,7 +57,7 @@ impl WorkloadConfig {
     ///
     /// The learning rate is 0.3 rather than Table 4's 0.01: the trained
     /// model here is the MLP *proxy* for VGG16 (see `ModelSpec::proxy_vgg16`
-    /// and DESIGN.md), and without batch normalization or depth it needs a
+    /// and ARCHITECTURE.md), and without batch normalization or depth it needs a
     /// much larger step to match VGG16's per-epoch progress on the
     /// 200-class task.
     pub fn tiny_imagenet() -> Self {

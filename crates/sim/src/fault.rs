@@ -19,7 +19,12 @@
 //! Storage-level (fetch failure, chunk loss) and chain-level (missed seal,
 //! dropped transaction) faults are rate-based; their injectors live in the
 //! `storage` and `chain` crates and draw their own deterministic streams
-//! from seeds this plan derives.
+//! from seeds this plan derives. The storage injector's caller-level retry
+//! accounting splits by outcome (recovered vs. permanently failed), and
+//! the bandwidth-aware transfer layer interacts with injection without
+//! weakening it: a poisoned fetch can never populate the fetch cache, and
+//! a fault hitting a delta-blob transfer is absorbed as a full-fetch
+//! fallback rather than surfacing to the engine.
 
 use serde::{Deserialize, Serialize};
 

@@ -12,8 +12,10 @@
 //! - [`dht`] — the provider index standing in for Kademlia;
 //! - [`network`] — the shared fabric: bitswap-style verified fetch with a
 //!   latency/bandwidth cost model feeding the discrete-event simulator,
-//!   plus seeded fault injection (DHT fetch failure, chunk loss with
-//!   bounded retries) for chaos experiments.
+//!   seeded fault injection (DHT fetch failure, chunk loss with bounded
+//!   retries) for chaos experiments, and the bandwidth-aware transfer
+//!   layer (chunk dedup, verified delta fetch, seeded size-bounded LRU
+//!   fetch cache) with logical-vs-physical byte accounting.
 //!
 //! # Example
 //!
@@ -32,6 +34,8 @@
 //! assert_eq!(fetched.data, weights);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod blockstore;
 pub mod chunker;
 pub mod cid;
@@ -44,5 +48,5 @@ pub use cid::Cid;
 pub use dht::{NodeId, ProviderIndex};
 pub use network::{
     AddReceipt, GetReceipt, IpfsError, IpfsNetwork, IpfsNode, LinkProfile, StorageFaultStats,
-    StorageFaults,
+    StorageFaults, TransferConfig, TransferStats,
 };

@@ -1,5 +1,5 @@
-//! The distributed storage fabric: nodes, bitswap-style fetch and the
-//! transfer cost model.
+//! The distributed storage fabric: nodes, bitswap-style fetch, the
+//! transfer cost model and the bandwidth-aware transfer layer.
 //!
 //! An [`IpfsNetwork`] is the shared fabric (blockstores + provider index);
 //! an [`IpfsNode`] is a handle held by one cluster. `add` chunks and stores
@@ -11,6 +11,29 @@
 //!
 //! Every operation returns the virtual time it would have taken, which the
 //! experiment engine charges to the calling cluster.
+//!
+//! # The transfer layer
+//!
+//! Cross-silo bandwidth is the substrate cost that grows with federation
+//! size, so the fetch path is bandwidth-aware end to end ([`TransferConfig`]
+//! holds the knobs, [`TransferStats`] the accounting):
+//!
+//! - **Chunk dedup** — a leaf (or root) block already present in the local
+//!   blockstore is never transferred again; content addressing guarantees
+//!   byte equality, so the fetch result is identical with dedup on or off.
+//! - **Delta fetch** — [`IpfsNode::get_with_delta`] reconstructs content
+//!   from a locally-held base plus a small delta blob, verifying the
+//!   reconstruction against the requested CID before accepting it (and
+//!   falling back to a full fetch when the base is missing or anything
+//!   fails verification).
+//! - **Fetch cache** — a seeded, size-bounded, approximately-LRU cache of
+//!   assembled content per node, so repeat fetches of a peer's model are
+//!   free. Only *verified, successful* fetches populate it: a fetch
+//!   poisoned by injected [`StorageFaults`] errors out before the insert.
+//!
+//! All knobs change only how many bytes move, never which bytes a caller
+//! receives — `logical_bytes` (what a naive fetch would have moved) vs
+//! `physical_bytes` (what actually moved) quantifies the difference.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -57,9 +80,170 @@ impl LinkProfile {
 /// Cost charged for a DHT provider lookup.
 const DHT_LOOKUP_COST: SimDuration = SimDuration::from_millis(20);
 
+/// Fetch-side knobs of the transfer layer.
+///
+/// The *publish* path is config-independent (publishers always store full
+/// content, and deltas where the protocol provides one), so two **fault-free**
+/// runs that differ only in this configuration fetch bit-identical content
+/// and produce bit-identical experiment results — only the wire-byte
+/// accounting differs. Under injected [`StorageFaults`] the arms consume
+/// the fault stream differently (a delta fetch rolls for the delta blob
+/// and again on fallback; dedup-skipped blocks roll nothing), so chaos
+/// outcomes legitimately diverge between configurations — same-seed
+/// *reproducibility* within one configuration always holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransferConfig {
+    /// Skip transferring blocks already present in the local blockstore.
+    pub dedup: bool,
+    /// Serve fetches from `(base, delta)` reconstruction when the caller
+    /// supplies a delta reference and the base is locally available.
+    pub delta: bool,
+    /// Capacity of the per-node assembled-content fetch cache in bytes
+    /// (0 disables the cache).
+    pub cache_bytes: u64,
+}
+
+impl Default for TransferConfig {
+    fn default() -> Self {
+        TransferConfig {
+            dedup: true,
+            delta: true,
+            cache_bytes: 64 * 1024 * 1024,
+        }
+    }
+}
+
+impl TransferConfig {
+    /// Every optimization off: the naive re-fetch-everything baseline.
+    pub fn disabled() -> Self {
+        TransferConfig {
+            dedup: false,
+            delta: false,
+            cache_bytes: 0,
+        }
+    }
+}
+
+/// Cumulative accounting of the transfer layer, fabric-wide.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransferStats {
+    /// Bytes a naive fetcher would have moved (full DAG size of every
+    /// remotely-served fetch).
+    pub logical_bytes: u64,
+    /// Bytes actually moved on the wire.
+    pub physical_bytes: u64,
+    /// Blocks skipped because the fetcher already held them.
+    pub dedup_chunks_skipped: u64,
+    /// Bytes those skipped blocks would have cost.
+    pub dedup_bytes_saved: u64,
+    /// Fetches served from the assembled-content cache.
+    pub cache_hits: u64,
+    /// Cache lookups that missed (the fetch proceeded normally).
+    pub cache_misses: u64,
+    /// Entries evicted to respect the cache byte budget.
+    pub cache_evictions: u64,
+    /// Bytes currently resident across all node caches (gauge, sampled at
+    /// snapshot time).
+    pub cache_resident_bytes: u64,
+    /// Fetches served by base + delta reconstruction.
+    pub delta_fetches: u64,
+    /// Delta fetches that fell back to a full transfer (base missing,
+    /// delta unavailable, or reconstruction failed verification).
+    pub delta_fallbacks: u64,
+    /// Wire bytes saved by delta reconstruction (full size minus the delta
+    /// transfer, summed over delta-served fetches).
+    pub delta_bytes_saved: u64,
+}
+
+/// A seeded, size-bounded, approximately-LRU cache of assembled content.
+///
+/// Eviction is Redis-style sampled LRU: a seeded sample of up to
+/// [`FetchCache::EVICTION_SAMPLE`] entries is drawn and the least recently
+/// used of the sample is evicted. The sampling stream derives from the
+/// per-node cache seed, so two runs with the same seed evict identically.
+#[derive(Debug)]
+struct FetchCache {
+    capacity: u64,
+    rng: StdRng,
+    tick: u64,
+    resident: u64,
+    entries: HashMap<Cid, CacheEntry>,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    data: Vec<u8>,
+    last_used: u64,
+}
+
+impl FetchCache {
+    /// Entries sampled per eviction.
+    const EVICTION_SAMPLE: usize = 5;
+
+    fn new(seed: u64, capacity: u64) -> Self {
+        FetchCache {
+            capacity,
+            rng: StdRng::seed_from_u64(seed),
+            tick: 0,
+            resident: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    fn get(&mut self, cid: Cid) -> Option<Vec<u8>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let entry = self.entries.get_mut(&cid)?;
+        entry.last_used = tick;
+        Some(entry.data.clone())
+    }
+
+    /// Inserts verified content, evicting sampled-LRU entries until the
+    /// budget holds. Oversized content (and a zero budget) is not cached.
+    fn insert(&mut self, cid: Cid, data: &[u8], evictions: &mut u64) {
+        if self.capacity == 0 || data.len() as u64 > self.capacity {
+            return;
+        }
+        if self.entries.contains_key(&cid) {
+            self.tick += 1;
+            self.entries.get_mut(&cid).expect("just checked").last_used = self.tick;
+            return;
+        }
+        while self.resident + data.len() as u64 > self.capacity {
+            self.evict_one();
+            *evictions += 1;
+        }
+        self.tick += 1;
+        self.resident += data.len() as u64;
+        self.entries.insert(
+            cid,
+            CacheEntry {
+                data: data.to_vec(),
+                last_used: self.tick,
+            },
+        );
+    }
+
+    fn evict_one(&mut self) {
+        // Deterministic sampled LRU: sort keys for a stable universe, draw
+        // sample indices from the seeded stream, evict the least recently
+        // used of the sample.
+        let mut keys: Vec<Cid> = self.entries.keys().copied().collect();
+        keys.sort_unstable();
+        let sample = Self::EVICTION_SAMPLE.min(keys.len());
+        let victim = (0..sample)
+            .map(|_| keys[(self.rng.gen::<u64>() % keys.len() as u64) as usize])
+            .min_by_key(|c| (self.entries[c].last_used, *c))
+            .expect("cache non-empty when evicting");
+        let gone = self.entries.remove(&victim).expect("sampled from keys");
+        self.resident -= gone.data.len() as u64;
+    }
+}
+
 struct NodeState {
     store: BlockStore,
     link: LinkProfile,
+    cache: FetchCache,
     /// Cumulative bytes fetched from remote providers.
     bytes_fetched: u64,
     /// Cumulative bytes served to other nodes.
@@ -84,12 +268,23 @@ pub struct StorageFaults {
 }
 
 /// Cumulative accounting of injected storage faults.
+///
+/// Caller-level whole-fetch retries are split by outcome: every retry ends
+/// in exactly one of [`StorageFaultStats::fetch_recoveries`] (the retry
+/// succeeded) or [`StorageFaultStats::fetch_permanent_failures`] (the retry
+/// failed too and the fetch was abandoned), so
+/// `fetch_retries == fetch_recoveries + fetch_permanent_failures` once all
+/// outcomes are recorded.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StorageFaultStats {
     /// Whole fetches that failed at the DHT lookup.
     pub fetch_failures: u64,
     /// Whole-fetch retries requested by callers.
     pub fetch_retries: u64,
+    /// Whole-fetch retries that succeeded (transient failure, recovered).
+    pub fetch_recoveries: u64,
+    /// Whole-fetch retries that failed again (the fetch was abandoned).
+    pub fetch_permanent_failures: u64,
     /// Individual chunk transfers lost.
     pub chunk_losses: u64,
     /// Chunk retransmissions performed.
@@ -134,6 +329,15 @@ struct NetworkState {
     nodes: Vec<NodeState>,
     dht: ProviderIndex,
     faults: Option<StorageFaults>,
+    transfer: TransferConfig,
+    transfer_seed: u64,
+    stats: TransferStats,
+}
+
+impl NetworkState {
+    fn node_cache_seed(seed: u64, node: usize) -> u64 {
+        seed ^ (node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
 }
 
 /// Shared distributed-storage fabric.
@@ -149,15 +353,47 @@ impl Default for IpfsNetwork {
 }
 
 impl IpfsNetwork {
-    /// Creates an empty fabric.
+    /// Creates an empty fabric with the default [`TransferConfig`].
     pub fn new() -> Self {
         IpfsNetwork {
             inner: Arc::new(Mutex::new(NetworkState {
                 nodes: Vec::new(),
                 dht: ProviderIndex::new(),
                 faults: None,
+                transfer: TransferConfig::default(),
+                transfer_seed: 0,
+                stats: TransferStats::default(),
             })),
         }
+    }
+
+    /// Installs the transfer configuration, deriving every node's cache
+    /// stream from `seed`. Existing node caches are rebuilt (emptied) and
+    /// the transfer accounting is reset, so this is meant to be called at
+    /// fabric setup, before traffic flows.
+    pub fn configure_transfer(&self, config: TransferConfig, seed: u64) {
+        let mut st = self.inner.lock();
+        st.transfer = config;
+        st.transfer_seed = seed;
+        st.stats = TransferStats::default();
+        for (i, node) in st.nodes.iter_mut().enumerate() {
+            node.cache =
+                FetchCache::new(NetworkState::node_cache_seed(seed, i), config.cache_bytes);
+        }
+    }
+
+    /// The active transfer configuration.
+    pub fn transfer_config(&self) -> TransferConfig {
+        self.inner.lock().transfer
+    }
+
+    /// Snapshot of the transfer accounting (the resident-bytes gauge is
+    /// sampled at call time).
+    pub fn transfer_stats(&self) -> TransferStats {
+        let st = self.inner.lock();
+        let mut stats = st.stats;
+        stats.cache_resident_bytes = st.nodes.iter().map(|n| n.cache.resident).sum();
+        stats
     }
 
     /// Installs (or replaces) the fabric's fault injector.
@@ -178,10 +414,24 @@ impl IpfsNetwork {
     }
 
     /// Records a caller-level whole-fetch retry in the fault accounting (a
-    /// no-op without an injector).
+    /// no-op without an injector). Pair with
+    /// [`IpfsNetwork::record_fetch_retry_outcome`] once the retry resolves.
     pub fn record_fetch_retry(&self) {
         if let Some(f) = self.inner.lock().faults.as_mut() {
             f.stats.fetch_retries += 1;
+        }
+    }
+
+    /// Records how a caller-level retry ended: `recovered == true` counts a
+    /// retried-then-succeeded fetch, `false` a permanent failure (the
+    /// caller gave up). A no-op without an injector.
+    pub fn record_fetch_retry_outcome(&self, recovered: bool) {
+        if let Some(f) = self.inner.lock().faults.as_mut() {
+            if recovered {
+                f.stats.fetch_recoveries += 1;
+            } else {
+                f.stats.fetch_permanent_failures += 1;
+            }
         }
     }
 
@@ -189,9 +439,12 @@ impl IpfsNetwork {
     pub fn add_node(&self, link: LinkProfile) -> IpfsNode {
         let mut st = self.inner.lock();
         let id = NodeId(st.nodes.len() as u32);
+        let cache_seed = NetworkState::node_cache_seed(st.transfer_seed, id.0 as usize);
+        let cache_bytes = st.transfer.cache_bytes;
         st.nodes.push(NodeState {
             store: BlockStore::new(),
             link,
+            cache: FetchCache::new(cache_seed, cache_bytes),
             bytes_fetched: 0,
             bytes_served: 0,
         });
@@ -271,8 +524,38 @@ pub struct GetReceipt {
     /// Virtual time the fetch took (lookup + transfer), zero-ish when the
     /// content was already local.
     pub elapsed: SimDuration,
-    /// True if the content was served from the local blockstore.
+    /// True if the content was served without touching the wire (fetch
+    /// cache or local blockstore).
     pub local_hit: bool,
+}
+
+/// How a locked fetch should behave (internal plumbing for the delta and
+/// fallback paths, which must not double-count cache lookups or cache
+/// single-use delta blobs).
+#[derive(Clone, Copy)]
+struct FetchOpts {
+    /// Count cache hit/miss in the transfer stats.
+    count_cache: bool,
+    /// Retain fetched blocks locally, re-advertise, and cache the content.
+    retain: bool,
+}
+
+impl FetchOpts {
+    const NORMAL: FetchOpts = FetchOpts {
+        count_cache: true,
+        retain: true,
+    };
+    /// For single-use payloads (delta blobs): fetch without retaining, so
+    /// the fabric's resident bytes are independent of the fetch strategy.
+    const TRANSIENT: FetchOpts = FetchOpts {
+        count_cache: false,
+        retain: false,
+    };
+    /// A fallback after a counted cache miss: proceed without re-counting.
+    const FALLBACK: FetchOpts = FetchOpts {
+        count_cache: false,
+        retain: true,
+    };
 }
 
 /// Handle to one node of the fabric.
@@ -316,9 +599,11 @@ impl IpfsNode {
         }
     }
 
-    /// Fetches content by CID: from the local store if present, otherwise
-    /// from the best-connected provider (bitswap-style), verifying every
-    /// block, then caching and re-advertising locally.
+    /// Fetches content by CID: from the fetch cache or local store if
+    /// present, otherwise from the best-connected provider
+    /// (bitswap-style), verifying every block, then caching and
+    /// re-advertising locally. With [`TransferConfig::dedup`] on, blocks
+    /// the node already holds are not re-transferred.
     ///
     /// # Errors
     ///
@@ -326,15 +611,159 @@ impl IpfsNode {
     /// [`IpfsError::Corrupt`] if verification fails.
     pub fn get(&self, cid: Cid) -> Result<GetReceipt, IpfsError> {
         let mut st = self.network.inner.lock();
+        Self::get_locked(&mut st, self.id, cid, FetchOpts::NORMAL)
+    }
+
+    /// Fetches `cid` by transferring only the `delta` blob and
+    /// reconstructing against the locally-held `base` content.
+    ///
+    /// `reconstruct(base_bytes, delta_bytes)` must return the full content
+    /// bytes (or `None` if the delta does not apply); the result is
+    /// **verified against `cid`** before being accepted, stored and
+    /// advertised, so a wrong or malicious delta can never corrupt the
+    /// fetch. Any failure — base not local, delta unavailable,
+    /// reconstruction refused, verification mismatch — falls back to a
+    /// plain full fetch and is counted in
+    /// [`TransferStats::delta_fallbacks`].
+    ///
+    /// Verification re-chunks the reconstruction at [`DEFAULT_CHUNK_SIZE`],
+    /// matching how [`IpfsNode::add`] published it. Content added through
+    /// [`IpfsNode::add_with_chunk_size`] with any other size has a
+    /// different root CID and will always take the fallback — use plain
+    /// [`IpfsNode::get`] for such content.
+    ///
+    /// # Errors
+    ///
+    /// As [`IpfsNode::get`] (of the fallback full fetch).
+    pub fn get_with_delta(
+        &self,
+        cid: Cid,
+        base: Cid,
+        delta: Cid,
+        reconstruct: impl FnOnce(&[u8], &[u8]) -> Option<Vec<u8>>,
+    ) -> Result<GetReceipt, IpfsError> {
+        let mut st = self.network.inner.lock();
+        let st = &mut *st;
         let id = self.id;
 
-        // Fast path: local blockstore.
+        // Fast paths, identical to a plain get.
+        if let Some(receipt) = Self::try_fast_path(st, id, cid, FetchOpts::NORMAL)? {
+            return Ok(receipt);
+        }
+
+        if !st.transfer.delta {
+            return Self::get_locked(st, id, cid, FetchOpts::FALLBACK);
+        }
+
+        // The base must be fully resident; otherwise a delta transfer
+        // cannot help and the full fetch is the cheapest correct path.
+        let Some(base_data) = Self::read_local(&st.nodes[id.0 as usize].store, base)? else {
+            st.stats.delta_fallbacks += 1;
+            return Self::get_locked(st, id, cid, FetchOpts::FALLBACK);
+        };
+
+        // Pull the delta blob through the ordinary (faultable, dedup-aware)
+        // machinery, but transiently: single-use payloads are not retained,
+        // so resident storage is identical whichever path served the fetch.
+        let before = st.stats;
+        let delta_receipt = match Self::get_locked(st, id, delta, FetchOpts::TRANSIENT) {
+            Ok(r) => r,
+            Err(_) => {
+                st.stats.delta_fallbacks += 1;
+                return Self::get_locked(st, id, cid, FetchOpts::FALLBACK);
+            }
+        };
+        let delta_logical = st.stats.logical_bytes - before.logical_bytes;
+        let delta_physical = st.stats.physical_bytes - before.physical_bytes;
+
+        let reconstructed = reconstruct(&base_data, &delta_receipt.data);
+        let file = reconstructed.map(|data| chunk(&data, DEFAULT_CHUNK_SIZE));
+        let Some(file) = file.filter(|f| f.root == cid) else {
+            st.stats.delta_fallbacks += 1;
+            return Self::get_locked(st, id, cid, FetchOpts::FALLBACK);
+        };
+
+        // Verified: materialize the full DAG locally (no wire bytes),
+        // advertise, account, cache.
+        let data = {
+            let node = &mut st.nodes[id.0 as usize];
+            for (_, leaf) in &file.leaves {
+                node.store.put(leaf.clone());
+            }
+            node.store.put(file.root_block.clone());
+            reassemble(
+                &decode_root(&file.root_block).expect("root block just built"),
+                |c| node.store.get(c),
+            )
+            .expect("DAG just materialized")
+        };
+        st.dht.provide(cid, id);
+
+        let full_dag = file.root_block.len() as u64
+            + file.leaves.iter().map(|(_, b)| b.len() as u64).sum::<u64>();
+        st.stats.logical_bytes += full_dag.saturating_sub(delta_logical);
+        st.stats.delta_fetches += 1;
+        st.stats.delta_bytes_saved += full_dag.saturating_sub(delta_physical);
+
+        let evictions = &mut st.stats.cache_evictions;
+        st.nodes[id.0 as usize].cache.insert(cid, &data, evictions);
+
+        // Reconstruction cost mirrors the add-path hashing model (~1 GB/s).
+        let elapsed = delta_receipt.elapsed + SimDuration::from_secs_f64(data.len() as f64 / 1.0e9);
+        Ok(GetReceipt {
+            data,
+            elapsed,
+            local_hit: false,
+        })
+    }
+
+    /// The shared serve-without-the-wire path: fetch cache, then local
+    /// blockstore (populating the cache). `Ok(None)` means the caller must
+    /// go remote. Kept in one place so plain and delta fetches can never
+    /// drift in their hit/miss accounting.
+    fn try_fast_path(
+        st: &mut NetworkState,
+        id: NodeId,
+        cid: Cid,
+        opts: FetchOpts,
+    ) -> Result<Option<GetReceipt>, IpfsError> {
+        if st.transfer.cache_bytes > 0 {
+            if let Some(data) = st.nodes[id.0 as usize].cache.get(cid) {
+                if opts.count_cache {
+                    st.stats.cache_hits += 1;
+                }
+                return Ok(Some(GetReceipt {
+                    data,
+                    elapsed: SimDuration::from_millis(1),
+                    local_hit: true,
+                }));
+            }
+            if opts.count_cache {
+                st.stats.cache_misses += 1;
+            }
+        }
         if let Some(data) = Self::read_local(&st.nodes[id.0 as usize].store, cid)? {
-            return Ok(GetReceipt {
+            if opts.retain {
+                let evictions = &mut st.stats.cache_evictions;
+                st.nodes[id.0 as usize].cache.insert(cid, &data, evictions);
+            }
+            return Ok(Some(GetReceipt {
                 data,
                 elapsed: SimDuration::from_millis(1),
                 local_hit: true,
-            });
+            }));
+        }
+        Ok(None)
+    }
+
+    fn get_locked(
+        st: &mut NetworkState,
+        id: NodeId,
+        cid: Cid,
+        opts: FetchOpts,
+    ) -> Result<GetReceipt, IpfsError> {
+        if let Some(receipt) = Self::try_fast_path(st, id, cid, opts)? {
+            return Ok(receipt);
         }
 
         // Injected DHT fault: the provider lookup fails outright; the
@@ -363,42 +792,85 @@ impl IpfsNode {
             })
             .ok_or(IpfsError::NotFound(cid))?;
 
-        // Pull the root block, then the leaves.
-        let root_block = st.nodes[provider.0 as usize]
-            .store
-            .get(cid)
-            .ok_or(IpfsError::NotFound(cid))?;
+        // Pull the root block (dedup: reuse a locally-held copy), then the
+        // leaves.
+        let mut logical = 0u64;
+        let mut transferred = 0u64;
+        let mut dedup_skipped = 0u64;
+        let mut dedup_saved = 0u64;
+
+        let local_root = st
+            .transfer
+            .dedup
+            .then(|| st.nodes[id.0 as usize].store.get(cid))
+            .flatten();
+        let root_block = match local_root {
+            Some(b) => {
+                dedup_skipped += 1;
+                dedup_saved += b.len() as u64;
+                b
+            }
+            None => {
+                let b = st.nodes[provider.0 as usize]
+                    .store
+                    .get(cid)
+                    .ok_or(IpfsError::NotFound(cid))?;
+                transferred += b.len() as u64;
+                b
+            }
+        };
+        logical += root_block.len() as u64;
         if !cid.verifies(&root_block) {
             return Err(IpfsError::Corrupt(format!("root block of {cid}")));
         }
 
-        let mut transferred = root_block.len() as u64;
         let mut blocks: Vec<Bytes> = vec![root_block.clone()];
         let data = match decode_root(&root_block) {
             Some(root) => {
                 let mut chunk_map: HashMap<Cid, Bytes> = HashMap::new();
                 for child in &root.children {
-                    let block = st.nodes[provider.0 as usize]
-                        .store
-                        .get(*child)
-                        .ok_or(IpfsError::NotFound(*child))?;
-                    transferred += block.len() as u64;
-                    // Injected chunk loss: each lost transfer is retried
-                    // (and re-charged) up to the retry budget; exhausting it
-                    // fails the whole fetch — never truncated data.
-                    if let Some(f) = st.faults.as_mut() {
-                        let mut budget = f.chunk_retries;
-                        while f.roll_chunk_loss() {
-                            f.stats.chunk_losses += 1;
-                            if budget == 0 {
-                                f.stats.exhausted_fetches += 1;
-                                return Err(IpfsError::ChunkLoss(*child));
-                            }
-                            budget -= 1;
-                            f.stats.chunk_retries += 1;
-                            transferred += block.len() as u64;
+                    // Dedup: a block the fetcher already holds is never
+                    // re-transferred (and never exposed to transfer
+                    // faults — nothing moves).
+                    let local = st
+                        .transfer
+                        .dedup
+                        .then(|| st.nodes[id.0 as usize].store.get(*child))
+                        .flatten();
+                    let block = match local {
+                        Some(b) => {
+                            dedup_skipped += 1;
+                            dedup_saved += b.len() as u64;
+                            logical += b.len() as u64;
+                            b
                         }
-                    }
+                        None => {
+                            let block = st.nodes[provider.0 as usize]
+                                .store
+                                .get(*child)
+                                .ok_or(IpfsError::NotFound(*child))?;
+                            transferred += block.len() as u64;
+                            logical += block.len() as u64;
+                            // Injected chunk loss: each lost transfer is
+                            // retried (and re-charged) up to the retry
+                            // budget; exhausting it fails the whole fetch —
+                            // never truncated data.
+                            if let Some(f) = st.faults.as_mut() {
+                                let mut budget = f.chunk_retries;
+                                while f.roll_chunk_loss() {
+                                    f.stats.chunk_losses += 1;
+                                    if budget == 0 {
+                                        f.stats.exhausted_fetches += 1;
+                                        return Err(IpfsError::ChunkLoss(*child));
+                                    }
+                                    budget -= 1;
+                                    f.stats.chunk_retries += 1;
+                                    transferred += block.len() as u64;
+                                }
+                            }
+                            block
+                        }
+                    };
                     chunk_map.insert(*child, block.clone());
                     blocks.push(block);
                 }
@@ -419,15 +891,28 @@ impl IpfsNode {
             + SimDuration::from_secs_f64(transferred as f64 / bw);
 
         st.nodes[provider.0 as usize].bytes_served += transferred;
-        // Cache locally and advertise.
+        st.stats.logical_bytes += logical;
+        st.stats.physical_bytes += transferred;
+        st.stats.dedup_chunks_skipped += dedup_skipped;
+        st.stats.dedup_bytes_saved += dedup_saved;
+
+        // Cache locally and advertise (verified content only; a fetch that
+        // errored above never reaches this point, so a poisoned fetch can
+        // never populate the blockstore or the fetch cache).
         {
             let node = &mut st.nodes[id.0 as usize];
             node.bytes_fetched += transferred;
-            for b in blocks {
-                node.store.put(b);
+            if opts.retain {
+                for b in blocks {
+                    node.store.put(b);
+                }
             }
         }
-        st.dht.provide(cid, id);
+        if opts.retain {
+            st.dht.provide(cid, id);
+            let evictions = &mut st.stats.cache_evictions;
+            st.nodes[id.0 as usize].cache.insert(cid, &data, evictions);
+        }
 
         Ok(GetReceipt {
             data,
@@ -523,6 +1008,14 @@ mod tests {
         (net, nodes)
     }
 
+    /// A fabric with every transfer optimization off (the historical
+    /// baseline most invariants are phrased against).
+    fn naive_fabric(n: usize) -> (IpfsNetwork, Vec<IpfsNode>) {
+        let (net, nodes) = fabric(n);
+        net.configure_transfer(TransferConfig::disabled(), 0);
+        (net, nodes)
+    }
+
     #[test]
     fn add_then_remote_get_round_trips() {
         let (_, nodes) = fabric(3);
@@ -568,7 +1061,11 @@ mod tests {
 
     #[test]
     fn gc_withdraws_unpinned_content() {
-        let (_, nodes) = fabric(2);
+        let (net, nodes) = fabric(2);
+        // The fetch cache would keep serving GC'd content (it is
+        // content-addressed, so that is *correct*), but this test asserts
+        // the provider-withdrawal path, so run it on the naive config.
+        net.configure_transfer(TransferConfig::disabled(), 0);
         let receipt = nodes[0].add(b"temporary");
         nodes[0].unpin(receipt.cid);
         let removed = nodes[0].gc();
@@ -619,7 +1116,7 @@ mod tests {
 
     #[test]
     fn injected_fetch_failures_are_counted_and_retryable() {
-        let (net, nodes) = fabric(2);
+        let (net, nodes) = naive_fabric(2);
         let receipt = nodes[0].add(&vec![3u8; 4096]);
         net.install_faults(StorageFaults::new(7, 0.5, 0.0, 2));
         let mut failures = 0;
@@ -641,12 +1138,23 @@ mod tests {
         let stats = net.fault_stats().unwrap();
         assert_eq!(stats.fetch_failures, failures);
         net.record_fetch_retry();
-        assert_eq!(net.fault_stats().unwrap().fetch_retries, 1);
+        net.record_fetch_retry_outcome(true);
+        net.record_fetch_retry();
+        net.record_fetch_retry_outcome(false);
+        let stats = net.fault_stats().unwrap();
+        assert_eq!(stats.fetch_retries, 2);
+        assert_eq!(stats.fetch_recoveries, 1);
+        assert_eq!(stats.fetch_permanent_failures, 1);
+        assert_eq!(
+            stats.fetch_retries,
+            stats.fetch_recoveries + stats.fetch_permanent_failures,
+            "every retry resolves to exactly one outcome"
+        );
     }
 
     #[test]
     fn chunk_loss_is_retried_and_never_truncates() {
-        let (net, nodes) = fabric(2);
+        let (net, nodes) = naive_fabric(2);
         // 8 chunks of 256 B.
         let data: Vec<u8> = (0..2048u32).map(|i| (i % 241) as u8).collect();
         let receipt = nodes[0].add_with_chunk_size(&data, 256);
@@ -661,7 +1169,7 @@ mod tests {
 
     #[test]
     fn exhausted_chunk_retries_fail_the_whole_fetch() {
-        let (net, nodes) = fabric(2);
+        let (net, nodes) = naive_fabric(2);
         let data = vec![9u8; 2048];
         let receipt = nodes[0].add_with_chunk_size(&data, 256);
         // Certain loss, zero retries: the fetch must error, not truncate.
@@ -684,5 +1192,227 @@ mod tests {
         let got = nodes[0].get(receipt.cid).unwrap();
         assert!(got.local_hit);
         assert_eq!(got.data, b"resident");
+    }
+
+    // ---- transfer layer ------------------------------------------------
+
+    #[test]
+    fn cache_serves_repeat_fetches_and_counts() {
+        let (net, nodes) = fabric(2);
+        net.configure_transfer(
+            TransferConfig {
+                dedup: false,
+                delta: false,
+                cache_bytes: 1 << 20,
+            },
+            42,
+        );
+        let receipt = nodes[0].add(&vec![5u8; 10_000]);
+        let first = nodes[1].get(receipt.cid).unwrap();
+        assert!(!first.local_hit);
+        let second = nodes[1].get(receipt.cid).unwrap();
+        assert!(second.local_hit);
+        assert_eq!(second.data, first.data);
+        let stats = net.transfer_stats();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+        assert!(stats.cache_resident_bytes >= 10_000);
+    }
+
+    #[test]
+    fn cache_eviction_respects_budget_and_is_deterministic() {
+        let run = |seed: u64| {
+            let (net, nodes) = fabric(2);
+            net.configure_transfer(
+                TransferConfig {
+                    dedup: false,
+                    delta: false,
+                    cache_bytes: 25_000,
+                },
+                seed,
+            );
+            let mut cids = Vec::new();
+            for i in 0..8u8 {
+                cids.push(nodes[0].add(&vec![i; 10_000]).cid);
+            }
+            for cid in &cids {
+                nodes[1].get(*cid).unwrap();
+            }
+            let stats = net.transfer_stats();
+            assert!(stats.cache_resident_bytes <= 25_000, "budget respected");
+            assert!(stats.cache_evictions >= 6, "evictions occurred");
+            // Which entries survived is observable via hit/miss on re-get.
+            let hits: Vec<bool> = cids
+                .iter()
+                .map(|c| nodes[1].get(*c).unwrap().local_hit)
+                .collect();
+            hits
+        };
+        assert_eq!(run(9), run(9), "same seed, same eviction outcome");
+    }
+
+    #[test]
+    fn failed_fetch_never_populates_the_cache() {
+        let (net, nodes) = fabric(2);
+        net.configure_transfer(
+            TransferConfig {
+                dedup: false,
+                delta: false,
+                cache_bytes: 1 << 20,
+            },
+            1,
+        );
+        let data = vec![7u8; 2048];
+        let receipt = nodes[0].add_with_chunk_size(&data, 256);
+        // Certain chunk loss, no retries: the fetch is poisoned.
+        net.install_faults(StorageFaults::new(3, 0.0, 1.0, 0));
+        assert!(nodes[1].get(receipt.cid).is_err());
+        assert_eq!(net.transfer_stats().cache_resident_bytes, 0);
+        // And a clean retry after the fault clears serves + caches.
+        net.clear_faults();
+        assert_eq!(nodes[1].get(receipt.cid).unwrap().data, data);
+        assert!(net.transfer_stats().cache_resident_bytes > 0);
+    }
+
+    #[test]
+    fn dedup_skips_locally_held_chunks() {
+        let (net, nodes) = fabric(2);
+        net.configure_transfer(
+            TransferConfig {
+                dedup: true,
+                delta: false,
+                cache_bytes: 0,
+            },
+            0,
+        );
+        // Two files sharing half their chunks.
+        let shared: Vec<u8> = vec![1u8; 1024];
+        let mut a = shared.clone();
+        a.extend(vec![2u8; 1024]);
+        let mut b = shared.clone();
+        b.extend(vec![3u8; 1024]);
+        let ra = nodes[0].add_with_chunk_size(&a, 256);
+        let rb = nodes[0].add_with_chunk_size(&b, 256);
+
+        nodes[1].get(ra.cid).unwrap();
+        let before = net.transfer_stats();
+        let got = nodes[1].get(rb.cid).unwrap();
+        assert_eq!(got.data, b, "dedup never changes fetched bytes");
+        let after = net.transfer_stats();
+        assert!(
+            after.dedup_chunks_skipped > before.dedup_chunks_skipped,
+            "shared chunks were reused"
+        );
+        assert!(
+            after.physical_bytes - before.physical_bytes
+                < after.logical_bytes - before.logical_bytes,
+            "the second fetch moved fewer bytes than its logical size"
+        );
+    }
+
+    #[test]
+    fn delta_fetch_reconstructs_verifies_and_accounts() {
+        let (net, nodes) = fabric(2);
+        net.configure_transfer(
+            TransferConfig {
+                dedup: true,
+                delta: true,
+                cache_bytes: 1 << 20,
+            },
+            3,
+        );
+        let base: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        let mut new = base.clone();
+        new[5] = 0xFF; // tiny change
+        let delta: Vec<u8> = vec![5, 0xFF]; // toy format: (index, byte)
+
+        let rb = nodes[0].add(&base);
+        let rn = nodes[0].add(&new);
+        let rd = nodes[0].add(&delta);
+
+        // Fetcher holds the base already.
+        nodes[1].get(rb.cid).unwrap();
+        let before = net.transfer_stats();
+        let got = nodes[1]
+            .get_with_delta(rn.cid, rb.cid, rd.cid, |b, d| {
+                let mut out = b.to_vec();
+                out[d[0] as usize] = d[1];
+                Some(out)
+            })
+            .unwrap();
+        assert_eq!(got.data, new, "reconstruction is exact");
+        assert!(!got.local_hit);
+        let after = net.transfer_stats();
+        assert_eq!(after.delta_fetches, before.delta_fetches + 1);
+        assert!(
+            after.physical_bytes - before.physical_bytes < 1000,
+            "only the delta moved"
+        );
+        assert!(after.logical_bytes - before.logical_bytes > 99_000);
+        assert!(after.delta_bytes_saved > 90_000);
+        // The full content is now materialized, advertised and cacheable.
+        assert!(nodes[1].has_local(rn.cid));
+        assert!(nodes[1].get(rn.cid).unwrap().local_hit);
+    }
+
+    #[test]
+    fn delta_fetch_falls_back_when_base_missing_or_reconstruction_wrong() {
+        let (net, nodes) = fabric(2);
+        net.configure_transfer(TransferConfig::default(), 3);
+        let content = vec![9u8; 50_000];
+        let rc = nodes[0].add(&content);
+        let rd = nodes[0].add(b"not really a delta");
+        let ghost_base = Cid::for_data(b"never stored");
+
+        // Base missing: full fetch, correct bytes.
+        let got = nodes[1]
+            .get_with_delta(rc.cid, ghost_base, rd.cid, |_, _| unreachable!())
+            .unwrap();
+        assert_eq!(got.data, content);
+        assert_eq!(net.transfer_stats().delta_fallbacks, 1);
+
+        // Reconstruction lies: verification rejects it, full fetch wins.
+        let (net2, nodes2) = fabric(2);
+        net2.configure_transfer(TransferConfig::default(), 3);
+        let rb2 = nodes2[0].add(b"base");
+        let rc2 = nodes2[0].add(&content);
+        let rd2 = nodes2[0].add(b"delta");
+        nodes2[1].get(rb2.cid).unwrap();
+        let got = nodes2[1]
+            .get_with_delta(rc2.cid, rb2.cid, rd2.cid, |_, _| Some(vec![1, 2, 3]))
+            .unwrap();
+        assert_eq!(got.data, content, "bad reconstruction never surfaces");
+        assert_eq!(net2.transfer_stats().delta_fallbacks, 1);
+    }
+
+    #[test]
+    fn transfer_strategy_never_changes_resident_storage() {
+        // The same traffic under naive and optimized configs must leave
+        // the fabric's blockstores byte-identical: the strategy changes
+        // what moves, never what is stored.
+        let run = |config: TransferConfig| {
+            let (net, nodes) = fabric(3);
+            net.configure_transfer(config, 7);
+            let base: Vec<u8> = (0..40_000u32).map(|i| (i % 255) as u8).collect();
+            let mut new = base.clone();
+            new[17] = 0xAA;
+            let rb = nodes[0].add(&base);
+            let rn = nodes[0].add(&new);
+            let rd = nodes[0].add(&[17, 0xAA]);
+            for node in &nodes[1..] {
+                node.get(rb.cid).unwrap();
+                node.get_with_delta(rn.cid, rb.cid, rd.cid, |b, d| {
+                    let mut out = b.to_vec();
+                    out[d[0] as usize] = d[1];
+                    Some(out)
+                })
+                .unwrap();
+            }
+            net.total_bytes()
+        };
+        assert_eq!(
+            run(TransferConfig::disabled()),
+            run(TransferConfig::default())
+        );
     }
 }

@@ -99,3 +99,57 @@ proptest! {
         prop_assert_ne!(Cid::for_data(&a), Cid::for_data(&b));
     }
 }
+
+proptest! {
+    /// Dedup never changes fetched bytes: for arbitrary content pairs with
+    /// arbitrary chunk-level overlap, a fetch with dedup (and the cache)
+    /// enabled returns byte-identical data to the naive path — only the
+    /// wire accounting differs.
+    #[test]
+    fn dedup_never_changes_fetched_bytes(
+        shared in proptest::collection::vec(any::<u8>(), 0..1024),
+        tail_a in proptest::collection::vec(any::<u8>(), 1..512),
+        tail_b in proptest::collection::vec(any::<u8>(), 1..512),
+        chunk_size in 1usize..300,
+        cache in any::<bool>(),
+    ) {
+        use unifyfl_storage::TransferConfig;
+
+        let mut a = shared.clone();
+        a.extend(&tail_a);
+        let mut b = shared.clone();
+        b.extend(&tail_b);
+
+        let fetch_both = |config: TransferConfig| {
+            let net = IpfsNetwork::new();
+            net.configure_transfer(config, 11);
+            let adder = net.add_node(LinkProfile::lan());
+            let getter = net.add_node(LinkProfile::lan());
+            let ra = adder.add_with_chunk_size(&a, chunk_size);
+            let rb = adder.add_with_chunk_size(&b, chunk_size);
+            let got_a = getter.get(ra.cid).unwrap().data;
+            let got_b = getter.get(rb.cid).unwrap().data;
+            (got_a, got_b, net.transfer_stats())
+        };
+
+        let naive = fetch_both(TransferConfig::disabled());
+        let optimized = fetch_both(TransferConfig {
+            dedup: true,
+            delta: false,
+            cache_bytes: if cache { 1 << 20 } else { 0 },
+        });
+
+        prop_assert_eq!(&naive.0, &a);
+        prop_assert_eq!(&naive.1, &b);
+        prop_assert_eq!(&optimized.0, &naive.0, "dedup changed fetched bytes");
+        prop_assert_eq!(&optimized.1, &naive.1, "dedup changed fetched bytes");
+        // Dedup only ever removes wire bytes, and both paths agree on the
+        // logical volume.
+        prop_assert_eq!(optimized.2.logical_bytes, naive.2.logical_bytes);
+        prop_assert!(optimized.2.physical_bytes <= naive.2.physical_bytes);
+        prop_assert_eq!(
+            optimized.2.physical_bytes + optimized.2.dedup_bytes_saved,
+            optimized.2.logical_bytes
+        );
+    }
+}

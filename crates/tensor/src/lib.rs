@@ -15,6 +15,9 @@
 //!   (FedYogi server optimizer);
 //! - [`weights`] — wire serialization of weight vectors (the bytes stored
 //!   on IPFS);
+//! - [`delta`] — bit-exact delta encoding of a weight vector against a
+//!   base model (the payload behind the storage layer's
+//!   `(base_cid, delta_cid)` references);
 //! - [`zoo`] — the paper's model specs, including the VGG16 cost proxy;
 //! - [`metrics`] — accuracy and weighted-mean accumulators.
 //!
@@ -31,6 +34,9 @@
 //! assert_eq!(logits.shape(), &[2, 3]);
 //! ```
 
+#![warn(missing_docs)]
+
+pub mod delta;
 pub mod layers;
 pub mod loss;
 pub mod metrics;
@@ -40,6 +46,7 @@ pub mod tensor;
 pub mod weights;
 pub mod zoo;
 
+pub use delta::{delta_from_bytes, delta_to_bytes, DeltaDecodeError};
 pub use model::Sequential;
 pub use tensor::Tensor;
 pub use weights::{weights_from_bytes, weights_to_bytes};

@@ -51,6 +51,52 @@ pub fn weights_from_bytes(bytes: &[u8]) -> Result<Vec<f32>, WeightsDecodeError> 
     Ok(out)
 }
 
+/// Rounds a weight vector to a release precision of `mantissa_bits`
+/// (1 ..= 23) kept mantissa bits, round-to-nearest-even on the IEEE bit
+/// pattern, saturating at the largest representable finite value.
+///
+/// Publishers apply this before serialization so the *released* model is
+/// precision-bounded: the dropped low-order mantissa bits are zero in every
+/// stored word, which both bounds what peers can infer about raw local
+/// weights and gives the [`crate::delta`] codec whole zero trailing bytes
+/// to elide. `mantissa_bits == 23` is the identity. The result is always
+/// finite for finite input; **non-finite values pass through unchanged**,
+/// so a corrupt model still fails [`weights_from_bytes`]'s non-finite
+/// rejection at the consumer instead of being laundered into a huge
+/// finite weight.
+///
+/// # Panics
+///
+/// Panics if `mantissa_bits` is 0 or greater than 23.
+pub fn quantize_release(weights: &[f32], mantissa_bits: u32) -> Vec<f32> {
+    assert!(
+        (1..=23).contains(&mantissa_bits),
+        "mantissa_bits must be in 1..=23"
+    );
+    if mantissa_bits == 23 {
+        return weights.to_vec();
+    }
+    let drop = 23 - mantissa_bits;
+    // Largest finite magnitude whose low `drop` bits are zero.
+    let max_mag = (0x7F80_0000u32 - (1 << drop)) & !((1 << drop) - 1);
+    weights
+        .iter()
+        .map(|w| {
+            if !w.is_finite() {
+                return *w;
+            }
+            let bits = w.to_bits();
+            let sign = bits & 0x8000_0000;
+            let mag = bits & 0x7FFF_FFFF;
+            // Round half to even on the magnitude's bit pattern (carries
+            // into the exponent are exactly IEEE rounding).
+            let bias = (1u32 << (drop - 1)) - 1 + ((mag >> drop) & 1);
+            let rounded = mag.saturating_add(bias) & !((1 << drop) - 1);
+            f32::from_bits(sign | rounded.min(max_mag))
+        })
+        .collect()
+}
+
 /// Error decoding a serialized weight blob.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WeightsDecodeError {
@@ -125,6 +171,55 @@ mod tests {
             weights_from_bytes(&bytes),
             Err(WeightsDecodeError::NonFinite)
         );
+    }
+
+    #[test]
+    fn quantize_release_bounds_precision_and_stays_finite() {
+        let w: Vec<f32> = vec![0.1, -0.1, 1.5e-38, 3.0e38, -3.0e38, 0.0, 123.456];
+        let q = quantize_release(&w, 7);
+        for (orig, quant) in w.iter().zip(&q) {
+            assert!(quant.is_finite(), "{orig} -> {quant}");
+            // Low 16 mantissa bits cleared (bf16-style payload).
+            assert_eq!(quant.to_bits() & 0xFFFF, 0, "{orig} -> {quant:?}");
+            // Relative error bounded by the kept precision (2^-7ish),
+            // except right at the saturation clamp.
+            if orig.abs() < 3.0e38 && *orig != 0.0 {
+                assert!(((quant - orig) / orig).abs() < 0.01, "{orig} -> {quant}");
+            }
+        }
+        // Sign and zero preserved exactly.
+        assert_eq!(q[5], 0.0);
+        assert!(q[1] < 0.0);
+    }
+
+    #[test]
+    fn quantize_release_passes_non_finite_through_for_downstream_rejection() {
+        // A corrupt (overflowed/poisoned) model must stay rejectable: the
+        // quantizer must not launder inf/NaN into a huge finite weight.
+        let q = quantize_release(&[f32::INFINITY, f32::NEG_INFINITY, f32::NAN, 1.0], 7);
+        assert_eq!(q[0], f32::INFINITY);
+        assert_eq!(q[1], f32::NEG_INFINITY);
+        assert!(q[2].is_nan());
+        assert!(q[3].is_finite());
+        // And the serialized blob still fails decoding, as before.
+        assert_eq!(
+            weights_from_bytes(&weights_to_bytes(&q)),
+            Err(WeightsDecodeError::NonFinite)
+        );
+    }
+
+    #[test]
+    fn quantize_release_is_idempotent_and_full_precision_is_identity() {
+        let w: Vec<f32> = (0..100).map(|i| (i as f32).sin()).collect();
+        let q = quantize_release(&w, 10);
+        assert_eq!(quantize_release(&q, 10), q, "idempotent");
+        assert_eq!(quantize_release(&w, 23), w, "23 bits is the identity");
+    }
+
+    #[test]
+    #[should_panic(expected = "mantissa_bits")]
+    fn quantize_release_rejects_zero_bits() {
+        let _ = quantize_release(&[1.0], 0);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! track a **virtual parameter count** used by the cost model, so the
 //! simulated compute/transfer time reflects the paper's model sizes even
 //! where the trained proxy is smaller (the VGG16 substitution documented in
-//! DESIGN.md).
+//! ARCHITECTURE.md).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -92,3 +92,101 @@ proptest! {
         prop_assert_eq!(m1.forward(&x, false), m2.forward(&x, false));
     }
 }
+
+proptest! {
+    /// Delta encode → decode is exactly the identity on arbitrary finite
+    /// weight tensors, bit for bit, for every base relationship: related
+    /// (small drift), unrelated, quantized, or length-mismatched.
+    #[test]
+    fn delta_round_trip_is_bit_exact(
+        base in proptest::collection::vec(finite_f32(), 0..256),
+        extra in proptest::collection::vec(finite_f32(), 0..16),
+        drift in -0.5f32..0.5,
+        mantissa_bits in 1u32..=23,
+        same_len in any::<bool>(),
+    ) {
+        use unifyfl_tensor::delta::{delta_from_bytes, delta_to_bytes};
+        use unifyfl_tensor::weights::quantize_release;
+
+        // Derive a "new" vector that exercises each encoder regime.
+        let mut new: Vec<f32> = base.iter().map(|w| w + w * drift).collect();
+        if !same_len {
+            new.extend(&extra);
+        }
+        let new = quantize_release(&new, mantissa_bits);
+
+        let bytes = delta_to_bytes(&base, &new);
+        let decoded = delta_from_bytes(&base, &bytes).unwrap();
+        prop_assert_eq!(decoded.len(), new.len());
+        for (d, n) in decoded.iter().zip(&new) {
+            prop_assert_eq!(d.to_bits(), n.to_bits(), "bit-exact reconstruction");
+        }
+    }
+
+    /// The NaN-free guarantee: a delta whose reconstruction would contain
+    /// non-finite values is rejected at decode, never returned.
+    #[test]
+    fn delta_decode_rejects_non_finite(
+        base in proptest::collection::vec(finite_f32(), 1..64),
+        poison_at in 0usize..64,
+    ) {
+        use unifyfl_tensor::delta::{delta_from_bytes, delta_to_bytes, DeltaDecodeError};
+
+        let mut new = base.clone();
+        let poison_at = poison_at % new.len();
+        new[poison_at] = f32::NAN;
+        let bytes = delta_to_bytes(&base, &new);
+        prop_assert_eq!(
+            delta_from_bytes(&base, &bytes).unwrap_err(),
+            DeltaDecodeError::NonFinite
+        );
+    }
+
+    /// A delta never decodes against a wrong-length base (stand-in for
+    /// "the wrong base model"): it errors rather than fabricating weights.
+    #[test]
+    fn delta_decode_rejects_wrong_base_length(
+        base in proptest::collection::vec(finite_f32(), 2..64),
+        cut in 1usize..63,
+    ) {
+        use unifyfl_tensor::delta::{delta_from_bytes, delta_to_bytes};
+
+        let new: Vec<f32> = base.iter().map(|w| w + 1.0e-3).collect();
+        let bytes = delta_to_bytes(&base, &new);
+        let cut = cut.min(base.len() - 1);
+        // Dense encodings need no base at all; base-relative ones must
+        // reject the mismatch. Either way the decode never mis-applies.
+        match delta_from_bytes(&base[..cut], &bytes) {
+            Ok(decoded) => {
+                for (d, n) in decoded.iter().zip(&new) {
+                    prop_assert_eq!(d.to_bits(), n.to_bits());
+                }
+            }
+            Err(e) => prop_assert!(matches!(
+                e,
+                unifyfl_tensor::delta::DeltaDecodeError::BaseMismatch { .. }
+            )),
+        }
+    }
+
+    /// Release quantization really bounds the payload: the dropped mantissa
+    /// bits of every released word are zero, and the value error is within
+    /// one step of the kept precision.
+    #[test]
+    fn quantize_release_zeroes_dropped_bits(
+        w in proptest::collection::vec(finite_f32(), 0..128),
+        mantissa_bits in 1u32..=23,
+    ) {
+        use unifyfl_tensor::weights::quantize_release;
+        let q = quantize_release(&w, mantissa_bits);
+        let mask = (1u32 << (23 - mantissa_bits)) - 1;
+        for (orig, quant) in w.iter().zip(&q) {
+            prop_assert!(quant.is_finite());
+            prop_assert_eq!(quant.to_bits() & mask, 0);
+            if *orig != 0.0 {
+                let rel = ((quant - orig) / orig).abs();
+                prop_assert!(rel <= 1.0 / ((1u64 << mantissa_bits) as f32), "{} -> {}", orig, quant);
+            }
+        }
+    }
+}

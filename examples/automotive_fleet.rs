@@ -19,6 +19,7 @@ use unifyfl::core::federation::Federation;
 use unifyfl::core::orchestration::run_sync;
 use unifyfl::core::policy::{AggregationPolicy, ScorePolicy};
 use unifyfl::core::scoring::ScorerKind;
+use unifyfl::core::TransferConfig;
 use unifyfl::data::{Partition, SyntheticConfig, WorkloadConfig};
 use unifyfl::fl::StrategyKind;
 use unifyfl::sim::DeviceProfile;
@@ -68,6 +69,7 @@ fn main() {
         clusters: companies,
         window_margin: 1.15,
         chaos: None,
+        transfer: TransferConfig::default(),
     };
     config.validate().expect("valid scenario");
 

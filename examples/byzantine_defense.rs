@@ -16,6 +16,7 @@ use unifyfl::core::experiment::{run_experiment, ExperimentConfig, Mode};
 use unifyfl::core::policy::{AggregationPolicy, ScorePolicy};
 use unifyfl::core::report::render_curves;
 use unifyfl::core::scoring::ScorerKind;
+use unifyfl::core::TransferConfig;
 use unifyfl::data::{Partition, WorkloadConfig};
 use unifyfl::sim::DeviceProfile;
 
@@ -44,6 +45,7 @@ fn scenario(policy: AggregationPolicy, label: &str) -> ExperimentConfig {
         ],
         window_margin: 1.15,
         chaos: None,
+        transfer: TransferConfig::default(),
     }
 }
 

@@ -14,6 +14,7 @@ use unifyfl::core::cluster::ClusterConfig;
 use unifyfl::core::experiment::{run_experiment, ExperimentConfig, ExperimentReport, Mode};
 use unifyfl::core::policy::{AggregationPolicy, ScorePolicy};
 use unifyfl::core::scoring::ScorerKind;
+use unifyfl::core::TransferConfig;
 use unifyfl::data::{Partition, WorkloadConfig};
 use unifyfl::sim::DeviceProfile;
 
@@ -39,6 +40,7 @@ fn config(mode: Mode) -> ExperimentConfig {
         clusters,
         window_margin: 1.15,
         chaos: None,
+        transfer: TransferConfig::default(),
     }
 }
 

@@ -1,8 +1,9 @@
 //! # UnifyFL — decentralized cross-silo federated learning
 //!
 //! Facade crate re-exporting the full public API of the UnifyFL
-//! reproduction (Middleware '25). See the workspace README for the
-//! architecture overview and `DESIGN.md` for the substrate inventory.
+//! reproduction (Middleware '25). See the workspace README for a tour and
+//! `ARCHITECTURE.md` for the crate DAG, round lifecycle, bandwidth-aware
+//! storage layer, fault-injection map and design decisions.
 //!
 //! The typical entry point is [`core::experiment`], which wires together the
 //! blockchain orchestrator, the content-addressed store, the Flower-like FL

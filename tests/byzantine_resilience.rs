@@ -9,6 +9,7 @@ use unifyfl::core::federation::Federation;
 use unifyfl::core::orchestration::run_sync;
 use unifyfl::core::policy::{AggregationPolicy, ScorePolicy};
 use unifyfl::core::scoring::ScorerKind;
+use unifyfl::core::TransferConfig;
 use unifyfl::data::{Partition, SyntheticConfig, WorkloadConfig};
 use unifyfl::sim::DeviceProfile;
 use unifyfl::tensor::ModelSpec;
@@ -57,6 +58,7 @@ fn config(policy: AggregationPolicy, attack: AttackKind) -> ExperimentConfig {
         ],
         window_margin: 1.15,
         chaos: None,
+        transfer: TransferConfig::default(),
     }
 }
 

@@ -4,9 +4,14 @@
 //! budget). The content-addressing invariant under fault: a fetch either
 //! reconstructs the exact original bytes or errors — never truncated data —
 //! so accuracy can degrade (skipped merges) but never corrupt.
+//!
+//! Caller-level retries are split by outcome: `fetch_recoveries` counts
+//! retried-then-succeeded fetches, `fetch_permanent_failures` counts
+//! fetches abandoned after the retry failed too, and the two always sum to
+//! `fetch_retries`.
 
 use unifyfl::core::experiment::{ExperimentBuilder, ExperimentReport, Mode};
-use unifyfl::core::ChaosConfig;
+use unifyfl::core::{ChaosConfig, TransferConfig};
 
 fn flaky_storage() -> ChaosConfig {
     ChaosConfig {
@@ -17,13 +22,14 @@ fn flaky_storage() -> ChaosConfig {
     }
 }
 
-fn run(mode: Mode, seed: u64) -> ExperimentReport {
+fn run(mode: Mode, seed: u64, transfer: TransferConfig) -> ExperimentReport {
     ExperimentBuilder::quickstart()
         .seed(seed)
         .rounds(4)
         .mode(mode)
         .label("chaos-storage")
         .chaos(flaky_storage())
+        .transfer(transfer)
         .run()
         .expect("chaos config is valid")
 }
@@ -34,20 +40,23 @@ fn assert_storage_faults_fired(report: &ExperimentReport) {
         report.chaos.fetch_failures > 0,
         "DHT failures must have fired"
     );
-    assert!(
-        report.chaos.fetch_retries > 0,
-        "the engine must have retried failed fetches"
-    );
     assert!(report.chaos.chunk_losses > 0, "chunk loss must have fired");
     assert!(
         report.chaos.chunk_retries > 0,
         "lost chunks must have been retransmitted"
     );
+    // The retry split is an invariant of the accounting, not of the seed:
+    // every caller-level retry resolves to exactly one outcome.
+    assert_eq!(
+        report.chaos.fetch_retries,
+        report.chaos.fetch_recoveries + report.chaos.fetch_permanent_failures,
+        "retry outcomes must partition the retries"
+    );
 }
 
 #[test]
 fn sync_run_degrades_gracefully_under_storage_faults() {
-    let report = run(Mode::Sync, 7);
+    let report = run(Mode::Sync, 7, TransferConfig::default());
     assert_storage_faults_fired(&report);
 
     // Storage faults skip merges; they never cost rounds.
@@ -68,7 +77,7 @@ fn sync_run_degrades_gracefully_under_storage_faults() {
 
 #[test]
 fn async_run_degrades_gracefully_under_storage_faults() {
-    let report = run(Mode::Async, 13);
+    let report = run(Mode::Async, 13, TransferConfig::default());
     assert_storage_faults_fired(&report);
     for agg in &report.aggregators {
         assert_eq!(agg.rounds, 4);
@@ -80,13 +89,57 @@ fn async_run_degrades_gracefully_under_storage_faults() {
 }
 
 #[test]
+fn retry_split_distinguishes_recovered_from_permanent_failures() {
+    // With the transfer optimizations off, every fetch is a full remote
+    // fetch and every whole-fetch failure surfaces to the engine, so the
+    // caller-level retry path (and both of its outcomes) is exercised
+    // heavily: at 30% failure probability a retry recovers ~70% of the
+    // time and fails permanently ~30%.
+    let report = run(Mode::Sync, 7, TransferConfig::disabled());
+    assert!(report.chaos.fetch_retries > 0, "retries must have fired");
+    assert!(
+        report.chaos.fetch_recoveries > 0,
+        "some retried fetches must have recovered"
+    );
+    assert!(
+        report.chaos.fetch_permanent_failures > 0,
+        "some retried fetches must have failed for good"
+    );
+    assert_eq!(
+        report.chaos.fetch_retries,
+        report.chaos.fetch_recoveries + report.chaos.fetch_permanent_failures,
+        "the split partitions the retry counter exactly"
+    );
+    // A permanent failure implies at least two whole-fetch failures (the
+    // original and the retry), so the DHT counter dominates the split.
+    assert!(
+        report.chaos.fetch_failures
+            >= report.chaos.fetch_retries + report.chaos.fetch_permanent_failures
+    );
+}
+
+#[test]
+fn delta_fallbacks_absorb_faults_without_caller_retries() {
+    // With the transfer layer on, a fault hitting the *delta blob* fetch
+    // falls back to a full fetch inside the storage layer: the engine sees
+    // success and the failure shows up as a delta fallback instead of a
+    // caller retry.
+    let report = run(Mode::Sync, 7, TransferConfig::default());
+    assert!(report.chaos.fetch_failures > 0);
+    assert!(
+        report.transfer.delta_fallbacks > 0,
+        "faulted delta fetches must fall back"
+    );
+}
+
+#[test]
 fn storage_fault_accounting_is_seed_deterministic() {
-    let a = run(Mode::Sync, 7);
-    let b = run(Mode::Sync, 7);
+    let a = run(Mode::Sync, 7, TransferConfig::default());
+    let b = run(Mode::Sync, 7, TransferConfig::default());
     assert_eq!(a.chaos, b.chaos, "identical fault accounting per seed");
     assert_eq!(format!("{a:?}"), format!("{b:?}"));
     // A different seed draws a different fault stream.
-    let c = run(Mode::Sync, 8);
+    let c = run(Mode::Sync, 8, TransferConfig::default());
     assert_ne!(
         (a.chaos.fetch_failures, a.chaos.chunk_losses),
         (c.chaos.fetch_failures, c.chaos.chunk_losses),

@@ -16,6 +16,7 @@ use unifyfl::core::cluster::ClusterConfig;
 use unifyfl::core::experiment::{run_experiment, ExperimentConfig, ExperimentError, Mode};
 use unifyfl::core::policy::AggregationPolicy;
 use unifyfl::core::scoring::ScorerKind;
+use unifyfl::core::TransferConfig;
 use unifyfl::core::{ChaosConfig, FaultPlan};
 use unifyfl::data::{Partition, SyntheticConfig, WorkloadConfig};
 use unifyfl::sim::DeviceProfile;
@@ -59,6 +60,7 @@ fn config(mode: Mode) -> ExperimentConfig {
         clusters: heterogeneous_clusters(),
         window_margin: 1.15,
         chaos: None,
+        transfer: TransferConfig::default(),
     }
 }
 
