@@ -13,7 +13,7 @@
 //!    depends on how many scorers actually report.
 
 use unifyfl_core::cluster::ClusterConfig;
-use unifyfl_core::experiment::{run_experiment, ExperimentConfig, Mode};
+use unifyfl_core::experiment::{run_experiment, Engine, ExperimentConfig, Mode};
 use unifyfl_core::policy::AggregationPolicy;
 use unifyfl_core::scoring::ScorerKind;
 use unifyfl_core::TransferConfig;
@@ -56,6 +56,7 @@ fn base_config(seed: u64, mode: Mode) -> ExperimentConfig {
         window_margin: 1.15,
         chaos: None,
         transfer: TransferConfig::default(),
+        engine: Engine::auto(),
     }
 }
 

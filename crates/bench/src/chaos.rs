@@ -7,7 +7,7 @@
 //! `chaos` binary so CI can track the resilience trajectory over time.
 
 use unifyfl_core::cluster::ClusterConfig;
-use unifyfl_core::experiment::{run_experiment, ExperimentConfig, ExperimentReport, Mode};
+use unifyfl_core::experiment::{run_experiment, Engine, ExperimentConfig, ExperimentReport, Mode};
 use unifyfl_core::policy::AggregationPolicy;
 use unifyfl_core::report::{render_chaos_summary, render_run_table};
 use unifyfl_core::scoring::ScorerKind;
@@ -69,6 +69,7 @@ pub fn config(seed: u64, chaos: Option<ChaosConfig>) -> ExperimentConfig {
         window_margin: 1.15,
         chaos,
         transfer: TransferConfig::default(),
+        engine: Engine::auto(),
     }
 }
 

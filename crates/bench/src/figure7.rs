@@ -10,7 +10,7 @@
 //!   accuracy scorers give the poisoned model a near-zero score.
 
 use unifyfl_core::byzantine::AttackKind;
-use unifyfl_core::experiment::{run_experiment, ExperimentConfig, ExperimentReport, Mode};
+use unifyfl_core::experiment::{run_experiment, Engine, ExperimentConfig, ExperimentReport, Mode};
 use unifyfl_core::policy::{AggregationPolicy, ScorePolicy};
 use unifyfl_core::report::render_curves;
 use unifyfl_core::scoring::ScorerKind;
@@ -65,6 +65,7 @@ pub fn config(variant: PolicyVariant, scale: Scale, seed: u64) -> ExperimentConf
         window_margin: 1.15,
         chaos: None,
         transfer: TransferConfig::default(),
+        engine: Engine::auto(),
     }
 }
 

@@ -18,11 +18,13 @@
 //! | [`scalability`] | §4.2.6 — 60 clients across 3 aggregators |
 //! | [`chaos`] | resilience trajectory — rounds-to-converge under churn |
 //! | [`transfer`] | bandwidth trajectory — bytes-on-wire, dedup/delta/cache on vs. off |
+//! | [`speed`] | speed trajectory — wall-clock, parallel two-phase engine vs. sequential |
 
 pub mod ablation;
 pub mod chaos;
 pub mod figure7;
 pub mod scalability;
+pub mod speed;
 pub mod table1;
 pub mod table5;
 pub mod table6;

@@ -14,7 +14,7 @@
 
 use unifyfl_core::baseline::run_hbfl;
 use unifyfl_core::cluster::ClusterConfig;
-use unifyfl_core::experiment::{run_experiment, ExperimentConfig, ExperimentReport, Mode};
+use unifyfl_core::experiment::{run_experiment, Engine, ExperimentConfig, ExperimentReport, Mode};
 use unifyfl_core::policy::{AggregationPolicy, ScorePolicy};
 use unifyfl_core::report::{render_baseline_table, render_run_table};
 use unifyfl_core::scoring::ScorerKind;
@@ -139,6 +139,7 @@ pub fn config(run_no: u32, scale: Scale, seed: u64) -> ExperimentConfig {
         window_margin: 1.15,
         chaos: None,
         transfer: TransferConfig::default(),
+        engine: Engine::auto(),
     }
 }
 

@@ -16,11 +16,12 @@ use unifyfl_storage::network::TransferConfig;
 
 use crate::cluster::{ClusterConfig, ClusterNode};
 use crate::federation::Federation;
-use crate::orchestration::{run_async, run_sync, EngineOutcome};
+use crate::orchestration::{run_async_engine, run_sync_engine, EngineOutcome};
 
 pub use crate::orchestration::Mode;
 use crate::policy::AggregationPolicy;
 use crate::scoring::ScorerKind;
+pub use crate::step::Engine;
 
 /// A complete experiment description.
 #[derive(Debug, Clone)]
@@ -53,6 +54,11 @@ pub struct ExperimentConfig {
     /// how the injected fault stream is consumed, so chaos outcomes may
     /// legitimately differ between transfer configurations.
     pub transfer: TransferConfig,
+    /// Round-execution engine: the sequential reference or the two-phase
+    /// parallel engine. Reports are byte-identical either way at the same
+    /// seed — the engine changes wall-clock only, never results — so this
+    /// deliberately does not appear in the [`ExperimentReport`].
+    pub engine: Engine,
 }
 
 /// Validation failure for an experiment configuration.
@@ -60,6 +66,10 @@ pub struct ExperimentConfig {
 pub enum ExperimentError {
     /// MultiKRUM requires all of a round's submissions (Table 3).
     MultiKrumRequiresSync,
+    /// MultiKRUM needs enough clusters for an admissible Byzantine bound:
+    /// Krum assumes `n ≥ 2f + 3`, which no `f ≥ 0` satisfies below 3
+    /// clusters. Carries the offending cluster count.
+    MultiKrumTooFewClusters(usize),
     /// Cross-silo FL needs at least two clusters.
     TooFewClusters(usize),
     /// The window margin must be at least 1.
@@ -75,6 +85,12 @@ impl std::fmt::Display for ExperimentError {
         match self {
             ExperimentError::MultiKrumRequiresSync => {
                 write!(f, "multikrum scoring is only supported in sync mode")
+            }
+            ExperimentError::MultiKrumTooFewClusters(n) => {
+                write!(
+                    f,
+                    "multikrum scoring needs at least 3 clusters (Krum assumes n >= 2f + 3), got {n}"
+                )
             }
             ExperimentError::TooFewClusters(n) => {
                 write!(f, "cross-silo FL needs at least 2 clusters, got {n}")
@@ -298,6 +314,13 @@ impl ExperimentConfig {
         if self.mode == Mode::Async && self.scorer.requires_full_round() {
             return Err(ExperimentError::MultiKrumRequiresSync);
         }
+        // MultiKRUM's Byzantine bound f (see `krum_assumed_byzantine`) must
+        // satisfy Krum's n ≥ 2f + 3 assumption; below 3 clusters no f does.
+        if self.scorer.requires_full_round() && self.clusters.len() < 3 {
+            return Err(ExperimentError::MultiKrumTooFewClusters(
+                self.clusters.len(),
+            ));
+        }
         // NaN must be rejected too, hence the explicit is_nan branch.
         if self.window_margin.is_nan() || self.window_margin < 1.0 {
             return Err(ExperimentError::InvalidWindowMargin);
@@ -368,13 +391,14 @@ pub fn run_experiment(config: &ExperimentConfig) -> Result<ExperimentReport, Exp
         fed.install_chaos(plan);
     }
     let outcome = match config.mode {
-        Mode::Sync => run_sync(
+        Mode::Sync => run_sync_engine(
             &mut fed,
             &config.workload,
             config.scorer,
             config.window_margin,
+            config.engine,
         ),
-        Mode::Async => run_async(&mut fed, &config.workload, config.scorer),
+        Mode::Async => run_async_engine(&mut fed, &config.workload, config.scorer, config.engine),
     };
     Ok(build_report(config, fed, outcome))
 }
@@ -544,6 +568,7 @@ impl ExperimentBuilder {
                 window_margin: 1.15,
                 chaos: None,
                 transfer: TransferConfig::default(),
+                engine: Engine::auto(),
             },
         }
     }
@@ -622,6 +647,13 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Sets the round-execution engine (sequential reference vs. parallel
+    /// two-phase; byte-identical results, different wall-clock).
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.config.engine = engine;
+        self
+    }
+
     /// The assembled configuration.
     pub fn config(&self) -> &ExperimentConfig {
         &self.config
@@ -672,6 +704,28 @@ mod tests {
             .unwrap_err();
         assert_eq!(err, ExperimentError::MultiKrumRequiresSync);
         // The sync variant is accepted.
+        let ok = ExperimentBuilder::quickstart()
+            .mode(Mode::Sync)
+            .scorer(ScorerKind::MultiKrum)
+            .rounds(2)
+            .run();
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_multikrum_below_three_clusters() {
+        // Krum assumes n ≥ 2f + 3; no f ≥ 0 satisfies that at n = 2, so a
+        // 2-cluster MultiKRUM federation must be rejected up front instead
+        // of silently relying on the scoring clamp.
+        let mut builder = ExperimentBuilder::quickstart()
+            .mode(Mode::Sync)
+            .scorer(ScorerKind::MultiKrum);
+        builder.config.clusters.truncate(2);
+        assert_eq!(
+            builder.run().unwrap_err(),
+            ExperimentError::MultiKrumTooFewClusters(2)
+        );
+        // Three clusters (f = 0) are admissible.
         let ok = ExperimentBuilder::quickstart()
             .mode(Mode::Sync)
             .scorer(ScorerKind::MultiKrum)

@@ -400,6 +400,14 @@ impl Federation {
         weights_from_bytes(&receipt.data).ok()
     }
 
+    /// Disjoint borrows for the round step's compute phase: every cluster
+    /// (mutably) plus the shared read-only global test set. The parallel
+    /// engine hands one cluster to each scoped thread; nothing else in the
+    /// federation is reachable from compute.
+    pub fn compute_view(&mut self) -> (&mut [ClusterNode], &Dataset) {
+        (&mut self.clusters, &self.global_test)
+    }
+
     /// Phase-driving transaction from cluster 0 (any registered aggregator
     /// may cycle the phases).
     pub fn phase_tx(&mut self, call: Vec<u8>) -> Transaction {

@@ -12,6 +12,9 @@
 //!   IPFS node, chain account, cost model;
 //! - [`federation`] — the assembled system and chain-driving helpers;
 //! - [`orchestration`] — the Sync and Async engines (Figures 5 & 6);
+//! - [`step`] — the reusable two-phase round step both engines share, and
+//!   the [`Engine`] selector (sequential reference vs. parallel phase-A
+//!   compute; byte-identical results either way);
 //! - [`byzantine`] — attacker models for the Figure 7 experiment;
 //! - [`baseline`] — HBFL (centralized multilevel FL) and no-collaboration
 //!   baselines;
@@ -48,6 +51,7 @@ pub mod orchestration;
 pub mod policy;
 pub mod report;
 pub mod scoring;
+pub mod step;
 
 pub use byzantine::{AttackKind, DpConfig};
 pub use cluster::{ClusterConfig, ClusterNode};
@@ -59,5 +63,6 @@ pub use federation::Federation;
 pub use orchestration::Mode;
 pub use policy::{AggregationPolicy, ScorePolicy};
 pub use scoring::ScorerKind;
+pub use step::Engine;
 pub use unifyfl_sim::fault::{ChaosConfig, FaultEvent, FaultKind, FaultPlan, FaultRecord};
 pub use unifyfl_storage::TransferConfig;

@@ -19,7 +19,7 @@
 //! semantics (late submissions/scores reverting) are exercised for real.
 //!
 //! Both engines consume the federation's installed
-//! [`FaultPlan`](unifyfl_sim::fault::FaultPlan), if any: crashed clusters
+//! [`FaultPlan`], if any: crashed clusters
 //! sit rounds out (sync) or redo lost attempts (async), leavers depart for
 //! good, latency spikes stretch training, and clock skew pushes
 //! submissions into closed windows — turning the happy-path schedules into
@@ -29,13 +29,19 @@ use std::collections::{HashSet, VecDeque};
 
 use serde::{Deserialize, Serialize};
 use unifyfl_chain::orchestrator::{calls, OrchestrationMode};
+use unifyfl_chain::types::Address;
 use unifyfl_data::WorkloadConfig;
+use unifyfl_sim::fault::FaultPlan;
 use unifyfl_sim::{SimDuration, SimTime};
 use unifyfl_storage::Cid;
 
 use crate::cluster::ClusterRoundRecord;
 use crate::federation::Federation;
-use crate::scoring::{multikrum_scores, ScorerKind};
+use crate::scoring::{krum_assumed_byzantine, multikrum_scores, ScorerKind};
+use crate::step::{
+    compute_all, compute_scores, compute_train, merge_eval, prepare_scoring, prepare_train, Engine,
+    TrainInputs, TrainResult,
+};
 
 /// Orchestration mode selector (maps onto the contract's mode).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -84,72 +90,66 @@ pub struct EngineOutcome {
     pub end_time: SimTime,
 }
 
-/// One cluster's pull → merge → evaluate step. Returns
-/// `(pull_duration, peers_merged, global_acc, global_loss)`.
-fn pull_and_merge(fed: &mut Federation, idx: usize, round: u64) -> (SimDuration, usize, f64, f64) {
-    let policy = fed.clusters[idx].effective_policy(round);
-    let candidates = fed.candidates_for(idx);
-    let scored = fed.scored_candidates(idx, &candidates);
-    let self_score = fed.self_score_of(idx);
-    let selected = {
-        let cluster = &mut fed.clusters[idx];
-        policy.select(&scored, self_score, cluster.rng())
-    };
-
-    let mut peers = Vec::with_capacity(selected.len());
-    for &i in &selected {
-        // Skip content that is unavailable or fails weight validation —
-        // the CID guarantees we can never ingest silently-corrupted bytes.
-        if let Some(w) = fed.fetch_weights(idx, candidates[i].cid) {
-            if w.len() == fed.clusters[idx].weights().len() {
-                peers.push(w);
-            }
-        }
-    }
-    let pull = fed.clusters[idx].fetch_duration() * peers.len() as u64;
-    fed.record_ipfs_burst(pull);
-    let merged = fed.clusters[idx].merge_peers(&peers);
-
-    let eval = fed.clusters[idx].evaluate(fed.clusters[idx].weights(), &fed.global_test);
-    (pull, merged, eval.accuracy, eval.loss)
-}
-
-/// One cluster's local training step. Returns
-/// `(train_duration, local_acc, local_loss)`.
-fn train_local(
-    fed: &mut Federation,
-    idx: usize,
-    workload: &WorkloadConfig,
-) -> (SimDuration, f64, f64) {
-    let dur = fed.clusters[idx].train_duration(workload.local_epochs);
-    fed.clusters[idx].run_local_round(
-        workload.local_epochs,
-        workload.batch_size,
-        workload.learning_rate,
-    );
-    fed.record_training_burst(dur);
-    let eval = fed.clusters[idx].evaluate(fed.clusters[idx].weights(), &fed.global_test);
-    (dur, eval.accuracy, eval.loss)
-}
-
 /// Final pass after the last round: merge the last submissions and
 /// evaluate the resulting global model. Clusters that left the federation
 /// (`active[idx] == false`) report their last recorded state instead of
-/// merging post-departure.
-fn final_merge(fed: &mut Federation, rounds: u64, active: &[bool]) -> Vec<(f64, f64)> {
-    (0..fed.clusters.len())
-        .map(|idx| {
-            if !active[idx] {
-                return fed.clusters[idx]
-                    .records
-                    .last()
-                    .map(|r| (r.global_accuracy, r.global_loss))
-                    .unwrap_or((0.0, 0.0));
-            }
-            let (_, _, acc, loss) = pull_and_merge(fed, idx, rounds + 1);
-            (acc, loss)
-        })
-        .collect()
+/// merging post-departure. Under [`Engine::Parallel`] the merge+evaluate
+/// compute fans out per cluster; fetches and resource bursts stay in
+/// cluster-index order either way.
+fn final_merge(
+    fed: &mut Federation,
+    rounds: u64,
+    active: &[bool],
+    engine: Engine,
+) -> Vec<(f64, f64)> {
+    let n = fed.clusters.len();
+    let round = rounds + 1;
+    let last_global = |fed: &Federation, idx: usize| {
+        fed.clusters[idx]
+            .records
+            .last()
+            .map(|r| (r.global_accuracy, r.global_loss))
+            .unwrap_or((0.0, 0.0))
+    };
+    match engine {
+        Engine::Sequential => (0..n)
+            .map(|idx| {
+                if !active[idx] {
+                    return last_global(fed, idx);
+                }
+                let inputs = prepare_train(fed, idx, round);
+                fed.record_ipfs_burst(inputs.pull);
+                let (clusters, global_test) = fed.compute_view();
+                let (_, acc, loss) = merge_eval(&mut clusters[idx], inputs, global_test);
+                (acc, loss)
+            })
+            .collect(),
+        Engine::Parallel => {
+            let inputs: Vec<Option<TrainInputs>> = (0..n)
+                .map(|idx| {
+                    active[idx].then(|| {
+                        let inputs = prepare_train(fed, idx, round);
+                        fed.record_ipfs_burst(inputs.pull);
+                        inputs
+                    })
+                })
+                .collect();
+            let results = {
+                let (clusters, global_test) = fed.compute_view();
+                compute_all(clusters, inputs, |cluster, inputs| {
+                    merge_eval(cluster, inputs, global_test)
+                })
+            };
+            results
+                .into_iter()
+                .enumerate()
+                .map(|(idx, r)| match r {
+                    Some((_, acc, loss)) => (acc, loss),
+                    None => last_global(fed, idx),
+                })
+                .collect()
+        }
+    }
 }
 
 fn last_local(fed: &Federation, idx: usize) -> (f64, f64) {
@@ -160,7 +160,187 @@ fn last_local(fed: &Federation, idx: usize) -> (f64, f64) {
         .unwrap_or((0.0, 0.0))
 }
 
-/// Runs the Sync engine.
+/// What the training phase decided for one cluster, before any state is
+/// mutated. Decisions are pure reads (fault plan, carryover, active set),
+/// so both engines can take them in phase A; every mutation they imply —
+/// fault logs, carryover consumption, departure — happens in the commit
+/// step, in cluster-index order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TrainAction {
+    /// Departed in an earlier round; nothing to do.
+    Gone,
+    /// Leaves the federation this round (first observation).
+    Leave,
+    /// Crashed: sits the round out, losing any held-over work.
+    Crash,
+    /// Straggler finishing last round's held-over work; no pull/train.
+    Carryover,
+    /// Normal round: pull, merge, train, evaluate, publish.
+    Run,
+}
+
+fn train_action(
+    plan: Option<&FaultPlan>,
+    active: &[bool],
+    carryover: &[Option<SimDuration>],
+    idx: usize,
+    round: u64,
+) -> TrainAction {
+    if let Some(p) = plan {
+        if p.has_left(idx, round) {
+            return if active[idx] {
+                TrainAction::Leave
+            } else {
+                TrainAction::Gone
+            };
+        }
+        if p.is_down(idx, round) {
+            return TrainAction::Crash;
+        }
+    }
+    if carryover[idx].is_some() {
+        TrainAction::Carryover
+    } else {
+        TrainAction::Run
+    }
+}
+
+/// Per-round constants and accumulators the sync commit step mutates.
+struct SyncRoundState<'a> {
+    round: u64,
+    phase_start: SimTime,
+    window_end: SimTime,
+    scoring_window: SimDuration,
+    plan: Option<&'a FaultPlan>,
+    straggler_rounds: &'a mut [u64],
+    carryover: &'a mut [Option<SimDuration>],
+    active: &'a mut [bool],
+}
+
+/// Phase B of the sync training phase for one cluster: every federation
+/// mutation the round implies, replayed in the sequential reference order.
+fn commit_sync_train(
+    fed: &mut Federation,
+    idx: usize,
+    action: TrainAction,
+    result: Option<TrainResult>,
+    st: &mut SyncRoundState<'_>,
+) {
+    let orch = fed.orchestrator;
+    let round = st.round;
+    match action {
+        TrainAction::Gone => {}
+        TrainAction::Leave => {
+            st.active[idx] = false;
+            st.carryover[idx] = None;
+            fed.log_fault(idx, round, "leave", "left the federation");
+        }
+        TrainAction::Crash => {
+            let outcome = if st.carryover[idx].take().is_some() {
+                "round lost; held-over work discarded"
+            } else {
+                "round lost"
+            };
+            fed.log_fault(idx, round, "crash", outcome);
+        }
+        TrainAction::Carryover => {
+            // Straggler from last round: finish the held work and submit
+            // the stale model; no pull/train this round. The leftover
+            // already embeds any clock skew from the round that incurred
+            // it (skew is a fixed offset, not a per-round compounding
+            // delay), so none is added here.
+            let leftover = st.carryover[idx].take().expect("carryover action");
+            let finish = st.phase_start + leftover;
+            let cid = fed.clusters[idx].store_model(round);
+            if finish <= st.window_end {
+                let tx = fed.clusters[idx].submit_model_tx(orch, &cid);
+                fed.submit_cluster_tx_at(finish, tx);
+                fed.record_idle(st.window_end - finish);
+            } else {
+                st.straggler_rounds[idx] += 1;
+                st.carryover[idx] = Some(finish - st.window_end);
+            }
+            let (acc, loss) = last_local(fed, idx);
+            fed.clusters[idx].record(ClusterRoundRecord {
+                round,
+                peers_merged: 0,
+                local_accuracy: acc,
+                local_loss: loss,
+                global_accuracy: acc,
+                global_loss: loss,
+                completed_at_secs: (st.window_end + st.scoring_window).as_secs_f64(),
+            });
+        }
+        TrainAction::Run => {
+            let mut result = result.expect("run action carries a compute result");
+            let skew = st.plan.map_or(SimDuration::ZERO, |p| p.clock_skew(idx));
+            let publish = crate::step::commit_train_effects(fed, idx, round, &mut result);
+            let busy = result.pull + result.train + publish;
+            // A skewed cluster's submission reaches the chain late.
+            let finish = st.phase_start + busy + skew;
+
+            let cid = fed.clusters[idx].store_model(round);
+            if finish <= st.window_end {
+                let tx = fed.clusters[idx].submit_model_tx(orch, &cid);
+                fed.submit_cluster_tx_at(finish, tx);
+                fed.record_idle(st.window_end - finish);
+            } else {
+                // Missed the window (§3.2 stragglers): the contract would
+                // revert the submission; hold the model for next round.
+                st.straggler_rounds[idx] += 1;
+                st.carryover[idx] = Some(finish - st.window_end);
+            }
+
+            fed.clusters[idx].record(ClusterRoundRecord {
+                round,
+                peers_merged: result.peers_merged,
+                local_accuracy: result.local_accuracy,
+                local_loss: result.local_loss,
+                global_accuracy: result.global_accuracy,
+                global_loss: result.global_loss,
+                completed_at_secs: (st.window_end + st.scoring_window).as_secs_f64(),
+            });
+        }
+    }
+}
+
+/// Phase B of the scoring phase for one cluster: walk the virtual clock
+/// over its scored tasks, record bursts, submit in-window scores and count
+/// window rejections — in the sequential reference order.
+#[allow(clippy::too_many_arguments)]
+fn commit_scoring(
+    fed: &mut Federation,
+    idx: usize,
+    round: u64,
+    scored: Vec<(Cid, f64)>,
+    scoring_start: SimTime,
+    scoring_end: SimTime,
+    skew: SimDuration,
+    rejected_scores: &mut [u64],
+) {
+    let orch = fed.orchestrator;
+    let mut clock = scoring_start + skew;
+    for (cid, score) in scored {
+        let fetch = fed.clusters[idx].fetch_duration();
+        let score_dur = fed.clusters[idx].score_duration();
+        clock += fetch + score_dur;
+        fed.record_scoring_burst(fetch + score_dur);
+        fed.record_ipfs_burst(fetch);
+        if clock <= scoring_end {
+            let tx = fed.clusters[idx].score_tx(orch, &cid, score);
+            fed.submit_cluster_tx_at(clock, tx);
+        } else {
+            // §3.2: "the blockchain will no longer accept scores".
+            rejected_scores[idx] += 1;
+            if !skew.is_zero() {
+                fed.log_fault(idx, round, "clock_skew", "score lost to closed window");
+            }
+        }
+    }
+    fed.record_idle(scoring_end.saturating_since(clock.max(scoring_start)));
+}
+
+/// Runs the Sync engine with the [`Engine::auto`] execution engine.
 ///
 /// `window_margin` is the operator's safety factor when sizing the phase
 /// windows over the *nominal* (straggle-free) cluster times; a cluster
@@ -175,13 +355,28 @@ pub fn run_sync(
     scorer: ScorerKind,
     window_margin: f64,
 ) -> EngineOutcome {
+    run_sync_engine(fed, workload, scorer, window_margin, Engine::auto())
+}
+
+/// Runs the Sync engine with an explicit execution engine. Parallel and
+/// sequential execution produce byte-identical outcomes at the same seed.
+///
+/// # Panics
+///
+/// Panics if the federation was built with the wrong contract mode.
+pub fn run_sync_engine(
+    fed: &mut Federation,
+    workload: &WorkloadConfig,
+    scorer: ScorerKind,
+    window_margin: f64,
+    engine: Engine,
+) -> EngineOutcome {
     assert_eq!(
         fed.contract().mode(),
         OrchestrationMode::Sync,
         "sync engine needs a sync-mode contract"
     );
     let n = fed.clusters.len();
-    let orch = fed.orchestrator;
 
     // Size the windows from nominal expected durations.
     let training_window = {
@@ -242,98 +437,53 @@ pub fn run_sync(
         let window_end = phase_start + training_window;
 
         // -- every cluster runs its round ----------------------------------
-        for idx in 0..n {
-            // Chaos: departed clusters are gone for good; crashed clusters
-            // sit the round out and lose any in-flight (carryover) work.
-            if let Some(p) = &plan {
-                if p.has_left(idx, round) {
-                    if active[idx] {
-                        active[idx] = false;
-                        carryover[idx] = None;
-                        fed.log_fault(idx, round, "leave", "left the federation");
-                    }
-                    continue;
-                }
-                if p.is_down(idx, round) {
-                    let outcome = if carryover[idx].take().is_some() {
-                        "round lost; held-over work discarded"
-                    } else {
-                        "round lost"
-                    };
-                    fed.log_fault(idx, round, "crash", outcome);
-                    continue;
+        // Two-phase step: phase A gathers inputs (index-ordered reads and
+        // fetches) and runs the pure compute — fanned out one scoped
+        // thread per cluster under Engine::Parallel — then phase B commits
+        // every mutation sequentially in cluster-index order. The
+        // sequential engine interleaves the same three sub-steps per
+        // cluster, reproducing the original control flow exactly.
+        let mut st = SyncRoundState {
+            round,
+            phase_start,
+            window_end,
+            scoring_window,
+            plan: plan.as_ref(),
+            straggler_rounds: &mut straggler_rounds,
+            carryover: &mut carryover,
+            active: &mut active,
+        };
+        match engine {
+            Engine::Sequential => {
+                for idx in 0..n {
+                    let action = train_action(st.plan, st.active, st.carryover, idx, round);
+                    let result = (action == TrainAction::Run).then(|| {
+                        let inputs = prepare_train(fed, idx, round);
+                        let (clusters, global_test) = fed.compute_view();
+                        compute_train(&mut clusters[idx], inputs, workload, global_test)
+                    });
+                    commit_sync_train(fed, idx, action, result, &mut st);
                 }
             }
-            let skew = plan
-                .as_ref()
-                .map_or(SimDuration::ZERO, |p| p.clock_skew(idx));
-
-            if let Some(leftover) = carryover[idx].take() {
-                // Straggler from last round: finish the held work and
-                // submit the stale model; no pull/train this round. The
-                // leftover already embeds any clock skew from the round
-                // that incurred it (skew is a fixed offset, not a
-                // per-round compounding delay), so none is added here.
-                let finish = phase_start + leftover;
-                let cid = fed.clusters[idx].store_model(round);
-                if finish <= window_end {
-                    let tx = fed.clusters[idx].submit_model_tx(orch, &cid);
-                    fed.submit_cluster_tx_at(finish, tx);
-                    fed.record_idle(window_end - finish);
-                } else {
-                    straggler_rounds[idx] += 1;
-                    carryover[idx] = Some(finish - window_end);
-                }
-                let (acc, loss) = last_local(fed, idx);
-                let record = ClusterRoundRecord {
-                    round,
-                    peers_merged: 0,
-                    local_accuracy: acc,
-                    local_loss: loss,
-                    global_accuracy: acc,
-                    global_loss: loss,
-                    completed_at_secs: (window_end + scoring_window).as_secs_f64(),
+            Engine::Parallel => {
+                let actions: Vec<TrainAction> = (0..n)
+                    .map(|idx| train_action(st.plan, st.active, st.carryover, idx, round))
+                    .collect();
+                let inputs: Vec<Option<TrainInputs>> = (0..n)
+                    .map(|idx| {
+                        (actions[idx] == TrainAction::Run).then(|| prepare_train(fed, idx, round))
+                    })
+                    .collect();
+                let results = {
+                    let (clusters, global_test) = fed.compute_view();
+                    compute_all(clusters, inputs, |cluster, inputs| {
+                        compute_train(cluster, inputs, workload, global_test)
+                    })
                 };
-                fed.clusters[idx].record(record);
-                continue;
-            }
-
-            let (pull, merged, g_acc, g_loss) = pull_and_merge(fed, idx, round);
-            let (mut train, l_acc, l_loss) = train_local(fed, idx, workload);
-            if let Some(p) = &plan {
-                let factor = p.latency_factor(idx, round);
-                if factor > 1.0 {
-                    train = SimDuration::from_secs_f64(train.as_secs_f64() * factor);
-                    fed.log_fault(idx, round, "latency_spike", "training slowed");
+                for (idx, result) in results.into_iter().enumerate() {
+                    commit_sync_train(fed, idx, actions[idx], result, &mut st);
                 }
             }
-            let publish = fed.clusters[idx].publish_duration();
-            fed.record_agg_burst(pull + publish);
-            let busy = pull + train + publish;
-            // A skewed cluster's submission reaches the chain late.
-            let finish = phase_start + busy + skew;
-
-            let cid = fed.clusters[idx].store_model(round);
-            if finish <= window_end {
-                let tx = fed.clusters[idx].submit_model_tx(orch, &cid);
-                fed.submit_cluster_tx_at(finish, tx);
-                fed.record_idle(window_end - finish);
-            } else {
-                // Missed the window (§3.2 stragglers): the contract would
-                // revert the submission; hold the model for next round.
-                straggler_rounds[idx] += 1;
-                carryover[idx] = Some(finish - window_end);
-            }
-
-            fed.clusters[idx].record(ClusterRoundRecord {
-                round,
-                peers_merged: merged,
-                local_accuracy: l_acc,
-                local_loss: l_loss,
-                global_accuracy: g_acc,
-                global_loss: g_loss,
-                completed_at_secs: (window_end + scoring_window).as_secs_f64(),
-            });
         }
 
         // -- close training, open scoring ----------------------------------
@@ -343,7 +493,7 @@ pub fn run_sync(
         let scoring_end = scoring_start + scoring_window;
 
         // Collect this round's assignments from the contract.
-        let assignments: Vec<(Cid, Vec<unifyfl_chain::types::Address>)> = fed
+        let assignments: Vec<(Cid, Vec<Address>)> = fed
             .contract()
             .entries()
             .iter()
@@ -359,7 +509,11 @@ pub fn run_sync(
                 .filter_map(|c| fed.fetch_weights(0, *c))
                 .collect();
             if models.len() == cids.len() && !models.is_empty() {
-                let f = n / 4;
+                // The Byzantine bound must be admissible for the models
+                // actually scored this round, not the federation size —
+                // crashes, leavers and straggler carryovers all shrink the
+                // submission set below `n`.
+                let f = krum_assumed_byzantine(models.len());
                 Some((cids, multikrum_scores(&models, f)))
             } else {
                 None
@@ -368,55 +522,67 @@ pub fn run_sync(
             None
         };
 
-        for idx in 0..n {
-            if carryover[idx].is_some() {
-                continue; // still busy with held-over training work
-            }
-            // Chaos: departed or crashed clusters never score this round
-            // (`is_down` covers both).
-            if let Some(p) = &plan {
-                if p.is_down(idx, round) {
-                    continue;
+        // Scoring, same two-phase shape: prepare (assignment filtering and
+        // fetches, index-ordered), compute (inference, per-cluster
+        // threads), commit (clock walk, bursts, score txs, rejections).
+        let scores_due = |carryover: &[Option<SimDuration>], idx: usize| {
+            carryover[idx].is_none() // still busy with held-over work?
+                // Chaos: departed or crashed clusters never score this
+                // round (`is_down` covers both).
+                && plan.as_ref().is_none_or(|p| !p.is_down(idx, round))
+        };
+        let skew_of = |plan: Option<&FaultPlan>, idx: usize| {
+            plan.map_or(SimDuration::ZERO, |p| p.clock_skew(idx))
+        };
+        match engine {
+            Engine::Sequential => {
+                for idx in 0..n {
+                    if !scores_due(&carryover, idx) {
+                        continue;
+                    }
+                    let tasks = prepare_scoring(fed, idx, &assignments, krum.as_ref());
+                    let scored = compute_scores(&fed.clusters[idx], tasks);
+                    let skew = skew_of(plan.as_ref(), idx);
+                    commit_scoring(
+                        fed,
+                        idx,
+                        round,
+                        scored,
+                        scoring_start,
+                        scoring_end,
+                        skew,
+                        &mut rejected_scores,
+                    );
                 }
             }
-            let skew = plan
-                .as_ref()
-                .map_or(SimDuration::ZERO, |p| p.clock_skew(idx));
-            let my_addr = fed.clusters[idx].address();
-            let my_tasks: Vec<Cid> = assignments
-                .iter()
-                .filter(|(_, scorers)| scorers.contains(&my_addr))
-                .map(|(cid, _)| *cid)
-                .collect();
-            let mut clock = scoring_start + skew;
-            for cid in my_tasks {
-                let fetch = fed.clusters[idx].fetch_duration();
-                let score_dur = fed.clusters[idx].score_duration();
-                let score = match &krum {
-                    Some((cids, scores)) => {
-                        let pos = cids.iter().position(|c| *c == cid);
-                        pos.map(|p| scores[p]).unwrap_or(0.0)
-                    }
-                    None => match fed.fetch_weights(idx, cid) {
-                        Some(w) => fed.clusters[idx].score_weights(&w),
-                        None => continue,
-                    },
+            Engine::Parallel => {
+                let task_lists: Vec<Option<Vec<crate::step::ScoreTask>>> = (0..n)
+                    .map(|idx| {
+                        scores_due(&carryover, idx)
+                            .then(|| prepare_scoring(fed, idx, &assignments, krum.as_ref()))
+                    })
+                    .collect();
+                let scored_lists = {
+                    let (clusters, _) = fed.compute_view();
+                    compute_all(clusters, task_lists, |cluster, tasks| {
+                        compute_scores(cluster, tasks)
+                    })
                 };
-                clock += fetch + score_dur;
-                fed.record_scoring_burst(fetch + score_dur);
-                fed.record_ipfs_burst(fetch);
-                if clock <= scoring_end {
-                    let tx = fed.clusters[idx].score_tx(orch, &cid, score);
-                    fed.submit_cluster_tx_at(clock, tx);
-                } else {
-                    // §3.2: "the blockchain will no longer accept scores".
-                    rejected_scores[idx] += 1;
-                    if !skew.is_zero() {
-                        fed.log_fault(idx, round, "clock_skew", "score lost to closed window");
-                    }
+                for (idx, scored) in scored_lists.into_iter().enumerate() {
+                    let Some(scored) = scored else { continue };
+                    let skew = skew_of(plan.as_ref(), idx);
+                    commit_scoring(
+                        fed,
+                        idx,
+                        round,
+                        scored,
+                        scoring_start,
+                        scoring_end,
+                        skew,
+                        &mut rejected_scores,
+                    );
                 }
             }
-            fed.record_idle(scoring_end.saturating_since(clock.max(scoring_start)));
         }
 
         // -- close the scoring phase ---------------------------------------
@@ -426,7 +592,7 @@ pub fn run_sync(
     }
 
     let end_time = t;
-    let final_global = final_merge(fed, workload.rounds as u64, &active);
+    let final_global = final_merge(fed, workload.rounds as u64, &active, engine);
     let final_local = (0..n).map(|i| last_local(fed, i)).collect();
     EngineOutcome {
         per_cluster_time: vec![end_time; n],
@@ -438,7 +604,7 @@ pub fn run_sync(
     }
 }
 
-/// Runs the Async engine.
+/// Runs the Async engine with the [`Engine::auto`] execution engine.
 ///
 /// # Panics
 ///
@@ -448,6 +614,30 @@ pub fn run_async(
     fed: &mut Federation,
     workload: &WorkloadConfig,
     scorer: ScorerKind,
+) -> EngineOutcome {
+    run_async_engine(fed, workload, scorer, Engine::auto())
+}
+
+/// Runs the Async engine with an explicit execution engine.
+///
+/// The async event loop itself stays strictly event-ordered under either
+/// engine: every event's inputs (contract candidates, scorer assignments)
+/// depend on the chain state left by the previous event's commit, so
+/// cross-cluster phase-A fan-out would change what each cluster observes.
+/// The engine choice still matters: the final merge-and-evaluate pass fans
+/// out per cluster under [`Engine::Parallel`], and each training event's
+/// client fits are thread-parallel inside the cluster regardless. Results
+/// are byte-identical between engines at the same seed.
+///
+/// # Panics
+///
+/// Panics if the federation's contract is not in Async mode, or the scorer
+/// requires full-round visibility (MultiKRUM — Table 3 forbids it here).
+pub fn run_async_engine(
+    fed: &mut Federation,
+    workload: &WorkloadConfig,
+    scorer: ScorerKind,
+    engine: Engine,
 ) -> EngineOutcome {
     assert_eq!(
         fed.contract().mode(),
@@ -578,20 +768,17 @@ pub fn run_async(
             continue;
         }
 
-        // Otherwise: run the next training round.
+        // Otherwise: run the next training round — the same round step as
+        // the sync engine (prepare inputs, cluster-local compute, then
+        // commit the chain/storage/accounting effects).
         let round = states[idx].rounds_done + 1;
-        let (pull, merged, g_acc, g_loss) = pull_and_merge(fed, idx, round);
-        let (mut train, l_acc, l_loss) = train_local(fed, idx, workload);
-        if let Some(p) = &plan {
-            let factor = p.latency_factor(idx, round);
-            if factor > 1.0 {
-                train = SimDuration::from_secs_f64(train.as_secs_f64() * factor);
-                fed.log_fault(idx, round, "latency_spike", "training slowed");
-            }
-        }
-        let publish = fed.clusters[idx].publish_duration();
-        fed.record_agg_burst(pull + publish);
-        let finish = t + pull + train + publish;
+        let inputs = prepare_train(fed, idx, round);
+        let mut result = {
+            let (clusters, global_test) = fed.compute_view();
+            compute_train(&mut clusters[idx], inputs, workload, global_test)
+        };
+        let publish = crate::step::commit_train_effects(fed, idx, round, &mut result);
+        let finish = t + result.pull + result.train + publish;
 
         let cid = fed.clusters[idx].store_model(round);
         let tx = fed.clusters[idx].submit_model_tx(orch, &cid);
@@ -604,11 +791,11 @@ pub fn run_async(
         states[idx].clock = finish;
         fed.clusters[idx].record(ClusterRoundRecord {
             round,
-            peers_merged: merged,
-            local_accuracy: l_acc,
-            local_loss: l_loss,
-            global_accuracy: g_acc,
-            global_loss: g_loss,
+            peers_merged: result.peers_merged,
+            local_accuracy: result.local_accuracy,
+            local_loss: result.local_loss,
+            global_accuracy: result.global_accuracy,
+            global_loss: result.global_loss,
             completed_at_secs: finish.as_secs_f64(),
         });
         if round == rounds {
@@ -624,7 +811,7 @@ pub fn run_async(
     fed.flush_chain_at(end_time);
 
     let active: Vec<bool> = states.iter().map(|s| s.alive).collect();
-    let final_global = final_merge(fed, rounds, &active);
+    let final_global = final_merge(fed, rounds, &active, engine);
     let final_local = (0..n).map(|i| last_local(fed, i)).collect();
     EngineOutcome {
         per_cluster_time: states

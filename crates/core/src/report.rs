@@ -7,8 +7,17 @@ use crate::experiment::ExperimentReport;
 /// Width of a left-aligned text column: the longest cell, but never
 /// narrower than its header (so every row of a table — 2 clusters or 20 —
 /// pads identically).
+///
+/// Width is measured in *characters*, not bytes — `format!`'s `{:<w$}`
+/// padding counts characters, so a byte-length measure would over-size
+/// every column containing a non-ASCII label (e.g. "Zürich") and misalign
+/// the whole table.
 fn column_width<'a>(header: &str, cells: impl Iterator<Item = &'a str>) -> usize {
-    cells.map(str::len).chain([header.len()]).max().unwrap_or(0)
+    cells
+        .map(|c| c.chars().count())
+        .chain([header.chars().count()])
+        .max()
+        .unwrap_or(0)
 }
 
 /// Renders an experiment in the row format of Tables 5/6:
@@ -277,13 +286,16 @@ mod tests {
 
         // Hand-built report: 12 aggregators whose labels straddle the old
         // fixed 10-char column (including one longer than it), exercising
-        // exactly the ≥10-cluster misalignment.
+        // exactly the ≥10-cluster misalignment. "Agg Zürich" carries a
+        // multi-byte character: 10 chars but 11 bytes, so the old
+        // byte-length measure would widen the name column by one and
+        // misalign every other row.
         let aggregators = (1..=12)
             .map(|i| crate::experiment::AggregatorReport {
-                name: if i == 12 {
-                    "Aggregator Twelve".to_owned()
-                } else {
-                    format!("Agg {i}")
+                name: match i {
+                    11 => "Agg Zürich".to_owned(),
+                    12 => "Aggregator Twelve".to_owned(),
+                    _ => format!("Agg {i}"),
                 },
                 policy: "All".to_owned(),
                 strategy: "FedAvg".to_owned(),
@@ -326,15 +338,17 @@ Agg 7                  700 All    FedAvg      57.00    47.00     1.00     1.50
 Agg 8                  800 All    FedAvg      58.00    48.00     1.00     1.50
 Agg 9                  900 All    FedAvg      59.00    49.00     1.00     1.50
 Agg 10                1000 All    FedAvg      60.00    50.00     1.00     1.50
-Agg 11                1100 All    FedAvg      61.00    51.00     1.00     1.50
+Agg Zürich            1100 All    FedAvg      61.00    51.00     1.00     1.50
 Aggregator Twelve     1200 All    FedAvg      62.00    52.00     1.00     1.50
 ";
         assert_eq!(table, expected);
-        // Every row is exactly as wide as the header row.
+        // Every row is exactly as wide as the header row — measured in
+        // characters, since that is what terminal column alignment uses
+        // (the Zürich row is one *byte* longer but aligns identically).
         let lines: Vec<&str> = table.lines().skip(1).collect();
-        let header_len = lines[0].len();
+        let header_len = lines[0].chars().count();
         for l in &lines {
-            assert_eq!(l.len(), header_len, "misaligned row: {l:?}");
+            assert_eq!(l.chars().count(), header_len, "misaligned row: {l:?}");
         }
     }
 

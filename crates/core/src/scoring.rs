@@ -52,6 +52,21 @@ pub fn accuracy_score(spec: &ModelSpec, weights: &[f32], test: &Dataset) -> f64 
     unifyfl_fl::evaluate_weights(spec, weights, test).accuracy
 }
 
+/// The Byzantine count the engines assume when running MultiKRUM over a
+/// round of `n` submissions: the largest `f` that is at most `n / 4`
+/// *and* respects Krum's `n ≥ 2f + 3` requirement (Blanchard et al.).
+///
+/// The naive `n / 4` rule quietly violates that requirement at small
+/// federations (`n = 4` gives `f = 1` but needs `n ≥ 5`), which used to
+/// surface as [`multikrum_scores`] silently clamping its neighbour count;
+/// capping `f` here keeps the assumption sound for every `n ≥ 3`. For
+/// `n < 3` no admissible `f` exists —
+/// [`ExperimentConfig::validate`](crate::experiment::ExperimentConfig::validate)
+/// rejects such configurations up front.
+pub fn krum_assumed_byzantine(n: usize) -> usize {
+    (n / 4).min(n.saturating_sub(3) / 2)
+}
+
 /// MultiKRUM scores for a set of weight vectors.
 ///
 /// For each model `i`, sums the squared distances to its `n - f - 2`
@@ -62,6 +77,16 @@ pub fn accuracy_score(spec: &ModelSpec, weights: &[f32], test: &Dataset) -> f64 
 ///
 /// Models far from the majority cluster — e.g. sign-flipped or noisy
 /// poisoned updates — receive scores near 0.
+///
+/// **Clamp for direct callers:** Krum assumes `n ≥ 2f + 3`, which makes
+/// the neighbour count `n - f - 2` at least `f + 1`. When a caller passes
+/// an inadmissible `f` (i.e. `n ≤ f + 2`, where the formula yields zero
+/// neighbours), the count is clamped to one nearest neighbour so the
+/// function still returns well-defined scores in `(0, 1]` — but such
+/// scores carry no Byzantine-tolerance guarantee. The engines never hit
+/// this clamp: they derive `f` via [`krum_assumed_byzantine`], and
+/// experiment validation rejects MultiKRUM federations smaller than 3
+/// clusters.
 ///
 /// # Panics
 ///
@@ -88,7 +113,8 @@ pub fn multikrum_scores(models: &[Vec<f32>], f: usize) -> Vec<f64> {
         }
     }
 
-    // Sum over the n - f - 2 closest neighbours (at least one).
+    // Sum over the n - f - 2 closest neighbours — clamped to at least one
+    // for inadmissible `f` (see the doc comment's clamp contract).
     let keep = n.saturating_sub(f + 2).max(1).min(n - 1);
     let sums: Vec<f64> = (0..n)
         .map(|i| {
@@ -183,6 +209,41 @@ mod tests {
         let scores = multikrum_scores(&[vec![0.0; 4], vec![1.0; 4]], 0);
         assert_eq!(scores.len(), 2);
         assert!(scores.iter().all(|s| (0.0..=1.0).contains(s)));
+    }
+
+    #[test]
+    fn krum_assumed_byzantine_respects_assumption() {
+        // f ≤ n/4 and n ≥ 2f + 3 for every n where an admissible f exists.
+        for n in 3..64 {
+            let f = krum_assumed_byzantine(n);
+            assert!(f <= n / 4, "n={n}: f={f} exceeds n/4");
+            assert!(n >= 2 * f + 3, "n={n}: f={f} violates n >= 2f + 3");
+        }
+        // The naive n/4 rule would pick f=1 at n=4 (needs n ≥ 5); the cap
+        // repairs exactly that case.
+        assert_eq!(krum_assumed_byzantine(4), 0);
+        assert_eq!(krum_assumed_byzantine(5), 1);
+        assert_eq!(krum_assumed_byzantine(12), 3);
+        // No admissible f below 3 clusters.
+        assert_eq!(krum_assumed_byzantine(2), 0);
+        assert_eq!(krum_assumed_byzantine(0), 0);
+    }
+
+    #[test]
+    fn inadmissible_f_clamps_to_one_neighbour() {
+        // n = 3 models with f = 5: n ≤ f + 2, so the documented clamp
+        // keeps one nearest neighbour instead of none.
+        let models = vec![vec![0.0f32; 8], vec![0.1; 8], vec![10.0; 8]];
+        let clamped = multikrum_scores(&models, 5);
+        assert_eq!(clamped.len(), 3);
+        assert!(clamped.iter().all(|s| (0.0..=1.0).contains(s) && *s > 0.0));
+        // With one neighbour kept, the clamped result equals the
+        // admissible single-neighbour computation (f such that keep = 1).
+        let one_neighbour = multikrum_scores(&models, 0);
+        // keep for f=0 at n=3 is n-2 = 1 as well — identical by design.
+        assert_eq!(clamped, one_neighbour);
+        // The outlier still scores worst.
+        assert!(clamped[2] < clamped[0] && clamped[2] < clamped[1]);
     }
 
     #[test]

@@ -1,0 +1,385 @@
+//! The reusable **round step**: one cluster's per-round work split into a
+//! two-phase `prepare → compute → commit` pipeline shared by both
+//! orchestration engines.
+//!
+//! The split exists so the engines can overlap wall-clock work without
+//! changing results:
+//!
+//! - **Prepare** (phase A input gathering) runs sequentially in
+//!   cluster-index order. It performs every *shared-state* read and
+//!   side-effecting fetch: contract candidate queries, policy selection
+//!   (which draws from the cluster's RNG), and IPFS fetches (which mutate
+//!   per-node caches, global transfer counters and — under chaos — the
+//!   fault injector's RNG stream). Keeping these in index order preserves
+//!   the exact byte streams a fully sequential run would produce.
+//! - **Compute** ([`compute_train`] / [`compute_scores`]) is pure with
+//!   respect to everything except the cluster's own state: merging peers,
+//!   local training, evaluation and peer-model scoring touch only one
+//!   [`ClusterNode`] plus immutable shared references (workload, global
+//!   test set). The parallel engine therefore runs one scoped thread per
+//!   cluster here ([`compute_all`]) with no effect on results.
+//! - **Commit** (back in the engine) replays every federation mutation —
+//!   chain transactions, storage publishes, fault logging, resource bursts
+//!   and idle/straggler accounting — sequentially in cluster-index order,
+//!   in exactly the sequence the sequential engine uses.
+//!
+//! Because prepare and commit are index-ordered in both engines and
+//! compute is cluster-local, [`Engine::Parallel`] produces a byte-identical
+//! [`ExperimentReport`](crate::experiment::ExperimentReport) to
+//! [`Engine::Sequential`] at the same seed (asserted in tier-1 by
+//! `tests/engine_parallel.rs` and continuously by the `speed` benchmark).
+
+use unifyfl_data::{Dataset, WorkloadConfig};
+use unifyfl_storage::Cid;
+
+use crate::cluster::ClusterNode;
+use crate::federation::Federation;
+use unifyfl_chain::types::Address;
+use unifyfl_sim::SimDuration;
+
+/// Which execution engine drives the round computations.
+///
+/// Both engines produce byte-identical reports at the same seed; they
+/// differ only in wall-clock. `UNIFYFL_ENGINE=sequential` (or `seq`)
+/// forces the reference engine from the environment via [`Engine::auto`];
+/// anything else — including unset — selects the parallel engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// The reference engine: one cluster at a time, exactly the paper
+    /// reproduction's original control flow.
+    Sequential,
+    /// The two-phase engine: per-round compute fans out across scoped
+    /// threads (one per cluster), commits stay sequential.
+    Parallel,
+}
+
+impl Engine {
+    /// Resolves the engine from the `UNIFYFL_ENGINE` environment variable,
+    /// defaulting to [`Engine::Parallel`].
+    pub fn auto() -> Engine {
+        match std::env::var("UNIFYFL_ENGINE") {
+            Ok(v) if v.eq_ignore_ascii_case("sequential") || v.eq_ignore_ascii_case("seq") => {
+                Engine::Sequential
+            }
+            _ => Engine::Parallel,
+        }
+    }
+
+    /// True for [`Engine::Parallel`].
+    pub fn is_parallel(self) -> bool {
+        matches!(self, Engine::Parallel)
+    }
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Engine::Sequential => write!(f, "Sequential"),
+            Engine::Parallel => write!(f, "Parallel"),
+        }
+    }
+}
+
+/// Phase-A inputs for one cluster's training round: the peer models its
+/// policy selected (already fetched and validated) and the virtual time
+/// the pulls cost.
+#[derive(Debug)]
+pub struct TrainInputs {
+    /// Fetched, length-validated peer weight vectors to merge.
+    pub peers: Vec<Vec<f32>>,
+    /// Virtual duration of the pulls (`fetch_duration × peers`).
+    pub pull: SimDuration,
+}
+
+/// The pure-compute result of one cluster's training round, handed to the
+/// engine's commit step.
+#[derive(Debug)]
+pub struct TrainResult {
+    /// Virtual pull duration, carried through from [`TrainInputs`].
+    pub pull: SimDuration,
+    /// Peer models merged.
+    pub peers_merged: usize,
+    /// Post-merge (global) accuracy on the global test set.
+    pub global_accuracy: f64,
+    /// Post-merge (global) loss on the global test set.
+    pub global_loss: f64,
+    /// Nominal local-training duration. The commit step stretches this
+    /// under an injected latency spike.
+    pub train: SimDuration,
+    /// Post-training (local) accuracy on the global test set.
+    pub local_accuracy: f64,
+    /// Post-training (local) loss on the global test set.
+    pub local_loss: f64,
+}
+
+/// Gathers one cluster's training-round inputs: queries the contract for
+/// scored candidates, runs the aggregation policy (drawing from the
+/// cluster's RNG) and fetches the selected peer models.
+///
+/// Shared-state side effects (RNG draws, transfer accounting, fault-roll
+/// consumption) happen here, so engines must call this sequentially in
+/// cluster-index order.
+pub fn prepare_train(fed: &mut Federation, idx: usize, round: u64) -> TrainInputs {
+    let policy = fed.clusters[idx].effective_policy(round);
+    let candidates = fed.candidates_for(idx);
+    let scored = fed.scored_candidates(idx, &candidates);
+    let self_score = fed.self_score_of(idx);
+    let selected = {
+        let cluster = &mut fed.clusters[idx];
+        policy.select(&scored, self_score, cluster.rng())
+    };
+
+    let mut peers = Vec::with_capacity(selected.len());
+    for &i in &selected {
+        // Skip content that is unavailable or fails weight validation —
+        // the CID guarantees we can never ingest silently-corrupted bytes.
+        if let Some(w) = fed.fetch_weights(idx, candidates[i].cid) {
+            if w.len() == fed.clusters[idx].weights().len() {
+                peers.push(w);
+            }
+        }
+    }
+    let pull = fed.clusters[idx].fetch_duration() * peers.len() as u64;
+    TrainInputs { peers, pull }
+}
+
+/// Merges the prepared peers into the cluster's model and evaluates the
+/// result on the global test set. Cluster-local; returns
+/// `(peers_merged, global_accuracy, global_loss)`.
+pub fn merge_eval(
+    cluster: &mut ClusterNode,
+    inputs: TrainInputs,
+    global_test: &Dataset,
+) -> (usize, f64, f64) {
+    let merged = cluster.merge_peers(&inputs.peers);
+    let eval = cluster.evaluate(cluster.weights(), global_test);
+    (merged, eval.accuracy, eval.loss)
+}
+
+/// One cluster's full training-round compute: merge, evaluate the global
+/// model, train locally, evaluate the local model. Touches only the
+/// cluster's own state plus immutable shared references, so the parallel
+/// engine runs it on a per-cluster thread.
+pub fn compute_train(
+    cluster: &mut ClusterNode,
+    inputs: TrainInputs,
+    workload: &WorkloadConfig,
+    global_test: &Dataset,
+) -> TrainResult {
+    let pull = inputs.pull;
+    let (peers_merged, global_accuracy, global_loss) = merge_eval(cluster, inputs, global_test);
+    let train = cluster.train_duration(workload.local_epochs);
+    cluster.run_local_round(
+        workload.local_epochs,
+        workload.batch_size,
+        workload.learning_rate,
+    );
+    let eval = cluster.evaluate(cluster.weights(), global_test);
+    TrainResult {
+        pull,
+        peers_merged,
+        global_accuracy,
+        global_loss,
+        train,
+        local_accuracy: eval.accuracy,
+        local_loss: eval.loss,
+    }
+}
+
+/// Commit-step effects common to both engines' training rounds, in the
+/// exact sequence of the sequential reference: record the pull and
+/// (nominal) training bursts, stretch `result.train` under an injected
+/// latency spike (logging the fault), and record the aggregator burst.
+/// Returns the publish duration for the engine's busy-time arithmetic.
+pub fn commit_train_effects(
+    fed: &mut Federation,
+    idx: usize,
+    round: u64,
+    result: &mut TrainResult,
+) -> SimDuration {
+    fed.record_ipfs_burst(result.pull);
+    fed.record_training_burst(result.train);
+    let spike = fed
+        .fault_plan()
+        .map(|p| p.latency_factor(idx, round))
+        .filter(|f| *f > 1.0);
+    if let Some(factor) = spike {
+        result.train = SimDuration::from_secs_f64(result.train.as_secs_f64() * factor);
+        fed.log_fault(idx, round, "latency_spike", "training slowed");
+    }
+    let publish = fed.clusters[idx].publish_duration();
+    fed.record_agg_burst(result.pull + publish);
+    publish
+}
+
+/// One scoring duty, prepared for compute: either the score is already
+/// known (MultiKRUM's full-round table) or the fetched weights await an
+/// inference pass.
+#[derive(Debug)]
+pub enum ScoreInput {
+    /// Score already determined at prepare time (MultiKRUM lookup).
+    Ready(f64),
+    /// Fetched peer weights to score with the cluster's holdout shard.
+    Weights(Vec<f32>),
+}
+
+/// A scoring task assigned to a cluster for the round.
+#[derive(Debug)]
+pub struct ScoreTask {
+    /// The model to score.
+    pub cid: Cid,
+    /// How the score is obtained.
+    pub input: ScoreInput,
+}
+
+/// Gathers one cluster's scoring tasks for the round: filters the round's
+/// assignments to this cluster, and per task either looks the score up in
+/// the MultiKRUM table or fetches the weights (fetch side effects — so
+/// engines call this sequentially in cluster-index order). Tasks whose
+/// fetch fails are dropped, exactly as the sequential engine skips them.
+pub fn prepare_scoring(
+    fed: &Federation,
+    idx: usize,
+    assignments: &[(Cid, Vec<Address>)],
+    krum: Option<&(Vec<Cid>, Vec<f64>)>,
+) -> Vec<ScoreTask> {
+    let my_addr = fed.clusters[idx].address();
+    let mut tasks = Vec::new();
+    for (cid, scorers) in assignments {
+        if !scorers.contains(&my_addr) {
+            continue;
+        }
+        let input = match krum {
+            Some((cids, scores)) => {
+                let pos = cids.iter().position(|c| c == cid);
+                ScoreInput::Ready(pos.map(|p| scores[p]).unwrap_or(0.0))
+            }
+            None => match fed.fetch_weights(idx, *cid) {
+                Some(w) => ScoreInput::Weights(w),
+                None => continue,
+            },
+        };
+        tasks.push(ScoreTask { cid: *cid, input });
+    }
+    tasks
+}
+
+/// Scores the prepared tasks: the compute half of a scoring duty
+/// (inference over the cluster's holdout shard). Cluster-local and
+/// read-only, so the parallel engine fans it out per cluster.
+pub fn compute_scores(cluster: &ClusterNode, tasks: Vec<ScoreTask>) -> Vec<(Cid, f64)> {
+    tasks
+        .into_iter()
+        .map(|t| {
+            let score = match t.input {
+                ScoreInput::Ready(s) => s,
+                ScoreInput::Weights(w) => cluster.score_weights(&w),
+            };
+            (t.cid, score)
+        })
+        .collect()
+}
+
+/// Runs each cluster's compute closure on its own scoped thread (phase A
+/// of the parallel engine). `inputs` is index-aligned with `clusters`;
+/// `None` slots (inactive clusters) are skipped. Results come back in
+/// index order. A panicking compute (e.g. a client fit) is re-raised with
+/// its original payload after every sibling thread has been joined.
+pub fn compute_all<I, R, F>(
+    clusters: &mut [ClusterNode],
+    inputs: Vec<Option<I>>,
+    f: F,
+) -> Vec<Option<R>>
+where
+    I: Send,
+    R: Send,
+    F: Fn(&mut ClusterNode, I) -> R + Sync,
+{
+    debug_assert_eq!(clusters.len(), inputs.len(), "inputs are index-aligned");
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = clusters
+            .iter_mut()
+            .zip(inputs)
+            .map(|(cluster, input)| input.map(|i| scope.spawn(move || f(cluster, i))))
+            .collect();
+        let mut results = Vec::with_capacity(handles.len());
+        let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for handle in handles {
+            match handle {
+                None => results.push(None),
+                Some(h) => match h.join() {
+                    Ok(r) => results.push(Some(r)),
+                    Err(payload) => {
+                        if first_panic.is_none() {
+                            first_panic = Some(payload);
+                        }
+                        results.push(None);
+                    }
+                },
+            }
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+        results
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+
+    #[test]
+    fn engine_auto_reads_env() {
+        // The env var is process-global; exercise the parser directly on
+        // the two spellings plus the default.
+        assert!(Engine::auto().is_parallel() || Engine::auto() == Engine::Sequential);
+        assert_eq!(Engine::Sequential.to_string(), "Sequential");
+        assert_eq!(Engine::Parallel.to_string(), "Parallel");
+        assert!(!Engine::Sequential.is_parallel());
+        assert!(Engine::Parallel.is_parallel());
+    }
+
+    #[test]
+    fn compute_all_skips_none_slots_and_orders_results() {
+        use crate::policy::AggregationPolicy;
+        use unifyfl_data::SyntheticConfig;
+        use unifyfl_sim::DeviceProfile;
+        use unifyfl_storage::{IpfsNetwork, LinkProfile};
+        use unifyfl_tensor::zoo::{InputKind, ModelSpec};
+
+        let mut cfg = SyntheticConfig::cifar10_like(120);
+        cfg.input = InputKind::Flat(8);
+        cfg.n_classes = 2;
+        let data = cfg.generate(5);
+        let spec = ModelSpec::mlp(8, vec![8], 2);
+        let net = IpfsNetwork::new();
+        let init = spec.build(5).flat_params();
+        let mut clusters: Vec<ClusterNode> = (0..3)
+            .map(|i| {
+                ClusterNode::new(
+                    ClusterConfig::edge(format!("c{i}"), DeviceProfile::edge_cpu())
+                        .with_policy(AggregationPolicy::All),
+                    spec.clone(),
+                    &data,
+                    init.clone(),
+                    net.add_node(LinkProfile::lan()),
+                    100 + i as u64,
+                )
+            })
+            .collect();
+
+        // Index-aligned inputs with a skipped middle slot; results come
+        // back in index order with the None preserved.
+        let inputs = vec![Some(10u32), None, Some(30u32)];
+        let results = compute_all(&mut clusters, inputs, |cluster, v| {
+            (cluster.config().name.clone(), v + 1)
+        });
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0], Some(("c0".to_owned(), 11)));
+        assert_eq!(results[1], None);
+        assert_eq!(results[2], Some(("c2".to_owned(), 31)));
+    }
+}

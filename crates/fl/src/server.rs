@@ -22,6 +22,24 @@ pub struct RoundReport {
     pub client_examples: Vec<usize>,
 }
 
+/// Prefixes a joined worker's panic payload with the client index when the
+/// payload is a plain message (`String` or `&str` — what `panic!` and
+/// assertion macros produce); any other payload type is passed through
+/// untouched so typed panics stay downcastable for the original caller.
+fn contextualize_panic(
+    client: usize,
+    payload: Box<dyn std::any::Any + Send>,
+) -> Box<dyn std::any::Any + Send> {
+    let payload = match payload.downcast::<String>() {
+        Ok(msg) => return Box::new(format!("client {client} fit panicked: {msg}")),
+        Err(payload) => payload,
+    };
+    match payload.downcast::<&'static str>() {
+        Ok(msg) => Box::new(format!("client {client} fit panicked: {msg}")),
+        Err(payload) => payload,
+    }
+}
+
 /// A single-cluster FL server.
 pub struct FlServer {
     strategy: Box<dyn Strategy>,
@@ -103,17 +121,33 @@ impl FlServer {
         let weights = &self.weights;
         // Clients are independent: fit them on scoped threads (this is
         // wall-clock parallelism; *virtual* time is charged separately by
-        // the simulation layer).
+        // the simulation layer). Every handle is joined before any panic is
+        // re-raised, so one failing client never leaves siblings unjoined,
+        // and the original payload is resumed (with the client index
+        // attached when it is a plain message) rather than being replaced
+        // by a generic `expect` string.
         let results: Vec<crate::client::FitResult> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .clients
                 .iter_mut()
                 .map(|client| scope.spawn(|| client.fit(weights, &config)))
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("client fit panicked"))
-                .collect()
+            let mut results = Vec::with_capacity(handles.len());
+            let mut first_panic: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
+            for (i, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(r) => results.push(r),
+                    Err(payload) => {
+                        if first_panic.is_none() {
+                            first_panic = Some((i, payload));
+                        }
+                    }
+                }
+            }
+            if let Some((i, payload)) = first_panic {
+                std::panic::resume_unwind(contextualize_panic(i, payload));
+            }
+            results
         });
 
         let client_examples: Vec<usize> = results.iter().map(|r| r.num_examples).collect();
@@ -261,6 +295,62 @@ mod tests {
     #[should_panic(expected = "at least one client")]
     fn empty_cluster_rejected() {
         let _ = FlServer::new(Box::new(FedAvg::new()), vec![], vec![0.0]);
+    }
+
+    #[test]
+    fn client_panic_resumes_with_index_context() {
+        struct Bomb;
+        impl crate::client::FlClient for Bomb {
+            fn fit(&mut self, _w: &[f32], _c: &FitConfig) -> crate::client::FitResult {
+                panic!("non-finite loss on shard");
+            }
+            fn evaluate(&mut self, _w: &[f32]) -> crate::client::EvalResult {
+                unreachable!()
+            }
+            fn num_examples(&self) -> usize {
+                1
+            }
+        }
+        let (server, _) = cluster(Box::new(FedAvg::new()), 7);
+        let mut clients: Vec<Box<dyn FlClient>> = server
+            .clients
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| {
+                if i == 1 {
+                    Box::new(Bomb) as Box<dyn FlClient>
+                } else {
+                    c
+                }
+            })
+            .collect();
+        let weights = server.weights;
+        let mut server = FlServer::new(
+            Box::new(FedAvg::new()),
+            std::mem::take(&mut clients),
+            weights,
+        );
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            server.run_round(1, 16, 0.05);
+        }))
+        .expect_err("the client panic must propagate");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("message payloads stay strings");
+        assert!(
+            msg.contains("client 1") && msg.contains("non-finite loss on shard"),
+            "payload must carry index and original message: {msg}"
+        );
+    }
+
+    #[test]
+    fn typed_panic_payloads_pass_through_undisturbed() {
+        // A non-string payload must stay downcastable to its original type.
+        let payload = contextualize_panic(0, Box::new(42u32));
+        assert_eq!(payload.downcast_ref::<u32>(), Some(&42));
+        let payload = contextualize_panic(3, Box::new("static message"));
+        let msg = payload.downcast_ref::<String>().unwrap();
+        assert_eq!(msg, "client 3 fit panicked: static message");
     }
 
     #[test]

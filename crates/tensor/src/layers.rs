@@ -57,6 +57,9 @@ pub struct Dense {
     grad_w: Tensor,
     grad_b: Vec<f32>,
     cached_input: Option<Tensor>,
+    /// Scratch for the per-batch `xᵀ · g` product, reused across backward
+    /// calls so the hot path allocates nothing per batch.
+    scratch_gw: Tensor,
     in_dim: usize,
     out_dim: usize,
 }
@@ -74,6 +77,7 @@ impl Dense {
             grad_w: Tensor::zeros(vec![in_dim, out_dim]),
             grad_b: vec![0.0; out_dim],
             cached_input: None,
+            scratch_gw: Tensor::zeros(vec![in_dim, out_dim]),
             in_dim,
             out_dim,
         }
@@ -114,15 +118,21 @@ impl Layer for Dense {
             .as_ref()
             .expect("backward requires a training-mode forward");
         // grad_w += xᵀ · g ; grad_b += Σ_batch g ; grad_in = g · Wᵀ
-        let gw = input.transpose().matmul(grad_out);
-        self.grad_w.add_assign(&gw);
+        // Both matmuls read their transposed operand in place (matmul_tn /
+        // matmul_nt), so no `[in, batch]` or `[out, in]` copy is
+        // materialized per batch; the xᵀ·g product lands in the reused
+        // scratch (it cannot accumulate straight into grad_w — that would
+        // change the floating-point add order and break bit-for-bit
+        // reproducibility against the reference formulation).
+        input.matmul_tn_into(grad_out, &mut self.scratch_gw);
+        self.grad_w.add_assign(&self.scratch_gw);
         let batch = grad_out.shape()[0];
         for i in 0..batch {
             for j in 0..self.out_dim {
                 self.grad_b[j] += grad_out.data()[i * self.out_dim + j];
             }
         }
-        grad_out.matmul(&self.w.transpose())
+        grad_out.matmul_nt(&self.w)
     }
 
     fn params(&self) -> Vec<&[f32]> {
@@ -490,6 +500,37 @@ mod tests {
             (0..n).map(|i| ((i * 7 % 13) as f32 - 6.0) * 0.1).collect(),
         );
         grad_check(&mut layer, input);
+    }
+
+    #[test]
+    fn dense_backward_matches_reference_formulation_bitwise() {
+        // The matmul_tn / matmul_nt fast path must reproduce the naive
+        // transpose-then-matmul gradients bit for bit (weight releases are
+        // content-addressed, so any drift would change CIDs).
+        let mut rng = rng();
+        let mut layer = Dense::new(5, 4, &mut rng);
+        let input = Tensor::from_vec(
+            vec![3, 5],
+            (0..15)
+                .map(|i| ((i * 11 % 7) as f32 - 3.0) * 0.25)
+                .collect(),
+        );
+        let fwd = layer.forward(&input, true);
+        let grad_out = Tensor::from_vec(
+            fwd.shape().to_vec(),
+            (0..fwd.len()).map(|i| (i as f32 - 5.0) * 0.1).collect(),
+        );
+        layer.zero_grads();
+        let grad_in = layer.backward(&grad_out);
+
+        let ref_gw = input.transpose().matmul(&grad_out);
+        let ref_gin = grad_out.matmul(&layer.w.transpose());
+        for (a, b) in layer.grads()[0].iter().zip(ref_gw.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in grad_in.data().iter().zip(ref_gin.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

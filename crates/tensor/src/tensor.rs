@@ -153,6 +153,95 @@ impl Tensor {
         }
     }
 
+    /// Transposed-packed matrix multiplication: `selfᵀ · rhs` with `self`
+    /// stored as `[k, m]` and `rhs` as `[k, n]`, result `[m, n]`.
+    ///
+    /// Bit-identical to `self.transpose().matmul(rhs)` — the loops walk the
+    /// same accumulation order — but reads `self` in place instead of
+    /// materializing the transposed copy. This is the dense-layer backward
+    /// hot path (`grad_w = xᵀ · g`), where the per-batch `transpose()`
+    /// allocation used to dominate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tensor is not rank-2 or the shared `k` dims differ.
+    pub fn matmul_tn(&self, rhs: &Tensor) -> Tensor {
+        let (_, m) = self.rank2_dims("matmul_tn lhs");
+        let (_, n) = rhs.rank2_dims("matmul_tn rhs");
+        let mut out = Tensor::zeros(vec![m, n]);
+        self.matmul_tn_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Tensor::matmul_tn`] writing into a caller-owned output tensor
+    /// (e.g. a per-layer scratch buffer), avoiding the result allocation.
+    /// The output is overwritten, not accumulated into.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank/shape mismatch, including `out` not being `[m, n]`.
+    pub fn matmul_tn_into(&self, rhs: &Tensor, out: &mut Tensor) {
+        let (k, m) = self.rank2_dims("matmul_tn lhs");
+        let (k2, n) = rhs.rank2_dims("matmul_tn rhs");
+        assert_eq!(k, k2, "shared dimensions must agree: {k} vs {k2}");
+        assert_eq!(out.shape, [m, n], "output must be [{m}, {n}]");
+        out.data.fill(0.0);
+        for i in 0..m {
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for p in 0..k {
+                let l = self.data[p * m + i];
+                if l == 0.0 {
+                    continue;
+                }
+                let rhs_row = &rhs.data[p * n..(p + 1) * n];
+                for (o, &r) in out_row.iter_mut().zip(rhs_row) {
+                    *o += l * r;
+                }
+            }
+        }
+    }
+
+    /// Matrix multiplication against a transposed-packed right-hand side:
+    /// `self · rhsᵀ` with `self` as `[m, k]` and `rhs` as `[n, k]`, result
+    /// `[m, n]`.
+    ///
+    /// Bit-identical to `self.matmul(&rhs.transpose())` — same accumulation
+    /// order — but reads `rhs` column-strided in place instead of
+    /// materializing the transposed copy. This is the other dense-layer
+    /// backward hot path (`grad_in = g · Wᵀ`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tensor is not rank-2 or the shared `k` dims differ.
+    pub fn matmul_nt(&self, rhs: &Tensor) -> Tensor {
+        let (m, k) = self.rank2_dims("matmul_nt lhs");
+        let (n, k2) = rhs.rank2_dims("matmul_nt rhs");
+        assert_eq!(k, k2, "shared dimensions must agree: {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let lhs_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (p, &l) in lhs_row.iter().enumerate() {
+                if l == 0.0 {
+                    continue;
+                }
+                for (o, out_v) in out_row.iter_mut().enumerate() {
+                    *out_v += l * rhs.data[o * k + p];
+                }
+            }
+        }
+        Tensor {
+            shape: vec![m, n],
+            data: out,
+        }
+    }
+
+    /// The `(rows, cols)` of a rank-2 tensor; panics with `what` otherwise.
+    fn rank2_dims(&self, what: &str) -> (usize, usize) {
+        assert_eq!(self.shape.len(), 2, "{what} must be rank-2");
+        (self.shape[0], self.shape[1])
+    }
+
     /// Transposed matrix: `[m, n]` → `[n, m]`.
     ///
     /// # Panics
@@ -276,6 +365,59 @@ mod tests {
         let a = Tensor::zeros(vec![2, 3]);
         let b = Tensor::zeros(vec![2, 2]);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn matmul_tn_matches_transpose_then_matmul() {
+        // Values chosen to exercise the zero-skip branch too.
+        let a = Tensor::from_vec(vec![3, 2], vec![1., 0., -2.5, 3., 0., 4.]);
+        let b = Tensor::from_vec(vec![3, 4], (0..12).map(|i| i as f32 * 0.5 - 2.0).collect());
+        let fused = a.matmul_tn(&b);
+        let naive = a.transpose().matmul(&b);
+        assert_eq!(fused.shape(), naive.shape());
+        for (x, y) in fused.data().iter().zip(naive.data()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "bit-exact match required");
+        }
+    }
+
+    #[test]
+    fn matmul_nt_matches_matmul_of_transpose() {
+        let a = Tensor::from_vec(vec![2, 3], vec![1., 0., 3., -4., 5., 0.]);
+        let b = Tensor::from_vec(
+            vec![4, 3],
+            (0..12).map(|i| (i as f32 - 6.0) * 0.3).collect(),
+        );
+        let fused = a.matmul_nt(&b);
+        let naive = a.matmul(&b.transpose());
+        assert_eq!(fused.shape(), naive.shape());
+        for (x, y) in fused.data().iter().zip(naive.data()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "bit-exact match required");
+        }
+    }
+
+    #[test]
+    fn matmul_tn_into_reuses_scratch() {
+        let a = Tensor::from_vec(vec![2, 2], vec![1., 2., 3., 4.]);
+        let b = Tensor::from_vec(vec![2, 2], vec![5., 6., 7., 8.]);
+        let mut scratch = Tensor::from_vec(vec![2, 2], vec![9.0; 4]); // stale data
+        a.matmul_tn_into(&b, &mut scratch);
+        assert_eq!(scratch, a.transpose().matmul(&b), "scratch is overwritten");
+    }
+
+    #[test]
+    #[should_panic(expected = "shared dimensions must agree")]
+    fn matmul_tn_shape_mismatch_panics() {
+        let a = Tensor::zeros(vec![3, 2]);
+        let b = Tensor::zeros(vec![2, 4]);
+        let _ = a.matmul_tn(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "shared dimensions must agree")]
+    fn matmul_nt_shape_mismatch_panics() {
+        let a = Tensor::zeros(vec![2, 3]);
+        let b = Tensor::zeros(vec![4, 2]);
+        let _ = a.matmul_nt(&b);
     }
 
     #[test]

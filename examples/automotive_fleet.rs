@@ -14,7 +14,7 @@
 
 use unifyfl::chain::orchestrator::events;
 use unifyfl::core::cluster::ClusterConfig;
-use unifyfl::core::experiment::{ExperimentConfig, Mode};
+use unifyfl::core::experiment::{Engine, ExperimentConfig, Mode};
 use unifyfl::core::federation::Federation;
 use unifyfl::core::orchestration::run_sync;
 use unifyfl::core::policy::{AggregationPolicy, ScorePolicy};
@@ -70,6 +70,7 @@ fn main() {
         window_margin: 1.15,
         chaos: None,
         transfer: TransferConfig::default(),
+        engine: Engine::auto(),
     };
     config.validate().expect("valid scenario");
 

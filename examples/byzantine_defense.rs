@@ -12,7 +12,7 @@
 
 use unifyfl::core::byzantine::AttackKind;
 use unifyfl::core::cluster::ClusterConfig;
-use unifyfl::core::experiment::{run_experiment, ExperimentConfig, Mode};
+use unifyfl::core::experiment::{run_experiment, Engine, ExperimentConfig, Mode};
 use unifyfl::core::policy::{AggregationPolicy, ScorePolicy};
 use unifyfl::core::report::render_curves;
 use unifyfl::core::scoring::ScorerKind;
@@ -46,6 +46,7 @@ fn scenario(policy: AggregationPolicy, label: &str) -> ExperimentConfig {
         window_margin: 1.15,
         chaos: None,
         transfer: TransferConfig::default(),
+        engine: Engine::auto(),
     }
 }
 

@@ -11,7 +11,7 @@
 //! free-run, trading a little model freshness for wall-clock speed.
 
 use unifyfl::core::cluster::ClusterConfig;
-use unifyfl::core::experiment::{run_experiment, ExperimentConfig, ExperimentReport, Mode};
+use unifyfl::core::experiment::{run_experiment, Engine, ExperimentConfig, ExperimentReport, Mode};
 use unifyfl::core::policy::{AggregationPolicy, ScorePolicy};
 use unifyfl::core::scoring::ScorerKind;
 use unifyfl::core::TransferConfig;
@@ -41,6 +41,7 @@ fn config(mode: Mode) -> ExperimentConfig {
         window_margin: 1.15,
         chaos: None,
         transfer: TransferConfig::default(),
+        engine: Engine::auto(),
     }
 }
 

@@ -13,7 +13,7 @@
 
 use proptest::prelude::*;
 use unifyfl::core::cluster::ClusterConfig;
-use unifyfl::core::experiment::{run_experiment, ExperimentConfig, ExperimentError, Mode};
+use unifyfl::core::experiment::{run_experiment, Engine, ExperimentConfig, ExperimentError, Mode};
 use unifyfl::core::policy::AggregationPolicy;
 use unifyfl::core::scoring::ScorerKind;
 use unifyfl::core::TransferConfig;
@@ -61,6 +61,7 @@ fn config(mode: Mode) -> ExperimentConfig {
         window_margin: 1.15,
         chaos: None,
         transfer: TransferConfig::default(),
+        engine: Engine::auto(),
     }
 }
 
