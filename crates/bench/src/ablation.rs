@@ -13,7 +13,7 @@
 //!    depends on how many scorers actually report.
 
 use unifyfl_core::cluster::ClusterConfig;
-use unifyfl_core::experiment::{run_experiment, Engine, ExperimentConfig, Mode};
+use unifyfl_core::experiment::{run_experiment, Engine, ExperimentConfig, LinkModel, Mode};
 use unifyfl_core::policy::AggregationPolicy;
 use unifyfl_core::scoring::ScorerKind;
 use unifyfl_core::TransferConfig;
@@ -57,6 +57,7 @@ fn base_config(seed: u64, mode: Mode) -> ExperimentConfig {
         chaos: None,
         transfer: TransferConfig::default(),
         engine: Engine::auto(),
+        link_model: LinkModel::Nominal,
     }
 }
 

@@ -1,0 +1,39 @@
+//! Timeline benchmark: virtual time-to-target-accuracy on the event
+//! kernel — sync vs. async × link models × transfer optimizations ×
+//! elastic membership. Prints the comparison and writes
+//! `BENCH_timeline.json` to the working directory (override with
+//! `--out PATH`; `--seed N` to vary the seed).
+//!
+//! Asserts the two gates: under the physical link model, enabling the
+//! transfer optimizations strictly reduces async time-to-target versus the
+//! naive-link baseline, and a cluster joining mid-run converges into the
+//! founders' accuracy band.
+
+use unifyfl_bench::timeline::{self, TARGET_ACCURACY_PCT};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seed = unifyfl_bench::seed_from_args(&args);
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_timeline.json", String::as_str);
+
+    let bench = timeline::run(seed);
+    print!("{}", timeline::render(&bench));
+    let json = timeline::render_json(&bench, seed);
+    std::fs::write(out_path, &json).expect("write BENCH_timeline.json");
+    println!("wrote {out_path}:\n{json}");
+
+    let (on, off, transfer_holds) = bench.transfer_gate(TARGET_ACCURACY_PCT);
+    assert!(
+        transfer_holds,
+        "transfer gate failed: async physical on={on:?} vs off={off:?}"
+    );
+    let (joiner, founders, elastic_holds) = bench.elastic_gate();
+    assert!(
+        elastic_holds,
+        "elastic gate failed: joiner {joiner:.1}% vs founders {founders:.1}%"
+    );
+}

@@ -7,7 +7,9 @@
 //! `chaos` binary so CI can track the resilience trajectory over time.
 
 use unifyfl_core::cluster::ClusterConfig;
-use unifyfl_core::experiment::{run_experiment, Engine, ExperimentConfig, ExperimentReport, Mode};
+use unifyfl_core::experiment::{
+    run_experiment, Engine, ExperimentConfig, ExperimentReport, LinkModel, Mode,
+};
 use unifyfl_core::policy::AggregationPolicy;
 use unifyfl_core::report::{render_chaos_summary, render_run_table};
 use unifyfl_core::scoring::ScorerKind;
@@ -70,6 +72,7 @@ pub fn config(seed: u64, chaos: Option<ChaosConfig>) -> ExperimentConfig {
         chaos,
         transfer: TransferConfig::default(),
         engine: Engine::auto(),
+        link_model: LinkModel::Nominal,
     }
 }
 

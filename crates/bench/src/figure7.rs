@@ -10,7 +10,9 @@
 //!   accuracy scorers give the poisoned model a near-zero score.
 
 use unifyfl_core::byzantine::AttackKind;
-use unifyfl_core::experiment::{run_experiment, Engine, ExperimentConfig, ExperimentReport, Mode};
+use unifyfl_core::experiment::{
+    run_experiment, Engine, ExperimentConfig, ExperimentReport, LinkModel, Mode,
+};
 use unifyfl_core::policy::{AggregationPolicy, ScorePolicy};
 use unifyfl_core::report::render_curves;
 use unifyfl_core::scoring::ScorerKind;
@@ -66,6 +68,7 @@ pub fn config(variant: PolicyVariant, scale: Scale, seed: u64) -> ExperimentConf
         chaos: None,
         transfer: TransferConfig::default(),
         engine: Engine::auto(),
+        link_model: LinkModel::Nominal,
     }
 }
 

@@ -19,6 +19,7 @@
 //! | [`chaos`] | resilience trajectory — rounds-to-converge under churn |
 //! | [`transfer`] | bandwidth trajectory — bytes-on-wire, dedup/delta/cache on vs. off |
 //! | [`speed`] | speed trajectory — wall-clock, parallel two-phase engine vs. sequential |
+//! | [`timeline`] | timeline trajectory — time-to-target-accuracy, sync vs. async × link models × elastic membership |
 
 pub mod ablation;
 pub mod chaos;
@@ -29,6 +30,7 @@ pub mod table1;
 pub mod table5;
 pub mod table6;
 pub mod table7;
+pub mod timeline;
 pub mod transfer;
 
 use unifyfl_data::WorkloadConfig;

@@ -6,7 +6,9 @@
 //! cluster level — edge clients never run Geth or IPFS nodes.
 
 use unifyfl_core::cluster::ClusterConfig;
-use unifyfl_core::experiment::{run_experiment, Engine, ExperimentConfig, ExperimentReport, Mode};
+use unifyfl_core::experiment::{
+    run_experiment, Engine, ExperimentConfig, ExperimentReport, LinkModel, Mode,
+};
 use unifyfl_core::policy::{AggregationPolicy, ScorePolicy};
 use unifyfl_core::report::render_run_table;
 use unifyfl_core::scoring::ScorerKind;
@@ -42,6 +44,7 @@ pub fn config(clients_per_agg: usize, scale: Scale, seed: u64) -> ExperimentConf
         chaos: None,
         transfer: TransferConfig::default(),
         engine: Engine::auto(),
+        link_model: LinkModel::Nominal,
     }
 }
 

@@ -90,6 +90,54 @@ pub fn available_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Disposition of the ≥1.5× speedup gate for one benchmark run. Recorded
+/// explicitly in `BENCH_speed.json` so a run on a small host can never
+/// masquerade as a passed gate in the bench trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateStatus {
+    /// The bar is enforced (multicore host, gate not disabled).
+    Enforced,
+    /// Skipped: fewer than [`SPEEDUP_GATE_THREADS`] hardware threads —
+    /// a single-digit-core runner cannot parallelize meaningfully.
+    SkippedThreads,
+    /// Skipped: `UNIFYFL_SPEED_GATE=off` (contended shared host).
+    SkippedEnv,
+}
+
+impl GateStatus {
+    /// The JSON `gate` field value: `"enforced"` or `"skipped"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            GateStatus::Enforced => "enforced",
+            GateStatus::SkippedThreads | GateStatus::SkippedEnv => "skipped",
+        }
+    }
+
+    /// The JSON `gate_reason` field value.
+    pub fn reason(self) -> &'static str {
+        match self {
+            GateStatus::Enforced => "multicore host",
+            GateStatus::SkippedThreads => "hardware_threads below gate floor",
+            GateStatus::SkippedEnv => "UNIFYFL_SPEED_GATE=off",
+        }
+    }
+}
+
+/// Resolves the gate disposition for a host with `threads` hardware
+/// threads, honoring the `UNIFYFL_SPEED_GATE=off` escape hatch.
+pub fn gate_status(threads: usize) -> GateStatus {
+    let env_off = std::env::var("UNIFYFL_SPEED_GATE")
+        .map(|v| v.eq_ignore_ascii_case("off"))
+        .unwrap_or(false);
+    if env_off {
+        GateStatus::SkippedEnv
+    } else if threads < SPEEDUP_GATE_THREADS {
+        GateStatus::SkippedThreads
+    } else {
+        GateStatus::Enforced
+    }
+}
+
 fn run_arm(config: &ExperimentConfig, engine: Engine, repeats: usize) -> SpeedArm {
     let mut config = config.clone();
     config.engine = engine;
@@ -165,16 +213,20 @@ pub fn run(scale: Scale, seed: u64) -> SpeedBench {
     }
 }
 
-/// Renders the machine-readable `BENCH_speed.json` body.
-pub fn render_json(bench: &SpeedBench, seed: u64) -> String {
+/// Renders the machine-readable `BENCH_speed.json` body. `gate` records
+/// whether the ≥1.5× bar was enforced for this run — a skipped gate is an
+/// explicit, honest datapoint, not a silent pass.
+pub fn render_json(bench: &SpeedBench, seed: u64, gate: GateStatus) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"speed\",\n");
     out.push_str(&format!("  \"seed\": {seed},\n"));
-    out.push_str(&format!("  \"threads_available\": {},\n", bench.threads));
+    out.push_str(&format!("  \"hardware_threads\": {},\n", bench.threads));
     out.push_str(&format!(
         "  \"speedup_gate_threads\": {SPEEDUP_GATE_THREADS},\n"
     ));
+    out.push_str(&format!("  \"gate\": \"{}\",\n", gate.label()));
+    out.push_str(&format!("  \"gate_reason\": \"{}\",\n", gate.reason()));
     out.push_str("  \"pairs\": [\n");
     for (i, pair) in bench.pairs.iter().enumerate() {
         out.push_str(&format!(
@@ -254,11 +306,34 @@ mod tests {
             threads: available_threads(),
             pairs: vec![run_pair("quickstart-3agg-sync", &quickstart_config(7), 1)],
         };
-        let json = render_json(&bench, 7);
+        let json = render_json(&bench, 7, gate_status(bench.threads));
         assert!(json.contains("\"bench\": \"speed\""));
         assert!(json.contains("\"speedup\""));
-        assert!(json.contains("\"threads_available\""));
+        assert!(json.contains("\"hardware_threads\""));
+        assert!(json.contains("\"gate\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn gate_status_reflects_thread_floor_and_labels() {
+        // Below the floor the gate is skipped with an explicit, honest
+        // status (the previous behavior silently degraded to a pass).
+        assert_eq!(gate_status(1), GateStatus::SkippedThreads);
+        assert_eq!(
+            gate_status(SPEEDUP_GATE_THREADS - 1),
+            GateStatus::SkippedThreads
+        );
+        assert_eq!(GateStatus::SkippedThreads.label(), "skipped");
+        assert_eq!(GateStatus::SkippedEnv.label(), "skipped");
+        assert_eq!(GateStatus::Enforced.label(), "enforced");
+        assert!(!GateStatus::SkippedThreads.reason().is_empty());
+        // At or above the floor the disposition depends only on the env
+        // escape hatch; both reachable values are legal.
+        let at_floor = gate_status(SPEEDUP_GATE_THREADS);
+        assert!(matches!(
+            at_floor,
+            GateStatus::Enforced | GateStatus::SkippedEnv
+        ));
     }
 }

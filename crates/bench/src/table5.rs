@@ -14,7 +14,9 @@
 
 use unifyfl_core::baseline::run_hbfl;
 use unifyfl_core::cluster::ClusterConfig;
-use unifyfl_core::experiment::{run_experiment, Engine, ExperimentConfig, ExperimentReport, Mode};
+use unifyfl_core::experiment::{
+    run_experiment, Engine, ExperimentConfig, ExperimentReport, LinkModel, Mode,
+};
 use unifyfl_core::policy::{AggregationPolicy, ScorePolicy};
 use unifyfl_core::report::{render_baseline_table, render_run_table};
 use unifyfl_core::scoring::ScorerKind;
@@ -140,6 +142,7 @@ pub fn config(run_no: u32, scale: Scale, seed: u64) -> ExperimentConfig {
         chaos: None,
         transfer: TransferConfig::default(),
         engine: Engine::auto(),
+        link_model: LinkModel::Nominal,
     }
 }
 

@@ -1,0 +1,394 @@
+//! Timeline benchmark: virtual **time-to-target-accuracy** on the event
+//! kernel — sync vs. async orchestration × link time models × transfer
+//! optimizations × elastic membership.
+//!
+//! All arms run WAN-attached clusters
+//! ([`LinkProfile::wan`](unifyfl_storage::LinkProfile::wan)) so storage
+//! traffic matters. The headline comparison runs under
+//! [`LinkModel::Physical`], where the storage layer's *physical* bytes
+//! moved (PR 3 chunk dedup / delta fetch / fetch cache) drive the virtual
+//! clock:
+//!
+//! - **async physical, transfer on vs. off** — the bench's hard gate: with
+//!   the PR 3 optimizations enabled, time-to-target-accuracy must be
+//!   *strictly* lower than the naive-link baseline (every fetch full-size
+//!   on the wire). Free-running async timing makes the savings visible
+//!   directly: each cluster's round completion is the true sum of its
+//!   transfer and compute durations.
+//! - **sync physical, transfer on vs. off** — reported without a gate:
+//!   sync round completions are quantized to the phase windows (which are
+//!   sized from *nominal* costs), so byte savings shrink idle time inside
+//!   the window rather than the timeline. The JSON records both arms so
+//!   the quantization effect stays visible.
+//! - **elastic membership** — an async physical arm where a fourth cluster
+//!   joins mid-run, bootstraps from the latest scored releases, and must
+//!   converge into the founders' accuracy band (second gate).
+//!
+//! The `timeline` binary emits `BENCH_timeline.json` (schema in
+//! `docs/BENCH.md`). Like every non-`speed` bench, output at a fixed seed
+//! is byte-identical across runs and machines.
+
+use unifyfl_core::cluster::ClusterConfig;
+use unifyfl_core::experiment::{
+    run_experiment, ExperimentBuilder, ExperimentConfig, ExperimentReport, LinkModel, Mode,
+};
+use unifyfl_core::report::render_run_table;
+use unifyfl_core::TransferConfig;
+use unifyfl_sim::SimDuration;
+use unifyfl_storage::LinkProfile;
+
+/// Accuracy bar (percent) the time-to-target clock stops at. Chosen so
+/// every arm of the quick configuration comfortably crosses it while
+/// leaving rounds of headroom (the quickstart task converges near 60 %).
+pub const TARGET_ACCURACY_PCT: f64 = 45.0;
+
+/// Maximum |joiner − founders| final-accuracy gap (percentage points) the
+/// elastic arm tolerates — the paper's per-aggregator accuracy spread
+/// within one run (Tables 5/6) stays inside single digits.
+pub const JOIN_BAND_PCT: f64 = 10.0;
+
+/// One measured configuration.
+pub struct TimelineArm {
+    /// Short arm label (e.g. `"async-physical-on"`).
+    pub label: String,
+    /// The experiment report.
+    pub report: ExperimentReport,
+}
+
+impl TimelineArm {
+    /// Virtual seconds until the *federation mean* global accuracy first
+    /// reaches `target_pct`: per round, the mean over every cluster that
+    /// recorded the round, timestamped at the slowest such cluster. `None`
+    /// if the run never got there.
+    pub fn time_to_target(&self, target_pct: f64) -> Option<f64> {
+        let mut rounds: Vec<u64> = self
+            .report
+            .aggregators
+            .iter()
+            .flat_map(|a| a.curve.iter().map(|p| p.round))
+            .collect();
+        rounds.sort_unstable();
+        rounds.dedup();
+        for round in rounds {
+            let points: Vec<(f64, f64)> = self
+                .report
+                .aggregators
+                .iter()
+                .filter_map(|a| a.curve.iter().find(|p| p.round == round))
+                .map(|p| (p.global_accuracy_pct, p.time_secs))
+                .collect();
+            if points.is_empty() {
+                continue;
+            }
+            let mean = points.iter().map(|(acc, _)| acc).sum::<f64>() / points.len() as f64;
+            if mean >= target_pct {
+                return Some(points.iter().map(|(_, t)| *t).fold(0.0, f64::max));
+            }
+        }
+        None
+    }
+
+    /// Mean final global accuracy (percent) across the arm's clusters.
+    pub fn mean_final_accuracy_pct(&self) -> f64 {
+        let aggs = &self.report.aggregators;
+        aggs.iter().map(|a| a.global_accuracy_pct).sum::<f64>() / aggs.len() as f64
+    }
+}
+
+/// The complete benchmark result.
+pub struct TimelineBench {
+    /// Every measured arm, in grid order.
+    pub arms: Vec<TimelineArm>,
+    /// Index of the async-physical transfer-on arm (gate numerator).
+    pub async_on: usize,
+    /// Index of the async-physical transfer-off arm (gate denominator).
+    pub async_off: usize,
+    /// Index of the elastic-membership arm.
+    pub elastic: usize,
+    /// Index of the joiner cluster inside the elastic arm.
+    pub joiner: usize,
+}
+
+impl TimelineBench {
+    /// The hard gate: async physical time-to-target with the transfer
+    /// optimizations on, strictly below the naive-link baseline. Returns
+    /// `(on_secs, off_secs, holds)`.
+    pub fn transfer_gate(&self, target_pct: f64) -> (Option<f64>, Option<f64>, bool) {
+        let on = self.arms[self.async_on].time_to_target(target_pct);
+        let off = self.arms[self.async_off].time_to_target(target_pct);
+        let holds = matches!((on, off), (Some(a), Some(b)) if a < b);
+        (on, off, holds)
+    }
+
+    /// The elastic gate: the joiner's final global accuracy lands within
+    /// [`JOIN_BAND_PCT`] of the founders' mean. Returns
+    /// `(joiner_pct, founders_pct, holds)`.
+    pub fn elastic_gate(&self) -> (f64, f64, bool) {
+        let report = &self.arms[self.elastic].report;
+        let joiner = report.aggregators[self.joiner].global_accuracy_pct;
+        let founders: Vec<f64> = report
+            .aggregators
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != self.joiner)
+            .map(|(_, a)| a.global_accuracy_pct)
+            .collect();
+        let founders_mean = founders.iter().sum::<f64>() / founders.len() as f64;
+        let holds = (joiner - founders_mean).abs() <= JOIN_BAND_PCT;
+        (joiner, founders_mean, holds)
+    }
+}
+
+/// The WAN-attached configuration the whole grid derives from: the
+/// quickstart task with a wider MLP, so each release blob is ~150 KB and
+/// the physical link model has real bytes to charge — over
+/// [`LinkProfile::wan`], byte serialization (~150 ms per full fetch)
+/// dominates the fixed per-fetch latency, so the transfer layer's byte
+/// savings are visible on the timeline rather than drowned in round-trips.
+fn base_config(seed: u64, mode: Mode, link_model: LinkModel) -> ExperimentConfig {
+    let mut config = ExperimentBuilder::quickstart()
+        .seed(seed)
+        .rounds(6)
+        .mode(mode)
+        .link_model(link_model)
+        .config()
+        .clone();
+    config.workload.model = unifyfl_tensor::zoo::ModelSpec::mlp(16, vec![256, 128], 4);
+    for c in &mut config.clusters {
+        *c = c.clone().with_link(LinkProfile::wan());
+    }
+    config
+}
+
+fn run_arm(label: &str, mut config: ExperimentConfig, transfer: TransferConfig) -> TimelineArm {
+    config.transfer = transfer;
+    config.label = label.to_owned();
+    TimelineArm {
+        label: label.to_owned(),
+        report: run_experiment(&config).expect("timeline config is valid"),
+    }
+}
+
+/// Runs the full grid. `seed` parameterizes every arm identically.
+pub fn run(seed: u64) -> TimelineBench {
+    // Nominal-link reference points (sync vs. async), the window-
+    // quantized sync physical pair (no gate), and the gated async
+    // physical pair.
+    let mut arms = vec![
+        run_arm(
+            "sync-nominal",
+            base_config(seed, Mode::Sync, LinkModel::Nominal),
+            TransferConfig::default(),
+        ),
+        run_arm(
+            "async-nominal",
+            base_config(seed, Mode::Async, LinkModel::Nominal),
+            TransferConfig::default(),
+        ),
+        run_arm(
+            "sync-physical-off",
+            base_config(seed, Mode::Sync, LinkModel::Physical),
+            TransferConfig::disabled(),
+        ),
+        run_arm(
+            "sync-physical-on",
+            base_config(seed, Mode::Sync, LinkModel::Physical),
+            TransferConfig::default(),
+        ),
+        run_arm(
+            "async-physical-off",
+            base_config(seed, Mode::Async, LinkModel::Physical),
+            TransferConfig::disabled(),
+        ),
+        run_arm(
+            "async-physical-on",
+            base_config(seed, Mode::Async, LinkModel::Physical),
+            TransferConfig::default(),
+        ),
+    ];
+    // Gate arms resolved by label, so reordering or extending the grid
+    // can never silently point the CI gates at the wrong pair.
+    let position = |arms: &[TimelineArm], label: &str| {
+        arms.iter()
+            .position(|a| a.label == label)
+            .expect("gate arm present in the grid")
+    };
+    let async_off = position(&arms, "async-physical-off");
+    let async_on = position(&arms, "async-physical-on");
+
+    // Elastic membership: a fourth WAN cluster joins mid-run — 1.5
+    // virtual seconds after setup, which lands inside the founders'
+    // free-running schedule (their six rounds span roughly the first two
+    // seconds of activity).
+    let elastic = arms.len();
+    let mut config = base_config(seed, Mode::Async, LinkModel::Physical);
+    let joiner = config.clusters.len();
+    config.clusters.push(
+        ClusterConfig::edge("agg-late", config.clusters[0].client_device.clone())
+            .with_link(LinkProfile::wan())
+            .joining_at(SimDuration::from_millis(1500)),
+    );
+    arms.push(run_arm(
+        "async-physical-elastic",
+        config,
+        TransferConfig::default(),
+    ));
+
+    TimelineBench {
+        arms,
+        async_on,
+        async_off,
+        elastic,
+        joiner,
+    }
+}
+
+fn json_opt(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:.3}"),
+        None => "null".to_owned(),
+    }
+}
+
+/// Renders the machine-readable `BENCH_timeline.json` body.
+pub fn render_json(bench: &TimelineBench, seed: u64) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"timeline\",\n");
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!(
+        "  \"target_accuracy_pct\": {TARGET_ACCURACY_PCT:.1},\n"
+    ));
+    out.push_str("  \"arms\": [\n");
+    for (i, arm) in bench.arms.iter().enumerate() {
+        let t = &arm.report.transfer;
+        out.push_str(&format!(
+            concat!(
+                "    {{\n",
+                "      \"label\": \"{}\",\n",
+                "      \"mode\": \"{}\",\n",
+                "      \"link_model\": \"{}\",\n",
+                "      \"transfer_enabled\": {},\n",
+                "      \"time_to_target_secs\": {},\n",
+                "      \"wall_secs\": {:.3},\n",
+                "      \"mean_final_accuracy_pct\": {:.3},\n",
+                "      \"physical_bytes\": {},\n",
+                "      \"logical_bytes\": {},\n",
+                "      \"joins\": {}\n",
+                "    }}{}\n",
+            ),
+            arm.label,
+            arm.report.mode,
+            arm.report.link_model,
+            t.dedup || t.delta || t.cache_bytes > 0,
+            json_opt(arm.time_to_target(TARGET_ACCURACY_PCT)),
+            arm.report.wall_secs,
+            arm.mean_final_accuracy_pct(),
+            t.physical_bytes,
+            t.logical_bytes,
+            arm.report.membership.len(),
+            if i + 1 < bench.arms.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    let (on, off, transfer_holds) = bench.transfer_gate(TARGET_ACCURACY_PCT);
+    let (joiner_pct, founders_pct, elastic_holds) = bench.elastic_gate();
+    out.push_str("  \"gates\": {\n");
+    out.push_str(&format!(
+        concat!(
+            "    \"async_physical_transfer\": {{\"on_secs\": {}, \"off_secs\": {}, ",
+            "\"strictly_faster\": {}}},\n"
+        ),
+        json_opt(on),
+        json_opt(off),
+        transfer_holds,
+    ));
+    out.push_str(&format!(
+        concat!(
+            "    \"elastic_join\": {{\"joiner_final_pct\": {:.3}, ",
+            "\"founders_final_pct\": {:.3}, \"band_pct\": {:.1}, ",
+            "\"within_band\": {}}}\n"
+        ),
+        joiner_pct, founders_pct, JOIN_BAND_PCT, elastic_holds,
+    ));
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Renders the human-readable comparison.
+pub fn render(bench: &TimelineBench) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Timeline bench: time to {TARGET_ACCURACY_PCT:.0}% mean global accuracy (virtual seconds)\n\n"
+    ));
+    for arm in &bench.arms {
+        out.push_str(&format!(
+            "{:<24} t->target {:>9}  wall {:>9.1}s  final {:>5.1}%  wire {:>10} B\n",
+            arm.label,
+            json_opt(arm.time_to_target(TARGET_ACCURACY_PCT)),
+            arm.report.wall_secs,
+            arm.mean_final_accuracy_pct(),
+            arm.report.transfer.physical_bytes,
+        ));
+    }
+    let (on, off, transfer_holds) = bench.transfer_gate(TARGET_ACCURACY_PCT);
+    let (joiner_pct, founders_pct, elastic_holds) = bench.elastic_gate();
+    out.push_str(&format!(
+        "\ntransfer gate (async physical): on {} < off {} -> {}\n",
+        json_opt(on),
+        json_opt(off),
+        transfer_holds,
+    ));
+    out.push_str(&format!(
+        "elastic gate: joiner {joiner_pct:.1}% vs founders {founders_pct:.1}% (band ±{JOIN_BAND_PCT:.0}) -> {elastic_holds}\n\n"
+    ));
+    out.push_str(&render_run_table(&bench.arms[bench.elastic].report));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_savings_show_up_as_virtual_time_savings() {
+        let bench = run(42);
+        let (on, off, holds) = bench.transfer_gate(TARGET_ACCURACY_PCT);
+        assert!(
+            holds,
+            "async physical transfer-on ({on:?}) must reach the target strictly \
+             before the naive-link baseline ({off:?})"
+        );
+        // The optimized arm really moved fewer bytes.
+        let t_on = &bench.arms[bench.async_on].report.transfer;
+        let t_off = &bench.arms[bench.async_off].report.transfer;
+        assert!(t_on.physical_bytes < t_off.physical_bytes);
+    }
+
+    #[test]
+    fn elastic_joiner_converges_into_the_accuracy_band() {
+        let bench = run(42);
+        let (joiner, founders, holds) = bench.elastic_gate();
+        assert!(
+            holds,
+            "joiner {joiner:.1}% must land within ±{JOIN_BAND_PCT}pp of founders {founders:.1}%"
+        );
+        let report = &bench.arms[bench.elastic].report;
+        assert_eq!(report.membership.len(), 1, "exactly one join recorded");
+        assert!(
+            report.aggregators[bench.joiner].rounds > 0,
+            "the joiner trained"
+        );
+    }
+
+    #[test]
+    fn json_rendering_is_well_formed() {
+        let bench = run(7);
+        let json = render_json(&bench, 7);
+        assert!(json.contains("\"bench\": \"timeline\""));
+        assert!(json.contains("\"async_physical_transfer\""));
+        assert!(json.contains("\"elastic_join\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -100,6 +100,19 @@ impl ChainFaults {
     }
 }
 
+/// What one step of the seal-slot schedule did
+/// ([`Blockchain::seal_due_slot`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotOutcome {
+    /// The due slot sealed a block at its slot timestamp.
+    Sealed(SimTime),
+    /// The due slot was injected to be missed; production shifted one
+    /// period later.
+    Missed,
+    /// No slot is due at the given instant — the drain is complete.
+    NotDue,
+}
+
 /// A private Clique-PoA blockchain with native contract execution.
 ///
 /// ```
@@ -188,6 +201,28 @@ impl Blockchain {
         } else {
             false
         }
+    }
+
+    /// One step of the periodic seal-slot schedule, the primitive the
+    /// orchestration kernel's chain-driving calls (and its end-of-run
+    /// `SealSlot` drain) iterate: if the next slot is due at or before
+    /// `now`, attempt it. An injected miss shifts the schedule one period
+    /// and reports [`SlotOutcome::Missed`]; otherwise the block seals at
+    /// the slot's own timestamp. [`SlotOutcome::NotDue`] ends the drain.
+    ///
+    /// # Errors
+    ///
+    /// As [`Blockchain::seal_next`] (a due slot with no eligible signer).
+    pub fn seal_due_slot(&mut self, now: SimTime) -> Result<SlotOutcome, ChainError> {
+        if self.next_seal_time() > now {
+            return Ok(SlotOutcome::NotDue);
+        }
+        if self.slot_misses_seal() {
+            return Ok(SlotOutcome::Missed);
+        }
+        let ts = self.next_seal_time();
+        self.seal_next(ts)?;
+        Ok(SlotOutcome::Sealed(ts))
     }
 
     /// Deploys a contract at `address`. Replaces any existing deployment
@@ -637,6 +672,51 @@ mod tests {
         let ts = chain.next_seal_time();
         chain.seal_next(ts).unwrap();
         assert_eq!(chain.next_seal_time(), ts + chain.clique().config().period);
+        chain.verify().unwrap();
+    }
+
+    #[test]
+    fn seal_due_slot_drains_the_schedule_and_respects_misses() {
+        let (mut chain, _, _) = setup();
+        let period = chain.clique().config().period;
+        // Fault-free: every due slot seals at its own slot timestamp.
+        let h0 = chain.height();
+        let horizon = SimTime::ZERO + period * 3;
+        let mut sealed = Vec::new();
+        loop {
+            match chain.seal_due_slot(horizon).unwrap() {
+                SlotOutcome::Sealed(ts) => sealed.push(ts),
+                SlotOutcome::Missed => unreachable!("no injector installed"),
+                SlotOutcome::NotDue => break,
+            }
+        }
+        assert_eq!(chain.height(), h0 + 3);
+        assert_eq!(
+            sealed,
+            vec![
+                SimTime::ZERO + period,
+                SimTime::ZERO + period * 2,
+                SimTime::ZERO + period * 3,
+            ]
+        );
+        // Not due yet: a horizon before the next slot is a no-op.
+        assert_eq!(chain.seal_due_slot(sealed[2]).unwrap(), SlotOutcome::NotDue);
+        // Certain injected misses: each step shifts the schedule out one
+        // period without sealing, until nothing is due.
+        chain.install_faults(ChainFaults::new(1, 1.0, 0.0));
+        let h1 = chain.height();
+        let horizon = sealed[2] + period * 2;
+        let mut misses = 0;
+        loop {
+            match chain.seal_due_slot(horizon).unwrap() {
+                SlotOutcome::Sealed(_) => panic!("certain miss must not seal"),
+                SlotOutcome::Missed => misses += 1,
+                SlotOutcome::NotDue => break,
+            }
+        }
+        assert_eq!(chain.height(), h1);
+        assert_eq!(misses, 2, "two slots were due inside the horizon");
+        assert_eq!(chain.fault_stats().unwrap().missed_seals, 2);
         chain.verify().unwrap();
     }
 

@@ -21,6 +21,7 @@ use unifyfl_data::Dataset;
 use unifyfl_fl::strategy::weighted_mean;
 use unifyfl_fl::{FlClient, FlServer, InMemoryClient, StrategyKind};
 use unifyfl_sim::{DeviceProfile, SimDuration};
+use unifyfl_storage::network::LinkProfile;
 use unifyfl_storage::{Cid, IpfsNode};
 use unifyfl_tensor::delta::delta_to_bytes;
 use unifyfl_tensor::weights::quantize_release;
@@ -63,6 +64,16 @@ pub struct ClusterConfig {
     /// exchanged at. Applies after any DP or attack transform; local
     /// training always runs at full precision.
     pub release_mantissa_bits: u32,
+    /// Elastic membership: if set, the cluster is *not* a founding member —
+    /// it sits out until this virtual-time offset from federation setup,
+    /// then registers on-chain, bootstraps from the latest scored releases
+    /// and participates from there. `None` (the default) is a founder.
+    pub joins_at: Option<SimDuration>,
+    /// Explicit storage-link override for this cluster's IPFS node. `None`
+    /// (the default) derives the link from
+    /// [`ClusterConfig::client_device`]; set it to model WAN-attached
+    /// silos whose storage path is slower than their compute fabric.
+    pub link: Option<LinkProfile>,
 }
 
 impl ClusterConfig {
@@ -80,6 +91,8 @@ impl ClusterConfig {
             dp: None,
             warmup_self_rounds: 0,
             release_mantissa_bits: 7,
+            joins_at: None,
+            link: None,
         }
     }
 
@@ -125,6 +138,19 @@ impl ClusterConfig {
     /// 23 releases full `f32` precision.
     pub fn with_release_precision(mut self, mantissa_bits: u32) -> Self {
         self.release_mantissa_bits = mantissa_bits;
+        self
+    }
+
+    /// Makes the cluster an elastic joiner arriving `joins_at` after
+    /// federation setup (builder style).
+    pub fn joining_at(mut self, joins_at: SimDuration) -> Self {
+        self.joins_at = Some(joins_at);
+        self
+    }
+
+    /// Overrides the cluster's storage-link profile (builder style).
+    pub fn with_link(mut self, link: LinkProfile) -> Self {
+        self.link = Some(link);
         self
     }
 }

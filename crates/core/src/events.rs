@@ -1,0 +1,182 @@
+//! The discrete-event orchestration kernel.
+//!
+//! Both orchestration engines are policies over one scheduler: a typed
+//! [`Event`] stream drained in `(time, key, FIFO)` order from
+//! [`unifyfl_sim::EventQueue`]. The **sync** engine is a *barrier-event*
+//! policy — per-cluster completion events are released at the phase-window
+//! boundaries, so every cluster's effects commit at the barrier no matter
+//! when its work nominally finished — and the **async** engine is a
+//! *no-barrier* policy — each cluster's next action fires at its own
+//! virtual clock, tie-broken by cluster index. Elastic membership enters
+//! as a third event source ([`Event::MembershipChange`]): a cluster
+//! configured with [`ClusterConfig::joins_at`](crate::cluster::ClusterConfig::joins_at)
+//! registers and bootstraps mid-run when its join event fires.
+//!
+//! # Determinism contract
+//!
+//! The kernel replays the exact mutation order of the pre-kernel reference
+//! loops: sync schedules its per-cluster `TrainingDone` / `ScoresDue`
+//! events at the window close in cluster-index order (FIFO at equal times
+//! ⇒ index-order commits), and async schedules each `ClusterWake` keyed by
+//! cluster index (⇒ the reference's `min_by_key((clock, idx))` selection).
+//! Chain sealing stays *lazy* — blocks seal when virtual time passes their
+//! slot during a chain-driving call — because block contents must match
+//! the reference's submission interleaving byte for byte; the explicit
+//! [`Event::SealSlot`] event is the end-of-run catch-up drain, not a
+//! per-period ticker. Every fired event lands in the run's trace
+//! ([`EventRecord`]), which `tests/event_kernel.rs` pins bit-for-bit
+//! across replays.
+
+use unifyfl_sim::{EventQueue, SimTime};
+
+use crate::federation::Federation;
+
+/// One typed orchestration event.
+///
+/// `ReleasePublished` from the paper-side vocabulary is not a separate
+/// variant: publishing is the tail of [`Event::TrainingDone`] (sync) and of
+/// a training [`Event::ClusterWake`] (async), committed atomically with the
+/// round's other effects so chain transaction order stays pinned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Event {
+    /// A configured cluster joins the federation: register on-chain,
+    /// bootstrap from the latest scored releases, start participating.
+    MembershipChange {
+        /// Joining cluster index.
+        cluster: usize,
+    },
+    /// Sync: open a round's training phase (submit `startTraining`, size
+    /// the window, run the two-phase prepare/compute fan-out).
+    OpenTraining {
+        /// 1-based round.
+        round: u64,
+    },
+    /// Sync barrier policy: one cluster's training outcome commits —
+    /// carryover/crash/leave handling, model publish, submission or
+    /// straggler hold. Released at the training-window close.
+    TrainingDone {
+        /// Cluster index.
+        cluster: usize,
+        /// 1-based round.
+        round: u64,
+    },
+    /// Sync: the training window closes; open scoring (submit
+    /// `startScoring`, collect assignments, prepare/compute scores).
+    StartScoring {
+        /// 1-based round.
+        round: u64,
+    },
+    /// Sync barrier policy: one cluster's scores commit — the clock walk
+    /// over its scored models, in-window submissions and window
+    /// rejections. Released at the scoring-window close.
+    ScoresDue {
+        /// Cluster index.
+        cluster: usize,
+        /// 1-based round.
+        round: u64,
+    },
+    /// Sync: the scoring window closes (`endScoring`); gates the next
+    /// round's `OpenTraining`.
+    RoundBarrier {
+        /// 1-based round.
+        round: u64,
+    },
+    /// Async no-barrier policy: a free-running cluster acts — serve a
+    /// scoring duty, absorb a scheduled fault, or run (and publish) its
+    /// next training round — then reschedules at its advanced clock.
+    ClusterWake {
+        /// Cluster index.
+        cluster: usize,
+    },
+    /// Seal every chain slot due up to the event time (the end-of-run
+    /// catch-up; mid-run sealing stays lazy, see the module docs).
+    SealSlot,
+}
+
+impl Event {
+    /// Short stable label (for traces and debugging).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Event::MembershipChange { .. } => "membership_change",
+            Event::OpenTraining { .. } => "open_training",
+            Event::TrainingDone { .. } => "training_done",
+            Event::StartScoring { .. } => "start_scoring",
+            Event::ScoresDue { .. } => "scores_due",
+            Event::RoundBarrier { .. } => "round_barrier",
+            Event::ClusterWake { .. } => "cluster_wake",
+            Event::SealSlot => "seal_slot",
+        }
+    }
+
+    /// The cluster the event concerns, if it is cluster-scoped.
+    pub fn cluster(&self) -> Option<usize> {
+        match self {
+            Event::MembershipChange { cluster }
+            | Event::TrainingDone { cluster, .. }
+            | Event::ScoresDue { cluster, .. }
+            | Event::ClusterWake { cluster } => Some(*cluster),
+            _ => None,
+        }
+    }
+}
+
+/// One fired event in a run's trace: what fired, and when. The trace is a
+/// pure function of the experiment configuration — replaying a run yields
+/// the identical record sequence bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Virtual instant the event fired.
+    pub at: SimTime,
+    /// The event.
+    pub event: Event,
+}
+
+/// An orchestration policy over the kernel: seeds the queue, then handles
+/// each drained event (scheduling follow-ups as it goes).
+pub(crate) trait EventPolicy {
+    /// Schedules the initial events.
+    fn seed(&mut self, fed: &mut Federation, queue: &mut EventQueue<Event>);
+    /// Handles one fired event at virtual time `at`.
+    fn handle(
+        &mut self,
+        fed: &mut Federation,
+        queue: &mut EventQueue<Event>,
+        at: SimTime,
+        event: Event,
+    );
+}
+
+/// Drains the kernel: seed, then pop-and-handle until no live events
+/// remain. Returns the fired-event trace.
+pub(crate) fn drain<P: EventPolicy>(fed: &mut Federation, policy: &mut P) -> Vec<EventRecord> {
+    let mut queue = EventQueue::new();
+    policy.seed(fed, &mut queue);
+    let mut trace = Vec::new();
+    while let Some((at, event)) = queue.pop() {
+        trace.push(EventRecord { at, event });
+        policy.handle(fed, &mut queue, at, event);
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_cluster_scope_are_stable() {
+        let e = Event::TrainingDone {
+            cluster: 3,
+            round: 2,
+        };
+        assert_eq!(e.label(), "training_done");
+        assert_eq!(e.cluster(), Some(3));
+        assert_eq!(Event::SealSlot.label(), "seal_slot");
+        assert_eq!(Event::SealSlot.cluster(), None);
+        assert_eq!(Event::OpenTraining { round: 1 }.cluster(), None);
+        assert_eq!(
+            Event::MembershipChange { cluster: 0 }.label(),
+            "membership_change"
+        );
+    }
+}

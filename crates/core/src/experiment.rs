@@ -18,6 +18,7 @@ use crate::cluster::{ClusterConfig, ClusterNode};
 use crate::federation::Federation;
 use crate::orchestration::{run_async_engine, run_sync_engine, EngineOutcome};
 
+pub use crate::federation::{LinkModel, MembershipRecord};
 pub use crate::orchestration::Mode;
 use crate::policy::AggregationPolicy;
 use crate::scoring::ScorerKind;
@@ -59,6 +60,11 @@ pub struct ExperimentConfig {
     /// seed — the engine changes wall-clock only, never results — so this
     /// deliberately does not appear in the [`ExperimentReport`].
     pub engine: Engine,
+    /// How virtual time is charged for cross-silo transfers:
+    /// [`LinkModel::Nominal`] (the default; device-profile cost per fetch)
+    /// or [`LinkModel::Physical`] (actual bytes moved over each node's
+    /// link — the PR 3 transfer savings become wall-clock savings).
+    pub link_model: LinkModel,
 }
 
 /// Validation failure for an experiment configuration.
@@ -74,6 +80,12 @@ pub enum ExperimentError {
     TooFewClusters(usize),
     /// The window margin must be at least 1.
     InvalidWindowMargin,
+    /// Elastic membership needs at least two *founding* clusters (a joiner
+    /// must have a federation to join). Carries the founder count.
+    TooFewFounders(usize),
+    /// A joiner's `joins_at` offset must be strictly positive (a zero
+    /// offset is a founder).
+    InvalidJoinTime,
     /// A chaos knob is out of range (the name of the offending knob).
     InvalidChaos(&'static str),
     /// A cluster's release precision is outside 1 ..= 23 mantissa bits.
@@ -97,6 +109,15 @@ impl std::fmt::Display for ExperimentError {
             }
             ExperimentError::InvalidWindowMargin => {
                 write!(f, "window margin must be >= 1.0")
+            }
+            ExperimentError::TooFewFounders(n) => {
+                write!(
+                    f,
+                    "elastic membership needs at least 2 founding clusters, got {n}"
+                )
+            }
+            ExperimentError::InvalidJoinTime => {
+                write!(f, "joins_at must be strictly positive (zero = founder)")
             }
             ExperimentError::InvalidChaos(knob) => {
                 write!(f, "chaos knob {knob} is out of range")
@@ -299,6 +320,12 @@ pub struct ExperimentReport {
     /// Transfer-layer accounting (bytes on the wire, dedup/delta/cache
     /// savings).
     pub transfer: TransferReport,
+    /// Link time model the run was charged under (`"Nominal"` /
+    /// `"Physical"`).
+    pub link_model: String,
+    /// Elastic-membership changes observed during the run (mid-run joins;
+    /// empty for fixed-membership runs).
+    pub membership: Vec<MembershipRecord>,
 }
 
 impl ExperimentConfig {
@@ -324,6 +351,23 @@ impl ExperimentConfig {
         // NaN must be rejected too, hence the explicit is_nan branch.
         if self.window_margin.is_nan() || self.window_margin < 1.0 {
             return Err(ExperimentError::InvalidWindowMargin);
+        }
+        // Elastic membership: a joiner needs a federation to join, and a
+        // zero offset is a founder misconfigured as a joiner.
+        let founders = self
+            .clusters
+            .iter()
+            .filter(|c| c.joins_at.is_none())
+            .count();
+        if founders < 2 {
+            return Err(ExperimentError::TooFewFounders(founders));
+        }
+        if self
+            .clusters
+            .iter()
+            .any(|c| c.joins_at.is_some_and(|d| d.is_zero()))
+        {
+            return Err(ExperimentError::InvalidJoinTime);
         }
         if let Some(c) = self
             .clusters
@@ -379,6 +423,7 @@ pub fn run_experiment(config: &ExperimentConfig) -> Result<ExperimentReport, Exp
         config.clusters.clone(),
     );
     fed.configure_transfer(config.transfer);
+    fed.set_link_model(config.link_model);
     if let Some(chaos) = config.chaos.as_ref().filter(|c| !c.is_quiescent()) {
         // One derived seed makes the whole schedule (and the storage/chain
         // injector streams) a pure function of the experiment seed.
@@ -464,6 +509,8 @@ fn build_report(
         wall_secs: outcome.end_time.as_secs_f64(),
         chaos: build_chaos_report(&fed),
         transfer: build_transfer_report(&fed),
+        link_model: config.link_model.to_string(),
+        membership: fed.membership_records().to_vec(),
     }
 }
 
@@ -569,6 +616,7 @@ impl ExperimentBuilder {
                 chaos: None,
                 transfer: TransferConfig::default(),
                 engine: Engine::auto(),
+                link_model: LinkModel::Nominal,
             },
         }
     }
@@ -651,6 +699,13 @@ impl ExperimentBuilder {
     /// two-phase; byte-identical results, different wall-clock).
     pub fn engine(mut self, engine: Engine) -> Self {
         self.config.engine = engine;
+        self
+    }
+
+    /// Sets the link time model (nominal device cost vs. physical bytes
+    /// moved per link).
+    pub fn link_model(mut self, link_model: LinkModel) -> Self {
+        self.config.link_model = link_model;
         self
     }
 

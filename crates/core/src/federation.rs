@@ -4,6 +4,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 use unifyfl_chain::chain::{Blockchain, ChainFaults};
 use unifyfl_chain::clique::CliqueConfig;
 use unifyfl_chain::orchestrator::{
@@ -21,6 +22,58 @@ use unifyfl_tensor::{weights_from_bytes, weights_to_bytes};
 
 use crate::cluster::{ClusterConfig, ClusterNode};
 use crate::policy::ScoredCandidate;
+
+/// How virtual time is charged for cross-silo weight transfers.
+///
+/// The storage fabric always *accounts* physical bytes (dedup, delta and
+/// cache savings, PR 3); this knob decides whether those bytes also drive
+/// the virtual clock:
+///
+/// - [`LinkModel::Nominal`] (the default, and the historical behavior):
+///   every fetch costs the cluster's nominal
+///   [`fetch_duration`](crate::cluster::ClusterNode::fetch_duration) —
+///   full wire size over the device link, regardless of what actually
+///   moved. Bandwidth savings show up in the transfer report only.
+/// - [`LinkModel::Physical`]: every fetch costs the storage layer's
+///   per-fetch elapsed time — actual bytes moved over the per-node
+///   [`LinkProfile`] (bottleneck bandwidth + both latencies + DHT lookup),
+///   so dedup/delta/cache savings become *virtual wall-clock* savings.
+///   Injected latency-spike faults are routed through the same links
+///   (they stretch the round's transfers instead of its training).
+///
+/// All pinned scenarios run [`LinkModel::Nominal`]; the link model never
+/// changes which bytes arrive, only what they cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkModel {
+    /// Nominal device-profile transfer cost per fetch (reference model).
+    #[default]
+    Nominal,
+    /// Physical-bytes transfer cost from the storage layer's link model.
+    Physical,
+}
+
+impl std::fmt::Display for LinkModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinkModel::Nominal => write!(f, "Nominal"),
+            LinkModel::Physical => write!(f, "Physical"),
+        }
+    }
+}
+
+/// One elastic-membership change observed during a run (currently: mid-run
+/// joins; permanent leaves stay in the chaos section where they originate).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MembershipRecord {
+    /// Name of the cluster whose membership changed.
+    pub cluster: String,
+    /// Virtual time of the change (seconds).
+    pub at_secs: f64,
+    /// Stable change label (`"join"`).
+    pub change: String,
+    /// Human-readable outcome (e.g. how many releases seeded the bootstrap).
+    pub detail: String,
+}
 
 /// A peer model candidate, resolved from the contract view.
 #[derive(Debug, Clone)]
@@ -77,6 +130,10 @@ pub struct Federation {
     fault_plan: Option<FaultPlan>,
     /// Per-fault outcomes observed by the engines.
     chaos_records: Vec<FaultRecord>,
+    /// Membership changes observed by the engines (mid-run joins).
+    membership_records: Vec<MembershipRecord>,
+    /// How fetch time is charged to the virtual clock.
+    link_model: LinkModel,
     /// Cluster transactions dropped in gossip, awaiting retransmission.
     lost_txs: Vec<Transaction>,
     /// Count of retransmitted transactions.
@@ -138,10 +195,11 @@ impl Federation {
 
         let mut clusters = Vec::with_capacity(cluster_configs.len());
         for (i, (config, shard)) in cluster_configs.into_iter().zip(shards).enumerate() {
-            let link = LinkProfile {
+            // Per-cluster link: an explicit override, or the device profile.
+            let link = config.link.unwrap_or(LinkProfile {
                 bandwidth_bps: config.client_device.net_bandwidth_bps(),
                 latency: config.client_device.net_latency(),
-            };
+            });
             let node = ipfs.add_node(link);
             clusters.push(ClusterNode::new(
                 config,
@@ -165,13 +223,20 @@ impl Federation {
             transfer_seed: seed,
             fault_plan: None,
             chaos_records: Vec::new(),
+            membership_records: Vec::new(),
+            link_model: LinkModel::Nominal,
             lost_txs: Vec::new(),
             retried_txs: 0,
         };
 
-        // Register every aggregator; seal the registration block.
+        // Register every *founding* aggregator; elastic joiners
+        // (`ClusterConfig::joins_at`) register mid-run via the engines'
+        // membership events. Seal the registration block.
         let orch = fed.orchestrator;
         for c in fed.clusters.iter_mut() {
+            if c.config().joins_at.is_some() {
+                continue;
+            }
             let tx = c.register_tx(orch);
             fed.chain.submit(tx);
         }
@@ -234,24 +299,52 @@ impl Federation {
         &self.chaos_records
     }
 
+    /// Records a membership change (mid-run join) for the report.
+    pub fn log_membership(&mut self, cluster: usize, at: SimTime, change: &str, detail: &str) {
+        let name = self.clusters[cluster].config().name.clone();
+        self.membership_records.push(MembershipRecord {
+            cluster: name,
+            at_secs: at.as_secs_f64(),
+            change: change.to_owned(),
+            detail: detail.to_owned(),
+        });
+    }
+
+    /// Membership changes observed so far.
+    pub fn membership_records(&self) -> &[MembershipRecord] {
+        &self.membership_records
+    }
+
+    /// The active link time model.
+    pub fn link_model(&self) -> LinkModel {
+        self.link_model
+    }
+
+    /// Selects how fetch time is charged to the virtual clock. Call before
+    /// running an engine.
+    pub fn set_link_model(&mut self, model: LinkModel) {
+        self.link_model = model;
+    }
+
     /// Transactions retransmitted after gossip drops.
     pub fn retried_txs(&self) -> u64 {
         self.retried_txs
     }
 
-    /// Seals every block due up to virtual time `t` (the Clique sealer
-    /// keeps producing blocks each period). Dropped cluster transactions
-    /// are retransmitted first, and injected missed slots shift block
-    /// production later instead of sealing.
+    /// Seals every block due up to virtual time `t` by draining the
+    /// chain's seal-slot schedule ([`Blockchain::seal_due_slot`] — the
+    /// Clique sealer keeps producing blocks each period). Dropped cluster
+    /// transactions are retransmitted first, and injected missed slots
+    /// shift block production later instead of sealing.
     pub fn advance_chain_to(&mut self, t: SimTime) {
+        use unifyfl_chain::chain::SlotOutcome;
         self.retransmit_lost_txs();
-        while self.chain.next_seal_time() <= t {
-            if self.chain.slot_misses_seal() {
-                continue;
+        loop {
+            match self.chain.seal_due_slot(t).expect("periodic seal") {
+                SlotOutcome::Sealed(_) => self.record_block_seal(),
+                SlotOutcome::Missed => {}
+                SlotOutcome::NotDue => break,
             }
-            let ts = self.chain.next_seal_time();
-            self.chain.seal_next(ts).expect("periodic seal");
-            self.record_block_seal();
         }
     }
 
@@ -367,6 +460,20 @@ impl Federation {
     /// fetch on any mismatch, so the decoded weights are identical either
     /// way.
     pub fn fetch_weights(&self, cluster: usize, cid: Cid) -> Option<Vec<f32>> {
+        self.fetch_weights_costed(cluster, cid).map(|(w, _)| w)
+    }
+
+    /// [`Federation::fetch_weights`], also returning the storage layer's
+    /// *physical* elapsed time for the fetch (actual bytes moved over the
+    /// per-node link — near-zero for cache/local hits). Under
+    /// [`LinkModel::Physical`] the engines charge this instead of the
+    /// nominal [`fetch_duration`](crate::cluster::ClusterNode::fetch_duration);
+    /// on the retried-fetch path only the successful attempt is charged.
+    pub fn fetch_weights_costed(
+        &self,
+        cluster: usize,
+        cid: Cid,
+    ) -> Option<(Vec<f32>, SimDuration)> {
         let node = self.clusters[cluster].ipfs();
         let delta_ref = if self.ipfs.transfer_config().delta {
             self.contract()
@@ -397,7 +504,8 @@ impl Federation {
             }
             Err(_) => return None,
         };
-        weights_from_bytes(&receipt.data).ok()
+        let elapsed = receipt.elapsed;
+        weights_from_bytes(&receipt.data).ok().map(|w| (w, elapsed))
     }
 
     /// Disjoint borrows for the round step's compute phase: every cluster

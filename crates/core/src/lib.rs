@@ -10,8 +10,13 @@
 //! - [`scoring`] — accuracy scoring and MultiKRUM;
 //! - [`cluster`] — a participating organization: FL server + clients,
 //!   IPFS node, chain account, cost model;
-//! - [`federation`] — the assembled system and chain-driving helpers;
-//! - [`orchestration`] — the Sync and Async engines (Figures 5 & 6);
+//! - [`federation`] — the assembled system and chain-driving helpers,
+//!   including the [`federation::LinkModel`] link time model;
+//! - [`events`] — the discrete-event orchestration kernel: the typed
+//!   event vocabulary and the queue-draining machinery both engines are
+//!   policies over;
+//! - [`orchestration`] — the Sync (barrier-event) and Async (no-barrier)
+//!   engine policies (Figures 5 & 6), including elastic membership;
 //! - [`step`] — the reusable two-phase round step both engines share, and
 //!   the [`Engine`] selector (sequential reference vs. parallel phase-A
 //!   compute; byte-identical results either way);
@@ -45,6 +50,7 @@
 pub mod baseline;
 pub mod byzantine;
 pub mod cluster;
+pub mod events;
 pub mod experiment;
 pub mod federation;
 pub mod orchestration;

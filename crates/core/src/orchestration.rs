@@ -1,29 +1,37 @@
-//! The Sync and Async orchestration engines (§3.2 / §3.3, Figures 5 & 6).
+//! The Sync and Async orchestration engines (§3.2 / §3.3, Figures 5 & 6),
+//! rebuilt as two policies over the discrete-event kernel
+//! ([`crate::events`]).
 //!
 //! Both engines drive the same federation through the paper's six-step
-//! workflow, differing exactly where the paper says they differ:
+//! workflow by draining one typed [`Event`] queue, differing exactly where
+//! the paper says they differ:
 //!
-//! - **Sync** ([`run_sync`]): the orchestrator cycles
-//!   `startTraining → (training window) → startScoring → (scoring window)
-//!   → endScoring`. Every cluster waits for each window to close; fast
-//!   clusters accumulate idle time, clusters that overrun the training
-//!   window become *stragglers* whose model is only accepted next round,
-//!   and scores arriving after the scoring window are rejected by the
-//!   contract.
-//! - **Async** ([`run_async`]): every cluster free-runs on its own clock;
-//!   the contract assigns scorers the moment a CID lands, and scoring
-//!   duties are interleaved with the cluster's own training.
+//! - **Sync** ([`run_sync`]) is the *barrier-event* policy: an
+//!   `OpenTraining → TrainingDone×n → StartScoring → ScoresDue×n →
+//!   RoundBarrier` event cycle per round. Per-cluster completion events are
+//!   released at the phase-window close (the barrier), so fast clusters
+//!   accumulate idle time, clusters that overrun the training window become
+//!   *stragglers* whose model is only accepted next round, and scores
+//!   arriving after the scoring window are rejected by the contract.
+//! - **Async** ([`run_async`]) is the *no-barrier* policy: each cluster's
+//!   `ClusterWake` event fires at its own virtual clock (ties broken by
+//!   cluster index), and the waking cluster either serves a scoring duty or
+//!   runs its next training round. A final `SealSlot` event drains the
+//!   chain once every cluster is done.
 //!
-//! Virtual time comes from the cluster cost models; chain state advances
-//! via periodic Clique seals as time passes, so contract-enforced window
-//! semantics (late submissions/scores reverting) are exercised for real.
+//! Virtual time comes from the cluster cost models — or, under
+//! [`LinkModel::Physical`], from the storage layer's physical bytes moved
+//! per link — and chain state advances via periodic Clique seals as time
+//! passes, so contract-enforced window semantics (late submissions/scores
+//! reverting) are exercised for real.
 //!
-//! Both engines consume the federation's installed
-//! [`FaultPlan`], if any: crashed clusters
-//! sit rounds out (sync) or redo lost attempts (async), leavers depart for
-//! good, latency spikes stretch training, and clock skew pushes
-//! submissions into closed windows — turning the happy-path schedules into
-//! churn scenarios without touching the engine call sites.
+//! Both policies consume the federation's installed [`FaultPlan`], if any
+//! (crashes, leaves, latency spikes, clock skew), and both serve
+//! *elastic membership*: a cluster configured with
+//! [`ClusterConfig::joins_at`](crate::cluster::ClusterConfig::joins_at)
+//! enters mid-run through a [`Event::MembershipChange`] event — it
+//! registers on-chain, bootstraps its model from the latest scored
+//! releases, and participates from there.
 
 use std::collections::{HashSet, VecDeque};
 
@@ -32,15 +40,16 @@ use unifyfl_chain::orchestrator::{calls, OrchestrationMode};
 use unifyfl_chain::types::Address;
 use unifyfl_data::WorkloadConfig;
 use unifyfl_sim::fault::FaultPlan;
-use unifyfl_sim::{SimDuration, SimTime};
+use unifyfl_sim::{EventId, EventQueue, SimDuration, SimTime};
 use unifyfl_storage::Cid;
 
 use crate::cluster::ClusterRoundRecord;
-use crate::federation::Federation;
+use crate::events::{self, Event, EventPolicy, EventRecord};
+use crate::federation::{Federation, LinkModel};
 use crate::scoring::{krum_assumed_byzantine, multikrum_scores, ScorerKind};
 use crate::step::{
-    compute_all, compute_scores, compute_train, merge_eval, prepare_scoring, prepare_train, Engine,
-    TrainInputs, TrainResult,
+    compute_dispatch, compute_scores, compute_train, merge_eval, prepare_scoring, prepare_train,
+    Engine, ScoreTask, ScoredModel, TrainInputs, TrainResult,
 };
 
 /// Orchestration mode selector (maps onto the contract's mode).
@@ -88,14 +97,18 @@ pub struct EngineOutcome {
     pub final_local: Vec<(f64, f64)>,
     /// Virtual end of the whole run.
     pub end_time: SimTime,
+    /// The kernel's fired-event trace, in firing order — a pure function
+    /// of the configuration (replays are bit-identical).
+    pub events: Vec<EventRecord>,
 }
 
 /// Final pass after the last round: merge the last submissions and
-/// evaluate the resulting global model. Clusters that left the federation
-/// (`active[idx] == false`) report their last recorded state instead of
-/// merging post-departure. Under [`Engine::Parallel`] the merge+evaluate
-/// compute fans out per cluster; fetches and resource bursts stay in
-/// cluster-index order either way.
+/// evaluate the resulting global model. Clusters no longer participating
+/// (`active[idx] == false`: left the federation, or never joined) report
+/// their last recorded state instead of merging post-departure. The
+/// merge+evaluate compute runs under the selected [`Engine`] (inline
+/// reference order, or one scoped thread per cluster); fetches and
+/// resource bursts stay in cluster-index order either way.
 fn final_merge(
     fed: &mut Federation,
     rounds: u64,
@@ -111,45 +124,29 @@ fn final_merge(
             .map(|r| (r.global_accuracy, r.global_loss))
             .unwrap_or((0.0, 0.0))
     };
-    match engine {
-        Engine::Sequential => (0..n)
-            .map(|idx| {
-                if !active[idx] {
-                    return last_global(fed, idx);
-                }
+    let inputs: Vec<Option<TrainInputs>> = (0..n)
+        .map(|idx| {
+            active[idx].then(|| {
                 let inputs = prepare_train(fed, idx, round);
                 fed.record_ipfs_burst(inputs.pull);
-                let (clusters, global_test) = fed.compute_view();
-                let (_, acc, loss) = merge_eval(&mut clusters[idx], inputs, global_test);
-                (acc, loss)
+                inputs
             })
-            .collect(),
-        Engine::Parallel => {
-            let inputs: Vec<Option<TrainInputs>> = (0..n)
-                .map(|idx| {
-                    active[idx].then(|| {
-                        let inputs = prepare_train(fed, idx, round);
-                        fed.record_ipfs_burst(inputs.pull);
-                        inputs
-                    })
-                })
-                .collect();
-            let results = {
-                let (clusters, global_test) = fed.compute_view();
-                compute_all(clusters, inputs, |cluster, inputs| {
-                    merge_eval(cluster, inputs, global_test)
-                })
-            };
-            results
-                .into_iter()
-                .enumerate()
-                .map(|(idx, r)| match r {
-                    Some((_, acc, loss)) => (acc, loss),
-                    None => last_global(fed, idx),
-                })
-                .collect()
-        }
-    }
+        })
+        .collect();
+    let results = {
+        let (clusters, global_test) = fed.compute_view();
+        compute_dispatch(clusters, inputs, engine, |cluster, inputs| {
+            merge_eval(cluster, inputs, global_test)
+        })
+    };
+    results
+        .into_iter()
+        .enumerate()
+        .map(|(idx, r)| match r {
+            Some((_, acc, loss)) => (acc, loss),
+            None => last_global(fed, idx),
+        })
+        .collect()
 }
 
 fn last_local(fed: &Federation, idx: usize) -> (f64, f64) {
@@ -160,13 +157,65 @@ fn last_local(fed: &Federation, idx: usize) -> (f64, f64) {
         .unwrap_or((0.0, 0.0))
 }
 
+/// Registers a joining cluster's bootstrap: fetch every currently-visible
+/// scored release (sync: window-closed entries — the *full-consensus*
+/// view; async: any-scored latest entries — the *optimistic* view), adopt
+/// their equal-weight mean as the joiner's starting model, and record the
+/// membership change. Returns the virtual time the bootstrap pulls cost
+/// under the active link model.
+fn bootstrap_join(fed: &mut Federation, idx: usize, at: SimTime) -> SimDuration {
+    let candidates = fed.candidates_for(idx);
+    let want = fed.clusters[idx].weights().len();
+    let mut peers: Vec<Vec<f32>> = Vec::new();
+    let mut physical = SimDuration::ZERO;
+    for c in &candidates {
+        if let Some((w, cost)) = fed.fetch_weights_costed(idx, c.cid) {
+            if w.len() == want {
+                physical += cost;
+                peers.push(w);
+            }
+        }
+    }
+    let spent = match fed.link_model() {
+        LinkModel::Nominal => fed.clusters[idx].fetch_duration() * peers.len() as u64,
+        LinkModel::Physical => physical,
+    };
+    if !peers.is_empty() {
+        // Deterministic equal-weight mean in f64 accumulation.
+        let mut mean = vec![0.0f64; want];
+        for p in &peers {
+            for (m, v) in mean.iter_mut().zip(p) {
+                *m += f64::from(*v);
+            }
+        }
+        let adopted: Vec<f32> = mean
+            .into_iter()
+            .map(|v| (v / peers.len() as f64) as f32)
+            .collect();
+        fed.clusters[idx].adopt_weights(adopted);
+    }
+    fed.record_ipfs_burst(spent);
+    fed.log_membership(
+        idx,
+        at,
+        "join",
+        &format!(
+            "joined; bootstrapped from {} scored release(s)",
+            peers.len()
+        ),
+    );
+    spent
+}
+
 /// What the training phase decided for one cluster, before any state is
-/// mutated. Decisions are pure reads (fault plan, carryover, active set),
-/// so both engines can take them in phase A; every mutation they imply —
-/// fault logs, carryover consumption, departure — happens in the commit
-/// step, in cluster-index order.
+/// mutated. Decisions are pure reads (membership, fault plan, carryover,
+/// active set), so the kernel takes them in the phase-open event; every
+/// mutation they imply — fault logs, carryover consumption, departure —
+/// happens in that cluster's commit event, in cluster-index order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum TrainAction {
+    /// Configured to join later; not a member yet.
+    NotJoined,
     /// Departed in an earlier round; nothing to do.
     Gone,
     /// Leaves the federation this round (first observation).
@@ -181,11 +230,15 @@ enum TrainAction {
 
 fn train_action(
     plan: Option<&FaultPlan>,
+    joined: &[bool],
     active: &[bool],
     carryover: &[Option<SimDuration>],
     idx: usize,
     round: u64,
 ) -> TrainAction {
+    if !joined[idx] {
+        return TrainAction::NotJoined;
+    }
     if let Some(p) = plan {
         if p.has_left(idx, round) {
             return if active[idx] {
@@ -205,7 +258,7 @@ fn train_action(
     }
 }
 
-/// Per-round constants and accumulators the sync commit step mutates.
+/// Per-round constants and accumulators the sync commit events mutate.
 struct SyncRoundState<'a> {
     round: u64,
     phase_start: SimTime,
@@ -217,8 +270,8 @@ struct SyncRoundState<'a> {
     active: &'a mut [bool],
 }
 
-/// Phase B of the sync training phase for one cluster: every federation
-/// mutation the round implies, replayed in the sequential reference order.
+/// A sync [`Event::TrainingDone`] commit for one cluster: every federation
+/// mutation the round implies, replayed in the reference order.
 fn commit_sync_train(
     fed: &mut Federation,
     idx: usize,
@@ -229,7 +282,7 @@ fn commit_sync_train(
     let orch = fed.orchestrator;
     let round = st.round;
     match action {
-        TrainAction::Gone => {}
+        TrainAction::NotJoined | TrainAction::Gone => {}
         TrainAction::Leave => {
             st.active[idx] = false;
             st.carryover[idx] = None;
@@ -304,15 +357,15 @@ fn commit_sync_train(
     }
 }
 
-/// Phase B of the scoring phase for one cluster: walk the virtual clock
-/// over its scored tasks, record bursts, submit in-window scores and count
-/// window rejections — in the sequential reference order.
+/// A sync [`Event::ScoresDue`] commit for one cluster: walk the virtual
+/// clock over its scored tasks, record bursts, submit in-window scores and
+/// count window rejections — in the reference order.
 #[allow(clippy::too_many_arguments)]
 fn commit_scoring(
     fed: &mut Federation,
     idx: usize,
     round: u64,
-    scored: Vec<(Cid, f64)>,
+    scored: Vec<ScoredModel>,
     scoring_start: SimTime,
     scoring_end: SimTime,
     skew: SimDuration,
@@ -320,14 +373,13 @@ fn commit_scoring(
 ) {
     let orch = fed.orchestrator;
     let mut clock = scoring_start + skew;
-    for (cid, score) in scored {
-        let fetch = fed.clusters[idx].fetch_duration();
+    for s in scored {
         let score_dur = fed.clusters[idx].score_duration();
-        clock += fetch + score_dur;
-        fed.record_scoring_burst(fetch + score_dur);
-        fed.record_ipfs_burst(fetch);
+        clock += s.fetch_cost + score_dur;
+        fed.record_scoring_burst(s.fetch_cost + score_dur);
+        fed.record_ipfs_burst(s.fetch_cost);
         if clock <= scoring_end {
-            let tx = fed.clusters[idx].score_tx(orch, &cid, score);
+            let tx = fed.clusters[idx].score_tx(orch, &s.cid, s.score);
             fed.submit_cluster_tx_at(clock, tx);
         } else {
             // §3.2: "the blockchain will no longer accept scores".
@@ -338,6 +390,313 @@ fn commit_scoring(
         }
     }
     fed.record_idle(scoring_end.saturating_since(clock.max(scoring_start)));
+}
+
+/// Absolute join instants (`setup_done + joins_at`) for every configured
+/// elastic joiner; `None` marks a founding member.
+fn join_times(fed: &Federation) -> Vec<Option<SimTime>> {
+    fed.clusters
+        .iter()
+        .map(|c| c.config().joins_at.map(|d| fed.setup_done + d))
+        .collect()
+}
+
+/// Logs the standing clock-skew fault for every *founding* cluster (the
+/// skew applies from the first round; recording it proves the fault took
+/// effect even when nothing is rejected).
+fn log_initial_skews(fed: &mut Federation, plan: Option<&FaultPlan>, joined: &[bool]) {
+    let Some(p) = plan else { return };
+    let skewed: Vec<usize> = (0..fed.clusters.len())
+        .filter(|&idx| joined[idx] && !p.clock_skew(idx).is_zero())
+        .collect();
+    for idx in skewed {
+        fed.log_fault(idx, 1, "clock_skew", "clock runs behind the federation");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sync: the barrier-event policy.
+// ---------------------------------------------------------------------
+
+struct SyncPolicy<'a> {
+    workload: &'a WorkloadConfig,
+    scorer: ScorerKind,
+    engine: Engine,
+    rounds: u64,
+    n: usize,
+    training_window: SimDuration,
+    scoring_window: SimDuration,
+    plan: Option<FaultPlan>,
+    // Cross-round accumulators.
+    straggler_rounds: Vec<u64>,
+    rejected_scores: Vec<u64>,
+    carryover: Vec<Option<SimDuration>>,
+    active: Vec<bool>,
+    joined: Vec<bool>,
+    join_time: Vec<Option<SimTime>>,
+    // Round whose `OpenTraining` is currently being processed (joins that
+    // gate on it log their faults against this round).
+    opening_round: u64,
+    // Current round's barrier state, filled by the phase-open events and
+    // consumed by the per-cluster commit events.
+    phase_start: SimTime,
+    window_end: SimTime,
+    scoring_start: SimTime,
+    scoring_end: SimTime,
+    pending_actions: Vec<TrainAction>,
+    pending_results: Vec<Option<TrainResult>>,
+    pending_scores: Vec<Option<Vec<ScoredModel>>>,
+    end_time: SimTime,
+}
+
+impl SyncPolicy<'_> {
+    fn open_training(
+        &mut self,
+        fed: &mut Federation,
+        queue: &mut EventQueue<Event>,
+        at: SimTime,
+        round: u64,
+    ) {
+        // Elastic joins are gated on phase boundaries: a joiner whose time
+        // has come registers now, so this round's scorer sampling and
+        // submissions already include it. Joins must take effect *before*
+        // the phase opens, so schedule the membership events at this
+        // instant followed by a re-issued `OpenTraining` — FIFO ordering
+        // fires the joins first, then reopens the round with membership
+        // settled.
+        self.opening_round = round;
+        let mut joins_due = false;
+        for idx in 0..self.n {
+            if !self.joined[idx] && self.join_time[idx].is_some_and(|jt| jt <= at) {
+                queue.schedule(at, Event::MembershipChange { cluster: idx });
+                joins_due = true;
+            }
+        }
+        if joins_due {
+            queue.schedule(at, Event::OpenTraining { round });
+            return;
+        }
+
+        let tx = fed.phase_tx(calls::start_training());
+        fed.submit_tx_at(at, tx);
+        self.phase_start = fed.flush_chain_at(at);
+        self.window_end = self.phase_start + self.training_window;
+
+        // Phase A of the two-phase round step: decide every cluster's
+        // action (pure reads), gather inputs in cluster-index order
+        // (shared-state reads and fetches), then run the cluster-local
+        // compute under the selected engine. Commits are the
+        // `TrainingDone` events, released at the barrier in index order.
+        let actions: Vec<TrainAction> = (0..self.n)
+            .map(|idx| {
+                train_action(
+                    self.plan.as_ref(),
+                    &self.joined,
+                    &self.active,
+                    &self.carryover,
+                    idx,
+                    round,
+                )
+            })
+            .collect();
+        let inputs: Vec<Option<TrainInputs>> = (0..self.n)
+            .map(|idx| (actions[idx] == TrainAction::Run).then(|| prepare_train(fed, idx, round)))
+            .collect();
+        let workload = self.workload;
+        let results = {
+            let (clusters, global_test) = fed.compute_view();
+            compute_dispatch(clusters, inputs, self.engine, |cluster, inputs| {
+                compute_train(cluster, inputs, workload, global_test)
+            })
+        };
+        self.pending_actions = actions;
+        self.pending_results = results;
+
+        for idx in 0..self.n {
+            queue.schedule(
+                self.window_end,
+                Event::TrainingDone {
+                    cluster: idx,
+                    round,
+                },
+            );
+        }
+        queue.schedule(self.window_end, Event::StartScoring { round });
+    }
+
+    fn training_done(&mut self, fed: &mut Federation, idx: usize, round: u64) {
+        let action = self.pending_actions[idx];
+        let result = self.pending_results[idx].take();
+        let mut st = SyncRoundState {
+            round,
+            phase_start: self.phase_start,
+            window_end: self.window_end,
+            scoring_window: self.scoring_window,
+            plan: self.plan.as_ref(),
+            straggler_rounds: &mut self.straggler_rounds,
+            carryover: &mut self.carryover,
+            active: &mut self.active,
+        };
+        commit_sync_train(fed, idx, action, result, &mut st);
+    }
+
+    fn start_scoring(&mut self, fed: &mut Federation, queue: &mut EventQueue<Event>, round: u64) {
+        let tx = fed.phase_tx(calls::start_scoring());
+        fed.submit_tx_at(self.window_end, tx);
+        self.scoring_start = fed.flush_chain_at(self.window_end);
+        self.scoring_end = self.scoring_start + self.scoring_window;
+
+        // Collect this round's assignments from the contract.
+        let assignments: Vec<(Cid, Vec<Address>)> = fed
+            .contract()
+            .entries()
+            .iter()
+            .filter(|e| e.round == round)
+            .filter_map(|e| e.cid.parse().ok().map(|cid| (cid, e.scorers.clone())))
+            .collect();
+
+        // MultiKRUM needs the full round's submissions at once.
+        let krum: Option<(Vec<Cid>, Vec<f64>)> = if self.scorer == ScorerKind::MultiKrum {
+            let cids: Vec<Cid> = assignments.iter().map(|(c, _)| *c).collect();
+            let models: Vec<Vec<f32>> = cids
+                .iter()
+                .filter_map(|c| fed.fetch_weights(0, *c))
+                .collect();
+            if models.len() == cids.len() && !models.is_empty() {
+                // The Byzantine bound must be admissible for the models
+                // actually scored this round, not the federation size —
+                // crashes, leavers and straggler carryovers all shrink the
+                // submission set below `n`.
+                let f = krum_assumed_byzantine(models.len());
+                Some((cids, multikrum_scores(&models, f)))
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+
+        // Scoring, same two-phase shape: prepare (assignment filtering and
+        // fetches, index-ordered), compute (inference, engine-dispatched),
+        // commit (`ScoresDue` events at the window close, index order).
+        let scores_due = |p: &SyncPolicy<'_>, idx: usize| {
+            p.joined[idx]
+                && p.carryover[idx].is_none() // still busy with held-over work?
+                // Chaos: departed or crashed clusters never score this
+                // round (`is_down` covers both).
+                && p.plan.as_ref().is_none_or(|pl| !pl.is_down(idx, round))
+        };
+        let task_lists: Vec<Option<Vec<ScoreTask>>> = (0..self.n)
+            .map(|idx| {
+                scores_due(self, idx)
+                    .then(|| prepare_scoring(fed, idx, &assignments, krum.as_ref()))
+            })
+            .collect();
+        let scored_lists = {
+            let (clusters, _) = fed.compute_view();
+            compute_dispatch(clusters, task_lists, self.engine, |cluster, tasks| {
+                compute_scores(cluster, tasks)
+            })
+        };
+        self.pending_scores = scored_lists;
+
+        for idx in 0..self.n {
+            queue.schedule(
+                self.scoring_end,
+                Event::ScoresDue {
+                    cluster: idx,
+                    round,
+                },
+            );
+        }
+        queue.schedule(self.scoring_end, Event::RoundBarrier { round });
+    }
+
+    fn scores_due(&mut self, fed: &mut Federation, idx: usize, round: u64) {
+        let Some(scored) = self.pending_scores[idx].take() else {
+            return;
+        };
+        let skew = self
+            .plan
+            .as_ref()
+            .map_or(SimDuration::ZERO, |p| p.clock_skew(idx));
+        commit_scoring(
+            fed,
+            idx,
+            round,
+            scored,
+            self.scoring_start,
+            self.scoring_end,
+            skew,
+            &mut self.rejected_scores,
+        );
+    }
+
+    fn round_barrier(&mut self, fed: &mut Federation, queue: &mut EventQueue<Event>, round: u64) {
+        let tx = fed.phase_tx(calls::end_scoring());
+        fed.submit_tx_at(self.scoring_end, tx);
+        let t = fed.flush_chain_at(self.scoring_end);
+        self.end_time = t;
+        if round < self.rounds {
+            queue.schedule(t, Event::OpenTraining { round: round + 1 });
+        }
+    }
+}
+
+impl EventPolicy for SyncPolicy<'_> {
+    fn seed(&mut self, fed: &mut Federation, queue: &mut EventQueue<Event>) {
+        log_initial_skews(fed, self.plan.as_ref(), &self.joined);
+        self.end_time = fed.setup_done;
+        if self.rounds > 0 {
+            queue.schedule(fed.setup_done, Event::OpenTraining { round: 1 });
+        }
+    }
+
+    fn handle(
+        &mut self,
+        fed: &mut Federation,
+        queue: &mut EventQueue<Event>,
+        at: SimTime,
+        event: Event,
+    ) {
+        match event {
+            Event::MembershipChange { cluster } => {
+                // Register; the transaction seals with this round's phase
+                // transaction (it was submitted just before, in
+                // `open_training`'s flush), so wire the registration and
+                // bootstrap here. The join is visible to this round.
+                let orch = fed.orchestrator;
+                let tx = fed.clusters[cluster].register_tx(orch);
+                fed.submit_tx_at(at, tx);
+                bootstrap_join(fed, cluster, at);
+                self.joined[cluster] = true;
+                // A standing clock skew starts afflicting the joiner now;
+                // record it, as `log_initial_skews` does for founders —
+                // the report must explain any skew-caused rejections.
+                let skewed = self
+                    .plan
+                    .as_ref()
+                    .is_some_and(|p| !p.clock_skew(cluster).is_zero());
+                if skewed {
+                    fed.log_fault(
+                        cluster,
+                        self.opening_round,
+                        "clock_skew",
+                        "clock runs behind the federation",
+                    );
+                }
+            }
+            Event::OpenTraining { round } => self.open_training(fed, queue, at, round),
+            Event::TrainingDone { cluster, round } => self.training_done(fed, cluster, round),
+            Event::StartScoring { round } => self.start_scoring(fed, queue, round),
+            Event::ScoresDue { cluster, round } => self.scores_due(fed, cluster, round),
+            Event::RoundBarrier { round } => self.round_barrier(fed, queue, round),
+            // Sync needs no end-of-run drain: every phase boundary already
+            // flushed the chain, and retransmission timing is part of the
+            // pinned reference order.
+            Event::SealSlot | Event::ClusterWake { .. } => {}
+        }
+    }
 }
 
 /// Runs the Sync engine with the [`Engine::auto`] execution engine.
@@ -410,197 +769,324 @@ pub fn run_sync_engine(
         SimDuration::from_secs_f64(worst.as_secs_f64() * window_margin)
     };
 
-    let mut straggler_rounds = vec![0u64; n];
-    let mut rejected_scores = vec![0u64; n];
-    // Leftover busy time for clusters that missed the previous window.
-    let mut carryover: Vec<Option<SimDuration>> = vec![None; n];
-    // Chaos state: the installed fault plan and which clusters still
-    // participate (permanent leavers flip to false once).
-    let plan = fed.fault_plan().cloned();
-    let mut active = vec![true; n];
-    if let Some(p) = &plan {
-        // Skew applies from the first round; record it so the report
-        // proves the fault took effect even when nothing is rejected.
-        for idx in 0..n {
-            if !p.clock_skew(idx).is_zero() {
-                fed.log_fault(idx, 1, "clock_skew", "clock runs behind the federation");
-            }
-        }
-    }
+    let join_time = join_times(fed);
+    let joined: Vec<bool> = join_time.iter().map(Option::is_none).collect();
+    let mut policy = SyncPolicy {
+        workload,
+        scorer,
+        engine,
+        rounds: workload.rounds as u64,
+        n,
+        training_window,
+        scoring_window,
+        plan: fed.fault_plan().cloned(),
+        straggler_rounds: vec![0; n],
+        rejected_scores: vec![0; n],
+        carryover: vec![None; n],
+        active: vec![true; n],
+        joined,
+        join_time,
+        opening_round: 0,
+        phase_start: fed.setup_done,
+        window_end: fed.setup_done,
+        scoring_start: fed.setup_done,
+        scoring_end: fed.setup_done,
+        pending_actions: Vec::new(),
+        pending_results: Vec::new(),
+        pending_scores: Vec::new(),
+        end_time: fed.setup_done,
+    };
+    let trace = events::drain(fed, &mut policy);
 
-    let mut t = fed.setup_done;
-    for round in 1..=workload.rounds as u64 {
-        // -- open the training phase --------------------------------------
-        let tx = fed.phase_tx(calls::start_training());
-        fed.submit_tx_at(t, tx);
-        let phase_start = fed.flush_chain_at(t);
-        let window_end = phase_start + training_window;
-
-        // -- every cluster runs its round ----------------------------------
-        // Two-phase step: phase A gathers inputs (index-ordered reads and
-        // fetches) and runs the pure compute — fanned out one scoped
-        // thread per cluster under Engine::Parallel — then phase B commits
-        // every mutation sequentially in cluster-index order. The
-        // sequential engine interleaves the same three sub-steps per
-        // cluster, reproducing the original control flow exactly.
-        let mut st = SyncRoundState {
-            round,
-            phase_start,
-            window_end,
-            scoring_window,
-            plan: plan.as_ref(),
-            straggler_rounds: &mut straggler_rounds,
-            carryover: &mut carryover,
-            active: &mut active,
-        };
-        match engine {
-            Engine::Sequential => {
-                for idx in 0..n {
-                    let action = train_action(st.plan, st.active, st.carryover, idx, round);
-                    let result = (action == TrainAction::Run).then(|| {
-                        let inputs = prepare_train(fed, idx, round);
-                        let (clusters, global_test) = fed.compute_view();
-                        compute_train(&mut clusters[idx], inputs, workload, global_test)
-                    });
-                    commit_sync_train(fed, idx, action, result, &mut st);
-                }
-            }
-            Engine::Parallel => {
-                let actions: Vec<TrainAction> = (0..n)
-                    .map(|idx| train_action(st.plan, st.active, st.carryover, idx, round))
-                    .collect();
-                let inputs: Vec<Option<TrainInputs>> = (0..n)
-                    .map(|idx| {
-                        (actions[idx] == TrainAction::Run).then(|| prepare_train(fed, idx, round))
-                    })
-                    .collect();
-                let results = {
-                    let (clusters, global_test) = fed.compute_view();
-                    compute_all(clusters, inputs, |cluster, inputs| {
-                        compute_train(cluster, inputs, workload, global_test)
-                    })
-                };
-                for (idx, result) in results.into_iter().enumerate() {
-                    commit_sync_train(fed, idx, actions[idx], result, &mut st);
-                }
-            }
-        }
-
-        // -- close training, open scoring ----------------------------------
-        let tx = fed.phase_tx(calls::start_scoring());
-        fed.submit_tx_at(window_end, tx);
-        let scoring_start = fed.flush_chain_at(window_end);
-        let scoring_end = scoring_start + scoring_window;
-
-        // Collect this round's assignments from the contract.
-        let assignments: Vec<(Cid, Vec<Address>)> = fed
-            .contract()
-            .entries()
-            .iter()
-            .filter(|e| e.round == round)
-            .filter_map(|e| e.cid.parse().ok().map(|cid| (cid, e.scorers.clone())))
-            .collect();
-
-        // MultiKRUM needs the full round's submissions at once.
-        let krum: Option<(Vec<Cid>, Vec<f64>)> = if scorer == ScorerKind::MultiKrum {
-            let cids: Vec<Cid> = assignments.iter().map(|(c, _)| *c).collect();
-            let models: Vec<Vec<f32>> = cids
-                .iter()
-                .filter_map(|c| fed.fetch_weights(0, *c))
-                .collect();
-            if models.len() == cids.len() && !models.is_empty() {
-                // The Byzantine bound must be admissible for the models
-                // actually scored this round, not the federation size —
-                // crashes, leavers and straggler carryovers all shrink the
-                // submission set below `n`.
-                let f = krum_assumed_byzantine(models.len());
-                Some((cids, multikrum_scores(&models, f)))
-            } else {
-                None
-            }
-        } else {
-            None
-        };
-
-        // Scoring, same two-phase shape: prepare (assignment filtering and
-        // fetches, index-ordered), compute (inference, per-cluster
-        // threads), commit (clock walk, bursts, score txs, rejections).
-        let scores_due = |carryover: &[Option<SimDuration>], idx: usize| {
-            carryover[idx].is_none() // still busy with held-over work?
-                // Chaos: departed or crashed clusters never score this
-                // round (`is_down` covers both).
-                && plan.as_ref().is_none_or(|p| !p.is_down(idx, round))
-        };
-        let skew_of = |plan: Option<&FaultPlan>, idx: usize| {
-            plan.map_or(SimDuration::ZERO, |p| p.clock_skew(idx))
-        };
-        match engine {
-            Engine::Sequential => {
-                for idx in 0..n {
-                    if !scores_due(&carryover, idx) {
-                        continue;
-                    }
-                    let tasks = prepare_scoring(fed, idx, &assignments, krum.as_ref());
-                    let scored = compute_scores(&fed.clusters[idx], tasks);
-                    let skew = skew_of(plan.as_ref(), idx);
-                    commit_scoring(
-                        fed,
-                        idx,
-                        round,
-                        scored,
-                        scoring_start,
-                        scoring_end,
-                        skew,
-                        &mut rejected_scores,
-                    );
-                }
-            }
-            Engine::Parallel => {
-                let task_lists: Vec<Option<Vec<crate::step::ScoreTask>>> = (0..n)
-                    .map(|idx| {
-                        scores_due(&carryover, idx)
-                            .then(|| prepare_scoring(fed, idx, &assignments, krum.as_ref()))
-                    })
-                    .collect();
-                let scored_lists = {
-                    let (clusters, _) = fed.compute_view();
-                    compute_all(clusters, task_lists, |cluster, tasks| {
-                        compute_scores(cluster, tasks)
-                    })
-                };
-                for (idx, scored) in scored_lists.into_iter().enumerate() {
-                    let Some(scored) = scored else { continue };
-                    let skew = skew_of(plan.as_ref(), idx);
-                    commit_scoring(
-                        fed,
-                        idx,
-                        round,
-                        scored,
-                        scoring_start,
-                        scoring_end,
-                        skew,
-                        &mut rejected_scores,
-                    );
-                }
-            }
-        }
-
-        // -- close the scoring phase ---------------------------------------
-        let tx = fed.phase_tx(calls::end_scoring());
-        fed.submit_tx_at(scoring_end, tx);
-        t = fed.flush_chain_at(scoring_end);
-    }
-
-    let end_time = t;
-    let final_global = final_merge(fed, workload.rounds as u64, &active, engine);
+    let end_time = policy.end_time;
+    let participating: Vec<bool> = (0..n)
+        .map(|i| policy.active[i] && policy.joined[i])
+        .collect();
+    let final_global = final_merge(fed, policy.rounds, &participating, engine);
     let final_local = (0..n).map(|i| last_local(fed, i)).collect();
     EngineOutcome {
         per_cluster_time: vec![end_time; n],
-        straggler_rounds,
-        rejected_scores,
+        straggler_rounds: policy.straggler_rounds,
+        rejected_scores: policy.rejected_scores,
         final_global,
         final_local,
         end_time,
+        events: trace,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Async: the no-barrier policy.
+// ---------------------------------------------------------------------
+
+struct AsyncPolicy<'a> {
+    workload: &'a WorkloadConfig,
+    rounds: u64,
+    n: usize,
+    setup_done: SimTime,
+    plan: Option<FaultPlan>,
+    clock: Vec<SimTime>,
+    rounds_done: Vec<u64>,
+    tasks: Vec<VecDeque<Cid>>,
+    finished_at: Vec<Option<SimTime>>,
+    alive: Vec<bool>,
+    joined: Vec<bool>,
+    join_time: Vec<Option<SimTime>>,
+    distributed: HashSet<String>,
+    /// Crash events already charged to a cluster (each fires once: the
+    /// in-flight attempt is lost, then the round is redone after restart).
+    crashes_spent: HashSet<(usize, u64)>,
+    wake: Vec<Option<EventId>>,
+    pending_joins: usize,
+    seal_scheduled: bool,
+    end_time: SimTime,
+}
+
+impl AsyncPolicy<'_> {
+    /// Deals out scorer assignments that the contract has recorded.
+    fn distribute(&mut self, fed: &Federation) {
+        for entry in fed.contract().entries() {
+            if entry.scorers.is_empty() || self.distributed.contains(&entry.cid) {
+                continue;
+            }
+            if let Ok(cid) = entry.cid.parse::<Cid>() {
+                for scorer_addr in &entry.scorers {
+                    if let Some(i) = fed
+                        .clusters
+                        .iter()
+                        .position(|c| c.address() == *scorer_addr)
+                    {
+                        self.tasks[i].push_back(cid);
+                    }
+                }
+            }
+            self.distributed.insert(entry.cid.clone());
+        }
+    }
+
+    /// True if the cluster still has work to pop from the queue.
+    fn eligible(&self, idx: usize) -> bool {
+        self.joined[idx]
+            && self.alive[idx]
+            && (self.rounds_done[idx] < self.rounds || !self.tasks[idx].is_empty())
+    }
+
+    /// Re-syncs the wake set with eligibility: every eligible cluster gets
+    /// a `ClusterWake` at its clock, keyed by its index — so the queue's
+    /// pop order is exactly the reference `min_by_key((clock, idx))`
+    /// selection. Once nothing is eligible and no joins are pending, the
+    /// end-of-run `SealSlot` drain is scheduled at the latest clock.
+    fn ensure_wakes(&mut self, queue: &mut EventQueue<Event>) {
+        let mut any = false;
+        for idx in 0..self.n {
+            if self.eligible(idx) {
+                any = true;
+                if self.wake[idx].is_none() {
+                    self.wake[idx] = Some(queue.schedule_keyed(
+                        self.clock[idx],
+                        idx as u64,
+                        Event::ClusterWake { cluster: idx },
+                    ));
+                }
+            }
+        }
+        if !any && self.pending_joins == 0 && !self.seal_scheduled {
+            self.seal_scheduled = true;
+            self.end_time = self.clock.iter().copied().max().unwrap_or(self.setup_done);
+            queue.schedule(self.end_time, Event::SealSlot);
+        }
+    }
+
+    fn wake(
+        &mut self,
+        fed: &mut Federation,
+        queue: &mut EventQueue<Event>,
+        t: SimTime,
+        idx: usize,
+    ) {
+        self.wake[idx] = None;
+        let orch = fed.orchestrator;
+
+        fed.advance_chain_to(t);
+        self.distribute(fed);
+
+        // Chaos: the free-running timeline hits this cluster's next fault.
+        // Decisions are pure reads of the plan; mutations follow once the
+        // borrow is released.
+        enum FaultHit {
+            Leave,
+            Crash { down: u64 },
+        }
+        let round = self.rounds_done[idx] + 1;
+        let hit = match self.plan.as_ref() {
+            Some(p) if p.has_left(idx, round.min(self.rounds)) => Some(FaultHit::Leave),
+            Some(p)
+                if round <= self.rounds
+                    && p.crash_starts(idx, round)
+                    && !self.crashes_spent.contains(&(idx, round)) =>
+            {
+                Some(FaultHit::Crash {
+                    down: p.crash_down_rounds_at(idx, round),
+                })
+            }
+            _ => None,
+        };
+        match hit {
+            Some(FaultHit::Leave) => {
+                self.alive[idx] = false;
+                self.tasks[idx].clear();
+                self.finished_at[idx] = Some(t);
+                fed.log_fault(idx, round, "leave", "left the federation");
+                self.ensure_wakes(queue);
+                return;
+            }
+            Some(FaultHit::Crash { down }) => {
+                // The in-flight round is lost and the cluster sits out this
+                // crash's own window, then redoes the round — async churn
+                // costs time, not rounds (Table 3's "low straggler
+                // impact"). Later crash windows are charged when they fire.
+                self.crashes_spent.insert((idx, round));
+                let lost = fed.clusters[idx].train_duration(self.workload.local_epochs);
+                self.clock[idx] = t + lost + lost * down;
+                fed.log_fault(
+                    idx,
+                    round,
+                    "crash",
+                    "attempt lost; round redone after restart",
+                );
+                self.ensure_wakes(queue);
+                return;
+            }
+            None => {}
+        }
+
+        if let Some(cid) = self.tasks[idx].pop_front() {
+            // Scoring duty first: an idle aggregator scores as soon as the
+            // assignment reaches it (Figure 6 step 4).
+            let score_dur = fed.clusters[idx].score_duration();
+            if let Some((w, cost)) = fed.fetch_weights_costed(idx, cid) {
+                let fetch = match fed.link_model() {
+                    LinkModel::Nominal => fed.clusters[idx].fetch_duration(),
+                    LinkModel::Physical => cost,
+                };
+                let score = fed.clusters[idx].score_weights(&w);
+                let done = t + fetch + score_dur;
+                fed.record_scoring_burst(fetch + score_dur);
+                fed.record_ipfs_burst(fetch);
+                let tx = fed.clusters[idx].score_tx(orch, &cid, score);
+                fed.submit_cluster_tx_at(done, tx);
+                self.clock[idx] = done;
+            }
+            self.ensure_wakes(queue);
+            return;
+        }
+
+        // Otherwise: run the next training round — the same round step as
+        // the sync engine (prepare inputs, cluster-local compute, then
+        // commit the chain/storage/accounting effects). The whole action
+        // commits atomically at wake time: splitting decide from commit
+        // would change what concurrently-waking clusters observe on-chain.
+        let inputs = prepare_train(fed, idx, round);
+        let workload = self.workload;
+        let mut result = {
+            let (clusters, global_test) = fed.compute_view();
+            compute_train(&mut clusters[idx], inputs, workload, global_test)
+        };
+        let publish = crate::step::commit_train_effects(fed, idx, round, &mut result);
+        let finish = t + result.pull + result.train + publish;
+
+        let cid = fed.clusters[idx].store_model(round);
+        let tx = fed.clusters[idx].submit_model_tx(orch, &cid);
+        fed.submit_cluster_tx_at(finish, tx);
+        // Seal promptly so scorers learn their assignment.
+        fed.flush_chain_at(finish);
+        self.distribute(fed);
+
+        self.rounds_done[idx] = round;
+        self.clock[idx] = finish;
+        fed.clusters[idx].record(ClusterRoundRecord {
+            round,
+            peers_merged: result.peers_merged,
+            local_accuracy: result.local_accuracy,
+            local_loss: result.local_loss,
+            global_accuracy: result.global_accuracy,
+            global_loss: result.global_loss,
+            completed_at_secs: finish.as_secs_f64(),
+        });
+        if round == self.rounds {
+            self.finished_at[idx] = Some(finish);
+        }
+        self.ensure_wakes(queue);
+    }
+
+    fn membership_change(
+        &mut self,
+        fed: &mut Federation,
+        queue: &mut EventQueue<Event>,
+        t: SimTime,
+        idx: usize,
+    ) {
+        self.pending_joins -= 1;
+        fed.advance_chain_to(t);
+        let orch = fed.orchestrator;
+        let tx = fed.clusters[idx].register_tx(orch);
+        fed.submit_tx_at(t, tx);
+        // Seal promptly: the joiner must be registered before its first
+        // submission, and peers can assign it scoring duties from here on.
+        fed.flush_chain_at(t);
+        let spent = bootstrap_join(fed, idx, t);
+        self.joined[idx] = true;
+        self.alive[idx] = true;
+        // A standing clock skew shifts the joiner's free-running timeline
+        // from its join onward, exactly as founders are skewed from setup;
+        // record it, as `log_initial_skews` does for them.
+        let skew = self
+            .plan
+            .as_ref()
+            .map_or(SimDuration::ZERO, |p| p.clock_skew(idx));
+        if !skew.is_zero() {
+            fed.log_fault(idx, 1, "clock_skew", "clock runs behind the federation");
+        }
+        self.clock[idx] = t + spent + skew;
+        self.distribute(fed);
+        self.ensure_wakes(queue);
+    }
+}
+
+impl EventPolicy for AsyncPolicy<'_> {
+    fn seed(&mut self, fed: &mut Federation, queue: &mut EventQueue<Event>) {
+        log_initial_skews(fed, self.plan.as_ref(), &self.joined);
+        for idx in 0..self.n {
+            if let Some(jt) = self.join_time[idx] {
+                self.pending_joins += 1;
+                queue.schedule_keyed(jt, idx as u64, Event::MembershipChange { cluster: idx });
+            }
+        }
+        self.ensure_wakes(queue);
+    }
+
+    fn handle(
+        &mut self,
+        fed: &mut Federation,
+        queue: &mut EventQueue<Event>,
+        at: SimTime,
+        event: Event,
+    ) {
+        match event {
+            Event::ClusterWake { cluster } => self.wake(fed, queue, at, cluster),
+            Event::MembershipChange { cluster } => self.membership_change(fed, queue, at, cluster),
+            // End-of-run drain: seal everything due, flushing any still-
+            // pending transactions (exactly the reference's final flush).
+            Event::SealSlot => {
+                fed.flush_chain_at(at);
+            }
+            // Barrier events never arise under the no-barrier policy.
+            Event::OpenTraining { .. }
+            | Event::TrainingDone { .. }
+            | Event::StartScoring { .. }
+            | Event::ScoresDue { .. }
+            | Event::RoundBarrier { .. } => {}
+        }
     }
 }
 
@@ -620,8 +1106,8 @@ pub fn run_async(
 
 /// Runs the Async engine with an explicit execution engine.
 ///
-/// The async event loop itself stays strictly event-ordered under either
-/// engine: every event's inputs (contract candidates, scorer assignments)
+/// The no-barrier policy stays strictly event-ordered under either engine:
+/// every `ClusterWake`'s inputs (contract candidates, scorer assignments)
 /// depend on the chain state left by the previous event's commit, so
 /// cross-cluster phase-A fan-out would change what each cluster observes.
 /// The engine choice still matters: the final merge-and-evaluate pass fans
@@ -649,180 +1135,57 @@ pub fn run_async_engine(
         "async mode does not support weight-similarity scoring (Table 3)"
     );
     let n = fed.clusters.len();
-    let orch = fed.orchestrator;
     let plan = fed.fault_plan().cloned();
-
-    struct State {
-        clock: SimTime,
-        rounds_done: u64,
-        tasks: VecDeque<Cid>,
-        finished_at: Option<SimTime>,
-        alive: bool,
-    }
-    let mut states: Vec<State> = (0..n)
-        .map(|idx| State {
+    let join_time = join_times(fed);
+    let joined: Vec<bool> = join_time.iter().map(Option::is_none).collect();
+    let clock: Vec<SimTime> = (0..n)
+        .map(|idx| {
             // A skewed cluster's whole timeline runs behind the
             // federation's.
-            clock: fed.setup_done
+            fed.setup_done
                 + plan
                     .as_ref()
-                    .map_or(SimDuration::ZERO, |p| p.clock_skew(idx)),
-            rounds_done: 0,
-            tasks: VecDeque::new(),
-            finished_at: None,
-            alive: true,
+                    .map_or(SimDuration::ZERO, |p| p.clock_skew(idx))
         })
         .collect();
-    let mut distributed: HashSet<String> = HashSet::new();
-    // Crash events already charged to a cluster (each fires once: the
-    // in-flight attempt is lost, then the round is redone after restart).
-    let mut crashes_spent: HashSet<(usize, u64)> = HashSet::new();
-    let rounds = workload.rounds as u64;
-    if let Some(p) = &plan {
-        // Skew shifts the whole free-running timeline; record it so the
-        // report proves the fault took effect.
-        for idx in 0..n {
-            if !p.clock_skew(idx).is_zero() {
-                fed.log_fault(idx, 1, "clock_skew", "clock runs behind the federation");
-            }
-        }
-    }
+    let mut policy = AsyncPolicy {
+        workload,
+        rounds: workload.rounds as u64,
+        n,
+        setup_done: fed.setup_done,
+        plan,
+        clock,
+        rounds_done: vec![0; n],
+        tasks: vec![VecDeque::new(); n],
+        finished_at: vec![None; n],
+        alive: joined.clone(),
+        joined,
+        join_time,
+        distributed: HashSet::new(),
+        crashes_spent: HashSet::new(),
+        wake: vec![None; n],
+        pending_joins: 0,
+        seal_scheduled: false,
+        end_time: fed.setup_done,
+    };
+    let trace = events::drain(fed, &mut policy);
 
-    // Deal out scorer assignments that the contract has recorded.
-    let distribute =
-        |fed: &Federation, states: &mut Vec<State>, distributed: &mut HashSet<String>| {
-            for entry in fed.contract().entries() {
-                if entry.scorers.is_empty() || distributed.contains(&entry.cid) {
-                    continue;
-                }
-                if let Ok(cid) = entry.cid.parse::<Cid>() {
-                    for scorer_addr in &entry.scorers {
-                        if let Some(i) = fed
-                            .clusters
-                            .iter()
-                            .position(|c| c.address() == *scorer_addr)
-                        {
-                            states[i].tasks.push_back(cid);
-                        }
-                    }
-                }
-                distributed.insert(entry.cid.clone());
-            }
-        };
-
-    loop {
-        // Pick the earliest cluster that still has work.
-        let next = (0..n)
-            .filter(|&i| {
-                states[i].alive && (states[i].rounds_done < rounds || !states[i].tasks.is_empty())
-            })
-            .min_by_key(|&i| (states[i].clock, i));
-        let Some(idx) = next else { break };
-        let t = states[idx].clock;
-
-        fed.advance_chain_to(t);
-        distribute(fed, &mut states, &mut distributed);
-
-        // Chaos: the free-running timeline hits this cluster's next fault.
-        if let Some(p) = &plan {
-            let round = states[idx].rounds_done + 1;
-            if p.has_left(idx, round.min(rounds)) {
-                states[idx].alive = false;
-                states[idx].tasks.clear();
-                states[idx].finished_at = Some(t);
-                fed.log_fault(idx, round, "leave", "left the federation");
-                continue;
-            }
-            if round <= rounds && p.crash_starts(idx, round) && crashes_spent.insert((idx, round)) {
-                // The in-flight round is lost and the cluster sits out this
-                // crash's own window, then redoes the round — async churn
-                // costs time, not rounds (Table 3's "low straggler
-                // impact"). Later crash windows are charged when they fire.
-                let lost = fed.clusters[idx].train_duration(workload.local_epochs);
-                let down = p.crash_down_rounds_at(idx, round);
-                states[idx].clock = t + lost + lost * down;
-                fed.log_fault(
-                    idx,
-                    round,
-                    "crash",
-                    "attempt lost; round redone after restart",
-                );
-                continue;
-            }
-        }
-
-        if let Some(cid) = states[idx].tasks.pop_front() {
-            // Scoring duty first: an idle aggregator scores as soon as the
-            // assignment reaches it (Figure 6 step 4).
-            let fetch = fed.clusters[idx].fetch_duration();
-            let score_dur = fed.clusters[idx].score_duration();
-            if let Some(w) = fed.fetch_weights(idx, cid) {
-                let score = fed.clusters[idx].score_weights(&w);
-                let done = t + fetch + score_dur;
-                fed.record_scoring_burst(fetch + score_dur);
-                fed.record_ipfs_burst(fetch);
-                let tx = fed.clusters[idx].score_tx(orch, &cid, score);
-                fed.submit_cluster_tx_at(done, tx);
-                states[idx].clock = done;
-            }
-            continue;
-        }
-
-        // Otherwise: run the next training round — the same round step as
-        // the sync engine (prepare inputs, cluster-local compute, then
-        // commit the chain/storage/accounting effects).
-        let round = states[idx].rounds_done + 1;
-        let inputs = prepare_train(fed, idx, round);
-        let mut result = {
-            let (clusters, global_test) = fed.compute_view();
-            compute_train(&mut clusters[idx], inputs, workload, global_test)
-        };
-        let publish = crate::step::commit_train_effects(fed, idx, round, &mut result);
-        let finish = t + result.pull + result.train + publish;
-
-        let cid = fed.clusters[idx].store_model(round);
-        let tx = fed.clusters[idx].submit_model_tx(orch, &cid);
-        fed.submit_cluster_tx_at(finish, tx);
-        // Seal promptly so scorers learn their assignment.
-        fed.flush_chain_at(finish);
-        distribute(fed, &mut states, &mut distributed);
-
-        states[idx].rounds_done = round;
-        states[idx].clock = finish;
-        fed.clusters[idx].record(ClusterRoundRecord {
-            round,
-            peers_merged: result.peers_merged,
-            local_accuracy: result.local_accuracy,
-            local_loss: result.local_loss,
-            global_accuracy: result.global_accuracy,
-            global_loss: result.global_loss,
-            completed_at_secs: finish.as_secs_f64(),
-        });
-        if round == rounds {
-            states[idx].finished_at = Some(finish);
-        }
-    }
-
-    let end_time = states
-        .iter()
-        .map(|s| s.clock)
-        .max()
-        .unwrap_or(fed.setup_done);
-    fed.flush_chain_at(end_time);
-
-    let active: Vec<bool> = states.iter().map(|s| s.alive).collect();
-    let final_global = final_merge(fed, rounds, &active, engine);
+    let end_time = policy.end_time;
+    let participating: Vec<bool> = (0..n)
+        .map(|i| policy.alive[i] && policy.joined[i])
+        .collect();
+    let final_global = final_merge(fed, policy.rounds, &participating, engine);
     let final_local = (0..n).map(|i| last_local(fed, i)).collect();
     EngineOutcome {
-        per_cluster_time: states
-            .iter()
-            .map(|s| s.finished_at.unwrap_or(end_time))
+        per_cluster_time: (0..n)
+            .map(|i| policy.finished_at[i].unwrap_or(end_time))
             .collect(),
         straggler_rounds: vec![0; n],
         rejected_scores: vec![0; n],
         final_global,
         final_local,
         end_time,
+        events: trace,
     }
 }
 
@@ -889,6 +1252,38 @@ mod tests {
     }
 
     #[test]
+    fn sync_event_trace_follows_the_barrier_cycle() {
+        let (mut fed, w) = build(Mode::Sync, 3, 2);
+        let out = run_sync(&mut fed, &w, ScorerKind::Accuracy, 1.15);
+        // Per round: OpenTraining, TrainingDone×3, StartScoring,
+        // ScoresDue×3, RoundBarrier = 9 events; no async/membership events.
+        assert_eq!(out.events.len(), 18);
+        let labels: Vec<&str> = out.events.iter().map(|r| r.event.label()).collect();
+        assert_eq!(
+            &labels[..9],
+            &[
+                "open_training",
+                "training_done",
+                "training_done",
+                "training_done",
+                "start_scoring",
+                "scores_due",
+                "scores_due",
+                "scores_due",
+                "round_barrier",
+            ]
+        );
+        // Barrier policy: the per-cluster commits fire at the window close,
+        // in cluster-index order.
+        assert_eq!(out.events[1].event.cluster(), Some(0));
+        assert_eq!(out.events[2].event.cluster(), Some(1));
+        assert_eq!(out.events[3].event.cluster(), Some(2));
+        assert_eq!(out.events[1].at, out.events[4].at);
+        // Time never goes backwards in the sync cycle.
+        assert!(out.events.windows(2).all(|p| p[0].at <= p[1].at));
+    }
+
+    #[test]
     fn async_runs_all_rounds_and_scores() {
         let (mut fed, w) = build(Mode::Async, 3, 3);
         let out = run_async(&mut fed, &w, ScorerKind::Accuracy);
@@ -901,6 +1296,12 @@ mod tests {
         assert!(entries.iter().all(|e| !e.scores.is_empty()));
         assert!(out.end_time > fed.setup_done);
         fed.chain.verify().unwrap();
+        // The no-barrier policy ends with the SealSlot drain.
+        assert_eq!(out.events.last().unwrap().event, Event::SealSlot);
+        assert!(out
+            .events
+            .iter()
+            .all(|r| matches!(r.event, Event::ClusterWake { .. } | Event::SealSlot)));
     }
 
     #[test]
@@ -1140,5 +1541,116 @@ mod tests {
             .map(|r| r.peers_merged)
             .sum();
         assert!(merged_after_round1 > 0);
+    }
+
+    // ---- elastic membership ------------------------------------------
+
+    fn joiner_configs(n: usize, joins_at: SimDuration) -> Vec<ClusterConfig> {
+        let mut cfgs = configs(n + 1);
+        cfgs[n].name = "agg-late".into();
+        cfgs[n].joins_at = Some(joins_at);
+        cfgs
+    }
+
+    #[test]
+    fn sync_joiner_registers_bootstraps_and_participates() {
+        let w = tiny_workload(4);
+        // Join mid-run: the tiny workload's rounds open at t = 5, 20, 35
+        // and 50 s, so a 28 s offset (join time 33 s) lands the join on
+        // round 3's phase boundary.
+        let mut fed = Federation::new(
+            7,
+            &w,
+            Partition::Iid,
+            OrchestrationMode::Sync,
+            joiner_configs(3, SimDuration::from_secs(28)),
+        );
+        let out = run_sync(&mut fed, &w, ScorerKind::Accuracy, 1.15);
+        // The join fired exactly once and was recorded.
+        let joins = fed.membership_records();
+        assert_eq!(joins.len(), 1);
+        assert_eq!(joins[0].cluster, "agg-late");
+        assert_eq!(joins[0].change, "join");
+        assert!(out
+            .events
+            .iter()
+            .any(|r| r.event == Event::MembershipChange { cluster: 3 }));
+        // Before the join the cluster is absent from the ledger; afterwards
+        // it trains and submits like any founder.
+        let late = fed.clusters[3].address();
+        let late_rounds: Vec<u64> = fed
+            .contract()
+            .entries()
+            .iter()
+            .filter(|e| e.submitter == late)
+            .map(|e| e.round)
+            .collect();
+        assert!(!late_rounds.is_empty(), "joiner must submit after joining");
+        assert!(
+            late_rounds.iter().all(|&r| r > 1),
+            "joiner cannot have submitted in round 1: {late_rounds:?}"
+        );
+        // The joiner recorded fewer rounds than the founders.
+        assert!(fed.clusters[3].records.len() < fed.clusters[0].records.len());
+        assert!(!fed.clusters[3].records.is_empty());
+        fed.chain.verify().unwrap();
+    }
+
+    #[test]
+    fn async_joiner_bootstraps_and_runs_its_rounds() {
+        let w = tiny_workload(3);
+        let mut fed = Federation::new(
+            7,
+            &w,
+            Partition::Iid,
+            OrchestrationMode::Async,
+            joiner_configs(3, SimDuration::from_secs(120)),
+        );
+        let out = run_async(&mut fed, &w, ScorerKind::Accuracy);
+        assert_eq!(fed.membership_records().len(), 1);
+        // Bootstrap seeded from at least one already-scored release (the
+        // founders have been publishing for 120 virtual seconds).
+        let detail = &fed.membership_records()[0].detail;
+        assert!(detail.contains("bootstrapped"), "{detail}");
+        assert!(!detail.contains("from 0 "), "bootstrap found no releases");
+        // The joiner free-runs its full round budget after joining.
+        assert_eq!(fed.clusters[3].records.len(), w.rounds);
+        assert!(
+            fed.clusters[3].records[0].completed_at_secs > 120.0,
+            "joiner rounds start after the join"
+        );
+        // The join event appears in the trace before any of its wakes.
+        let first_wake = out
+            .events
+            .iter()
+            .position(|r| r.event == Event::ClusterWake { cluster: 3 })
+            .expect("joiner woke");
+        let join_pos = out
+            .events
+            .iter()
+            .position(|r| r.event == Event::MembershipChange { cluster: 3 })
+            .expect("join fired");
+        assert!(join_pos < first_wake);
+        fed.chain.verify().unwrap();
+    }
+
+    #[test]
+    fn membership_runs_are_seed_deterministic() {
+        let run = || {
+            let w = tiny_workload(3);
+            let mut fed = Federation::new(
+                11,
+                &w,
+                Partition::Iid,
+                OrchestrationMode::Async,
+                joiner_configs(3, SimDuration::from_secs(90)),
+            );
+            let out = run_async(&mut fed, &w, ScorerKind::Accuracy);
+            (
+                format!("{:?}", out.events),
+                format!("{:?}", out.final_global),
+            )
+        };
+        assert_eq!(run(), run());
     }
 }

@@ -322,6 +322,8 @@ mod tests {
             wall_secs: 0.0,
             chaos: ChaosReport::default(),
             transfer: TransferReport::default(),
+            link_model: "Nominal".to_owned(),
+            membership: Vec::new(),
         };
 
         let table = render_run_table(&report);

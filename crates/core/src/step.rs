@@ -33,7 +33,7 @@ use unifyfl_data::{Dataset, WorkloadConfig};
 use unifyfl_storage::Cid;
 
 use crate::cluster::ClusterNode;
-use crate::federation::Federation;
+use crate::federation::{Federation, LinkModel};
 use unifyfl_chain::types::Address;
 use unifyfl_sim::SimDuration;
 
@@ -130,16 +130,21 @@ pub fn prepare_train(fed: &mut Federation, idx: usize, round: u64) -> TrainInput
     };
 
     let mut peers = Vec::with_capacity(selected.len());
+    let mut physical = SimDuration::ZERO;
     for &i in &selected {
         // Skip content that is unavailable or fails weight validation —
         // the CID guarantees we can never ingest silently-corrupted bytes.
-        if let Some(w) = fed.fetch_weights(idx, candidates[i].cid) {
+        if let Some((w, cost)) = fed.fetch_weights_costed(idx, candidates[i].cid) {
             if w.len() == fed.clusters[idx].weights().len() {
                 peers.push(w);
+                physical += cost;
             }
         }
     }
-    let pull = fed.clusters[idx].fetch_duration() * peers.len() as u64;
+    let pull = match fed.link_model() {
+        LinkModel::Nominal => fed.clusters[idx].fetch_duration() * peers.len() as u64,
+        LinkModel::Physical => physical,
+    };
     TrainInputs { peers, pull }
 }
 
@@ -204,8 +209,20 @@ pub fn commit_train_effects(
         .map(|p| p.latency_factor(idx, round))
         .filter(|f| *f > 1.0);
     if let Some(factor) = spike {
-        result.train = SimDuration::from_secs_f64(result.train.as_secs_f64() * factor);
-        fed.log_fault(idx, round, "latency_spike", "training slowed");
+        match fed.link_model() {
+            // Reference model: the spike hits the compute path.
+            LinkModel::Nominal => {
+                result.train = SimDuration::from_secs_f64(result.train.as_secs_f64() * factor);
+                fed.log_fault(idx, round, "latency_spike", "training slowed");
+            }
+            // Physical link model: latency spikes are *network* events and
+            // route through the same links the time model charges — the
+            // round's transfers stretch instead of its training.
+            LinkModel::Physical => {
+                result.pull = SimDuration::from_secs_f64(result.pull.as_secs_f64() * factor);
+                fed.log_fault(idx, round, "latency_spike", "transfers slowed");
+            }
+        }
     }
     let publish = fed.clusters[idx].publish_duration();
     fed.record_agg_burst(result.pull + publish);
@@ -230,13 +247,30 @@ pub struct ScoreTask {
     pub cid: Cid,
     /// How the score is obtained.
     pub input: ScoreInput,
+    /// Virtual fetch cost the commit step charges for this task: the
+    /// nominal per-model fetch under [`LinkModel::Nominal`], the storage
+    /// layer's physical elapsed under [`LinkModel::Physical`] (zero for
+    /// MultiKRUM table lookups — those weights moved once, federation-wide).
+    pub fetch_cost: SimDuration,
+}
+
+/// A scored model ready to commit: the compute result of one scoring task,
+/// carrying its prepare-time fetch cost through to the clock walk.
+#[derive(Debug)]
+pub struct ScoredModel {
+    /// The scored model.
+    pub cid: Cid,
+    /// Its score.
+    pub score: f64,
+    /// Fetch cost carried through from [`ScoreTask::fetch_cost`].
+    pub fetch_cost: SimDuration,
 }
 
 /// Gathers one cluster's scoring tasks for the round: filters the round's
 /// assignments to this cluster, and per task either looks the score up in
 /// the MultiKRUM table or fetches the weights (fetch side effects — so
 /// engines call this sequentially in cluster-index order). Tasks whose
-/// fetch fails are dropped, exactly as the sequential engine skips them.
+/// fetch fails are dropped, exactly as the reference engine skips them.
 pub fn prepare_scoring(
     fed: &Federation,
     idx: usize,
@@ -244,22 +278,34 @@ pub fn prepare_scoring(
     krum: Option<&(Vec<Cid>, Vec<f64>)>,
 ) -> Vec<ScoreTask> {
     let my_addr = fed.clusters[idx].address();
+    let nominal = fed.clusters[idx].fetch_duration();
     let mut tasks = Vec::new();
     for (cid, scorers) in assignments {
         if !scorers.contains(&my_addr) {
             continue;
         }
-        let input = match krum {
+        let (input, physical) = match krum {
             Some((cids, scores)) => {
                 let pos = cids.iter().position(|c| c == cid);
-                ScoreInput::Ready(pos.map(|p| scores[p]).unwrap_or(0.0))
+                (
+                    ScoreInput::Ready(pos.map(|p| scores[p]).unwrap_or(0.0)),
+                    SimDuration::ZERO,
+                )
             }
-            None => match fed.fetch_weights(idx, *cid) {
-                Some(w) => ScoreInput::Weights(w),
+            None => match fed.fetch_weights_costed(idx, *cid) {
+                Some((w, cost)) => (ScoreInput::Weights(w), cost),
                 None => continue,
             },
         };
-        tasks.push(ScoreTask { cid: *cid, input });
+        let fetch_cost = match fed.link_model() {
+            LinkModel::Nominal => nominal,
+            LinkModel::Physical => physical,
+        };
+        tasks.push(ScoreTask {
+            cid: *cid,
+            input,
+            fetch_cost,
+        });
     }
     tasks
 }
@@ -267,7 +313,7 @@ pub fn prepare_scoring(
 /// Scores the prepared tasks: the compute half of a scoring duty
 /// (inference over the cluster's holdout shard). Cluster-local and
 /// read-only, so the parallel engine fans it out per cluster.
-pub fn compute_scores(cluster: &ClusterNode, tasks: Vec<ScoreTask>) -> Vec<(Cid, f64)> {
+pub fn compute_scores(cluster: &ClusterNode, tasks: Vec<ScoreTask>) -> Vec<ScoredModel> {
     tasks
         .into_iter()
         .map(|t| {
@@ -275,9 +321,39 @@ pub fn compute_scores(cluster: &ClusterNode, tasks: Vec<ScoreTask>) -> Vec<(Cid,
                 ScoreInput::Ready(s) => s,
                 ScoreInput::Weights(w) => cluster.score_weights(&w),
             };
-            (t.cid, score)
+            ScoredModel {
+                cid: t.cid,
+                score,
+                fetch_cost: t.fetch_cost,
+            }
         })
         .collect()
+}
+
+/// Runs the compute phase under the selected [`Engine`]: inline in
+/// cluster-index order for [`Engine::Sequential`] (the reference), or
+/// fanned out one scoped thread per cluster for [`Engine::Parallel`]
+/// ([`compute_all`]). Compute is cluster-local either way, so the results —
+/// and every downstream report byte — are identical.
+pub fn compute_dispatch<I, R, F>(
+    clusters: &mut [ClusterNode],
+    inputs: Vec<Option<I>>,
+    engine: Engine,
+    f: F,
+) -> Vec<Option<R>>
+where
+    I: Send,
+    R: Send,
+    F: Fn(&mut ClusterNode, I) -> R + Sync,
+{
+    match engine {
+        Engine::Sequential => clusters
+            .iter_mut()
+            .zip(inputs)
+            .map(|(cluster, input)| input.map(|i| f(cluster, i)))
+            .collect(),
+        Engine::Parallel => compute_all(clusters, inputs, f),
+    }
 }
 
 /// Runs each cluster's compute closure on its own scoped thread (phase A

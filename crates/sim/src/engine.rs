@@ -3,7 +3,10 @@
 //! The queue is generic over the event payload so that higher layers (the
 //! blockchain, the storage fabric, the UnifyFL experiment engine) define
 //! their own event enums. Events scheduled for the same instant pop in FIFO
-//! order, which makes whole-experiment runs bit-reproducible.
+//! order, which makes whole-experiment runs bit-reproducible. A scheduler
+//! that needs a *semantic* tie-break ahead of FIFO (e.g. "at equal times,
+//! the lowest cluster index acts first") can attach an explicit key via
+//! [`EventQueue::schedule_keyed`]; ordering is then `(time, key, seq)`.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -17,6 +20,7 @@ pub struct EventId(u64);
 
 struct Entry<E> {
     time: SimTime,
+    key: u64,
     seq: u64,
     id: EventId,
     payload: E,
@@ -24,7 +28,7 @@ struct Entry<E> {
 
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.time == other.time && self.key == other.key && self.seq == other.seq
     }
 }
 impl<E> Eq for Entry<E> {}
@@ -35,11 +39,12 @@ impl<E> PartialOrd for Entry<E> {
 }
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
-        // first.
+        // BinaryHeap is a max-heap; invert so the earliest (time, key, seq)
+        // pops first.
         other
             .time
             .cmp(&self.time)
+            .then_with(|| other.key.cmp(&self.key))
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -53,12 +58,17 @@ impl<E> Ord for Entry<E> {
 /// let a = q.schedule(SimTime::from_secs(1), "a");
 /// let _b = q.schedule(SimTime::from_secs(1), "b");
 /// q.cancel(a);
+/// assert_eq!(q.len(), 1);
 /// assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
 /// assert!(q.pop().is_none());
 /// ```
 #[derive(Default)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
+    /// Ids currently in the heap that have *not* been cancelled.
+    pending: HashSet<EventId>,
+    /// Ids currently in the heap whose entries were cancelled and await
+    /// physical removal (lazily on pop/peek, eagerly by compaction).
     cancelled: HashSet<EventId>,
     next_seq: u64,
 }
@@ -68,6 +78,7 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
+            pending: HashSet::new(),
             cancelled: HashSet::new(),
             next_seq: 0,
         }
@@ -76,15 +87,25 @@ impl<E> EventQueue<E> {
     /// Schedules `payload` to fire at `time` and returns a cancellation
     /// handle. Events at equal times fire in scheduling order.
     pub fn schedule(&mut self, time: SimTime, payload: E) -> EventId {
+        self.schedule_keyed(time, 0, payload)
+    }
+
+    /// Schedules `payload` to fire at `time` with an explicit tie-break
+    /// `key`: events pop in `(time, key, scheduling order)` order. Plain
+    /// [`EventQueue::schedule`] uses key 0, so keyed and unkeyed events
+    /// interleave deterministically.
+    pub fn schedule_keyed(&mut self, time: SimTime, key: u64, payload: E) -> EventId {
         let seq = self.next_seq;
         self.next_seq += 1;
         let id = EventId(seq);
         self.heap.push(Entry {
             time,
+            key,
             seq,
             id,
             payload,
         });
+        self.pending.insert(id);
         id
     }
 
@@ -94,9 +115,28 @@ impl<E> EventQueue<E> {
     }
 
     /// Cancels a previously scheduled event. Cancelling an event that already
-    /// fired (or was never scheduled) is a no-op.
+    /// fired, was already cancelled, or was never scheduled is a no-op — it
+    /// cannot corrupt [`EventQueue::len`] or retain memory.
     pub fn cancel(&mut self, id: EventId) {
-        self.cancelled.insert(id);
+        if self.pending.remove(&id) {
+            self.cancelled.insert(id);
+            self.maybe_compact();
+        }
+    }
+
+    /// Rebuilds the heap without cancelled entries once they outnumber the
+    /// live ones, so a cancel-heavy workload cannot retain dead payloads
+    /// until they happen to reach the top.
+    fn maybe_compact(&mut self) {
+        if self.cancelled.len() <= self.pending.len() || self.cancelled.len() < 64 {
+            return;
+        }
+        let cancelled = std::mem::take(&mut self.cancelled);
+        let entries = std::mem::take(&mut self.heap);
+        self.heap = entries
+            .into_iter()
+            .filter(|e| !cancelled.contains(&e.id))
+            .collect();
     }
 
     /// Removes and returns the earliest pending event, skipping cancelled
@@ -106,6 +146,7 @@ impl<E> EventQueue<E> {
             if self.cancelled.remove(&entry.id) {
                 continue;
             }
+            self.pending.remove(&entry.id);
             return Some((entry.time, entry.payload));
         }
         None
@@ -127,12 +168,12 @@ impl<E> EventQueue<E> {
 
     /// Number of live (non-cancelled) events still pending.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.pending.len()
     }
 
     /// True if no live events are pending.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.pending.is_empty()
     }
 }
 
@@ -215,8 +256,60 @@ mod tests {
         let a = q.schedule(SimTime::from_secs(1), "a");
         assert_eq!(q.pop().map(|(_, e)| e), Some("a"));
         q.cancel(a);
+        // A stale cancel must not poison the live-event accounting.
+        assert_eq!(q.len(), 0);
         q.schedule(SimTime::from_secs(2), "b");
+        assert_eq!(q.len(), 1);
         assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn double_cancel_and_unknown_cancel_keep_len_exact() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), 1u32);
+        let b = q.schedule(SimTime::from_secs(2), 2u32);
+        q.cancel(a);
+        q.cancel(a); // double cancel: no-op
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|(_, e)| e), Some(2));
+        q.cancel(b); // cancel after fire: no-op
+        assert_eq!(q.len(), 0);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn keyed_events_break_time_ties_by_key_then_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(5);
+        // Scheduled out of key order; equal keys keep FIFO.
+        q.schedule_keyed(t, 2, "k2-first");
+        q.schedule_keyed(t, 0, "k0");
+        q.schedule_keyed(t, 2, "k2-second");
+        q.schedule_keyed(t, 1, "k1");
+        // An earlier time beats any key.
+        q.schedule_keyed(SimTime::from_secs(1), 9, "early");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["early", "k0", "k1", "k2-first", "k2-second"]);
+    }
+
+    #[test]
+    fn mass_cancellation_compacts_and_drains_clean() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..500u64)
+            .map(|i| q.schedule(SimTime::from_millis(i), i))
+            .collect();
+        // Cancel everything but a handful scattered through the schedule.
+        for (i, id) in ids.iter().enumerate() {
+            if i % 100 != 7 {
+                q.cancel(*id);
+            }
+        }
+        assert_eq!(q.len(), 5);
+        let survivors: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(survivors, vec![7, 107, 207, 307, 407]);
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
     }
 
     #[test]

@@ -75,6 +75,19 @@ impl LinkProfile {
             latency: SimDuration::from_millis(5),
         }
     }
+
+    /// An 8 Mbit/s WAN link with 15 ms latency: cross-silo storage traffic
+    /// between geographically separated organizations, where byte
+    /// serialization dominates the per-fetch round-trips once transfers
+    /// reach the ~100 KB model-blob range. Under the physical link time
+    /// model this is where the transfer layer's byte savings translate
+    /// into virtual wall-clock savings (the `timeline` bench runs on it).
+    pub fn wan() -> Self {
+        LinkProfile {
+            bandwidth_bps: 1.0e6,
+            latency: SimDuration::from_millis(15),
+        }
+    }
 }
 
 /// Cost charged for a DHT provider lookup.

@@ -14,7 +14,7 @@
 
 use unifyfl::chain::orchestrator::events;
 use unifyfl::core::cluster::ClusterConfig;
-use unifyfl::core::experiment::{Engine, ExperimentConfig, Mode};
+use unifyfl::core::experiment::{Engine, ExperimentConfig, LinkModel, Mode};
 use unifyfl::core::federation::Federation;
 use unifyfl::core::orchestration::run_sync;
 use unifyfl::core::policy::{AggregationPolicy, ScorePolicy};
@@ -71,6 +71,7 @@ fn main() {
         chaos: None,
         transfer: TransferConfig::default(),
         engine: Engine::auto(),
+        link_model: LinkModel::Nominal,
     };
     config.validate().expect("valid scenario");
 

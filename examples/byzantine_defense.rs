@@ -12,7 +12,7 @@
 
 use unifyfl::core::byzantine::AttackKind;
 use unifyfl::core::cluster::ClusterConfig;
-use unifyfl::core::experiment::{run_experiment, Engine, ExperimentConfig, Mode};
+use unifyfl::core::experiment::{run_experiment, Engine, ExperimentConfig, LinkModel, Mode};
 use unifyfl::core::policy::{AggregationPolicy, ScorePolicy};
 use unifyfl::core::report::render_curves;
 use unifyfl::core::scoring::ScorerKind;
@@ -47,6 +47,7 @@ fn scenario(policy: AggregationPolicy, label: &str) -> ExperimentConfig {
         chaos: None,
         transfer: TransferConfig::default(),
         engine: Engine::auto(),
+        link_model: LinkModel::Nominal,
     }
 }
 

@@ -11,7 +11,9 @@
 //! free-run, trading a little model freshness for wall-clock speed.
 
 use unifyfl::core::cluster::ClusterConfig;
-use unifyfl::core::experiment::{run_experiment, Engine, ExperimentConfig, ExperimentReport, Mode};
+use unifyfl::core::experiment::{
+    run_experiment, Engine, ExperimentConfig, ExperimentReport, LinkModel, Mode,
+};
 use unifyfl::core::policy::{AggregationPolicy, ScorePolicy};
 use unifyfl::core::scoring::ScorerKind;
 use unifyfl::core::TransferConfig;
@@ -42,6 +44,7 @@ fn config(mode: Mode) -> ExperimentConfig {
         chaos: None,
         transfer: TransferConfig::default(),
         engine: Engine::auto(),
+        link_model: LinkModel::Nominal,
     }
 }
 

@@ -4,7 +4,9 @@
 
 use unifyfl::core::byzantine::AttackKind;
 use unifyfl::core::cluster::ClusterConfig;
-use unifyfl::core::experiment::{run_experiment, Engine, ExperimentConfig, ExperimentReport, Mode};
+use unifyfl::core::experiment::{
+    run_experiment, Engine, ExperimentConfig, ExperimentReport, LinkModel, Mode,
+};
 use unifyfl::core::federation::Federation;
 use unifyfl::core::orchestration::run_sync;
 use unifyfl::core::policy::{AggregationPolicy, ScorePolicy};
@@ -60,6 +62,7 @@ fn config(policy: AggregationPolicy, attack: AttackKind) -> ExperimentConfig {
         chaos: None,
         transfer: TransferConfig::default(),
         engine: Engine::auto(),
+        link_model: LinkModel::Nominal,
     }
 }
 

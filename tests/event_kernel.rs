@@ -1,0 +1,329 @@
+//! The discrete-event kernel's correctness contract, on top of what
+//! `tests/engine_parallel.rs` already pins:
+//!
+//! 1. **Engine identity extends to every new kernel surface** — elastic
+//!    membership and the physical link time model produce byte-identical
+//!    [`ExperimentReport`]s under the sequential and parallel engines, on
+//!    the happy path and under chaos.
+//! 2. **Trace determinism** — the kernel's fired-event trace (interleaved
+//!    event timestamps included) replays bit-for-bit across runs of the
+//!    same configuration, and is *engine-independent*: the execution
+//!    engine changes wall-clock only, never the event schedule.
+//! 3. **Barrier semantics** — sync commits are released at the window
+//!    close in cluster-index order; async wakes interleave free-running.
+
+use unifyfl::core::cluster::ClusterConfig;
+use unifyfl::core::events::Event;
+use unifyfl::core::experiment::{
+    run_experiment, Engine, ExperimentBuilder, ExperimentConfig, ExperimentReport, LinkModel, Mode,
+};
+use unifyfl::core::federation::Federation;
+use unifyfl::core::orchestration::{run_async_engine, run_sync_engine, EngineOutcome};
+use unifyfl::core::scoring::ScorerKind;
+use unifyfl::core::{ChaosConfig, FaultEvent, FaultKind, FaultPlan};
+use unifyfl::sim::SimDuration;
+
+/// Runs `config` under both engines and returns the two reports.
+fn both_engines(mut config: ExperimentConfig) -> (ExperimentReport, ExperimentReport) {
+    config.engine = Engine::Sequential;
+    let sequential = run_experiment(&config).expect("sequential run");
+    config.engine = Engine::Parallel;
+    let parallel = run_experiment(&config).expect("parallel run");
+    (sequential, parallel)
+}
+
+fn assert_identical(label: &str, sequential: &ExperimentReport, parallel: &ExperimentReport) {
+    assert_eq!(
+        format!("{sequential:?}"),
+        format!("{parallel:?}"),
+        "{label}: parallel engine diverged from the sequential reference"
+    );
+}
+
+/// Quickstart plus a fourth cluster joining 28 s in (round 3 of the sync
+/// schedule; mid-run for async).
+fn elastic_config(seed: u64, mode: Mode) -> ExperimentConfig {
+    let mut config = ExperimentBuilder::quickstart()
+        .seed(seed)
+        .rounds(4)
+        .mode(mode)
+        .config()
+        .clone();
+    config.clusters.push(
+        ClusterConfig::edge("agg-late", config.clusters[0].client_device.clone())
+            .joining_at(SimDuration::from_secs(28)),
+    );
+    config
+}
+
+#[test]
+fn elastic_membership_reports_are_byte_identical_across_engines() {
+    for mode in [Mode::Sync, Mode::Async] {
+        let (s, p) = both_engines(elastic_config(73, mode));
+        assert_identical(&format!("elastic {mode}"), &s, &p);
+        assert_eq!(s.membership.len(), 1, "{mode}: the join fired");
+        assert_eq!(s.membership[0].cluster, "agg-late");
+    }
+}
+
+#[test]
+fn physical_link_model_reports_are_byte_identical_across_engines() {
+    let mut config = ExperimentBuilder::quickstart()
+        .seed(79)
+        .rounds(3)
+        .mode(Mode::Sync)
+        .link_model(LinkModel::Physical)
+        .config()
+        .clone();
+    let (s, p) = both_engines(config.clone());
+    assert_identical("sync physical", &s, &p);
+    assert_eq!(s.link_model, "Physical");
+
+    config.mode = Mode::Async;
+    let (s, p) = both_engines(config);
+    assert_identical("async physical", &s, &p);
+}
+
+#[test]
+fn physical_link_model_with_chaos_spikes_routes_through_links() {
+    // A latency spike under the physical link model stretches the round's
+    // transfers instead of its training — and stays engine-identical.
+    let chaos = ChaosConfig::scripted(vec![FaultEvent {
+        cluster: 1,
+        round: 2,
+        kind: FaultKind::LatencySpike { factor: 50.0 },
+    }]);
+    let config = ExperimentBuilder::quickstart()
+        .seed(83)
+        .rounds(3)
+        .mode(Mode::Async)
+        .link_model(LinkModel::Physical)
+        .chaos(chaos)
+        .config()
+        .clone();
+    let (s, p) = both_engines(config);
+    assert_identical("async physical chaos", &s, &p);
+    assert!(s.chaos.spikes_fired > 0, "the spike fired");
+    assert!(
+        s.chaos
+            .records
+            .iter()
+            .any(|r| r.kind == "latency_spike" && r.outcome.contains("transfers")),
+        "physical link model routes the spike through the links: {:?}",
+        s.chaos.records
+    );
+}
+
+// ---------------------------------------------------------------------
+// Trace determinism: the kernel's interleaved event timestamps replay
+// bit for bit. `run_experiment` does not expose the trace, so these
+// drive the engines directly.
+// ---------------------------------------------------------------------
+
+fn quickstart_federation(seed: u64, mode: Mode) -> (Federation, ExperimentConfig) {
+    let config = ExperimentBuilder::quickstart()
+        .seed(seed)
+        .rounds(3)
+        .mode(mode)
+        .config()
+        .clone();
+    let fed = Federation::new(
+        config.seed,
+        &config.workload,
+        config.partition,
+        config.mode.to_chain(),
+        config.clusters.clone(),
+    );
+    (fed, config)
+}
+
+fn run_traced(seed: u64, mode: Mode, engine: Engine, chaos: bool) -> EngineOutcome {
+    let (mut fed, config) = quickstart_federation(seed, mode);
+    if chaos {
+        let chaos_cfg = ChaosConfig {
+            fetch_failure_prob: 0.2,
+            dropped_tx_prob: 0.15,
+            ..ChaosConfig::scripted(vec![FaultEvent {
+                cluster: 1,
+                round: 2,
+                kind: FaultKind::Crash { down_rounds: 1 },
+            }])
+        };
+        let plan = FaultPlan::expand(
+            &chaos_cfg,
+            unifyfl::sim::SeedTree::new(seed).seed("chaos"),
+            config.clusters.len(),
+            config.workload.rounds as u64,
+        );
+        fed.install_chaos(plan);
+    }
+    match mode {
+        Mode::Sync => run_sync_engine(
+            &mut fed,
+            &config.workload,
+            ScorerKind::Accuracy,
+            config.window_margin,
+            engine,
+        ),
+        Mode::Async => run_async_engine(&mut fed, &config.workload, ScorerKind::Accuracy, engine),
+    }
+}
+
+#[test]
+fn event_traces_replay_bit_for_bit_across_runs() {
+    for mode in [Mode::Sync, Mode::Async] {
+        for chaos in [false, true] {
+            let a = run_traced(89, mode, Engine::Parallel, chaos);
+            let b = run_traced(89, mode, Engine::Parallel, chaos);
+            assert!(!a.events.is_empty());
+            assert_eq!(
+                format!("{:?}", a.events),
+                format!("{:?}", b.events),
+                "{mode} chaos={chaos}: trace must replay identically"
+            );
+            // The trace carries real interleaved timestamps, not a single
+            // instant.
+            let distinct: std::collections::HashSet<_> = a.events.iter().map(|r| r.at).collect();
+            assert!(distinct.len() > 1, "{mode}: timestamps interleave");
+        }
+    }
+}
+
+#[test]
+fn event_traces_are_engine_independent() {
+    // The execution engine parallelizes compute only — the event schedule
+    // (kinds, clusters, timestamps, order) is identical.
+    for mode in [Mode::Sync, Mode::Async] {
+        let seq = run_traced(97, mode, Engine::Sequential, false);
+        let par = run_traced(97, mode, Engine::Parallel, false);
+        assert_eq!(
+            format!("{:?}", seq.events),
+            format!("{:?}", par.events),
+            "{mode}: engines must drain the same schedule"
+        );
+    }
+}
+
+#[test]
+fn sync_barrier_releases_commits_at_window_close_in_index_order() {
+    let out = run_traced(101, Mode::Sync, Engine::Parallel, false);
+    // Find round 1's TrainingDone events: all at one instant (the
+    // barrier), in cluster-index order, before round 1's StartScoring.
+    let done: Vec<_> = out
+        .events
+        .iter()
+        .filter(|r| matches!(r.event, Event::TrainingDone { round: 1, .. }))
+        .collect();
+    assert_eq!(done.len(), 3);
+    assert!(done.windows(2).all(|w| w[0].at == w[1].at), "one barrier");
+    let order: Vec<usize> = done.iter().filter_map(|r| r.event.cluster()).collect();
+    assert_eq!(order, vec![0, 1, 2], "index-order commits");
+    let scoring_pos = out
+        .events
+        .iter()
+        .position(|r| r.event == Event::StartScoring { round: 1 })
+        .unwrap();
+    let last_done_pos = out
+        .events
+        .iter()
+        .rposition(|r| matches!(r.event, Event::TrainingDone { round: 1, .. }))
+        .unwrap();
+    assert!(last_done_pos < scoring_pos);
+}
+
+#[test]
+fn async_wakes_interleave_across_clusters() {
+    let out = run_traced(103, Mode::Async, Engine::Parallel, false);
+    let wakes: Vec<usize> = out
+        .events
+        .iter()
+        .filter_map(|r| match r.event {
+            Event::ClusterWake { cluster } => Some(cluster),
+            _ => None,
+        })
+        .collect();
+    // Free-running: no cluster runs its whole schedule in one
+    // uninterrupted block (scoring duties interleave).
+    let mut switches = 0;
+    for w in wakes.windows(2) {
+        if w[0] != w[1] {
+            switches += 1;
+        }
+    }
+    assert!(
+        switches >= wakes.len() / 3,
+        "wakes must interleave, got {wakes:?}"
+    );
+    assert_eq!(out.events.last().unwrap().event, Event::SealSlot);
+}
+
+#[test]
+fn membership_with_chaos_stays_deterministic_and_engine_identical() {
+    // A joiner and a founder crash in the same run: the kernel's two
+    // extra event sources compose without breaking identity.
+    let mut config = elastic_config(107, Mode::Async);
+    config.chaos = Some(ChaosConfig::scripted(vec![FaultEvent {
+        cluster: 0,
+        round: 2,
+        kind: FaultKind::Crash { down_rounds: 1 },
+    }]));
+    let (s, p) = both_engines(config);
+    assert_identical("elastic chaos", &s, &p);
+    assert_eq!(s.membership.len(), 1);
+    assert!(s.chaos.crashes_fired > 0);
+}
+
+#[test]
+fn joiner_clock_skew_is_applied_and_recorded() {
+    // A clock-skew fault aimed at an elastic joiner must take effect when
+    // the cluster joins — and be recorded, so the report explains any
+    // skew-caused delays (the founders' skews are logged at seed time).
+    for mode in [Mode::Sync, Mode::Async] {
+        let mut config = elastic_config(113, mode);
+        config.chaos = Some(ChaosConfig::scripted(vec![FaultEvent {
+            cluster: 3,
+            round: 4,
+            kind: FaultKind::ClockSkew {
+                skew: SimDuration::from_secs(30),
+            },
+        }]));
+        let (s, p) = both_engines(config);
+        assert_identical(&format!("joiner skew {mode}"), &s, &p);
+        assert_eq!(s.membership.len(), 1, "{mode}: the join fired");
+        assert!(
+            s.chaos
+                .records
+                .iter()
+                .any(|r| r.cluster == "agg-late" && r.kind == "clock_skew"),
+            "{mode}: the joiner's skew must be recorded: {:?}",
+            s.chaos.records
+        );
+        if mode == Mode::Async {
+            // The skew really shifted the joiner's free-running timeline:
+            // its first round completes at least 30 s after the join.
+            let joiner = s.aggregators.iter().find(|a| a.name == "agg-late").unwrap();
+            let join_at = s.membership[0].at_secs;
+            assert!(
+                joiner.curve[0].time_secs >= join_at + 30.0,
+                "join at {join_at}, first round at {}",
+                joiner.curve[0].time_secs
+            );
+        }
+    }
+}
+
+#[test]
+fn multikrum_with_straggler_and_joiner_stays_engine_identical() {
+    // The widest sync composition: MultiKRUM scoring, a 50x straggler
+    // exercising carryover, and a mid-run join shifting the scorer pool.
+    let mut config = elastic_config(109, Mode::Sync);
+    config.scorer = ScorerKind::MultiKrum;
+    config.clusters[2].straggle_factor = 50.0;
+    let (s, p) = both_engines(config);
+    assert_identical("sync multikrum straggler joiner", &s, &p);
+    assert!(
+        s.aggregators[2].straggler_rounds > 0,
+        "the straggler straggled"
+    );
+    assert_eq!(s.membership.len(), 1, "the join fired");
+}

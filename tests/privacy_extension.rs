@@ -4,7 +4,7 @@
 
 use unifyfl::core::byzantine::DpConfig;
 use unifyfl::core::cluster::ClusterConfig;
-use unifyfl::core::experiment::{run_experiment, Engine, ExperimentConfig, Mode};
+use unifyfl::core::experiment::{run_experiment, Engine, ExperimentConfig, LinkModel, Mode};
 use unifyfl::core::federation::Federation;
 use unifyfl::core::orchestration::run_sync;
 use unifyfl::core::policy::AggregationPolicy;
@@ -51,6 +51,7 @@ fn config(dp: Option<DpConfig>) -> ExperimentConfig {
         chaos: None,
         transfer: TransferConfig::default(),
         engine: Engine::auto(),
+        link_model: LinkModel::Nominal,
     }
 }
 

@@ -13,7 +13,9 @@
 
 use proptest::prelude::*;
 use unifyfl::core::cluster::ClusterConfig;
-use unifyfl::core::experiment::{run_experiment, Engine, ExperimentConfig, ExperimentError, Mode};
+use unifyfl::core::experiment::{
+    run_experiment, Engine, ExperimentConfig, ExperimentError, LinkModel, Mode,
+};
 use unifyfl::core::policy::AggregationPolicy;
 use unifyfl::core::scoring::ScorerKind;
 use unifyfl::core::TransferConfig;
@@ -62,6 +64,7 @@ fn config(mode: Mode) -> ExperimentConfig {
         chaos: None,
         transfer: TransferConfig::default(),
         engine: Engine::auto(),
+        link_model: LinkModel::Nominal,
     }
 }
 
