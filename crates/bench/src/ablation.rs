@@ -58,6 +58,7 @@ fn base_config(seed: u64, mode: Mode) -> ExperimentConfig {
         transfer: TransferConfig::default(),
         engine: Engine::auto(),
         link_model: LinkModel::Nominal,
+        sharding: None,
     }
 }
 

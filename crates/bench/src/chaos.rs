@@ -73,6 +73,7 @@ pub fn config(seed: u64, chaos: Option<ChaosConfig>) -> ExperimentConfig {
         transfer: TransferConfig::default(),
         engine: Engine::auto(),
         link_model: LinkModel::Nominal,
+        sharding: None,
     }
 }
 

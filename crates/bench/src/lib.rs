@@ -19,12 +19,14 @@
 //! | [`chaos`] | resilience trajectory — rounds-to-converge under churn |
 //! | [`transfer`] | bandwidth trajectory — bytes-on-wire, dedup/delta/cache on vs. off |
 //! | [`speed`] | speed trajectory — wall-clock, parallel two-phase engine vs. sequential |
+//! | [`scale`] | scale trajectory — two-tier sharded federation to 1,000 clusters |
 //! | [`timeline`] | timeline trajectory — time-to-target-accuracy, sync vs. async × link models × elastic membership |
 
 pub mod ablation;
 pub mod chaos;
 pub mod figure7;
 pub mod scalability;
+pub mod scale;
 pub mod speed;
 pub mod table1;
 pub mod table5;

@@ -45,6 +45,7 @@ pub fn config(clients_per_agg: usize, scale: Scale, seed: u64) -> ExperimentConf
         transfer: TransferConfig::default(),
         engine: Engine::auto(),
         link_model: LinkModel::Nominal,
+        sharding: None,
     }
 }
 

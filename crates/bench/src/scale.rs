@@ -1,0 +1,427 @@
+//! Scale trajectory: the two-tier sharded topology to 1,000 clusters.
+//!
+//! The flat engines broadcast every release to every peer, so their wire
+//! traffic grows as O(n²) in the cluster count and the scoring fan-out as
+//! O(n · majority) — fine for the paper's 3–9 clusters, hopeless at a
+//! thousand. The sharded topology bounds both: intra-shard traffic is
+//! O(n · shard_size), inter-shard exchange moves one sealed release per
+//! shard on a slower cadence, and scorer sampling caps score tasks at
+//! O(n · k). This bench runs the sharded Sync engine at two fleet sizes
+//! and asserts:
+//!
+//! 1. **Sub-quadratic wire bytes** — the log-log byte-curve exponent
+//!    between the two sizes stays below [`BYTE_EXPONENT_BAR`] (a flat
+//!    broadcast measures ≈ 2.0).
+//! 2. **Bounded score tasks** — the contract hands out at most
+//!    `rounds × n × k` scorer assignments.
+//! 3. **shards = 1 is a no-op** — at every tested seed the single-shard
+//!    configuration reports **byte-identical** to the unsharded engine.
+//!
+//! Quick scale runs 60/120 clusters so the gates ride in tier-1 tests;
+//! `--full` runs the 500/1,000-cluster fleet. The `scale` binary emits
+//! `BENCH_scale.json` (schema in `docs/BENCH.md`).
+
+use std::time::Instant;
+
+use unifyfl_core::cluster::ClusterConfig;
+use unifyfl_core::experiment::{Engine, ExperimentBuilder, Mode};
+use unifyfl_core::federation::Federation;
+use unifyfl_core::orchestration::run_sync_engine;
+use unifyfl_core::scoring::ScorerKind;
+use unifyfl_core::{ShardConfig, ShardTopology};
+use unifyfl_data::{Partition, SyntheticConfig, WorkloadConfig};
+use unifyfl_sim::DeviceProfile;
+use unifyfl_tensor::ModelSpec;
+
+use crate::Scale;
+
+/// Sub-quadratic bar on the log-log wire-byte exponent between the two
+/// measured fleet sizes.
+pub const BYTE_EXPONENT_BAR: f64 = 1.5;
+
+/// Target shard population; the shard count is `ceil(n / SHARD_SIZE)`.
+pub const SHARD_SIZE: usize = 40;
+
+/// Scorers sampled per release in the measured arms.
+pub const SCORERS_PER_RELEASE: usize = 5;
+
+/// Federation rounds per measured arm (inter-shard exchange every 2).
+pub const ROUNDS: usize = 4;
+
+/// The two measured fleet sizes at a given scale.
+pub fn fleet_sizes(scale: Scale) -> (usize, usize) {
+    match scale {
+        Scale::Quick => (60, 120),
+        Scale::Full => (500, 1000),
+    }
+}
+
+/// The shard plan for a fleet of `n`: fixed-population shards plus the
+/// sampled-scorer cap.
+pub fn shard_plan(n: usize) -> ShardConfig {
+    ShardConfig::new(n.div_ceil(SHARD_SIZE))
+        .with_scorers(SCORERS_PER_RELEASE)
+        .with_exchange_every(2)
+}
+
+/// A deliberately tiny workload: the bench measures *coordination* cost
+/// (wire bytes, score tasks), so per-cluster compute is kept to a few
+/// samples of a small MLP and the sample pool merely scales with `n` so
+/// every cluster keeps a non-empty shard of data.
+pub fn workload(n: usize) -> WorkloadConfig {
+    let mut dataset = SyntheticConfig::cifar10_like(420);
+    dataset.input = unifyfl_tensor::zoo::InputKind::Flat(16);
+    dataset.n_classes = 4;
+    dataset.n_samples = n * 4;
+    WorkloadConfig {
+        name: format!("scale-{n}"),
+        model: ModelSpec::mlp(16, vec![16], 4),
+        dataset,
+        rounds: ROUNDS,
+        local_epochs: 1,
+        batch_size: 8,
+        learning_rate: 0.05,
+    }
+}
+
+/// One measured fleet size.
+pub struct ScaleArm {
+    /// Clusters in the fleet.
+    pub clusters: usize,
+    /// Shards the topology derived.
+    pub shards: usize,
+    /// Scorer-sample cap per release.
+    pub scorers_per_release: usize,
+    /// Federation rounds run.
+    pub rounds: usize,
+    /// Bytes actually moved on the storage wire.
+    pub wire_bytes: u64,
+    /// Scorer assignments the contract handed out.
+    pub score_tasks: u64,
+    /// The O(n·k) ceiling those assignments must stay under.
+    pub score_task_bound: u64,
+    /// Virtual completion time of the run.
+    pub virtual_secs: f64,
+    /// Real elapsed seconds (host-dependent; informational).
+    pub wall_secs: f64,
+}
+
+impl ScaleArm {
+    /// True if the contract stayed within its O(n·k) score-task ceiling.
+    pub fn within_task_bound(&self) -> bool {
+        self.score_tasks <= self.score_task_bound
+    }
+}
+
+/// Runs the sharded Sync engine at fleet size `n` and measures the wire
+/// and contract counters. Drives [`Federation`] directly (rather than
+/// [`unifyfl_core::experiment::run_experiment`]) because the score-task
+/// count lives on the orchestrator contract, which the report does not
+/// carry.
+pub fn run_arm(n: usize, seed: u64) -> ScaleArm {
+    let plan = shard_plan(n);
+    let topology = ShardTopology::derive(&plan, seed, n);
+    let shards = topology.shards;
+    let workload = workload(n);
+    let clusters: Vec<ClusterConfig> = (0..n)
+        .map(|i| ClusterConfig::edge(format!("agg-{}", i + 1), DeviceProfile::edge_cpu()))
+        .collect();
+    let start = Instant::now();
+    let mut fed = Federation::new_sharded(
+        seed,
+        &workload,
+        Partition::Iid,
+        Mode::Sync.to_chain(),
+        clusters,
+        Some(topology),
+    );
+    let outcome = run_sync_engine(
+        &mut fed,
+        &workload,
+        ScorerKind::Accuracy,
+        1.15,
+        Engine::auto(),
+    );
+    let wall_secs = start.elapsed().as_secs_f64();
+    ScaleArm {
+        clusters: n,
+        shards,
+        scorers_per_release: SCORERS_PER_RELEASE,
+        rounds: ROUNDS,
+        wire_bytes: fed.ipfs.transfer_stats().physical_bytes,
+        score_tasks: fed.contract().assigned_score_tasks(),
+        score_task_bound: (ROUNDS * n * SCORERS_PER_RELEASE) as u64,
+        virtual_secs: outcome.end_time.as_secs_f64(),
+        wall_secs,
+    }
+}
+
+/// The shards = 1 equivalence arm: a single-shard sharded run must report
+/// **byte-identical** (full `Debug`) to the unsharded engine, per seed, in
+/// both modes.
+pub struct EquivalenceArm {
+    /// Clusters in the equivalence fleet.
+    pub clusters: usize,
+    /// Seeds tested.
+    pub seeds: Vec<u64>,
+    /// True if every (seed, mode) pair reported byte-identically.
+    pub reports_identical: bool,
+}
+
+/// Runs the equivalence arm over `seeds`.
+pub fn run_equivalence(seeds: &[u64]) -> EquivalenceArm {
+    let n = 6;
+    let run = |seed: u64, mode: Mode, sharding: Option<ShardConfig>| {
+        let clusters = (0..n)
+            .map(|i| ClusterConfig::edge(format!("agg-{}", i + 1), DeviceProfile::edge_cpu()))
+            .collect();
+        let mut builder = ExperimentBuilder::quickstart()
+            .seed(seed)
+            .rounds(2)
+            .mode(mode)
+            .clusters(clusters);
+        if let Some(s) = sharding {
+            builder = builder.sharding(s);
+        }
+        format!("{:?}", builder.run().expect("equivalence config is valid"))
+    };
+    let reports_identical = seeds.iter().all(|&seed| {
+        [Mode::Sync, Mode::Async]
+            .into_iter()
+            .all(|mode| run(seed, mode, None) == run(seed, mode, Some(ShardConfig::new(1))))
+    });
+    EquivalenceArm {
+        clusters: n,
+        seeds: seeds.to_vec(),
+        reports_identical,
+    }
+}
+
+/// The complete benchmark result.
+pub struct ScaleBench {
+    /// The smaller measured fleet.
+    pub small: ScaleArm,
+    /// The larger measured fleet.
+    pub large: ScaleArm,
+    /// The shards = 1 no-op check.
+    pub equivalence: EquivalenceArm,
+}
+
+impl ScaleBench {
+    /// Log-log wire-byte growth exponent between the two fleet sizes
+    /// (1.0 = linear, 2.0 = quadratic broadcast).
+    pub fn byte_exponent(&self) -> f64 {
+        (self.large.wire_bytes as f64 / self.small.wire_bytes as f64).ln()
+            / (self.large.clusters as f64 / self.small.clusters as f64).ln()
+    }
+
+    /// True if the byte curve stays below [`BYTE_EXPONENT_BAR`].
+    pub fn sub_quadratic(&self) -> bool {
+        self.byte_exponent() < BYTE_EXPONENT_BAR
+    }
+}
+
+/// Runs both measured fleets plus the equivalence arm.
+pub fn run(scale: Scale, seed: u64) -> ScaleBench {
+    let (small_n, large_n) = fleet_sizes(scale);
+    ScaleBench {
+        small: run_arm(small_n, seed),
+        large: run_arm(large_n, seed),
+        equivalence: run_equivalence(&[seed, seed.wrapping_add(1)]),
+    }
+}
+
+/// Renders the machine-readable `BENCH_scale.json` body.
+pub fn render_json(bench: &ScaleBench, seed: u64, scale: Scale) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"scale\",\n");
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!(
+        "  \"scale\": \"{}\",\n",
+        if scale == Scale::Full {
+            "full"
+        } else {
+            "quick"
+        }
+    ));
+    out.push_str(&format!(
+        "  \"byte_exponent\": {:.3},\n",
+        bench.byte_exponent()
+    ));
+    out.push_str(&format!("  \"byte_exponent_bar\": {BYTE_EXPONENT_BAR},\n"));
+    out.push_str(&format!(
+        "  \"sub_quadratic\": {},\n",
+        bench.sub_quadratic()
+    ));
+    out.push_str("  \"equivalence\": {\n");
+    out.push_str(&format!(
+        "    \"clusters\": {},\n",
+        bench.equivalence.clusters
+    ));
+    out.push_str(&format!(
+        "    \"seeds\": [{}],\n",
+        bench
+            .equivalence
+            .seeds
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str(&format!(
+        "    \"reports_identical\": {}\n",
+        bench.equivalence.reports_identical
+    ));
+    out.push_str("  },\n");
+    out.push_str("  \"arms\": [\n");
+    for (i, arm) in [&bench.small, &bench.large].into_iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\n",
+                "      \"clusters\": {},\n",
+                "      \"shards\": {},\n",
+                "      \"scorers_per_release\": {},\n",
+                "      \"rounds\": {},\n",
+                "      \"wire_bytes\": {},\n",
+                "      \"score_tasks\": {},\n",
+                "      \"score_task_bound\": {},\n",
+                "      \"within_task_bound\": {},\n",
+                "      \"virtual_secs\": {:.3},\n",
+                "      \"wall_secs\": {:.3}\n",
+                "    }}{}\n",
+            ),
+            arm.clusters,
+            arm.shards,
+            arm.scorers_per_release,
+            arm.rounds,
+            arm.wire_bytes,
+            arm.score_tasks,
+            arm.score_task_bound,
+            arm.within_task_bound(),
+            arm.virtual_secs,
+            arm.wall_secs,
+            if i == 0 { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders the human-readable summary.
+pub fn render(bench: &ScaleBench) -> String {
+    let mut out = String::new();
+    out.push_str("Scale bench: two-tier sharded federation\n\n");
+    out.push_str(&format!(
+        "{:>9} {:>7} {:>6} {:>14} {:>12} {:>12} {:>12} {:>9}\n",
+        "clusters",
+        "shards",
+        "k",
+        "wire_bytes",
+        "score_tasks",
+        "task_bound",
+        "virtual(s)",
+        "wall(s)"
+    ));
+    for arm in [&bench.small, &bench.large] {
+        out.push_str(&format!(
+            "{:>9} {:>7} {:>6} {:>14} {:>12} {:>12} {:>12.0} {:>9.2}\n",
+            arm.clusters,
+            arm.shards,
+            arm.scorers_per_release,
+            arm.wire_bytes,
+            arm.score_tasks,
+            arm.score_task_bound,
+            arm.virtual_secs,
+            arm.wall_secs,
+        ));
+    }
+    out.push_str(&format!(
+        "\nbyte-curve exponent: {:.3} (bar {BYTE_EXPONENT_BAR}; flat broadcast ≈ 2.0) — sub-quadratic: {}\n",
+        bench.byte_exponent(),
+        bench.sub_quadratic(),
+    ));
+    out.push_str(&format!(
+        "shards=1 equivalence ({} clusters, seeds {:?}): reports identical: {}\n",
+        bench.equivalence.clusters, bench.equivalence.seeds, bench.equivalence.reports_identical,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_fleet_stays_sub_quadratic_and_within_task_bound() {
+        // The tier-1 rendition of the 1,000-cluster gate: same topology
+        // and gates at 60/120 clusters. Asserted here so a regression in
+        // the sharded wire pattern fails `cargo test`, not just CI's
+        // release-mode `--full` run.
+        let bench = run(Scale::Quick, 42);
+        assert!(
+            bench.sub_quadratic(),
+            "byte exponent {:.3} breached the {BYTE_EXPONENT_BAR} bar ({} -> {} bytes)",
+            bench.byte_exponent(),
+            bench.small.wire_bytes,
+            bench.large.wire_bytes,
+        );
+        for arm in [&bench.small, &bench.large] {
+            assert!(
+                arm.within_task_bound(),
+                "{} clusters: {} score tasks exceed the {} bound",
+                arm.clusters,
+                arm.score_tasks,
+                arm.score_task_bound,
+            );
+            assert!(arm.score_tasks > 0, "scoring actually happened");
+            assert!(arm.shards > 1, "the measured arms are genuinely sharded");
+        }
+        assert!(
+            bench.equivalence.reports_identical,
+            "shards=1 diverged from the unsharded engine"
+        );
+    }
+
+    #[test]
+    fn json_rendering_is_well_formed() {
+        // Hand-built arms: the JSON shape must not depend on running the
+        // fleet twice in a unit test.
+        let arm = |n: usize| ScaleArm {
+            clusters: n,
+            shards: n.div_ceil(SHARD_SIZE),
+            scorers_per_release: SCORERS_PER_RELEASE,
+            rounds: ROUNDS,
+            wire_bytes: (n * n / 40 + n * 39) as u64 * 1000,
+            score_tasks: (ROUNDS * n * SCORERS_PER_RELEASE) as u64 - 1,
+            score_task_bound: (ROUNDS * n * SCORERS_PER_RELEASE) as u64,
+            virtual_secs: 100.0,
+            wall_secs: 1.0,
+        };
+        let bench = ScaleBench {
+            small: arm(500),
+            large: arm(1000),
+            equivalence: EquivalenceArm {
+                clusters: 6,
+                seeds: vec![42, 43],
+                reports_identical: true,
+            },
+        };
+        let json = render_json(&bench, 42, Scale::Full);
+        assert!(json.contains("\"bench\": \"scale\""));
+        assert!(json.contains("\"byte_exponent\""));
+        assert!(json.contains("\"score_task_bound\""));
+        assert!(json.contains("\"reports_identical\": true"));
+        assert!(json.contains("\"scale\": \"full\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn shard_plan_keeps_fixed_population() {
+        assert_eq!(shard_plan(60).shards, 2);
+        assert_eq!(shard_plan(120).shards, 3);
+        assert_eq!(shard_plan(500).shards, 13);
+        assert_eq!(shard_plan(1000).shards, 25);
+    }
+}

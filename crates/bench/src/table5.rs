@@ -143,6 +143,7 @@ pub fn config(run_no: u32, scale: Scale, seed: u64) -> ExperimentConfig {
         transfer: TransferConfig::default(),
         engine: Engine::auto(),
         link_model: LinkModel::Nominal,
+        sharding: None,
     }
 }
 

@@ -58,6 +58,7 @@ pub fn config(run_name: &str, scale: Scale, seed: u64) -> ExperimentConfig {
         transfer: TransferConfig::default(),
         engine: Engine::auto(),
         link_model: LinkModel::Nominal,
+        sharding: None,
     }
 }
 

@@ -19,6 +19,7 @@
 //! the evaluation.
 
 use std::any::Any;
+use std::collections::HashMap;
 use std::fmt;
 
 use rand::rngs::StdRng;
@@ -133,6 +134,23 @@ impl ModelEntry {
     }
 }
 
+/// One sealed shard release: the representative-published merge of a
+/// shard's latest scored models, exchanged across shards on the slower
+/// inter-shard cadence of the two-tier topology.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardRelease {
+    /// Shard the release summarizes.
+    pub shard: u32,
+    /// Inter-shard exchange epoch (1-based).
+    pub epoch: u64,
+    /// IPFS content identifier of the sealed weights.
+    pub cid: String,
+    /// Representative that published and submitted it.
+    pub submitter: Address,
+    /// Block number of the submission transaction.
+    pub block: u64,
+}
+
 /// ABI: call payload constructors and decoders.
 pub mod calls {
     use super::*;
@@ -144,6 +162,7 @@ pub mod calls {
     pub(super) const TAG_SUBMIT_SCORE: u8 = 0x05;
     pub(super) const TAG_END_SCORING: u8 = 0x06;
     pub(super) const TAG_SUBMIT_MODEL_DELTA: u8 = 0x07;
+    pub(super) const TAG_SUBMIT_SHARD_RELEASE: u8 = 0x08;
 
     /// `registerAggregator()` payload.
     pub fn register() -> Vec<u8> {
@@ -189,6 +208,17 @@ pub mod calls {
     pub fn end_scoring() -> Vec<u8> {
         vec![TAG_END_SCORING]
     }
+
+    /// `submitShardRelease(shard, epoch, cid)` payload: a shard
+    /// representative seals its shard's release for an exchange epoch.
+    pub fn submit_shard_release(shard: u32, epoch: u64, cid: &str) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.put_u8(TAG_SUBMIT_SHARD_RELEASE)
+            .put_u32(shard)
+            .put_u64(epoch)
+            .put_str(cid);
+        e.into_bytes()
+    }
 }
 
 /// Event names emitted by the contract (topic 0 is the SHA-256 of these).
@@ -207,6 +237,8 @@ pub mod events {
     pub const SCORE_SUBMITTED: &str = "ScoreSubmitted";
     /// Emitted when a sync scoring window closes.
     pub const SCORING_CLOSED: &str = "ScoringClosed";
+    /// Emitted when a shard representative seals a shard release.
+    pub const SHARD_RELEASE_SUBMITTED: &str = "ShardReleaseSubmitted";
 }
 
 /// Payload of a [`events::SCORERS_ASSIGNED`] log.
@@ -257,6 +289,15 @@ pub struct UnifyFlContract {
     round: u64,
     phase: Phase,
     entries: Vec<ModelEntry>,
+    /// Deploy-time shard topology (address → shard); unknown addresses are
+    /// shard 0, so an empty map is the single-shard (flat) federation.
+    /// Like `mode`, this is deployment configuration, not mutable state,
+    /// and therefore not part of the state digest.
+    shard_of: HashMap<Address, u32>,
+    /// Deploy-time override for scorers sampled per release; `None` keeps
+    /// the paper's intra-shard majority (⌊n/2⌋ + 1).
+    scorers_per_release: Option<usize>,
+    shard_releases: Vec<ShardRelease>,
 }
 
 impl UnifyFlContract {
@@ -269,12 +310,56 @@ impl UnifyFlContract {
             round: 0,
             phase: Phase::Idle,
             entries: Vec::new(),
+            shard_of: HashMap::new(),
+            scorers_per_release: None,
+            shard_releases: Vec::new(),
         }
+    }
+
+    /// Installs the two-tier shard topology at deployment: an address →
+    /// shard map and an optional cap `k` on scorers sampled per release
+    /// (bounding score cost at O(n·k) instead of the all-pairs O(n²)).
+    /// An empty map with `k = None` is behaviorally identical to the
+    /// unsharded contract.
+    pub fn with_sharding(
+        mut self,
+        shard_of: HashMap<Address, u32>,
+        scorers_per_release: Option<usize>,
+    ) -> Self {
+        self.shard_of = shard_of;
+        self.scorers_per_release = scorers_per_release;
+        self
     }
 
     /// The orchestration mode this deployment runs in.
     pub fn mode(&self) -> OrchestrationMode {
         self.mode
+    }
+
+    /// The shard an address belongs to (0 for unmapped addresses — the
+    /// whole federation, when no topology was installed).
+    pub fn shard_of(&self, addr: Address) -> u32 {
+        self.shard_of.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// Total scorer assignments handed out so far (the score-task count
+    /// the scale bench asserts sub-quadratic growth on).
+    pub fn assigned_score_tasks(&self) -> u64 {
+        self.entries.iter().map(|e| e.scorers.len() as u64).sum()
+    }
+
+    /// All sealed shard releases, oldest first.
+    pub fn shard_releases(&self) -> &[ShardRelease] {
+        &self.shard_releases
+    }
+
+    /// The most recent sealed release of `shard` (highest epoch; latest
+    /// submission wins a tie).
+    pub fn latest_shard_release(&self, shard: u32) -> Option<&ShardRelease> {
+        self.shard_releases
+            .iter()
+            .filter(|r| r.shard == shard)
+            .max_by_key(|r| r.epoch)
     }
 
     /// Registered aggregators in registration order.
@@ -304,16 +389,25 @@ impl UnifyFlContract {
 
     /// `getLatestModelsWithScores`: the most recent *scored* entry per
     /// aggregator (excluding `viewer`'s own model if provided), i.e. the set
-    /// an aggregator pulls before its next round (§3.1.1).
+    /// an aggregator pulls before its next round (§3.1.1). Under an
+    /// installed shard topology the view is intra-shard: a viewer only sees
+    /// peers of its own shard (cross-shard knowledge flows through sealed
+    /// [`ShardRelease`]s instead).
     ///
     /// In sync mode an entry qualifies once its scoring window closed; in
     /// async mode once at least one score arrived (the paper's async
     /// aggregators use whatever scores exist when they pull).
     pub fn latest_models_with_scores(&self, viewer: Option<Address>) -> Vec<&ModelEntry> {
+        let viewer_shard = viewer.map(|v| self.shard_of(v));
         let mut latest: Vec<&ModelEntry> = Vec::new();
         for agg in &self.aggregators {
             if viewer == Some(*agg) {
                 continue;
+            }
+            if let Some(vs) = viewer_shard {
+                if self.shard_of(*agg) != vs {
+                    continue;
+                }
             }
             let candidate = self
                 .entries
@@ -331,17 +425,29 @@ impl UnifyFlContract {
         latest
     }
 
-    /// Samples ⌊n/2⌋+1 scorers from registered aggregators other than
-    /// `submitter`, using block-derived entropy (deterministic per block).
+    /// Samples scorers for a submission from the submitter's shard, using
+    /// block-derived entropy (deterministic per block): ⌊n/2⌋+1 of the
+    /// shard's registered members by default, or the deploy-time
+    /// `scorers_per_release` cap `k` when one is installed. Without a
+    /// topology the shard is the whole federation, so this is the paper's
+    /// global majority sample.
     fn sample_scorers(&self, submitter: Address, entropy: u64) -> Vec<Address> {
-        let mut pool: Vec<Address> = self
+        let shard = self.shard_of(submitter);
+        let members = self
             .aggregators
             .iter()
             .copied()
-            .filter(|a| *a != submitter)
-            .collect();
-        let majority = self.aggregators.len() / 2 + 1;
-        let take = majority.min(pool.len());
+            .filter(|a| self.shard_of(*a) == shard);
+        let mut pool: Vec<Address> = Vec::new();
+        let mut shard_size = 0usize;
+        for a in members {
+            shard_size += 1;
+            if a != submitter {
+                pool.push(a);
+            }
+        }
+        let majority = shard_size / 2 + 1;
+        let take = self.scorers_per_release.unwrap_or(majority).min(pool.len());
         let mut rng = StdRng::seed_from_u64(entropy);
         pool.shuffle(&mut rng);
         pool.truncate(take);
@@ -612,6 +718,52 @@ impl UnifyFlContract {
             5_000,
         ))
     }
+
+    fn exec_submit_shard_release(
+        &mut self,
+        ctx: &CallContext,
+        shard: u32,
+        epoch: u64,
+        cid: &str,
+    ) -> Result<CallOutcome, ContractError> {
+        self.require_registered(ctx.sender)?;
+        if cid.is_empty() || cid.len() > 128 {
+            return Err(ContractError::revert("malformed CID"));
+        }
+        if self.shard_of(ctx.sender) != shard {
+            return Err(ContractError::revert(
+                "sender is not a member of the sealed shard",
+            ));
+        }
+        if self
+            .shard_releases
+            .iter()
+            .any(|r| r.shard == shard && r.epoch == epoch)
+        {
+            return Err(ContractError::revert("shard epoch already sealed"));
+        }
+        self.shard_releases.push(ShardRelease {
+            shard,
+            epoch,
+            cid: cid.to_owned(),
+            submitter: ctx.sender,
+            block: ctx.block_number,
+        });
+        let mut data = Encoder::new();
+        data.put_u32(shard)
+            .put_u64(epoch)
+            .put_str(cid)
+            .put_fixed(&ctx.sender.0);
+        Ok(CallOutcome::new(
+            vec![Log::event(
+                self.address,
+                events::SHARD_RELEASE_SUBMITTED,
+                vec![],
+                data.into_bytes(),
+            )],
+            30_000,
+        ))
+    }
 }
 
 impl Contract for UnifyFlContract {
@@ -660,6 +812,13 @@ impl Contract for UnifyFlContract {
                 d.finish()?;
                 self.exec_end_scoring(ctx)
             }
+            calls::TAG_SUBMIT_SHARD_RELEASE => {
+                let shard = d.take_u32()?;
+                let epoch = d.take_u64()?;
+                let cid = d.take_str()?.to_owned();
+                d.finish()?;
+                self.exec_submit_shard_release(ctx, shard, epoch, &cid)
+            }
             other => Err(DecodeError::UnknownTag(other).into()),
         }
     }
@@ -694,6 +853,14 @@ impl Contract for UnifyFlContract {
             for (s, v) in &entry.scores {
                 e.put_fixed(&s.0).put_u64(v.0);
             }
+        }
+        e.put_u32(self.shard_releases.len() as u32);
+        for r in &self.shard_releases {
+            e.put_u32(r.shard)
+                .put_u64(r.epoch)
+                .put_str(&r.cid)
+                .put_fixed(&r.submitter.0)
+                .put_u64(r.block);
         }
         sha256(&e.into_bytes())
     }
@@ -1063,5 +1230,114 @@ mod tests {
             let expected = (n / 2 + 1).min(n - 1);
             assert_eq!(scorers.len(), expected, "n={n}");
         }
+    }
+
+    /// A 6-aggregator contract split into two shards of three (even
+    /// indices shard 0, odd shard 1).
+    fn sharded(mode: OrchestrationMode, k: Option<usize>) -> (UnifyFlContract, Vec<Address>) {
+        let a = aggs(6);
+        let map: HashMap<Address, u32> = a
+            .iter()
+            .enumerate()
+            .map(|(i, addr)| (*addr, (i % 2) as u32))
+            .collect();
+        let mut c =
+            UnifyFlContract::new(Address::from_label("orchestrator"), mode).with_sharding(map, k);
+        for (i, agg) in a.iter().enumerate() {
+            c.execute(&ctx(*agg, i as u64), &calls::register()).unwrap();
+        }
+        (c, a)
+    }
+
+    #[test]
+    fn sharded_sampling_stays_intra_shard_and_honors_k() {
+        let (c, a) = sharded(OrchestrationMode::Sync, None);
+        // Shard majority of 3 = 2 scorers, all from the submitter's shard.
+        let scorers = c.sample_scorers(a[0], 7);
+        assert_eq!(scorers.len(), 2);
+        assert!(scorers.iter().all(|s| c.shard_of(*s) == 0 && *s != a[0]));
+
+        let (c, a) = sharded(OrchestrationMode::Sync, Some(1));
+        assert_eq!(c.sample_scorers(a[1], 7).len(), 1);
+        // k larger than the shard pool clamps to the pool.
+        let (c, a) = sharded(OrchestrationMode::Sync, Some(10));
+        assert_eq!(c.sample_scorers(a[1], 7).len(), 2);
+    }
+
+    #[test]
+    fn empty_topology_matches_unsharded_sampling() {
+        // shards = 1 with no k override must be byte-identical to the flat
+        // contract — the equivalence discipline the engines rely on.
+        let (flat, a) = registered(OrchestrationMode::Sync, 5);
+        let mut c =
+            UnifyFlContract::new(Address::from_label("orchestrator"), OrchestrationMode::Sync)
+                .with_sharding(HashMap::new(), None);
+        for (i, agg) in a.iter().enumerate() {
+            c.execute(&ctx(*agg, i as u64), &calls::register()).unwrap();
+        }
+        for entropy in [1u64, 99, 12345] {
+            assert_eq!(
+                c.sample_scorers(a[0], entropy),
+                flat.sample_scorers(a[0], entropy)
+            );
+        }
+    }
+
+    #[test]
+    fn latest_models_view_is_intra_shard() {
+        let (mut c, a) = sharded(OrchestrationMode::Async, None);
+        for (i, agg) in a.iter().enumerate() {
+            c.execute(
+                &ctx(*agg, i as u64 + 10),
+                &calls::submit_model(&format!("QmS{i}")),
+            )
+            .unwrap();
+        }
+        // Score every entry so it becomes visible.
+        let cids: Vec<(String, Address)> = c
+            .entries()
+            .iter()
+            .map(|e| (e.cid.clone(), e.scorers[0]))
+            .collect();
+        for (cid, scorer) in cids {
+            c.execute(&ctx(scorer, 0), &calls::submit_score(&cid, Score(5)))
+                .unwrap();
+        }
+        // Viewer a[0] (shard 0) sees only its shard peers a[2], a[4].
+        let latest = c.latest_models_with_scores(Some(a[0]));
+        assert_eq!(latest.len(), 2);
+        assert!(latest
+            .iter()
+            .all(|e| c.shard_of(e.submitter) == 0 && e.submitter != a[0]));
+    }
+
+    #[test]
+    fn shard_release_lifecycle_and_digest() {
+        let (mut c, a) = sharded(OrchestrationMode::Async, None);
+        let d0 = c.state_digest();
+        // Only a member of the shard may seal it.
+        let err = c
+            .execute(&ctx(a[1], 0), &calls::submit_shard_release(0, 1, "QmR0"))
+            .unwrap_err();
+        assert!(err.to_string().contains("not a member"));
+
+        c.execute(&ctx(a[0], 0), &calls::submit_shard_release(0, 1, "QmR0"))
+            .unwrap();
+        c.execute(&ctx(a[1], 0), &calls::submit_shard_release(1, 1, "QmR1"))
+            .unwrap();
+        // Re-sealing the same epoch reverts.
+        let err = c
+            .execute(&ctx(a[2], 0), &calls::submit_shard_release(0, 1, "QmDup"))
+            .unwrap_err();
+        assert!(err.to_string().contains("already sealed"));
+
+        c.execute(&ctx(a[2], 0), &calls::submit_shard_release(0, 2, "QmR0b"))
+            .unwrap();
+        assert_eq!(c.shard_releases().len(), 3);
+        assert_eq!(c.latest_shard_release(0).unwrap().cid, "QmR0b");
+        assert_eq!(c.latest_shard_release(1).unwrap().cid, "QmR1");
+        assert!(c.latest_shard_release(2).is_none());
+        // Releases are replicated state: the digest must cover them.
+        assert_ne!(c.state_digest(), d0);
     }
 }

@@ -442,6 +442,16 @@ impl ClusterNode {
         (self.delta_publishes, self.full_publishes)
     }
 
+    /// Publishes arbitrary weights through the cluster's IPFS node as a
+    /// release blob (precision-bounded like any release) and returns its
+    /// CID. Used by shard representatives to seal a shard release; the
+    /// cluster's own release lineage (delta bases, last-published CID) is
+    /// deliberately untouched.
+    pub fn publish_release_blob(&self, weights: &[f32]) -> Cid {
+        let release = quantize_release(weights, self.config.release_mantissa_bits);
+        self.ipfs.add(&weights_to_bytes(&release)).cid
+    }
+
     /// Scores a peer model on the local test shard (accuracy scoring).
     pub fn score_weights(&self, weights: &[f32]) -> f64 {
         crate::scoring::accuracy_score(&self.spec, weights, &self.local_test)

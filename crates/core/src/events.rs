@@ -91,6 +91,20 @@ pub enum Event {
     /// Seal every chain slot due up to the event time (the end-of-run
     /// catch-up; mid-run sealing stays lazy, see the module docs).
     SealSlot,
+    /// Two-tier topology: each shard's representative seals the shard's
+    /// release (merge of its latest scored models), publishes it and
+    /// submits it on-chain. Fires on the slower inter-shard cadence.
+    ShardSealDue {
+        /// 1-based inter-shard exchange epoch.
+        epoch: u64,
+    },
+    /// Two-tier topology: sealed shard releases become visible across
+    /// shards — every live cluster fetches the other shards' releases and
+    /// folds them into its weights. Follows the epoch's [`Event::ShardSealDue`].
+    ShardExchange {
+        /// 1-based inter-shard exchange epoch.
+        epoch: u64,
+    },
 }
 
 impl Event {
@@ -105,6 +119,8 @@ impl Event {
             Event::RoundBarrier { .. } => "round_barrier",
             Event::ClusterWake { .. } => "cluster_wake",
             Event::SealSlot => "seal_slot",
+            Event::ShardSealDue { .. } => "shard_seal_due",
+            Event::ShardExchange { .. } => "shard_exchange",
         }
     }
 
@@ -178,5 +194,9 @@ mod tests {
             Event::MembershipChange { cluster: 0 }.label(),
             "membership_change"
         );
+        assert_eq!(Event::ShardSealDue { epoch: 1 }.label(), "shard_seal_due");
+        assert_eq!(Event::ShardExchange { epoch: 2 }.label(), "shard_exchange");
+        assert_eq!(Event::ShardSealDue { epoch: 1 }.cluster(), None);
+        assert_eq!(Event::ShardExchange { epoch: 1 }.cluster(), None);
     }
 }

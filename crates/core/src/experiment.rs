@@ -22,6 +22,7 @@ pub use crate::federation::{LinkModel, MembershipRecord};
 pub use crate::orchestration::Mode;
 use crate::policy::AggregationPolicy;
 use crate::scoring::ScorerKind;
+use crate::sharding::{ShardConfig, ShardTopology};
 pub use crate::step::Engine;
 
 /// A complete experiment description.
@@ -65,6 +66,12 @@ pub struct ExperimentConfig {
     /// or [`LinkModel::Physical`] (actual bytes moved over each node's
     /// link — the PR 3 transfer savings become wall-clock savings).
     pub link_model: LinkModel,
+    /// Two-tier shard topology; `None` (the default everywhere) runs the
+    /// flat federation. When set, clusters are grouped into seeded shards:
+    /// peer scoring and aggregation stay intra-shard, and shards exchange
+    /// sealed releases on the [`ShardConfig::exchange_every`] cadence. A
+    /// `shards = 1` topology is behaviorally flat (byte-identical reports).
+    pub sharding: Option<ShardConfig>,
 }
 
 /// Validation failure for an experiment configuration.
@@ -90,6 +97,8 @@ pub enum ExperimentError {
     InvalidChaos(&'static str),
     /// A cluster's release precision is outside 1 ..= 23 mantissa bits.
     InvalidReleasePrecision(u32),
+    /// A sharding knob is out of range (the name of the offending knob).
+    InvalidSharding(&'static str),
 }
 
 impl std::fmt::Display for ExperimentError {
@@ -127,6 +136,9 @@ impl std::fmt::Display for ExperimentError {
                     f,
                     "release precision must keep 1..=23 mantissa bits, got {bits}"
                 )
+            }
+            ExperimentError::InvalidSharding(knob) => {
+                write!(f, "sharding knob {knob} is out of range")
             }
         }
     }
@@ -378,6 +390,36 @@ impl ExperimentConfig {
                 c.release_mantissa_bits,
             ));
         }
+        if let Some(sharding) = &self.sharding {
+            if sharding.shards == 0 {
+                return Err(ExperimentError::InvalidSharding("shards (zero)"));
+            }
+            if sharding.shards > self.clusters.len() {
+                return Err(ExperimentError::InvalidSharding(
+                    "shards (more shards than clusters)",
+                ));
+            }
+            if sharding.scorers_per_release == Some(0) {
+                return Err(ExperimentError::InvalidSharding(
+                    "scorers_per_release (zero)",
+                ));
+            }
+            if sharding.exchange_every == 0 {
+                return Err(ExperimentError::InvalidSharding("exchange_every (zero)"));
+            }
+            // MultiKRUM scores a whole round at once, so under sharding its
+            // round is the *shard's* round: every shard must still satisfy
+            // Krum's n ≥ 2f + 3 floor. Balanced assignment makes the
+            // smallest shard ⌊n/shards⌋ members.
+            if sharding.shards > 1
+                && self.scorer.requires_full_round()
+                && self.clusters.len() / sharding.shards < 3
+            {
+                return Err(ExperimentError::InvalidSharding(
+                    "shards (multikrum needs 3 clusters per shard)",
+                ));
+            }
+        }
         if let Some(chaos) = &self.chaos {
             chaos.validate().map_err(ExperimentError::InvalidChaos)?;
             for e in &chaos.events {
@@ -415,12 +457,17 @@ impl ExperimentConfig {
 /// Returns [`ExperimentError`] if the configuration is invalid.
 pub fn run_experiment(config: &ExperimentConfig) -> Result<ExperimentReport, ExperimentError> {
     config.validate()?;
-    let mut fed = Federation::new(
+    let topology = config
+        .sharding
+        .as_ref()
+        .map(|s| ShardTopology::derive(s, config.seed, config.clusters.len()));
+    let mut fed = Federation::new_sharded(
         config.seed,
         &config.workload,
         config.partition,
         config.mode.to_chain(),
         config.clusters.clone(),
+        topology,
     );
     fed.configure_transfer(config.transfer);
     fed.set_link_model(config.link_model);
@@ -617,6 +664,7 @@ impl ExperimentBuilder {
                 transfer: TransferConfig::default(),
                 engine: Engine::auto(),
                 link_model: LinkModel::Nominal,
+                sharding: None,
             },
         }
     }
@@ -709,6 +757,12 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Arms the two-tier shard topology (see [`ShardConfig`]).
+    pub fn sharding(mut self, sharding: ShardConfig) -> Self {
+        self.config.sharding = Some(sharding);
+        self
+    }
+
     /// The assembled configuration.
     pub fn config(&self) -> &ExperimentConfig {
         &self.config
@@ -787,6 +841,52 @@ mod tests {
             .rounds(2)
             .run();
         assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range_sharding() {
+        use crate::sharding::ShardConfig;
+        let err = |sharding: ShardConfig| {
+            ExperimentBuilder::quickstart()
+                .sharding(sharding)
+                .run()
+                .unwrap_err()
+        };
+        // Degenerate knobs are rejected up front (quickstart has 3
+        // clusters).
+        assert!(matches!(
+            err(ShardConfig {
+                shards: 0,
+                ..ShardConfig::new(1)
+            }),
+            ExperimentError::InvalidSharding(_)
+        ));
+        assert!(matches!(
+            err(ShardConfig::new(4)),
+            ExperimentError::InvalidSharding(_)
+        ));
+        assert!(matches!(
+            err(ShardConfig::new(1).with_scorers(0)),
+            ExperimentError::InvalidSharding(_)
+        ));
+        assert!(matches!(
+            err(ShardConfig::new(1).with_exchange_every(0)),
+            ExperimentError::InvalidSharding(_)
+        ));
+        // MultiKRUM's distance matrix needs ≥ 3 clusters per shard.
+        let krum = ExperimentBuilder::quickstart()
+            .mode(Mode::Sync)
+            .scorer(ScorerKind::MultiKrum)
+            .sharding(ShardConfig::new(3))
+            .run()
+            .unwrap_err();
+        assert!(matches!(krum, ExperimentError::InvalidSharding(_)));
+        // A sane sharded configuration runs.
+        let ok = ExperimentBuilder::quickstart()
+            .rounds(2)
+            .sharding(ShardConfig::new(3))
+            .run();
+        assert!(ok.is_ok(), "{ok:?}");
     }
 
     #[test]

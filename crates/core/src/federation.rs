@@ -22,6 +22,7 @@ use unifyfl_tensor::{weights_from_bytes, weights_to_bytes};
 
 use crate::cluster::{ClusterConfig, ClusterNode};
 use crate::policy::ScoredCandidate;
+use crate::sharding::ShardTopology;
 
 /// How virtual time is charged for cross-silo weight transfers.
 ///
@@ -138,6 +139,8 @@ pub struct Federation {
     lost_txs: Vec<Transaction>,
     /// Count of retransmitted transactions.
     retried_txs: u64,
+    /// Two-tier shard topology, when the experiment runs sharded.
+    shard_topology: Option<ShardTopology>,
 }
 
 impl Federation {
@@ -155,6 +158,22 @@ impl Federation {
         partition: Partition,
         mode: OrchestrationMode,
         cluster_configs: Vec<ClusterConfig>,
+    ) -> Federation {
+        Federation::new_sharded(seed, workload, partition, mode, cluster_configs, None)
+    }
+
+    /// [`Federation::new`] with an optional two-tier shard topology: the
+    /// orchestrator contract is deployed with the topology's address →
+    /// shard map (empty when single-shard — behaviorally flat) and scorer
+    /// cap, and the engines read the topology back to drive the
+    /// intra-shard round structure and inter-shard exchange events.
+    pub fn new_sharded(
+        seed: u64,
+        workload: &WorkloadConfig,
+        partition: Partition,
+        mode: OrchestrationMode,
+        cluster_configs: Vec<ClusterConfig>,
+        sharding: Option<ShardTopology>,
     ) -> Federation {
         assert!(
             cluster_configs.len() >= 2,
@@ -185,10 +204,22 @@ impl Federation {
             .collect();
         let mut chain = Blockchain::new(CliqueConfig::default(), addresses.clone());
         let orchestrator = Address::from_label("unifyfl-orchestrator");
-        chain.deploy(
-            orchestrator,
-            Box::new(UnifyFlContract::new(orchestrator, mode)),
-        );
+        let mut contract = UnifyFlContract::new(orchestrator, mode);
+        if let Some(topology) = &sharding {
+            // A single-shard map stays empty: the contract's default shard
+            // is 0, so the deployment is byte-identical to the flat one.
+            let map = if topology.is_sharded() {
+                addresses
+                    .iter()
+                    .enumerate()
+                    .map(|(i, a)| (*a, topology.shard_of(i) as u32))
+                    .collect()
+            } else {
+                std::collections::HashMap::new()
+            };
+            contract = contract.with_sharding(map, topology.scorers_per_release);
+        }
+        chain.deploy(orchestrator, Box::new(contract));
 
         // Common initial weights: FL requires a shared initialization.
         let init_weights = spec.build(seed).flat_params();
@@ -227,6 +258,7 @@ impl Federation {
             link_model: LinkModel::Nominal,
             lost_txs: Vec::new(),
             retried_txs: 0,
+            shard_topology: sharding,
         };
 
         // Register every *founding* aggregator; elastic joiners
@@ -281,6 +313,11 @@ impl Federation {
     /// The installed fault schedule, if any.
     pub fn fault_plan(&self) -> Option<&FaultPlan> {
         self.fault_plan.as_ref()
+    }
+
+    /// The two-tier shard topology, when the experiment runs sharded.
+    pub fn shard_topology(&self) -> Option<&ShardTopology> {
+        self.shard_topology.as_ref()
     }
 
     /// Records a fired fault's outcome for the experiment report.

@@ -17,6 +17,8 @@
 //!   policies over;
 //! - [`orchestration`] — the Sync (barrier-event) and Async (no-barrier)
 //!   engine policies (Figures 5 & 6), including elastic membership;
+//! - [`sharding`] — the two-tier shard topology: seeded balanced shard
+//!   assignment, sampled scorer caps, inter-shard exchange cadence;
 //! - [`step`] — the reusable two-phase round step both engines share, and
 //!   the [`Engine`] selector (sequential reference vs. parallel phase-A
 //!   compute; byte-identical results either way);
@@ -57,6 +59,7 @@ pub mod orchestration;
 pub mod policy;
 pub mod report;
 pub mod scoring;
+pub mod sharding;
 pub mod step;
 
 pub use byzantine::{AttackKind, DpConfig};
@@ -69,6 +72,7 @@ pub use federation::Federation;
 pub use orchestration::Mode;
 pub use policy::{AggregationPolicy, ScorePolicy};
 pub use scoring::ScorerKind;
+pub use sharding::{ShardConfig, ShardTopology};
 pub use step::Engine;
 pub use unifyfl_sim::fault::{ChaosConfig, FaultEvent, FaultKind, FaultPlan, FaultRecord};
 pub use unifyfl_storage::TransferConfig;

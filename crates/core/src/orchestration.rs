@@ -33,7 +33,7 @@
 //! registers on-chain, bootstraps its model from the latest scored
 //! releases, and participates from there.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeMap, HashSet, VecDeque};
 
 use serde::{Deserialize, Serialize};
 use unifyfl_chain::orchestrator::{calls, OrchestrationMode};
@@ -47,6 +47,7 @@ use crate::cluster::ClusterRoundRecord;
 use crate::events::{self, Event, EventPolicy, EventRecord};
 use crate::federation::{Federation, LinkModel};
 use crate::scoring::{krum_assumed_byzantine, multikrum_scores, ScorerKind};
+use crate::sharding::ShardTopology;
 use crate::step::{
     compute_dispatch, compute_scores, compute_train, merge_eval, prepare_scoring, prepare_train,
     Engine, ScoreTask, ScoredModel, TrainInputs, TrainResult,
@@ -204,6 +205,94 @@ fn bootstrap_join(fed: &mut Federation, idx: usize, at: SimTime) -> SimDuration 
             peers.len()
         ),
     );
+    spent
+}
+
+/// Seals one shard's release ([`Event::ShardSealDue`]): the representative
+/// fetches the shard's currently visible scored releases (its candidate
+/// view is already intra-shard), means them with its own weights in f64
+/// accumulation, publishes the blob, and submits the on-chain
+/// `submitShardRelease`. Returns the virtual cost charged under the active
+/// link model (fetches plus the representative's publish time). The
+/// representative's own model lineage is untouched — the sealed blob is a
+/// shard-level artifact, not one of its releases.
+fn seal_shard(
+    fed: &mut Federation,
+    shard: usize,
+    epoch: u64,
+    rep: usize,
+    at: SimTime,
+) -> SimDuration {
+    let orch = fed.orchestrator;
+    let candidates = fed.candidates_for(rep);
+    let want = fed.clusters[rep].weights().len();
+    let mut peers: Vec<Vec<f32>> = Vec::new();
+    let mut physical = SimDuration::ZERO;
+    for c in &candidates {
+        if let Some((w, cost)) = fed.fetch_weights_costed(rep, c.cid) {
+            if w.len() == want {
+                physical += cost;
+                peers.push(w);
+            }
+        }
+    }
+    let fetch_cost = match fed.link_model() {
+        LinkModel::Nominal => fed.clusters[rep].fetch_duration() * peers.len() as u64,
+        LinkModel::Physical => physical,
+    };
+    let mut mean: Vec<f64> = fed.clusters[rep]
+        .weights()
+        .iter()
+        .map(|v| f64::from(*v))
+        .collect();
+    for p in &peers {
+        for (m, v) in mean.iter_mut().zip(p) {
+            *m += f64::from(*v);
+        }
+    }
+    let count = (peers.len() + 1) as f64;
+    let sealed: Vec<f32> = mean.into_iter().map(|v| (v / count) as f32).collect();
+    let cid = fed.clusters[rep].publish_release_blob(&sealed);
+    let spent = fetch_cost + fed.clusters[rep].publish_duration();
+    fed.record_ipfs_burst(spent);
+    let call = calls::submit_shard_release(shard as u32, epoch, &cid.to_string());
+    let tx = fed.clusters[rep].next_tx(orch, call);
+    fed.submit_cluster_tx_at(at + spent, tx);
+    spent
+}
+
+/// One cluster's side of an inter-shard exchange
+/// ([`Event::ShardExchange`]): fetch every *other* shard's latest sealed
+/// release and fold them into the cluster's weights (equal-weight mean
+/// including its own model). Returns the fetch cost under the active link
+/// model. A shard whose release is unfetchable (never sealed, or lost to a
+/// storage fault) is skipped — the exchange degrades instead of stalling.
+fn exchange_into(fed: &mut Federation, topology: &ShardTopology, idx: usize) -> SimDuration {
+    let my_shard = topology.shard_of(idx);
+    let cids: Vec<Cid> = (0..topology.shards)
+        .filter(|s| *s != my_shard)
+        .filter_map(|s| fed.contract().latest_shard_release(s as u32))
+        .filter_map(|r| r.cid.parse().ok())
+        .collect();
+    let want = fed.clusters[idx].weights().len();
+    let mut peers: Vec<Vec<f32>> = Vec::new();
+    let mut physical = SimDuration::ZERO;
+    for cid in cids {
+        if let Some((w, cost)) = fed.fetch_weights_costed(idx, cid) {
+            if w.len() == want {
+                physical += cost;
+                peers.push(w);
+            }
+        }
+    }
+    let spent = match fed.link_model() {
+        LinkModel::Nominal => fed.clusters[idx].fetch_duration() * peers.len() as u64,
+        LinkModel::Physical => physical,
+    };
+    if !peers.is_empty() {
+        fed.clusters[idx].merge_peers(&peers);
+    }
+    fed.record_ipfs_burst(spent);
     spent
 }
 
@@ -426,6 +515,9 @@ struct SyncPolicy<'a> {
     n: usize,
     training_window: SimDuration,
     scoring_window: SimDuration,
+    /// Active two-tier topology; `None` (or a single-shard topology,
+    /// filtered at construction) runs the flat barrier cycle untouched.
+    topology: Option<ShardTopology>,
     plan: Option<FaultPlan>,
     // Cross-round accumulators.
     straggler_rounds: Vec<u64>,
@@ -555,23 +647,40 @@ impl SyncPolicy<'_> {
             .filter_map(|e| e.cid.parse().ok().map(|cid| (cid, e.scorers.clone())))
             .collect();
 
-        // MultiKRUM needs the full round's submissions at once.
+        // MultiKRUM needs the full round's submissions at once. Under
+        // sharding its "round" is each *shard's* round: distances are only
+        // meaningful among the models a shard's scorers can see, so the
+        // submissions are grouped by the submitter's shard and scored per
+        // group. With the flat contract map every submitter is in shard 0,
+        // so the single group reproduces the unsharded computation exactly.
         let krum: Option<(Vec<Cid>, Vec<f64>)> = if self.scorer == ScorerKind::MultiKrum {
-            let cids: Vec<Cid> = assignments.iter().map(|(c, _)| *c).collect();
-            let models: Vec<Vec<f32>> = cids
-                .iter()
-                .filter_map(|c| fed.fetch_weights(0, *c))
-                .collect();
-            if models.len() == cids.len() && !models.is_empty() {
-                // The Byzantine bound must be admissible for the models
-                // actually scored this round, not the federation size —
-                // crashes, leavers and straggler carryovers all shrink the
-                // submission set below `n`.
-                let f = krum_assumed_byzantine(models.len());
-                Some((cids, multikrum_scores(&models, f)))
-            } else {
-                None
+            let mut groups: BTreeMap<u32, Vec<Cid>> = BTreeMap::new();
+            for e in fed.contract().entries().iter().filter(|e| e.round == round) {
+                if let Ok(cid) = e.cid.parse::<Cid>() {
+                    groups
+                        .entry(fed.contract().shard_of(e.submitter))
+                        .or_default()
+                        .push(cid);
+                }
             }
+            let mut cids: Vec<Cid> = Vec::new();
+            let mut scores: Vec<f64> = Vec::new();
+            for group in groups.into_values() {
+                let models: Vec<Vec<f32>> = group
+                    .iter()
+                    .filter_map(|c| fed.fetch_weights(0, *c))
+                    .collect();
+                if models.len() == group.len() && !models.is_empty() {
+                    // The Byzantine bound must be admissible for the models
+                    // actually scored in this group, not the federation
+                    // size — crashes, leavers and straggler carryovers all
+                    // shrink the submission set below `n`.
+                    let f = krum_assumed_byzantine(models.len());
+                    scores.extend(multikrum_scores(&models, f));
+                    cids.extend(group);
+                }
+            }
+            (!cids.is_empty()).then_some((cids, scores))
         } else {
             None
         };
@@ -637,9 +746,86 @@ impl SyncPolicy<'_> {
         fed.submit_tx_at(self.scoring_end, tx);
         let t = fed.flush_chain_at(self.scoring_end);
         self.end_time = t;
-        if round < self.rounds {
+        if round >= self.rounds {
+            return;
+        }
+        // On the inter-shard cadence the next round opens only after the
+        // seal/exchange pair: RoundBarrier → ShardSealDue → ShardExchange →
+        // OpenTraining(round + 1).
+        let exchange_due = self
+            .topology
+            .as_ref()
+            .is_some_and(|tp| round.is_multiple_of(tp.exchange_every));
+        if exchange_due {
+            let every = self
+                .topology
+                .as_ref()
+                .expect("checked above")
+                .exchange_every;
+            queue.schedule(
+                t,
+                Event::ShardSealDue {
+                    epoch: round / every,
+                },
+            );
+        } else {
             queue.schedule(t, Event::OpenTraining { round: round + 1 });
         }
+    }
+
+    /// Every shard's representative (its lowest-indexed member still in
+    /// the federation) seals the shard release concurrently; the exchange
+    /// fires once the slowest seal lands and the sealing block is mined.
+    fn shard_seal_due(
+        &mut self,
+        fed: &mut Federation,
+        queue: &mut EventQueue<Event>,
+        at: SimTime,
+        epoch: u64,
+    ) {
+        let topology = self
+            .topology
+            .clone()
+            .expect("shard events imply a topology");
+        let mut seal_end = at;
+        for shard in 0..topology.shards {
+            let rep = topology
+                .members(shard)
+                .into_iter()
+                .find(|&i| self.joined[i] && self.active[i]);
+            let Some(rep) = rep else { continue };
+            let spent = seal_shard(fed, shard, epoch, rep, at);
+            seal_end = seal_end.max(at + spent);
+        }
+        let t = fed.flush_chain_at(seal_end);
+        queue.schedule(t, Event::ShardExchange { epoch });
+    }
+
+    /// Every participating cluster folds the other shards' sealed releases
+    /// into its model; the next round opens once the slowest fold is done.
+    fn shard_exchange(
+        &mut self,
+        fed: &mut Federation,
+        queue: &mut EventQueue<Event>,
+        at: SimTime,
+        epoch: u64,
+    ) {
+        let topology = self
+            .topology
+            .clone()
+            .expect("shard events imply a topology");
+        let mut end = at;
+        for idx in 0..self.n {
+            if !(self.joined[idx] && self.active[idx]) {
+                continue;
+            }
+            let spent = exchange_into(fed, &topology, idx);
+            end = end.max(at + spent);
+        }
+        let t = fed.flush_chain_at(end);
+        self.end_time = t;
+        let round = epoch * topology.exchange_every;
+        queue.schedule(t, Event::OpenTraining { round: round + 1 });
     }
 }
 
@@ -670,6 +856,17 @@ impl EventPolicy for SyncPolicy<'_> {
                 fed.submit_tx_at(at, tx);
                 bootstrap_join(fed, cluster, at);
                 self.joined[cluster] = true;
+                // The fault plan was sampled for all clusters over all
+                // rounds with no knowledge of `joins_at`, so a pre-join
+                // crash window could leak into the joiner's first rounds
+                // (`is_down` spans `down_rounds`). Prune those events from
+                // the engine's plan now, recording each as skipped. Clock
+                // skews are kept — a standing skew applies from the join.
+                if let Some(p) = self.plan.as_mut() {
+                    for e in p.extract_pre_join(cluster, self.opening_round) {
+                        fed.log_fault(cluster, e.round, e.kind.label(), "skipped: not yet joined");
+                    }
+                }
                 // A standing clock skew starts afflicting the joiner now;
                 // record it, as `log_initial_skews` does for founders —
                 // the report must explain any skew-caused rejections.
@@ -691,6 +888,8 @@ impl EventPolicy for SyncPolicy<'_> {
             Event::StartScoring { round } => self.start_scoring(fed, queue, round),
             Event::ScoresDue { cluster, round } => self.scores_due(fed, cluster, round),
             Event::RoundBarrier { round } => self.round_barrier(fed, queue, round),
+            Event::ShardSealDue { epoch } => self.shard_seal_due(fed, queue, at, epoch),
+            Event::ShardExchange { epoch } => self.shard_exchange(fed, queue, at, epoch),
             // Sync needs no end-of-run drain: every phase boundary already
             // flushed the chain, and retransmission timing is part of the
             // pinned reference order.
@@ -736,6 +935,13 @@ pub fn run_sync_engine(
         "sync engine needs a sync-mode contract"
     );
     let n = fed.clusters.len();
+    // A single-shard topology is behaviorally flat: dropping it here keeps
+    // the barrier cycle event-for-event identical to the unsharded engine.
+    let topology = fed.shard_topology().filter(|tp| tp.is_sharded()).cloned();
+    // Peer fan-out per phase: intra-shard under the two-tier topology, the
+    // whole federation when flat. Windows sized from it stay constant as
+    // the federation grows with the shard size fixed.
+    let fan_out = topology.as_ref().map_or(n, ShardTopology::max_shard_size) as u64 - 1;
 
     // Size the windows from nominal expected durations.
     let training_window = {
@@ -747,7 +953,7 @@ pub fn run_sync_engine(
                     c.train_duration(workload.local_epochs).as_secs_f64()
                         / c.config().straggle_factor,
                 );
-                let pull = c.fetch_duration() * (n as u64 - 1);
+                let pull = c.fetch_duration() * fan_out;
                 pull + nominal_train + c.publish_duration()
             })
             .max()
@@ -762,7 +968,7 @@ pub fn run_sync_engine(
                 let nominal_score = SimDuration::from_secs_f64(
                     c.score_duration().as_secs_f64() / c.config().straggle_factor,
                 );
-                (c.fetch_duration() + nominal_score) * (n as u64 - 1)
+                (c.fetch_duration() + nominal_score) * fan_out
             })
             .max()
             .expect("at least one cluster");
@@ -779,6 +985,7 @@ pub fn run_sync_engine(
         n,
         training_window,
         scoring_window,
+        topology,
         plan: fed.fault_plan().cloned(),
         straggler_rounds: vec![0; n],
         rejected_scores: vec![0; n],
@@ -824,6 +1031,18 @@ struct AsyncPolicy<'a> {
     rounds: u64,
     n: usize,
     setup_done: SimTime,
+    /// Active two-tier topology; `None` (or single-shard, filtered at
+    /// construction) free-runs exactly as the unsharded engine.
+    topology: Option<ShardTopology>,
+    /// Inter-shard seal cadence in virtual time: seal `k` fires at
+    /// `setup_done + k × seal_period` (`exchange_every` nominal round
+    /// lengths), independent of how far each cluster's clock has drifted —
+    /// the async analogue of the sync engine's every-`exchange_every`-rounds
+    /// barrier hook.
+    seal_period: SimDuration,
+    /// A shard seal/exchange event is in flight; holds the end-of-run
+    /// `SealSlot` drain back until the cadence chain decides to stop.
+    shard_pending: bool,
     plan: Option<FaultPlan>,
     clock: Vec<SimTime>,
     rounds_done: Vec<u64>,
@@ -890,7 +1109,7 @@ impl AsyncPolicy<'_> {
                 }
             }
         }
-        if !any && self.pending_joins == 0 && !self.seal_scheduled {
+        if !any && self.pending_joins == 0 && !self.shard_pending && !self.seal_scheduled {
             self.seal_scheduled = true;
             self.end_time = self.clock.iter().copied().max().unwrap_or(self.setup_done);
             queue.schedule(self.end_time, Event::SealSlot);
@@ -905,6 +1124,13 @@ impl AsyncPolicy<'_> {
         idx: usize,
     ) {
         self.wake[idx] = None;
+        // A shard seal/exchange may have pushed this cluster's clock past
+        // the instant the wake was scheduled at; drop the stale wake and
+        // re-arm at the new clock.
+        if self.clock[idx] > t {
+            self.ensure_wakes(queue);
+            return;
+        }
         let orch = fed.orchestrator;
 
         fed.advance_chain_to(t);
@@ -1051,6 +1277,76 @@ impl AsyncPolicy<'_> {
         self.distribute(fed);
         self.ensure_wakes(queue);
     }
+
+    /// The async seal: each shard's representative (lowest-indexed member
+    /// still alive) seals concurrently at the cadence instant; the sealing
+    /// work is charged to the representative's free-running clock, pushing
+    /// its next wake back.
+    fn shard_seal_due(
+        &mut self,
+        fed: &mut Federation,
+        queue: &mut EventQueue<Event>,
+        t: SimTime,
+        epoch: u64,
+    ) {
+        fed.advance_chain_to(t);
+        let topology = self
+            .topology
+            .clone()
+            .expect("shard events imply a topology");
+        let mut seal_end = t;
+        for shard in 0..topology.shards {
+            let rep = topology
+                .members(shard)
+                .into_iter()
+                .find(|&i| self.joined[i] && self.alive[i]);
+            let Some(rep) = rep else { continue };
+            let spent = seal_shard(fed, shard, epoch, rep, t);
+            self.clock[rep] = self.clock[rep].max(t) + spent;
+            seal_end = seal_end.max(t + spent);
+        }
+        fed.flush_chain_at(seal_end);
+        queue.schedule(seal_end, Event::ShardExchange { epoch });
+        self.ensure_wakes(queue);
+    }
+
+    /// The async exchange: every cluster still working folds the other
+    /// shards' sealed releases into its model, paying the fetch cost on
+    /// its own clock. Re-arms the next seal on the fixed cadence while
+    /// anyone still has rounds to run (or a join is pending); otherwise
+    /// the cadence chain ends and the `SealSlot` drain can fire.
+    fn shard_exchange(
+        &mut self,
+        fed: &mut Federation,
+        queue: &mut EventQueue<Event>,
+        t: SimTime,
+        epoch: u64,
+    ) {
+        fed.advance_chain_to(t);
+        let topology = self
+            .topology
+            .clone()
+            .expect("shard events imply a topology");
+        for idx in 0..self.n {
+            if !(self.joined[idx] && self.alive[idx]) || self.finished_at[idx].is_some() {
+                continue;
+            }
+            let spent = exchange_into(fed, &topology, idx);
+            self.clock[idx] = self.clock[idx].max(t) + spent;
+        }
+        let more = self.pending_joins > 0
+            || (0..self.n)
+                .any(|i| self.joined[i] && self.alive[i] && self.rounds_done[i] < self.rounds);
+        if more {
+            // A slow seal/exchange can overrun the cadence instant; never
+            // schedule into the past.
+            let next = (self.setup_done + self.seal_period * (epoch + 1)).max(t);
+            queue.schedule(next, Event::ShardSealDue { epoch: epoch + 1 });
+        } else {
+            self.shard_pending = false;
+        }
+        self.ensure_wakes(queue);
+    }
 }
 
 impl EventPolicy for AsyncPolicy<'_> {
@@ -1061,6 +1357,13 @@ impl EventPolicy for AsyncPolicy<'_> {
                 self.pending_joins += 1;
                 queue.schedule_keyed(jt, idx as u64, Event::MembershipChange { cluster: idx });
             }
+        }
+        if self.topology.is_some() {
+            self.shard_pending = true;
+            queue.schedule(
+                self.setup_done + self.seal_period,
+                Event::ShardSealDue { epoch: 1 },
+            );
         }
         self.ensure_wakes(queue);
     }
@@ -1075,6 +1378,8 @@ impl EventPolicy for AsyncPolicy<'_> {
         match event {
             Event::ClusterWake { cluster } => self.wake(fed, queue, at, cluster),
             Event::MembershipChange { cluster } => self.membership_change(fed, queue, at, cluster),
+            Event::ShardSealDue { epoch } => self.shard_seal_due(fed, queue, at, epoch),
+            Event::ShardExchange { epoch } => self.shard_exchange(fed, queue, at, epoch),
             // End-of-run drain: seal everything due, flushing any still-
             // pending transactions (exactly the reference's final flush).
             Event::SealSlot => {
@@ -1135,6 +1440,32 @@ pub fn run_async_engine(
         "async mode does not support weight-similarity scoring (Table 3)"
     );
     let n = fed.clusters.len();
+    // A single-shard topology is behaviorally flat: dropping it keeps the
+    // free-running timeline event-for-event identical to the unsharded
+    // engine.
+    let topology = fed.shard_topology().filter(|tp| tp.is_sharded()).cloned();
+    // The async cadence has no barrier to hook, so seals fire on virtual
+    // time: every `exchange_every` *nominal round lengths* (the slowest
+    // founder's intra-shard pull + train + publish) — the same "every few
+    // rounds" rhythm the sync engine gets from its barrier count.
+    let seal_period = topology
+        .as_ref()
+        .map(|tp| {
+            let fan_out = tp.max_shard_size() as u64 - 1;
+            let nominal_round = fed
+                .clusters
+                .iter()
+                .filter(|c| c.config().joins_at.is_none())
+                .map(|c| {
+                    c.fetch_duration() * fan_out
+                        + c.train_duration(workload.local_epochs)
+                        + c.publish_duration()
+                })
+                .max()
+                .expect("at least two founders");
+            nominal_round * tp.exchange_every
+        })
+        .unwrap_or(SimDuration::ZERO);
     let plan = fed.fault_plan().cloned();
     let join_time = join_times(fed);
     let joined: Vec<bool> = join_time.iter().map(Option::is_none).collect();
@@ -1153,6 +1484,9 @@ pub fn run_async_engine(
         rounds: workload.rounds as u64,
         n,
         setup_done: fed.setup_done,
+        topology,
+        seal_period,
+        shard_pending: false,
         plan,
         clock,
         rounds_done: vec![0; n],
@@ -1541,6 +1875,105 @@ mod tests {
             .map(|r| r.peers_merged)
             .sum();
         assert!(merged_after_round1 > 0);
+    }
+
+    // ---- two-tier sharding -------------------------------------------
+
+    fn build_sharded(
+        mode: Mode,
+        n: usize,
+        rounds: usize,
+        shards: usize,
+        k: Option<usize>,
+    ) -> (Federation, WorkloadConfig) {
+        use crate::sharding::ShardConfig;
+        let w = tiny_workload(rounds);
+        let mut cfg = ShardConfig::new(shards);
+        cfg.scorers_per_release = k;
+        let topology = ShardTopology::derive(&cfg, 7, n);
+        let fed = Federation::new_sharded(
+            7,
+            &w,
+            Partition::Iid,
+            mode.to_chain(),
+            configs(n),
+            Some(topology),
+        );
+        (fed, w)
+    }
+
+    #[test]
+    fn sync_sharded_run_seals_and_exchanges() {
+        let (mut fed, w) = build_sharded(Mode::Sync, 6, 4, 2, Some(2));
+        let out = run_sync(&mut fed, &w, ScorerKind::Accuracy, 1.15);
+        for c in &fed.clusters {
+            assert_eq!(c.records.len(), 4);
+        }
+        // exchange_every = 2 over 4 rounds: the seal/exchange pair fires
+        // after round 2 only (never after the final round).
+        let count = |pred: fn(&Event) -> bool| out.events.iter().filter(|r| pred(&r.event)).count();
+        assert_eq!(count(|e| matches!(e, Event::ShardSealDue { .. })), 1);
+        assert_eq!(count(|e| matches!(e, Event::ShardExchange { .. })), 1);
+        // One sealed release per shard landed on-chain.
+        let releases = fed.contract().shard_releases();
+        assert_eq!(releases.len(), 2);
+        assert!(releases.iter().any(|r| r.shard == 0));
+        assert!(releases.iter().any(|r| r.shard == 1));
+        // Scorer sampling stayed intra-shard and within the k cap.
+        for e in fed.contract().entries() {
+            assert!(e.scorers.len() <= 2, "k = 2 cap violated");
+            assert!(!e.scorers.is_empty());
+            let sub_shard = fed.contract().shard_of(e.submitter);
+            for s in &e.scorers {
+                assert_eq!(fed.contract().shard_of(*s), sub_shard);
+            }
+        }
+        fed.chain.verify().unwrap();
+    }
+
+    #[test]
+    fn async_sharded_run_seals_on_cadence() {
+        let (mut fed, w) = build_sharded(Mode::Async, 6, 3, 2, Some(2));
+        let out = run_async(&mut fed, &w, ScorerKind::Accuracy);
+        for c in &fed.clusters {
+            assert_eq!(c.records.len(), 3);
+        }
+        assert!(out
+            .events
+            .iter()
+            .any(|r| matches!(r.event, Event::ShardSealDue { .. })));
+        assert!(!fed.contract().shard_releases().is_empty());
+        // The cadence chain ends before the end-of-run drain.
+        assert_eq!(out.events.last().unwrap().event, Event::SealSlot);
+        fed.chain.verify().unwrap();
+    }
+
+    #[test]
+    fn sharded_runs_are_seed_deterministic() {
+        let run = || {
+            let (mut fed, w) = build_sharded(Mode::Sync, 6, 4, 3, Some(1));
+            let out = run_sync(&mut fed, &w, ScorerKind::Accuracy, 1.15);
+            (
+                format!("{:?}", out.events),
+                format!("{:?}", out.final_global),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn sync_sharded_multikrum_scores_per_shard() {
+        let (mut fed, w) = build_sharded(Mode::Sync, 6, 2, 2, None);
+        run_sync(&mut fed, &w, ScorerKind::MultiKrum, 1.15);
+        let entries = fed.contract().entries();
+        assert!(!entries.is_empty());
+        for e in entries {
+            for (_, s) in &e.scores {
+                let v = s.to_f64();
+                assert!((0.0..=1.0).contains(&v), "score {v}");
+            }
+        }
+        fed.chain.verify().unwrap();
     }
 
     // ---- elastic membership ------------------------------------------

@@ -20,36 +20,60 @@ fn column_width<'a>(header: &str, cells: impl Iterator<Item = &'a str>) -> usize
         .unwrap_or(0)
 }
 
+/// Row budget above which per-cluster renderings elide their middle. A
+/// 1,000-cluster sharded run would otherwise dump a thousand rows into
+/// every table; up to this many rows nothing changes (the small-run
+/// snapshots stay byte-identical).
+pub const ELIDE_ABOVE: usize = 24;
+/// Rows kept at the top of an elided rendering.
+pub const ELIDE_HEAD: usize = 12;
+/// Rows kept at the bottom of an elided rendering.
+pub const ELIDE_TAIL: usize = 12;
+
+/// Deterministic head/tail elision: for `n` rows returns the head range,
+/// the number of elided middle rows, and the tail range. `n ≤`
+/// [`ELIDE_ABOVE`] yields `(0..n, 0, n..n)` — rendering unchanged.
+fn elide(n: usize) -> (std::ops::Range<usize>, usize, std::ops::Range<usize>) {
+    if n <= ELIDE_ABOVE {
+        (0..n, 0, n..n)
+    } else {
+        (
+            0..ELIDE_HEAD,
+            n - ELIDE_HEAD - ELIDE_TAIL,
+            n - ELIDE_TAIL..n,
+        )
+    }
+}
+
 /// Renders an experiment in the row format of Tables 5/6:
 /// `Aggregator | Time | Policy | Acc(G/L) | Loss(G/L)`.
 ///
 /// Text columns size themselves to the longest cell, so tables stay
 /// aligned for any cluster count or label length (a 60-client scalability
-/// run renders as cleanly as the 3-cluster quickstart).
+/// run renders as cleanly as the 3-cluster quickstart). Past
+/// [`ELIDE_ABOVE`] clusters the middle rows collapse into a
+/// `… N more clusters …` marker; widths are sized from the shown rows.
 pub fn render_run_table(report: &ExperimentReport) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "== {} [{} | {} | {}] ==\n",
         report.label, report.mode, report.scorer, report.partition
     ));
-    let name_w = column_width(
-        "Aggregator",
-        report.aggregators.iter().map(|a| a.name.as_str()),
-    );
-    let policy_w = column_width(
-        "Policy",
-        report.aggregators.iter().map(|a| a.policy.as_str()),
-    );
-    let strategy_w = column_width(
-        "Strategy",
-        report.aggregators.iter().map(|a| a.strategy.as_str()),
-    );
+    let (head, elided, tail) = elide(report.aggregators.len());
+    let shown = || {
+        head.clone()
+            .chain(tail.clone())
+            .map(|i| &report.aggregators[i])
+    };
+    let name_w = column_width("Aggregator", shown().map(|a| a.name.as_str()));
+    let policy_w = column_width("Policy", shown().map(|a| a.policy.as_str()));
+    let strategy_w = column_width("Strategy", shown().map(|a| a.strategy.as_str()));
     out.push_str(&format!(
         "{:<name_w$} {:>8} {:<policy_w$} {:<strategy_w$} {:>8} {:>8} {:>8} {:>8}\n",
         "Aggregator", "Time(s)", "Policy", "Strategy", "AccG(%)", "AccL(%)", "LossG", "LossL"
     ));
-    for a in &report.aggregators {
-        out.push_str(&format!(
+    let row = |a: &crate::experiment::AggregatorReport| {
+        format!(
             "{:<name_w$} {:>8.0} {:<policy_w$} {:<strategy_w$} {:>8.2} {:>8.2} {:>8.2} {:>8.2}\n",
             a.name,
             a.time_secs,
@@ -59,7 +83,16 @@ pub fn render_run_table(report: &ExperimentReport) -> String {
             a.local_accuracy_pct,
             a.global_loss,
             a.local_loss
-        ));
+        )
+    };
+    for a in &report.aggregators[head] {
+        out.push_str(&row(a));
+    }
+    if elided > 0 {
+        out.push_str(&format!("… {elided} more clusters …\n"));
+    }
+    for a in &report.aggregators[tail] {
+        out.push_str(&row(a));
     }
     out
 }
@@ -117,12 +150,27 @@ pub fn render_chaos_summary(report: &ExperimentReport) -> String {
         "chain:   {} missed seal(s) | {} dropped tx(s) ({} retransmitted)\n",
         c.missed_seals, c.dropped_txs, c.retried_txs
     ));
-    let cluster_w = column_width("", c.records.iter().map(|r| r.cluster.as_str())).max(12);
-    for r in &c.records {
-        out.push_str(&format!(
+    let (head, elided, tail) = elide(c.records.len());
+    let shown = || {
+        head.clone()
+            .chain(tail.clone())
+            .map(|i| c.records[i].cluster.as_str())
+    };
+    let cluster_w = column_width("", shown()).max(12);
+    let row = |r: &unifyfl_sim::fault::FaultRecord| {
+        format!(
             "  round {:>2}  {:<cluster_w$} {:<14} {}\n",
             r.round, r.cluster, r.kind, r.outcome
-        ));
+        )
+    };
+    for r in &c.records[head] {
+        out.push_str(&row(r));
+    }
+    if elided > 0 {
+        out.push_str(&format!("  … {elided} more record(s) …\n"));
+    }
+    for r in &c.records[tail] {
+        out.push_str(&row(r));
     }
     out
 }
@@ -190,12 +238,32 @@ pub fn render_resources_table(report: &ExperimentReport) -> String {
 
 /// Renders an accuracy-over-time series (Figure 7 style) as aligned
 /// columns: `time  acc(agg1)  acc(agg2) …`.
+///
+/// Here clusters are *columns*, so past [`ELIDE_ABOVE`] aggregators the
+/// middle columns collapse into a single `… N more …` column whose cells
+/// render as `…`. Row times still aggregate over **all** clusters — the
+/// elision is presentational, never a change to the reported numbers.
 pub fn render_curves(report: &ExperimentReport) -> String {
     let mut out = String::new();
-    let col_w = column_width("", report.aggregators.iter().map(|a| a.name.as_str())).max(12);
+    let (col_head, elided, col_tail) = elide(report.aggregators.len());
+    let shown = || {
+        col_head
+            .clone()
+            .chain(col_tail.clone())
+            .map(|i| &report.aggregators[i])
+    };
+    let col_w = column_width("", shown().map(|a| a.name.as_str())).max(12);
+    let marker = format!("… {elided} more …");
+    let marker_w = col_w.max(marker.chars().count());
     out.push_str("time(s)");
-    for a in &report.aggregators {
-        out.push_str(&format!(" {:>col_w$}", a.name));
+    for i in col_head.clone() {
+        out.push_str(&format!(" {:>col_w$}", report.aggregators[i].name));
+    }
+    if elided > 0 {
+        out.push_str(&format!(" {marker:>marker_w$}"));
+    }
+    for i in col_tail.clone() {
+        out.push_str(&format!(" {:>col_w$}", report.aggregators[i].name));
     }
     out.push('\n');
     // Rows are keyed by round number, not curve position: under chaos a
@@ -219,11 +287,18 @@ pub fn render_curves(report: &ExperimentReport) -> String {
             .map(|p| p.time_secs)
             .fold(0.0f64, f64::max);
         out.push_str(&format!("{t:>7.0}"));
-        for p in points {
-            match p {
-                Some(p) => out.push_str(&format!(" {:>col_w$.2}", p.global_accuracy_pct)),
-                None => out.push_str(&format!(" {:>col_w$}", "-")),
-            }
+        let cell = |i: usize| match points[i] {
+            Some(p) => format!(" {:>col_w$.2}", p.global_accuracy_pct),
+            None => format!(" {:>col_w$}", "-"),
+        };
+        for i in col_head.clone() {
+            out.push_str(&cell(i));
+        }
+        if elided > 0 {
+            out.push_str(&format!(" {:>marker_w$}", "…"));
+        }
+        for i in col_tail.clone() {
+            out.push_str(&cell(i));
         }
         out.push('\n');
     }
@@ -352,6 +427,104 @@ Aggregator Twelve     1200 All    FedAvg      62.00    52.00     1.00     1.50
         for l in &lines {
             assert_eq!(l.chars().count(), header_len, "misaligned row: {l:?}");
         }
+    }
+
+    /// Hand-built report with `n` uniform aggregators, each carrying a
+    /// one-point curve, for exercising the elision paths at sizes no test
+    /// run should actually execute.
+    fn synthetic_report(n: usize) -> ExperimentReport {
+        use crate::experiment::{ChainStats, ChaosReport, CurvePoint, TransferReport};
+        use std::collections::BTreeMap;
+        let aggregators = (1..=n)
+            .map(|i| crate::experiment::AggregatorReport {
+                name: format!("agg-{i}"),
+                policy: "All".to_owned(),
+                strategy: "FedAvg".to_owned(),
+                time_secs: 10.0 * i as f64,
+                global_accuracy_pct: 50.0,
+                local_accuracy_pct: 40.0,
+                global_loss: 1.0,
+                local_loss: 1.5,
+                rounds: 1,
+                straggler_rounds: 0,
+                rejected_scores: 0,
+                curve: vec![CurvePoint {
+                    round: 1,
+                    time_secs: 10.0 * i as f64,
+                    global_accuracy_pct: 50.0,
+                    local_accuracy_pct: 40.0,
+                }],
+            })
+            .collect();
+        ExperimentReport {
+            label: "elision".to_owned(),
+            mode: "Sync".to_owned(),
+            scorer: "Accuracy".to_owned(),
+            partition: "IID".to_owned(),
+            aggregators,
+            resources: BTreeMap::new(),
+            chain: ChainStats::default(),
+            storage_bytes: 0,
+            wall_secs: 0.0,
+            chaos: ChaosReport::default(),
+            transfer: TransferReport::default(),
+            link_model: "Nominal".to_owned(),
+            membership: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn run_table_elides_middle_rows_above_threshold() {
+        // At the threshold: every row renders, no marker.
+        let at = render_run_table(&synthetic_report(24));
+        assert_eq!(at.lines().count(), 2 + 24);
+        assert!(!at.contains("more clusters"), "{at}");
+
+        // Above it: 12 head + marker + 12 tail, deterministically.
+        let over = render_run_table(&synthetic_report(1000));
+        assert_eq!(over.lines().count(), 2 + 12 + 1 + 12, "{over}");
+        assert!(over.contains("… 976 more clusters …"), "{over}");
+        assert!(over.contains("agg-12"), "head ends at agg-12");
+        assert!(over.contains("agg-989"), "tail starts at agg-989");
+        assert!(!over.contains("agg-500 "), "middle rows are elided");
+        // Deterministic: same report, same bytes.
+        assert_eq!(over, render_run_table(&synthetic_report(1000)));
+    }
+
+    #[test]
+    fn curves_elide_middle_columns_above_threshold() {
+        let at = render_curves(&synthetic_report(24));
+        assert!(!at.contains('…'), "{at}");
+
+        let over = render_curves(&synthetic_report(30));
+        assert!(over.contains("… 6 more …"), "{over}");
+        let lines: Vec<&str> = over.lines().collect();
+        assert_eq!(lines.len(), 2, "header + the single shared round");
+        assert!(lines[1].contains('…'), "data rows carry the marker cell");
+        // The time column still aggregates over ALL clusters (max over the
+        // round), including the elided ones.
+        assert!(lines[1].starts_with("    300"), "{over}");
+        // Header and row align character-for-character.
+        assert_eq!(lines[0].chars().count(), lines[1].chars().count());
+    }
+
+    #[test]
+    fn chaos_summary_elides_middle_records_above_threshold() {
+        let mut report = synthetic_report(3);
+        report.chaos.enabled = true;
+        report.chaos.records = (1..=30)
+            .map(|i| unifyfl_sim::fault::FaultRecord {
+                cluster: format!("agg-{}", i % 3 + 1),
+                round: i,
+                kind: "crash".to_owned(),
+                outcome: "round lost".to_owned(),
+            })
+            .collect();
+        let out = render_chaos_summary(&report);
+        assert!(out.contains("… 6 more record(s) …"), "{out}");
+        assert!(out.contains("round 12"), "head keeps the first 12");
+        assert!(out.contains("round 19"), "tail keeps the last 12");
+        assert!(!out.contains("round 15"), "middle records are elided");
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! Two-tier shard topology: grouping clusters into shards.
+//!
+//! At 500–1,000 clusters the flat federation's all-pairs peer scoring and
+//! aggregation are quadratic in both bytes and score tasks. The two-tier
+//! topology bounds both: clusters are grouped into shards by a seeded
+//! balanced assignment, peer scoring and aggregation run *intra-shard*
+//! (with the contract sampling at most `k` scorers per release), and
+//! shards exchange sealed shard releases on a slower inter-shard cadence
+//! (`ShardSealDue`/`ShardExchange` kernel events).
+//!
+//! A [`ShardConfig`] with `shards = 1` and no scorer cap is the flat
+//! federation: the engines schedule no shard events, the contract's shard
+//! map is empty, and the run is byte-identical to an unsharded one — the
+//! equivalence `tests/sharding_equivalence.rs` pins.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use unifyfl_sim::SeedTree;
+
+/// Operator-facing sharding knobs ([`ExperimentConfig::sharding`](crate::experiment::ExperimentConfig::sharding)).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardConfig {
+    /// Number of shards clusters are grouped into (≥ 1; 1 = flat).
+    pub shards: usize,
+    /// Scorers sampled per release (the `k` of the O(n·k) bound); `None`
+    /// keeps the paper's intra-shard majority (⌊n/2⌋ + 1).
+    pub scorers_per_release: Option<usize>,
+    /// Inter-shard exchange cadence: seal/exchange every this many rounds
+    /// (sync) or nominal round-lengths (async). Must be ≥ 1.
+    pub exchange_every: u64,
+}
+
+impl ShardConfig {
+    /// A topology of `shards` shards with the default cadence (every
+    /// other round) and majority scoring.
+    pub fn new(shards: usize) -> Self {
+        ShardConfig {
+            shards,
+            scorers_per_release: None,
+            exchange_every: 2,
+        }
+    }
+
+    /// Caps scorers sampled per release at `k`.
+    pub fn with_scorers(mut self, k: usize) -> Self {
+        self.scorers_per_release = Some(k);
+        self
+    }
+
+    /// Sets the inter-shard exchange cadence.
+    pub fn with_exchange_every(mut self, rounds: u64) -> Self {
+        self.exchange_every = rounds;
+        self
+    }
+}
+
+/// The concrete shard assignment for one run: a pure function of
+/// `(config, seed, n_clusters)`, so every engine (and a mid-run joiner)
+/// lands each cluster in the same seeded shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardTopology {
+    /// Number of shards.
+    pub shards: usize,
+    /// Cluster index → shard, balanced to within one member.
+    pub assignment: Vec<usize>,
+    /// Scorer cap per release (`None` = intra-shard majority).
+    pub scorers_per_release: Option<usize>,
+    /// Inter-shard exchange cadence in rounds.
+    pub exchange_every: u64,
+}
+
+impl ShardTopology {
+    /// Derives the seeded balanced assignment: cluster indices are
+    /// shuffled with the experiment seed's `"sharding"` stream, and the
+    /// cluster at shuffled position `p` lands in shard `p % shards` — so
+    /// shard sizes differ by at most one, and the assignment covers
+    /// not-yet-joined clusters identically on every engine.
+    pub fn derive(config: &ShardConfig, seed: u64, n_clusters: usize) -> ShardTopology {
+        let shards = config.shards.max(1);
+        let mut order: Vec<usize> = (0..n_clusters).collect();
+        let mut rng = StdRng::seed_from_u64(SeedTree::new(seed).seed("sharding"));
+        order.shuffle(&mut rng);
+        let mut assignment = vec![0usize; n_clusters];
+        for (pos, cluster) in order.into_iter().enumerate() {
+            assignment[cluster] = pos % shards;
+        }
+        ShardTopology {
+            shards,
+            assignment,
+            scorers_per_release: config.scorers_per_release,
+            exchange_every: config.exchange_every.max(1),
+        }
+    }
+
+    /// True when more than one shard exists (shard events fire, views are
+    /// filtered). A single-shard topology is behaviorally flat.
+    pub fn is_sharded(&self) -> bool {
+        self.shards > 1
+    }
+
+    /// The shard a cluster belongs to.
+    pub fn shard_of(&self, cluster: usize) -> usize {
+        self.assignment[cluster]
+    }
+
+    /// Members of a shard, in cluster-index order.
+    pub fn members(&self, shard: usize) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == shard)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Size of the largest shard (the peer-fan-out bound the sync engine
+    /// sizes its phase windows from; equals `n` when flat).
+    pub fn max_shard_size(&self) -> usize {
+        (0..self.shards)
+            .map(|s| self.assignment.iter().filter(|a| **a == s).count())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_is_balanced_and_seed_deterministic() {
+        let cfg = ShardConfig::new(4);
+        let t = ShardTopology::derive(&cfg, 42, 10);
+        assert_eq!(t.assignment.len(), 10);
+        let sizes: Vec<usize> = (0..4).map(|s| t.members(s).len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|s| *s == 2 || *s == 3), "{sizes:?}");
+        assert_eq!(t.max_shard_size(), 3);
+        assert_eq!(
+            t,
+            ShardTopology::derive(&cfg, 42, 10),
+            "same seed, same map"
+        );
+        assert_ne!(
+            t.assignment,
+            ShardTopology::derive(&cfg, 43, 10).assignment,
+            "different seed shuffles differently"
+        );
+    }
+
+    #[test]
+    fn single_shard_is_flat() {
+        let t = ShardTopology::derive(&ShardConfig::new(1), 7, 5);
+        assert!(!t.is_sharded());
+        assert_eq!(t.assignment, vec![0; 5]);
+        assert_eq!(t.max_shard_size(), 5);
+        assert_eq!(t.members(0), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn members_are_index_ordered() {
+        let t = ShardTopology::derive(&ShardConfig::new(3), 11, 9);
+        for s in 0..3 {
+            let m = t.members(s);
+            assert!(m.windows(2).all(|w| w[0] < w[1]));
+            assert!(m.iter().all(|i| t.shard_of(*i) == s));
+        }
+    }
+}

@@ -346,6 +346,28 @@ impl FaultPlan {
             .max(1.0)
     }
 
+    /// Removes and returns the cluster's faults scheduled for rounds
+    /// before `first_round` — the rounds a mid-run joiner was not yet part
+    /// of the federation for. The plan samples `0..n_clusters` uniformly
+    /// (it has no knowledge of `joins_at`), so the engines call this at
+    /// join time to deterministically skip pre-join faults, recording each
+    /// as `"skipped: not yet joined"`. Clock skews are kept: a skew
+    /// applies from the first round regardless of its nominal round, and
+    /// takes effect when the joiner's clock starts.
+    pub fn extract_pre_join(&mut self, cluster: usize, first_round: u64) -> Vec<FaultEvent> {
+        let mut skipped = Vec::new();
+        self.events.retain(|e| {
+            let pre_join = e.cluster == cluster
+                && e.round < first_round
+                && !matches!(e.kind, FaultKind::ClockSkew { .. });
+            if pre_join {
+                skipped.push(*e);
+            }
+            !pre_join
+        });
+        skipped
+    }
+
     /// Total clock skew afflicting the cluster (sum of scripted skews).
     pub fn clock_skew(&self, cluster: usize) -> SimDuration {
         self.events
@@ -519,6 +541,53 @@ mod tests {
             .count();
         // 200 cluster-rounds at p=0.5: comfortably between 60 and 140.
         assert!((60..=140).contains(&crashes), "got {crashes}");
+    }
+
+    #[test]
+    fn extract_pre_join_skips_early_faults_but_keeps_skews() {
+        let mut plan = FaultPlan::expand(
+            &ChaosConfig::scripted(vec![
+                FaultEvent {
+                    cluster: 3,
+                    round: 1,
+                    kind: FaultKind::Crash { down_rounds: 4 },
+                },
+                FaultEvent {
+                    cluster: 3,
+                    round: 2,
+                    kind: FaultKind::ClockSkew {
+                        skew: SimDuration::from_secs(10),
+                    },
+                },
+                FaultEvent {
+                    cluster: 3,
+                    round: 3,
+                    kind: FaultKind::Leave,
+                },
+                FaultEvent {
+                    cluster: 0,
+                    round: 1,
+                    kind: FaultKind::Leave,
+                },
+            ]),
+            0,
+            4,
+            6,
+        );
+        // The round-1 crash window would otherwise leak into round 2
+        // (`is_down` spans `down_rounds`; at round 3 the leave takes over).
+        assert!(plan.is_down(3, 2));
+        let skipped = plan.extract_pre_join(3, 3);
+        assert_eq!(skipped.len(), 1);
+        assert_eq!(skipped[0].round, 1);
+        assert_eq!(skipped[0].kind.label(), "crash");
+        assert!(
+            !plan.is_down(3, 2),
+            "masked window no longer covers round 2"
+        );
+        assert!(plan.has_left(3, 3), "the round-3 leave stays");
+        assert_eq!(plan.clock_skew(3), SimDuration::from_secs(10), "skew kept");
+        assert!(plan.has_left(0, 1), "other clusters untouched");
     }
 
     #[test]

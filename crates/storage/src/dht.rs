@@ -49,11 +49,17 @@ impl ProviderIndex {
     }
 
     /// Nodes currently advertising `cid`, in deterministic (sorted) order.
-    pub fn providers(&self, cid: Cid) -> Vec<NodeId> {
+    ///
+    /// Borrowing iterator rather than an owned `Vec`: provider resolution
+    /// runs on every fetch, and at 1,000 clusters the release CIDs carry
+    /// provider sets of federation size — cloning one per lookup made the
+    /// hot path O(n) allocations deep. Callers that need ownership can
+    /// still `.collect()`.
+    pub fn providers(&self, cid: Cid) -> impl Iterator<Item = NodeId> + '_ {
         self.providers
             .get(&cid)
-            .map(|s| s.iter().copied().collect())
-            .unwrap_or_default()
+            .into_iter()
+            .flat_map(|s| s.iter().copied())
     }
 
     /// CIDs a given node currently advertises (used to withdraw records
@@ -94,9 +100,12 @@ mod tests {
         idx.provide(cid("a"), NodeId(2));
         idx.provide(cid("a"), NodeId(1));
         idx.provide(cid("b"), NodeId(3));
-        assert_eq!(idx.providers(cid("a")), vec![NodeId(1), NodeId(2)]);
-        assert_eq!(idx.providers(cid("b")), vec![NodeId(3)]);
-        assert!(idx.providers(cid("missing")).is_empty());
+        assert_eq!(
+            idx.providers(cid("a")).collect::<Vec<_>>(),
+            vec![NodeId(1), NodeId(2)]
+        );
+        assert_eq!(idx.providers(cid("b")).collect::<Vec<_>>(), vec![NodeId(3)]);
+        assert_eq!(idx.providers(cid("missing")).count(), 0);
         assert_eq!(idx.len(), 2);
     }
 
@@ -105,7 +114,7 @@ mod tests {
         let mut idx = ProviderIndex::new();
         idx.provide(cid("a"), NodeId(1));
         idx.provide(cid("a"), NodeId(1));
-        assert_eq!(idx.providers(cid("a")).len(), 1);
+        assert_eq!(idx.providers(cid("a")).count(), 1);
     }
 
     #[test]
@@ -113,9 +122,34 @@ mod tests {
         let mut idx = ProviderIndex::new();
         idx.provide(cid("a"), NodeId(1));
         idx.unprovide(cid("a"), NodeId(1));
-        assert!(idx.providers(cid("a")).is_empty());
+        assert_eq!(idx.providers(cid("a")).count(), 0);
         assert!(idx.is_empty());
         // Unproviding again is a no-op.
         idx.unprovide(cid("a"), NodeId(1));
+    }
+
+    #[test]
+    fn provider_order_is_deterministic_regardless_of_insertion_order() {
+        // The fetch path resolves providers through this iterator and
+        // tie-breaks on NodeId, so its order must be a pure function of the
+        // set's *contents* — never of insertion history.
+        let forward = {
+            let mut idx = ProviderIndex::new();
+            for n in 0..16 {
+                idx.provide(cid("w"), NodeId(n));
+            }
+            idx.providers(cid("w")).collect::<Vec<_>>()
+        };
+        let backward = {
+            let mut idx = ProviderIndex::new();
+            for n in (0..16).rev() {
+                idx.provide(cid("w"), NodeId(n));
+            }
+            idx.providers(cid("w")).collect::<Vec<_>>()
+        };
+        assert_eq!(forward, backward);
+        let mut sorted = forward.clone();
+        sorted.sort();
+        assert_eq!(forward, sorted, "providers iterate in ascending NodeId");
     }
 }

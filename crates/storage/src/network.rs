@@ -793,7 +793,6 @@ impl IpfsNode {
         let provider = st
             .dht
             .providers(cid)
-            .into_iter()
             .filter(|p| *p != id)
             .min_by(|a, b| {
                 let la = st.nodes[a.0 as usize].link;

@@ -72,6 +72,7 @@ fn main() {
         transfer: TransferConfig::default(),
         engine: Engine::auto(),
         link_model: LinkModel::Nominal,
+        sharding: None,
     };
     config.validate().expect("valid scenario");
 

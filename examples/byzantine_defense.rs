@@ -48,6 +48,7 @@ fn scenario(policy: AggregationPolicy, label: &str) -> ExperimentConfig {
         transfer: TransferConfig::default(),
         engine: Engine::auto(),
         link_model: LinkModel::Nominal,
+        sharding: None,
     }
 }
 

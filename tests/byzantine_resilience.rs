@@ -63,6 +63,7 @@ fn config(policy: AggregationPolicy, attack: AttackKind) -> ExperimentConfig {
         transfer: TransferConfig::default(),
         engine: Engine::auto(),
         link_model: LinkModel::Nominal,
+        sharding: None,
     }
 }
 

@@ -313,6 +313,138 @@ fn joiner_clock_skew_is_applied_and_recorded() {
 }
 
 #[test]
+fn pre_join_faults_are_skipped_in_sync_and_recorded() {
+    // `FaultPlan::expand` samples faults for all clusters with no
+    // knowledge of `joins_at`, so a crash window can be aimed at rounds
+    // before a joiner exists. The quickstart joiner enters at round 3; a
+    // round-1 crash with a 4-round window would previously leak through
+    // `is_down` into rounds 3–4 and knock the joiner out right after its
+    // bootstrap. The sync engine must skip it (recorded as such) and let
+    // the joiner train its post-join rounds — engine-identically.
+    let mut config = elastic_config(131, Mode::Sync);
+    config.chaos = Some(ChaosConfig::scripted(vec![FaultEvent {
+        cluster: 3,
+        round: 1,
+        kind: FaultKind::Crash { down_rounds: 4 },
+    }]));
+    let (s, p) = both_engines(config);
+    assert_identical("sync pre-join crash", &s, &p);
+    assert_eq!(s.membership.len(), 1, "the join fired");
+    let crashes: Vec<_> = s
+        .chaos
+        .records
+        .iter()
+        .filter(|r| r.kind == "crash")
+        .collect();
+    assert_eq!(crashes.len(), 1, "exactly the scripted crash: {crashes:?}");
+    assert_eq!(crashes[0].cluster, "agg-late");
+    assert_eq!(
+        crashes[0].outcome, "skipped: not yet joined",
+        "the pre-join crash must be recorded as skipped, not applied"
+    );
+    let joiner = s.aggregators.iter().find(|a| a.name == "agg-late").unwrap();
+    assert_eq!(joiner.rounds, 2, "the joiner trains rounds 3 and 4");
+}
+
+#[test]
+fn pre_join_faults_are_deferred_in_async() {
+    // The async engine numbers rounds per cluster from its join, so a
+    // "round 1" fault aimed at a joiner fires on its first post-join round
+    // — deferred rather than lost, and the run stays engine-identical.
+    let mut config = elastic_config(137, Mode::Async);
+    config.chaos = Some(ChaosConfig::scripted(vec![FaultEvent {
+        cluster: 3,
+        round: 1,
+        kind: FaultKind::Crash { down_rounds: 1 },
+    }]));
+    let (s, p) = both_engines(config);
+    assert_identical("async pre-join crash", &s, &p);
+    assert_eq!(s.membership.len(), 1, "the join fired");
+    assert!(
+        s.chaos
+            .records
+            .iter()
+            .any(|r| r.cluster == "agg-late" && r.kind == "crash"),
+        "the deferred crash fired after the join: {:?}",
+        s.chaos.records
+    );
+    let joiner = s.aggregators.iter().find(|a| a.name == "agg-late").unwrap();
+    assert_eq!(joiner.rounds, 4, "async churn costs time, not rounds");
+    let join_at = s.membership[0].at_secs;
+    assert!(
+        joiner.curve[0].time_secs > join_at,
+        "the crash was charged after the join, not before"
+    );
+}
+
+#[test]
+fn sharded_run_with_joiner_and_chaos_stays_engine_identical() {
+    // The tentpole's composition claim: the two-tier topology rides the
+    // same kernel as chaos and elastic membership without breaking the
+    // engine-identity discipline.
+    use unifyfl::core::ShardConfig;
+    for mode in [Mode::Sync, Mode::Async] {
+        let mut config = elastic_config(139, mode);
+        config.sharding = Some(ShardConfig::new(2));
+        config.chaos = Some(ChaosConfig::scripted(vec![FaultEvent {
+            cluster: 0,
+            round: 2,
+            kind: FaultKind::Crash { down_rounds: 1 },
+        }]));
+        let (s, p) = both_engines(config);
+        assert_identical(&format!("sharded elastic chaos {mode}"), &s, &p);
+        assert_eq!(s.membership.len(), 1, "{mode}: the join fired");
+        assert!(s.chaos.crashes_fired > 0, "{mode}: the crash fired");
+    }
+}
+
+#[test]
+fn joiner_lands_in_its_seeded_shard() {
+    // The shard assignment is a pure function of (config, seed, n) that
+    // covers not-yet-joined clusters, so a mid-run joiner scores — and is
+    // scored — inside the shard the seed dealt it.
+    use unifyfl::core::{ShardConfig, ShardTopology};
+    let config = elastic_config(31, Mode::Sync);
+    let shard_cfg = ShardConfig::new(2);
+    let topology = ShardTopology::derive(&shard_cfg, config.seed, config.clusters.len());
+    let mut fed = Federation::new_sharded(
+        config.seed,
+        &config.workload,
+        config.partition,
+        config.mode.to_chain(),
+        config.clusters.clone(),
+        Some(topology.clone()),
+    );
+    run_sync_engine(
+        &mut fed,
+        &config.workload,
+        ScorerKind::Accuracy,
+        config.window_margin,
+        Engine::Sequential,
+    );
+    let joiner = fed.clusters[3].address();
+    let expected = topology.shard_of(3) as u32;
+    assert_eq!(fed.contract().shard_of(joiner), expected);
+    let mut submitted = 0;
+    for e in fed
+        .contract()
+        .entries()
+        .iter()
+        .filter(|e| e.submitter == joiner)
+    {
+        submitted += 1;
+        for s in &e.scorers {
+            assert_eq!(
+                fed.contract().shard_of(*s),
+                expected,
+                "the joiner's releases are scored intra-shard"
+            );
+        }
+    }
+    assert!(submitted > 0, "the joiner submitted after joining");
+}
+
+#[test]
 fn multikrum_with_straggler_and_joiner_stays_engine_identical() {
     // The widest sync composition: MultiKRUM scoring, a 50x straggler
     // exercising carryover, and a mid-run join shifting the scorer pool.

@@ -52,6 +52,7 @@ fn config(dp: Option<DpConfig>) -> ExperimentConfig {
         transfer: TransferConfig::default(),
         engine: Engine::auto(),
         link_model: LinkModel::Nominal,
+        sharding: None,
     }
 }
 

@@ -1,0 +1,80 @@
+//! PR 6 equivalence discipline: a single-shard topology is a complete
+//! no-op.
+//!
+//! With `shards = 1` the engines schedule no shard events, the contract's
+//! shard map stays empty, and the windows are sized from the whole
+//! federation — so a sharded configuration must produce a full-Debug
+//! report **byte-identical** to the unsharded engine, per seed, in both
+//! modes. The scorer cap rides along: at `k = n - 1` the sample takes the
+//! entire peer pool, which equals the paper's majority (⌊n/2⌋ + 1) for
+//! n ≤ 4 — the federation sizes exercised here. (At n ≥ 5 the majority is
+//! smaller than the pool, so `k = n - 1` would legitimately diverge; the
+//! cap-free `scorers_per_release: None` case is covered too.)
+
+use proptest::prelude::*;
+use unifyfl::core::cluster::ClusterConfig;
+use unifyfl::core::experiment::{ExperimentBuilder, ExperimentReport, Mode};
+use unifyfl::core::ShardConfig;
+use unifyfl::sim::DeviceProfile;
+
+fn run(seed: u64, mode: Mode, n: usize, sharding: Option<ShardConfig>) -> ExperimentReport {
+    let clusters = (0..n)
+        .map(|i| ClusterConfig::edge(format!("agg-{}", i + 1), DeviceProfile::edge_cpu()))
+        .collect();
+    let mut builder = ExperimentBuilder::quickstart()
+        .seed(seed)
+        .rounds(2)
+        .mode(mode)
+        .clusters(clusters);
+    if let Some(s) = sharding {
+        builder = builder.sharding(s);
+    }
+    builder.run().expect("valid configuration")
+}
+
+proptest! {
+    /// `shards = 1, k = n - 1` reproduces the unsharded engine byte for
+    /// byte (full `Debug` of the report: curves, chain stats, resource
+    /// summaries, everything).
+    #[test]
+    fn single_shard_with_full_pool_cap_is_byte_identical(
+        seed in any::<u64>(),
+        n in 3usize..5,
+        mode_idx in 0usize..2,
+    ) {
+        let mode = [Mode::Sync, Mode::Async][mode_idx];
+        let flat = run(seed, mode, n, None);
+        let sharded = run(
+            seed,
+            mode,
+            n,
+            Some(ShardConfig::new(1).with_scorers(n - 1)),
+        );
+        prop_assert_eq!(
+            format!("{flat:?}"),
+            format!("{sharded:?}"),
+            "shards=1, k=n-1 must be a no-op (seed {}, {}, n {})",
+            seed,
+            mode,
+            n
+        );
+    }
+}
+
+#[test]
+fn single_shard_without_cap_is_byte_identical_in_both_modes() {
+    // The cap-free topology (`scorers_per_release: None`) must also be a
+    // no-op — the contract falls back to the paper's majority sampling —
+    // and this holds at any n, pinned here for both modes at a few seeds.
+    for mode in [Mode::Sync, Mode::Async] {
+        for seed in [7u64, 42, 1234] {
+            let flat = run(seed, mode, 5, None);
+            let sharded = run(seed, mode, 5, Some(ShardConfig::new(1)));
+            assert_eq!(
+                format!("{flat:?}"),
+                format!("{sharded:?}"),
+                "cap-free shards=1 must be a no-op (seed {seed}, {mode})"
+            );
+        }
+    }
+}
