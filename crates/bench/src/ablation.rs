@@ -55,6 +55,7 @@ fn base_config(seed: u64, mode: Mode) -> ExperimentConfig {
         clusters,
         window_margin: 1.15,
         chaos: None,
+        gossip: None,
         transfer: TransferConfig::default(),
         engine: Engine::auto(),
         link_model: LinkModel::Nominal,

@@ -1,0 +1,37 @@
+//! Gossip benchmark: topology-aware dissemination vs. flat fetch at two
+//! fleet sizes (60/240 fetchers; 500/1,000 with `--full`). Prints the
+//! summary and writes `BENCH_gossip.json` to the working directory
+//! (override with `--out PATH`; `--seed N` to vary the seed).
+//!
+//! Asserts the two gossip gates: the busiest node's wire bytes grow with
+//! a log-log exponent below 0.5 under overlay routing (flat ≈ 1.0), and
+//! overlay runs report byte-identical to flat runs outside the transfer
+//! section under the `Nominal` link model.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = unifyfl_bench::Scale::from_args(&args);
+    let seed = unifyfl_bench::seed_from_args(&args);
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_gossip.json", String::as_str);
+
+    let bench = unifyfl_bench::gossip::run(scale, seed);
+    print!("{}", unifyfl_bench::gossip::render(&bench));
+    let json = unifyfl_bench::gossip::render_json(&bench, seed, scale);
+    std::fs::write(out_path, &json).expect("write BENCH_gossip.json");
+    println!("\nwrote {out_path}:\n{json}");
+
+    assert!(
+        bench.sub_sqrt(),
+        "gossip busiest-node exponent {:.3} breached the {} bar",
+        bench.gossip_exponent(),
+        unifyfl_bench::gossip::GOSSIP_EXPONENT_BAR,
+    );
+    assert!(
+        bench.equivalence.reports_identical,
+        "gossip routing must report byte-identical outside the transfer section",
+    );
+}

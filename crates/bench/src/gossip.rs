@@ -1,0 +1,458 @@
+//! Gossip trajectory: topology-aware dissemination vs. flat fetch.
+//!
+//! Flat provider selection concentrates serving: with one publisher and
+//! `n` fetchers, the publisher's wire counter grows as O(n) — every fetch
+//! is served from the same best-ranked node. The gossip overlay
+//! ([`unifyfl_storage::topology`]) bounds it: fetchers pull from their
+//! *nearest* provider hop by hop, retained copies re-provide, and chunk
+//! swarming splits a DAG across close-by holders, so the busiest node's
+//! wire bytes (fetched + served + relayed) flatten toward the per-node
+//! degree instead of the fleet size. This bench measures the busiest-node
+//! byte curve at two fleet sizes per arm and asserts:
+//!
+//! 1. **Sub-√ growth under gossip** — the log-log exponent of
+//!    `max_node_wire_bytes` between the two sizes stays below
+//!    [`GOSSIP_EXPONENT_BAR`]; the flat arm's exponent is reported
+//!    alongside (it measures ≈ 1.0).
+//! 2. **Routing neutrality** — experiment reports with the overlay on are
+//!    **byte-identical** outside the transfer section to flat-fetch runs
+//!    under the `Nominal` link model, per seed, in both modes (routing
+//!    changes bytes and virtual time, never results).
+//!
+//! Quick scale runs 60/240 fetchers so the gates ride in tier-1 tests;
+//! `--full` runs 500/1,000. The `gossip` binary emits `BENCH_gossip.json`
+//! (schema in `docs/BENCH.md`).
+
+use std::time::Instant;
+
+use unifyfl_core::cluster::ClusterConfig;
+use unifyfl_core::experiment::{ExperimentBuilder, Mode, TransferReport};
+use unifyfl_core::{GossipConfig, ShardConfig, ShardTopology};
+use unifyfl_sim::DeviceProfile;
+use unifyfl_storage::topology::GossipTopology;
+use unifyfl_storage::{IpfsNetwork, LinkProfile, TransferConfig};
+
+use crate::Scale;
+
+/// Sub-√ bar on the log-log busiest-node byte exponent between the two
+/// measured fleet sizes under gossip routing (flat measures ≈ 1.0).
+pub const GOSSIP_EXPONENT_BAR: f64 = 0.5;
+
+/// Target neighborhood population; the neighborhood count is
+/// `ceil(nodes / NEIGHBORHOOD_SIZE)` (composes with the shard topology:
+/// shard = neighborhood).
+pub const NEIGHBORHOOD_SIZE: usize = 40;
+
+/// Published blob size: 2.5 chunks of the 256 KiB chunker, so swarming
+/// has a multi-block DAG to split.
+pub const BLOB_BYTES: usize = 640 * 1024;
+
+/// The two measured fetcher counts at a given scale.
+pub fn fleet_sizes(scale: Scale) -> (usize, usize) {
+    match scale {
+        Scale::Quick => (60, 240),
+        Scale::Full => (500, 1000),
+    }
+}
+
+/// One dissemination run: a single publisher adds [`BLOB_BYTES`] of
+/// content, `n` fetchers pull it in a seeded-stride order.
+pub struct DisseminationArm {
+    /// Fetchers in the fleet (nodes = fetchers + 1 publisher).
+    pub fetchers: usize,
+    /// Busiest node's wire bytes (fetched + served + relayed).
+    pub max_wire_bytes: u64,
+    /// Total physical bytes moved on the wire.
+    pub total_wire_bytes: u64,
+    /// Fetches that went over the overlay (0 in the flat arm).
+    pub routed_fetches: u64,
+    /// Route edges charged across all routed fetches.
+    pub route_hops: u64,
+    /// Bytes carried by intermediate relay nodes.
+    pub relayed_bytes: u64,
+    /// Real elapsed seconds (host-dependent; informational).
+    pub wall_secs: f64,
+}
+
+/// The neighborhood assignment for `nodes` participants: fixed-population
+/// neighborhoods drawn from the same seeded shard topology the federation
+/// uses (shard = neighborhood).
+fn neighborhoods(nodes: usize, seed: u64) -> Vec<usize> {
+    let shards = nodes.div_ceil(NEIGHBORHOOD_SIZE);
+    let topology = ShardTopology::derive(&ShardConfig::new(shards), seed, nodes);
+    (0..nodes).map(|i| topology.shard_of(i)).collect()
+}
+
+/// Runs one dissemination arm: flat when `gossip` is `None`, routed over
+/// the derived overlay otherwise. The transfer optimizations are off so
+/// the counters measure raw dissemination, not dedup/cache artifacts.
+pub fn run_arm(n: usize, seed: u64, gossip: Option<GossipConfig>) -> DisseminationArm {
+    let start = Instant::now();
+    let net = IpfsNetwork::new();
+    net.configure_transfer(TransferConfig::disabled(), seed);
+    let publisher = net.add_node(LinkProfile::lan());
+    let fetchers: Vec<_> = (0..n).map(|_| net.add_node(LinkProfile::edge())).collect();
+    if let Some(config) = gossip {
+        let hoods = neighborhoods(n + 1, seed);
+        let topology = GossipTopology::derive(&config, seed, &hoods);
+        net.install_topology(config, topology);
+    }
+    let blob: Vec<u8> = (0..BLOB_BYTES)
+        .map(|i| (i as u64).wrapping_mul(31).wrapping_add(seed) as u8)
+        .collect();
+    let cid = publisher.add(&blob).cid;
+    // Seeded-stride visit order: a fixed odd stride coprime to n walks
+    // every fetcher exactly once, scattering consecutive fetches across
+    // the neighborhoods instead of draining them in index order.
+    let mut stride = (seed as usize % n) | 1;
+    while gcd(stride, n) != 1 {
+        stride += 2;
+    }
+    for i in 0..n {
+        let idx = (i * stride) % n;
+        fetchers[idx]
+            .get(cid)
+            .expect("fault-free dissemination fetch succeeds");
+    }
+    let stats = net.transfer_stats();
+    DisseminationArm {
+        fetchers: n,
+        max_wire_bytes: net.max_node_wire_bytes(),
+        total_wire_bytes: stats.physical_bytes,
+        routed_fetches: stats.routed_fetches,
+        route_hops: stats.route_hops,
+        relayed_bytes: stats.relayed_bytes,
+        wall_secs: start.elapsed().as_secs_f64(),
+    }
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// The routing-neutrality arm: under the `Nominal` link model a gossip
+/// run must report **byte-identical** to the flat run outside the
+/// transfer section, per seed, in both modes.
+pub struct EquivalenceArm {
+    /// Clusters in the equivalence fleet.
+    pub clusters: usize,
+    /// Seeds tested.
+    pub seeds: Vec<u64>,
+    /// True if every (seed, mode) pair reported byte-identically outside
+    /// the transfer section.
+    pub reports_identical: bool,
+}
+
+/// Runs the equivalence arm over `seeds`.
+pub fn run_equivalence(seeds: &[u64]) -> EquivalenceArm {
+    let n = 4;
+    let run = |seed: u64, mode: Mode, gossip: Option<GossipConfig>| {
+        let clusters = (0..n)
+            .map(|i| ClusterConfig::edge(format!("agg-{}", i + 1), DeviceProfile::edge_cpu()))
+            .collect();
+        let mut builder = ExperimentBuilder::quickstart()
+            .seed(seed)
+            .rounds(3)
+            .mode(mode)
+            .clusters(clusters)
+            .sharding(ShardConfig::new(2));
+        if let Some(g) = gossip {
+            builder = builder.gossip(g);
+        }
+        let mut report = builder.run().expect("equivalence config is valid");
+        report.transfer = TransferReport::default();
+        format!("{report:?}")
+    };
+    let reports_identical = seeds.iter().all(|&seed| {
+        [Mode::Sync, Mode::Async]
+            .into_iter()
+            .all(|mode| run(seed, mode, None) == run(seed, mode, Some(GossipConfig::default())))
+    });
+    EquivalenceArm {
+        clusters: n,
+        seeds: seeds.to_vec(),
+        reports_identical,
+    }
+}
+
+/// One fleet size measured under both routing disciplines.
+pub struct SizePoint {
+    /// The flat-fetch arm.
+    pub flat: DisseminationArm,
+    /// The overlay-routed arm.
+    pub gossip: DisseminationArm,
+}
+
+/// The complete benchmark result.
+pub struct GossipBench {
+    /// The smaller measured fleet.
+    pub small: SizePoint,
+    /// The larger measured fleet.
+    pub large: SizePoint,
+    /// The routing-neutrality check.
+    pub equivalence: EquivalenceArm,
+}
+
+impl GossipBench {
+    /// Log-log growth exponent of the busiest node's wire bytes between
+    /// the two fleet sizes under flat routing (≈ 1.0: one provider
+    /// serves everyone).
+    pub fn flat_exponent(&self) -> f64 {
+        exponent(&self.small.flat, &self.large.flat)
+    }
+
+    /// The same exponent under gossip routing (the gated curve).
+    pub fn gossip_exponent(&self) -> f64 {
+        exponent(&self.small.gossip, &self.large.gossip)
+    }
+
+    /// True if the gossip curve stays below [`GOSSIP_EXPONENT_BAR`].
+    pub fn sub_sqrt(&self) -> bool {
+        self.gossip_exponent() < GOSSIP_EXPONENT_BAR
+    }
+}
+
+fn exponent(small: &DisseminationArm, large: &DisseminationArm) -> f64 {
+    (large.max_wire_bytes as f64 / small.max_wire_bytes as f64).ln()
+        / (large.fetchers as f64 / small.fetchers as f64).ln()
+}
+
+/// Runs both fleet sizes under both disciplines plus the equivalence arm.
+pub fn run(scale: Scale, seed: u64) -> GossipBench {
+    let (small_n, large_n) = fleet_sizes(scale);
+    let point = |n: usize| SizePoint {
+        flat: run_arm(n, seed, None),
+        gossip: run_arm(n, seed, Some(GossipConfig::default())),
+    };
+    GossipBench {
+        small: point(small_n),
+        large: point(large_n),
+        equivalence: run_equivalence(&[seed, seed.wrapping_add(1)]),
+    }
+}
+
+/// Renders the machine-readable `BENCH_gossip.json` body.
+pub fn render_json(bench: &GossipBench, seed: u64, scale: Scale) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"gossip\",\n");
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!(
+        "  \"scale\": \"{}\",\n",
+        if scale == Scale::Full {
+            "full"
+        } else {
+            "quick"
+        }
+    ));
+    out.push_str(&format!("  \"blob_bytes\": {BLOB_BYTES},\n"));
+    out.push_str(&format!(
+        "  \"flat_exponent\": {:.3},\n",
+        bench.flat_exponent()
+    ));
+    out.push_str(&format!(
+        "  \"gossip_exponent\": {:.3},\n",
+        bench.gossip_exponent()
+    ));
+    out.push_str(&format!(
+        "  \"gossip_exponent_bar\": {GOSSIP_EXPONENT_BAR},\n"
+    ));
+    out.push_str(&format!("  \"sub_sqrt\": {},\n", bench.sub_sqrt()));
+    out.push_str("  \"equivalence\": {\n");
+    out.push_str(&format!(
+        "    \"clusters\": {},\n",
+        bench.equivalence.clusters
+    ));
+    out.push_str(&format!(
+        "    \"seeds\": [{}],\n",
+        bench
+            .equivalence
+            .seeds
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str(&format!(
+        "    \"reports_identical\": {}\n",
+        bench.equivalence.reports_identical
+    ));
+    out.push_str("  },\n");
+    out.push_str("  \"arms\": [\n");
+    let points = [&bench.small, &bench.large];
+    for (i, point) in points.into_iter().enumerate() {
+        for (j, (routing, arm)) in [("flat", &point.flat), ("gossip", &point.gossip)]
+            .into_iter()
+            .enumerate()
+        {
+            out.push_str(&format!(
+                concat!(
+                    "    {{\n",
+                    "      \"routing\": \"{}\",\n",
+                    "      \"fetchers\": {},\n",
+                    "      \"max_node_wire_bytes\": {},\n",
+                    "      \"total_wire_bytes\": {},\n",
+                    "      \"routed_fetches\": {},\n",
+                    "      \"route_hops\": {},\n",
+                    "      \"relayed_bytes\": {},\n",
+                    "      \"wall_secs\": {:.3}\n",
+                    "    }}{}\n",
+                ),
+                routing,
+                arm.fetchers,
+                arm.max_wire_bytes,
+                arm.total_wire_bytes,
+                arm.routed_fetches,
+                arm.route_hops,
+                arm.relayed_bytes,
+                arm.wall_secs,
+                if i == 1 && j == 1 { "" } else { "," },
+            ));
+        }
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders the human-readable summary.
+pub fn render(bench: &GossipBench) -> String {
+    let mut out = String::new();
+    out.push_str("Gossip bench: topology-aware dissemination vs. flat fetch\n\n");
+    out.push_str(&format!(
+        "{:>8} {:>8} {:>16} {:>16} {:>10} {:>14}\n",
+        "routing", "fetchers", "max_node_bytes", "total_bytes", "hops", "relayed"
+    ));
+    for point in [&bench.small, &bench.large] {
+        for (routing, arm) in [("flat", &point.flat), ("gossip", &point.gossip)] {
+            out.push_str(&format!(
+                "{:>8} {:>8} {:>16} {:>16} {:>10} {:>14}\n",
+                routing,
+                arm.fetchers,
+                arm.max_wire_bytes,
+                arm.total_wire_bytes,
+                arm.route_hops,
+                arm.relayed_bytes,
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "\nbusiest-node exponent: flat {:.3}, gossip {:.3} (bar {GOSSIP_EXPONENT_BAR}) — sub-sqrt: {}\n",
+        bench.flat_exponent(),
+        bench.gossip_exponent(),
+        bench.sub_sqrt(),
+    ));
+    out.push_str(&format!(
+        "routing neutrality ({} clusters, seeds {:?}): reports identical outside transfer: {}\n",
+        bench.equivalence.clusters, bench.equivalence.seeds, bench.equivalence.reports_identical,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_fleet_disseminates_sub_sqrt_and_stays_neutral() {
+        // The tier-1 rendition of the dissemination gate: same overlay
+        // and bars at 60/240 fetchers. Asserted here so a regression in
+        // the routing pattern fails `cargo test`, not just CI's
+        // release-mode run.
+        let bench = run(Scale::Quick, 42);
+        assert!(
+            bench.sub_sqrt(),
+            "gossip exponent {:.3} breached the {GOSSIP_EXPONENT_BAR} bar ({} -> {} bytes)",
+            bench.gossip_exponent(),
+            bench.small.gossip.max_wire_bytes,
+            bench.large.gossip.max_wire_bytes,
+        );
+        assert!(
+            bench.flat_exponent() > 0.9,
+            "flat exponent {:.3}: the baseline must concentrate serving",
+            bench.flat_exponent(),
+        );
+        for point in [&bench.small, &bench.large] {
+            assert_eq!(point.flat.routed_fetches, 0, "flat arm must not route");
+            assert!(point.gossip.routed_fetches > 0, "overlay must engage");
+            assert!(
+                point.gossip.relayed_bytes > 0,
+                "routes must traverse relays"
+            );
+            assert!(
+                point.gossip.max_wire_bytes < point.flat.max_wire_bytes,
+                "gossip must shed the hotspot ({} vs {})",
+                point.gossip.max_wire_bytes,
+                point.flat.max_wire_bytes,
+            );
+        }
+        assert!(
+            bench.equivalence.reports_identical,
+            "gossip routing changed results outside the transfer section"
+        );
+    }
+
+    #[test]
+    fn json_rendering_is_well_formed() {
+        // Hand-built arms: the JSON shape must not depend on running the
+        // fleet twice in a unit test.
+        let arm = |n: usize, routed: bool| DisseminationArm {
+            fetchers: n,
+            max_wire_bytes: if routed {
+                5_000_000
+            } else {
+                n as u64 * 655_360
+            },
+            total_wire_bytes: n as u64 * 655_360,
+            routed_fetches: if routed { n as u64 } else { 0 },
+            route_hops: if routed { n as u64 * 3 } else { 0 },
+            relayed_bytes: if routed { n as u64 * 100_000 } else { 0 },
+            wall_secs: 0.5,
+        };
+        let bench = GossipBench {
+            small: SizePoint {
+                flat: arm(60, false),
+                gossip: arm(60, true),
+            },
+            large: SizePoint {
+                flat: arm(240, false),
+                gossip: arm(240, true),
+            },
+            equivalence: EquivalenceArm {
+                clusters: 4,
+                seeds: vec![42, 43],
+                reports_identical: true,
+            },
+        };
+        let json = render_json(&bench, 42, Scale::Quick);
+        assert!(json.contains("\"bench\": \"gossip\""));
+        assert!(json.contains("\"gossip_exponent\""));
+        assert!(json.contains("\"routing\": \"flat\""));
+        assert!(json.contains("\"routing\": \"gossip\""));
+        assert!(json.contains("\"reports_identical\": true"));
+        assert!(json.contains("\"scale\": \"quick\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn stride_order_visits_every_fetcher() {
+        // The arm's stride permutation is a bijection for any n ≥ 1.
+        for n in [1usize, 7, 60, 240] {
+            for seed in [0u64, 7, 42] {
+                let mut stride = (seed as usize % n) | 1;
+                while gcd(stride, n) != 1 {
+                    stride += 2;
+                }
+                let mut seen = vec![false; n];
+                for i in 0..n {
+                    seen[(i * stride) % n] = true;
+                }
+                assert!(seen.into_iter().all(|v| v), "n={n} seed={seed}");
+            }
+        }
+    }
+}

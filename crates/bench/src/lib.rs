@@ -20,11 +20,13 @@
 //! | [`transfer`] | bandwidth trajectory — bytes-on-wire, dedup/delta/cache on vs. off |
 //! | [`speed`] | speed trajectory — wall-clock, parallel two-phase engine vs. sequential |
 //! | [`scale`] | scale trajectory — two-tier sharded federation to 1,000 clusters |
+//! | [`gossip`] | gossip trajectory — busiest-node wire bytes, overlay routing vs. flat fetch |
 //! | [`timeline`] | timeline trajectory — time-to-target-accuracy, sync vs. async × link models × elastic membership |
 
 pub mod ablation;
 pub mod chaos;
 pub mod figure7;
+pub mod gossip;
 pub mod scalability;
 pub mod scale;
 pub mod speed;

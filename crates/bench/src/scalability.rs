@@ -42,6 +42,7 @@ pub fn config(clients_per_agg: usize, scale: Scale, seed: u64) -> ExperimentConf
         clusters,
         window_margin: 1.15,
         chaos: None,
+        gossip: None,
         transfer: TransferConfig::default(),
         engine: Engine::auto(),
         link_model: LinkModel::Nominal,

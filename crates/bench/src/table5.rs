@@ -140,6 +140,7 @@ pub fn config(run_no: u32, scale: Scale, seed: u64) -> ExperimentConfig {
         clusters,
         window_margin: 1.15,
         chaos: None,
+        gossip: None,
         transfer: TransferConfig::default(),
         engine: Engine::auto(),
         link_model: LinkModel::Nominal,

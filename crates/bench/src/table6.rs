@@ -55,6 +55,7 @@ pub fn config(run_name: &str, scale: Scale, seed: u64) -> ExperimentConfig {
         clusters,
         window_margin: 1.15,
         chaos: None,
+        gossip: None,
         transfer: TransferConfig::default(),
         engine: Engine::auto(),
         link_model: LinkModel::Nominal,

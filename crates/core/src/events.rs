@@ -105,6 +105,19 @@ pub enum Event {
         /// 1-based inter-shard exchange epoch.
         epoch: u64,
     },
+    /// Gossip dissemination: one cluster prefetches the epoch's sealed
+    /// shard releases along the storage overlay, so the following
+    /// [`Event::ShardExchange`] is served locally. Scheduled at the same
+    /// instant as the exchange but strictly before it (the kernel pops
+    /// same-time events FIFO); charges no virtual time — the transfer
+    /// overlaps the idle window the exchange would otherwise spend
+    /// fetching.
+    PrefetchDue {
+        /// Cluster doing the prefetch.
+        cluster: usize,
+        /// 1-based inter-shard exchange epoch being prefetched.
+        epoch: u64,
+    },
 }
 
 impl Event {
@@ -121,6 +134,7 @@ impl Event {
             Event::SealSlot => "seal_slot",
             Event::ShardSealDue { .. } => "shard_seal_due",
             Event::ShardExchange { .. } => "shard_exchange",
+            Event::PrefetchDue { .. } => "prefetch_due",
         }
     }
 
@@ -130,7 +144,8 @@ impl Event {
             Event::MembershipChange { cluster }
             | Event::TrainingDone { cluster, .. }
             | Event::ScoresDue { cluster, .. }
-            | Event::ClusterWake { cluster } => Some(*cluster),
+            | Event::ClusterWake { cluster }
+            | Event::PrefetchDue { cluster, .. } => Some(*cluster),
             _ => None,
         }
     }
@@ -198,5 +213,21 @@ mod tests {
         assert_eq!(Event::ShardExchange { epoch: 2 }.label(), "shard_exchange");
         assert_eq!(Event::ShardSealDue { epoch: 1 }.cluster(), None);
         assert_eq!(Event::ShardExchange { epoch: 1 }.cluster(), None);
+        assert_eq!(
+            Event::PrefetchDue {
+                cluster: 3,
+                epoch: 1
+            }
+            .label(),
+            "prefetch_due"
+        );
+        assert_eq!(
+            Event::PrefetchDue {
+                cluster: 3,
+                epoch: 1
+            }
+            .cluster(),
+            Some(3)
+        );
     }
 }

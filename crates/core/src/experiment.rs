@@ -13,6 +13,7 @@ use unifyfl_data::{Partition, WorkloadConfig};
 use unifyfl_sim::fault::{ChaosConfig, FaultKind, FaultPlan, FaultRecord};
 use unifyfl_sim::{ResourceSummary, SeedTree};
 use unifyfl_storage::network::TransferConfig;
+use unifyfl_storage::topology::GossipConfig;
 
 use crate::cluster::{ClusterConfig, ClusterNode};
 use crate::federation::Federation;
@@ -72,6 +73,16 @@ pub struct ExperimentConfig {
     /// sealed releases on the [`ShardConfig::exchange_every`] cadence. A
     /// `shards = 1` topology is behaviorally flat (byte-identical reports).
     pub sharding: Option<ShardConfig>,
+    /// Gossip overlay for storage dissemination; `None` (the default
+    /// everywhere) keeps flat point-to-point fetches. When set, a seeded
+    /// neighbor graph is derived (shards double as neighborhoods when
+    /// sharding is on), remote fetches route hop-by-hop toward the
+    /// nearest provider with chunk swarming, and the engines schedule
+    /// prefetch-along-topology events ahead of shard exchanges. Under
+    /// [`LinkModel::Nominal`] a fault-free gossip run is byte-identical
+    /// to the flat run outside the report's transfer section — routing
+    /// changes bytes and virtual time, never results.
+    pub gossip: Option<GossipConfig>,
 }
 
 /// Validation failure for an experiment configuration.
@@ -99,6 +110,8 @@ pub enum ExperimentError {
     InvalidReleasePrecision(u32),
     /// A sharding knob is out of range (the name of the offending knob).
     InvalidSharding(&'static str),
+    /// A gossip knob is out of range (the name of the offending knob).
+    InvalidGossip(&'static str),
 }
 
 impl std::fmt::Display for ExperimentError {
@@ -139,6 +152,9 @@ impl std::fmt::Display for ExperimentError {
             }
             ExperimentError::InvalidSharding(knob) => {
                 write!(f, "sharding knob {knob} is out of range")
+            }
+            ExperimentError::InvalidGossip(knob) => {
+                write!(f, "gossip knob {knob} is out of range")
             }
         }
     }
@@ -288,6 +304,12 @@ pub struct TransferReport {
     /// Submissions without one (no usable base, or an unchanged
     /// re-release).
     pub full_publishes: u64,
+    /// Remote fetches routed over the gossip overlay (0 = flat routing).
+    pub routed_fetches: u64,
+    /// Overlay hops those fetches traversed, summed per transfer branch.
+    pub route_hops: u64,
+    /// Bytes forwarded through intermediate relays (never retained).
+    pub relayed_bytes: u64,
 }
 
 impl TransferReport {
@@ -420,6 +442,14 @@ impl ExperimentConfig {
                 ));
             }
         }
+        if let Some(gossip) = &self.gossip {
+            if gossip.degree == 0 {
+                return Err(ExperimentError::InvalidGossip("degree (zero)"));
+            }
+            if gossip.swarm == 0 {
+                return Err(ExperimentError::InvalidGossip("swarm (zero)"));
+            }
+        }
         if let Some(chaos) = &self.chaos {
             chaos.validate().map_err(ExperimentError::InvalidChaos)?;
             for e in &chaos.events {
@@ -471,6 +501,9 @@ pub fn run_experiment(config: &ExperimentConfig) -> Result<ExperimentReport, Exp
     );
     fed.configure_transfer(config.transfer);
     fed.set_link_model(config.link_model);
+    if let Some(gossip) = config.gossip.as_ref() {
+        fed.install_gossip(*gossip);
+    }
     if let Some(chaos) = config.chaos.as_ref().filter(|c| !c.is_quiescent()) {
         // One derived seed makes the whole schedule (and the storage/chain
         // injector streams) a pure function of the experiment seed.
@@ -586,6 +619,9 @@ fn build_transfer_report(fed: &Federation) -> TransferReport {
         delta_bytes_saved: stats.delta_bytes_saved,
         delta_publishes,
         full_publishes,
+        routed_fetches: stats.routed_fetches,
+        route_hops: stats.route_hops,
+        relayed_bytes: stats.relayed_bytes,
     }
 }
 
@@ -665,6 +701,7 @@ impl ExperimentBuilder {
                 engine: Engine::auto(),
                 link_model: LinkModel::Nominal,
                 sharding: None,
+                gossip: None,
             },
         }
     }
@@ -760,6 +797,12 @@ impl ExperimentBuilder {
     /// Arms the two-tier shard topology (see [`ShardConfig`]).
     pub fn sharding(mut self, sharding: ShardConfig) -> Self {
         self.config.sharding = Some(sharding);
+        self
+    }
+
+    /// Arms topology-aware gossip dissemination (see [`GossipConfig`]).
+    pub fn gossip(mut self, gossip: GossipConfig) -> Self {
+        self.config.gossip = Some(gossip);
         self
     }
 

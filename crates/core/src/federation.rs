@@ -15,6 +15,7 @@ use unifyfl_data::{Dataset, Partition, WorkloadConfig};
 use unifyfl_sim::fault::{FaultPlan, FaultRecord};
 use unifyfl_sim::{ResourceMonitor, SimDuration, SimTime};
 use unifyfl_storage::network::{LinkProfile, TransferConfig};
+use unifyfl_storage::topology::{GossipConfig, GossipTopology};
 use unifyfl_storage::{Cid, IpfsNetwork, StorageFaults};
 use unifyfl_tensor::delta::delta_from_bytes;
 use unifyfl_tensor::zoo::ModelSpec;
@@ -141,6 +142,8 @@ pub struct Federation {
     retried_txs: u64,
     /// Two-tier shard topology, when the experiment runs sharded.
     shard_topology: Option<ShardTopology>,
+    /// Gossip overlay config, when topology-aware dissemination is on.
+    gossip: Option<GossipConfig>,
 }
 
 impl Federation {
@@ -259,6 +262,7 @@ impl Federation {
             lost_txs: Vec::new(),
             retried_txs: 0,
             shard_topology: sharding,
+            gossip: None,
         };
 
         // Register every *founding* aggregator; elastic joiners
@@ -318,6 +322,43 @@ impl Federation {
     /// The two-tier shard topology, when the experiment runs sharded.
     pub fn shard_topology(&self) -> Option<&ShardTopology> {
         self.shard_topology.as_ref()
+    }
+
+    /// Derives and installs the seeded gossip overlay on the storage
+    /// fabric. Shards double as neighborhoods when the federation is
+    /// sharded; otherwise the whole federation forms one neighborhood
+    /// (whose ring + chords is already a small world). The engines read
+    /// the config back ([`Federation::gossip`]) to schedule
+    /// prefetch-along-topology events ahead of shard exchanges.
+    pub fn install_gossip(&mut self, config: GossipConfig) {
+        let neighborhoods: Vec<usize> =
+            match self.shard_topology.as_ref().filter(|t| t.is_sharded()) {
+                Some(t) => (0..self.clusters.len()).map(|i| t.shard_of(i)).collect(),
+                None => vec![0; self.clusters.len()],
+            };
+        let seed = unifyfl_sim::SeedTree::new(self.transfer_seed).seed("gossip");
+        let topology = GossipTopology::derive(&config, seed, &neighborhoods);
+        self.ipfs.install_topology(config, topology);
+        self.gossip = Some(config);
+    }
+
+    /// The installed gossip overlay config, if any.
+    pub fn gossip(&self) -> Option<GossipConfig> {
+        self.gossip
+    }
+
+    /// Warms a cluster's storage along the gossip overlay ahead of a
+    /// shard exchange: fetches (and retains) exactly the CIDs the
+    /// exchange will, so the exchange is served locally. Charges nothing
+    /// to the virtual clock or the resource monitor — the transfer
+    /// overlaps the idle window before the exchange fires, which is the
+    /// point of disseminating along the topology. Failures are ignored;
+    /// the exchange path keeps its ordinary retry accounting.
+    pub fn prefetch_weights(&self, cluster: usize, cids: &[Cid]) {
+        let node = self.clusters[cluster].ipfs();
+        for cid in cids {
+            let _ = node.get(*cid);
+        }
     }
 
     /// Records a fired fault's outcome for the experiment report.
@@ -528,7 +569,12 @@ impl Federation {
             Ok(r) => r,
             Err(_) if self.fault_plan.is_some() => {
                 self.ipfs.record_fetch_retry();
-                match attempt() {
+                // Retry with a plain full fetch. Re-running the delta
+                // attempt would roll the delta machinery again and count a
+                // second `delta_fallbacks` for the same logical fetch —
+                // the inner fallback's faults would then surface as extra
+                // outer retries, inflating `fetch_recoveries`.
+                match node.get(cid) {
                     Ok(r) => {
                         self.ipfs.record_fetch_retry_outcome(true);
                         r

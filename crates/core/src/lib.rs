@@ -75,4 +75,4 @@ pub use scoring::ScorerKind;
 pub use sharding::{ShardConfig, ShardTopology};
 pub use step::Engine;
 pub use unifyfl_sim::fault::{ChaosConfig, FaultEvent, FaultKind, FaultPlan, FaultRecord};
-pub use unifyfl_storage::TransferConfig;
+pub use unifyfl_storage::{GossipConfig, TransferConfig};

@@ -268,12 +268,7 @@ fn seal_shard(
 /// model. A shard whose release is unfetchable (never sealed, or lost to a
 /// storage fault) is skipped — the exchange degrades instead of stalling.
 fn exchange_into(fed: &mut Federation, topology: &ShardTopology, idx: usize) -> SimDuration {
-    let my_shard = topology.shard_of(idx);
-    let cids: Vec<Cid> = (0..topology.shards)
-        .filter(|s| *s != my_shard)
-        .filter_map(|s| fed.contract().latest_shard_release(s as u32))
-        .filter_map(|r| r.cid.parse().ok())
-        .collect();
+    let cids = exchange_cids(fed, topology, idx);
     let want = fed.clusters[idx].weights().len();
     let mut peers: Vec<Vec<f32>> = Vec::new();
     let mut physical = SimDuration::ZERO;
@@ -294,6 +289,28 @@ fn exchange_into(fed: &mut Federation, topology: &ShardTopology, idx: usize) -> 
     }
     fed.record_ipfs_burst(spent);
     spent
+}
+
+/// The CIDs [`exchange_into`] will fetch for `idx` at this instant: every
+/// *other* shard's latest sealed release. Factored out so the gossip
+/// prefetch warms exactly the set the exchange reads — all of the epoch's
+/// seals land before either event is scheduled, so the set is stable.
+fn exchange_cids(fed: &Federation, topology: &ShardTopology, idx: usize) -> Vec<Cid> {
+    let my_shard = topology.shard_of(idx);
+    (0..topology.shards)
+        .filter(|s| *s != my_shard)
+        .filter_map(|s| fed.contract().latest_shard_release(s as u32))
+        .filter_map(|r| r.cid.parse().ok())
+        .collect()
+}
+
+/// One cluster's side of a [`Event::PrefetchDue`]: disseminate the
+/// epoch's sealed releases along the gossip overlay into the local store
+/// ahead of the exchange. Charges nothing — see
+/// [`Federation::prefetch_weights`].
+fn prefetch_into(fed: &mut Federation, topology: &ShardTopology, idx: usize) {
+    let cids = exchange_cids(fed, topology, idx);
+    fed.prefetch_weights(idx, &cids);
 }
 
 /// What the training phase decided for one cluster, before any state is
@@ -798,6 +815,16 @@ impl SyncPolicy<'_> {
             seal_end = seal_end.max(at + spent);
         }
         let t = fed.flush_chain_at(seal_end);
+        // Gossip dissemination: prefetches land at the exchange instant
+        // but strictly before it (same-time FIFO), so the exchange reads
+        // warm stores.
+        if fed.gossip().is_some_and(|g| g.prefetch) {
+            for cluster in 0..self.n {
+                if self.joined[cluster] && self.active[cluster] {
+                    queue.schedule(t, Event::PrefetchDue { cluster, epoch });
+                }
+            }
+        }
         queue.schedule(t, Event::ShardExchange { epoch });
     }
 
@@ -890,6 +917,15 @@ impl EventPolicy for SyncPolicy<'_> {
             Event::RoundBarrier { round } => self.round_barrier(fed, queue, round),
             Event::ShardSealDue { epoch } => self.shard_seal_due(fed, queue, at, epoch),
             Event::ShardExchange { epoch } => self.shard_exchange(fed, queue, at, epoch),
+            Event::PrefetchDue { cluster, .. } => {
+                if self.joined[cluster] && self.active[cluster] {
+                    let topology = self
+                        .topology
+                        .clone()
+                        .expect("prefetch events imply a topology");
+                    prefetch_into(fed, &topology, cluster);
+                }
+            }
             // Sync needs no end-of-run drain: every phase boundary already
             // flushed the chain, and retransmission timing is part of the
             // pinned reference order.
@@ -1306,6 +1342,20 @@ impl AsyncPolicy<'_> {
             seal_end = seal_end.max(t + spent);
         }
         fed.flush_chain_at(seal_end);
+        // Gossip dissemination: prefetches fire at the exchange instant,
+        // strictly before it (same-time FIFO). Seals can no longer move
+        // this epoch's releases, so the prefetched set is the exchanged
+        // set.
+        if fed.gossip().is_some_and(|g| g.prefetch) {
+            for cluster in 0..self.n {
+                if self.joined[cluster]
+                    && self.alive[cluster]
+                    && self.finished_at[cluster].is_none()
+                {
+                    queue.schedule(seal_end, Event::PrefetchDue { cluster, epoch });
+                }
+            }
+        }
         queue.schedule(seal_end, Event::ShardExchange { epoch });
         self.ensure_wakes(queue);
     }
@@ -1380,6 +1430,18 @@ impl EventPolicy for AsyncPolicy<'_> {
             Event::MembershipChange { cluster } => self.membership_change(fed, queue, at, cluster),
             Event::ShardSealDue { epoch } => self.shard_seal_due(fed, queue, at, epoch),
             Event::ShardExchange { epoch } => self.shard_exchange(fed, queue, at, epoch),
+            Event::PrefetchDue { cluster, .. } => {
+                if self.joined[cluster]
+                    && self.alive[cluster]
+                    && self.finished_at[cluster].is_none()
+                {
+                    let topology = self
+                        .topology
+                        .clone()
+                        .expect("prefetch events imply a topology");
+                    prefetch_into(fed, &topology, cluster);
+                }
+            }
             // End-of-run drain: seal everything due, flushing any still-
             // pending transactions (exactly the reference's final flush).
             Event::SealSlot => {

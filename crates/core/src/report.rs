@@ -33,8 +33,14 @@ pub const ELIDE_TAIL: usize = 12;
 /// Deterministic head/tail elision: for `n` rows returns the head range,
 /// the number of elided middle rows, and the tail range. `n ≤`
 /// [`ELIDE_ABOVE`] yields `(0..n, 0, n..n)` — rendering unchanged.
+///
+/// Elision only kicks in once the marker actually saves space: at
+/// `n = ELIDE_HEAD + ELIDE_TAIL + 1` the "middle" is a single row, and
+/// replacing one row with a one-line marker hides data for zero savings,
+/// so the full table renders through that point and elision starts at
+/// `ELIDE_HEAD + ELIDE_TAIL + 2` rows (two or more rows elided).
 fn elide(n: usize) -> (std::ops::Range<usize>, usize, std::ops::Range<usize>) {
-    if n <= ELIDE_ABOVE {
+    if n <= ELIDE_ABOVE.max(ELIDE_HEAD + ELIDE_TAIL + 1) {
         (0..n, 0, n..n)
     } else {
         (
@@ -214,6 +220,12 @@ pub fn render_transfer_summary(report: &ExperimentReport) -> String {
         t.delta_fallbacks,
         t.delta_bytes_saved
     ));
+    if t.routed_fetches > 0 {
+        out.push_str(&format!(
+            "gossip:   {} routed fetch(es) over {} hop(s), {} byte(s) relayed\n",
+            t.routed_fetches, t.route_hops, t.relayed_bytes
+        ));
+    }
     out
 }
 
@@ -492,6 +504,32 @@ Aggregator Twelve     1200 All    FedAvg      62.00    52.00     1.00     1.50
     }
 
     #[test]
+    fn run_table_elision_boundary_is_exact() {
+        // 23, 24 and 25 rows all render in full: at 25 the head+tail
+        // window covers 24 of the rows and a marker line would replace a
+        // single row — hiding agg-13 while saving nothing. The regression
+        // this pins: the old `n > ELIDE_ABOVE` test elided at exactly 25.
+        for n in [23, 24, 25] {
+            let table = render_run_table(&synthetic_report(n));
+            assert_eq!(table.lines().count(), 2 + n, "{table}");
+            assert!(!table.contains("more clusters"), "n={n}: {table}");
+            for i in 1..=n {
+                assert!(table.contains(&format!("agg-{i} ")), "n={n} lost agg-{i}");
+            }
+        }
+
+        // 26 is the first size where the marker saves a line: 12 head +
+        // marker + 12 tail, with exactly two rows elided.
+        let over = render_run_table(&synthetic_report(26));
+        assert_eq!(over.lines().count(), 2 + 12 + 1 + 12, "{over}");
+        assert!(over.contains("… 2 more clusters …"), "{over}");
+        assert!(over.contains("agg-12 "), "head ends at agg-12");
+        assert!(over.contains("agg-15 "), "tail starts at agg-15");
+        assert!(!over.contains("agg-13 "), "{over}");
+        assert!(!over.contains("agg-14 "), "{over}");
+    }
+
+    #[test]
     fn curves_elide_middle_columns_above_threshold() {
         let at = render_curves(&synthetic_report(24));
         assert!(!at.contains('…'), "{at}");
@@ -535,6 +573,21 @@ Aggregator Twelve     1200 All    FedAvg      62.00    52.00     1.00     1.50
         assert!(summary.contains("delta on"));
         assert!(summary.contains("reduction"));
         assert!(summary.contains("publish(es) with a (base, delta) reference"));
+        // No overlay routing ran, so the gossip line stays absent.
+        assert!(!summary.contains("gossip:"), "{summary}");
+    }
+
+    #[test]
+    fn transfer_summary_reports_gossip_routing_when_present() {
+        let mut r = synthetic_report(1);
+        r.transfer.routed_fetches = 5;
+        r.transfer.route_hops = 11;
+        r.transfer.relayed_bytes = 4096;
+        let summary = render_transfer_summary(&r);
+        assert!(
+            summary.contains("gossip:   5 routed fetch(es) over 11 hop(s), 4096 byte(s) relayed"),
+            "{summary}"
+        );
     }
 
     #[test]

@@ -25,6 +25,14 @@
 //! weakening it: a poisoned fetch can never populate the fetch cache, and
 //! a fault hitting a delta-blob transfer is absorbed as a full-fetch
 //! fallback rather than surfacing to the engine.
+//!
+//! Under the storage crate's gossip overlay, fetch-failure faults are
+//! additionally rolled **per hop**: a routed fetch traverses intermediate
+//! relays, and each relay edge draws its own failure sample from the same
+//! deterministic stream, so an armed injector naturally turns long routes
+//! into partitions — distant content fails more often than neighboring
+//! content, with no topology-specific knobs. Fault-free runs charge hops
+//! only in bytes and virtual time, never in results.
 
 use serde::{Deserialize, Serialize};
 

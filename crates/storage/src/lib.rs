@@ -15,7 +15,11 @@
 //!   seeded fault injection (DHT fetch failure, chunk loss with bounded
 //!   retries) for chaos experiments, and the bandwidth-aware transfer
 //!   layer (chunk dedup, verified delta fetch, seeded size-bounded LRU
-//!   fetch cache) with logical-vs-physical byte accounting.
+//!   fetch cache) with logical-vs-physical byte accounting;
+//! - [`topology`] — the seeded gossip overlay (neighborhood rings +
+//!   chords + power-of-two bridges) remote fetches route over hop by hop
+//!   when installed, with chunk swarming across nearby providers and
+//!   per-hop fault/latency charging.
 //!
 //! # Example
 //!
@@ -41,6 +45,7 @@ pub mod chunker;
 pub mod cid;
 pub mod dht;
 pub mod network;
+pub mod topology;
 
 pub use blockstore::BlockStore;
 pub use chunker::{chunk, chunk_default, ChunkedFile, DEFAULT_CHUNK_SIZE};
@@ -50,3 +55,4 @@ pub use network::{
     AddReceipt, GetReceipt, IpfsError, IpfsNetwork, IpfsNode, LinkProfile, StorageFaultStats,
     StorageFaults, TransferConfig, TransferStats,
 };
+pub use topology::{GossipConfig, GossipTopology};

@@ -34,6 +34,20 @@
 //! All knobs change only how many bytes move, never which bytes a caller
 //! receives — `logical_bytes` (what a naive fetch would have moved) vs
 //! `physical_bytes` (what actually moved) quantifies the difference.
+//!
+//! # Topology-aware routing
+//!
+//! With a [`GossipTopology`] installed ([`IpfsNetwork::install_topology`])
+//! remote fetches stop being flat point-to-point transfers: providers are
+//! ranked by overlay hop distance before link speed, leaf chunks swarm
+//! across up to [`GossipConfig::swarm`] nearby providers, transfers are
+//! charged per overlay edge (latency + serialization at the edge
+//! bottleneck) and every intermediate relay rolls the fault injector —
+//! so under chaos, hop-distance turns fetch failures into partitions.
+//! Relays forward without retaining, and every block is still verified
+//! against its CID, so routing changes the byte *distribution* and the
+//! virtual time, never the bytes a caller receives or the fabric's
+//! resident storage.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -49,6 +63,7 @@ use crate::blockstore::BlockStore;
 use crate::chunker::{chunk, decode_root, reassemble, DEFAULT_CHUNK_SIZE};
 use crate::cid::Cid;
 use crate::dht::{NodeId, ProviderIndex};
+use crate::topology::{GossipConfig, GossipTopology};
 
 /// Network link characteristics of one node.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -166,6 +181,14 @@ pub struct TransferStats {
     /// Wire bytes saved by delta reconstruction (full size minus the delta
     /// transfer, summed over delta-served fetches).
     pub delta_bytes_saved: u64,
+    /// Remote fetches routed hop-by-hop over an installed gossip topology.
+    pub routed_fetches: u64,
+    /// Overlay hops traversed by routed fetches (per transfer branch; a
+    /// direct neighbor fetch counts one hop).
+    pub route_hops: u64,
+    /// Bytes forwarded through intermediate overlay nodes (summed over
+    /// every relay a transfer crossed; relays never retain the blocks).
+    pub relayed_bytes: u64,
 }
 
 /// A seeded, size-bounded, approximately-LRU cache of assembled content.
@@ -261,6 +284,10 @@ struct NodeState {
     bytes_fetched: u64,
     /// Cumulative bytes served to other nodes.
     bytes_served: u64,
+    /// Cumulative bytes forwarded on behalf of other nodes (overlay
+    /// routing only; relays hold nothing, so this never shows up in
+    /// resident storage).
+    bytes_relayed: u64,
 }
 
 /// Seeded fault injector for the storage fabric: whole-fetch DHT failures
@@ -345,11 +372,23 @@ struct NetworkState {
     transfer: TransferConfig,
     transfer_seed: u64,
     stats: TransferStats,
+    /// The gossip overlay fetches route over, when installed.
+    gossip: Option<(GossipConfig, GossipTopology)>,
+    /// Seeded stream breaking full-key provider-selection ties, so load
+    /// spreads across equivalent providers instead of always landing on
+    /// the lowest `NodeId`. Drawn from only when a tie actually exists.
+    tie_rng: StdRng,
 }
 
 impl NetworkState {
     fn node_cache_seed(seed: u64, node: usize) -> u64 {
         seed ^ (node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// The tie-break stream is its own derivation of the transfer seed so
+    /// it can never alias a node's cache stream.
+    fn tie_seed(seed: u64) -> u64 {
+        seed ^ 0xC2B2_AE3D_27D4_EB4F
     }
 }
 
@@ -376,6 +415,8 @@ impl IpfsNetwork {
                 transfer: TransferConfig::default(),
                 transfer_seed: 0,
                 stats: TransferStats::default(),
+                gossip: None,
+                tie_rng: StdRng::seed_from_u64(NetworkState::tie_seed(0)),
             })),
         }
     }
@@ -389,6 +430,7 @@ impl IpfsNetwork {
         st.transfer = config;
         st.transfer_seed = seed;
         st.stats = TransferStats::default();
+        st.tie_rng = StdRng::seed_from_u64(NetworkState::tie_seed(seed));
         for (i, node) in st.nodes.iter_mut().enumerate() {
             node.cache =
                 FetchCache::new(NetworkState::node_cache_seed(seed, i), config.cache_bytes);
@@ -407,6 +449,51 @@ impl IpfsNetwork {
         let mut stats = st.stats;
         stats.cache_resident_bytes = st.nodes.iter().map(|n| n.cache.resident).sum();
         stats
+    }
+
+    /// Installs (or replaces) the gossip overlay remote fetches route
+    /// over. `topology` must cover every current node; nodes added later
+    /// fall back to flat routing until a covering topology is installed.
+    ///
+    /// Routing changes which providers serve a fetch, how many overlay
+    /// hops it crosses (each charged by the link cost model, each rolling
+    /// the fault injector) and therefore the wire-byte distribution — but
+    /// never the bytes a caller receives: every block is still verified
+    /// against its CID.
+    pub fn install_topology(&self, config: GossipConfig, topology: GossipTopology) {
+        let mut st = self.inner.lock();
+        assert!(
+            topology.len() >= st.nodes.len(),
+            "topology covers {} nodes but the fabric has {}",
+            topology.len(),
+            st.nodes.len()
+        );
+        st.gossip = Some((config, topology));
+    }
+
+    /// Removes the gossip overlay, returning the fabric to flat
+    /// point-to-point routing.
+    pub fn clear_topology(&self) {
+        self.inner.lock().gossip = None;
+    }
+
+    /// The installed overlay's topology, if any.
+    pub fn topology(&self) -> Option<GossipTopology> {
+        self.inner.lock().gossip.as_ref().map(|(_, t)| t.clone())
+    }
+
+    /// The heaviest per-node wire load: `max` over nodes of bytes
+    /// fetched + served + relayed. The scaling metric gossip routing
+    /// exists to bound (flat routing concentrates it on whichever
+    /// provider sorts first).
+    pub fn max_node_wire_bytes(&self) -> u64 {
+        self.inner
+            .lock()
+            .nodes
+            .iter()
+            .map(|n| n.bytes_fetched + n.bytes_served + n.bytes_relayed)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Installs (or replaces) the fabric's fault injector.
@@ -460,6 +547,7 @@ impl IpfsNetwork {
             cache: FetchCache::new(cache_seed, cache_bytes),
             bytes_fetched: 0,
             bytes_served: 0,
+            bytes_relayed: 0,
         });
         IpfsNode {
             network: self.clone(),
@@ -788,33 +876,111 @@ impl IpfsNode {
             }
         }
 
-        // Resolve a provider. Prefer the one with the fastest link; ties
-        // break on NodeId for determinism.
-        let provider = st
-            .dht
+        // Split the state borrow so the overlay (immutable) can be held
+        // across the mutable accounting below.
+        let NetworkState {
+            nodes,
+            dht,
+            faults,
+            transfer,
+            stats,
+            gossip,
+            tie_rng,
+            ..
+        } = st;
+
+        // The overlay view for this fetch. `None` routes flat; a node the
+        // installed topology does not cover also routes flat.
+        let overlay = gossip
+            .as_ref()
+            .filter(|(_, t)| (id.0 as usize) < t.len())
+            .map(|(config, topology)| (config, topology, topology.distances_from(id)));
+
+        // Rank providers: overlay hop distance first (constant when
+        // flat), then latency, then bandwidth, NodeId last for a stable
+        // order. A genuine full-key tie is broken with a draw from the
+        // seeded tie stream — never by NodeId, which at scale would pile
+        // every fetch onto the lowest-indexed provider.
+        let mut candidates: Vec<(u32, SimDuration, f64, NodeId)> = dht
             .providers(cid)
             .filter(|p| *p != id)
-            .min_by(|a, b| {
-                let la = st.nodes[a.0 as usize].link;
-                let lb = st.nodes[b.0 as usize].link;
-                la.latency
-                    .cmp(&lb.latency)
-                    .then(lb.bandwidth_bps.total_cmp(&la.bandwidth_bps))
-                    .then(a.cmp(b))
+            .map(|p| {
+                let link = nodes[p.0 as usize].link;
+                let hops = overlay.as_ref().map_or(0, |(_, _, dist)| {
+                    dist.get(p.0 as usize).copied().unwrap_or(u32::MAX)
+                });
+                (hops, link.latency, link.bandwidth_bps, p)
             })
-            .ok_or(IpfsError::NotFound(cid))?;
+            .collect();
+        candidates.sort_by(|a, b| {
+            a.0.cmp(&b.0)
+                .then(a.1.cmp(&b.1))
+                .then(b.2.total_cmp(&a.2))
+                .then(a.3.cmp(&b.3))
+        });
+        let Some(leader) = candidates.first().copied() else {
+            return Err(IpfsError::NotFound(cid));
+        };
+        let tied = candidates
+            .iter()
+            .take_while(|c| c.0 == leader.0 && c.1 == leader.1 && c.2 == leader.2)
+            .count();
+        let provider = if tied > 1 {
+            // Only an actual tie consumes the stream, so runs whose
+            // providers are all distinguishable draw nothing.
+            candidates[tie_rng.gen_range(0..tied)].3
+        } else {
+            leader.3
+        };
 
-        // Pull the root block (dedup: reuse a locally-held copy), then the
-        // leaves.
+        // The transfer branches: the primary provider plus, with an
+        // overlay installed, up to `swarm - 1` next-ranked providers that
+        // leaf chunks round-robin across, so a single large fetch spreads
+        // its serving load over the neighborhood.
+        let mut sources: Vec<NodeId> = vec![provider];
+        if let Some((config, _, _)) = overlay.as_ref() {
+            sources.extend(
+                candidates
+                    .iter()
+                    .map(|c| c.3)
+                    .filter(|p| *p != provider)
+                    .take(config.swarm.max(1) - 1),
+            );
+        }
+
+        // Each branch walks the overlay from its source to the fetcher
+        // (flat routing is the one-hop special case). Every intermediate
+        // relay on the primary route rolls the fetch-failure injector, so
+        // under chaos a distant source naturally partitions away while a
+        // neighbor stays reachable.
+        let routes: Vec<Vec<NodeId>> = sources
+            .iter()
+            .map(|source| match overlay.as_ref() {
+                Some((_, topology, _)) => topology
+                    .path(*source, id)
+                    .unwrap_or_else(|| vec![*source, id]),
+                None => vec![*source, id],
+            })
+            .collect();
+        if let Some(f) = faults.as_mut() {
+            for _relay in 1..routes[0].len().saturating_sub(1) {
+                if f.roll_fetch_failure() {
+                    f.stats.fetch_failures += 1;
+                    return Err(IpfsError::NotFound(cid));
+                }
+            }
+        }
+
+        // Pull the root block (dedup: reuse a locally-held copy) from the
+        // primary, then the leaves from the branch rotation.
         let mut logical = 0u64;
-        let mut transferred = 0u64;
+        let mut moved = vec![0u64; sources.len()];
         let mut dedup_skipped = 0u64;
         let mut dedup_saved = 0u64;
 
-        let local_root = st
-            .transfer
+        let local_root = transfer
             .dedup
-            .then(|| st.nodes[id.0 as usize].store.get(cid))
+            .then(|| nodes[id.0 as usize].store.get(cid))
             .flatten();
         let root_block = match local_root {
             Some(b) => {
@@ -823,11 +989,11 @@ impl IpfsNode {
                 b
             }
             None => {
-                let b = st.nodes[provider.0 as usize]
+                let b = nodes[provider.0 as usize]
                     .store
                     .get(cid)
                     .ok_or(IpfsError::NotFound(cid))?;
-                transferred += b.len() as u64;
+                moved[0] += b.len() as u64;
                 b
             }
         };
@@ -840,14 +1006,13 @@ impl IpfsNode {
         let data = match decode_root(&root_block) {
             Some(root) => {
                 let mut chunk_map: HashMap<Cid, Bytes> = HashMap::new();
-                for child in &root.children {
+                for (position, child) in root.children.iter().enumerate() {
                     // Dedup: a block the fetcher already holds is never
                     // re-transferred (and never exposed to transfer
                     // faults — nothing moves).
-                    let local = st
-                        .transfer
+                    let local = transfer
                         .dedup
-                        .then(|| st.nodes[id.0 as usize].store.get(*child))
+                        .then(|| nodes[id.0 as usize].store.get(*child))
                         .flatten();
                     let block = match local {
                         Some(b) => {
@@ -857,17 +1022,25 @@ impl IpfsNode {
                             b
                         }
                         None => {
-                            let block = st.nodes[provider.0 as usize]
+                            // Swarm rotation: start at this chunk's slot
+                            // and settle on the first branch whose source
+                            // actually holds the block.
+                            let start = position % sources.len();
+                            let branch = (0..sources.len())
+                                .map(|step| (start + step) % sources.len())
+                                .find(|b| nodes[sources[*b].0 as usize].store.has(*child))
+                                .ok_or(IpfsError::NotFound(*child))?;
+                            let block = nodes[sources[branch].0 as usize]
                                 .store
                                 .get(*child)
-                                .ok_or(IpfsError::NotFound(*child))?;
-                            transferred += block.len() as u64;
+                                .expect("branch source holds the block");
+                            moved[branch] += block.len() as u64;
                             logical += block.len() as u64;
                             // Injected chunk loss: each lost transfer is
                             // retried (and re-charged) up to the retry
                             // budget; exhausting it fails the whole fetch —
                             // never truncated data.
-                            if let Some(f) = st.faults.as_mut() {
+                            if let Some(f) = faults.as_mut() {
                                 let mut budget = f.chunk_retries;
                                 while f.roll_chunk_loss() {
                                     f.stats.chunk_losses += 1;
@@ -877,7 +1050,7 @@ impl IpfsNode {
                                     }
                                     budget -= 1;
                                     f.stats.chunk_retries += 1;
-                                    transferred += block.len() as u64;
+                                    moved[branch] += block.len() as u64;
                                 }
                             }
                             block
@@ -892,27 +1065,66 @@ impl IpfsNode {
             None => root_block.to_vec(),
         };
 
-        // Transfer cost: DHT lookup + both endpoints' latency + the
-        // bottleneck bandwidth of the two links.
-        let src = st.nodes[provider.0 as usize].link;
-        let dst = st.nodes[id.0 as usize].link;
-        let bw = src.bandwidth_bps.min(dst.bandwidth_bps);
-        let elapsed = DHT_LOOKUP_COST
-            + src.latency
-            + dst.latency
-            + SimDuration::from_secs_f64(transferred as f64 / bw);
+        // Transfer cost: one DHT lookup, then per-edge latency and
+        // serialization at the edge's bottleneck bandwidth down each
+        // branch's route. Branches transfer concurrently, so the fetch
+        // takes as long as its slowest branch; a direct flat route
+        // reduces to lookup + both latencies + bytes over the link
+        // bottleneck.
+        let branch_cost = |route: &[NodeId], bytes: u64| -> SimDuration {
+            let mut cost = SimDuration::ZERO;
+            for edge in route.windows(2) {
+                let a = nodes[edge[0].0 as usize].link;
+                let b = nodes[edge[1].0 as usize].link;
+                cost = cost
+                    + a.latency
+                    + b.latency
+                    + SimDuration::from_secs_f64(
+                        bytes as f64 / a.bandwidth_bps.min(b.bandwidth_bps),
+                    );
+            }
+            cost
+        };
+        let slowest = routes
+            .iter()
+            .enumerate()
+            .filter(|(branch, _)| *branch == 0 || moved[*branch] > 0)
+            .map(|(branch, route)| branch_cost(route, moved[branch]))
+            .max()
+            .unwrap_or(SimDuration::ZERO);
+        let elapsed = DHT_LOOKUP_COST + slowest;
 
-        st.nodes[provider.0 as usize].bytes_served += transferred;
-        st.stats.logical_bytes += logical;
-        st.stats.physical_bytes += transferred;
-        st.stats.dedup_chunks_skipped += dedup_skipped;
-        st.stats.dedup_bytes_saved += dedup_saved;
+        // Wire accounting: sources serve, intermediates relay (without
+        // ever retaining — resident storage is routing-independent).
+        let transferred: u64 = moved.iter().sum();
+        let routed = overlay.is_some();
+        for (branch, bytes) in moved.iter().enumerate() {
+            if branch > 0 && *bytes == 0 {
+                continue;
+            }
+            nodes[sources[branch].0 as usize].bytes_served += bytes;
+            let route = &routes[branch];
+            if routed {
+                stats.route_hops += (route.len() as u64).saturating_sub(1);
+            }
+            for relay in &route[1..route.len().saturating_sub(1)] {
+                nodes[relay.0 as usize].bytes_relayed += bytes;
+                stats.relayed_bytes += bytes;
+            }
+        }
+        if routed {
+            stats.routed_fetches += 1;
+        }
+        stats.logical_bytes += logical;
+        stats.physical_bytes += transferred;
+        stats.dedup_chunks_skipped += dedup_skipped;
+        stats.dedup_bytes_saved += dedup_saved;
 
         // Cache locally and advertise (verified content only; a fetch that
         // errored above never reaches this point, so a poisoned fetch can
         // never populate the blockstore or the fetch cache).
         {
-            let node = &mut st.nodes[id.0 as usize];
+            let node = &mut nodes[id.0 as usize];
             node.bytes_fetched += transferred;
             if opts.retain {
                 for b in blocks {
@@ -921,9 +1133,9 @@ impl IpfsNode {
             }
         }
         if opts.retain {
-            st.dht.provide(cid, id);
-            let evictions = &mut st.stats.cache_evictions;
-            st.nodes[id.0 as usize].cache.insert(cid, &data, evictions);
+            dht.provide(cid, id);
+            let evictions = &mut stats.cache_evictions;
+            nodes[id.0 as usize].cache.insert(cid, &data, evictions);
         }
 
         Ok(GetReceipt {
@@ -1001,6 +1213,18 @@ impl IpfsNode {
     /// Cumulative bytes served to remote peers.
     pub fn bytes_served(&self) -> u64 {
         self.network.inner.lock().nodes[self.id.0 as usize].bytes_served
+    }
+
+    /// Cumulative bytes forwarded for other nodes as an overlay relay.
+    pub fn bytes_relayed(&self) -> u64 {
+        self.network.inner.lock().nodes[self.id.0 as usize].bytes_relayed
+    }
+
+    /// Total wire load this node carried: fetched + served + relayed.
+    pub fn wire_bytes(&self) -> u64 {
+        let st = self.network.inner.lock();
+        let node = &st.nodes[self.id.0 as usize];
+        node.bytes_fetched + node.bytes_served + node.bytes_relayed
     }
 }
 
@@ -1425,6 +1649,147 @@ mod tests {
         assert_eq!(
             run(TransferConfig::disabled()),
             run(TransferConfig::default())
+        );
+    }
+
+    /// Drives `fetchers` single fetches of one blob published by several
+    /// identical-link providers, returning every node's served bytes.
+    fn tie_break_run(seed: u64, providers: usize, fetchers: usize) -> Vec<u64> {
+        let net = IpfsNetwork::new();
+        net.configure_transfer(TransferConfig::disabled(), seed);
+        let provider_nodes: Vec<IpfsNode> = (0..providers)
+            .map(|_| net.add_node(LinkProfile::lan()))
+            .collect();
+        let fetcher_nodes: Vec<IpfsNode> = (0..fetchers)
+            .map(|_| net.add_node(LinkProfile::lan()))
+            .collect();
+        let data = vec![3u8; 400_000];
+        let mut cid = None;
+        for p in &provider_nodes {
+            cid = Some(p.add(&data).cid);
+        }
+        for f in &fetcher_nodes {
+            f.get(cid.unwrap()).unwrap();
+        }
+        provider_nodes
+            .iter()
+            .chain(&fetcher_nodes)
+            .map(|n| n.bytes_served())
+            .collect()
+    }
+
+    #[test]
+    fn tie_break_spreads_load_across_equivalent_providers() {
+        // Four providers with identical links tie on every selection key;
+        // the seeded draw must spread the serving load instead of piling
+        // every fetch onto the lowest NodeId.
+        let served = tie_break_run(42, 4, 24);
+        let busy = served.iter().filter(|b| **b > 0).count();
+        assert!(
+            busy >= 3,
+            "expected ≥3 distinct servers among ties, served: {served:?}"
+        );
+        assert!(
+            *served.iter().max().unwrap() < served.iter().sum::<u64>(),
+            "no single node absorbs all load"
+        );
+    }
+
+    #[test]
+    fn tie_break_stream_is_seed_deterministic() {
+        assert_eq!(tie_break_run(7, 4, 16), tie_break_run(7, 4, 16));
+        assert_ne!(
+            tie_break_run(7, 4, 16),
+            tie_break_run(8, 4, 16),
+            "different seed draws different winners"
+        );
+    }
+
+    #[test]
+    fn tie_break_draws_nothing_without_a_tie() {
+        // A lan provider always outranks the edge fetchers that re-provide
+        // after retaining, so no selection ever ties and the seed cannot
+        // matter.
+        let run = |seed: u64| -> Vec<u64> {
+            let net = IpfsNetwork::new();
+            net.configure_transfer(TransferConfig::disabled(), seed);
+            let provider = net.add_node(LinkProfile::lan());
+            let fetchers: Vec<IpfsNode> =
+                (0..16).map(|_| net.add_node(LinkProfile::edge())).collect();
+            let cid = provider.add(&vec![3u8; 400_000]).cid;
+            for f in &fetchers {
+                f.get(cid).unwrap();
+            }
+            std::iter::once(&provider)
+                .chain(&fetchers)
+                .map(|n| n.bytes_served())
+                .collect()
+        };
+        assert_eq!(run(7), run(999));
+    }
+
+    #[test]
+    fn overlay_routing_relays_without_retaining() {
+        let net = IpfsNetwork::new();
+        net.configure_transfer(TransferConfig::disabled(), 3);
+        let nodes: Vec<IpfsNode> = (0..6).map(|_| net.add_node(LinkProfile::lan())).collect();
+        // Degree 1 over one neighborhood derives a pure ring 0-1-2-3-4-5,
+        // so the route 0 → 3 crosses exactly two relays.
+        let config = GossipConfig::new(1).with_swarm(1);
+        net.install_topology(config, GossipTopology::derive(&config, 0, &[0; 6]));
+
+        let data = vec![5u8; 400_000];
+        let cid = nodes[0].add(&data).cid;
+        let got = nodes[3].get(cid).unwrap();
+        assert_eq!(got.data, data, "routing never changes the bytes");
+
+        let wire = nodes[0].bytes_served();
+        assert!(wire >= data.len() as u64);
+        assert_eq!(nodes[1].bytes_relayed(), wire, "first relay forwards all");
+        assert_eq!(nodes[2].bytes_relayed(), wire, "second relay forwards all");
+        assert_eq!(nodes[4].bytes_relayed(), 0, "off-route node untouched");
+        assert!(
+            !nodes[1].has_local(cid) && !nodes[2].has_local(cid),
+            "relays never retain"
+        );
+        let stats = net.transfer_stats();
+        assert_eq!(stats.routed_fetches, 1);
+        assert_eq!(stats.route_hops, 3, "0→1→2→3");
+        assert_eq!(stats.relayed_bytes, 2 * wire);
+
+        // The same fetch over a direct link is strictly faster: each hop
+        // charges latency and serialization.
+        let flat = IpfsNetwork::new();
+        flat.configure_transfer(TransferConfig::disabled(), 3);
+        let a = flat.add_node(LinkProfile::lan());
+        let b = flat.add_node(LinkProfile::lan());
+        let direct = b.get(a.add(&data).cid).unwrap();
+        assert!(got.elapsed > direct.elapsed, "hops cost virtual time");
+    }
+
+    #[test]
+    fn swarming_spreads_chunks_across_nearby_providers() {
+        let net = IpfsNetwork::new();
+        net.configure_transfer(TransferConfig::disabled(), 11);
+        let nodes: Vec<IpfsNode> = (0..4).map(|_| net.add_node(LinkProfile::lan())).collect();
+        let config = GossipConfig::new(3).with_swarm(3);
+        net.install_topology(config, GossipTopology::derive(&config, 2, &[0; 4]));
+
+        // Three providers hold the same multi-chunk blob; the fourth
+        // fetches once and the leaf rotation spreads the serving load.
+        let data: Vec<u8> = (0..900_000u32).map(|i| (i % 249) as u8).collect();
+        let mut cid = None;
+        for p in &nodes[..3] {
+            cid = Some(p.add(&data).cid);
+        }
+        let got = nodes[3].get(cid.unwrap()).unwrap();
+        assert_eq!(got.data, data);
+        let servers = nodes[..3].iter().filter(|n| n.bytes_served() > 0).count();
+        assert!(servers >= 2, "chunks swarm from multiple providers");
+        assert_eq!(
+            nodes.iter().map(|n| n.bytes_served()).sum::<u64>(),
+            net.transfer_stats().physical_bytes,
+            "every transferred byte is attributed to exactly one server"
         );
     }
 }

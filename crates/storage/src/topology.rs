@@ -1,0 +1,343 @@
+//! Seeded per-node neighbor graph for topology-aware dissemination.
+//!
+//! The flat fabric resolves every fetch point-to-point against the global
+//! provider index, so at fleet scale every node hammers whichever provider
+//! sorts first and per-node wire bytes grow linearly with the federation.
+//! This module builds the gossip overlay the network layer routes through
+//! instead: each node gets a bounded set of neighbors, fetches walk the
+//! overlay hop by hop toward the nearest provider, and blocks spread
+//! neighborhood-to-neighborhood so serving load stays bounded by degree.
+//!
+//! The graph is a pure function of `(config, seed, neighborhoods)`:
+//!
+//! - every neighborhood (a shard, when composed with `core::sharding`; the
+//!   whole federation otherwise) is wired as a ring over its members in
+//!   ascending [`NodeId`] order, so the overlay is connected within a
+//!   neighborhood by construction;
+//! - seeded chord edges are added inside each neighborhood until every
+//!   member reaches the configured degree, keeping intra-neighborhood
+//!   diameter small;
+//! - neighborhoods themselves are joined by bridge edges at offsets `1,
+//!   2, 4, 8, …` (powers of two), giving the inter-neighborhood graph a
+//!   logarithmic diameter the same way chord fingers do.
+//!
+//! Everything downstream (provider selection, hop charging, swarming) is
+//! in [`crate::network`]; this module only answers "who are my neighbors"
+//! and "how far / which way to that node".
+
+use std::collections::BTreeSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dht::NodeId;
+
+/// Operator-facing knobs for the gossip overlay.
+///
+/// Carried by experiment configs and handed to
+/// [`GossipTopology::derive`]; `Copy` so configs stay cheap to clone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GossipConfig {
+    /// Target neighbor count per node inside its neighborhood (≥ 1).
+    /// Ring edges count toward the target; seeded chords top it up.
+    pub degree: usize,
+    /// Maximum providers a single fetch swarms chunks from (≥ 1;
+    /// 1 = no swarming, all chunks from the nearest provider).
+    pub swarm: usize,
+    /// Schedule prefetch-along-topology events so sealed releases are
+    /// already resident when the exchange fires.
+    pub prefetch: bool,
+}
+
+impl GossipConfig {
+    /// An overlay with the given per-node degree, chunk swarming across
+    /// up to three providers, and prefetch enabled.
+    pub fn new(degree: usize) -> Self {
+        GossipConfig {
+            degree,
+            swarm: 3,
+            prefetch: true,
+        }
+    }
+
+    /// Caps chunk swarming at `swarm` providers per fetch.
+    pub fn with_swarm(mut self, swarm: usize) -> Self {
+        self.swarm = swarm;
+        self
+    }
+
+    /// Enables or disables prefetch-along-topology events.
+    pub fn with_prefetch(mut self, prefetch: bool) -> Self {
+        self.prefetch = prefetch;
+        self
+    }
+}
+
+impl Default for GossipConfig {
+    fn default() -> Self {
+        GossipConfig::new(4)
+    }
+}
+
+/// The concrete neighbor graph for one run: adjacency lists plus the
+/// neighborhood assignment they were derived from.
+///
+/// Neighbor lists are kept in ascending [`NodeId`] order, so every
+/// traversal (BFS distances, path reconstruction) is deterministic
+/// without consulting the seed again.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GossipTopology {
+    /// Node index → neighborhood (shard) index.
+    neighborhoods: Vec<usize>,
+    /// Node index → neighbors, ascending.
+    adjacency: Vec<Vec<NodeId>>,
+}
+
+impl GossipTopology {
+    /// Derives the seeded overlay for `neighborhoods[i] = neighborhood of
+    /// node i`. One `StdRng` stream seeds both the chord and bridge
+    /// draws, so the graph is a pure function of its arguments.
+    pub fn derive(config: &GossipConfig, seed: u64, neighborhoods: &[usize]) -> GossipTopology {
+        let n = neighborhoods.len();
+        let degree = config.degree.max(1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut edges: BTreeSet<(u32, u32)> = BTreeSet::new();
+        let add = |edges: &mut BTreeSet<(u32, u32)>, a: u32, b: u32| {
+            if a != b {
+                edges.insert((a.min(b), a.max(b)));
+            }
+        };
+
+        let groups = neighborhoods.iter().copied().max().map_or(0, |m| m + 1);
+        let mut members: Vec<Vec<u32>> = vec![Vec::new(); groups];
+        for (node, hood) in neighborhoods.iter().enumerate() {
+            members[*hood].push(node as u32);
+        }
+
+        // Ring + seeded chords inside each neighborhood.
+        for hood in &members {
+            let size = hood.len();
+            if size >= 2 {
+                for (pos, node) in hood.iter().enumerate() {
+                    add(&mut edges, *node, hood[(pos + 1) % size]);
+                }
+            }
+            if size > 2 {
+                for node in hood {
+                    // The ring contributes two edges; draw chords for the rest.
+                    for _ in 2..degree.min(size - 1) {
+                        let peer = hood[rng.gen_range(0..size)];
+                        if peer != *node {
+                            add(&mut edges, *node, peer);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Bridges between neighborhoods at power-of-two offsets: each
+        // neighborhood links a seeded member to one in neighborhoods
+        // `+1, +2, +4, …`, so inter-neighborhood distance is O(log groups).
+        if groups > 1 {
+            for hood in 0..groups {
+                let mut offset = 1usize;
+                while offset < groups {
+                    let other = (hood + offset) % groups;
+                    if other != hood && !members[hood].is_empty() && !members[other].is_empty() {
+                        let a = members[hood][rng.gen_range(0..members[hood].len())];
+                        let b = members[other][rng.gen_range(0..members[other].len())];
+                        add(&mut edges, a, b);
+                    }
+                    offset *= 2;
+                }
+            }
+        }
+
+        let mut adjacency: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for (a, b) in edges {
+            adjacency[a as usize].push(NodeId(b));
+            adjacency[b as usize].push(NodeId(a));
+        }
+        for neighbors in &mut adjacency {
+            neighbors.sort();
+        }
+        GossipTopology {
+            neighborhoods: neighborhoods.to_vec(),
+            adjacency,
+        }
+    }
+
+    /// Number of nodes the overlay covers.
+    pub fn len(&self) -> usize {
+        self.neighborhoods.len()
+    }
+
+    /// True when the overlay covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.neighborhoods.is_empty()
+    }
+
+    /// The neighborhood a node belongs to.
+    pub fn neighborhood_of(&self, node: NodeId) -> usize {
+        self.neighborhoods[node.0 as usize]
+    }
+
+    /// A node's neighbors, ascending.
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.adjacency[node.0 as usize]
+    }
+
+    /// BFS hop distances from `from` to every node; `u32::MAX` marks
+    /// unreachable nodes. Neighbors are expanded in ascending order, so
+    /// the frontier (and therefore [`Self::path`]) is deterministic.
+    pub fn distances_from(&self, from: NodeId) -> Vec<u32> {
+        let n = self.len();
+        let mut dist = vec![u32::MAX; n];
+        if (from.0 as usize) >= n {
+            return dist;
+        }
+        dist[from.0 as usize] = 0;
+        let mut frontier = vec![from];
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for node in frontier {
+                let d = dist[node.0 as usize];
+                for peer in self.neighbors(node) {
+                    if dist[peer.0 as usize] == u32::MAX {
+                        dist[peer.0 as usize] = d + 1;
+                        next.push(*peer);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        dist
+    }
+
+    /// The hop sequence from `from` to `to` (inclusive of both ends), or
+    /// `None` when unreachable. Among equal-length paths the lexically
+    /// smallest is returned, because BFS expands ascending neighbors.
+    pub fn path(&self, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
+        let n = self.len();
+        if (from.0 as usize) >= n || (to.0 as usize) >= n {
+            return None;
+        }
+        if from == to {
+            return Some(vec![from]);
+        }
+        let mut prev: Vec<Option<NodeId>> = vec![None; n];
+        let mut seen = vec![false; n];
+        seen[from.0 as usize] = true;
+        let mut frontier = vec![from];
+        'bfs: while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for node in frontier {
+                for peer in self.neighbors(node) {
+                    if !seen[peer.0 as usize] {
+                        seen[peer.0 as usize] = true;
+                        prev[peer.0 as usize] = Some(node);
+                        if *peer == to {
+                            break 'bfs;
+                        }
+                        next.push(*peer);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        prev[to.0 as usize]?;
+        let mut path = vec![to];
+        let mut cursor = to;
+        while let Some(p) = prev[cursor.0 as usize] {
+            path.push(p);
+            cursor = p;
+        }
+        path.reverse();
+        debug_assert_eq!(path.first(), Some(&from));
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hoods(sizes: &[usize]) -> Vec<usize> {
+        sizes
+            .iter()
+            .enumerate()
+            .flat_map(|(hood, size)| std::iter::repeat_n(hood, *size))
+            .collect()
+    }
+
+    #[test]
+    fn derivation_is_seed_deterministic() {
+        let cfg = GossipConfig::new(4);
+        let assignment = hoods(&[5, 5, 6]);
+        let a = GossipTopology::derive(&cfg, 42, &assignment);
+        let b = GossipTopology::derive(&cfg, 42, &assignment);
+        assert_eq!(a, b, "same seed, same graph");
+        let c = GossipTopology::derive(&cfg, 43, &assignment);
+        assert_ne!(a.adjacency, c.adjacency, "different seed rewires chords");
+    }
+
+    #[test]
+    fn overlay_is_connected_across_neighborhoods() {
+        let t = GossipTopology::derive(&GossipConfig::new(3), 7, &hoods(&[4, 4, 4, 4, 4]));
+        let dist = t.distances_from(NodeId(0));
+        assert!(
+            dist.iter().all(|d| *d != u32::MAX),
+            "bridges connect every neighborhood: {dist:?}"
+        );
+    }
+
+    #[test]
+    fn neighbors_are_sorted_and_symmetric() {
+        let t = GossipTopology::derive(&GossipConfig::new(4), 11, &hoods(&[6, 6]));
+        for node in 0..t.len() as u32 {
+            let ns = t.neighbors(NodeId(node));
+            assert!(ns.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+            for peer in ns {
+                assert!(
+                    t.neighbors(*peer).contains(&NodeId(node)),
+                    "edges are undirected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degree_stays_bounded() {
+        let t = GossipTopology::derive(&GossipConfig::new(4), 13, &hoods(&[20, 20, 20]));
+        let max_degree = (0..t.len() as u32)
+            .map(|n| t.neighbors(NodeId(n)).len())
+            .max()
+            .unwrap();
+        // degree chords + 2 ring edges + a handful of seeded bridges.
+        assert!(max_degree <= 4 + 2 + 6, "bounded fan-out, got {max_degree}");
+    }
+
+    #[test]
+    fn paths_follow_edges_and_match_distances() {
+        let t = GossipTopology::derive(&GossipConfig::new(3), 5, &hoods(&[5, 5, 5]));
+        let dist = t.distances_from(NodeId(2));
+        for to in 0..t.len() as u32 {
+            let path = t.path(NodeId(2), NodeId(to)).expect("connected");
+            assert_eq!(path.len() as u32 - 1, dist[to as usize]);
+            for hop in path.windows(2) {
+                assert!(t.neighbors(hop[0]).contains(&hop[1]), "path uses edges");
+            }
+        }
+    }
+
+    #[test]
+    fn single_neighborhood_is_a_small_world() {
+        let t = GossipTopology::derive(&GossipConfig::new(4), 3, &hoods(&[40]));
+        let worst = t
+            .distances_from(NodeId(0))
+            .into_iter()
+            .max()
+            .expect("nonempty");
+        assert!(worst <= 12, "chords shortcut the ring, diameter {worst}");
+    }
+}

@@ -69,6 +69,7 @@ fn main() {
         clusters: companies,
         window_margin: 1.15,
         chaos: None,
+        gossip: None,
         transfer: TransferConfig::default(),
         engine: Engine::auto(),
         link_model: LinkModel::Nominal,

@@ -45,6 +45,7 @@ fn scenario(policy: AggregationPolicy, label: &str) -> ExperimentConfig {
         ],
         window_margin: 1.15,
         chaos: None,
+        gossip: None,
         transfer: TransferConfig::default(),
         engine: Engine::auto(),
         link_model: LinkModel::Nominal,

@@ -42,6 +42,7 @@ fn config(mode: Mode) -> ExperimentConfig {
         clusters,
         window_margin: 1.15,
         chaos: None,
+        gossip: None,
         transfer: TransferConfig::default(),
         engine: Engine::auto(),
         link_model: LinkModel::Nominal,

@@ -133,6 +133,43 @@ fn delta_fallbacks_absorb_faults_without_caller_retries() {
 }
 
 #[test]
+fn delta_fallback_retry_is_attributed_to_its_own_fetch() {
+    // Regression pin for the fallback attribution bug: a caller-level
+    // retry of a failed delta-mode fetch used to re-run the *delta
+    // attempt* machinery, so the retry's own fallback was booked against
+    // the outer fetch — double-counting `delta_fallbacks` and inflating
+    // `fetch_recoveries` whenever the retried attempt also fell back. The
+    // retry is a plain full fetch now, so the exact counter values below
+    // hold; a re-introduction of the nested attempt shifts them.
+    let sync = run(Mode::Sync, 7, TransferConfig::default());
+    assert_eq!(
+        (
+            sync.chaos.fetch_failures,
+            sync.chaos.fetch_retries,
+            sync.chaos.fetch_recoveries,
+            sync.chaos.fetch_permanent_failures,
+            sync.transfer.delta_fetches,
+            sync.transfer.delta_fallbacks,
+        ),
+        (21, 5, 3, 2, 12, 14),
+        "sync seed-7 fault accounting shifted"
+    );
+    let asynch = run(Mode::Async, 13, TransferConfig::default());
+    assert_eq!(
+        (
+            asynch.chaos.fetch_failures,
+            asynch.chaos.fetch_retries,
+            asynch.chaos.fetch_recoveries,
+            asynch.chaos.fetch_permanent_failures,
+            asynch.transfer.delta_fetches,
+            asynch.transfer.delta_fallbacks,
+        ),
+        (6, 0, 0, 0, 18, 6),
+        "async seed-13 fault accounting shifted"
+    );
+}
+
+#[test]
 fn storage_fault_accounting_is_seed_deterministic() {
     let a = run(Mode::Sync, 7, TransferConfig::default());
     let b = run(Mode::Sync, 7, TransferConfig::default());

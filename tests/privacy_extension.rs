@@ -49,6 +49,7 @@ fn config(dp: Option<DpConfig>) -> ExperimentConfig {
         clusters,
         window_margin: 1.15,
         chaos: None,
+        gossip: None,
         transfer: TransferConfig::default(),
         engine: Engine::auto(),
         link_model: LinkModel::Nominal,

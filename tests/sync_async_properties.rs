@@ -62,6 +62,7 @@ fn config(mode: Mode) -> ExperimentConfig {
         clusters: heterogeneous_clusters(),
         window_margin: 1.15,
         chaos: None,
+        gossip: None,
         transfer: TransferConfig::default(),
         engine: Engine::auto(),
         link_model: LinkModel::Nominal,
