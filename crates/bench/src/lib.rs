@@ -22,6 +22,7 @@
 //! | [`scale`] | scale trajectory — two-tier sharded federation to 1,000 clusters |
 //! | [`gossip`] | gossip trajectory — busiest-node wire bytes, overlay routing vs. flat fetch |
 //! | [`timeline`] | timeline trajectory — time-to-target-accuracy, sync vs. async × link models × elastic membership |
+//! | [`serve`] | serve trajectory — daemon throughput and round latency under a queued submission burst |
 
 pub mod ablation;
 pub mod chaos;
@@ -29,6 +30,7 @@ pub mod figure7;
 pub mod gossip;
 pub mod scalability;
 pub mod scale;
+pub mod serve;
 pub mod speed;
 pub mod table1;
 pub mod table5;

@@ -177,22 +177,274 @@ pub(crate) trait EventPolicy {
     );
 }
 
+/// The poll-resumable kernel loop: the event queue plus the fired-event
+/// trace, stepped one event at a time.
+///
+/// [`drain`] is a `while step()` loop over this type, so a stepped run and
+/// a blocking run execute literally the same code — byte-identity between
+/// the batch entry points and the service layer
+/// ([`crate::service::RunState`]) holds by construction, not by parallel
+/// maintenance of two loops.
+pub(crate) struct Kernel {
+    queue: EventQueue<Event>,
+    trace: Vec<EventRecord>,
+    seeded: bool,
+}
+
+impl Kernel {
+    /// An empty, unseeded kernel.
+    pub(crate) fn new() -> Kernel {
+        Kernel {
+            queue: EventQueue::new(),
+            trace: Vec::new(),
+            seeded: false,
+        }
+    }
+
+    /// Fires the next event: lazily seeds the queue on the first call,
+    /// then pops one event, records it in the trace, and hands it to the
+    /// policy (which may schedule follow-ups). Returns `None` when no live
+    /// events remain — the run is complete.
+    pub(crate) fn step<P: EventPolicy>(
+        &mut self,
+        fed: &mut Federation,
+        policy: &mut P,
+    ) -> Option<EventRecord> {
+        if !self.seeded {
+            self.seeded = true;
+            policy.seed(fed, &mut self.queue);
+        }
+        let (at, event) = self.queue.pop()?;
+        let record = EventRecord { at, event };
+        self.trace.push(record);
+        policy.handle(fed, &mut self.queue, at, event);
+        Some(record)
+    }
+
+    /// The events fired so far, in firing order.
+    pub(crate) fn trace(&self) -> &[EventRecord] {
+        &self.trace
+    }
+
+    /// Consumes the kernel into its fired-event trace.
+    pub(crate) fn into_trace(self) -> Vec<EventRecord> {
+        self.trace
+    }
+}
+
 /// Drains the kernel: seed, then pop-and-handle until no live events
 /// remain. Returns the fired-event trace.
 pub(crate) fn drain<P: EventPolicy>(fed: &mut Federation, policy: &mut P) -> Vec<EventRecord> {
-    let mut queue = EventQueue::new();
-    policy.seed(fed, &mut queue);
-    let mut trace = Vec::new();
-    while let Some((at, event)) = queue.pop() {
-        trace.push(EventRecord { at, event });
-        policy.handle(fed, &mut queue, at, event);
+    let mut kernel = Kernel::new();
+    while kernel.step(fed, policy).is_some() {}
+    kernel.into_trace()
+}
+
+// ---------------------------------------------------------------------
+// Trace serialization: the checkpoint wire format.
+// ---------------------------------------------------------------------
+
+/// Error decoding a serialized event trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceDecodeError {
+    /// 1-based line the decoder choked on.
+    pub line: usize,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl std::fmt::Display for TraceDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.reason)
     }
-    trace
+}
+
+impl std::error::Error for TraceDecodeError {}
+
+/// Serializes a fired-event trace to a line-oriented text form: one event
+/// per line as `<millis> <label> [args…]`, the persistence half of a
+/// [`crate::service::RunCheckpoint`]. The encoding is lossless —
+/// [`decode_trace`] round-trips it exactly — and stable, so checkpoints
+/// survive process restarts.
+pub fn encode_trace(trace: &[EventRecord]) -> String {
+    let mut out = String::new();
+    for record in trace {
+        out.push_str(&record.at.as_millis().to_string());
+        out.push(' ');
+        out.push_str(record.event.label());
+        match record.event {
+            Event::MembershipChange { cluster } | Event::ClusterWake { cluster } => {
+                out.push_str(&format!(" {cluster}"));
+            }
+            Event::OpenTraining { round }
+            | Event::StartScoring { round }
+            | Event::RoundBarrier { round } => {
+                out.push_str(&format!(" {round}"));
+            }
+            Event::TrainingDone { cluster, round } | Event::ScoresDue { cluster, round } => {
+                out.push_str(&format!(" {cluster} {round}"));
+            }
+            Event::SealSlot => {}
+            Event::ShardSealDue { epoch } | Event::ShardExchange { epoch } => {
+                out.push_str(&format!(" {epoch}"));
+            }
+            Event::PrefetchDue { cluster, epoch } => {
+                out.push_str(&format!(" {cluster} {epoch}"));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Decodes a trace serialized by [`encode_trace`]. Blank lines are
+/// ignored; anything else malformed is a [`TraceDecodeError`].
+pub fn decode_trace(text: &str) -> Result<Vec<EventRecord>, TraceDecodeError> {
+    let err = |line: usize, reason: &str| TraceDecodeError {
+        line,
+        reason: reason.to_owned(),
+    };
+    let mut trace = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let mut parts = raw.split_whitespace();
+        let at = parts
+            .next()
+            .and_then(|t| t.parse::<u64>().ok())
+            .map(SimTime::from_millis)
+            .ok_or_else(|| err(line, "missing or non-numeric timestamp"))?;
+        let label = parts.next().ok_or_else(|| err(line, "missing label"))?;
+        let mut arg = |name: &str| -> Result<u64, TraceDecodeError> {
+            parts
+                .next()
+                .and_then(|t| t.parse::<u64>().ok())
+                .ok_or_else(|| err(line, &format!("missing or non-numeric {name}")))
+        };
+        let event = match label {
+            "membership_change" => Event::MembershipChange {
+                cluster: arg("cluster")? as usize,
+            },
+            "open_training" => Event::OpenTraining {
+                round: arg("round")?,
+            },
+            "training_done" => Event::TrainingDone {
+                cluster: arg("cluster")? as usize,
+                round: arg("round")?,
+            },
+            "start_scoring" => Event::StartScoring {
+                round: arg("round")?,
+            },
+            "scores_due" => Event::ScoresDue {
+                cluster: arg("cluster")? as usize,
+                round: arg("round")?,
+            },
+            "round_barrier" => Event::RoundBarrier {
+                round: arg("round")?,
+            },
+            "cluster_wake" => Event::ClusterWake {
+                cluster: arg("cluster")? as usize,
+            },
+            "seal_slot" => Event::SealSlot,
+            "shard_seal_due" => Event::ShardSealDue {
+                epoch: arg("epoch")?,
+            },
+            "shard_exchange" => Event::ShardExchange {
+                epoch: arg("epoch")?,
+            },
+            "prefetch_due" => Event::PrefetchDue {
+                cluster: arg("cluster")? as usize,
+                epoch: arg("epoch")?,
+            },
+            other => return Err(err(line, &format!("unknown event label {other:?}"))),
+        };
+        if parts.next().is_some() {
+            return Err(err(line, "trailing tokens"));
+        }
+        trace.push(EventRecord { at, event });
+    }
+    Ok(trace)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn sample_trace() -> Vec<EventRecord> {
+        let rec = |at: u64, event: Event| EventRecord {
+            at: SimTime::from_millis(at),
+            event,
+        };
+        vec![
+            rec(0, Event::MembershipChange { cluster: 2 }),
+            rec(10, Event::OpenTraining { round: 1 }),
+            rec(
+                25,
+                Event::TrainingDone {
+                    cluster: 0,
+                    round: 1,
+                },
+            ),
+            rec(25, Event::StartScoring { round: 1 }),
+            rec(
+                40,
+                Event::ScoresDue {
+                    cluster: 1,
+                    round: 1,
+                },
+            ),
+            rec(40, Event::RoundBarrier { round: 1 }),
+            rec(55, Event::ClusterWake { cluster: 3 }),
+            rec(60, Event::ShardSealDue { epoch: 1 }),
+            rec(
+                60,
+                Event::PrefetchDue {
+                    cluster: 1,
+                    epoch: 1,
+                },
+            ),
+            rec(60, Event::ShardExchange { epoch: 1 }),
+            rec(99, Event::SealSlot),
+        ]
+    }
+
+    #[test]
+    fn trace_codec_round_trips_every_variant() {
+        let trace = sample_trace();
+        let text = encode_trace(&trace);
+        assert_eq!(decode_trace(&text).expect("well-formed"), trace);
+        // Stable line shape: millis, label, args.
+        assert!(text.starts_with("0 membership_change 2\n"));
+        assert!(text.contains("25 training_done 0 1\n"));
+        assert!(text.ends_with("99 seal_slot\n"));
+    }
+
+    #[test]
+    fn trace_codec_ignores_blank_lines_and_rejects_garbage() {
+        let trace = sample_trace();
+        let text = format!("\n{}\n", encode_trace(&trace));
+        assert_eq!(decode_trace(&text).expect("blank lines ok"), trace);
+
+        for (bad, reason_part) in [
+            ("abc open_training 1", "timestamp"),
+            ("5", "label"),
+            ("5 no_such_event", "unknown event label"),
+            ("5 open_training", "round"),
+            ("5 seal_slot 7", "trailing"),
+            ("5 training_done 0", "round"),
+        ] {
+            let e = decode_trace(bad).expect_err(bad);
+            assert_eq!(e.line, 1, "{bad}");
+            assert!(
+                e.reason.contains(reason_part),
+                "{bad}: {} should mention {reason_part}",
+                e.reason
+            );
+            assert!(format!("{e}").contains("trace line 1"));
+        }
+    }
 
     #[test]
     fn labels_and_cluster_scope_are_stable() {

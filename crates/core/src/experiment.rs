@@ -17,7 +17,7 @@ use unifyfl_storage::topology::GossipConfig;
 
 use crate::cluster::{ClusterConfig, ClusterNode};
 use crate::federation::Federation;
-use crate::orchestration::{run_async_engine, run_sync_engine, EngineOutcome};
+use crate::orchestration::EngineOutcome;
 
 pub use crate::federation::{LinkModel, MembershipRecord};
 pub use crate::orchestration::Mode;
@@ -482,10 +482,26 @@ impl ExperimentConfig {
 
 /// Runs an experiment end to end.
 ///
+/// This is the batch entry point over the same poll-resumable machinery
+/// the service layer uses: it builds a [`crate::service::RunState`] and
+/// steps it to completion, so a blocking run, a daemon-hosted run and a
+/// checkpoint-resumed run all execute the identical event sequence.
+///
 /// # Errors
 ///
 /// Returns [`ExperimentError`] if the configuration is invalid.
 pub fn run_experiment(config: &ExperimentConfig) -> Result<ExperimentReport, ExperimentError> {
+    Ok(crate::service::RunState::new(config)?.run_to_completion())
+}
+
+/// Validates `config` and assembles the federation it describes —
+/// sharded topology, transfer knobs, link model, gossip overlay and the
+/// expanded fault plan installed — ready for an orchestration policy.
+///
+/// # Errors
+///
+/// Returns [`ExperimentError`] if the configuration is invalid.
+pub(crate) fn assemble(config: &ExperimentConfig) -> Result<Federation, ExperimentError> {
     config.validate()?;
     let topology = config
         .sharding
@@ -515,20 +531,10 @@ pub fn run_experiment(config: &ExperimentConfig) -> Result<ExperimentReport, Exp
         );
         fed.install_chaos(plan);
     }
-    let outcome = match config.mode {
-        Mode::Sync => run_sync_engine(
-            &mut fed,
-            &config.workload,
-            config.scorer,
-            config.window_margin,
-            config.engine,
-        ),
-        Mode::Async => run_async_engine(&mut fed, &config.workload, config.scorer, config.engine),
-    };
-    Ok(build_report(config, fed, outcome))
+    Ok(fed)
 }
 
-fn build_report(
+pub(crate) fn build_report(
     config: &ExperimentConfig,
     fed: Federation,
     outcome: EngineOutcome,

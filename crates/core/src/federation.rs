@@ -355,6 +355,7 @@ impl Federation {
     /// point of disseminating along the topology. Failures are ignored;
     /// the exchange path keeps its ordinary retry accounting.
     pub fn prefetch_weights(&self, cluster: usize, cids: &[Cid]) {
+        let _phase = crate::profile::enter(crate::profile::Phase::Fetch);
         let node = self.clusters[cluster].ipfs();
         for cid in cids {
             let _ = node.get(*cid);
@@ -416,6 +417,7 @@ impl Federation {
     /// shift block production later instead of sealing.
     pub fn advance_chain_to(&mut self, t: SimTime) {
         use unifyfl_chain::chain::SlotOutcome;
+        let _phase = crate::profile::enter(crate::profile::Phase::Seal);
         self.retransmit_lost_txs();
         loop {
             match self.chain.seal_due_slot(t).expect("periodic seal") {
@@ -433,6 +435,9 @@ impl Federation {
     pub fn flush_chain_at(&mut self, t: SimTime) -> SimTime {
         self.advance_chain_to(t);
         if self.chain.pool_len() > 0 {
+            // The forced flush seal is attributed separately from the
+            // `advance_chain_to` span above — the guards never overlap.
+            let _phase = crate::profile::enter(crate::profile::Phase::Seal);
             while self.chain.slot_misses_seal() {}
             let ts = self.chain.next_seal_time();
             self.chain.seal_next(ts).expect("flush seal");
@@ -552,6 +557,7 @@ impl Federation {
         cluster: usize,
         cid: Cid,
     ) -> Option<(Vec<f32>, SimDuration)> {
+        let _phase = crate::profile::enter(crate::profile::Phase::Fetch);
         let node = self.clusters[cluster].ipfs();
         let delta_ref = if self.ipfs.transfer_config().delta {
             self.contract()

@@ -29,6 +29,10 @@
 //!   the [`ChaosConfig`] fault-injection knobs and the report's
 //!   [`ChaosReport`] section, plus the [`TransferConfig`] fetch-side
 //!   bandwidth knobs and the report's [`TransferReport`] section;
+//! - [`service`] — the daemon layer: a backpressured
+//!   [`ExperimentService`] running many experiments concurrently over a
+//!   shared worker pool, with per-run [`service::RunState`] stepping and
+//!   checkpoint/resume ([`service::RunCheckpoint`]);
 //! - [`report`] — paper-style table rendering.
 //!
 //! # Example
@@ -57,8 +61,10 @@ pub mod experiment;
 pub mod federation;
 pub mod orchestration;
 pub mod policy;
+pub mod profile;
 pub mod report;
 pub mod scoring;
+pub mod service;
 pub mod sharding;
 pub mod step;
 
@@ -72,6 +78,10 @@ pub use federation::Federation;
 pub use orchestration::Mode;
 pub use policy::{AggregationPolicy, ScorePolicy};
 pub use scoring::ScorerKind;
+pub use service::{
+    ExperimentService, ResumeError, RunCheckpoint, RunHandle, RunId, RunOutcome, RunState,
+    ServiceConfig, ServiceError,
+};
 pub use sharding::{ShardConfig, ShardTopology};
 pub use step::Engine;
 pub use unifyfl_sim::fault::{ChaosConfig, FaultEvent, FaultKind, FaultPlan, FaultRecord};

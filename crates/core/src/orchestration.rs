@@ -137,6 +137,7 @@ fn final_merge(
     let results = {
         let (clusters, global_test) = fed.compute_view();
         compute_dispatch(clusters, inputs, engine, |cluster, inputs| {
+            let _phase = crate::profile::enter(crate::profile::Phase::Train);
             merge_eval(cluster, inputs, global_test)
         })
     };
@@ -524,8 +525,8 @@ fn log_initial_skews(fed: &mut Federation, plan: Option<&FaultPlan>, joined: &[b
 // Sync: the barrier-event policy.
 // ---------------------------------------------------------------------
 
-struct SyncPolicy<'a> {
-    workload: &'a WorkloadConfig,
+pub(crate) struct SyncPolicy {
+    workload: WorkloadConfig,
     scorer: ScorerKind,
     engine: Engine,
     rounds: u64,
@@ -558,7 +559,120 @@ struct SyncPolicy<'a> {
     end_time: SimTime,
 }
 
-impl SyncPolicy<'_> {
+impl SyncPolicy {
+    /// Builds the barrier policy for `fed`: asserts the contract mode,
+    /// filters the shard topology, sizes the phase windows from the
+    /// nominal cost models × `window_margin`, and seeds the membership
+    /// bookkeeping. The returned policy is inert until the kernel calls
+    /// [`EventPolicy::seed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the federation was built with the wrong contract mode.
+    pub(crate) fn new(
+        fed: &Federation,
+        workload: &WorkloadConfig,
+        scorer: ScorerKind,
+        window_margin: f64,
+        engine: Engine,
+    ) -> SyncPolicy {
+        assert_eq!(
+            fed.contract().mode(),
+            OrchestrationMode::Sync,
+            "sync engine needs a sync-mode contract"
+        );
+        let n = fed.clusters.len();
+        // A single-shard topology is behaviorally flat: dropping it here
+        // keeps the barrier cycle event-for-event identical to the
+        // unsharded engine.
+        let topology = fed.shard_topology().filter(|tp| tp.is_sharded()).cloned();
+        // Peer fan-out per phase: intra-shard under the two-tier topology,
+        // the whole federation when flat. Windows sized from it stay
+        // constant as the federation grows with the shard size fixed.
+        let fan_out = topology.as_ref().map_or(n, ShardTopology::max_shard_size) as u64 - 1;
+
+        // Size the windows from nominal expected durations.
+        let training_window = {
+            let worst = fed
+                .clusters
+                .iter()
+                .map(|c| {
+                    let nominal_train = SimDuration::from_secs_f64(
+                        c.train_duration(workload.local_epochs).as_secs_f64()
+                            / c.config().straggle_factor,
+                    );
+                    let pull = c.fetch_duration() * fan_out;
+                    pull + nominal_train + c.publish_duration()
+                })
+                .max()
+                .expect("at least one cluster");
+            SimDuration::from_secs_f64(worst.as_secs_f64() * window_margin)
+        };
+        let scoring_window = {
+            let worst = fed
+                .clusters
+                .iter()
+                .map(|c| {
+                    let nominal_score = SimDuration::from_secs_f64(
+                        c.score_duration().as_secs_f64() / c.config().straggle_factor,
+                    );
+                    (c.fetch_duration() + nominal_score) * fan_out
+                })
+                .max()
+                .expect("at least one cluster");
+            SimDuration::from_secs_f64(worst.as_secs_f64() * window_margin)
+        };
+
+        let join_time = join_times(fed);
+        let joined: Vec<bool> = join_time.iter().map(Option::is_none).collect();
+        SyncPolicy {
+            workload: workload.clone(),
+            scorer,
+            engine,
+            rounds: workload.rounds as u64,
+            n,
+            training_window,
+            scoring_window,
+            topology,
+            plan: fed.fault_plan().cloned(),
+            straggler_rounds: vec![0; n],
+            rejected_scores: vec![0; n],
+            carryover: vec![None; n],
+            active: vec![true; n],
+            joined,
+            join_time,
+            opening_round: 0,
+            phase_start: fed.setup_done,
+            window_end: fed.setup_done,
+            scoring_start: fed.setup_done,
+            scoring_end: fed.setup_done,
+            pending_actions: Vec::new(),
+            pending_results: Vec::new(),
+            pending_scores: Vec::new(),
+            end_time: fed.setup_done,
+        }
+    }
+
+    /// Consumes the drained policy: runs the final merge over the
+    /// still-participating clusters and assembles the outcome around the
+    /// fired-event `trace`.
+    pub(crate) fn finish(self, fed: &mut Federation, trace: Vec<EventRecord>) -> EngineOutcome {
+        let n = self.n;
+        let end_time = self.end_time;
+        let participating: Vec<bool> = (0..n).map(|i| self.active[i] && self.joined[i]).collect();
+        let final_global = final_merge(fed, self.rounds, &participating, self.engine);
+        let final_local = (0..n).map(|i| last_local(fed, i)).collect();
+        EngineOutcome {
+            per_cluster_time: vec![end_time; n],
+            straggler_rounds: self.straggler_rounds,
+            rejected_scores: self.rejected_scores,
+            final_global,
+            final_local,
+            end_time,
+            events: trace,
+        }
+    }
+
     fn open_training(
         &mut self,
         fed: &mut Federation,
@@ -611,7 +725,7 @@ impl SyncPolicy<'_> {
         let inputs: Vec<Option<TrainInputs>> = (0..self.n)
             .map(|idx| (actions[idx] == TrainAction::Run).then(|| prepare_train(fed, idx, round)))
             .collect();
-        let workload = self.workload;
+        let workload = &self.workload;
         let results = {
             let (clusters, global_test) = fed.compute_view();
             compute_dispatch(clusters, inputs, self.engine, |cluster, inputs| {
@@ -705,7 +819,7 @@ impl SyncPolicy<'_> {
         // Scoring, same two-phase shape: prepare (assignment filtering and
         // fetches, index-ordered), compute (inference, engine-dispatched),
         // commit (`ScoresDue` events at the window close, index order).
-        let scores_due = |p: &SyncPolicy<'_>, idx: usize| {
+        let scores_due = |p: &SyncPolicy, idx: usize| {
             p.joined[idx]
                 && p.carryover[idx].is_none() // still busy with held-over work?
                 // Chaos: departed or crashed clusters never score this
@@ -856,7 +970,7 @@ impl SyncPolicy<'_> {
     }
 }
 
-impl EventPolicy for SyncPolicy<'_> {
+impl EventPolicy for SyncPolicy {
     fn seed(&mut self, fed: &mut Federation, queue: &mut EventQueue<Event>) {
         log_initial_skews(fed, self.plan.as_ref(), &self.joined);
         self.end_time = fed.setup_done;
@@ -965,105 +1079,20 @@ pub fn run_sync_engine(
     window_margin: f64,
     engine: Engine,
 ) -> EngineOutcome {
-    assert_eq!(
-        fed.contract().mode(),
-        OrchestrationMode::Sync,
-        "sync engine needs a sync-mode contract"
-    );
-    let n = fed.clusters.len();
-    // A single-shard topology is behaviorally flat: dropping it here keeps
-    // the barrier cycle event-for-event identical to the unsharded engine.
-    let topology = fed.shard_topology().filter(|tp| tp.is_sharded()).cloned();
-    // Peer fan-out per phase: intra-shard under the two-tier topology, the
-    // whole federation when flat. Windows sized from it stay constant as
-    // the federation grows with the shard size fixed.
-    let fan_out = topology.as_ref().map_or(n, ShardTopology::max_shard_size) as u64 - 1;
-
-    // Size the windows from nominal expected durations.
-    let training_window = {
-        let worst = fed
-            .clusters
-            .iter()
-            .map(|c| {
-                let nominal_train = SimDuration::from_secs_f64(
-                    c.train_duration(workload.local_epochs).as_secs_f64()
-                        / c.config().straggle_factor,
-                );
-                let pull = c.fetch_duration() * fan_out;
-                pull + nominal_train + c.publish_duration()
-            })
-            .max()
-            .expect("at least one cluster");
-        SimDuration::from_secs_f64(worst.as_secs_f64() * window_margin)
-    };
-    let scoring_window = {
-        let worst = fed
-            .clusters
-            .iter()
-            .map(|c| {
-                let nominal_score = SimDuration::from_secs_f64(
-                    c.score_duration().as_secs_f64() / c.config().straggle_factor,
-                );
-                (c.fetch_duration() + nominal_score) * fan_out
-            })
-            .max()
-            .expect("at least one cluster");
-        SimDuration::from_secs_f64(worst.as_secs_f64() * window_margin)
-    };
-
-    let join_time = join_times(fed);
-    let joined: Vec<bool> = join_time.iter().map(Option::is_none).collect();
-    let mut policy = SyncPolicy {
-        workload,
-        scorer,
-        engine,
-        rounds: workload.rounds as u64,
-        n,
-        training_window,
-        scoring_window,
-        topology,
-        plan: fed.fault_plan().cloned(),
-        straggler_rounds: vec![0; n],
-        rejected_scores: vec![0; n],
-        carryover: vec![None; n],
-        active: vec![true; n],
-        joined,
-        join_time,
-        opening_round: 0,
-        phase_start: fed.setup_done,
-        window_end: fed.setup_done,
-        scoring_start: fed.setup_done,
-        scoring_end: fed.setup_done,
-        pending_actions: Vec::new(),
-        pending_results: Vec::new(),
-        pending_scores: Vec::new(),
-        end_time: fed.setup_done,
-    };
+    let mut policy = SyncPolicy::new(fed, workload, scorer, window_margin, engine);
     let trace = events::drain(fed, &mut policy);
-
-    let end_time = policy.end_time;
-    let participating: Vec<bool> = (0..n)
-        .map(|i| policy.active[i] && policy.joined[i])
-        .collect();
-    let final_global = final_merge(fed, policy.rounds, &participating, engine);
-    let final_local = (0..n).map(|i| last_local(fed, i)).collect();
-    EngineOutcome {
-        per_cluster_time: vec![end_time; n],
-        straggler_rounds: policy.straggler_rounds,
-        rejected_scores: policy.rejected_scores,
-        final_global,
-        final_local,
-        end_time,
-        events: trace,
-    }
+    policy.finish(fed, trace)
 }
 
 // ---------------------------------------------------------------------
 // Async: the no-barrier policy.
 // ---------------------------------------------------------------------
 
-struct AsyncPolicy<'a> {
-    workload: &'a WorkloadConfig,
+pub(crate) struct AsyncPolicy {
+    workload: WorkloadConfig,
+    /// Execution engine for the final merge-and-evaluate pass (the wake
+    /// handlers stay strictly event-ordered regardless).
+    engine: Engine,
     rounds: u64,
     n: usize,
     setup_done: SimTime,
@@ -1097,7 +1126,122 @@ struct AsyncPolicy<'a> {
     end_time: SimTime,
 }
 
-impl AsyncPolicy<'_> {
+impl AsyncPolicy {
+    /// Builds the no-barrier policy for `fed`: asserts the contract mode
+    /// and scorer compatibility, filters the shard topology, derives the
+    /// virtual-time seal cadence, and skews each cluster's starting clock
+    /// per the fault plan. The returned policy is inert until the kernel
+    /// calls [`EventPolicy::seed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the federation's contract is not in Async mode, or the
+    /// scorer requires full-round visibility (MultiKRUM — Table 3 forbids
+    /// it here).
+    pub(crate) fn new(
+        fed: &Federation,
+        workload: &WorkloadConfig,
+        scorer: ScorerKind,
+        engine: Engine,
+    ) -> AsyncPolicy {
+        assert_eq!(
+            fed.contract().mode(),
+            OrchestrationMode::Async,
+            "async engine needs an async-mode contract"
+        );
+        assert!(
+            !scorer.requires_full_round(),
+            "async mode does not support weight-similarity scoring (Table 3)"
+        );
+        let n = fed.clusters.len();
+        // A single-shard topology is behaviorally flat: dropping it keeps
+        // the free-running timeline event-for-event identical to the
+        // unsharded engine.
+        let topology = fed.shard_topology().filter(|tp| tp.is_sharded()).cloned();
+        // The async cadence has no barrier to hook, so seals fire on
+        // virtual time: every `exchange_every` *nominal round lengths*
+        // (the slowest founder's intra-shard pull + train + publish) — the
+        // same "every few rounds" rhythm the sync engine gets from its
+        // barrier count.
+        let seal_period = topology
+            .as_ref()
+            .map(|tp| {
+                let fan_out = tp.max_shard_size() as u64 - 1;
+                let nominal_round = fed
+                    .clusters
+                    .iter()
+                    .filter(|c| c.config().joins_at.is_none())
+                    .map(|c| {
+                        c.fetch_duration() * fan_out
+                            + c.train_duration(workload.local_epochs)
+                            + c.publish_duration()
+                    })
+                    .max()
+                    .expect("at least two founders");
+                nominal_round * tp.exchange_every
+            })
+            .unwrap_or(SimDuration::ZERO);
+        let plan = fed.fault_plan().cloned();
+        let join_time = join_times(fed);
+        let joined: Vec<bool> = join_time.iter().map(Option::is_none).collect();
+        let clock: Vec<SimTime> = (0..n)
+            .map(|idx| {
+                // A skewed cluster's whole timeline runs behind the
+                // federation's.
+                fed.setup_done
+                    + plan
+                        .as_ref()
+                        .map_or(SimDuration::ZERO, |p| p.clock_skew(idx))
+            })
+            .collect();
+        AsyncPolicy {
+            workload: workload.clone(),
+            engine,
+            rounds: workload.rounds as u64,
+            n,
+            setup_done: fed.setup_done,
+            topology,
+            seal_period,
+            shard_pending: false,
+            plan,
+            clock,
+            rounds_done: vec![0; n],
+            tasks: vec![VecDeque::new(); n],
+            finished_at: vec![None; n],
+            alive: joined.clone(),
+            joined,
+            join_time,
+            distributed: HashSet::new(),
+            crashes_spent: HashSet::new(),
+            wake: vec![None; n],
+            pending_joins: 0,
+            seal_scheduled: false,
+            end_time: fed.setup_done,
+        }
+    }
+
+    /// Consumes the drained policy: runs the final merge over the
+    /// still-participating clusters and assembles the outcome around the
+    /// fired-event `trace`.
+    pub(crate) fn finish(self, fed: &mut Federation, trace: Vec<EventRecord>) -> EngineOutcome {
+        let n = self.n;
+        let end_time = self.end_time;
+        let participating: Vec<bool> = (0..n).map(|i| self.alive[i] && self.joined[i]).collect();
+        let final_global = final_merge(fed, self.rounds, &participating, self.engine);
+        let final_local = (0..n).map(|i| last_local(fed, i)).collect();
+        EngineOutcome {
+            per_cluster_time: (0..n)
+                .map(|i| self.finished_at[i].unwrap_or(end_time))
+                .collect(),
+            straggler_rounds: vec![0; n],
+            rejected_scores: vec![0; n],
+            final_global,
+            final_local,
+            end_time,
+            events: trace,
+        }
+    }
+
     /// Deals out scorer assignments that the contract has recorded.
     fn distribute(&mut self, fed: &Federation) {
         for entry in fed.contract().entries() {
@@ -1249,7 +1393,7 @@ impl AsyncPolicy<'_> {
         // commits atomically at wake time: splitting decide from commit
         // would change what concurrently-waking clusters observe on-chain.
         let inputs = prepare_train(fed, idx, round);
-        let workload = self.workload;
+        let workload = &self.workload;
         let mut result = {
             let (clusters, global_test) = fed.compute_view();
             compute_train(&mut clusters[idx], inputs, workload, global_test)
@@ -1399,7 +1543,7 @@ impl AsyncPolicy<'_> {
     }
 }
 
-impl EventPolicy for AsyncPolicy<'_> {
+impl EventPolicy for AsyncPolicy {
     fn seed(&mut self, fed: &mut Federation, queue: &mut EventQueue<Event>) {
         log_initial_skews(fed, self.plan.as_ref(), &self.joined);
         for idx in 0..self.n {
@@ -1492,96 +1636,83 @@ pub fn run_async_engine(
     scorer: ScorerKind,
     engine: Engine,
 ) -> EngineOutcome {
-    assert_eq!(
-        fed.contract().mode(),
-        OrchestrationMode::Async,
-        "async engine needs an async-mode contract"
-    );
-    assert!(
-        !scorer.requires_full_round(),
-        "async mode does not support weight-similarity scoring (Table 3)"
-    );
-    let n = fed.clusters.len();
-    // A single-shard topology is behaviorally flat: dropping it keeps the
-    // free-running timeline event-for-event identical to the unsharded
-    // engine.
-    let topology = fed.shard_topology().filter(|tp| tp.is_sharded()).cloned();
-    // The async cadence has no barrier to hook, so seals fire on virtual
-    // time: every `exchange_every` *nominal round lengths* (the slowest
-    // founder's intra-shard pull + train + publish) — the same "every few
-    // rounds" rhythm the sync engine gets from its barrier count.
-    let seal_period = topology
-        .as_ref()
-        .map(|tp| {
-            let fan_out = tp.max_shard_size() as u64 - 1;
-            let nominal_round = fed
-                .clusters
-                .iter()
-                .filter(|c| c.config().joins_at.is_none())
-                .map(|c| {
-                    c.fetch_duration() * fan_out
-                        + c.train_duration(workload.local_epochs)
-                        + c.publish_duration()
-                })
-                .max()
-                .expect("at least two founders");
-            nominal_round * tp.exchange_every
-        })
-        .unwrap_or(SimDuration::ZERO);
-    let plan = fed.fault_plan().cloned();
-    let join_time = join_times(fed);
-    let joined: Vec<bool> = join_time.iter().map(Option::is_none).collect();
-    let clock: Vec<SimTime> = (0..n)
-        .map(|idx| {
-            // A skewed cluster's whole timeline runs behind the
-            // federation's.
-            fed.setup_done
-                + plan
-                    .as_ref()
-                    .map_or(SimDuration::ZERO, |p| p.clock_skew(idx))
-        })
-        .collect();
-    let mut policy = AsyncPolicy {
-        workload,
-        rounds: workload.rounds as u64,
-        n,
-        setup_done: fed.setup_done,
-        topology,
-        seal_period,
-        shard_pending: false,
-        plan,
-        clock,
-        rounds_done: vec![0; n],
-        tasks: vec![VecDeque::new(); n],
-        finished_at: vec![None; n],
-        alive: joined.clone(),
-        joined,
-        join_time,
-        distributed: HashSet::new(),
-        crashes_spent: HashSet::new(),
-        wake: vec![None; n],
-        pending_joins: 0,
-        seal_scheduled: false,
-        end_time: fed.setup_done,
-    };
+    let mut policy = AsyncPolicy::new(fed, workload, scorer, engine);
     let trace = events::drain(fed, &mut policy);
+    policy.finish(fed, trace)
+}
 
-    let end_time = policy.end_time;
-    let participating: Vec<bool> = (0..n)
-        .map(|i| policy.alive[i] && policy.joined[i])
-        .collect();
-    let final_global = final_merge(fed, policy.rounds, &participating, engine);
-    let final_local = (0..n).map(|i| last_local(fed, i)).collect();
-    EngineOutcome {
-        per_cluster_time: (0..n)
-            .map(|i| policy.finished_at[i].unwrap_or(end_time))
-            .collect(),
-        straggler_rounds: vec![0; n],
-        rejected_scores: vec![0; n],
-        final_global,
-        final_local,
-        end_time,
-        events: trace,
+// ---------------------------------------------------------------------
+// PolicyKind: the mode-erased policy the service layer drives.
+// ---------------------------------------------------------------------
+
+/// A mode-erased orchestration policy, so a resumable run
+/// ([`crate::service::RunState`]) can hold either engine behind one type
+/// and drive it event by event through the kernel stepper.
+pub(crate) enum PolicyKind {
+    /// The barrier-event policy ([`run_sync`]).
+    Sync(SyncPolicy),
+    /// The no-barrier policy ([`run_async`]).
+    Async(AsyncPolicy),
+}
+
+impl PolicyKind {
+    /// Builds the policy matching `mode` — exactly the constructor the
+    /// corresponding blocking entry point (`run_sync_engine` /
+    /// `run_async_engine`) uses, so stepping a `PolicyKind` is
+    /// byte-identical to the blocking run.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same contract/scorer mismatches as the blocking
+    /// entry points.
+    pub(crate) fn new(
+        fed: &Federation,
+        mode: Mode,
+        workload: &WorkloadConfig,
+        scorer: ScorerKind,
+        window_margin: f64,
+        engine: Engine,
+    ) -> PolicyKind {
+        match mode {
+            Mode::Sync => PolicyKind::Sync(SyncPolicy::new(
+                fed,
+                workload,
+                scorer,
+                window_margin,
+                engine,
+            )),
+            Mode::Async => PolicyKind::Async(AsyncPolicy::new(fed, workload, scorer, engine)),
+        }
+    }
+
+    /// Consumes the drained policy into its [`EngineOutcome`].
+    pub(crate) fn finish(self, fed: &mut Federation, trace: Vec<EventRecord>) -> EngineOutcome {
+        match self {
+            PolicyKind::Sync(p) => p.finish(fed, trace),
+            PolicyKind::Async(p) => p.finish(fed, trace),
+        }
+    }
+}
+
+impl EventPolicy for PolicyKind {
+    fn seed(&mut self, fed: &mut Federation, queue: &mut EventQueue<Event>) {
+        match self {
+            PolicyKind::Sync(p) => p.seed(fed, queue),
+            PolicyKind::Async(p) => p.seed(fed, queue),
+        }
+    }
+
+    fn handle(
+        &mut self,
+        fed: &mut Federation,
+        queue: &mut EventQueue<Event>,
+        at: SimTime,
+        event: Event,
+    ) {
+        match self {
+            PolicyKind::Sync(p) => p.handle(fed, queue, at, event),
+            PolicyKind::Async(p) => p.handle(fed, queue, at, event),
+        }
     }
 }
 

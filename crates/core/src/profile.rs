@@ -1,0 +1,173 @@
+//! Process-global phase attribution: where the wall-clock cycles of a run
+//! actually go.
+//!
+//! Four monotone counters — **train**, **score**, **fetch**, **seal** —
+//! accumulate the elapsed wall-clock of every span entered via
+//! [`enter`]. The hooks live on the hot paths the phases name:
+//! training/merge compute ([`crate::step::compute_train`] and the final
+//! merge), peer-model scoring ([`crate::step::compute_scores`]), storage
+//! fetches ([`crate::federation::Federation::fetch_weights_costed`]) and
+//! chain sealing. The `speed` benchmark snapshots the counters around each
+//! arm and reports the deltas in `BENCH_speed.json`, so regressions can be
+//! blamed on a phase instead of a whole run.
+//!
+//! # Reading the numbers
+//!
+//! The counters are *attribution*, not a partition of wall-clock:
+//!
+//! - Under [`Engine::Parallel`](crate::step::Engine) per-cluster compute
+//!   spans overlap in real time, so a phase can accumulate **more** than
+//!   the run's wall-clock (8 clusters × 1 s of concurrent training is 8 s
+//!   of train time).
+//! - Spans can nest (a fetch inside a prepare step inside nothing else —
+//!   the hooks are chosen non-overlapping, but nesting would double-count
+//!   by design: each phase answers "how long was *this* phase active",
+//!   independently).
+//! - The counters are process-global and never reset; concurrent runs (the
+//!   test harness, [`crate::service::ExperimentService`]) all add to them.
+//!
+//! Consumers therefore always work with **deltas between snapshots**
+//! ([`snapshot`]) taken around the region they are measuring, and never
+//! compare a phase sum against wall-clock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+static TRAIN_NANOS: AtomicU64 = AtomicU64::new(0);
+static SCORE_NANOS: AtomicU64 = AtomicU64::new(0);
+static FETCH_NANOS: AtomicU64 = AtomicU64::new(0);
+static SEAL_NANOS: AtomicU64 = AtomicU64::new(0);
+
+/// The attributable phases of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Peer-model merge + local training + evaluation compute.
+    Train,
+    /// Peer-model scoring compute (inference over holdout shards).
+    Score,
+    /// Storage-layer weight fetches (chunk transfer, routing, caching).
+    Fetch,
+    /// Chain block sealing (transaction execution, block production).
+    Seal,
+}
+
+fn counter(phase: Phase) -> &'static AtomicU64 {
+    match phase {
+        Phase::Train => &TRAIN_NANOS,
+        Phase::Score => &SCORE_NANOS,
+        Phase::Fetch => &FETCH_NANOS,
+        Phase::Seal => &SEAL_NANOS,
+    }
+}
+
+/// An open phase span: created by [`enter`], accumulates its elapsed
+/// wall-clock into the phase counter when dropped.
+#[derive(Debug)]
+pub struct PhaseGuard {
+    phase: Phase,
+    started: Instant,
+}
+
+impl Drop for PhaseGuard {
+    fn drop(&mut self) {
+        let nanos = self.started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        counter(self.phase).fetch_add(nanos, Ordering::Relaxed);
+    }
+}
+
+/// Opens a span attributed to `phase`; the span closes (and the time
+/// lands on the counter) when the returned guard drops.
+pub fn enter(phase: Phase) -> PhaseGuard {
+    PhaseGuard {
+        phase,
+        started: Instant::now(),
+    }
+}
+
+/// A snapshot of the four phase counters, in seconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTimes {
+    /// Seconds attributed to [`Phase::Train`].
+    pub train_secs: f64,
+    /// Seconds attributed to [`Phase::Score`].
+    pub score_secs: f64,
+    /// Seconds attributed to [`Phase::Fetch`].
+    pub fetch_secs: f64,
+    /// Seconds attributed to [`Phase::Seal`].
+    pub seal_secs: f64,
+}
+
+impl PhaseTimes {
+    /// The sum of the four phases — the denominator for "share of
+    /// attributed time" arithmetic (NOT wall-clock; see the module docs).
+    pub fn total_secs(&self) -> f64 {
+        self.train_secs + self.score_secs + self.fetch_secs + self.seal_secs
+    }
+
+    /// The per-phase difference `self − earlier` (each component clamped
+    /// at zero): the attribution of whatever ran between two snapshots.
+    pub fn since(&self, earlier: &PhaseTimes) -> PhaseTimes {
+        PhaseTimes {
+            train_secs: (self.train_secs - earlier.train_secs).max(0.0),
+            score_secs: (self.score_secs - earlier.score_secs).max(0.0),
+            fetch_secs: (self.fetch_secs - earlier.fetch_secs).max(0.0),
+            seal_secs: (self.seal_secs - earlier.seal_secs).max(0.0),
+        }
+    }
+}
+
+/// Reads the four counters. Monotone; always diff two snapshots via
+/// [`PhaseTimes::since`] rather than reading one in isolation.
+pub fn snapshot() -> PhaseTimes {
+    let secs = |c: &AtomicU64| c.load(Ordering::Relaxed) as f64 / 1e9;
+    PhaseTimes {
+        train_secs: secs(&TRAIN_NANOS),
+        score_secs: secs(&SCORE_NANOS),
+        fetch_secs: secs(&FETCH_NANOS),
+        seal_secs: secs(&SEAL_NANOS),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_accumulate_monotonically_into_their_phase() {
+        let before = snapshot();
+        {
+            let _g = enter(Phase::Train);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        {
+            let _g = enter(Phase::Seal);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let delta = snapshot().since(&before);
+        assert!(delta.train_secs > 0.0, "train span must land on train");
+        assert!(delta.seal_secs > 0.0, "seal span must land on seal");
+        // Other runs in the test process may add to any counter, so only
+        // the two phases we drove are asserted — and only as lower bounds.
+        assert!(delta.total_secs() >= delta.train_secs + delta.seal_secs);
+    }
+
+    #[test]
+    fn since_clamps_at_zero_and_totals_sum_components() {
+        let a = PhaseTimes {
+            train_secs: 1.0,
+            score_secs: 2.0,
+            fetch_secs: 3.0,
+            seal_secs: 4.0,
+        };
+        let b = PhaseTimes {
+            train_secs: 0.5,
+            score_secs: 2.5,
+            fetch_secs: 3.0,
+            seal_secs: 4.0,
+        };
+        let d = a.since(&b);
+        assert_eq!(d.train_secs, 0.5);
+        assert_eq!(d.score_secs, 0.0, "negative deltas clamp to zero");
+        assert_eq!(a.total_secs(), 10.0);
+    }
+}

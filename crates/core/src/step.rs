@@ -171,6 +171,7 @@ pub fn compute_train(
     workload: &WorkloadConfig,
     global_test: &Dataset,
 ) -> TrainResult {
+    let _phase = crate::profile::enter(crate::profile::Phase::Train);
     let pull = inputs.pull;
     let (peers_merged, global_accuracy, global_loss) = merge_eval(cluster, inputs, global_test);
     let train = cluster.train_duration(workload.local_epochs);
@@ -314,6 +315,7 @@ pub fn prepare_scoring(
 /// (inference over the cluster's holdout shard). Cluster-local and
 /// read-only, so the parallel engine fans it out per cluster.
 pub fn compute_scores(cluster: &ClusterNode, tasks: Vec<ScoreTask>) -> Vec<ScoredModel> {
+    let _phase = crate::profile::enter(crate::profile::Phase::Score);
     tasks
         .into_iter()
         .map(|t| {

@@ -166,6 +166,17 @@ impl<E> EventQueue<E> {
         None
     }
 
+    /// Drops every pending event (live and cancelled) in one pass, leaving
+    /// the queue empty but reusable: the sequence counter keeps advancing,
+    /// so events scheduled after a clear still order after everything that
+    /// came before. Cheaper than popping a long schedule dry — no per-event
+    /// heap sift or cancellation lookup.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.pending.clear();
+        self.cancelled.clear();
+    }
+
     /// Number of live (non-cancelled) events still pending.
     pub fn len(&self) -> usize {
         self.pending.len()
@@ -310,6 +321,24 @@ mod tests {
         assert_eq!(survivors, vec![7, 107, 207, 307, 407]);
         assert!(q.is_empty());
         assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn clear_empties_but_preserves_seq_ordering() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(2), "b");
+        q.cancel(a);
+        q.clear();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+        // The queue stays usable and a stale pre-clear cancel is harmless.
+        q.schedule(SimTime::from_secs(3), "d");
+        let c = q.schedule(SimTime::from_secs(3), "c");
+        q.cancel(a);
+        q.cancel(c);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|(_, e)| e), Some("d"));
     }
 
     #[test]

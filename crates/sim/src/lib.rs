@@ -7,7 +7,10 @@
 //! - [`clock`] — virtual time ([`SimTime`], [`SimDuration`]) with millisecond
 //!   resolution.
 //! - [`engine`] — a generic, deterministic [`EventQueue`] that orders events
-//!   by time with FIFO tie-breaking, plus a [`VirtualClock`].
+//!   by time with FIFO tie-breaking, plus a [`VirtualClock`]. Besides the
+//!   per-experiment kernels, the core service layer reuses it keyed by run
+//!   id as the cross-run scheduler that leases worker slices to whichever
+//!   run sits earliest in virtual time.
 //! - [`device`] — [`DeviceProfile`]s describing compute/network capabilities
 //!   of the paper's node types (GPU node, edge CPU, Raspberry Pi 400, Jetson
 //!   Nano, Docker container) and converting work (flops, bytes) to virtual

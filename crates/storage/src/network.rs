@@ -952,7 +952,10 @@ impl IpfsNode {
         // (flat routing is the one-hop special case). Every intermediate
         // relay on the primary route rolls the fetch-failure injector, so
         // under chaos a distant source naturally partitions away while a
-        // neighbor stays reachable.
+        // neighbor stays reachable. The roll count — one at provider
+        // resolution plus one per relay — is a pinned contract: the
+        // chaos_gossip tier asserts exact per-distance success counts and
+        // fault-counter totals against it.
         let routes: Vec<Vec<NodeId>> = sources
             .iter()
             .map(|source| match overlay.as_ref() {
@@ -1210,7 +1213,11 @@ impl IpfsNode {
         self.network.inner.lock().nodes[self.id.0 as usize].bytes_fetched
     }
 
-    /// Cumulative bytes served to remote peers.
+    /// Cumulative bytes served to remote peers. Counts wire bytes, not
+    /// blob bytes: each transfer includes per-chunk framing overhead on
+    /// top of the payload, so a single served blob reports slightly more
+    /// than its length. A fetcher that retained the content answers later
+    /// gets locally — repeat fetches add nothing here.
     pub fn bytes_served(&self) -> u64 {
         self.network.inner.lock().nodes[self.id.0 as usize].bytes_served
     }
