@@ -1,0 +1,48 @@
+//! Clustering benchmark: distance-driven dynamic re-clustering vs. the
+//! static shard assignment under a mid-run domain drift, plus the
+//! topology-epoch refactor's baseline-identity grid. Prints the summary
+//! and writes `BENCH_clustering.json` to the working directory (override
+//! with `--out PATH`; `--seed N` to vary the seed, `--full` for the
+//! 20-round scenario).
+//!
+//! Asserts the three clustering gates: regrouping reaches the undrifted
+//! target accuracy strictly earlier than the static assignment, the
+//! regroup arm is same-seed deterministic, and with `regroup: None` every
+//! pinned pre-refactor report fingerprint reproduces bit for bit under
+//! both engines.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = unifyfl_bench::Scale::from_args(&args);
+    let seed = unifyfl_bench::seed_from_args(&args);
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_clustering.json", String::as_str);
+
+    let bench = unifyfl_bench::clustering::run(scale, seed);
+    print!("{}", unifyfl_bench::clustering::render(&bench));
+    let json = unifyfl_bench::clustering::render_json(&bench, seed, scale);
+    std::fs::write(out_path, &json).expect("write BENCH_clustering.json");
+    println!("\nwrote {out_path}:\n{json}");
+
+    assert!(
+        bench.regroup_beats_static(),
+        "dynamic regrouping must reach {}% undrifted accuracy strictly \
+         before the static assignment (static {:?}s vs regroup {:?}s)",
+        unifyfl_bench::clustering::TARGET_ACCURACY_PCT,
+        bench.static_arm.time_to_target_secs,
+        bench.regroup_arm.time_to_target_secs,
+    );
+    assert!(
+        bench.deterministic,
+        "regroup arm must be byte-identical across same-seed runs",
+    );
+    assert!(
+        bench.identity.identical(),
+        "regroup: None must reproduce every pinned pre-refactor fingerprint; \
+         mismatches: {:?}",
+        bench.identity.mismatches,
+    );
+}

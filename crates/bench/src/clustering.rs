@@ -1,0 +1,664 @@
+//! Clustering trajectory: distance-driven dynamic re-clustering vs. the
+//! static seeded assignment, under severe non-IID data with a mid-run
+//! domain drift.
+//!
+//! The scenario: six silos train in Sync mode across two shards.
+//! Mid-run, half the fleet — chosen so every *static* shard contains
+//! both kinds — suffers a domain drift (labels rotate under the silos;
+//! see [`DriftSpec`]). From that round on,
+//! drifted silos publish models for a *different task*, and the static
+//! assignment keeps merging them into their undrifted shard-mates every
+//! round. The regroup arm re-derives the grouping every
+//! [`REGROUP_EVERY`] rounds from pairwise weight-space distance
+//! ([`ShardTopology::regroup`](unifyfl_core::ShardTopology::regroup)):
+//! once drifted weights diverge, the regrouped shards quarantine the
+//! drifted silos, and the undrifted majority converges undisturbed.
+//!
+//! Three gates ride on the result:
+//!
+//! 1. **Regroup beats static** — the undrifted silos' mean accuracy
+//!    reaches [`TARGET_ACCURACY_PCT`] strictly earlier (virtual time)
+//!    under regrouping, and ends at least as high.
+//! 2. **Determinism** — the regroup arm, run twice at the same seed,
+//!    produces a full-Debug **byte-identical** report.
+//! 3. **Baseline identity** — with `regroup: None` the topology-epoch
+//!    refactor is invisible: a pinned grid of pre-refactor report
+//!    fingerprints (seeds × modes × shards on/off × gossip) must
+//!    reproduce exactly, under both engines.
+//!
+//! The `clustering` binary emits `BENCH_clustering.json` (schema in
+//! `docs/BENCH.md`).
+
+use std::time::Instant;
+
+use unifyfl_core::cluster::{ClusterConfig, DriftSpec};
+use unifyfl_core::experiment::{ExperimentBuilder, ExperimentReport, Mode};
+use unifyfl_core::{Engine, GossipConfig, ShardConfig, ShardTopology};
+use unifyfl_data::{Partition, SyntheticConfig, WorkloadConfig};
+use unifyfl_sim::DeviceProfile;
+use unifyfl_tensor::zoo::{InputKind, ModelSpec};
+
+use crate::Scale;
+
+/// Clusters in the drift fleet.
+pub const FLEET: usize = 6;
+
+/// Shards the fleet is grouped into.
+pub const SHARDS: usize = 2;
+
+/// Regroup cadence (rounds) in the dynamic arms.
+pub const REGROUP_EVERY: u64 = 2;
+
+/// Round at whose start the drift fires.
+pub const DRIFT_ROUND: u64 = 2;
+
+/// Label rotation the drifted silos suffer (the task has 4 classes, so 2
+/// is the maximally distant rotation).
+pub const CLASS_SHIFT: usize = 2;
+
+/// Undrifted-mean accuracy (percent) the time-to-target gate measures.
+/// Chosen just above the static arm's post-drift plateau (~69% at quick
+/// scale): the undrifted silos cannot get there while every round merges
+/// them with drifted shard-mates, but clear it within one regroup cadence
+/// once the drifted silos are quarantined.
+pub const TARGET_ACCURACY_PCT: f64 = 70.0;
+
+/// Rounds per arm at a given scale.
+pub fn rounds(scale: Scale) -> u64 {
+    match scale {
+        Scale::Quick => 10,
+        Scale::Full => 20,
+    }
+}
+
+/// The drift workload: the quickstart task with a dataset large enough
+/// that a Dirichlet(0.1) six-way split leaves every silo trainable.
+pub fn workload(scale: Scale) -> WorkloadConfig {
+    let mut dataset = SyntheticConfig::cifar10_like(1200);
+    dataset.input = InputKind::Flat(16);
+    dataset.n_classes = 4;
+    dataset.noise_scale = 0.6;
+    dataset.label_noise = 0.05;
+    WorkloadConfig {
+        name: "clustering-drift".into(),
+        model: ModelSpec::mlp(16, vec![24], 4),
+        dataset,
+        rounds: rounds(scale) as usize,
+        local_epochs: 3,
+        batch_size: 16,
+        learning_rate: 0.05,
+    }
+}
+
+/// The drifted half of the fleet, chosen against the *static* epoch-0
+/// assignment so that every static shard holds both drifted and undrifted
+/// silos — the worst case for a grouping that never moves.
+pub fn drifted_set(seed: u64) -> Vec<usize> {
+    let topology = ShardTopology::derive(&ShardConfig::new(SHARDS), seed, FLEET);
+    let mut drifted = Vec::new();
+    for shard in 0..topology.shards {
+        let members = topology.members(shard);
+        // Alternate ⌈n/2⌉ / ⌊n/2⌋ per shard: exactly half the fleet
+        // drifts, and no shard is spared or wiped out.
+        let take = if shard % 2 == 0 {
+            members.len().div_ceil(2)
+        } else {
+            members.len() / 2
+        };
+        drifted.extend_from_slice(&members[..take]);
+    }
+    drifted.sort_unstable();
+    drifted
+}
+
+/// One measured arm of the drift scenario.
+#[derive(Debug, Clone)]
+pub struct DriftArm {
+    /// Arm label (`static`, `regroup`, `regroup_adaptive`).
+    pub label: String,
+    /// Virtual seconds until the undrifted silos' mean global accuracy
+    /// *sustainably* reaches [`TARGET_ACCURACY_PCT`]: the time of the
+    /// first round from which the mean stays at or above the target
+    /// through the end of the run. `None` if no such round exists. (A
+    /// first-crossing metric would reward the static arm's pre-drift peak
+    /// that the poisoned merges then erode; sustained crossing measures
+    /// actual recovery.)
+    pub time_to_target_secs: Option<f64>,
+    /// Undrifted silos' mean global accuracy (percent) at the final round.
+    pub final_undrifted_accuracy_pct: f64,
+    /// Drifted silos' mean global accuracy (percent) at the final round
+    /// (informational: they face a rotated task the global test set never
+    /// sees, so this stays low by construction).
+    pub final_drifted_accuracy_pct: f64,
+    /// Regroup evaluations scheduled over the run (0 = static; the
+    /// cadence [`REGROUP_EVERY`] applied to the round count).
+    pub regroups: u64,
+    /// Real elapsed seconds (host-dependent; informational).
+    pub wall_secs: f64,
+    /// Full-Debug report rendering (determinism checks).
+    pub report_debug: String,
+}
+
+/// Builds and runs one arm: `regroup` enables the dynamic cadence,
+/// `adaptive` additionally turns on variance-weighted intra-shard
+/// aggregation.
+pub fn run_arm(scale: Scale, seed: u64, regroup: bool, adaptive: bool) -> DriftArm {
+    let start = Instant::now();
+    let drifted = drifted_set(seed);
+    let clusters = (0..FLEET)
+        .map(|i| {
+            let config = ClusterConfig::edge(format!("agg-{}", i + 1), DeviceProfile::edge_cpu());
+            if drifted.contains(&i) {
+                config.with_drift(DriftSpec {
+                    at_round: DRIFT_ROUND,
+                    class_shift: CLASS_SHIFT,
+                })
+            } else {
+                config
+            }
+        })
+        .collect();
+    let mut sharding = ShardConfig::new(SHARDS).with_exchange_every(1);
+    if regroup {
+        sharding = sharding.with_regroup_every(REGROUP_EVERY);
+    }
+    if adaptive {
+        sharding = sharding.with_adaptive_weighting();
+    }
+    let report = ExperimentBuilder::quickstart()
+        .seed(seed)
+        .label(format!("clustering-{}", arm_label(regroup, adaptive)))
+        .mode(Mode::Sync)
+        .engine(Engine::Parallel)
+        .workload(workload(scale))
+        .partition(Partition::Iid)
+        .clusters(clusters)
+        .sharding(sharding)
+        .run()
+        .expect("drift scenario config is valid");
+    // Regroups fire at the barriers of rounds `every, 2·every, …` strictly
+    // before the final round (the last barrier ends the run instead).
+    let regroups = if regroup {
+        (rounds(scale) - 1) / REGROUP_EVERY
+    } else {
+        0
+    };
+    summarize(
+        &report,
+        &drifted,
+        arm_label(regroup, adaptive),
+        regroups,
+        start,
+    )
+}
+
+fn arm_label(regroup: bool, adaptive: bool) -> &'static str {
+    match (regroup, adaptive) {
+        (false, _) => "static",
+        (true, false) => "regroup",
+        (true, true) => "regroup_adaptive",
+    }
+}
+
+fn summarize(
+    report: &ExperimentReport,
+    drifted: &[usize],
+    label: &str,
+    regroups: u64,
+    start: Instant,
+) -> DriftArm {
+    let undrifted: Vec<usize> = (0..report.aggregators.len())
+        .filter(|i| !drifted.contains(i))
+        .collect();
+    let mean_at = |round: u64, set: &[usize]| -> Option<(f64, f64)> {
+        let points: Vec<_> = set
+            .iter()
+            .filter_map(|&i| {
+                report.aggregators[i]
+                    .curve
+                    .iter()
+                    .find(|p| p.round == round)
+            })
+            .collect();
+        if points.len() != set.len() {
+            return None;
+        }
+        let mean = points.iter().map(|p| p.global_accuracy_pct).sum::<f64>() / set.len() as f64;
+        let time = points.iter().map(|p| p.time_secs).fold(0.0, f64::max);
+        Some((mean, time))
+    };
+    let last_round = report
+        .aggregators
+        .iter()
+        .flat_map(|a| a.curve.iter().map(|p| p.round))
+        .max()
+        .unwrap_or(0);
+    let mut time_to_target_secs = None;
+    for round in 1..=last_round {
+        let sustained = (round..=last_round)
+            .all(|r| mean_at(r, &undrifted).is_some_and(|(mean, _)| mean >= TARGET_ACCURACY_PCT));
+        if sustained {
+            time_to_target_secs = mean_at(round, &undrifted).map(|(_, time)| time);
+            break;
+        }
+    }
+    let final_mean = |set: &[usize]| {
+        mean_at(last_round, set)
+            .map(|(mean, _)| mean)
+            .unwrap_or(0.0)
+    };
+    DriftArm {
+        label: label.to_owned(),
+        time_to_target_secs,
+        final_undrifted_accuracy_pct: final_mean(&undrifted),
+        final_drifted_accuracy_pct: final_mean(drifted),
+        regroups,
+        wall_secs: start.elapsed().as_secs_f64(),
+        report_debug: format!("{report:?}"),
+    }
+}
+
+// ---- baseline-identity gate -------------------------------------------
+
+/// FNV-1a 64 over a report's full `Debug` rendering — the fingerprint the
+/// identity grid pins.
+pub fn fingerprint(report: &ExperimentReport) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for byte in format!("{report:?}").bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// One pinned pre-refactor configuration and its report fingerprint.
+#[derive(Debug, Clone, Copy)]
+pub struct GoldenCase {
+    /// Experiment seed.
+    pub seed: u64,
+    /// Sync or Async.
+    pub mode: Mode,
+    /// Shards (0 = unsharded).
+    pub shards: usize,
+    /// Gossip overlay degree (0 = no overlay).
+    pub gossip_degree: usize,
+    /// Pre-refactor FNV-1a 64 of the full-Debug report.
+    pub fingerprint: u64,
+}
+
+/// The pinned grid: captured on the pre-refactor tree (4 edge clusters,
+/// 2 rounds, quickstart task, parallel engine), seeds × modes × shards
+/// on/off plus two gossip arms. `regroup: None` runs must reproduce every
+/// fingerprint bit for bit — under both engines, which are themselves
+/// byte-identical by the engine-equivalence invariant.
+pub const GOLDENS: &[GoldenCase] = &[
+    golden(11, Mode::Sync, 0, 0, 0x83c5beb20aead2f0),
+    golden(11, Mode::Sync, 2, 0, 0x8d6cce36f90d620d),
+    golden(11, Mode::Async, 0, 0, 0xb0fdb47f72a82ef7),
+    golden(11, Mode::Async, 2, 0, 0x56c93c0c196d5423),
+    golden(42, Mode::Sync, 0, 0, 0xd182169359c2e58a),
+    golden(42, Mode::Sync, 2, 0, 0xd4c4f96339b1de65),
+    golden(42, Mode::Async, 0, 0, 0xcf22041f88bb39cc),
+    golden(42, Mode::Async, 2, 0, 0xaf86425ca3b93da8),
+    golden(1337, Mode::Sync, 0, 0, 0xbc237745e1a70ff8),
+    golden(1337, Mode::Sync, 2, 0, 0xff4cbc7684c849ad),
+    golden(1337, Mode::Async, 0, 0, 0x9f0a70c18d5ced83),
+    golden(1337, Mode::Async, 2, 0, 0xc7a7e2fcb1a9fbb7),
+    golden(42, Mode::Sync, 2, 2, 0x6cb6e0ebbce510c5),
+    golden(42, Mode::Async, 2, 2, 0x2cc7d5d5309a4d98),
+];
+
+const fn golden(
+    seed: u64,
+    mode: Mode,
+    shards: usize,
+    gossip_degree: usize,
+    fingerprint: u64,
+) -> GoldenCase {
+    GoldenCase {
+        seed,
+        mode,
+        shards,
+        gossip_degree,
+        fingerprint,
+    }
+}
+
+/// Runs one golden configuration under `engine` and returns its
+/// fingerprint.
+pub fn run_golden(case: &GoldenCase, engine: Engine) -> u64 {
+    let clusters = (0..4)
+        .map(|i| ClusterConfig::edge(format!("agg-{}", i + 1), DeviceProfile::edge_cpu()))
+        .collect();
+    let mut builder = ExperimentBuilder::quickstart()
+        .seed(case.seed)
+        .rounds(2)
+        .mode(case.mode)
+        .engine(engine)
+        .clusters(clusters);
+    if case.shards > 0 {
+        builder = builder.sharding(ShardConfig::new(case.shards));
+    }
+    if case.gossip_degree > 0 {
+        builder = builder.gossip(GossipConfig {
+            degree: case.gossip_degree,
+            ..GossipConfig::default()
+        });
+    }
+    fingerprint(&builder.run().expect("golden config is valid"))
+}
+
+/// The baseline-identity arm: every golden case, under both engines.
+#[derive(Debug, Clone)]
+pub struct IdentityArm {
+    /// Cases checked (goldens × engines).
+    pub cases: usize,
+    /// Cases whose fingerprint mismatched, as
+    /// `(seed, mode, shards, engine)` strings.
+    pub mismatches: Vec<String>,
+}
+
+impl IdentityArm {
+    /// True when every case reproduced its pinned fingerprint.
+    pub fn identical(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+/// Runs the full identity grid.
+pub fn run_identity() -> IdentityArm {
+    let mut cases = 0;
+    let mut mismatches = Vec::new();
+    for case in GOLDENS {
+        for engine in [Engine::Sequential, Engine::Parallel] {
+            cases += 1;
+            if run_golden(case, engine) != case.fingerprint {
+                mismatches.push(format!(
+                    "(seed {}, {}, shards {}, gossip {}, {})",
+                    case.seed, case.mode, case.shards, case.gossip_degree, engine
+                ));
+            }
+        }
+    }
+    IdentityArm { cases, mismatches }
+}
+
+// ---- the complete benchmark -------------------------------------------
+
+/// The complete benchmark result.
+#[derive(Debug, Clone)]
+pub struct ClusteringBench {
+    /// The static-assignment arm.
+    pub static_arm: DriftArm,
+    /// The dynamic-regroup arm.
+    pub regroup_arm: DriftArm,
+    /// Regroup plus variance-weighted intra-shard aggregation.
+    pub adaptive_arm: DriftArm,
+    /// Whether the regroup arm reproduced byte-identically on a second
+    /// same-seed run.
+    pub deterministic: bool,
+    /// The baseline-identity grid.
+    pub identity: IdentityArm,
+    /// The drifted cluster indices.
+    pub drifted: Vec<usize>,
+}
+
+impl ClusteringBench {
+    /// Gate 1: regrouping reaches the target strictly earlier than the
+    /// static assignment (or the static arm never reaches it at all), and
+    /// does not end below it.
+    pub fn regroup_beats_static(&self) -> bool {
+        let regroup = match self.regroup_arm.time_to_target_secs {
+            Some(t) => t,
+            None => return false,
+        };
+        let earlier = match self.static_arm.time_to_target_secs {
+            Some(t) => regroup < t,
+            None => true,
+        };
+        earlier
+            && self.regroup_arm.final_undrifted_accuracy_pct
+                >= self.static_arm.final_undrifted_accuracy_pct
+    }
+}
+
+/// Runs all arms and gates.
+pub fn run(scale: Scale, seed: u64) -> ClusteringBench {
+    let static_arm = run_arm(scale, seed, false, false);
+    let regroup_arm = run_arm(scale, seed, true, false);
+    let rerun = run_arm(scale, seed, true, false);
+    let adaptive_arm = run_arm(scale, seed, true, true);
+    let deterministic = regroup_arm.report_debug == rerun.report_debug;
+    ClusteringBench {
+        static_arm,
+        regroup_arm,
+        adaptive_arm,
+        deterministic,
+        identity: run_identity(),
+        drifted: drifted_set(seed),
+    }
+}
+
+/// Renders the machine-readable `BENCH_clustering.json` body.
+pub fn render_json(bench: &ClusteringBench, seed: u64, scale: Scale) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"clustering\",\n");
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!(
+        "  \"scale\": \"{}\",\n",
+        if scale == Scale::Full {
+            "full"
+        } else {
+            "quick"
+        }
+    ));
+    out.push_str(&format!("  \"fleet\": {FLEET},\n"));
+    out.push_str(&format!("  \"shards\": {SHARDS},\n"));
+    out.push_str(&format!("  \"rounds\": {},\n", rounds(scale)));
+    out.push_str(&format!("  \"drift_round\": {DRIFT_ROUND},\n"));
+    out.push_str(&format!(
+        "  \"drifted_clusters\": [{}],\n",
+        bench
+            .drifted
+            .iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str(&format!(
+        "  \"target_accuracy_pct\": {TARGET_ACCURACY_PCT},\n"
+    ));
+    out.push_str(&format!(
+        "  \"regroup_beats_static\": {},\n",
+        bench.regroup_beats_static()
+    ));
+    out.push_str(&format!("  \"deterministic\": {},\n", bench.deterministic));
+    out.push_str("  \"baseline_identity\": {\n");
+    out.push_str(&format!("    \"cases\": {},\n", bench.identity.cases));
+    out.push_str(&format!(
+        "    \"identical\": {},\n",
+        bench.identity.identical()
+    ));
+    out.push_str(&format!(
+        "    \"mismatches\": [{}]\n",
+        bench
+            .identity
+            .mismatches
+            .iter()
+            .map(|m| format!("\"{m}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str("  },\n");
+    out.push_str("  \"arms\": [\n");
+    let arms = [&bench.static_arm, &bench.regroup_arm, &bench.adaptive_arm];
+    for (i, arm) in arms.into_iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\n",
+                "      \"arm\": \"{}\",\n",
+                "      \"time_to_target_secs\": {},\n",
+                "      \"final_undrifted_accuracy_pct\": {:.2},\n",
+                "      \"final_drifted_accuracy_pct\": {:.2},\n",
+                "      \"regroups\": {},\n",
+                "      \"wall_secs\": {:.3}\n",
+                "    }}{}\n",
+            ),
+            arm.label,
+            arm.time_to_target_secs
+                .map_or("null".to_owned(), |t| format!("{t:.1}")),
+            arm.final_undrifted_accuracy_pct,
+            arm.final_drifted_accuracy_pct,
+            arm.regroups,
+            arm.wall_secs,
+            if i == 2 { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders the human-readable summary.
+pub fn render(bench: &ClusteringBench) -> String {
+    let mut out = String::new();
+    out.push_str("Clustering bench: dynamic re-clustering vs. static assignment under drift\n\n");
+    out.push_str(&format!(
+        "drifted clusters (round {DRIFT_ROUND}, shift {CLASS_SHIFT}): {:?}\n\n",
+        bench.drifted
+    ));
+    out.push_str(&format!(
+        "{:>18} {:>16} {:>16} {:>14} {:>8}\n",
+        "arm", "t_to_target(s)", "undrifted(%)", "drifted(%)", "regroups"
+    ));
+    for arm in [&bench.static_arm, &bench.regroup_arm, &bench.adaptive_arm] {
+        out.push_str(&format!(
+            "{:>18} {:>16} {:>16.2} {:>14.2} {:>8}\n",
+            arm.label,
+            arm.time_to_target_secs
+                .map_or("never".to_owned(), |t| format!("{t:.1}")),
+            arm.final_undrifted_accuracy_pct,
+            arm.final_drifted_accuracy_pct,
+            arm.regroups,
+        ));
+    }
+    out.push_str(&format!(
+        "\nregroup beats static: {} (target {TARGET_ACCURACY_PCT}%)\n",
+        bench.regroup_beats_static()
+    ));
+    out.push_str(&format!("same-seed determinism: {}\n", bench.deterministic));
+    out.push_str(&format!(
+        "baseline identity (regroup: None): {}/{} cases identical{}\n",
+        bench.identity.cases - bench.identity.mismatches.len(),
+        bench.identity.cases,
+        if bench.identity.identical() {
+            String::new()
+        } else {
+            format!("; mismatches: {:?}", bench.identity.mismatches)
+        }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_gates_hold() {
+        let bench = run(Scale::Quick, 42);
+        assert!(bench.regroup_beats_static(), "{}", render(&bench));
+        assert!(bench.deterministic, "{}", render(&bench));
+        assert!(bench.identity.identical(), "{}", render(&bench));
+        assert!(
+            bench.regroup_arm.final_drifted_accuracy_pct
+                < bench.regroup_arm.final_undrifted_accuracy_pct,
+            "quarantined drifted silos face a rotated task the global test \
+             set never sees"
+        );
+    }
+
+    #[test]
+    fn drifted_set_straddles_every_static_shard() {
+        for seed in [11u64, 42, 1337] {
+            let drifted = drifted_set(seed);
+            assert_eq!(drifted.len(), FLEET / 2, "exactly half drifts");
+            let topology = ShardTopology::derive(&ShardConfig::new(SHARDS), seed, FLEET);
+            for shard in 0..SHARDS {
+                let members = topology.members(shard);
+                let hit = members.iter().filter(|m| drifted.contains(m)).count();
+                assert!(
+                    hit > 0 && hit < members.len(),
+                    "shard {shard} must mix drifted and undrifted (seed {seed})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn json_rendering_is_well_formed() {
+        let arm = |label: &str, ttt: Option<f64>| DriftArm {
+            label: label.to_owned(),
+            time_to_target_secs: ttt,
+            final_undrifted_accuracy_pct: 60.0,
+            final_drifted_accuracy_pct: 25.0,
+            regroups: if ttt.is_some() { 5 } else { 0 },
+            wall_secs: 1.0,
+            report_debug: String::new(),
+        };
+        let bench = ClusteringBench {
+            static_arm: arm("static", None),
+            regroup_arm: arm("regroup", Some(900.0)),
+            adaptive_arm: arm("regroup_adaptive", Some(880.0)),
+            deterministic: true,
+            identity: IdentityArm {
+                cases: 28,
+                mismatches: Vec::new(),
+            },
+            drifted: vec![0, 2, 4],
+        };
+        assert!(bench.regroup_beats_static());
+        let json = render_json(&bench, 42, Scale::Quick);
+        assert!(json.contains("\"bench\": \"clustering\""));
+        assert!(json.contains("\"time_to_target_secs\": null"));
+        assert!(json.contains("\"time_to_target_secs\": 900.0"));
+        assert!(json.contains("\"regroup_beats_static\": true"));
+        assert!(json.contains("\"identical\": true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn beats_static_requires_strict_improvement() {
+        let arm = |ttt: Option<f64>, acc: f64| DriftArm {
+            label: "x".into(),
+            time_to_target_secs: ttt,
+            final_undrifted_accuracy_pct: acc,
+            final_drifted_accuracy_pct: 0.0,
+            regroups: 0,
+            wall_secs: 0.0,
+            report_debug: String::new(),
+        };
+        let bench = |static_ttt, regroup_ttt, static_acc, regroup_acc| ClusteringBench {
+            static_arm: arm(static_ttt, static_acc),
+            regroup_arm: arm(regroup_ttt, regroup_acc),
+            adaptive_arm: arm(None, 0.0),
+            deterministic: true,
+            identity: IdentityArm {
+                cases: 0,
+                mismatches: Vec::new(),
+            },
+            drifted: vec![],
+        };
+        // Strictly earlier and at least as accurate: beats.
+        assert!(bench(Some(100.0), Some(90.0), 60.0, 60.0).regroup_beats_static());
+        // Static never reaches, regroup does: beats.
+        assert!(bench(None, Some(90.0), 50.0, 60.0).regroup_beats_static());
+        // Regroup never reaches: loses.
+        assert!(!bench(Some(100.0), None, 60.0, 60.0).regroup_beats_static());
+        // Same time: not strictly earlier.
+        assert!(!bench(Some(90.0), Some(90.0), 60.0, 60.0).regroup_beats_static());
+        // Earlier but ends lower: loses.
+        assert!(!bench(Some(100.0), Some(90.0), 60.0, 55.0).regroup_beats_static());
+    }
+}

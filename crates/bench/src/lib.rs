@@ -23,9 +23,11 @@
 //! | [`gossip`] | gossip trajectory — busiest-node wire bytes, overlay routing vs. flat fetch |
 //! | [`timeline`] | timeline trajectory — time-to-target-accuracy, sync vs. async × link models × elastic membership |
 //! | [`serve`] | serve trajectory — daemon throughput and round latency under a queued submission burst |
+//! | [`clustering`] | clustering trajectory — dynamic re-clustering vs. static shard assignment under domain drift |
 
 pub mod ablation;
 pub mod chaos;
+pub mod clustering;
 pub mod figure7;
 pub mod gossip;
 pub mod scalability;

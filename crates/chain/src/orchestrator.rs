@@ -163,6 +163,7 @@ pub mod calls {
     pub(super) const TAG_END_SCORING: u8 = 0x06;
     pub(super) const TAG_SUBMIT_MODEL_DELTA: u8 = 0x07;
     pub(super) const TAG_SUBMIT_SHARD_RELEASE: u8 = 0x08;
+    pub(super) const TAG_UPDATE_SHARDING: u8 = 0x09;
 
     /// `registerAggregator()` payload.
     pub fn register() -> Vec<u8> {
@@ -219,6 +220,21 @@ pub mod calls {
             .put_str(cid);
         e.into_bytes()
     }
+
+    /// `updateSharding(epoch, members)` payload: replaces the contract's
+    /// address → shard map with a freshly regrouped topology epoch, so
+    /// scorer sampling and intra-shard visibility follow the new grouping
+    /// from the next call on.
+    pub fn update_sharding(epoch: u64, members: &[(Address, u32)]) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.put_u8(TAG_UPDATE_SHARDING)
+            .put_u64(epoch)
+            .put_u32(members.len() as u32);
+        for (addr, shard) in members {
+            e.put_fixed(&addr.0).put_u32(*shard);
+        }
+        e.into_bytes()
+    }
 }
 
 /// Event names emitted by the contract (topic 0 is the SHA-256 of these).
@@ -239,6 +255,8 @@ pub mod events {
     pub const SCORING_CLOSED: &str = "ScoringClosed";
     /// Emitted when a shard representative seals a shard release.
     pub const SHARD_RELEASE_SUBMITTED: &str = "ShardReleaseSubmitted";
+    /// Emitted when a regrouped topology epoch replaces the shard map.
+    pub const SHARDING_UPDATED: &str = "ShardingUpdated";
 }
 
 /// Payload of a [`events::SCORERS_ASSIGNED`] log.
@@ -764,6 +782,30 @@ impl UnifyFlContract {
             30_000,
         ))
     }
+
+    fn exec_update_sharding(
+        &mut self,
+        ctx: &CallContext,
+        epoch: u64,
+        members: Vec<(Address, u32)>,
+    ) -> Result<CallOutcome, ContractError> {
+        self.require_registered(ctx.sender)?;
+        // The map stays topology configuration (digest-excluded, like the
+        // deploy-time one): regrouping moves clusters between shards, it
+        // does not alter any round's recorded outcomes.
+        self.shard_of = members.iter().copied().collect();
+        let mut data = Encoder::new();
+        data.put_u64(epoch).put_u32(members.len() as u32);
+        Ok(CallOutcome::new(
+            vec![Log::event(
+                self.address,
+                events::SHARDING_UPDATED,
+                vec![],
+                data.into_bytes(),
+            )],
+            20_000,
+        ))
+    }
 }
 
 impl Contract for UnifyFlContract {
@@ -818,6 +860,20 @@ impl Contract for UnifyFlContract {
                 let cid = d.take_str()?.to_owned();
                 d.finish()?;
                 self.exec_submit_shard_release(ctx, shard, epoch, &cid)
+            }
+            calls::TAG_UPDATE_SHARDING => {
+                let epoch = d.take_u64()?;
+                let n = d.take_u32()? as usize;
+                let mut members = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let raw = d.take_fixed(20)?;
+                    let mut a = [0u8; 20];
+                    a.copy_from_slice(raw);
+                    let shard = d.take_u32()?;
+                    members.push((Address(a), shard));
+                }
+                d.finish()?;
+                self.exec_update_sharding(ctx, epoch, members)
             }
             other => Err(DecodeError::UnknownTag(other).into()),
         }
@@ -1339,5 +1395,45 @@ mod tests {
         assert!(c.latest_shard_release(2).is_none());
         // Releases are replicated state: the digest must cover them.
         assert_ne!(c.state_digest(), d0);
+    }
+
+    #[test]
+    fn update_sharding_replaces_the_map_without_touching_the_digest() {
+        let (mut c, a) = sharded(OrchestrationMode::Sync, None);
+        let d0 = c.state_digest();
+        assert_eq!(c.shard_of(a[1]), 1);
+
+        // An unregistered sender may not regroup.
+        let stranger = Address::from_label("stranger");
+        let err = c
+            .execute(&ctx(stranger, 0), &calls::update_sharding(1, &[]))
+            .unwrap_err();
+        assert!(err.to_string().contains("not a registered"));
+
+        // Regroup: swap a[0] and a[1] across shards.
+        let members: Vec<(Address, u32)> = a
+            .iter()
+            .enumerate()
+            .map(|(i, addr)| {
+                let shard = match i {
+                    0 => 1u32,
+                    1 => 0,
+                    other => (other % 2) as u32,
+                };
+                (*addr, shard)
+            })
+            .collect();
+        let out = c
+            .execute(&ctx(a[0], 5), &calls::update_sharding(1, &members))
+            .unwrap();
+        assert_eq!(out.logs.len(), 1);
+        assert_eq!(c.shard_of(a[0]), 1);
+        assert_eq!(c.shard_of(a[1]), 0);
+        // Scorer sampling follows the new map.
+        let scorers = c.sample_scorers(a[0], 7);
+        assert!(scorers.iter().all(|s| c.shard_of(*s) == 1 && *s != a[0]));
+        // Like the deploy-time map, the regrouped map is topology
+        // configuration — the replicated-state digest is unchanged.
+        assert_eq!(c.state_digest(), d0);
     }
 }

@@ -18,7 +18,7 @@ use unifyfl_chain::orchestrator::calls;
 use unifyfl_chain::types::{Address, Transaction};
 use unifyfl_chain::Score;
 use unifyfl_data::Dataset;
-use unifyfl_fl::strategy::weighted_mean;
+use unifyfl_fl::strategy::{precision_weighted_mean, weighted_mean};
 use unifyfl_fl::{FlClient, FlServer, InMemoryClient, StrategyKind};
 use unifyfl_sim::{DeviceProfile, SimDuration};
 use unifyfl_storage::network::LinkProfile;
@@ -30,6 +30,20 @@ use unifyfl_tensor::zoo::ModelSpec;
 
 use crate::byzantine::{AttackKind, DpConfig};
 use crate::policy::{AggregationPolicy, ScorePolicy};
+
+/// A mid-run domain drift: at the start of `at_round`, the cluster's task
+/// changes under it — every client's local labels (and the scorer holdout)
+/// are rotated by `class_shift` classes. Models the paper's motivating
+/// cross-silo reality that organizations' data distributions move (a
+/// vehicle fleet crossing a border, a hospital's seasonal case mix); the
+/// regroup machinery exists to chase exactly this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DriftSpec {
+    /// Global round at whose start the drift fires (1-based; fires once).
+    pub at_round: u64,
+    /// Label rotation applied, modulo the class count.
+    pub class_shift: usize,
+}
 
 /// Static configuration of one cluster.
 #[derive(Debug, Clone)]
@@ -74,6 +88,9 @@ pub struct ClusterConfig {
     /// [`ClusterConfig::client_device`]; set it to model WAN-attached
     /// silos whose storage path is slower than their compute fabric.
     pub link: Option<LinkProfile>,
+    /// Mid-run domain drift, if the cluster's data distribution shifts
+    /// during the run. `None` (the default) keeps the task static.
+    pub drift: Option<DriftSpec>,
 }
 
 impl ClusterConfig {
@@ -93,6 +110,7 @@ impl ClusterConfig {
             release_mantissa_bits: 7,
             joins_at: None,
             link: None,
+            drift: None,
         }
     }
 
@@ -153,6 +171,12 @@ impl ClusterConfig {
         self.link = Some(link);
         self
     }
+
+    /// Schedules a mid-run domain drift (builder style).
+    pub fn with_drift(mut self, drift: DriftSpec) -> Self {
+        self.drift = Some(drift);
+        self
+    }
 }
 
 /// Per-round record of what a cluster did.
@@ -204,6 +228,8 @@ pub struct ClusterNode {
     /// Submissions without one (no usable base, or an unchanged
     /// re-release).
     full_publishes: u64,
+    /// Whether the configured [`DriftSpec`] already fired (it fires once).
+    drifted: bool,
     /// History of per-round records.
     pub records: Vec<ClusterRoundRecord>,
 }
@@ -264,6 +290,7 @@ impl ClusterNode {
             pending_delta: None,
             delta_publishes: 0,
             full_publishes: 0,
+            drifted: false,
             records: Vec::new(),
         }
     }
@@ -321,6 +348,23 @@ impl ClusterNode {
     /// Deterministic per-cluster RNG (policy sampling).
     pub fn rng(&mut self) -> &mut StdRng {
         &mut self.rng
+    }
+
+    /// Fires the configured [`DriftSpec`] if `round` has reached it (at
+    /// most once per run): every client's labels and the scorer holdout
+    /// rotate together, so the cluster trains *and* scores on the shifted
+    /// task from this round on. Returns whether the drift fired now.
+    pub fn maybe_drift(&mut self, round: u64) -> bool {
+        let Some(drift) = self.config.drift else {
+            return false;
+        };
+        if self.drifted || round < drift.at_round {
+            return false;
+        }
+        self.drifted = true;
+        self.server.rotate_client_labels(drift.class_shift);
+        self.local_test = self.local_test.rotate_labels(drift.class_shift);
+        true
     }
 
     // ---- virtual-time cost model -------------------------------------
@@ -494,6 +538,26 @@ impl ClusterNode {
         peers.len()
     }
 
+    /// Step 5 under Unify-style adaptive weighting: each peer carries the
+    /// *precision* of its on-chain scores (inverse scorer-disagreement
+    /// variance) and contributes proportionally — releases the scorers
+    /// agree on pull harder than contested ones. The cluster's own model
+    /// enters at the mean peer precision, mirroring [`Self::merge_peers`]
+    /// where self is one equal participant.
+    ///
+    /// Returns the number of peers merged.
+    pub fn merge_peers_weighted(&mut self, peers: &[(Vec<f32>, f64)]) -> usize {
+        if peers.is_empty() {
+            return 0;
+        }
+        let self_precision = peers.iter().map(|(_, p)| *p).sum::<f64>() / peers.len() as f64;
+        let mut updates: Vec<(Vec<f32>, f64)> = peers.to_vec();
+        updates.push((self.server.weights().to_vec(), self_precision));
+        let merged = precision_weighted_mean(self.server.weights(), &updates);
+        self.server.set_weights(merged);
+        peers.len()
+    }
+
     /// Evaluates arbitrary weights on a dataset with the cluster's spec.
     pub fn evaluate(&self, weights: &[f32], data: &Dataset) -> unifyfl_fl::EvalResult {
         unifyfl_fl::evaluate_weights(&self.spec, weights, data)
@@ -619,6 +683,70 @@ mod tests {
         assert!(cluster.weights().iter().all(|w| (*w - 1.5).abs() < 1e-6));
         // Empty merge is a no-op.
         assert_eq!(cluster.merge_peers(&[]), 0);
+    }
+
+    #[test]
+    fn merge_peers_weighted_favors_high_precision() {
+        let (mut cluster, _) = setup(None);
+        let n = cluster.weights().len();
+        cluster.server.set_weights(vec![0.0; n]);
+        // Peer precisions 3:1; self enters at their mean (2). Total 6 →
+        // merged = (3·6 + 1·0 + 2·0) / 6 = 3.
+        let merged = cluster.merge_peers_weighted(&[(vec![6.0; n], 3.0), (vec![0.0; n], 1.0)]);
+        assert_eq!(merged, 2);
+        assert!(
+            cluster.weights().iter().all(|w| (*w - 3.0).abs() < 1e-5),
+            "{:?}",
+            &cluster.weights()[..4.min(n)]
+        );
+        // Equal precisions reduce to the plain equal-weight merge.
+        cluster.server.set_weights(vec![0.0; n]);
+        cluster.merge_peers_weighted(&[(vec![3.0; n], 5.0)]);
+        assert!(cluster.weights().iter().all(|w| (*w - 1.5).abs() < 1e-6));
+        assert_eq!(cluster.merge_peers_weighted(&[]), 0);
+    }
+
+    #[test]
+    fn drift_fires_once_and_rotates_the_task() {
+        let (cluster, data) = setup(None);
+        let mut cfg = cluster.config().clone();
+        cfg.drift = Some(DriftSpec {
+            at_round: 3,
+            class_shift: 1,
+        });
+        let spec = cluster.spec().clone();
+        let net = IpfsNetwork::new();
+        let init = spec.build(99).flat_params();
+        let mut c = ClusterNode::new(cfg, spec, &data, init, net.add_node(LinkProfile::lan()), 7);
+        let before = c.local_test().class_histogram();
+        assert!(!c.maybe_drift(1), "too early");
+        assert!(!c.maybe_drift(2), "too early");
+        assert!(c.maybe_drift(3), "fires at its round");
+        assert!(!c.maybe_drift(4), "fires only once");
+        let after = c.local_test().class_histogram();
+        assert_ne!(before, after, "holdout labels rotated");
+        for (cls, &count) in before.iter().enumerate() {
+            assert_eq!(after[(cls + 1) % before.len()], count);
+        }
+    }
+
+    #[test]
+    fn drift_degrades_a_trained_model() {
+        let (mut cluster, _) = setup(None);
+        for _ in 0..5 {
+            cluster.run_local_round(2, 16, 0.05);
+        }
+        let before = cluster.score_weights(cluster.weights());
+        cluster.config.drift = Some(DriftSpec {
+            at_round: 1,
+            class_shift: 2,
+        });
+        assert!(cluster.maybe_drift(1));
+        let after = cluster.score_weights(cluster.weights());
+        assert!(
+            after < before - 0.2,
+            "trained model must crater on the rotated task: {before} -> {after}"
+        );
     }
 
     #[test]

@@ -118,6 +118,17 @@ pub enum Event {
         /// 1-based inter-shard exchange epoch being prefetched.
         epoch: u64,
     },
+    /// Topology epochs: re-cluster the federation by weight-space distance
+    /// — derive the next [`TopologyEpoch`](crate::sharding::TopologyEpoch)
+    /// from the clusters' current weights and re-install the gossip
+    /// neighborhoods. Fires on the `regroup_every` cadence (sync: at the
+    /// round barrier; async: virtual-time cadence like
+    /// [`Event::ShardSealDue`]) and only when regrouping is configured, so
+    /// the default trace is untouched.
+    RegroupDue {
+        /// 1-based topology epoch being derived.
+        epoch: u64,
+    },
 }
 
 impl Event {
@@ -135,6 +146,7 @@ impl Event {
             Event::ShardSealDue { .. } => "shard_seal_due",
             Event::ShardExchange { .. } => "shard_exchange",
             Event::PrefetchDue { .. } => "prefetch_due",
+            Event::RegroupDue { .. } => "regroup_due",
         }
     }
 
@@ -285,7 +297,9 @@ pub fn encode_trace(trace: &[EventRecord]) -> String {
                 out.push_str(&format!(" {cluster} {round}"));
             }
             Event::SealSlot => {}
-            Event::ShardSealDue { epoch } | Event::ShardExchange { epoch } => {
+            Event::ShardSealDue { epoch }
+            | Event::ShardExchange { epoch }
+            | Event::RegroupDue { epoch } => {
                 out.push_str(&format!(" {epoch}"));
             }
             Event::PrefetchDue { cluster, epoch } => {
@@ -358,6 +372,9 @@ pub fn decode_trace(text: &str) -> Result<Vec<EventRecord>, TraceDecodeError> {
                 cluster: arg("cluster")? as usize,
                 epoch: arg("epoch")?,
             },
+            "regroup_due" => Event::RegroupDue {
+                epoch: arg("epoch")?,
+            },
             other => return Err(err(line, &format!("unknown event label {other:?}"))),
         };
         if parts.next().is_some() {
@@ -397,6 +414,7 @@ mod tests {
             ),
             rec(40, Event::RoundBarrier { round: 1 }),
             rec(55, Event::ClusterWake { cluster: 3 }),
+            rec(55, Event::RegroupDue { epoch: 1 }),
             rec(60, Event::ShardSealDue { epoch: 1 }),
             rec(
                 60,
@@ -465,6 +483,8 @@ mod tests {
         assert_eq!(Event::ShardExchange { epoch: 2 }.label(), "shard_exchange");
         assert_eq!(Event::ShardSealDue { epoch: 1 }.cluster(), None);
         assert_eq!(Event::ShardExchange { epoch: 1 }.cluster(), None);
+        assert_eq!(Event::RegroupDue { epoch: 1 }.label(), "regroup_due");
+        assert_eq!(Event::RegroupDue { epoch: 1 }.cluster(), None);
         assert_eq!(
             Event::PrefetchDue {
                 cluster: 3,

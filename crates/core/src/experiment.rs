@@ -429,6 +429,9 @@ impl ExperimentConfig {
             if sharding.exchange_every == 0 {
                 return Err(ExperimentError::InvalidSharding("exchange_every (zero)"));
             }
+            if sharding.regroup == Some(0) {
+                return Err(ExperimentError::InvalidSharding("regroup_every (zero)"));
+            }
             // MultiKRUM scores a whole round at once, so under sharding its
             // round is the *shard's* round: every shard must still satisfy
             // Krum's n ≥ 2f + 3 floor. Balanced assignment makes the
@@ -920,6 +923,10 @@ mod tests {
         ));
         assert!(matches!(
             err(ShardConfig::new(1).with_exchange_every(0)),
+            ExperimentError::InvalidSharding(_)
+        ));
+        assert!(matches!(
+            err(ShardConfig::new(1).with_regroup_every(0)),
             ExperimentError::InvalidSharding(_)
         ));
         // MultiKRUM's distance matrix needs ≥ 3 clusters per shard.

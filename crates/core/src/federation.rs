@@ -23,7 +23,7 @@ use unifyfl_tensor::{weights_from_bytes, weights_to_bytes};
 
 use crate::cluster::{ClusterConfig, ClusterNode};
 use crate::policy::ScoredCandidate;
-use crate::sharding::ShardTopology;
+use crate::sharding::{ShardTopology, TopologyEpoch};
 
 /// How virtual time is charged for cross-silo weight transfers.
 ///
@@ -140,8 +140,14 @@ pub struct Federation {
     lost_txs: Vec<Transaction>,
     /// Count of retransmitted transactions.
     retried_txs: u64,
-    /// Two-tier shard topology, when the experiment runs sharded.
+    /// Two-tier shard topology, when the experiment runs sharded. Always
+    /// the *latest* entry of `epochs`; kept separate so every existing
+    /// consumer reads the current epoch without indirection.
     shard_topology: Option<ShardTopology>,
+    /// The topology timeline: epoch 0 is the config-time derivation, each
+    /// [`Federation::regroup_epoch`] appends the next epoch. Empty when
+    /// the federation runs unsharded.
+    epochs: Vec<TopologyEpoch>,
     /// Gossip overlay config, when topology-aware dissemination is on.
     gossip: Option<GossipConfig>,
 }
@@ -261,6 +267,11 @@ impl Federation {
             link_model: LinkModel::Nominal,
             lost_txs: Vec::new(),
             retried_txs: 0,
+            epochs: sharding
+                .iter()
+                .cloned()
+                .map(|topology| TopologyEpoch { epoch: 0, topology })
+                .collect(),
             shard_topology: sharding,
             gossip: None,
         };
@@ -319,9 +330,57 @@ impl Federation {
         self.fault_plan.as_ref()
     }
 
-    /// The two-tier shard topology, when the experiment runs sharded.
+    /// The *current* two-tier shard topology (the latest epoch), when the
+    /// experiment runs sharded.
     pub fn shard_topology(&self) -> Option<&ShardTopology> {
         self.shard_topology.as_ref()
+    }
+
+    /// The topology timeline, oldest first: epoch 0 is the config-time
+    /// derivation, each fired [`Event::RegroupDue`](crate::events::Event)
+    /// appends the next epoch. Empty when the federation runs unsharded.
+    pub fn topology_epochs(&self) -> &[TopologyEpoch] {
+        &self.epochs
+    }
+
+    /// Derives and installs the next topology epoch
+    /// ([`Event::RegroupDue`](crate::events::Event)): regroups the
+    /// clusters by weight-space distance over their *current* weights
+    /// ([`ShardTopology::regroup`]), appends the epoch to the timeline,
+    /// and — when the assignment actually moved a cluster — submits the
+    /// `updateSharding` transaction at `at` (so scorer sampling and
+    /// intra-shard visibility follow the new grouping) and re-derives the
+    /// gossip neighborhoods from the new shards. Returns the epoch's
+    /// topology for the policy to adopt; `None` when the federation runs
+    /// unsharded.
+    ///
+    /// A pure function of federation state: replaying the event trace
+    /// (checkpoint resume) re-derives the identical epoch.
+    pub fn regroup_epoch(&mut self, epoch: u64, at: SimTime) -> Option<ShardTopology> {
+        let _phase = crate::profile::enter(crate::profile::Phase::Regroup);
+        let current = self.shard_topology.clone()?;
+        let weights: Vec<Vec<f32>> = self.clusters.iter().map(|c| c.weights().to_vec()).collect();
+        let next = current.regroup(epoch, &weights, self.transfer_seed);
+        let changed = next.assignment != current.assignment;
+        self.epochs.push(TopologyEpoch {
+            epoch,
+            topology: next.clone(),
+        });
+        self.shard_topology = Some(next.clone());
+        if changed {
+            let members: Vec<(Address, u32)> = self
+                .clusters
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (c.address(), next.shard_of(i) as u32))
+                .collect();
+            let tx = self.phase_tx(calls::update_sharding(epoch, &members));
+            self.submit_tx_at(at, tx);
+            if let Some(config) = self.gossip {
+                self.install_gossip(config);
+            }
+        }
+        Some(next)
     }
 
     /// Derives and installs the seeded gossip overlay on the storage

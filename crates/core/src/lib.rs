@@ -69,7 +69,7 @@ pub mod sharding;
 pub mod step;
 
 pub use byzantine::{AttackKind, DpConfig};
-pub use cluster::{ClusterConfig, ClusterNode};
+pub use cluster::{ClusterConfig, ClusterNode, DriftSpec};
 pub use experiment::{
     run_experiment, AggregatorReport, ChaosReport, ExperimentBuilder, ExperimentConfig,
     ExperimentError, ExperimentReport, TransferReport,
@@ -82,7 +82,7 @@ pub use service::{
     ExperimentService, ResumeError, RunCheckpoint, RunHandle, RunId, RunOutcome, RunState,
     ServiceConfig, ServiceError,
 };
-pub use sharding::{ShardConfig, ShardTopology};
+pub use sharding::{ShardConfig, ShardTopology, TopologyEpoch};
 pub use step::Engine;
 pub use unifyfl_sim::fault::{ChaosConfig, FaultEvent, FaultKind, FaultPlan, FaultRecord};
 pub use unifyfl_storage::{GossipConfig, TransferConfig};

@@ -880,9 +880,37 @@ impl SyncPolicy {
         if round >= self.rounds {
             return;
         }
-        // On the inter-shard cadence the next round opens only after the
-        // seal/exchange pair: RoundBarrier → ShardSealDue → ShardExchange →
-        // OpenTraining(round + 1).
+        // Topology epochs: on the regroup cadence the barrier derives the
+        // next epoch *before* any seal/exchange, so the fresh grouping
+        // shapes them: RoundBarrier → RegroupDue → [seal/exchange →]
+        // OpenTraining(round + 1). With `regroup: None` this never fires
+        // and the barrier cycle is byte-identical to the static engine.
+        let regroup_due = self.topology.as_ref().is_some_and(|tp| {
+            tp.regroup_every
+                .is_some_and(|every| round.is_multiple_of(every))
+        });
+        if regroup_due {
+            let every = self
+                .topology
+                .as_ref()
+                .and_then(|tp| tp.regroup_every)
+                .expect("checked above");
+            queue.schedule(
+                t,
+                Event::RegroupDue {
+                    epoch: round / every,
+                },
+            );
+            return;
+        }
+        self.advance_past_barrier(queue, t, round);
+    }
+
+    /// The barrier's continuation once any due regroup has fired: on the
+    /// inter-shard cadence the next round opens only after the
+    /// seal/exchange pair (ShardSealDue → ShardExchange →
+    /// OpenTraining(round + 1)); otherwise it opens immediately.
+    fn advance_past_barrier(&mut self, queue: &mut EventQueue<Event>, t: SimTime, round: u64) {
         let exchange_due = self
             .topology
             .as_ref()
@@ -902,6 +930,31 @@ impl SyncPolicy {
         } else {
             queue.schedule(t, Event::OpenTraining { round: round + 1 });
         }
+    }
+
+    /// A fired [`Event::RegroupDue`]: derive and install the next topology
+    /// epoch over the clusters' current weights, adopt it for the rest of
+    /// the run (window sizing is untouched — the regrouped shards respect
+    /// the epoch-0 capacity bound), then continue the barrier's
+    /// seal/exchange/open continuation for the regrouping round.
+    fn regroup_due(
+        &mut self,
+        fed: &mut Federation,
+        queue: &mut EventQueue<Event>,
+        at: SimTime,
+        epoch: u64,
+    ) {
+        let every = self
+            .topology
+            .as_ref()
+            .and_then(|tp| tp.regroup_every)
+            .expect("regroup events imply a regroup cadence");
+        if let Some(next) = fed.regroup_epoch(epoch, at) {
+            self.topology = Some(next);
+        }
+        let t = fed.flush_chain_at(at);
+        self.end_time = t;
+        self.advance_past_barrier(queue, t, epoch * every);
     }
 
     /// Every shard's representative (its lowest-indexed member still in
@@ -1029,6 +1082,7 @@ impl EventPolicy for SyncPolicy {
             Event::StartScoring { round } => self.start_scoring(fed, queue, round),
             Event::ScoresDue { cluster, round } => self.scores_due(fed, cluster, round),
             Event::RoundBarrier { round } => self.round_barrier(fed, queue, round),
+            Event::RegroupDue { epoch } => self.regroup_due(fed, queue, at, epoch),
             Event::ShardSealDue { epoch } => self.shard_seal_due(fed, queue, at, epoch),
             Event::ShardExchange { epoch } => self.shard_exchange(fed, queue, at, epoch),
             Event::PrefetchDue { cluster, .. } => {
@@ -1105,9 +1159,18 @@ pub(crate) struct AsyncPolicy {
     /// the async analogue of the sync engine's every-`exchange_every`-rounds
     /// barrier hook.
     seal_period: SimDuration,
+    /// Topology-epoch cadence in virtual time: regroup `k` fires at
+    /// `setup_done + k × regroup_period` (`regroup_every` nominal round
+    /// lengths) — the async analogue of the sync engine's
+    /// every-`regroup_every`-rounds barrier hook. Zero when regrouping is
+    /// off.
+    regroup_period: SimDuration,
     /// A shard seal/exchange event is in flight; holds the end-of-run
     /// `SealSlot` drain back until the cadence chain decides to stop.
     shard_pending: bool,
+    /// A regroup event is in flight; holds the `SealSlot` drain back like
+    /// `shard_pending` does.
+    regroup_pending: bool,
     plan: Option<FaultPlan>,
     clock: Vec<SimTime>,
     rounds_done: Vec<u64>,
@@ -1163,23 +1226,28 @@ impl AsyncPolicy {
         // (the slowest founder's intra-shard pull + train + publish) — the
         // same "every few rounds" rhythm the sync engine gets from its
         // barrier count.
+        let nominal_round = |tp: &ShardTopology| {
+            let fan_out = tp.max_shard_size() as u64 - 1;
+            fed.clusters
+                .iter()
+                .filter(|c| c.config().joins_at.is_none())
+                .map(|c| {
+                    c.fetch_duration() * fan_out
+                        + c.train_duration(workload.local_epochs)
+                        + c.publish_duration()
+                })
+                .max()
+                .expect("at least two founders")
+        };
         let seal_period = topology
             .as_ref()
-            .map(|tp| {
-                let fan_out = tp.max_shard_size() as u64 - 1;
-                let nominal_round = fed
-                    .clusters
-                    .iter()
-                    .filter(|c| c.config().joins_at.is_none())
-                    .map(|c| {
-                        c.fetch_duration() * fan_out
-                            + c.train_duration(workload.local_epochs)
-                            + c.publish_duration()
-                    })
-                    .max()
-                    .expect("at least two founders");
-                nominal_round * tp.exchange_every
-            })
+            .map(|tp| nominal_round(tp) * tp.exchange_every)
+            .unwrap_or(SimDuration::ZERO);
+        // The regroup cadence rides the same virtual-time rhythm, with its
+        // own period.
+        let regroup_period = topology
+            .as_ref()
+            .and_then(|tp| tp.regroup_every.map(|every| nominal_round(tp) * every))
             .unwrap_or(SimDuration::ZERO);
         let plan = fed.fault_plan().cloned();
         let join_time = join_times(fed);
@@ -1202,7 +1270,9 @@ impl AsyncPolicy {
             setup_done: fed.setup_done,
             topology,
             seal_period,
+            regroup_period,
             shard_pending: false,
+            regroup_pending: false,
             plan,
             clock,
             rounds_done: vec![0; n],
@@ -1289,7 +1359,12 @@ impl AsyncPolicy {
                 }
             }
         }
-        if !any && self.pending_joins == 0 && !self.shard_pending && !self.seal_scheduled {
+        if !any
+            && self.pending_joins == 0
+            && !self.shard_pending
+            && !self.regroup_pending
+            && !self.seal_scheduled
+        {
             self.seal_scheduled = true;
             self.end_time = self.clock.iter().copied().max().unwrap_or(self.setup_done);
             queue.schedule(self.end_time, Event::SealSlot);
@@ -1541,6 +1616,37 @@ impl AsyncPolicy {
         }
         self.ensure_wakes(queue);
     }
+
+    /// A fired [`Event::RegroupDue`] on the virtual-time cadence: derive
+    /// and install the next topology epoch over the clusters' current
+    /// weights, adopt it, and re-arm the next regroup while anyone still
+    /// has rounds to run (the same liveness condition the seal cadence
+    /// uses); otherwise the cadence chain ends and the `SealSlot` drain
+    /// can fire. Charges no cluster clock — regrouping is orchestrator
+    /// bookkeeping, not silo work.
+    fn regroup_due(
+        &mut self,
+        fed: &mut Federation,
+        queue: &mut EventQueue<Event>,
+        t: SimTime,
+        epoch: u64,
+    ) {
+        fed.advance_chain_to(t);
+        if let Some(next) = fed.regroup_epoch(epoch, t) {
+            self.topology = Some(next);
+        }
+        let sealed = fed.flush_chain_at(t);
+        let more = self.pending_joins > 0
+            || (0..self.n)
+                .any(|i| self.joined[i] && self.alive[i] && self.rounds_done[i] < self.rounds);
+        if more {
+            let next = (self.setup_done + self.regroup_period * (epoch + 1)).max(sealed);
+            queue.schedule(next, Event::RegroupDue { epoch: epoch + 1 });
+        } else {
+            self.regroup_pending = false;
+        }
+        self.ensure_wakes(queue);
+    }
 }
 
 impl EventPolicy for AsyncPolicy {
@@ -1554,6 +1660,20 @@ impl EventPolicy for AsyncPolicy {
         }
         if self.topology.is_some() {
             self.shard_pending = true;
+            // Regroups are scheduled ahead of seals so that at a shared
+            // cadence instant the fresh grouping shapes the seal
+            // (same-time FIFO pops the regroup first).
+            if self
+                .topology
+                .as_ref()
+                .is_some_and(|tp| tp.regroup_every.is_some())
+            {
+                self.regroup_pending = true;
+                queue.schedule(
+                    self.setup_done + self.regroup_period,
+                    Event::RegroupDue { epoch: 1 },
+                );
+            }
             queue.schedule(
                 self.setup_done + self.seal_period,
                 Event::ShardSealDue { epoch: 1 },
@@ -1572,6 +1692,7 @@ impl EventPolicy for AsyncPolicy {
         match event {
             Event::ClusterWake { cluster } => self.wake(fed, queue, at, cluster),
             Event::MembershipChange { cluster } => self.membership_change(fed, queue, at, cluster),
+            Event::RegroupDue { epoch } => self.regroup_due(fed, queue, at, epoch),
             Event::ShardSealDue { epoch } => self.shard_seal_due(fed, queue, at, epoch),
             Event::ShardExchange { epoch } => self.shard_exchange(fed, queue, at, epoch),
             Event::PrefetchDue { cluster, .. } => {

@@ -1,13 +1,15 @@
 //! Process-global phase attribution: where the wall-clock cycles of a run
 //! actually go.
 //!
-//! Four monotone counters — **train**, **score**, **fetch**, **seal** —
-//! accumulate the elapsed wall-clock of every span entered via
-//! [`enter`]. The hooks live on the hot paths the phases name:
+//! Five monotone counters — **train**, **score**, **fetch**, **seal**,
+//! **regroup** — accumulate the elapsed wall-clock of every span entered
+//! via [`enter`]. The hooks live on the hot paths the phases name:
 //! training/merge compute ([`crate::step::compute_train`] and the final
 //! merge), peer-model scoring ([`crate::step::compute_scores`]), storage
-//! fetches ([`crate::federation::Federation::fetch_weights_costed`]) and
-//! chain sealing. The `speed` benchmark snapshots the counters around each
+//! fetches ([`crate::federation::Federation::fetch_weights_costed`]),
+//! chain sealing, and topology re-clustering
+//! ([`crate::federation::Federation::regroup_epoch`]). The `speed`
+//! benchmark snapshots the counters around each
 //! arm and reports the deltas in `BENCH_speed.json`, so regressions can be
 //! blamed on a phase instead of a whole run.
 //!
@@ -37,6 +39,7 @@ static TRAIN_NANOS: AtomicU64 = AtomicU64::new(0);
 static SCORE_NANOS: AtomicU64 = AtomicU64::new(0);
 static FETCH_NANOS: AtomicU64 = AtomicU64::new(0);
 static SEAL_NANOS: AtomicU64 = AtomicU64::new(0);
+static REGROUP_NANOS: AtomicU64 = AtomicU64::new(0);
 
 /// The attributable phases of a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -49,6 +52,9 @@ pub enum Phase {
     Fetch,
     /// Chain block sealing (transaction execution, block production).
     Seal,
+    /// Topology re-clustering: weight-space distance grouping and the
+    /// gossip-neighborhood re-derivation at an epoch boundary.
+    Regroup,
 }
 
 fn counter(phase: Phase) -> &'static AtomicU64 {
@@ -57,6 +63,7 @@ fn counter(phase: Phase) -> &'static AtomicU64 {
         Phase::Score => &SCORE_NANOS,
         Phase::Fetch => &FETCH_NANOS,
         Phase::Seal => &SEAL_NANOS,
+        Phase::Regroup => &REGROUP_NANOS,
     }
 }
 
@@ -84,7 +91,7 @@ pub fn enter(phase: Phase) -> PhaseGuard {
     }
 }
 
-/// A snapshot of the four phase counters, in seconds.
+/// A snapshot of the five phase counters, in seconds.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PhaseTimes {
     /// Seconds attributed to [`Phase::Train`].
@@ -95,13 +102,15 @@ pub struct PhaseTimes {
     pub fetch_secs: f64,
     /// Seconds attributed to [`Phase::Seal`].
     pub seal_secs: f64,
+    /// Seconds attributed to [`Phase::Regroup`].
+    pub regroup_secs: f64,
 }
 
 impl PhaseTimes {
-    /// The sum of the four phases — the denominator for "share of
+    /// The sum of the five phases — the denominator for "share of
     /// attributed time" arithmetic (NOT wall-clock; see the module docs).
     pub fn total_secs(&self) -> f64 {
-        self.train_secs + self.score_secs + self.fetch_secs + self.seal_secs
+        self.train_secs + self.score_secs + self.fetch_secs + self.seal_secs + self.regroup_secs
     }
 
     /// The per-phase difference `self − earlier` (each component clamped
@@ -112,11 +121,12 @@ impl PhaseTimes {
             score_secs: (self.score_secs - earlier.score_secs).max(0.0),
             fetch_secs: (self.fetch_secs - earlier.fetch_secs).max(0.0),
             seal_secs: (self.seal_secs - earlier.seal_secs).max(0.0),
+            regroup_secs: (self.regroup_secs - earlier.regroup_secs).max(0.0),
         }
     }
 }
 
-/// Reads the four counters. Monotone; always diff two snapshots via
+/// Reads the five counters. Monotone; always diff two snapshots via
 /// [`PhaseTimes::since`] rather than reading one in isolation.
 pub fn snapshot() -> PhaseTimes {
     let secs = |c: &AtomicU64| c.load(Ordering::Relaxed) as f64 / 1e9;
@@ -125,6 +135,7 @@ pub fn snapshot() -> PhaseTimes {
         score_secs: secs(&SCORE_NANOS),
         fetch_secs: secs(&FETCH_NANOS),
         seal_secs: secs(&SEAL_NANOS),
+        regroup_secs: secs(&REGROUP_NANOS),
     }
 }
 
@@ -158,16 +169,19 @@ mod tests {
             score_secs: 2.0,
             fetch_secs: 3.0,
             seal_secs: 4.0,
+            regroup_secs: 0.5,
         };
         let b = PhaseTimes {
             train_secs: 0.5,
             score_secs: 2.5,
             fetch_secs: 3.0,
             seal_secs: 4.0,
+            regroup_secs: 0.25,
         };
         let d = a.since(&b);
         assert_eq!(d.train_secs, 0.5);
         assert_eq!(d.score_secs, 0.0, "negative deltas clamp to zero");
-        assert_eq!(a.total_secs(), 10.0);
+        assert_eq!(d.regroup_secs, 0.25);
+        assert_eq!(a.total_secs(), 10.5);
     }
 }

@@ -87,8 +87,29 @@ impl std::fmt::Display for Engine {
 pub struct TrainInputs {
     /// Fetched, length-validated peer weight vectors to merge.
     pub peers: Vec<Vec<f32>>,
+    /// Per-peer aggregation precisions (inverse on-chain score variance),
+    /// index-aligned with `peers`. Present only when the topology enables
+    /// [`adaptive_weighting`](crate::sharding::ShardTopology::adaptive_weighting);
+    /// `None` selects the paper's equal-weight merge.
+    pub precisions: Option<Vec<f64>>,
     /// Virtual duration of the pulls (`fetch_duration × peers`).
     pub pull: SimDuration,
+}
+
+/// The precision of a release given its raw per-scorer scores: the
+/// inverse of the scorer-disagreement variance (population variance over
+/// the scores, plus a small ε floor so unanimous verdicts stay finite).
+/// More scorer agreement → higher precision → a larger share of the
+/// adaptive merge.
+pub fn score_precision(scores: &[f64]) -> f64 {
+    const EPSILON: f64 = 1e-4;
+    if scores.is_empty() {
+        return 1.0 / EPSILON;
+    }
+    let n = scores.len() as f64;
+    let mean = scores.iter().sum::<f64>() / n;
+    let var = scores.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n;
+    1.0 / (var + EPSILON)
 }
 
 /// The pure-compute result of one cluster's training round, handed to the
@@ -120,6 +141,13 @@ pub struct TrainResult {
 /// consumption) happen here, so engines must call this sequentially in
 /// cluster-index order.
 pub fn prepare_train(fed: &mut Federation, idx: usize, round: u64) -> TrainInputs {
+    // Domain drift fires at the very top of the round, before any policy
+    // or fetch decision: from here on the cluster trains, merges and
+    // scores against its shifted task. A no-op for undrifted configs.
+    fed.clusters[idx].maybe_drift(round);
+    let adaptive = fed
+        .shard_topology()
+        .is_some_and(|topology| topology.adaptive_weighting);
     let policy = fed.clusters[idx].effective_policy(round);
     let candidates = fed.candidates_for(idx);
     let scored = fed.scored_candidates(idx, &candidates);
@@ -130,6 +158,7 @@ pub fn prepare_train(fed: &mut Federation, idx: usize, round: u64) -> TrainInput
     };
 
     let mut peers = Vec::with_capacity(selected.len());
+    let mut precisions = Vec::with_capacity(selected.len());
     let mut physical = SimDuration::ZERO;
     for &i in &selected {
         // Skip content that is unavailable or fails weight validation —
@@ -137,6 +166,7 @@ pub fn prepare_train(fed: &mut Federation, idx: usize, round: u64) -> TrainInput
         if let Some((w, cost)) = fed.fetch_weights_costed(idx, candidates[i].cid) {
             if w.len() == fed.clusters[idx].weights().len() {
                 peers.push(w);
+                precisions.push(score_precision(&candidates[i].scores));
                 physical += cost;
             }
         }
@@ -145,7 +175,11 @@ pub fn prepare_train(fed: &mut Federation, idx: usize, round: u64) -> TrainInput
         LinkModel::Nominal => fed.clusters[idx].fetch_duration() * peers.len() as u64,
         LinkModel::Physical => physical,
     };
-    TrainInputs { peers, pull }
+    TrainInputs {
+        peers,
+        precisions: adaptive.then_some(precisions),
+        pull,
+    }
 }
 
 /// Merges the prepared peers into the cluster's model and evaluates the
@@ -156,7 +190,13 @@ pub fn merge_eval(
     inputs: TrainInputs,
     global_test: &Dataset,
 ) -> (usize, f64, f64) {
-    let merged = cluster.merge_peers(&inputs.peers);
+    let merged = match inputs.precisions {
+        Some(precisions) => {
+            let weighted: Vec<(Vec<f32>, f64)> = inputs.peers.into_iter().zip(precisions).collect();
+            cluster.merge_peers_weighted(&weighted)
+        }
+        None => cluster.merge_peers(&inputs.peers),
+    };
     let eval = cluster.evaluate(cluster.weights(), global_test);
     (merged, eval.accuracy, eval.loss)
 }
@@ -418,6 +458,17 @@ mod tests {
         assert_eq!(Engine::Parallel.to_string(), "Parallel");
         assert!(!Engine::Sequential.is_parallel());
         assert!(Engine::Parallel.is_parallel());
+    }
+
+    #[test]
+    fn score_precision_is_inverse_disagreement() {
+        // Unanimous scorers: variance 0 → the ε ceiling.
+        assert!((score_precision(&[0.7, 0.7, 0.7]) - 1e4).abs() < 1e-6);
+        assert!((score_precision(&[]) - 1e4).abs() < 1e-6);
+        // Contested release: much lower precision.
+        let contested = score_precision(&[0.1, 0.9]);
+        assert!(contested < 10.0, "{contested}");
+        assert!(score_precision(&[0.5, 0.6]) > contested);
     }
 
     #[test]

@@ -149,6 +149,23 @@ impl Dataset {
             .collect()
     }
 
+    /// A copy with every label shifted by `shift` classes (modulo the
+    /// class count) — a label-permutation domain drift: the feature→label
+    /// map changes everywhere at once while the feature marginals stay
+    /// intact, so a model trained on the old task is suddenly wrong on the
+    /// new one.
+    pub fn rotate_labels(&self, shift: usize) -> Dataset {
+        let labels = self
+            .labels
+            .iter()
+            .map(|l| (l + shift) % self.n_classes)
+            .collect();
+        Dataset {
+            labels,
+            ..self.clone()
+        }
+    }
+
     /// Per-class sample counts (length `n_classes`).
     pub fn class_histogram(&self) -> Vec<usize> {
         let mut hist = vec![0usize; self.n_classes];
@@ -198,6 +215,16 @@ mod tests {
         assert_eq!(s.len(), 2);
         assert_eq!(s.labels(), &[1, 0]);
         assert_eq!(s.sample(0), &[8.0, 9.0]);
+    }
+
+    #[test]
+    fn rotate_labels_shifts_modulo_classes() {
+        let d = toy();
+        let r = d.rotate_labels(2);
+        assert_eq!(r.labels(), &[2, 0, 1, 2, 0, 1]);
+        // Features are untouched; a full rotation is the identity.
+        assert_eq!(r.sample(0), d.sample(0));
+        assert_eq!(d.rotate_labels(3).labels(), d.labels());
     }
 
     #[test]

@@ -23,6 +23,15 @@ pub enum Partition {
         /// Concentration parameter; smaller = more skewed.
         alpha: f64,
     },
+    /// Hard domain split: classes are carved into `domains` contiguous
+    /// blocks and part `p` draws *only* from domain `p % domains`. The
+    /// severest heterogeneity regime — parts in different domains share no
+    /// classes at all — used to stress dynamic re-clustering, which should
+    /// discover the domain structure from weight-space distances.
+    Domains {
+        /// Number of disjoint class-block domains (≥ 1, ≤ class count).
+        domains: usize,
+    },
 }
 
 impl std::fmt::Display for Partition {
@@ -30,6 +39,7 @@ impl std::fmt::Display for Partition {
         match self {
             Partition::Iid => write!(f, "IID"),
             Partition::Dirichlet { alpha } => write!(f, "NIID α={alpha}"),
+            Partition::Domains { domains } => write!(f, "DOMAINS d={domains}"),
         }
     }
 }
@@ -56,6 +66,13 @@ impl Partition {
             Partition::Dirichlet { alpha } => {
                 dirichlet_indices(dataset.labels(), dataset.n_classes(), n_parts, *alpha, rng)
             }
+            Partition::Domains { domains } => domain_indices(
+                dataset.labels(),
+                dataset.n_classes(),
+                n_parts,
+                *domains,
+                rng,
+            ),
         };
         assignments.iter().map(|idx| dataset.subset(idx)).collect()
     }
@@ -114,6 +131,66 @@ fn dirichlet_indices(
         }
     }
     // Guarantee non-empty parts by stealing from the largest.
+    for p in 0..n_parts {
+        if parts[p].is_empty() {
+            let donor = (0..n_parts)
+                .max_by_key(|&q| parts[q].len())
+                .expect("at least one part");
+            if parts[donor].len() > 1 {
+                let moved = parts[donor].pop().expect("donor non-empty");
+                parts[p].push(moved);
+            }
+        }
+    }
+    parts
+}
+
+fn domain_indices(
+    labels: &[usize],
+    n_classes: usize,
+    n_parts: usize,
+    domains: usize,
+    rng: &mut StdRng,
+) -> Vec<Vec<usize>> {
+    assert!(domains > 0, "need at least one domain");
+    assert!(
+        domains <= n_classes,
+        "more domains ({domains}) than classes ({n_classes})"
+    );
+    assert!(
+        domains <= n_parts,
+        "more domains ({domains}) than parts ({n_parts}); a domain would be unowned"
+    );
+    // Class c belongs to domain ⌊c·domains/n_classes⌋: contiguous blocks,
+    // near-equal in class count.
+    let domain_of = |class: usize| class * domains / n_classes;
+    let mut parts: Vec<Vec<usize>> = vec![Vec::new(); n_parts];
+    for d in 0..domains {
+        let mut members: Vec<usize> = labels
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| domain_of(**l) == d)
+            .map(|(i, _)| i)
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        members.shuffle(rng);
+        // Deal the domain's samples evenly among the parts it owns.
+        let owners: Vec<usize> = (0..n_parts).filter(|p| p % domains == d).collect();
+        let n = members.len();
+        let base = n / owners.len();
+        let extra = n % owners.len();
+        let mut cursor = 0;
+        for (k, &p) in owners.iter().enumerate() {
+            let take = base + usize::from(k < extra);
+            parts[p].extend_from_slice(&members[cursor..cursor + take]);
+            cursor += take;
+        }
+    }
+    // Same non-empty guarantee as the Dirichlet path (a tiny domain can
+    // starve one of its owners); stealing may cross domains, but only in
+    // degenerate sample-starved configurations.
     for p in 0..n_parts {
         if parts[p].is_empty() {
             let donor = (0..n_parts)
@@ -275,6 +352,44 @@ mod tests {
     }
 
     #[test]
+    fn domain_split_separates_class_blocks() {
+        let d = dataset(2000); // 10 classes
+        let mut rng = StdRng::seed_from_u64(8);
+        let parts = Partition::Domains { domains: 2 }.split(&d, 6, &mut rng);
+        let total: usize = parts.iter().map(Dataset::len).sum();
+        assert_eq!(total, 2000);
+        // Even parts see only classes 0..5, odd parts only 5..10 — domains
+        // share no classes at all.
+        for (p, part) in parts.iter().enumerate() {
+            assert!(!part.is_empty());
+            if p % 2 == 0 {
+                assert!(part.labels().iter().all(|l| *l < 5), "part {p}");
+            } else {
+                assert!(part.labels().iter().all(|l| *l >= 5), "part {p}");
+            }
+        }
+        // Harder than any Dirichlet draw we test: near-maximal skew.
+        assert!(label_skew(&parts) > 0.4, "skew = {}", label_skew(&parts));
+    }
+
+    #[test]
+    fn single_domain_split_covers_every_class() {
+        let d = dataset(1000);
+        let mut rng = StdRng::seed_from_u64(9);
+        let parts = Partition::Domains { domains: 1 }.split(&d, 4, &mut rng);
+        assert_eq!(parts.iter().map(Dataset::len).sum::<usize>(), 1000);
+        assert!(label_skew(&parts) < 0.15);
+    }
+
+    #[test]
+    #[should_panic(expected = "more domains")]
+    fn domains_must_not_exceed_parts() {
+        let d = dataset(100);
+        let mut rng = StdRng::seed_from_u64(10);
+        let _ = Partition::Domains { domains: 3 }.split(&d, 2, &mut rng);
+    }
+
+    #[test]
     fn gamma_sampler_matches_moments() {
         let mut rng = StdRng::seed_from_u64(5);
         for &alpha in &[0.3, 1.0, 2.5, 10.0] {
@@ -313,5 +428,6 @@ mod tests {
             Partition::Dirichlet { alpha: 0.5 }.to_string(),
             "NIID α=0.5"
         );
+        assert_eq!(Partition::Domains { domains: 2 }.to_string(), "DOMAINS d=2");
     }
 }

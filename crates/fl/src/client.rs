@@ -59,6 +59,13 @@ pub trait FlClient: Send {
 
     /// Number of local training examples.
     fn num_examples(&self) -> usize;
+
+    /// Applies a label-rotation domain drift to the client's local data
+    /// (every label shifted by `shift` classes, modulo the class count).
+    /// Defaults to a no-op for clients whose data cannot drift.
+    fn rotate_labels(&mut self, shift: usize) {
+        let _ = shift;
+    }
 }
 
 /// A client holding its shard in memory and training a real model.
@@ -133,6 +140,10 @@ impl FlClient for InMemoryClient {
 
     fn num_examples(&self) -> usize {
         self.data.len()
+    }
+
+    fn rotate_labels(&mut self, shift: usize) {
+        self.data = self.data.rotate_labels(shift);
     }
 }
 
@@ -240,6 +251,20 @@ mod tests {
         let result = client.fit(&w, &config());
         assert_ne!(result.weights, w);
         assert_eq!(result.weights.len(), w.len());
+    }
+
+    #[test]
+    fn rotate_labels_permutes_the_local_task() {
+        let (spec, data) = easy_shard(8);
+        let before_hist = data.class_histogram();
+        let mut client = InMemoryClient::new(spec, data, 8);
+        client.rotate_labels(1);
+        let after_hist = client.data().class_histogram();
+        // The histogram rotates with the labels: class c's count moves to
+        // (c + 1) mod n.
+        for (c, &count) in before_hist.iter().enumerate() {
+            assert_eq!(after_hist[(c + 1) % before_hist.len()], count);
+        }
     }
 
     #[test]

@@ -103,6 +103,15 @@ impl FlServer {
         self.round
     }
 
+    /// Applies a label-rotation domain drift to every client's local data
+    /// (see [`FlClient::rotate_labels`]). The server weights are left
+    /// untouched — the model now faces a shifted task, which is the point.
+    pub fn rotate_client_labels(&mut self, shift: usize) {
+        for client in &mut self.clients {
+            client.rotate_labels(shift);
+        }
+    }
+
     /// Runs one FL round: every client fits from the current weights in
     /// parallel, the strategy aggregates, and the server adopts the result.
     pub fn run_round(

@@ -55,6 +55,44 @@ pub fn weighted_mean(current: &[f32], updates: &[WeightedUpdate]) -> Vec<f32> {
     out.into_iter().map(|x| x as f32).collect()
 }
 
+/// Precision-weighted parameter mean: each update carries a non-negative
+/// precision (an inverse-variance confidence, e.g. `1 / (variance + ε)`
+/// from on-chain scorer disagreement) and contributes proportionally to
+/// it. Falls back to an equal-weight mean when every precision is zero
+/// (or non-finite sums), so a degenerate round can never zero out the
+/// model.
+///
+/// `current` is returned unchanged when no updates arrive.
+///
+/// # Panics
+///
+/// Panics if updates have inconsistent lengths or a precision is
+/// negative.
+pub fn precision_weighted_mean(current: &[f32], updates: &[(Vec<f32>, f64)]) -> Vec<f32> {
+    if updates.is_empty() {
+        return current.to_vec();
+    }
+    assert!(
+        updates.iter().all(|(_, p)| *p >= 0.0),
+        "precisions must be non-negative"
+    );
+    let total: f64 = updates.iter().map(|(_, p)| *p).sum();
+    if !total.is_finite() || total <= 0.0 {
+        let equal: Vec<WeightedUpdate> = updates.iter().map(|(w, _)| (w.clone(), 1usize)).collect();
+        return weighted_mean(current, &equal);
+    }
+    let dim = updates[0].0.len();
+    let mut out = vec![0.0f64; dim];
+    for (w, p) in updates {
+        assert_eq!(w.len(), dim, "update length mismatch");
+        let coef = p / total;
+        for (o, &x) in out.iter_mut().zip(w) {
+            *o += coef * x as f64;
+        }
+    }
+    out.into_iter().map(|x| x as f32).collect()
+}
+
 impl Strategy for FedAvg {
     fn name(&self) -> &str {
         "FedAvg"
@@ -203,6 +241,31 @@ mod tests {
         let out = s.aggregate(&current, &updates);
         // Adaptive normalization bounds the step magnitude near the lr.
         assert!(out.iter().all(|p| p.abs() < 1.0), "{out:?}");
+    }
+
+    #[test]
+    fn precision_mean_favors_high_precision_updates() {
+        // 3:1 precision ratio → 0.75·a + 0.25·b.
+        let out = precision_weighted_mean(&[0.0], &[(vec![4.0], 3.0), (vec![8.0], 1.0)]);
+        assert!((out[0] - 5.0).abs() < 1e-6, "{out:?}");
+        // Equal precisions collapse to the plain mean.
+        let out = precision_weighted_mean(&[0.0], &[(vec![1.0], 2.0), (vec![3.0], 2.0)]);
+        assert!((out[0] - 2.0).abs() < 1e-6, "{out:?}");
+    }
+
+    #[test]
+    fn precision_mean_degenerate_cases() {
+        // No updates: current survives.
+        assert_eq!(precision_weighted_mean(&[7.0], &[]), vec![7.0]);
+        // All-zero precisions: equal-weight fallback, not a zeroed model.
+        let out = precision_weighted_mean(&[0.0], &[(vec![1.0], 0.0), (vec![3.0], 0.0)]);
+        assert!((out[0] - 2.0).abs() < 1e-6, "{out:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "precisions must be non-negative")]
+    fn precision_mean_rejects_negative_precision() {
+        let _ = precision_weighted_mean(&[0.0], &[(vec![1.0], -1.0)]);
     }
 
     #[test]

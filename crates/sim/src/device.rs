@@ -126,6 +126,36 @@ impl DeviceProfile {
         )
     }
 
+    /// Automotive-fleet silo: an in-vehicle compute unit training over a
+    /// cellular uplink. Compute sits between a Jetson Nano and a desktop
+    /// CPU (embedded SoC with a small NPU), but the link is the
+    /// bottleneck: ~20 Mbit/s with tens of milliseconds of latency. The
+    /// archetypal *drifting* participant — its data distribution follows
+    /// where the fleet drives.
+    pub fn automotive_fleet() -> Self {
+        DeviceProfile::new(
+            "automotive-fleet",
+            9.0e7,
+            4 * GIB,
+            2.5e6, // ~20 Mbit/s cellular
+            SimDuration::from_millis(40),
+        )
+    }
+
+    /// Datacenter-silo aggregator: a rack-scale node (A100-class
+    /// accelerator, 256 GB RAM) on a 10 Gbit/s fabric — the fast extreme
+    /// of a heterogeneous federation, for contrast against
+    /// [`DeviceProfile::automotive_fleet`].
+    pub fn datacenter_silo() -> Self {
+        DeviceProfile::new(
+            "datacenter-silo",
+            2.0e11,
+            256 * GIB,
+            1.25e9, // 10 Gbit/s fabric
+            SimDuration::from_millis(1),
+        )
+    }
+
     /// Docker-container client pinned to 2 GB RAM on a shared host.
     pub fn docker_container() -> Self {
         DeviceProfile::new(
@@ -206,8 +236,10 @@ mod tests {
             DeviceProfile::docker_container(),
             DeviceProfile::raspberry_pi_400(),
             DeviceProfile::jetson_nano(),
+            DeviceProfile::automotive_fleet(),
             DeviceProfile::edge_cpu(),
             DeviceProfile::gpu_node(),
+            DeviceProfile::datacenter_silo(),
         ];
         for pair in profiles.windows(2) {
             assert!(
@@ -217,6 +249,18 @@ mod tests {
                 pair[1].name()
             );
         }
+    }
+
+    #[test]
+    fn heterogeneous_presets_contrast_compute_and_link() {
+        let car = DeviceProfile::automotive_fleet();
+        let dc = DeviceProfile::datacenter_silo();
+        // The datacenter silo is >1000× faster at compute …
+        assert!(dc.flops_per_sec() / car.flops_per_sec() > 1e3);
+        // … and its link moves a 100 MB model far faster than the
+        // cellular uplink, which is transfer-dominated.
+        assert!(dc.transfer_time(100_000_000) < car.transfer_time(100_000_000) / 100);
+        assert!(car.net_latency() > dc.net_latency());
     }
 
     #[test]

@@ -1,0 +1,226 @@
+//! PR 9 equivalence discipline: topology epochs are invisible until a
+//! regroup actually fires.
+//!
+//! The static shard assignment became the epoch-0 entry of a topology
+//! timeline, and the engines grew a `RegroupDue` event. Three properties
+//! keep that refactor honest:
+//!
+//! 1. **Baseline identity** — with `regroup: None` a pinned grid of
+//!    *pre-refactor* report fingerprints (seeds × modes × shards on/off ×
+//!    gossip) reproduces bit for bit, under both engines. The fingerprints
+//!    below were captured on the tree before the topology-epoch refactor
+//!    landed; they are the refactor's ground truth.
+//! 2. **Dormant cadence** — in Sync mode a regroup cadence longer than the
+//!    run's horizon never fires, and must be byte-identical to
+//!    `regroup: None` for any seed.
+//! 3. **Composition** — an *active* cadence is deterministic (same seed →
+//!    byte-identical report) and commutes with the rest of the middleware:
+//!    chaos injection, elastic membership, domain drift, and
+//!    checkpoint/resume at arbitrary event boundaries.
+
+use proptest::prelude::*;
+use unifyfl::core::cluster::{ClusterConfig, DriftSpec};
+use unifyfl::core::experiment::{ExperimentBuilder, ExperimentReport, Mode};
+use unifyfl::core::service::RunState;
+use unifyfl::core::{ChaosConfig, Engine, ShardConfig};
+use unifyfl::sim::{DeviceProfile, SimDuration};
+
+fn fingerprint(report: &ExperimentReport) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for byte in format!("{report:?}").bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+fn builder(seed: u64, mode: Mode, n: usize, sharding: Option<ShardConfig>) -> ExperimentBuilder {
+    let clusters = (0..n)
+        .map(|i| ClusterConfig::edge(format!("agg-{}", i + 1), DeviceProfile::edge_cpu()))
+        .collect();
+    let mut builder = ExperimentBuilder::quickstart()
+        .seed(seed)
+        .rounds(2)
+        .mode(mode)
+        .clusters(clusters);
+    if let Some(s) = sharding {
+        builder = builder.sharding(s);
+    }
+    builder
+}
+
+fn run(seed: u64, mode: Mode, n: usize, sharding: Option<ShardConfig>) -> ExperimentReport {
+    builder(seed, mode, n, sharding)
+        .run()
+        .expect("valid configuration")
+}
+
+/// Pre-refactor fingerprints: `(seed, mode, shards)` → FNV-1a 64 of the
+/// full-Debug report at n = 4 clusters, 2 rounds, quickstart task.
+/// `shards = 0` means unsharded.
+const GOLDENS: &[(u64, Mode, usize, u64)] = &[
+    (11, Mode::Sync, 0, 0x83c5beb20aead2f0),
+    (11, Mode::Sync, 2, 0x8d6cce36f90d620d),
+    (11, Mode::Async, 0, 0xb0fdb47f72a82ef7),
+    (11, Mode::Async, 2, 0x56c93c0c196d5423),
+    (42, Mode::Sync, 0, 0xd182169359c2e58a),
+    (42, Mode::Sync, 2, 0xd4c4f96339b1de65),
+    (42, Mode::Async, 0, 0xcf22041f88bb39cc),
+    (42, Mode::Async, 2, 0xaf86425ca3b93da8),
+    (1337, Mode::Sync, 0, 0xbc237745e1a70ff8),
+    (1337, Mode::Sync, 2, 0xff4cbc7684c849ad),
+    (1337, Mode::Async, 0, 0x9f0a70c18d5ced83),
+    (1337, Mode::Async, 2, 0xc7a7e2fcb1a9fbb7),
+];
+
+#[test]
+fn pre_refactor_fingerprints_reproduce_under_both_engines() {
+    for &(seed, mode, shards, expected) in GOLDENS {
+        for engine in [Engine::Sequential, Engine::Parallel] {
+            let sharding = (shards > 0).then(|| ShardConfig::new(shards));
+            let report = builder(seed, mode, 4, sharding)
+                .engine(engine)
+                .run()
+                .expect("valid configuration");
+            assert_eq!(
+                fingerprint(&report),
+                expected,
+                "regroup: None must reproduce the pre-refactor report \
+                 (seed {seed}, {mode}, shards {shards}, {engine})"
+            );
+        }
+    }
+}
+
+proptest! {
+    /// A Sync regroup cadence beyond the run's horizon never fires — and a
+    /// cadence that never fires must be a complete no-op.
+    #[test]
+    fn dormant_sync_cadence_is_byte_identical(
+        seed in any::<u64>(),
+        every in 3u64..100,
+    ) {
+        let without = run(seed, Mode::Sync, 4, Some(ShardConfig::new(2)));
+        let dormant = run(
+            seed,
+            Mode::Sync,
+            4,
+            Some(ShardConfig::new(2).with_regroup_every(every)),
+        );
+        prop_assert_eq!(
+            format!("{without:?}"),
+            format!("{dormant:?}"),
+            "a cadence of {} over a 2-round horizon never fires (seed {})",
+            every,
+            seed
+        );
+    }
+
+    /// An active cadence is deterministic: the regroup's distance ranking
+    /// and seeded tie-breaks are pure functions of `(config, seed)`, so a
+    /// same-seed rerun is byte-identical in either mode.
+    #[test]
+    fn active_regroup_is_same_seed_deterministic(
+        seed in any::<u64>(),
+        mode_idx in 0usize..2,
+    ) {
+        let mode = [Mode::Sync, Mode::Async][mode_idx];
+        let sharding = Some(ShardConfig::new(2).with_regroup_every(1));
+        let a = run(seed, mode, 4, sharding.clone());
+        let b = run(seed, mode, 4, sharding);
+        prop_assert_eq!(
+            format!("{a:?}"),
+            format!("{b:?}"),
+            "same-seed regroup runs must agree (seed {}, {})",
+            seed,
+            mode
+        );
+    }
+}
+
+/// The full composition: chaos, a mid-run elastic joiner, domain drift on
+/// two founders, adaptive weighting, and an every-round regroup cadence.
+fn composed(seed: u64, mode: Mode) -> ExperimentBuilder {
+    let drift = DriftSpec {
+        at_round: 2,
+        class_shift: 2,
+    };
+    let clusters = vec![
+        ClusterConfig::edge("agg-1", DeviceProfile::edge_cpu()).with_drift(drift),
+        ClusterConfig::edge("agg-2", DeviceProfile::edge_cpu()),
+        ClusterConfig::edge("agg-3", DeviceProfile::edge_cpu()).with_drift(drift),
+        ClusterConfig::edge("agg-4", DeviceProfile::edge_cpu()),
+        ClusterConfig::edge("agg-5", DeviceProfile::edge_cpu())
+            .joining_at(SimDuration::from_secs_f64(30.0)),
+    ];
+    ExperimentBuilder::quickstart()
+        .seed(seed)
+        .rounds(3)
+        .mode(mode)
+        .clusters(clusters)
+        .sharding(
+            ShardConfig::new(2)
+                .with_regroup_every(1)
+                .with_adaptive_weighting(),
+        )
+        .chaos(ChaosConfig {
+            crash_prob: 0.2,
+            spike_prob: 0.2,
+            spike_factor: 1.5,
+            fetch_failure_prob: 0.2,
+            missed_seal_prob: 0.1,
+            ..ChaosConfig::default()
+        })
+}
+
+#[test]
+fn regroup_composes_with_chaos_churn_and_drift() {
+    for mode in [Mode::Sync, Mode::Async] {
+        for seed in [7u64, 42, 1337] {
+            let a = composed(seed, mode).run().expect("valid configuration");
+            let b = composed(seed, mode).run().expect("valid configuration");
+            assert_eq!(
+                format!("{a:?}"),
+                format!("{b:?}"),
+                "chaos + join + drift + regroup must stay deterministic \
+                 (seed {seed}, {mode})"
+            );
+        }
+    }
+}
+
+#[test]
+fn regroup_survives_checkpoint_resume_at_any_cut() {
+    // RegroupDue fires through the same trace the checkpoint records, so
+    // resuming from any event boundary must complete to the same report —
+    // including mid-epoch cuts where the topology has already moved.
+    for mode in [Mode::Sync, Mode::Async] {
+        let config = composed(42, mode).config().clone();
+        let uninterrupted = {
+            let state = RunState::new(&config).expect("valid config");
+            format!("{:?}", state.run_to_completion())
+        };
+        let total = {
+            let mut state = RunState::new(&config).expect("valid config");
+            let mut n = 0;
+            while state.step().is_some() {
+                n += 1;
+            }
+            n
+        };
+        for cut in [1, total / 3, total / 2, total - 1] {
+            let mut state = RunState::new(&config).expect("valid config");
+            for _ in 0..cut {
+                state.step();
+            }
+            let checkpoint = state.checkpoint();
+            drop(state);
+            let resumed = RunState::resume(&checkpoint).expect("replay verifies");
+            assert_eq!(
+                format!("{:?}", resumed.run_to_completion()),
+                uninterrupted,
+                "resume at cut {cut}/{total} must be invisible ({mode})"
+            );
+        }
+    }
+}
