@@ -1,0 +1,83 @@
+//! A counting global allocator for the speed bench's zero-allocation gate.
+//!
+//! The PR 10 arena work promises that a steady-state training batch —
+//! forward, loss, backward, flat-view extraction, optimizer step, weight
+//! write-back — performs **zero heap allocations**. That claim is only
+//! checkable from outside the allocator, so the `speed` binary (and only
+//! that binary) installs [`CountingAllocator`] as its `#[global_allocator]`
+//! and measures the counter delta across a window of warmed-up batches.
+//!
+//! The allocator is a pass-through to [`std::alloc::System`] that bumps a
+//! relaxed atomic on every `alloc`/`realloc`. Library builds and ordinary
+//! test binaries do *not* install it, so [`is_counting`] probes whether the
+//! counter is live before any measurement is trusted — a dead counter
+//! yields `None`, never a vacuous zero.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Pass-through system allocator that counts `alloc`/`realloc` calls.
+///
+/// Install it in a binary with:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: unifyfl_bench::alloc::CountingAllocator =
+///     unifyfl_bench::alloc::CountingAllocator;
+/// ```
+pub struct CountingAllocator;
+
+// SAFETY: defers every allocation decision to `System`; the counter bump
+// is the only addition and touches no allocator state.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Total `alloc`/`realloc` calls observed so far (0 forever when the
+/// counting allocator is not installed).
+pub fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Whether the counting allocator is actually installed in this process:
+/// performs a throwaway heap allocation and checks the counter moved.
+pub fn is_counting() -> bool {
+    let before = allocation_count();
+    // A boxed value the optimizer cannot elide (its address escapes via
+    // the volatile read), forcing a real trip through the global allocator.
+    let probe = Box::new(0u64);
+    let _ = unsafe { std::ptr::read_volatile(&*probe as *const u64) };
+    drop(probe);
+    allocation_count() > before
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_is_dead_without_installation() {
+        // The library test binary does not install the allocator, so the
+        // probe must report "not counting" — this is exactly the guard
+        // that keeps the zero-allocation gate from passing vacuously.
+        assert!(!is_counting());
+        let before = allocation_count();
+        let v: Vec<u64> = (0..1024).collect();
+        assert_eq!(v.len(), 1024);
+        assert_eq!(allocation_count(), before);
+    }
+}

@@ -4,9 +4,11 @@
 //! `BENCH_timeline.json` to the working directory (override with
 //! `--out PATH`; `--seed N` to vary the seed).
 //!
-//! Asserts the two gates: under the physical link model, enabling the
+//! Asserts the three gates: under the physical link model, enabling the
 //! transfer optimizations strictly reduces async time-to-target versus the
-//! naive-link baseline, and a cluster joining mid-run converges into the
+//! naive-link baseline; fetch-ahead cache warming strictly reduces the
+//! cache-only pair's time-to-target while genuinely converting round
+//! pulls into cache hits; and a cluster joining mid-run converges into the
 //! founders' accuracy band.
 
 use unifyfl_bench::timeline::{self, TARGET_ACCURACY_PCT};
@@ -30,6 +32,11 @@ fn main() {
     assert!(
         transfer_holds,
         "transfer gate failed: async physical on={on:?} vs off={off:?}"
+    );
+    let (warm, cold, overlap_holds) = bench.overlap_gate(TARGET_ACCURACY_PCT);
+    assert!(
+        overlap_holds,
+        "overlap gate failed: fetch-ahead warm={warm:?} vs cold={cold:?}"
     );
     let (joiner, founders, elastic_holds) = bench.elastic_gate();
     assert!(

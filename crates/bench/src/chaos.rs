@@ -71,6 +71,7 @@ pub fn config(seed: u64, chaos: Option<ChaosConfig>) -> ExperimentConfig {
         window_margin: 1.15,
         chaos,
         gossip: None,
+        fetch_ahead: false,
         transfer: TransferConfig::default(),
         engine: Engine::auto(),
         link_model: LinkModel::Nominal,

@@ -67,6 +67,7 @@ pub fn config(variant: PolicyVariant, scale: Scale, seed: u64) -> ExperimentConf
         window_margin: 1.15,
         chaos: None,
         gossip: None,
+        fetch_ahead: false,
         transfer: TransferConfig::default(),
         engine: Engine::auto(),
         link_model: LinkModel::Nominal,

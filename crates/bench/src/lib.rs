@@ -26,6 +26,7 @@
 //! | [`clustering`] | clustering trajectory — dynamic re-clustering vs. static shard assignment under domain drift |
 
 pub mod ablation;
+pub mod alloc;
 pub mod chaos;
 pub mod clustering;
 pub mod figure7;

@@ -141,6 +141,7 @@ pub fn config(run_no: u32, scale: Scale, seed: u64) -> ExperimentConfig {
         window_margin: 1.15,
         chaos: None,
         gossip: None,
+        fetch_ahead: false,
         transfer: TransferConfig::default(),
         engine: Engine::auto(),
         link_model: LinkModel::Nominal,

@@ -56,6 +56,7 @@ pub fn config(run_name: &str, scale: Scale, seed: u64) -> ExperimentConfig {
         window_margin: 1.15,
         chaos: None,
         gossip: None,
+        fetch_ahead: false,
         transfer: TransferConfig::default(),
         engine: Engine::auto(),
         link_model: LinkModel::Nominal,

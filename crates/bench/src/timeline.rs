@@ -20,6 +20,15 @@
 //!   sized from *nominal* costs), so byte savings shrink idle time inside
 //!   the window rather than the timeline. The JSON records both arms so
 //!   the quantization effect stays visible.
+//! - **fetch/compute overlap (PR 10)** — a *cache-only* transfer pair
+//!   (dedup/delta off, fetch cache on) that isolates fetch-ahead warming
+//!   from the PR 3 byte optimizations: every cold pull is full-size on
+//!   the wire, so hiding the scoring and merge pulls behind the previous
+//!   round's compute shows up directly on the timeline. Gated: the async
+//!   warm arm's time-to-target must be *strictly* below the cold
+//!   cache-only arm, with strictly more cache hits (the warm-up genuinely
+//!   engaged). A sync warm arm is reported without a gate (sync rounds
+//!   are window-quantized, so warming shrinks idle time, not the clock).
 //! - **elastic membership** — an async physical arm where a fourth cluster
 //!   joins mid-run, bootstraps from the latest scored releases, and must
 //!   converge into the founders' accuracy band (second gate).
@@ -51,6 +60,8 @@ pub const JOIN_BAND_PCT: f64 = 10.0;
 pub struct TimelineArm {
     /// Short arm label (e.g. `"async-physical-on"`).
     pub label: String,
+    /// Whether fetch-ahead cache warming (PR 10) ran in this arm.
+    pub fetch_ahead: bool,
     /// The experiment report.
     pub report: ExperimentReport,
 }
@@ -103,6 +114,11 @@ pub struct TimelineBench {
     pub async_on: usize,
     /// Index of the async-physical transfer-off arm (gate denominator).
     pub async_off: usize,
+    /// Index of the async-physical fetch-ahead arm (overlap-gate warm side).
+    pub overlap_on: usize,
+    /// Index of the async-physical cache-only arm without fetch-ahead
+    /// (overlap-gate cold side).
+    pub overlap_cold: usize,
     /// Index of the elastic-membership arm.
     pub elastic: usize,
     /// Index of the joiner cluster inside the elastic arm.
@@ -118,6 +134,20 @@ impl TimelineBench {
         let off = self.arms[self.async_off].time_to_target(target_pct);
         let holds = matches!((on, off), (Some(a), Some(b)) if a < b);
         (on, off, holds)
+    }
+
+    /// The fetch/compute-overlap gate: warming upcoming pulls into the
+    /// fetch cache during compute (PR 10) must put the async cache-only
+    /// warm arm's time-to-target *strictly* below its cold counterpart —
+    /// and it must have genuinely engaged, visible as strictly more cache
+    /// hits than the cold arm. Returns `(warm_secs, cold_secs, holds)`.
+    pub fn overlap_gate(&self, target_pct: f64) -> (Option<f64>, Option<f64>, bool) {
+        let warm = self.arms[self.overlap_on].time_to_target(target_pct);
+        let cold = self.arms[self.overlap_cold].time_to_target(target_pct);
+        let engaged = self.arms[self.overlap_on].report.transfer.cache_hits
+            > self.arms[self.overlap_cold].report.transfer.cache_hits;
+        let holds = engaged && matches!((warm, cold), (Some(a), Some(b)) if a < b);
+        (warm, cold, holds)
     }
 
     /// The elastic gate: the joiner's final global accuracy lands within
@@ -165,6 +195,7 @@ fn run_arm(label: &str, mut config: ExperimentConfig, transfer: TransferConfig) 
     config.label = label.to_owned();
     TimelineArm {
         label: label.to_owned(),
+        fetch_ahead: config.fetch_ahead,
         report: run_experiment(&config).expect("timeline config is valid"),
     }
 }
@@ -205,6 +236,21 @@ pub fn run(seed: u64) -> TimelineBench {
             base_config(seed, Mode::Async, LinkModel::Physical),
             TransferConfig::default(),
         ),
+        run_arm(
+            "sync-physical-overlap",
+            overlap_config(seed, Mode::Sync),
+            cache_only_transfer(),
+        ),
+        run_arm(
+            "async-physical-overlap-cold",
+            base_config(seed, Mode::Async, LinkModel::Physical),
+            cache_only_transfer(),
+        ),
+        run_arm(
+            "async-physical-overlap",
+            overlap_config(seed, Mode::Async),
+            cache_only_transfer(),
+        ),
     ];
     // Gate arms resolved by label, so reordering or extending the grid
     // can never silently point the CI gates at the wrong pair.
@@ -215,6 +261,8 @@ pub fn run(seed: u64) -> TimelineBench {
     };
     let async_off = position(&arms, "async-physical-off");
     let async_on = position(&arms, "async-physical-on");
+    let overlap_on = position(&arms, "async-physical-overlap");
+    let overlap_cold = position(&arms, "async-physical-overlap-cold");
 
     // Elastic membership: a fourth WAN cluster joins mid-run — 1.5
     // virtual seconds after setup, which lands inside the founders'
@@ -238,8 +286,33 @@ pub fn run(seed: u64) -> TimelineBench {
         arms,
         async_on,
         async_off,
+        overlap_on,
+        overlap_cold,
         elastic,
         joiner,
+    }
+}
+
+/// The physical-link base configuration with PR 10 fetch-ahead warming
+/// enabled: upcoming merge candidates and scoring assignments are pulled
+/// into each cluster's fetch cache while the previous round's compute is
+/// still running, so the round's own pulls land as cache hits instead of
+/// WAN transfers.
+fn overlap_config(seed: u64, mode: Mode) -> ExperimentConfig {
+    let mut config = base_config(seed, mode, LinkModel::Physical);
+    config.fetch_ahead = true;
+    config
+}
+
+/// The overlap pair's transfer layer: fetch cache on, byte optimizations
+/// off. Every cold pull is a full-size WAN transfer, so the comparison
+/// isolates what fetch-ahead warming hides behind compute from what the
+/// PR 3 dedup/delta layer shaves off the wire (the transfer gate's job).
+fn cache_only_transfer() -> TransferConfig {
+    TransferConfig {
+        dedup: false,
+        delta: false,
+        cache_bytes: TransferConfig::default().cache_bytes,
     }
 }
 
@@ -269,11 +342,13 @@ pub fn render_json(bench: &TimelineBench, seed: u64) -> String {
                 "      \"mode\": \"{}\",\n",
                 "      \"link_model\": \"{}\",\n",
                 "      \"transfer_enabled\": {},\n",
+                "      \"fetch_ahead\": {},\n",
                 "      \"time_to_target_secs\": {},\n",
                 "      \"wall_secs\": {:.3},\n",
                 "      \"mean_final_accuracy_pct\": {:.3},\n",
                 "      \"physical_bytes\": {},\n",
                 "      \"logical_bytes\": {},\n",
+                "      \"cache_hits\": {},\n",
                 "      \"joins\": {}\n",
                 "    }}{}\n",
             ),
@@ -281,11 +356,13 @@ pub fn render_json(bench: &TimelineBench, seed: u64) -> String {
             arm.report.mode,
             arm.report.link_model,
             t.dedup || t.delta || t.cache_bytes > 0,
+            arm.fetch_ahead,
             json_opt(arm.time_to_target(TARGET_ACCURACY_PCT)),
             arm.report.wall_secs,
             arm.mean_final_accuracy_pct(),
             t.physical_bytes,
             t.logical_bytes,
+            t.cache_hits,
             arm.report.membership.len(),
             if i + 1 < bench.arms.len() { "," } else { "" },
         ));
@@ -302,6 +379,19 @@ pub fn render_json(bench: &TimelineBench, seed: u64) -> String {
         json_opt(on),
         json_opt(off),
         transfer_holds,
+    ));
+    let (warm, cold, overlap_holds) = bench.overlap_gate(TARGET_ACCURACY_PCT);
+    out.push_str(&format!(
+        concat!(
+            "    \"fetch_compute_overlap\": {{\"warm_secs\": {}, \"cold_secs\": {}, ",
+            "\"warm_cache_hits\": {}, \"cold_cache_hits\": {}, ",
+            "\"strictly_faster_and_engaged\": {}}},\n"
+        ),
+        json_opt(warm),
+        json_opt(cold),
+        bench.arms[bench.overlap_on].report.transfer.cache_hits,
+        bench.arms[bench.overlap_cold].report.transfer.cache_hits,
+        overlap_holds,
     ));
     out.push_str(&format!(
         concat!(
@@ -332,12 +422,19 @@ pub fn render(bench: &TimelineBench) -> String {
         ));
     }
     let (on, off, transfer_holds) = bench.transfer_gate(TARGET_ACCURACY_PCT);
+    let (warm, cold, overlap_holds) = bench.overlap_gate(TARGET_ACCURACY_PCT);
     let (joiner_pct, founders_pct, elastic_holds) = bench.elastic_gate();
     out.push_str(&format!(
         "\ntransfer gate (async physical): on {} < off {} -> {}\n",
         json_opt(on),
         json_opt(off),
         transfer_holds,
+    ));
+    out.push_str(&format!(
+        "overlap gate (async physical, cache-only): fetch-ahead {} < cold {} -> {}\n",
+        json_opt(warm),
+        json_opt(cold),
+        overlap_holds,
     ));
     out.push_str(&format!(
         "elastic gate: joiner {joiner_pct:.1}% vs founders {founders_pct:.1}% (band ±{JOIN_BAND_PCT:.0}) -> {elastic_holds}\n\n"
@@ -382,11 +479,28 @@ mod tests {
     }
 
     #[test]
+    fn fetch_ahead_overlap_beats_the_cold_cache_only_arm() {
+        let bench = run(42);
+        let (warm, cold, holds) = bench.overlap_gate(TARGET_ACCURACY_PCT);
+        assert!(
+            holds,
+            "fetch-ahead warm arm ({warm:?}) must reach the target strictly \
+             before the cold cache-only arm ({cold:?}) and convert pulls into \
+             cache hits"
+        );
+        let t_warm = &bench.arms[bench.overlap_on].report.transfer;
+        let t_cold = &bench.arms[bench.overlap_cold].report.transfer;
+        assert!(t_warm.cache_hits > t_cold.cache_hits);
+    }
+
+    #[test]
     fn json_rendering_is_well_formed() {
         let bench = run(7);
         let json = render_json(&bench, 7);
         assert!(json.contains("\"bench\": \"timeline\""));
         assert!(json.contains("\"async_physical_transfer\""));
+        assert!(json.contains("\"fetch_compute_overlap\""));
+        assert!(json.contains("\"fetch_ahead\": true"));
         assert!(json.contains("\"elastic_join\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());

@@ -118,6 +118,23 @@ pub enum Event {
         /// 1-based inter-shard exchange epoch being prefetched.
         epoch: u64,
     },
+    /// Fetch/compute overlap: one cluster warms its storage node's cache
+    /// with the candidate models the *next* round will pull, while the
+    /// current round's compute is still (virtually) running. Scheduled at
+    /// the next round's open instant but strictly before its
+    /// [`Event::OpenTraining`] / the cluster's training
+    /// [`Event::ClusterWake`] (same-time FIFO), and charges no virtual
+    /// time — under [`LinkModel::Physical`](crate::federation::LinkModel)
+    /// the warmed cache turns the round's pulls into local hits, hiding
+    /// transfer behind `train_secs`. Only scheduled when
+    /// [`fetch_ahead`](crate::experiment::ExperimentConfig::fetch_ahead)
+    /// is enabled, so the default trace is untouched.
+    FetchAhead {
+        /// Cluster whose node is warmed.
+        cluster: usize,
+        /// 1-based round being warmed (the round about to open).
+        round: u64,
+    },
     /// Topology epochs: re-cluster the federation by weight-space distance
     /// — derive the next [`TopologyEpoch`](crate::sharding::TopologyEpoch)
     /// from the clusters' current weights and re-install the gossip
@@ -146,6 +163,7 @@ impl Event {
             Event::ShardSealDue { .. } => "shard_seal_due",
             Event::ShardExchange { .. } => "shard_exchange",
             Event::PrefetchDue { .. } => "prefetch_due",
+            Event::FetchAhead { .. } => "fetch_ahead",
             Event::RegroupDue { .. } => "regroup_due",
         }
     }
@@ -157,7 +175,8 @@ impl Event {
             | Event::TrainingDone { cluster, .. }
             | Event::ScoresDue { cluster, .. }
             | Event::ClusterWake { cluster }
-            | Event::PrefetchDue { cluster, .. } => Some(*cluster),
+            | Event::PrefetchDue { cluster, .. }
+            | Event::FetchAhead { cluster, .. } => Some(*cluster),
             _ => None,
         }
     }
@@ -305,6 +324,9 @@ pub fn encode_trace(trace: &[EventRecord]) -> String {
             Event::PrefetchDue { cluster, epoch } => {
                 out.push_str(&format!(" {cluster} {epoch}"));
             }
+            Event::FetchAhead { cluster, round } => {
+                out.push_str(&format!(" {cluster} {round}"));
+            }
         }
         out.push('\n');
     }
@@ -372,6 +394,10 @@ pub fn decode_trace(text: &str) -> Result<Vec<EventRecord>, TraceDecodeError> {
                 cluster: arg("cluster")? as usize,
                 epoch: arg("epoch")?,
             },
+            "fetch_ahead" => Event::FetchAhead {
+                cluster: arg("cluster")? as usize,
+                round: arg("round")?,
+            },
             "regroup_due" => Event::RegroupDue {
                 epoch: arg("epoch")?,
             },
@@ -424,6 +450,13 @@ mod tests {
                 },
             ),
             rec(60, Event::ShardExchange { epoch: 1 }),
+            rec(
+                70,
+                Event::FetchAhead {
+                    cluster: 2,
+                    round: 3,
+                },
+            ),
             rec(99, Event::SealSlot),
         ]
     }
@@ -500,6 +533,22 @@ mod tests {
             }
             .cluster(),
             Some(3)
+        );
+        assert_eq!(
+            Event::FetchAhead {
+                cluster: 4,
+                round: 2
+            }
+            .label(),
+            "fetch_ahead"
+        );
+        assert_eq!(
+            Event::FetchAhead {
+                cluster: 4,
+                round: 2
+            }
+            .cluster(),
+            Some(4)
         );
     }
 }

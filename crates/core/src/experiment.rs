@@ -83,6 +83,17 @@ pub struct ExperimentConfig {
     /// to the flat run outside the report's transfer section — routing
     /// changes bytes and virtual time, never results.
     pub gossip: Option<GossipConfig>,
+    /// Fetch/compute overlap: when `true` the engines schedule a
+    /// [`FetchAhead`](crate::events::Event::FetchAhead) warm-up per cluster
+    /// ahead of each round, pulling the candidate models the round could
+    /// select into the cluster's cache while the previous round's compute
+    /// is still (virtually) running. Under [`LinkModel::Physical`] this
+    /// hides transfer time behind training; under [`LinkModel::Nominal`]
+    /// results are identical to a cold run outside the report's transfer
+    /// and timing sections (warming changes cache hit counters, never
+    /// model bytes). Defaults to `false` everywhere, keeping default
+    /// traces untouched.
+    pub fetch_ahead: bool,
 }
 
 /// Validation failure for an experiment configuration.
@@ -520,6 +531,7 @@ pub(crate) fn assemble(config: &ExperimentConfig) -> Result<Federation, Experime
     );
     fed.configure_transfer(config.transfer);
     fed.set_link_model(config.link_model);
+    fed.set_fetch_ahead(config.fetch_ahead);
     if let Some(gossip) = config.gossip.as_ref() {
         fed.install_gossip(*gossip);
     }
@@ -711,6 +723,7 @@ impl ExperimentBuilder {
                 link_model: LinkModel::Nominal,
                 sharding: None,
                 gossip: None,
+                fetch_ahead: false,
             },
         }
     }
@@ -812,6 +825,13 @@ impl ExperimentBuilder {
     /// Arms topology-aware gossip dissemination (see [`GossipConfig`]).
     pub fn gossip(mut self, gossip: GossipConfig) -> Self {
         self.config.gossip = Some(gossip);
+        self
+    }
+
+    /// Arms fetch/compute overlap (see
+    /// [`ExperimentConfig::fetch_ahead`]).
+    pub fn fetch_ahead(mut self, enabled: bool) -> Self {
+        self.config.fetch_ahead = enabled;
         self
     }
 

@@ -136,6 +136,9 @@ pub struct Federation {
     membership_records: Vec<MembershipRecord>,
     /// How fetch time is charged to the virtual clock.
     link_model: LinkModel,
+    /// Whether the engines warm next-round fetches during compute
+    /// ([`Federation::fetch_ahead_into`]).
+    fetch_ahead: bool,
     /// Cluster transactions dropped in gossip, awaiting retransmission.
     lost_txs: Vec<Transaction>,
     /// Count of retransmitted transactions.
@@ -265,6 +268,7 @@ impl Federation {
             chaos_records: Vec::new(),
             membership_records: Vec::new(),
             link_model: LinkModel::Nominal,
+            fetch_ahead: false,
             lost_txs: Vec::new(),
             retried_txs: 0,
             epochs: sharding
@@ -462,6 +466,51 @@ impl Federation {
     /// running an engine.
     pub fn set_link_model(&mut self, model: LinkModel) {
         self.link_model = model;
+    }
+
+    /// Whether fetch-ahead cache warming is enabled.
+    pub fn fetch_ahead(&self) -> bool {
+        self.fetch_ahead
+    }
+
+    /// Enables fetch-ahead: the engines schedule a
+    /// [`FetchAhead`](crate::events::Event::FetchAhead) warm-up per cluster
+    /// ahead of each round, so next-round pulls hit a warm cache. Call
+    /// before running an engine.
+    pub fn set_fetch_ahead(&mut self, enabled: bool) {
+        self.fetch_ahead = enabled;
+    }
+
+    /// Warms one cluster's storage cache with every model the coming
+    /// round could pull: the merge candidates — the RNG-free superset of
+    /// what [`prepare_train`](crate::step::prepare_train)'s policy will
+    /// select — plus the cluster's outstanding scoring assignments. The
+    /// latter are the genuinely cold first-touches: a freshly published
+    /// model has no scores yet, so it is invisible to
+    /// [`Federation::candidates_for`], yet this cluster must pull it
+    /// before it can score. Like [`Federation::prefetch_weights`] the
+    /// warm-up charges nothing to the virtual clock or the resource
+    /// monitor (the transfer overlaps the previous round's compute) and
+    /// ignores failures; the round's fetch path keeps its ordinary
+    /// accounting, it just finds the bytes cached. Attributed to
+    /// [`Phase::Overlap`](crate::profile::Phase::Overlap).
+    pub fn fetch_ahead_into(&self, cluster: usize) {
+        let _phase = crate::profile::enter(crate::profile::Phase::Overlap);
+        let candidates = self.candidates_for(cluster);
+        let node = self.clusters[cluster].ipfs();
+        for candidate in &candidates {
+            let _ = node.get(candidate.cid);
+        }
+        let addr = self.clusters[cluster].address();
+        for entry in self.contract().entries() {
+            let assigned = entry.scorers.contains(&addr);
+            let pending = !entry.scores.iter().any(|(scorer, _)| *scorer == addr);
+            if assigned && pending {
+                if let Ok(cid) = entry.cid.parse::<Cid>() {
+                    let _ = node.get(cid);
+                }
+            }
+        }
     }
 
     /// Transactions retransmitted after gossip drops.

@@ -903,14 +903,20 @@ impl SyncPolicy {
             );
             return;
         }
-        self.advance_past_barrier(queue, t, round);
+        self.advance_past_barrier(fed, queue, t, round);
     }
 
     /// The barrier's continuation once any due regroup has fired: on the
     /// inter-shard cadence the next round opens only after the
     /// seal/exchange pair (ShardSealDue → ShardExchange →
     /// OpenTraining(round + 1)); otherwise it opens immediately.
-    fn advance_past_barrier(&mut self, queue: &mut EventQueue<Event>, t: SimTime, round: u64) {
+    fn advance_past_barrier(
+        &mut self,
+        fed: &Federation,
+        queue: &mut EventQueue<Event>,
+        t: SimTime,
+        round: u64,
+    ) {
         let exchange_due = self
             .topology
             .as_ref()
@@ -928,7 +934,30 @@ impl SyncPolicy {
                 },
             );
         } else {
+            self.schedule_fetch_ahead(fed, queue, t, round + 1);
             queue.schedule(t, Event::OpenTraining { round: round + 1 });
+        }
+    }
+
+    /// Fetch-ahead warm-ups for the round about to open: one
+    /// [`Event::FetchAhead`] per participating cluster at the open instant
+    /// but strictly before its [`Event::OpenTraining`] (same-time FIFO), so
+    /// the round's pulls find a warm cache. No-op unless
+    /// [`Federation::fetch_ahead`] is enabled.
+    fn schedule_fetch_ahead(
+        &self,
+        fed: &Federation,
+        queue: &mut EventQueue<Event>,
+        t: SimTime,
+        round: u64,
+    ) {
+        if !fed.fetch_ahead() {
+            return;
+        }
+        for cluster in 0..self.n {
+            if self.joined[cluster] && self.active[cluster] {
+                queue.schedule(t, Event::FetchAhead { cluster, round });
+            }
         }
     }
 
@@ -954,7 +983,7 @@ impl SyncPolicy {
         }
         let t = fed.flush_chain_at(at);
         self.end_time = t;
-        self.advance_past_barrier(queue, t, epoch * every);
+        self.advance_past_barrier(fed, queue, t, epoch * every);
     }
 
     /// Every shard's representative (its lowest-indexed member still in
@@ -1019,6 +1048,7 @@ impl SyncPolicy {
         let t = fed.flush_chain_at(end);
         self.end_time = t;
         let round = epoch * topology.exchange_every;
+        self.schedule_fetch_ahead(fed, queue, t, round + 1);
         queue.schedule(t, Event::OpenTraining { round: round + 1 });
     }
 }
@@ -1092,6 +1122,11 @@ impl EventPolicy for SyncPolicy {
                         .clone()
                         .expect("prefetch events imply a topology");
                     prefetch_into(fed, &topology, cluster);
+                }
+            }
+            Event::FetchAhead { cluster, .. } => {
+                if self.joined[cluster] && self.active[cluster] {
+                    fed.fetch_ahead_into(cluster);
                 }
             }
             // Sync needs no end-of-run drain: every phase boundary already
@@ -1457,6 +1492,19 @@ impl AsyncPolicy {
                 let tx = fed.clusters[idx].score_tx(orch, &cid, score);
                 fed.submit_cluster_tx_at(done, tx);
                 self.clock[idx] = done;
+                if fed.fetch_ahead() && !self.tasks[idx].is_empty() {
+                    // More duties queued: warm their models while this
+                    // score's inference runs, so the next pop's fetch
+                    // lands as a cache hit. Fires at `done`, strictly
+                    // before the rescheduled wake (same-time FIFO).
+                    queue.schedule(
+                        done,
+                        Event::FetchAhead {
+                            cluster: idx,
+                            round,
+                        },
+                    );
+                }
             }
             self.ensure_wakes(queue);
             return;
@@ -1494,6 +1542,19 @@ impl AsyncPolicy {
             global_loss: result.global_loss,
             completed_at_secs: finish.as_secs_f64(),
         });
+        if fed.fetch_ahead() && round < self.rounds {
+            // Warm the next round's candidates at the instant this round's
+            // publish lands: the event fires at `finish`, strictly before
+            // the rescheduled training wake (same-time FIFO), so the next
+            // pull hits a warm cache.
+            queue.schedule(
+                finish,
+                Event::FetchAhead {
+                    cluster: idx,
+                    round: round + 1,
+                },
+            );
+        }
         if round == self.rounds {
             self.finished_at[idx] = Some(finish);
         }
@@ -1705,6 +1766,17 @@ impl EventPolicy for AsyncPolicy {
                         .clone()
                         .expect("prefetch events imply a topology");
                     prefetch_into(fed, &topology, cluster);
+                }
+            }
+            Event::FetchAhead { cluster, .. } => {
+                // Warm while training rounds remain, or while scoring
+                // duties are still queued (a finished cluster keeps
+                // scoring; its queue drains with warmed fetches).
+                if self.joined[cluster]
+                    && self.alive[cluster]
+                    && (self.finished_at[cluster].is_none() || !self.tasks[cluster].is_empty())
+                {
+                    fed.fetch_ahead_into(cluster);
                 }
             }
             // End-of-run drain: seal everything due, flushing any still-

@@ -1,14 +1,16 @@
 //! Process-global phase attribution: where the wall-clock cycles of a run
 //! actually go.
 //!
-//! Five monotone counters — **train**, **score**, **fetch**, **seal**,
-//! **regroup** — accumulate the elapsed wall-clock of every span entered
+//! Six monotone counters — **train**, **score**, **fetch**, **seal**,
+//! **regroup**, **overlap** — accumulate the elapsed wall-clock of every span entered
 //! via [`enter`]. The hooks live on the hot paths the phases name:
 //! training/merge compute ([`crate::step::compute_train`] and the final
 //! merge), peer-model scoring ([`crate::step::compute_scores`]), storage
 //! fetches ([`crate::federation::Federation::fetch_weights_costed`]),
 //! chain sealing, and topology re-clustering
-//! ([`crate::federation::Federation::regroup_epoch`]). The `speed`
+//! ([`crate::federation::Federation::regroup_epoch`]), and the
+//! fetch-ahead cache warm-up that hides next-round transfers behind
+//! compute ([`crate::federation::Federation::fetch_ahead_into`]). The `speed`
 //! benchmark snapshots the counters around each
 //! arm and reports the deltas in `BENCH_speed.json`, so regressions can be
 //! blamed on a phase instead of a whole run.
@@ -40,6 +42,7 @@ static SCORE_NANOS: AtomicU64 = AtomicU64::new(0);
 static FETCH_NANOS: AtomicU64 = AtomicU64::new(0);
 static SEAL_NANOS: AtomicU64 = AtomicU64::new(0);
 static REGROUP_NANOS: AtomicU64 = AtomicU64::new(0);
+static OVERLAP_NANOS: AtomicU64 = AtomicU64::new(0);
 
 /// The attributable phases of a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -55,6 +58,10 @@ pub enum Phase {
     /// Topology re-clustering: weight-space distance grouping and the
     /// gossip-neighborhood re-derivation at an epoch boundary.
     Regroup,
+    /// Fetch-ahead cache warming: next-round base models pulled while the
+    /// current round still computes, so their transfer cost hides behind
+    /// training instead of extending the round.
+    Overlap,
 }
 
 fn counter(phase: Phase) -> &'static AtomicU64 {
@@ -64,6 +71,7 @@ fn counter(phase: Phase) -> &'static AtomicU64 {
         Phase::Fetch => &FETCH_NANOS,
         Phase::Seal => &SEAL_NANOS,
         Phase::Regroup => &REGROUP_NANOS,
+        Phase::Overlap => &OVERLAP_NANOS,
     }
 }
 
@@ -91,7 +99,7 @@ pub fn enter(phase: Phase) -> PhaseGuard {
     }
 }
 
-/// A snapshot of the five phase counters, in seconds.
+/// A snapshot of the six phase counters, in seconds.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PhaseTimes {
     /// Seconds attributed to [`Phase::Train`].
@@ -104,13 +112,20 @@ pub struct PhaseTimes {
     pub seal_secs: f64,
     /// Seconds attributed to [`Phase::Regroup`].
     pub regroup_secs: f64,
+    /// Seconds attributed to [`Phase::Overlap`].
+    pub overlap_secs: f64,
 }
 
 impl PhaseTimes {
-    /// The sum of the five phases — the denominator for "share of
+    /// The sum of the six phases — the denominator for "share of
     /// attributed time" arithmetic (NOT wall-clock; see the module docs).
     pub fn total_secs(&self) -> f64 {
-        self.train_secs + self.score_secs + self.fetch_secs + self.seal_secs + self.regroup_secs
+        self.train_secs
+            + self.score_secs
+            + self.fetch_secs
+            + self.seal_secs
+            + self.regroup_secs
+            + self.overlap_secs
     }
 
     /// The per-phase difference `self − earlier` (each component clamped
@@ -122,11 +137,12 @@ impl PhaseTimes {
             fetch_secs: (self.fetch_secs - earlier.fetch_secs).max(0.0),
             seal_secs: (self.seal_secs - earlier.seal_secs).max(0.0),
             regroup_secs: (self.regroup_secs - earlier.regroup_secs).max(0.0),
+            overlap_secs: (self.overlap_secs - earlier.overlap_secs).max(0.0),
         }
     }
 }
 
-/// Reads the five counters. Monotone; always diff two snapshots via
+/// Reads the six counters. Monotone; always diff two snapshots via
 /// [`PhaseTimes::since`] rather than reading one in isolation.
 pub fn snapshot() -> PhaseTimes {
     let secs = |c: &AtomicU64| c.load(Ordering::Relaxed) as f64 / 1e9;
@@ -136,6 +152,7 @@ pub fn snapshot() -> PhaseTimes {
         fetch_secs: secs(&FETCH_NANOS),
         seal_secs: secs(&SEAL_NANOS),
         regroup_secs: secs(&REGROUP_NANOS),
+        overlap_secs: secs(&OVERLAP_NANOS),
     }
 }
 
@@ -170,6 +187,7 @@ mod tests {
             fetch_secs: 3.0,
             seal_secs: 4.0,
             regroup_secs: 0.5,
+            overlap_secs: 0.75,
         };
         let b = PhaseTimes {
             train_secs: 0.5,
@@ -177,11 +195,13 @@ mod tests {
             fetch_secs: 3.0,
             seal_secs: 4.0,
             regroup_secs: 0.25,
+            overlap_secs: 0.25,
         };
         let d = a.since(&b);
         assert_eq!(d.train_secs, 0.5);
         assert_eq!(d.score_secs, 0.0, "negative deltas clamp to zero");
         assert_eq!(d.regroup_secs, 0.25);
-        assert_eq!(a.total_secs(), 10.5);
+        assert_eq!(d.overlap_secs, 0.5);
+        assert_eq!(a.total_secs(), 11.25);
     }
 }

@@ -388,7 +388,7 @@ mod tests {
             // next to the 10.0 blob after its first local rounds.
             let weights: Vec<Vec<f32>> = (0..6)
                 .map(|i| match i {
-                    0 | 1 | 2 => vec![0.0, 0.1 * i as f32, 0.0],
+                    0..=2 => vec![0.0, 0.1 * i as f32, 0.0],
                     3 | 4 => vec![10.0, 10.0 + 0.1 * i as f32, 10.0],
                     _ => vec![10.2, 10.0, 9.9],
                 })

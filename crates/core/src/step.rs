@@ -16,8 +16,9 @@
 //!   respect to everything except the cluster's own state: merging peers,
 //!   local training, evaluation and peer-model scoring touch only one
 //!   [`ClusterNode`] plus immutable shared references (workload, global
-//!   test set). The parallel engine therefore runs one scoped thread per
-//!   cluster here ([`compute_all`]) with no effect on results.
+//!   test set). The parallel engine therefore fans it out across scoped
+//!   worker threads — capped at the host's core count, inline on 1-core
+//!   hosts ([`compute_all`]) — with no effect on results.
 //! - **Commit** (back in the engine) replays every federation mutation —
 //!   chain transactions, storage publishes, fault logging, resource bursts
 //!   and idle/straggler accounting — sequentially in cluster-index order,
@@ -49,7 +50,8 @@ pub enum Engine {
     /// reproduction's original control flow.
     Sequential,
     /// The two-phase engine: per-round compute fans out across scoped
-    /// threads (one per cluster), commits stay sequential.
+    /// worker threads (capped at the host's core count), commits stay
+    /// sequential.
     Parallel,
 }
 
@@ -374,7 +376,7 @@ pub fn compute_scores(cluster: &ClusterNode, tasks: Vec<ScoreTask>) -> Vec<Score
 
 /// Runs the compute phase under the selected [`Engine`]: inline in
 /// cluster-index order for [`Engine::Sequential`] (the reference), or
-/// fanned out one scoped thread per cluster for [`Engine::Parallel`]
+/// fanned out across capped scoped threads for [`Engine::Parallel`]
 /// ([`compute_all`]). Compute is cluster-local either way, so the results —
 /// and every downstream report byte — are identical.
 pub fn compute_dispatch<I, R, F>(
@@ -398,11 +400,21 @@ where
     }
 }
 
-/// Runs each cluster's compute closure on its own scoped thread (phase A
-/// of the parallel engine). `inputs` is index-aligned with `clusters`;
-/// `None` slots (inactive clusters) are skipped. Results come back in
-/// index order. A panicking compute (e.g. a client fit) is re-raised with
-/// its original payload after every sibling thread has been joined.
+/// Runs the clusters' compute closures across scoped worker threads
+/// (phase A of the parallel engine). `inputs` is index-aligned with
+/// `clusters`; `None` slots (inactive clusters) are skipped. Results come
+/// back in index order.
+///
+/// The fan-out is capped at the host's available parallelism: clusters are
+/// split into contiguous, index-aligned chunks, one scoped thread per
+/// chunk, so a 60-cluster round on a 4-core host spawns 4 threads — not
+/// 60. With a single effective lane (a 1-core host, or ≤ 1 active
+/// cluster) the whole phase runs inline on the caller's thread: spawning
+/// there buys no wall-clock and the interleaved per-thread profile spans
+/// would inflate `train_secs` far past the real elapsed time.
+///
+/// A panicking compute (e.g. a client fit) is re-raised with its original
+/// payload after every sibling thread has been joined.
 pub fn compute_all<I, R, F>(
     clusters: &mut [ClusterNode],
     inputs: Vec<Option<I>>,
@@ -414,27 +426,45 @@ where
     F: Fn(&mut ClusterNode, I) -> R + Sync,
 {
     debug_assert_eq!(clusters.len(), inputs.len(), "inputs are index-aligned");
-    std::thread::scope(|scope| {
-        let f = &f;
-        let handles: Vec<_> = clusters
+    let total = clusters.len();
+    let active = inputs.iter().filter(|i| i.is_some()).count();
+    let hardware = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads = hardware.min(active);
+    if threads <= 1 {
+        return clusters
             .iter_mut()
             .zip(inputs)
-            .map(|(cluster, input)| input.map(|i| scope.spawn(move || f(cluster, i))))
+            .map(|(cluster, input)| input.map(|i| f(cluster, i)))
             .collect();
-        let mut results = Vec::with_capacity(handles.len());
+    }
+    let mut work: Vec<(&mut ClusterNode, Option<I>)> = clusters.iter_mut().zip(inputs).collect();
+    let chunk_size = total.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = work
+            .chunks_mut(chunk_size)
+            .map(|chunk| {
+                let len = chunk.len();
+                let handle = scope.spawn(move || {
+                    chunk
+                        .iter_mut()
+                        .map(|(cluster, input)| input.take().map(|i| f(cluster, i)))
+                        .collect::<Vec<_>>()
+                });
+                (len, handle)
+            })
+            .collect();
+        let mut results = Vec::with_capacity(total);
         let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
-        for handle in handles {
-            match handle {
-                None => results.push(None),
-                Some(h) => match h.join() {
-                    Ok(r) => results.push(Some(r)),
-                    Err(payload) => {
-                        if first_panic.is_none() {
-                            first_panic = Some(payload);
-                        }
-                        results.push(None);
+        for (len, handle) in handles {
+            match handle.join() {
+                Ok(mut chunk_results) => results.append(&mut chunk_results),
+                Err(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(payload);
                     }
-                },
+                    results.extend((0..len).map(|_| None));
+                }
             }
         }
         if let Some(payload) = first_panic {
@@ -471,8 +501,7 @@ mod tests {
         assert!(score_precision(&[0.5, 0.6]) > contested);
     }
 
-    #[test]
-    fn compute_all_skips_none_slots_and_orders_results() {
+    fn test_clusters(n: usize) -> Vec<ClusterNode> {
         use crate::policy::AggregationPolicy;
         use unifyfl_data::SyntheticConfig;
         use unifyfl_sim::DeviceProfile;
@@ -486,7 +515,7 @@ mod tests {
         let spec = ModelSpec::mlp(8, vec![8], 2);
         let net = IpfsNetwork::new();
         let init = spec.build(5).flat_params();
-        let mut clusters: Vec<ClusterNode> = (0..3)
+        (0..n)
             .map(|i| {
                 ClusterNode::new(
                     ClusterConfig::edge(format!("c{i}"), DeviceProfile::edge_cpu())
@@ -498,8 +527,12 @@ mod tests {
                     100 + i as u64,
                 )
             })
-            .collect();
+            .collect()
+    }
 
+    #[test]
+    fn compute_all_skips_none_slots_and_orders_results() {
+        let mut clusters = test_clusters(3);
         // Index-aligned inputs with a skipped middle slot; results come
         // back in index order with the None preserved.
         let inputs = vec![Some(10u32), None, Some(30u32)];
@@ -510,5 +543,46 @@ mod tests {
         assert_eq!(results[0], Some(("c0".to_owned(), 11)));
         assert_eq!(results[1], None);
         assert_eq!(results[2], Some(("c2".to_owned(), 31)));
+    }
+
+    #[test]
+    fn compute_all_chunks_across_more_clusters_than_cores() {
+        // Far more slots than any host has cores: every chunk must come
+        // back in index order regardless of how the cap splits them.
+        let mut clusters = test_clusters(7);
+        let inputs: Vec<Option<u32>> = (0..7).map(|i| (i % 2 == 0).then_some(i)).collect();
+        let results = compute_all(&mut clusters, inputs, |_cluster, v| v * 10);
+        let expected: Vec<Option<u32>> = (0..7).map(|i| (i % 2 == 0).then_some(i * 10)).collect();
+        assert_eq!(results, expected);
+    }
+
+    #[test]
+    fn compute_all_runs_single_active_slot_inline() {
+        // One active cluster takes the inline path (threads <= 1); the
+        // observable contract is unchanged.
+        let mut clusters = test_clusters(3);
+        let inputs = vec![None, Some(7u32), None];
+        let results = compute_all(&mut clusters, inputs, |_cluster, v| v + 1);
+        assert_eq!(results, vec![None, Some(8), None]);
+    }
+
+    #[test]
+    fn compute_all_repropagates_panics_after_joining() {
+        let mut clusters = test_clusters(4);
+        let inputs = vec![Some(0u32), Some(1u32), Some(2u32), Some(3u32)];
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            compute_all(&mut clusters, inputs, |_cluster, v| {
+                if v == 1 {
+                    panic!("compute failed for cluster 1");
+                }
+                v
+            })
+        }));
+        let payload = caught.expect_err("the worker panic must re-raise");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(
+            msg.contains("cluster 1"),
+            "original payload survives: {msg}"
+        );
     }
 }

@@ -112,16 +112,21 @@ impl FlClient for InMemoryClient {
         // NIID clusters collapses.
         let mut opt = Sgd::new(config.learning_rate, 0.0);
         let mut last_epoch_loss = 0.0f64;
+        // Flat views reused across every batch of the fit: together with
+        // the model's internal arena this keeps the per-batch loop free of
+        // heap allocations (gated by the bench allocation probe).
+        let mut params_buf = Vec::with_capacity(self.model.param_count());
+        let mut grads_buf = Vec::with_capacity(self.model.param_count());
         for _ in 0..config.epochs.max(1) {
             let mut epoch_loss = 0.0f64;
             let mut batches = 0usize;
             for (x, y) in self.data.batches(config.batch_size, &mut self.rng) {
-                let out = self.model.train_batch(&x, &y);
-                let grads = self.model.flat_grads();
-                let mut params = self.model.flat_params();
-                opt.step(&mut params, &grads);
-                self.model.set_flat_params(&params);
-                epoch_loss += out.loss as f64;
+                let loss = self.model.train_batch(&x, &y);
+                self.model.flat_grads_into(&mut grads_buf);
+                self.model.flat_params_into(&mut params_buf);
+                opt.step(&mut params_buf, &grads_buf);
+                self.model.set_flat_params(&params_buf);
+                epoch_loss += loss as f64;
                 batches += 1;
             }
             last_epoch_loss = epoch_loss / batches.max(1) as f64;

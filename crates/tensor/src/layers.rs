@@ -8,6 +8,7 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 
+use crate::arena::Arena;
 use crate::tensor::Tensor;
 
 /// A differentiable layer.
@@ -25,6 +26,29 @@ pub trait Layer: Send {
     /// Implementations may panic if called before a training-mode forward.
     fn backward(&mut self, grad_out: &Tensor) -> Tensor;
 
+    /// [`Layer::forward`] serving the output (and refreshing any cached
+    /// activations) from `arena` instead of fresh allocations. Results are
+    /// bit-identical to the allocating path. The default delegates to
+    /// [`Layer::forward`], so external layer implementations keep working;
+    /// the built-in layers override it to allocate nothing per batch once
+    /// the arena has warmed up.
+    fn forward_arena(&mut self, input: &Tensor, train: bool, arena: &mut Arena) -> Tensor {
+        let _ = arena;
+        self.forward(input, train)
+    }
+
+    /// [`Layer::backward`] serving the returned input-gradient from
+    /// `arena`. Bit-identical to the allocating path; the default
+    /// delegates to [`Layer::backward`].
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called before a training-mode forward.
+    fn backward_arena(&mut self, grad_out: &Tensor, arena: &mut Arena) -> Tensor {
+        let _ = arena;
+        self.backward(grad_out)
+    }
+
     /// Flattened views of the parameters, in a stable order.
     fn params(&self) -> Vec<&[f32]>;
 
@@ -38,9 +62,37 @@ pub trait Layer: Send {
     /// Resets accumulated gradients to zero.
     fn zero_grads(&mut self);
 
+    /// Visits every parameter slice in [`Layer::params`] order without
+    /// allocating. The default delegates to [`Layer::params`], which is
+    /// already allocation-free for parameter-less layers (an empty `Vec`
+    /// never touches the heap); layers that *hold* parameters override it
+    /// with direct slice visits so the training hot loop's flat-view
+    /// extraction stays heap-silent (gated by the bench allocation probe).
+    fn for_each_param(&self, f: &mut dyn FnMut(&[f32])) {
+        for p in self.params() {
+            f(p);
+        }
+    }
+
+    /// Mutable counterpart of [`Layer::for_each_param`], same order.
+    fn for_each_param_mut(&mut self, f: &mut dyn FnMut(&mut [f32])) {
+        for p in self.params_mut() {
+            f(p);
+        }
+    }
+
+    /// Gradient counterpart of [`Layer::for_each_param`], same order.
+    fn for_each_grad(&self, f: &mut dyn FnMut(&[f32])) {
+        for g in self.grads() {
+            f(g);
+        }
+    }
+
     /// Total trainable parameter count.
     fn param_count(&self) -> usize {
-        self.params().iter().map(|p| p.len()).sum()
+        let mut count = 0;
+        self.for_each_param(&mut |p| count += p.len());
+        count
     }
 }
 
@@ -94,11 +146,9 @@ impl Dense {
     }
 }
 
-impl Layer for Dense {
-    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        assert_eq!(input.shape().len(), 2, "dense expects [batch, features]");
-        assert_eq!(input.shape()[1], self.in_dim, "input dim mismatch");
-        let mut out = input.matmul(&self.w);
+impl Dense {
+    /// Adds the bias row to every batch row of `out`.
+    fn add_bias(&self, out: &mut Tensor) {
         let batch = out.shape()[0];
         let data = out.data_mut();
         for i in 0..batch {
@@ -106,10 +156,60 @@ impl Layer for Dense {
                 data[i * self.out_dim + j] += bias;
             }
         }
+    }
+
+    /// Refreshes the training-mode input cache, reusing its buffers after
+    /// the first batch.
+    fn cache_input(&mut self, input: &Tensor) {
+        match self.cached_input.as_mut() {
+            Some(c) => c.copy_from(input),
+            None => self.cached_input = Some(input.clone()),
+        }
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.shape().len(), 2, "dense expects [batch, features]");
+        assert_eq!(input.shape()[1], self.in_dim, "input dim mismatch");
+        let mut out = input.matmul(&self.w);
+        self.add_bias(&mut out);
         if train {
-            self.cached_input = Some(input.clone());
+            self.cache_input(input);
         }
         out
+    }
+
+    fn forward_arena(&mut self, input: &Tensor, train: bool, arena: &mut Arena) -> Tensor {
+        assert_eq!(input.shape().len(), 2, "dense expects [batch, features]");
+        assert_eq!(input.shape()[1], self.in_dim, "input dim mismatch");
+        let mut out = arena.take(&[input.shape()[0], self.out_dim]);
+        input.matmul_into(&self.w, &mut out);
+        self.add_bias(&mut out);
+        if train {
+            self.cache_input(input);
+        }
+        out
+    }
+
+    fn backward_arena(&mut self, grad_out: &Tensor, arena: &mut Arena) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward requires a training-mode forward");
+        // Same accumulation as `backward`, with the returned g · Wᵀ landing
+        // in an arena buffer instead of a fresh tensor.
+        input.matmul_tn_into(grad_out, &mut self.scratch_gw);
+        self.grad_w.add_assign(&self.scratch_gw);
+        let batch = grad_out.shape()[0];
+        for i in 0..batch {
+            for j in 0..self.out_dim {
+                self.grad_b[j] += grad_out.data()[i * self.out_dim + j];
+            }
+        }
+        let mut gin = arena.take(&[batch, self.in_dim]);
+        grad_out.matmul_nt_into(&self.w, &mut gin);
+        gin
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -147,6 +247,21 @@ impl Layer for Dense {
         vec![self.grad_w.data(), &self.grad_b]
     }
 
+    fn for_each_param(&self, f: &mut dyn FnMut(&[f32])) {
+        f(self.w.data());
+        f(&self.b);
+    }
+
+    fn for_each_param_mut(&mut self, f: &mut dyn FnMut(&mut [f32])) {
+        f(self.w.data_mut());
+        f(&mut self.b);
+    }
+
+    fn for_each_grad(&self, f: &mut dyn FnMut(&[f32])) {
+        f(self.grad_w.data());
+        f(&self.grad_b);
+    }
+
     fn zero_grads(&mut self) {
         self.grad_w.data_mut().fill(0.0);
         self.grad_b.fill(0.0);
@@ -166,17 +281,41 @@ impl Relu {
     }
 }
 
-impl Layer for Relu {
-    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        let mut out = input.clone();
+impl Relu {
+    /// Clamps negatives in place, refreshing the training mask (reusing
+    /// its buffer) when asked.
+    fn clamp(&mut self, out: &mut Tensor, train: bool) {
         if train {
-            self.mask = input.data().iter().map(|&x| x > 0.0).collect();
+            self.mask.clear();
+            self.mask.extend(out.data().iter().map(|&x| x > 0.0));
         }
         for x in out.data_mut() {
             if *x < 0.0 {
                 *x = 0.0;
             }
         }
+    }
+
+    /// Zeroes gradient entries the forward pass clamped.
+    fn apply_mask(&self, g: &mut Tensor) {
+        for (x, &keep) in g.data_mut().iter_mut().zip(&self.mask) {
+            if !keep {
+                *x = 0.0;
+            }
+        }
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut out = input.clone();
+        self.clamp(&mut out, train);
+        out
+    }
+
+    fn forward_arena(&mut self, input: &Tensor, train: bool, arena: &mut Arena) -> Tensor {
+        let mut out = arena.take_from(input);
+        self.clamp(&mut out, train);
         out
     }
 
@@ -187,11 +326,18 @@ impl Layer for Relu {
             "backward requires a training-mode forward"
         );
         let mut g = grad_out.clone();
-        for (x, &keep) in g.data_mut().iter_mut().zip(&self.mask) {
-            if !keep {
-                *x = 0.0;
-            }
-        }
+        self.apply_mask(&mut g);
+        g
+    }
+
+    fn backward_arena(&mut self, grad_out: &Tensor, arena: &mut Arena) -> Tensor {
+        assert_eq!(
+            grad_out.len(),
+            self.mask.len(),
+            "backward requires a training-mode forward"
+        );
+        let mut g = arena.take_from(grad_out);
+        self.apply_mask(&mut g);
         g
     }
 
@@ -235,8 +381,27 @@ impl Layer for Flatten {
         input.clone().reshape(vec![batch, rest])
     }
 
+    fn forward_arena(&mut self, input: &Tensor, train: bool, arena: &mut Arena) -> Tensor {
+        assert!(input.shape().len() >= 2, "flatten expects rank >= 2");
+        let batch = input.shape()[0];
+        let rest: usize = input.shape()[1..].iter().product();
+        if train {
+            self.cached_shape.clear();
+            self.cached_shape.extend_from_slice(input.shape());
+        }
+        let mut out = arena.take_from(input);
+        out.reshape_to(&[batch, rest]);
+        out
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         grad_out.clone().reshape(self.cached_shape.clone())
+    }
+
+    fn backward_arena(&mut self, grad_out: &Tensor, arena: &mut Arena) -> Tensor {
+        let mut g = arena.take_from(grad_out);
+        g.reshape_to(&self.cached_shape);
+        g
     }
 
     fn params(&self) -> Vec<&[f32]> {
@@ -298,55 +463,127 @@ impl Conv2d {
     }
 }
 
-impl Layer for Conv2d {
-    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        let s = input.shape();
-        assert_eq!(s.len(), 4, "conv expects [batch, c, h, w]");
-        assert_eq!(s[1], self.in_c, "channel mismatch");
-        let (batch, h, w) = (s[0], s[2], s[3]);
-        let (oh, ow) = self.out_hw(h, w);
-        let mut out = Tensor::zeros(vec![batch, self.out_c, oh, ow]);
-
-        let x = input.data();
-        let k = self.k;
-        let pad = self.pad as isize;
-        let wdat = self.w.data();
-        let odat = out.data_mut();
-        for b in 0..batch {
-            for oc in 0..self.out_c {
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let mut acc = self.b[oc];
-                        for ic in 0..self.in_c {
-                            for ky in 0..k {
-                                let iy = oy as isize + ky as isize - pad;
-                                if iy < 0 || iy >= h as isize {
+/// The direct-convolution forward loops, shared by the allocating and
+/// arena paths: `out[b, oc, oy, ox] = b[oc] + Σ x·w` over the valid
+/// receptive field. Writes every output element.
+#[allow(clippy::too_many_arguments)]
+fn conv_forward_loops(
+    x: &[f32],
+    wdat: &[f32],
+    bias: &[f32],
+    odat: &mut [f32],
+    (batch, in_c, h, w): (usize, usize, usize, usize),
+    (out_c, oh, ow): (usize, usize, usize),
+    k: usize,
+    pad: isize,
+) {
+    for b in 0..batch {
+        for oc in 0..out_c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bias[oc];
+                    for ic in 0..in_c {
+                        for ky in 0..k {
+                            let iy = oy as isize + ky as isize - pad;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = ox as isize + kx as isize - pad;
+                                if ix < 0 || ix >= w as isize {
                                     continue;
                                 }
-                                for kx in 0..k {
-                                    let ix = ox as isize + kx as isize - pad;
-                                    if ix < 0 || ix >= w as isize {
-                                        continue;
-                                    }
-                                    let xi =
-                                        ((b * self.in_c + ic) * h + iy as usize) * w + ix as usize;
-                                    let wi = ((oc * self.in_c + ic) * k + ky) * k + kx;
-                                    acc += x[xi] * wdat[wi];
-                                }
+                                let xi = ((b * in_c + ic) * h + iy as usize) * w + ix as usize;
+                                let wi = ((oc * in_c + ic) * k + ky) * k + kx;
+                                acc += x[xi] * wdat[wi];
                             }
                         }
-                        odat[((b * self.out_c + oc) * oh + oy) * ow + ox] = acc;
+                    }
+                    odat[((b * out_c + oc) * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+    }
+}
+
+/// The direct-convolution backward loops, shared by the allocating and
+/// arena paths. Accumulates into `gw`/`gb` and the zero-initialized `gi`.
+#[allow(clippy::too_many_arguments)]
+fn conv_backward_loops(
+    x: &[f32],
+    g: &[f32],
+    wdat: &[f32],
+    gw: &mut [f32],
+    gb: &mut [f32],
+    gi: &mut [f32],
+    (batch, in_c, h, w): (usize, usize, usize, usize),
+    (out_c, oh, ow): (usize, usize, usize),
+    k: usize,
+    pad: isize,
+) {
+    for b in 0..batch {
+        for oc in 0..out_c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let go = g[((b * out_c + oc) * oh + oy) * ow + ox];
+                    if go == 0.0 {
+                        continue;
+                    }
+                    gb[oc] += go;
+                    for ic in 0..in_c {
+                        for ky in 0..k {
+                            let iy = oy as isize + ky as isize - pad;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = ox as isize + kx as isize - pad;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let xi = ((b * in_c + ic) * h + iy as usize) * w + ix as usize;
+                                let wi = ((oc * in_c + ic) * k + ky) * k + kx;
+                                gw[wi] += x[xi] * go;
+                                gi[xi] += wdat[wi] * go;
+                            }
+                        }
                     }
                 }
             }
         }
-        if train {
-            self.cached_input = Some(input.clone());
+    }
+}
+
+impl Conv2d {
+    /// Refreshes the training-mode input cache, reusing its buffers after
+    /// the first batch.
+    fn cache_input(&mut self, input: &Tensor) {
+        match self.cached_input.as_mut() {
+            Some(c) => c.copy_from(input),
+            None => self.cached_input = Some(input.clone()),
         }
-        out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    /// Runs the forward loops into a caller-provided output tensor.
+    fn forward_into(&self, input: &Tensor, out: &mut Tensor) {
+        let s = input.shape();
+        let (batch, h, w) = (s[0], s[2], s[3]);
+        let (oh, ow) = self.out_hw(h, w);
+        conv_forward_loops(
+            input.data(),
+            self.w.data(),
+            &self.b,
+            out.data_mut(),
+            (batch, self.in_c, h, w),
+            (self.out_c, oh, ow),
+            self.k,
+            self.pad as isize,
+        );
+    }
+
+    /// Runs the backward loops into a caller-provided (zero-filled)
+    /// input-gradient tensor.
+    fn backward_into(&mut self, grad_out: &Tensor, grad_in: &mut Tensor) {
         let input = self
             .cached_input
             .as_ref()
@@ -355,48 +592,70 @@ impl Layer for Conv2d {
         let (batch, h, w) = (s[0], s[2], s[3]);
         let (oh, ow) = self.out_hw(h, w);
         assert_eq!(grad_out.shape(), &[batch, self.out_c, oh, ow]);
+        conv_backward_loops(
+            input.data(),
+            grad_out.data(),
+            self.w.data(),
+            self.grad_w.data_mut(),
+            &mut self.grad_b,
+            grad_in.data_mut(),
+            (batch, self.in_c, h, w),
+            (self.out_c, oh, ow),
+            self.k,
+            self.pad as isize,
+        );
+    }
+}
 
-        let mut grad_in = Tensor::zeros(s.to_vec());
-        let x = input.data();
-        let g = grad_out.data();
-        let k = self.k;
-        let pad = self.pad as isize;
-        let wdat = self.w.data();
-        let gw = self.grad_w.data_mut();
-        let gi = grad_in.data_mut();
-
-        for b in 0..batch {
-            for oc in 0..self.out_c {
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let go = g[((b * self.out_c + oc) * oh + oy) * ow + ox];
-                        if go == 0.0 {
-                            continue;
-                        }
-                        self.grad_b[oc] += go;
-                        for ic in 0..self.in_c {
-                            for ky in 0..k {
-                                let iy = oy as isize + ky as isize - pad;
-                                if iy < 0 || iy >= h as isize {
-                                    continue;
-                                }
-                                for kx in 0..k {
-                                    let ix = ox as isize + kx as isize - pad;
-                                    if ix < 0 || ix >= w as isize {
-                                        continue;
-                                    }
-                                    let xi =
-                                        ((b * self.in_c + ic) * h + iy as usize) * w + ix as usize;
-                                    let wi = ((oc * self.in_c + ic) * k + ky) * k + kx;
-                                    gw[wi] += x[xi] * go;
-                                    gi[xi] += wdat[wi] * go;
-                                }
-                            }
-                        }
-                    }
-                }
-            }
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let s = input.shape();
+        assert_eq!(s.len(), 4, "conv expects [batch, c, h, w]");
+        assert_eq!(s[1], self.in_c, "channel mismatch");
+        let (oh, ow) = self.out_hw(s[2], s[3]);
+        let mut out = Tensor::zeros(vec![s[0], self.out_c, oh, ow]);
+        self.forward_into(input, &mut out);
+        if train {
+            self.cache_input(input);
         }
+        out
+    }
+
+    fn forward_arena(&mut self, input: &Tensor, train: bool, arena: &mut Arena) -> Tensor {
+        let s = input.shape();
+        assert_eq!(s.len(), 4, "conv expects [batch, c, h, w]");
+        assert_eq!(s[1], self.in_c, "channel mismatch");
+        let (oh, ow) = self.out_hw(s[2], s[3]);
+        let mut out = arena.take(&[s[0], self.out_c, oh, ow]);
+        self.forward_into(input, &mut out);
+        if train {
+            self.cache_input(input);
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self
+            .cached_input
+            .as_ref()
+            .expect("backward requires a training-mode forward")
+            .shape()
+            .to_vec();
+        let mut grad_in = Tensor::zeros(shape);
+        self.backward_into(grad_out, &mut grad_in);
+        grad_in
+    }
+
+    fn backward_arena(&mut self, grad_out: &Tensor, arena: &mut Arena) -> Tensor {
+        let mut grad_in = {
+            let shape = self
+                .cached_input
+                .as_ref()
+                .expect("backward requires a training-mode forward")
+                .shape();
+            arena.take(shape)
+        };
+        self.backward_into(grad_out, &mut grad_in);
         grad_in
     }
 
@@ -410,6 +669,21 @@ impl Layer for Conv2d {
 
     fn grads(&self) -> Vec<&[f32]> {
         vec![self.grad_w.data(), &self.grad_b]
+    }
+
+    fn for_each_param(&self, f: &mut dyn FnMut(&[f32])) {
+        f(self.w.data());
+        f(&self.b);
+    }
+
+    fn for_each_param_mut(&mut self, f: &mut dyn FnMut(&mut [f32])) {
+        f(self.w.data_mut());
+        f(&mut self.b);
+    }
+
+    fn for_each_grad(&self, f: &mut dyn FnMut(&[f32])) {
+        f(self.grad_w.data());
+        f(&self.grad_b);
     }
 
     fn zero_grads(&mut self) {
@@ -531,6 +805,66 @@ mod tests {
         for (a, b) in grad_in.data().iter().zip(ref_gin.data()) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    /// The arena paths must reproduce the allocating paths bit for bit —
+    /// run two identically seeded layers side by side for several batches
+    /// so the second and later batches exercise recycled buffers.
+    fn arena_matches_allocating<L: Layer>(mut plain: L, mut pooled: L, input: Tensor) {
+        let mut arena = Arena::new();
+        for _ in 0..3 {
+            let out_p = plain.forward(&input, true);
+            let out_a = pooled.forward_arena(&input, true, &mut arena);
+            assert_eq!(out_p.shape(), out_a.shape());
+            for (x, y) in out_p.data().iter().zip(out_a.data()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "forward drifted");
+            }
+            let ones = Tensor::from_vec(out_p.shape().to_vec(), vec![1.0; out_p.len()]);
+            let gin_p = plain.backward(&ones);
+            let gin_a = pooled.backward_arena(&ones, &mut arena);
+            for (x, y) in gin_p.data().iter().zip(gin_a.data()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "backward drifted");
+            }
+            for (gp, ga) in plain.grads().iter().zip(pooled.grads().iter()) {
+                for (x, y) in gp.iter().zip(ga.iter()) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "param grads drifted");
+                }
+            }
+            arena.recycle(gin_a);
+            arena.recycle(out_a);
+        }
+    }
+
+    #[test]
+    fn dense_arena_path_is_bit_identical() {
+        let input = Tensor::from_vec(vec![3, 4], (0..12).map(|i| i as f32 * 0.3 - 1.7).collect());
+        arena_matches_allocating(
+            Dense::new(4, 5, &mut rng()),
+            Dense::new(4, 5, &mut rng()),
+            input,
+        );
+    }
+
+    #[test]
+    fn relu_and_flatten_arena_paths_are_bit_identical() {
+        let input = Tensor::from_vec(vec![2, 6], (0..12).map(|i| i as f32 * 0.4 - 2.1).collect());
+        arena_matches_allocating(Relu::new(), Relu::new(), input.clone());
+        let boxed = input.reshape(vec![2, 2, 3]);
+        arena_matches_allocating(Flatten::new(), Flatten::new(), boxed);
+    }
+
+    #[test]
+    fn conv_arena_path_is_bit_identical() {
+        let n = 2 * 2 * 5 * 5;
+        let input = Tensor::from_vec(
+            vec![2, 2, 5, 5],
+            (0..n).map(|i| ((i * 7 % 13) as f32 - 6.0) * 0.1).collect(),
+        );
+        arena_matches_allocating(
+            Conv2d::new(2, 3, 3, 1, &mut rng()),
+            Conv2d::new(2, 3, 3, 1, &mut rng()),
+            input,
+        );
     }
 
     #[test]

@@ -4,7 +4,10 @@
 //! PyTorch/Flower; the reproduction rules require building the substrate
 //! from scratch. This crate provides:
 //!
-//! - [`tensor`] — dense `f32` tensors (matmul, transpose, reductions);
+//! - [`tensor`] — dense `f32` tensors (cache-blocked matmul kernels,
+//!   transpose, reductions);
+//! - [`arena`] — recycled tensor buffers backing the zero-allocation
+//!   training hot path;
 //! - [`layers`] — [`layers::Dense`], [`layers::Conv2d`], [`layers::Relu`],
 //!   [`layers::Flatten`] with hand-written, finite-difference-tested
 //!   backward passes;
@@ -36,6 +39,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod delta;
 pub mod layers;
 pub mod loss;

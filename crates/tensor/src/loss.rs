@@ -22,12 +22,45 @@ pub struct LossOutput {
 /// Panics if `logits` is not `[batch, classes]`, `labels.len() != batch`,
 /// or any label is out of range.
 pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> LossOutput {
+    let (batch, classes) = (logits.shape()[0], logits.shape()[1]);
+    let mut grad = Tensor::zeros(vec![batch, classes]);
+    let mut predictions = Vec::new();
+    let mut exps = Vec::new();
+    let loss = softmax_cross_entropy_into(logits, labels, &mut grad, &mut predictions, &mut exps);
+    LossOutput {
+        loss,
+        grad,
+        predictions,
+    }
+}
+
+/// [`softmax_cross_entropy`] writing the gradient and predictions into
+/// caller-owned buffers (`exps` is per-row scratch), so the training hot
+/// path allocates nothing per batch once the buffers have warmed up.
+/// Arithmetic is identical to the allocating entry point — `exps` is
+/// cleared and refilled per row exactly as the collected vector was — so
+/// losses and gradients match bit for bit.
+///
+/// `grad` is reshaped to `[batch, classes]` in place; `predictions` is
+/// cleared and refilled.
+///
+/// # Panics
+///
+/// Panics if `logits` is not `[batch, classes]`, `labels.len() != batch`,
+/// or any label is out of range.
+pub fn softmax_cross_entropy_into(
+    logits: &Tensor,
+    labels: &[usize],
+    grad: &mut Tensor,
+    predictions: &mut Vec<usize>,
+    exps: &mut Vec<f32>,
+) -> f32 {
     assert_eq!(logits.shape().len(), 2, "logits must be [batch, classes]");
     let (batch, classes) = (logits.shape()[0], logits.shape()[1]);
     assert_eq!(labels.len(), batch, "labels/batch mismatch");
 
-    let mut grad = Tensor::zeros(vec![batch, classes]);
-    let mut predictions = Vec::with_capacity(batch);
+    grad.reset_to(&[batch, classes]);
+    predictions.clear();
     let mut total_loss = 0.0f64;
     let x = logits.data();
     let g = grad.data_mut();
@@ -41,7 +74,8 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> LossOutput {
         );
 
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let exps: Vec<f32> = row.iter().map(|v| (v - max).exp()).collect();
+        exps.clear();
+        exps.extend(row.iter().map(|v| (v - max).exp()));
         let sum: f32 = exps.iter().sum();
 
         let mut best = 0;
@@ -59,11 +93,7 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> LossOutput {
         total_loss -= (p_label as f64).ln();
     }
 
-    LossOutput {
-        loss: (total_loss / batch as f64) as f32,
-        grad,
-        predictions,
-    }
+    (total_loss / batch as f64) as f32
 }
 
 #[cfg(test)]
@@ -130,6 +160,34 @@ mod tests {
         let out = softmax_cross_entropy(&logits, &[0]);
         assert!(out.loss.is_finite());
         assert!(out.grad.data().iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    fn into_variant_reuses_buffers_bit_identically() {
+        let logits = Tensor::from_vec(vec![2, 3], vec![0.2, -0.5, 0.9, 1.5, 0.0, -1.0]);
+        let labels = [2usize, 0];
+        let reference = softmax_cross_entropy(&logits, &labels);
+
+        // Warm the buffers with stale contents of the wrong size.
+        let mut grad = Tensor::zeros(vec![7]);
+        grad.data_mut().fill(9.0);
+        let mut predictions = vec![99usize; 5];
+        let mut exps = vec![3.0f32; 11];
+        for _ in 0..2 {
+            let loss = softmax_cross_entropy_into(
+                &logits,
+                &labels,
+                &mut grad,
+                &mut predictions,
+                &mut exps,
+            );
+            assert_eq!(loss.to_bits(), reference.loss.to_bits());
+            assert_eq!(predictions, reference.predictions);
+            assert_eq!(grad.shape(), reference.grad.shape());
+            for (a, b) in grad.data().iter().zip(reference.grad.data()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -6,19 +6,34 @@
 //! one `Vec<f32>` in a stable order, which is exactly what gets serialized,
 //! stored on IPFS and aggregated by the strategies.
 
+use crate::arena::Arena;
 use crate::layers::Layer;
-use crate::loss::{softmax_cross_entropy, LossOutput};
+use crate::loss::softmax_cross_entropy_into;
 use crate::tensor::Tensor;
 
 /// A feed-forward stack of layers.
+///
+/// The model owns a tensor [`Arena`] plus loss scratch buffers, so
+/// [`Sequential::train_batch`] and [`Sequential::evaluate_batch`] stop
+/// allocating once the pools have warmed up (first batch) — every
+/// activation, gradient and softmax scratch vector is recycled batch to
+/// batch.
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
+    arena: Arena,
+    scratch_predictions: Vec<usize>,
+    scratch_exps: Vec<f32>,
 }
 
 impl Sequential {
     /// Creates an empty model.
     pub fn new() -> Self {
-        Sequential { layers: Vec::new() }
+        Sequential {
+            layers: Vec::new(),
+            arena: Arena::new(),
+            scratch_predictions: Vec::new(),
+            scratch_exps: Vec::new(),
+        }
     }
 
     /// Appends a layer (builder style).
@@ -69,24 +84,34 @@ impl Sequential {
     /// All parameters flattened into one vector (stable order).
     pub fn flat_params(&self) -> Vec<f32> {
         let mut out = Vec::with_capacity(self.param_count());
-        for layer in &self.layers {
-            for p in layer.params() {
-                out.extend_from_slice(p);
-            }
-        }
+        self.flat_params_into(&mut out);
         out
+    }
+
+    /// [`Sequential::flat_params`] into a caller-owned buffer (cleared and
+    /// refilled), so hot loops can reuse one allocation across batches.
+    pub fn flat_params_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        for layer in &self.layers {
+            layer.for_each_param(&mut |p| out.extend_from_slice(p));
+        }
     }
 
     /// All gradients flattened into one vector (same order as
     /// [`Sequential::flat_params`]).
     pub fn flat_grads(&self) -> Vec<f32> {
         let mut out = Vec::with_capacity(self.param_count());
-        for layer in &self.layers {
-            for g in layer.grads() {
-                out.extend_from_slice(g);
-            }
-        }
+        self.flat_grads_into(&mut out);
         out
+    }
+
+    /// [`Sequential::flat_grads`] into a caller-owned buffer (cleared and
+    /// refilled), matching [`Sequential::flat_params_into`].
+    pub fn flat_grads_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        for layer in &self.layers {
+            layer.for_each_grad(&mut |g| out.extend_from_slice(g));
+        }
     }
 
     /// Overwrites all parameters from a flat vector.
@@ -102,39 +127,92 @@ impl Sequential {
         );
         let mut offset = 0;
         for layer in &mut self.layers {
-            for p in layer.params_mut() {
+            layer.for_each_param_mut(&mut |p| {
                 p.copy_from_slice(&flat[offset..offset + p.len()]);
                 offset += p.len();
-            }
+            });
         }
     }
 
     /// One SGD mini-batch step: forward, loss, backward. Gradients are left
-    /// in the layers for an optimizer to consume; returns the loss output.
+    /// in the layers for an optimizer to consume; returns the mean batch
+    /// loss.
+    ///
+    /// Runs entirely on the model's arena — after the first batch at a
+    /// given shape, the whole step performs zero heap allocations.
     ///
     /// # Panics
     ///
     /// Panics on shape/label mismatches (see
-    /// [`softmax_cross_entropy`]).
-    pub fn train_batch(&mut self, x: &Tensor, labels: &[usize]) -> LossOutput {
+    /// [`softmax_cross_entropy_into`]).
+    pub fn train_batch(&mut self, x: &Tensor, labels: &[usize]) -> f32 {
         self.zero_grads();
-        let logits = self.forward(x, true);
-        let out = softmax_cross_entropy(&logits, labels);
-        self.backward(&out.grad);
-        out
+        let logits = self.forward_pooled(x, true);
+        let Sequential {
+            layers,
+            arena,
+            scratch_predictions,
+            scratch_exps,
+        } = self;
+        let mut grad = arena.take(&[0]);
+        let loss = softmax_cross_entropy_into(
+            &logits,
+            labels,
+            &mut grad,
+            scratch_predictions,
+            scratch_exps,
+        );
+        arena.recycle(logits);
+        for layer in layers.iter_mut().rev() {
+            let next = layer.backward_arena(&grad, arena);
+            arena.recycle(grad);
+            grad = next;
+        }
+        arena.recycle(grad);
+        loss
     }
 
     /// Evaluates mean loss and accuracy on a batch without training.
+    ///
+    /// Like [`Sequential::train_batch`], allocation-free once the arena has
+    /// warmed up.
     pub fn evaluate_batch(&mut self, x: &Tensor, labels: &[usize]) -> (f32, f32) {
-        let logits = self.forward(x, false);
-        let out = softmax_cross_entropy(&logits, labels);
-        let correct = out
-            .predictions
+        let logits = self.forward_pooled(x, false);
+        let Sequential {
+            arena,
+            scratch_predictions,
+            scratch_exps,
+            ..
+        } = self;
+        let mut grad = arena.take(&[0]);
+        let loss = softmax_cross_entropy_into(
+            &logits,
+            labels,
+            &mut grad,
+            scratch_predictions,
+            scratch_exps,
+        );
+        arena.recycle(logits);
+        arena.recycle(grad);
+        let correct = scratch_predictions
             .iter()
             .zip(labels)
             .filter(|(p, l)| p == l)
             .count();
-        (out.loss, correct as f32 / labels.len().max(1) as f32)
+        (loss, correct as f32 / labels.len().max(1) as f32)
+    }
+
+    /// Arena-backed forward pass; the returned tensor belongs to the arena
+    /// and must be recycled by the caller.
+    fn forward_pooled(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let Sequential { layers, arena, .. } = self;
+        let mut x = arena.take_from(input);
+        for layer in layers.iter_mut() {
+            let next = layer.forward_arena(&x, train, arena);
+            arena.recycle(x);
+            x = next;
+        }
+        x
     }
 }
 
@@ -207,9 +285,9 @@ mod tests {
         let mut m = tiny_mlp(2);
         let (x, y) = toy_batch();
         let lr = 0.5f32;
-        let first = m.train_batch(&x, &y).loss;
+        let first = m.train_batch(&x, &y);
         for _ in 0..50 {
-            let out = m.train_batch(&x, &y);
+            let _ = m.train_batch(&x, &y);
             // Manual SGD over the flat views.
             let grads = m.flat_grads();
             let mut params = m.flat_params();
@@ -217,7 +295,6 @@ mod tests {
                 *p -= lr * g;
             }
             m.set_flat_params(&params);
-            let _ = out;
         }
         let (final_loss, acc) = m.evaluate_batch(&x, &y);
         assert!(final_loss < first * 0.5, "loss {first} -> {final_loss}");
@@ -238,6 +315,59 @@ mod tests {
         let a = tiny_mlp(9).flat_params();
         let b = tiny_mlp(9).flat_params();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn train_batch_matches_unpooled_forward_backward_bitwise() {
+        use crate::loss::softmax_cross_entropy;
+        // Same seed → identical models; one trains through the arena path,
+        // the other through the allocating forward/backward. Losses and
+        // gradients must agree bit for bit across repeated batches.
+        let mut pooled = tiny_mlp(7);
+        let mut plain = tiny_mlp(7);
+        let (x, y) = toy_batch();
+        for _ in 0..3 {
+            let loss = pooled.train_batch(&x, &y);
+
+            plain.zero_grads();
+            let logits = plain.forward(&x, true);
+            let out = softmax_cross_entropy(&logits, &y);
+            plain.backward(&out.grad);
+
+            assert_eq!(loss.to_bits(), out.loss.to_bits());
+            let gp = pooled.flat_grads();
+            let gq = plain.flat_grads();
+            assert_eq!(gp.len(), gq.len());
+            for (a, b) in gp.iter().zip(&gq) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn train_batch_on_empty_model_scores_the_input() {
+        // No layers: logits are the input itself; the arena path must not
+        // choke on the degenerate stack.
+        let mut m = Sequential::new();
+        let x = Tensor::from_vec(vec![2, 2], vec![5.0, 0.0, 0.0, 5.0]);
+        let loss = m.train_batch(&x, &[0, 1]);
+        assert!(loss.is_finite() && loss < 0.1);
+        let (eval_loss, acc) = m.evaluate_batch(&x, &[0, 1]);
+        assert_eq!(eval_loss.to_bits(), loss.to_bits());
+        assert!((acc - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn flat_into_variants_match_allocating_views() {
+        let mut m = tiny_mlp(5);
+        let (x, y) = toy_batch();
+        let _ = m.train_batch(&x, &y);
+        let mut params = vec![99.0f32; 3]; // stale contents must be cleared
+        let mut grads = Vec::new();
+        m.flat_params_into(&mut params);
+        m.flat_grads_into(&mut grads);
+        assert_eq!(params, m.flat_params());
+        assert_eq!(grads, m.flat_grads());
     }
 
     #[test]

@@ -7,6 +7,34 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Cache-blocking tile sizes for the matmul kernels. The `matmul` /
+/// `matmul_tn` kernels slab the inner dimension in `KB` steps so each
+/// slab's rhs panel is read from memory once per multiply instead of once
+/// per output row; `matmul_nt` additionally packs transposed `KB × NB`
+/// rhs tiles (16 KiB — comfortably L1-resident) because its naive walk
+/// strides by `k` on every inner step, the worst pattern of the three.
+const KB: usize = 64;
+const NB: usize = 64;
+
+/// The `matmul_nt` micro-kernel: `acc[j] += lvals[p] * panel[p * stride +
+/// j]` over ascending `p`, skipping exact-zero left-hand entries. This is
+/// the naive kernels' exact f32 add sequence (ascending inner dimension,
+/// zero-skip, no FMA contraction), so the blocked kernel built on it is
+/// bit-identical to its reference triple loop.
+#[inline(always)]
+fn tile_kernel(lvals: &[f32], panel: &[f32], stride: usize, acc: &mut [f32]) {
+    let w = acc.len();
+    for (pp, &l) in lvals.iter().enumerate() {
+        if l == 0.0 {
+            continue;
+        }
+        let prow = &panel[pp * stride..pp * stride + w];
+        for (a, &r) in acc.iter_mut().zip(prow) {
+            *a += l * r;
+        }
+    }
+}
+
 /// A dense row-major tensor of `f32`.
 ///
 /// ```
@@ -122,12 +150,75 @@ impl Tensor {
     }
 
     /// Matrix multiplication: `self` is `[m, k]`, `rhs` is `[k, n]`, result
-    /// `[m, n]`. Inner loop is ordered for cache-friendly access.
+    /// `[m, n]`. Cache-blocked with stack-resident accumulator rows —
+    /// bit-identical to [`Tensor::matmul_naive`] (proptest-pinned).
     ///
     /// # Panics
     ///
     /// Panics if either tensor is not rank-2 or the inner dims differ.
     pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "lhs must be rank-2");
+        assert_eq!(rhs.shape.len(), 2, "rhs must be rank-2");
+        let (m, _) = (self.shape[0], self.shape[1]);
+        let n = rhs.shape[1];
+        let mut out = Tensor::zeros(vec![m, n]);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Tensor::matmul`] writing into a caller-owned output tensor (e.g.
+    /// an arena buffer), avoiding the result allocation. The output is
+    /// overwritten, not accumulated into.
+    ///
+    /// Cache-blocked over the inner dimension: for each `KB`-slab of `k`,
+    /// every output row accumulates that slab's contribution before the
+    /// next slab starts, so the slab's `KB × n` rhs panel is read from
+    /// memory once and served from cache for all `m` rows — the naive walk
+    /// re-streams the entire `k × n` rhs per output row. Slabs ascend and
+    /// the full-width inner loop is the naive kernel's, so each output
+    /// element sees the exact same p-ascending f32 add sequence
+    /// (proptest-pinned); when `k ≤ KB` the loop *is* the naive kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank/shape mismatch, including `out` not being `[m, n]`.
+    pub fn matmul_into(&self, rhs: &Tensor, out: &mut Tensor) {
+        assert_eq!(self.shape.len(), 2, "lhs must be rank-2");
+        assert_eq!(rhs.shape.len(), 2, "rhs must be rank-2");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (rhs.shape[0], rhs.shape[1]);
+        assert_eq!(k, k2, "inner dimensions must agree: {k} vs {k2}");
+        assert_eq!(out.shape, [m, n], "output must be [{m}, {n}]");
+        out.data.fill(0.0);
+        let mut pb = 0;
+        while pb < k {
+            let kb = KB.min(k - pb);
+            for i in 0..m {
+                let lhs_vals = &self.data[i * k + pb..i * k + pb + kb];
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for (pp, &l) in lhs_vals.iter().enumerate() {
+                    if l == 0.0 {
+                        continue;
+                    }
+                    let p = pb + pp;
+                    let rhs_row = &rhs.data[p * n..(p + 1) * n];
+                    for (o, &r) in out_row.iter_mut().zip(rhs_row) {
+                        *o += l * r;
+                    }
+                }
+            }
+            pb += kb;
+        }
+    }
+
+    /// The reference triple-loop `[m, k] · [k, n]` kernel the blocked
+    /// [`Tensor::matmul`] is proven bit-identical to (kept for the
+    /// proptests and the kernel-speedup microbench).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tensor is not rank-2 or the inner dims differ.
+    pub fn matmul_naive(&self, rhs: &Tensor) -> Tensor {
         assert_eq!(self.shape.len(), 2, "lhs must be rank-2");
         assert_eq!(rhs.shape.len(), 2, "rhs must be rank-2");
         let (m, k) = (self.shape[0], self.shape[1]);
@@ -177,6 +268,15 @@ impl Tensor {
     /// (e.g. a per-layer scratch buffer), avoiding the result allocation.
     /// The output is overwritten, not accumulated into.
     ///
+    /// Cache-blocked over the inner dimension exactly like
+    /// [`Tensor::matmul_into`]: each `KB`-slab's rhs panel is read from
+    /// memory once and served from cache for all `m` output rows. The lhs
+    /// is stored `[k, m]`, so the slab's lhs reads stay column-strided
+    /// (stride `m`) — one scalar per full-width axpy, amortized across the
+    /// `n`-wide inner loop. Slabs ascend, so the per-element f32 add
+    /// sequence is exactly [`Tensor::matmul_tn_naive`]'s (proptest-pinned);
+    /// when `k ≤ KB` the loop *is* the naive kernel.
+    ///
     /// # Panics
     ///
     /// Panics on rank/shape mismatch, including `out` not being `[m, n]`.
@@ -186,6 +286,38 @@ impl Tensor {
         assert_eq!(k, k2, "shared dimensions must agree: {k} vs {k2}");
         assert_eq!(out.shape, [m, n], "output must be [{m}, {n}]");
         out.data.fill(0.0);
+        let mut pb = 0;
+        while pb < k {
+            let kb = KB.min(k - pb);
+            for i in 0..m {
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for p in pb..pb + kb {
+                    let l = self.data[p * m + i];
+                    if l == 0.0 {
+                        continue;
+                    }
+                    let rhs_row = &rhs.data[p * n..(p + 1) * n];
+                    for (o, &r) in out_row.iter_mut().zip(rhs_row) {
+                        *o += l * r;
+                    }
+                }
+            }
+            pb += kb;
+        }
+    }
+
+    /// The reference column-strided `selfᵀ · rhs` kernel the blocked
+    /// [`Tensor::matmul_tn`] is proven bit-identical to (kept for the
+    /// proptests and the kernel-speedup microbench).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tensor is not rank-2 or the shared `k` dims differ.
+    pub fn matmul_tn_naive(&self, rhs: &Tensor) -> Tensor {
+        let (k, m) = self.rank2_dims("matmul_tn lhs");
+        let (k2, n) = rhs.rank2_dims("matmul_tn rhs");
+        assert_eq!(k, k2, "shared dimensions must agree: {k} vs {k2}");
+        let mut out = Tensor::zeros(vec![m, n]);
         for i in 0..m {
             let out_row = &mut out.data[i * n..(i + 1) * n];
             for p in 0..k {
@@ -199,6 +331,7 @@ impl Tensor {
                 }
             }
         }
+        out
     }
 
     /// Matrix multiplication against a transposed-packed right-hand side:
@@ -206,14 +339,79 @@ impl Tensor {
     /// `[m, n]`.
     ///
     /// Bit-identical to `self.matmul(&rhs.transpose())` — same accumulation
-    /// order — but reads `rhs` column-strided in place instead of
-    /// materializing the transposed copy. This is the other dense-layer
-    /// backward hot path (`grad_in = g · Wᵀ`).
+    /// order — but reads `rhs` in place instead of materializing the
+    /// transposed copy. This is the other dense-layer backward hot path
+    /// (`grad_in = g · Wᵀ`).
     ///
     /// # Panics
     ///
     /// Panics if either tensor is not rank-2 or the shared `k` dims differ.
     pub fn matmul_nt(&self, rhs: &Tensor) -> Tensor {
+        let (m, _) = self.rank2_dims("matmul_nt lhs");
+        let (n, _) = rhs.rank2_dims("matmul_nt rhs");
+        let mut out = Tensor::zeros(vec![m, n]);
+        self.matmul_nt_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Tensor::matmul_nt`] writing into a caller-owned output tensor
+    /// (e.g. an arena buffer), avoiding the result allocation. The output
+    /// is overwritten, not accumulated into.
+    ///
+    /// The rhs is stored `[n, k]`, so the naive walk strides by `k` along
+    /// the output axis — the worst access pattern of the three kernels. The
+    /// blocked kernel transposes each `KB × NB` rhs tile into a stack
+    /// buffer once (reading contiguous rhs row segments), then accumulates
+    /// `[i, jb]` block rows in an `NB`-wide stack row per `KB`-slab, slabs
+    /// ascending — the per-element f32 add sequence is exactly
+    /// [`Tensor::matmul_nt_naive`]'s (proptest-pinned).
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank/shape mismatch, including `out` not being `[m, n]`.
+    pub fn matmul_nt_into(&self, rhs: &Tensor, out: &mut Tensor) {
+        let (m, k) = self.rank2_dims("matmul_nt lhs");
+        let (n, k2) = rhs.rank2_dims("matmul_nt rhs");
+        assert_eq!(k, k2, "shared dimensions must agree: {k} vs {k2}");
+        assert_eq!(out.shape, [m, n], "output must be [{m}, {n}]");
+        out.data.fill(0.0);
+        let mut rpack = [0.0f32; KB * NB];
+        let mut jb = 0;
+        while jb < n {
+            let nb = NB.min(n - jb);
+            let mut pb = 0;
+            while pb < k {
+                let kb = KB.min(k - pb);
+                // Transpose the [nb, kb] rhs tile into [kb, nb]: contiguous
+                // reads, and the stride-k walk is paid once per tile.
+                for jj in 0..nb {
+                    let src = &rhs.data[(jb + jj) * k + pb..(jb + jj) * k + pb + kb];
+                    for (pp, &v) in src.iter().enumerate() {
+                        rpack[pp * nb + jj] = v;
+                    }
+                }
+                for i in 0..m {
+                    let lvals = &self.data[i * k + pb..i * k + pb + kb];
+                    let out_row = &mut out.data[i * n + jb..i * n + jb + nb];
+                    let mut acc = [0.0f32; NB];
+                    acc[..nb].copy_from_slice(out_row);
+                    tile_kernel(lvals, &rpack, nb, &mut acc[..nb]);
+                    out_row.copy_from_slice(&acc[..nb]);
+                }
+                pb += kb;
+            }
+            jb += nb;
+        }
+    }
+
+    /// The reference column-strided `self · rhsᵀ` kernel the blocked
+    /// [`Tensor::matmul_nt`] is proven bit-identical to (kept for the
+    /// proptests and the kernel-speedup microbench).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tensor is not rank-2 or the shared `k` dims differ.
+    pub fn matmul_nt_naive(&self, rhs: &Tensor) -> Tensor {
         let (m, k) = self.rank2_dims("matmul_nt lhs");
         let (n, k2) = rhs.rank2_dims("matmul_nt rhs");
         assert_eq!(k, k2, "shared dimensions must agree: {k} vs {k2}");
@@ -305,6 +503,42 @@ impl Tensor {
     /// Euclidean (L2) norm of the flattened tensor.
     pub fn l2_norm(&self) -> f32 {
         self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Overwrites `self` with `src`'s shape and contents, reusing the
+    /// existing buffers — the zero-allocation alternative to `clone()` once
+    /// both buffers have grown to their steady-state capacity.
+    pub fn copy_from(&mut self, src: &Tensor) {
+        self.shape.clear();
+        self.shape.extend_from_slice(&src.shape);
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
+    /// Reshapes `self` in place to `dims` and zero-fills the data, reusing
+    /// the existing buffers — the [`Arena`](crate::arena::Arena) take path.
+    pub fn reset_to(&mut self, dims: &[usize]) {
+        self.shape.clear();
+        self.shape.extend_from_slice(dims);
+        let n: usize = dims.iter().product();
+        self.data.clear();
+        self.data.resize(n, 0.0);
+    }
+
+    /// [`Tensor::reshape`] in place, without allocating a new shape vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape_to(&mut self, dims: &[usize]) {
+        let n: usize = dims.iter().product();
+        assert_eq!(
+            n,
+            self.data.len(),
+            "reshape to {dims:?} changes element count"
+        );
+        self.shape.clear();
+        self.shape.extend_from_slice(dims);
     }
 
     /// Squared Euclidean distance between two flattened tensors.
@@ -418,6 +652,78 @@ mod tests {
         let a = Tensor::zeros(vec![2, 3]);
         let b = Tensor::zeros(vec![4, 2]);
         let _ = a.matmul_nt(&b);
+    }
+
+    /// Deterministic pseudo-random fill with exact zeros sprinkled in, so
+    /// the kernels' zero-skip branch is exercised.
+    fn fill(shape: Vec<usize>, salt: u32) -> Tensor {
+        let n: usize = shape.iter().product();
+        let data = (0..n)
+            .map(|i| {
+                let h = (i as u32).wrapping_mul(2654435761).wrapping_add(salt);
+                if h.is_multiple_of(7) {
+                    0.0
+                } else {
+                    (h % 1000) as f32 * 0.013 - 6.5
+                }
+            })
+            .collect();
+        Tensor::from_vec(shape, data)
+    }
+
+    #[test]
+    fn blocked_kernels_match_naive_bitwise_across_tile_boundaries() {
+        // Shapes straddling the 64-wide tiles: single-tile, exact-tile,
+        // one-past-tile, and ragged multiples.
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (3, 5, 7),
+            (64, 64, 64),
+            (65, 64, 63),
+            (17, 130, 65),
+            (130, 65, 129),
+        ] {
+            let a = fill(vec![m, k], 1);
+            let b = fill(vec![k, n], 2);
+            let at = fill(vec![k, m], 3);
+            let bt = fill(vec![n, k], 4);
+            for (blocked, naive) in [
+                (a.matmul(&b), a.matmul_naive(&b)),
+                (at.matmul_tn(&b), at.matmul_tn_naive(&b)),
+                (a.matmul_nt(&bt), a.matmul_nt_naive(&bt)),
+            ] {
+                assert_eq!(blocked.shape(), naive.shape());
+                for (x, y) in blocked.data().iter().zip(naive.data()) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "bit-exact at {m}x{k}x{n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_into_overwrites_stale_scratch() {
+        let a = fill(vec![5, 70], 9);
+        let b = fill(vec![70, 66], 10);
+        let bt = fill(vec![66, 70], 11);
+        let mut scratch = Tensor::from_vec(vec![5, 66], vec![3.5; 5 * 66]);
+        a.matmul_into(&b, &mut scratch);
+        assert_eq!(scratch, a.matmul_naive(&b), "scratch is overwritten");
+        scratch.data_mut().fill(-1.0);
+        a.matmul_nt_into(&bt, &mut scratch);
+        assert_eq!(scratch, a.matmul_nt_naive(&bt), "scratch is overwritten");
+    }
+
+    #[test]
+    fn copy_from_and_reset_to_reuse_buffers() {
+        let src = fill(vec![3, 4], 5);
+        let mut dst = Tensor::zeros(vec![100]);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        dst.set(&[1, 1], 42.0);
+        assert_ne!(dst, src, "copy is detached from the source");
+        dst.reset_to(&[2, 5]);
+        assert_eq!(dst.shape(), &[2, 5]);
+        assert!(dst.data().iter().all(|&v| v == 0.0), "reset zero-fills");
     }
 
     #[test]

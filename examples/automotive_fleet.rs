@@ -70,6 +70,7 @@ fn main() {
         window_margin: 1.15,
         chaos: None,
         gossip: None,
+        fetch_ahead: false,
         transfer: TransferConfig::default(),
         engine: Engine::auto(),
         link_model: LinkModel::Nominal,

@@ -46,6 +46,7 @@ fn scenario(policy: AggregationPolicy, label: &str) -> ExperimentConfig {
         window_margin: 1.15,
         chaos: None,
         gossip: None,
+        fetch_ahead: false,
         transfer: TransferConfig::default(),
         engine: Engine::auto(),
         link_model: LinkModel::Nominal,

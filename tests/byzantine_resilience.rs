@@ -61,6 +61,7 @@ fn config(policy: AggregationPolicy, attack: AttackKind) -> ExperimentConfig {
         window_margin: 1.15,
         chaos: None,
         gossip: None,
+        fetch_ahead: false,
         transfer: TransferConfig::default(),
         engine: Engine::auto(),
         link_model: LinkModel::Nominal,

@@ -50,6 +50,7 @@ fn config(dp: Option<DpConfig>) -> ExperimentConfig {
         window_margin: 1.15,
         chaos: None,
         gossip: None,
+        fetch_ahead: false,
         transfer: TransferConfig::default(),
         engine: Engine::auto(),
         link_model: LinkModel::Nominal,
